@@ -1,0 +1,94 @@
+//! A 10-Gigabit Ethernet + kernel TCP stack model — the "traditional
+//! technology" the paper's introduction positions TCCluster against.
+//!
+//! Much higher software overhead than the RDMA path: socket syscalls,
+//! kernel protocol processing, interrupt-driven receive. Parameters are
+//! in line with 2010-era measurements (~10 µs one-way latency through the
+//! kernel stack, ~1.1 GB/s streaming after headers).
+
+use tcc_fabric::time::Duration;
+
+#[derive(Debug, Clone)]
+pub struct EthParams {
+    /// Syscall + TCP segmentation on the sender.
+    pub o_send: Duration,
+    /// NIC, wire, switch.
+    pub latency: Duration,
+    /// Interrupt, softirq, copy to user space.
+    pub o_recv: Duration,
+    /// Protocol efficiency: payload per wire byte (TCP/IP/Ethernet
+    /// headers over 1500 B frames).
+    pub efficiency: f64,
+    /// Raw wire rate.
+    pub bytes_per_sec: u64,
+}
+
+impl EthParams {
+    pub fn tengig() -> Self {
+        EthParams {
+            o_send: Duration::from_nanos(3_000),
+            latency: Duration::from_nanos(4_000),
+            o_recv: Duration::from_nanos(3_000),
+            efficiency: 1448.0 / 1538.0, // MSS over frame + overheads
+            bytes_per_sec: 1_250_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Ethernet {
+    pub params: EthParams,
+}
+
+impl Ethernet {
+    pub fn tengig() -> Self {
+        Ethernet {
+            params: EthParams::tengig(),
+        }
+    }
+
+    pub fn latency(&self, size: usize) -> Duration {
+        let p = &self.params;
+        let wire_bytes = (size as f64 / p.efficiency) as u64;
+        let ser = Duration(tcc_fabric::channel::serialization_ps(
+            wire_bytes.max(64),
+            p.bytes_per_sec,
+        ));
+        p.o_send + p.latency + ser + p.o_recv
+    }
+
+    pub fn bandwidth_mb_s(&self, size: usize) -> f64 {
+        let p = &self.params;
+        let wire_bytes = (size as f64 / p.efficiency) as u64;
+        let ser = tcc_fabric::channel::serialization_ps(wire_bytes.max(64), p.bytes_per_sec);
+        // Per-message CPU cost limits small-message rates.
+        let per_msg = ser.max(p.o_send.picos());
+        size as f64 / (per_msg as f64 / 1e12) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_order_10us() {
+        let e = Ethernet::tengig();
+        let us = e.latency(64).micros();
+        assert!((9.0..12.0).contains(&us), "64 B latency = {us:.1} us");
+    }
+
+    #[test]
+    fn small_message_rate_cpu_bound() {
+        let e = Ethernet::tengig();
+        let bw = e.bandwidth_mb_s(64);
+        assert!(bw < 30.0, "64 B streaming = {bw:.1} MB/s (CPU bound)");
+    }
+
+    #[test]
+    fn large_message_rate_wire_bound() {
+        let e = Ethernet::tengig();
+        let bw = e.bandwidth_mb_s(1 << 20);
+        assert!((1000.0..1250.0).contains(&bw), "1 MB: {bw:.0} MB/s");
+    }
+}

@@ -1,0 +1,15 @@
+//! # tcc-baseline — comparison interconnect models
+//!
+//! The interconnects the paper measures TCCluster against:
+//!
+//! * [`ib`] — a Mellanox ConnectX-like InfiniBand NIC (LogGP model
+//!   calibrated to the published anchors the paper cites: 1.4 µs latency;
+//!   200 / 1500 / 2500 MB/s at 64 B / 1 KB / 1 MB).
+//! * [`ethernet`] — 10GbE through a kernel TCP stack (the "traditional
+//!   technology" of the introduction).
+
+pub mod ethernet;
+pub mod ib;
+
+pub use ethernet::{EthParams, Ethernet};
+pub use ib::{IbNic, IbParams};

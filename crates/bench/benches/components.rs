@@ -1,0 +1,106 @@
+//! Criterion benches over the protocol components themselves: wire
+//! encode/decode, CRC, write-combining buffers and the link transmit path
+//! — the hot inner loops of the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tcc_ht::crc::{crc32, Crc32};
+use tcc_ht::packet::{Command, Packet, SrcTag, UnitId};
+use tcc_ht::wire::{decode, encode};
+use tcc_opteron::wc::WcBuffers;
+
+fn bench_wire(c: &mut Criterion) {
+    let cmd = Command::WrSized {
+        posted: true,
+        unit: UnitId::HOST,
+        addr: 0x1_2345_6780,
+        count: 15,
+        pass_pw: false,
+        seq_id: 3,
+        tag: None,
+    };
+    c.bench_function("wire/encode_posted_write", |b| {
+        b.iter(|| black_box(encode(black_box(&cmd))))
+    });
+    let bytes = encode(&cmd);
+    c.bench_function("wire/decode_posted_write", |b| {
+        b.iter(|| black_box(decode(black_box(&bytes)).expect("valid")))
+    });
+    let resp = Command::TgtDone {
+        unit: UnitId::HOST,
+        tag: SrcTag::new(7),
+        error: false,
+    };
+    c.bench_function("wire/encode_response", |b| {
+        b.iter(|| black_box(encode(black_box(&resp))))
+    });
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    for size in [64usize, 512, 4096] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| black_box(crc32(black_box(&data))))
+        });
+    }
+    g.finish();
+    c.bench_function("crc32/incremental_64x8", |b| {
+        let chunk = [0x5Au8; 8];
+        b.iter(|| {
+            let mut crc = Crc32::new();
+            for _ in 0..8 {
+                crc.update(black_box(&chunk));
+            }
+            black_box(crc.finish())
+        })
+    });
+}
+
+fn bench_wc(c: &mut Criterion) {
+    c.bench_function("wc/fill_line_8x8B", |b| {
+        let mut wc = WcBuffers::new(8, 64);
+        let data = [0u8; 8];
+        let mut addr = 0u64;
+        b.iter(|| {
+            for i in 0..8u64 {
+                black_box(wc.store(addr + i * 8, &data));
+            }
+            addr = addr.wrapping_add(64);
+        })
+    });
+    c.bench_function("wc/fence_8_partials", |b| {
+        let mut wc = WcBuffers::new(8, 64);
+        b.iter(|| {
+            for i in 0..8u64 {
+                wc.store(i * 64, &[1u8; 4]);
+            }
+            black_box(wc.fence())
+        })
+    });
+}
+
+fn bench_linktx(c: &mut Criterion) {
+    use bytes::Bytes;
+    use tcc_fabric::time::SimTime;
+    use tcc_ht::flow::CreditReturn;
+    use tcc_ht::link::{LinkConfig, LinkTx};
+    c.bench_function("link/enqueue_pump_64B", |b| {
+        let mut tx = LinkTx::new(LinkConfig::PROTOTYPE, 1);
+        let mut addr = 0u64;
+        b.iter(|| {
+            tx.enqueue(Packet::posted_write(addr, Bytes::from_static(&[0u8; 64])));
+            addr = addr.wrapping_add(64);
+            let out = tx.pump(SimTime::ZERO);
+            tx.credit_return(CreditReturn {
+                cmd: [1, 0, 0],
+                data: [1, 0, 0],
+            });
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench_wire, bench_crc, bench_wc, bench_linktx);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches over the message-library protocols on the threaded
+//! shared-memory backend: single-threaded ring cell costs and end-to-end
+//! channel throughput with a live consumer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tcc_msglib::channel::{channel, CHANNEL_BYTES, CREDIT_BYTES};
+use tcc_msglib::ring::{RingReceiver, RingSender, SendMode, RING_BYTES};
+use tcc_msglib::shm::ShmMemory;
+
+fn bench_ring_cell(c: &mut Criterion) {
+    let ring = ShmMemory::new(RING_BYTES);
+    let credit = ShmMemory::new(8);
+    let mut tx = RingSender::new(
+        ring.remote(0, RING_BYTES as u64),
+        credit.local(0, 8),
+        SendMode::WeaklyOrdered,
+    );
+    let mut rx = RingReceiver::new(ring.local(0, RING_BYTES as u64), credit.remote(0, 8));
+    let msg = [0u8; 56];
+    c.bench_function("ring/send_recv_56B", |b| {
+        b.iter(|| {
+            tx.send(black_box(&msg)).expect("fits");
+            black_box(rx.recv())
+        })
+    });
+}
+
+fn bench_channel_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel_throughput");
+    for &size in &[64usize, 1024, 16 << 10, 128 << 10] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            let data = ShmMemory::new(CHANNEL_BYTES as usize);
+            let credits = ShmMemory::new(CREDIT_BYTES as usize);
+            let (mut tx, mut rx) = channel(
+                data.remote(0, CHANNEL_BYTES),
+                credits.local(0, CREDIT_BYTES),
+                data.local(0, CHANNEL_BYTES),
+                credits.remote(0, CREDIT_BYTES),
+                SendMode::WeaklyOrdered,
+            );
+            let msg = vec![0xA5u8; s];
+            b.iter(|| {
+                tx.send(black_box(&msg)).expect("fits");
+                black_box(rx.recv())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded_pingpong(c: &mut Criterion) {
+    // Host-side latency of one real threaded round trip through the
+    // protocol (producer thread + this thread).
+    c.bench_function("shm/threaded_pingpong_64B", |b| {
+        use tccluster::ShmCluster;
+        b.iter_custom(|iters| {
+            let cluster = ShmCluster::new(2, SendMode::WeaklyOrdered);
+            let start = std::time::Instant::now();
+            let _ = cluster.run(move |ctx| {
+                if ctx.rank == 0 {
+                    for _ in 0..iters {
+                        ctx.send(1, &[0u8; 64]);
+                        black_box(ctx.recv(1));
+                    }
+                } else {
+                    for _ in 0..iters {
+                        let m = ctx.recv(0);
+                        ctx.send(0, &m);
+                    }
+                }
+            });
+            start.elapsed()
+        })
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    use tcc_msglib::barrier::{Barrier, SYNC_BYTES};
+    // Single-rank barrier epoch cost (mechanics only).
+    let page = ShmMemory::new(SYNC_BYTES as usize);
+    let peers: Vec<Option<tcc_msglib::shm::ShmRemote>> = vec![None];
+    let mut b1 = Barrier::new(0, 1, peers, page.local(0, SYNC_BYTES));
+    c.bench_function("barrier/single_rank_epoch", |b| {
+        b.iter(|| {
+            b1.wait();
+            black_box(b1.epoch())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_ring_cell, bench_channel_throughput, bench_threaded_pingpong, bench_barrier
+}
+criterion_main!(benches);

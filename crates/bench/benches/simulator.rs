@@ -1,0 +1,67 @@
+//! Criterion benches over the packet-level simulator: how fast the model
+//! itself evaluates the paper's experiments (host-side performance of the
+//! reproduction, useful for regression-tracking the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
+use tcc_msglib::SendMode;
+use tcc_opteron::UarchParams;
+use tccluster::SimCluster;
+
+fn prototype() -> SimCluster {
+    let spec = ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
+    SimCluster::boot(spec, UarchParams::shanghai())
+}
+
+fn bench_boot(c: &mut Criterion) {
+    c.bench_function("boot/pair", |b| {
+        b.iter(|| {
+            let spec =
+                ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
+            black_box(SimCluster::boot(spec, UarchParams::shanghai()))
+        })
+    });
+    c.bench_function("boot/mesh2x2x2", |b| {
+        b.iter(|| {
+            let spec = ClusterSpec::new(
+                SupernodeSpec::new(2, 1 << 20),
+                ClusterTopology::Mesh { x: 2, y: 2 },
+            );
+            black_box(SimCluster::boot(spec, UarchParams::shanghai()))
+        })
+    });
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut cluster = prototype();
+    let mut g = c.benchmark_group("sim_pingpong");
+    for size in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| black_box(cluster.pingpong(0, 1, s, 10)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut cluster = prototype();
+    let mut g = c.benchmark_group("sim_bandwidth");
+    g.sample_size(10);
+    for size in [64usize, 64 << 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| black_box(cluster.stream_bandwidth(0, 1, s, SendMode::WeaklyOrdered, 2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_boot, bench_pingpong, bench_bandwidth
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates the paper's **motivation argument** (§§I, III): cache
+//! coherency limits shared-memory scaling because every transaction probes
+//! every node and completes only on the last response, while TCCluster's
+//! non-coherent stores pay a flat cost per hop.
+//!
+//! Prints probe latency, probe bandwidth overhead and effective per-node
+//! write throughput for coherent domains of 2..=64 nodes, against the
+//! (constant) TCCluster message cost.
+
+use tcc_fabric::series::{Figure, Series};
+use tcc_opteron::coherence::{CoherentDomain, Topology};
+use tcc_opteron::UarchParams;
+
+fn main() {
+    let params = UarchParams::shanghai();
+    let link_bps = tcc_ht::link::LinkConfig::PROTOTYPE.effective_bytes_per_sec();
+
+    println!("Coherent shared memory vs TCCluster (why the paper drops coherency)\n");
+    println!(
+        "{:>6} {:>14} {:>18} {:>20} {:>22}",
+        "nodes", "topology", "probe latency", "probe B/transaction", "eff. write MB/s/node"
+    );
+
+    let mut fig = Figure::new(
+        "Coherency scaling",
+        "nodes",
+        "effective write MB/s per node",
+    );
+    let mut coherent = Series::new("coherent (MESI probes)");
+    let mut tcc = Series::new("TCCluster (non-coherent)");
+
+    for &n in &[2usize, 4, 8, 16, 32, 64] {
+        let topo = if n <= 8 {
+            Topology::FullyConnected
+        } else {
+            Topology::Mesh2D
+        };
+        let d = CoherentDomain::new(n, topo, params.clone());
+        let eff = d.effective_write_bandwidth(link_bps) / 1e6;
+        println!(
+            "{:>6} {:>14} {:>18} {:>20} {:>22.0}",
+            n,
+            format!("{topo:?}"),
+            format!("{}", d.probe_latency()),
+            d.probe_bytes_per_txn(),
+            eff
+        );
+        coherent.push(n as f64, eff);
+        // TCCluster: no probes — a 64 B store costs 72 wire bytes, flat.
+        tcc.push(n as f64, link_bps as f64 * 64.0 / 72.0 / 1e6);
+    }
+    fig.add(coherent);
+    fig.add(tcc);
+    println!("\n{fig}");
+
+    // The paper's claims, as assertions:
+    // (a) 8 nodes is where glueless coherent Opterons stop (probe cost
+    //     already dominates), (b) beyond ~32 nodes effective bandwidth
+    //     collapses by an order of magnitude.
+    let c = fig.get("coherent (MESI probes)").expect("series");
+    let t = fig.get("TCCluster (non-coherent)").expect("series");
+    let at2 = c.at(2.0).unwrap();
+    let at64 = c.at(64.0).unwrap();
+    assert!(at2 / at64 > 10.0, "collapse {:.1}x", at2 / at64);
+    assert!(t.at(64.0).unwrap() > 10.0 * at64, "TCC flat advantage");
+    println!("coherent 2->64 node effective-bandwidth collapse: {:.0}x", at2 / at64);
+    println!("ALL SCALING CLAIMS OK");
+}

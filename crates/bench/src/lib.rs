@@ -1,0 +1,148 @@
+//! # tcc-bench — experiment harnesses
+//!
+//! One binary per paper figure/table (see DESIGN.md's experiment index)
+//! plus Criterion microbenchmarks. This library holds the shared sweep
+//! and reporting helpers so every binary prints through the same
+//! [`tcc_fabric::series::Figure`] machinery that the tests assert on.
+
+use tcc_baseline::IbNic;
+use tcc_fabric::series::{Figure, Series};
+use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
+use tcc_msglib::SendMode;
+use tcc_opteron::UarchParams;
+use tccluster::SimCluster;
+
+/// DRAM per simulated node used by all experiments (1 MiB of exported
+/// window is plenty for rings + rendezvous zones).
+pub const DRAM: u64 = 1 << 20;
+
+/// The paper's prototype: two single-socket supernodes, one HT800 cable.
+pub fn prototype() -> SimCluster {
+    let spec = ClusterSpec::new(SupernodeSpec::new(1, DRAM), ClusterTopology::Pair);
+    SimCluster::boot(spec, UarchParams::shanghai())
+}
+
+/// Message-size sweep of Figure 6 (64 B … 4 MB, powers of two).
+pub fn fig6_sizes() -> Vec<usize> {
+    (6..=22).map(|p| 1usize << p).collect()
+}
+
+/// Message-size sweep of Figure 7 (64 B … 4 KB).
+pub fn fig7_sizes() -> Vec<usize> {
+    (6..=12).map(|p| 1usize << p).collect()
+}
+
+/// Iterations per point, scaled down for large messages so the sweep
+/// stays fast.
+pub fn iters_for(size: usize) -> u32 {
+    match size {
+        0..=4096 => 20,
+        4097..=262_144 => 8,
+        _ => 3,
+    }
+}
+
+/// Build the Figure 6 dataset: weakly ordered, strictly ordered, and the
+/// ConnectX reference, over `sizes`.
+pub fn figure6(cluster: &mut SimCluster, sizes: &[usize]) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 6 — TCCluster bandwidth (MB/s) vs message size (B)",
+        "bytes",
+        "MB/s",
+    );
+    let mut weak = Series::new("TCC weakly ordered");
+    let mut strict = Series::new("TCC strictly ordered");
+    let mut ib = Series::new("InfiniBand ConnectX");
+    let nic = IbNic::connectx();
+    for &s in sizes {
+        let it = iters_for(s);
+        weak.push(
+            s as f64,
+            cluster.stream_bandwidth(0, 1, s, SendMode::WeaklyOrdered, it),
+        );
+        strict.push(
+            s as f64,
+            cluster.stream_bandwidth(0, 1, s, SendMode::StrictlyOrdered, it),
+        );
+        ib.push(s as f64, nic.bandwidth_mb_s(s));
+    }
+    fig.add(weak);
+    fig.add(strict);
+    fig.add(ib);
+    fig
+}
+
+/// Build the Figure 7 dataset: TCCluster half-round-trip latency plus the
+/// ConnectX one-way reference, in nanoseconds.
+pub fn figure7(cluster: &mut SimCluster, sizes: &[usize]) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 7 — TCCluster half-round-trip latency (ns) vs message size (B)",
+        "bytes",
+        "ns",
+    );
+    let mut tcc = Series::new("TCCluster");
+    let mut ib = Series::new("InfiniBand ConnectX");
+    let nic = IbNic::connectx();
+    for &s in sizes {
+        tcc.push(s as f64, cluster.pingpong(0, 1, s, 50).nanos());
+        ib.push(s as f64, nic.latency(s).nanos());
+    }
+    fig.add(tcc);
+    fig.add(ib);
+    fig
+}
+
+/// Print a paper-vs-measured anchor line and return whether it is within
+/// `tol_frac` of the paper's value.
+pub fn check_anchor(name: &str, paper: f64, measured: f64, tol_frac: f64) -> bool {
+    let ok = (measured - paper).abs() <= paper * tol_frac;
+    println!(
+        "  {:<44} paper {:>9.1}   measured {:>9.1}   {}",
+        name,
+        paper,
+        measured,
+        if ok { "OK" } else { "DEVIATES" }
+    );
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_dataset_reproduces_paper_shape() {
+        let mut c = prototype();
+        let sizes = vec![64, 1024, 256 << 10, 4 << 20];
+        let fig = figure6(&mut c, &sizes);
+        let weak = fig.get("TCC weakly ordered").unwrap();
+        let strict = fig.get("TCC strictly ordered").unwrap();
+        let ib = fig.get("InfiniBand ConnectX").unwrap();
+
+        // Who wins: TCC beats IB everywhere, by >10x at 64 B.
+        for &(x, y) in &weak.points {
+            assert!(y > ib.at(x).unwrap(), "weak < IB at {x}");
+        }
+        assert!(weak.at(64.0).unwrap() / ib.at(64.0).unwrap() > 10.0);
+        // The artifact peak sits at 256 KB.
+        assert_eq!(weak.argmax(), Some((256 << 10) as f64));
+        // Strict plateaus near 2000 and stays below weak.
+        for &(x, y) in &strict.points {
+            assert!(y <= weak.at(x).unwrap() * 1.05, "strict above weak at {x}");
+        }
+    }
+
+    #[test]
+    fn fig7_dataset_reproduces_paper_shape() {
+        let mut c = prototype();
+        let sizes = vec![64, 1024];
+        let fig = figure7(&mut c, &sizes);
+        let tcc = fig.get("TCCluster").unwrap();
+        let ib = fig.get("InfiniBand ConnectX").unwrap();
+        // ~4-6x advantage at minimal size (paper: 227 ns vs ~1.4 us).
+        let ratio = ib.at(64.0).unwrap() / tcc.at(64.0).unwrap();
+        assert!(ratio > 4.0, "advantage only {ratio:.1}x");
+        // 1 KB still below 1 us.
+        assert!(tcc.at(1024.0).unwrap() < 1000.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The user-facing entry point: describe a TCCluster, then realise it as
+//! a packet-level simulation ([`SimCluster`]) or as a threaded
+//! shared-memory emulation ([`ShmCluster`]).
+
+use crate::shm_cluster::ShmCluster;
+use crate::sim::SimCluster;
+use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
+use tcc_ht::link::LinkConfig;
+use tcc_msglib::ring::SendMode;
+use tcc_opteron::UarchParams;
+
+/// Builder for TCCluster instances.
+#[derive(Debug, Clone)]
+pub struct TcclusterBuilder {
+    topology: ClusterTopology,
+    processors: usize,
+    dram_per_node: u64,
+    tcc_link: LinkConfig,
+    params: UarchParams,
+    mode: SendMode,
+}
+
+impl Default for TcclusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcclusterBuilder {
+    /// Defaults mirror the paper's prototype: two single-socket
+    /// supernodes joined by one HT800/16-bit cable.
+    pub fn new() -> Self {
+        TcclusterBuilder {
+            topology: ClusterTopology::Pair,
+            processors: 1,
+            dram_per_node: 1 << 20,
+            tcc_link: LinkConfig::PROTOTYPE,
+            params: UarchParams::shanghai(),
+            mode: SendMode::WeaklyOrdered,
+        }
+    }
+
+    pub fn topology(mut self, t: ClusterTopology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    pub fn processors_per_supernode(mut self, p: usize) -> Self {
+        self.processors = p;
+        self
+    }
+
+    /// Simulated DRAM per processor (power of two).
+    pub fn dram_per_node(mut self, bytes: u64) -> Self {
+        self.dram_per_node = bytes;
+        self
+    }
+
+    /// TCC cable configuration (e.g. [`LinkConfig::PROTOTYPE`] = HT800,
+    /// or [`LinkConfig::HT3_FULL`] for the backplane the paper projects).
+    pub fn tcc_link(mut self, cfg: LinkConfig) -> Self {
+        self.tcc_link = cfg;
+        self
+    }
+
+    pub fn params(mut self, p: UarchParams) -> Self {
+        self.params = p;
+        self
+    }
+
+    /// Send-ordering mode for the shared-memory backend.
+    pub fn send_mode(mut self, m: SendMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    pub fn spec(&self) -> ClusterSpec {
+        ClusterSpec::new(
+            SupernodeSpec::new(self.processors, self.dram_per_node),
+            self.topology,
+        )
+    }
+
+    /// Boot the packet-level simulation (runs the full §V firmware
+    /// sequence, including the remote-access self test).
+    pub fn build_sim(&self) -> SimCluster {
+        SimCluster::boot_with(self.spec(), self.params.clone(), self.tcc_link)
+    }
+
+    /// Build the threaded shared-memory emulation with one rank per
+    /// processor.
+    pub fn build_shm(&self) -> ShmCluster {
+        let ranks = self.spec().total_processors();
+        ShmCluster::new(ranks, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_the_prototype() {
+        let b = TcclusterBuilder::new();
+        let spec = b.spec();
+        assert_eq!(spec.supernode_count(), 2);
+        assert_eq!(spec.total_processors(), 2);
+    }
+
+    #[test]
+    fn builder_shapes_clusters() {
+        let b = TcclusterBuilder::new()
+            .topology(ClusterTopology::Mesh { x: 2, y: 2 })
+            .processors_per_supernode(2);
+        assert_eq!(b.spec().total_processors(), 8);
+        let shm = b.build_shm();
+        assert_eq!(shm.n(), 8);
+    }
+
+    #[test]
+    fn sim_builds_and_self_tests() {
+        let c = TcclusterBuilder::new().build_sim();
+        assert_eq!(c.boot.selftest_pairs, 2);
+    }
+}

@@ -1,0 +1,476 @@
+//! The simulated TCCluster: a booted [`Platform`] plus the paper's two
+//! microbenchmark drivers (§VI) — ping-pong latency and streaming
+//! bandwidth — reproduced at packet level over the Opteron/HT models.
+//!
+//! Measurement semantics follow the paper's methodology:
+//!
+//! * **Latency** (Fig. 7): a ping-pong kernel; the receiver polls an
+//!   uncacheable location, the half-round-trip time is reported. Polling
+//!   is modelled as back-to-back UC reads (`uc_read` apart) whose data
+//!   sample point is mid-flight; the poll phase is staggered across
+//!   iterations so the reported mean includes the expected residual wait.
+//! * **Bandwidth** (Fig. 6): per-message sender-side timing — the clock
+//!   stops when the core's last store has been *accepted by the on-chip
+//!   buffering*, not when the data reaches the far node. That is exactly
+//!   the artifact the paper names when explaining the 5300 MB/s point at
+//!   256 KB ("leverages caching structures within the Opteron and does not
+//!   reflect the bandwidth performance of the TCCluster link").
+
+use tcc_fabric::time::{Duration, SimTime};
+use tcc_firmware::machine::Platform;
+use tcc_firmware::tcc_boot::{boot, BootReport};
+use tcc_firmware::topology::ClusterSpec;
+use tcc_msglib::ring::{CELL_BYTES, CELL_PAYLOAD};
+use tcc_msglib::SendMode;
+use tcc_opteron::UarchParams;
+
+/// A booted, simulated TCCluster.
+pub struct SimCluster {
+    pub platform: Platform,
+    pub boot: BootReport,
+}
+
+/// Per-message software overhead of the message library (compose header,
+/// advance pointers). ~11 core cycles.
+const LIB_SEND_OVERHEAD: Duration = Duration(4_000);
+/// Software cost from poll success to the reply's first store issuing.
+const LIB_TURNAROUND: Duration = Duration(10_000);
+/// Rendezvous setup cost per large message (zone-credit check, descriptor
+/// composition, library bookkeeping).
+const RDVZ_HANDSHAKE: Duration = Duration(400_000);
+
+impl SimCluster {
+    /// Assemble and boot with the paper's HT800/16-bit cable.
+    pub fn boot(spec: ClusterSpec, params: UarchParams) -> Self {
+        Self::boot_with(spec, params, tcc_ht::link::LinkConfig::PROTOTYPE)
+    }
+
+    /// Assemble and boot with a specific TCC link configuration (e.g. the
+    /// full-speed backplane the paper projects for future work).
+    pub fn boot_with(
+        spec: ClusterSpec,
+        params: UarchParams,
+        tcc_link: tcc_ht::link::LinkConfig,
+    ) -> Self {
+        let mut platform = Platform::assemble(spec, params);
+        platform.tcc_target = tcc_link;
+        let boot = boot(&mut platform);
+        SimCluster { platform, boot }
+    }
+
+    pub fn spec(&self) -> ClusterSpec {
+        self.platform.spec
+    }
+
+    /// Start a fresh measurement epoch: drain every node's pipeline and
+    /// link occupancy (the boot sequence itself moved traffic and left
+    /// channel clocks far in the future).
+    pub fn reset_timebase(&mut self) {
+        for node in &mut self.platform.nodes {
+            node.quiesce();
+        }
+    }
+
+    /// Write one eager message of `len` payload bytes into the ring at
+    /// `base` (in the target's exported memory) from `node`, starting at
+    /// `at`. Returns (sender retire time, last-byte-visible time).
+    ///
+    /// `mode` selects the paper's two mechanisms: strictly ordered fences
+    /// after every cell; weakly ordered lets WC buffers coalesce freely.
+    /// `push_tail` issues a final fence so the last header leaves the WC
+    /// buffers (needed whenever someone waits for this message).
+    fn send_eager(
+        &mut self,
+        node: usize,
+        base: u64,
+        len: usize,
+        at: SimTime,
+        mode: SendMode,
+        push_tail: bool,
+    ) -> (SimTime, SimTime) {
+        let mut now = at + LIB_SEND_OVERHEAD;
+        let mut retire = now;
+        let mut visible = now;
+        let cells = len.div_ceil(CELL_PAYLOAD).max(1);
+        for c in 0..cells {
+            let cell_base = base + (c * CELL_BYTES) as u64;
+            let chunk = CELL_PAYLOAD.min(len - (c * CELL_PAYLOAD).min(len));
+            if chunk > 0 {
+                let out = self.platform.nodes[node].store(now, cell_base, &vec![0xD5u8; chunk]);
+                now = out.issued;
+                retire = retire.max(out.retire);
+                visible = visible.max(self.max_visible(node, out.actions));
+            }
+            // The header (8 B at the end of the cell).
+            let out = self.platform.nodes[node].store(
+                now,
+                cell_base + CELL_PAYLOAD as u64,
+                &[0xAD; 8],
+            );
+            now = out.issued;
+            retire = retire.max(out.retire);
+            visible = visible.max(self.max_visible(node, out.actions));
+            if mode == SendMode::StrictlyOrdered {
+                let f = self.platform.nodes[node].sfence(now);
+                now = f.retire;
+                retire = retire.max(f.retire);
+                visible = visible.max(self.max_visible(node, f.actions));
+            }
+        }
+        if push_tail && mode == SendMode::WeaklyOrdered {
+            let f = self.platform.nodes[node].sfence(now);
+            retire = retire.max(f.retire);
+            visible = visible.max(self.max_visible(node, f.actions));
+        }
+        (retire, visible)
+    }
+
+    fn max_visible(&mut self, node: usize, actions: Vec<tcc_opteron::Action>) -> SimTime {
+        self.platform
+            .propagate(node, actions)
+            .into_iter()
+            .map(|c| c.visible)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Model of the receive-side poll: back-to-back UC reads `uc_read`
+    /// apart, data sampled mid-flight, result available at read
+    /// completion. `stagger` (0..uc_read) is the phase of the poll loop
+    /// relative to the message's arrival.
+    fn poll_detect(&self, node: usize, visible: SimTime, stagger: Duration) -> SimTime {
+        let uc = self.platform.nodes[node].params.uc_read;
+        // The first sample point at or after `visible`, then half a round
+        // trip for the data to come back.
+        visible + stagger + Duration(uc.picos() / 2)
+    }
+
+    fn stagger(&self, node: usize, iter: u32) -> Duration {
+        let uc = self.platform.nodes[node].params.uc_read.picos();
+        Duration((iter as u64).wrapping_mul(6_967) % uc)
+    }
+
+    /// Paper Fig. 7: mean half-round-trip latency of `size`-byte messages
+    /// between global processors `a` and `b`.
+    pub fn pingpong(&mut self, a: usize, b: usize, size: usize, iters: u32) -> Duration {
+        self.reset_timebase();
+        let spec = self.spec();
+        let (sa, pa) = (a / spec.supernode.processors, a % spec.supernode.processors);
+        let (sb, pb) = (b / spec.supernode.processors, b % spec.supernode.processors);
+        let ring_at_b = spec.node_base(sb, pb); // ping lands at B's ring
+        let ring_at_a = spec.node_base(sa, pa) + 0x1000; // pong ring at A
+        let mut t = SimTime::ZERO;
+        let mut total = Duration::ZERO;
+        for iter in 0..iters {
+            let t0 = t;
+            let (_, vis_b) =
+                self.send_eager(a, ring_at_b, size, t0, SendMode::WeaklyOrdered, true);
+            let got_b = self.poll_detect(b, vis_b, self.stagger(b, iter));
+            let reply_at = got_b + LIB_TURNAROUND;
+            let (_, vis_a) =
+                self.send_eager(b, ring_at_a, size, reply_at, SendMode::WeaklyOrdered, true);
+            let got_a = self.poll_detect(a, vis_a, self.stagger(a, iter.wrapping_add(13)));
+            total += got_a - t0;
+            // Idle gap before the next iteration lets queues drain.
+            t = got_a + Duration::from_nanos(500);
+        }
+        Duration(total.picos() / (2 * iters as u64))
+    }
+
+    /// Paper Fig. 6: sender-side streaming bandwidth in MB/s for
+    /// `size`-byte messages from `a` to `b`.
+    ///
+    /// Methodology mirrors the paper's microbenchmark:
+    ///
+    /// * **eager sizes** (≤ [`tcc_msglib::MAX_EAGER`]) are streamed
+    ///   back-to-back until the flow is steady — the ring's credit window
+    ///   makes the link the bottleneck, so the curve sits at wire goodput
+    ///   (~2500 MB/s at 64 B);
+    /// * **rendezvous sizes** are timed per message with the pipeline
+    ///   drained in between, stopping the clock when the last store is
+    ///   accepted by the on-chip buffering. That is the sender-side
+    ///   measurement the paper itself flags at 256 KB: the burst is
+    ///   absorbed faster than the link drains, "leveraging caching
+    ///   structures within the Opteron".
+    pub fn stream_bandwidth(
+        &mut self,
+        a: usize,
+        b: usize,
+        size: usize,
+        mode: SendMode,
+        iters: u32,
+    ) -> f64 {
+        self.reset_timebase();
+        let spec = self.spec();
+        let (sb, pb) = (b / spec.supernode.processors, b % spec.supernode.processors);
+        let dst_base = spec.node_base(sb, pb);
+        if size <= tcc_msglib::MAX_EAGER {
+            // Stream messages back to back; measure the steady state by
+            // timing only the second half, after the absorption window
+            // has filled and the link is pacing the sender.
+            let window = self.platform.nodes[a].params.absorb_capacity_bytes as usize;
+            let count = (iters as usize).max((8 * window) / size.max(1)).min(65_536);
+            let mut now = SimTime::ZERO;
+            let mut retire = SimTime::ZERO;
+            let mut mid_retire = SimTime::ZERO;
+            for i in 0..count {
+                // Consecutive ring cells, wrapping over a 4 KB ring.
+                let cells = size.div_ceil(CELL_PAYLOAD).max(1);
+                let slot = (i * cells) % tcc_msglib::ring::RING_CELLS;
+                let base = dst_base + (slot * CELL_BYTES) as u64;
+                let (r, _) = self.send_eager_from(a, base, size, &mut now, mode);
+                retire = retire.max(r);
+                if i + 1 == count / 2 {
+                    mid_retire = retire;
+                }
+            }
+            let second_half = count - count / 2;
+            (size * second_half) as f64
+                / (retire.since(mid_retire).picos() as f64 / 1e12)
+                / 1e6
+        } else {
+            let mut t = SimTime::ZERO;
+            let mut sum_ps = 0.0;
+            for _ in 0..iters {
+                let t0 = t;
+                let (retire, visible) =
+                    self.send_rendezvous(a, dst_base + 0x1000, size, t0, mode);
+                sum_ps += retire.since(t0).picos() as f64;
+                // Drain fully before the next message (per-message timing).
+                t = retire.max(visible) + Duration::from_micros(2);
+            }
+            size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
+        }
+    }
+
+    /// Eager send chained on a running issue clock (`now` is advanced to
+    /// where the next message may begin issuing).
+    fn send_eager_from(
+        &mut self,
+        node: usize,
+        base: u64,
+        len: usize,
+        now: &mut SimTime,
+        mode: SendMode,
+    ) -> (SimTime, SimTime) {
+        let mut retire = *now;
+        let mut visible = *now;
+        let cells = len.div_ceil(CELL_PAYLOAD).max(1);
+        for c in 0..cells {
+            let cell_base = base + (c * CELL_BYTES) as u64;
+            let chunk = CELL_PAYLOAD.min(len - (c * CELL_PAYLOAD).min(len));
+            if chunk > 0 {
+                let out = self.platform.nodes[node].store(*now, cell_base, &vec![0xD5u8; chunk]);
+                *now = out.issued;
+                retire = retire.max(out.retire);
+                visible = visible.max(self.max_visible(node, out.actions));
+            }
+            let out =
+                self.platform.nodes[node].store(*now, cell_base + CELL_PAYLOAD as u64, &[0xAD; 8]);
+            *now = out.issued;
+            retire = retire.max(out.retire);
+            visible = visible.max(self.max_visible(node, out.actions));
+            if mode == SendMode::StrictlyOrdered {
+                let f = self.platform.nodes[node].sfence(*now);
+                *now = f.retire;
+                retire = retire.max(f.retire);
+                visible = visible.max(self.max_visible(node, f.actions));
+            }
+        }
+        (retire, visible)
+    }
+
+    /// Ablation harness (sfence-interval sweep): like the weakly ordered
+    /// send, but an `sfence` is issued every `every` cells (0 = never,
+    /// 1 = the paper's strictly ordered mechanism). Returns MB/s.
+    pub fn bandwidth_fence_interval(
+        &mut self,
+        a: usize,
+        b: usize,
+        size: usize,
+        every: usize,
+        iters: u32,
+    ) -> f64 {
+        self.reset_timebase();
+        let spec = self.spec();
+        let (sb, pb) = (b / spec.supernode.processors, b % spec.supernode.processors);
+        let dst = spec.node_base(sb, pb);
+        let mut t = SimTime::ZERO;
+        let mut sum_ps = 0.0;
+        for _ in 0..iters {
+            let t0 = t + LIB_SEND_OVERHEAD;
+            let mut now = t0;
+            let mut retire = now;
+            let cells = size.div_ceil(CELL_PAYLOAD).max(1);
+            for c in 0..cells {
+                let base = dst + (c * CELL_BYTES) as u64;
+                let chunk = CELL_PAYLOAD.min(size - (c * CELL_PAYLOAD).min(size));
+                let out = self.platform.nodes[a].store(now, base, &vec![0u8; chunk.max(1)]);
+                now = out.issued;
+                retire = retire.max(out.retire);
+                self.max_visible(a, out.actions);
+                if every > 0 && (c + 1) % every == 0 {
+                    let f = self.platform.nodes[a].sfence(now);
+                    now = f.retire;
+                    retire = retire.max(f.retire);
+                    self.max_visible(a, f.actions);
+                }
+            }
+            sum_ps += (retire - t0).picos() as f64;
+            t = retire + Duration::from_micros(2);
+        }
+        size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
+    }
+
+    /// Ablation harness (write combining on/off): with WC disabled the
+    /// remote window is mapped uncacheable, so every 8-byte store becomes
+    /// its own serialised HT packet — the paper's §VI rationale for
+    /// "intensive use of the write combining capability". Returns MB/s.
+    pub fn bandwidth_without_wc(&mut self, a: usize, b: usize, size: usize, iters: u32) -> f64 {
+        self.reset_timebase();
+        let spec = self.spec();
+        let (sb, pb) = (b / spec.supernode.processors, b % spec.supernode.processors);
+        let dst = spec.node_base(sb, pb);
+        // Remap the remote slice UC on the sender.
+        let saved = self.platform.nodes[a].mtrrs.clone();
+        self.platform.nodes[a].mtrrs.clear();
+        self.platform.nodes[a].mtrrs.program(
+            dst,
+            dst + spec.supernode.slice_bytes(),
+            tcc_opteron::MemType::Uncacheable,
+        );
+        let mut t = SimTime::ZERO;
+        let mut sum_ps = 0.0;
+        for _ in 0..iters {
+            let t0 = t + LIB_SEND_OVERHEAD;
+            let mut now = t0;
+            let mut retire = now;
+            for off in (0..size as u64).step_by(8) {
+                let out = self.platform.nodes[a].store(now, dst + off, &[0u8; 8]);
+                now = out.issued;
+                retire = retire.max(out.retire);
+                self.max_visible(a, out.actions);
+            }
+            sum_ps += (retire - t0).picos() as f64;
+            t = retire + Duration::from_micros(2);
+        }
+        self.platform.nodes[a].mtrrs = saved;
+        size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
+    }
+
+    /// One-sided rendezvous: raw payload streamed to the landing zone in
+    /// 64 B lines, then an 8 B descriptor. Payload larger than the zone is
+    /// chunked, each chunk gated by zone reuse (the sender must wait for
+    /// the previous lap to drain — modelled by the absorption window).
+    fn send_rendezvous(
+        &mut self,
+        node: usize,
+        zone_base: u64,
+        len: usize,
+        at: SimTime,
+        mode: SendMode,
+    ) -> (SimTime, SimTime) {
+        // Rendezvous setup: zone-credit check and descriptor preparation
+        // through the library (~400 ns of software per large message).
+        let mut now = at + RDVZ_HANDSHAKE + LIB_SEND_OVERHEAD;
+        let mut retire = now;
+        let mut visible = now;
+        let zone = tcc_msglib::RDVZ_BYTES as usize;
+        let mut sent = 0usize;
+        while sent < len {
+            let n = CELL_PAYLOAD.min(len - sent);
+            let addr = zone_base + (sent % zone) as u64;
+            let out = self.platform.nodes[node].store(now, addr, &vec![0xB6u8; n]);
+            now = out.issued;
+            retire = retire.max(out.retire);
+            visible = visible.max(self.max_visible(node, out.actions));
+            if mode == SendMode::StrictlyOrdered {
+                // Paper §VI: "after each cache line sized store operation
+                // an Sfence instruction is triggered".
+                let f = self.platform.nodes[node].sfence(now);
+                now = f.retire;
+                retire = retire.max(f.retire);
+                visible = visible.max(self.max_visible(node, f.actions));
+            }
+            sent += n;
+        }
+        // Descriptor through the ring (one header-sized store + fence).
+        let out = self.platform.nodes[node].store(now, zone_base - 0x1000, &[1u8; 8]);
+        retire = retire.max(out.retire);
+        let f = self.platform.nodes[node].sfence(out.issued);
+        retire = retire.max(f.retire);
+        visible = visible.max(self.max_visible(node, f.actions));
+        (retire, visible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_firmware::topology::{ClusterTopology, SupernodeSpec};
+
+    const MB: u64 = 1 << 20;
+
+    fn pair() -> SimCluster {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        SimCluster::boot(spec, UarchParams::shanghai())
+    }
+
+    #[test]
+    fn headline_latency_64b_is_about_227ns() {
+        let mut c = pair();
+        let lat = c.pingpong(0, 1, 64, 50);
+        let ns = lat.nanos();
+        assert!(
+            (ns - 227.0).abs() < 25.0,
+            "64 B half-RTT = {ns:.1} ns (paper: 227 ns)"
+        );
+    }
+
+    #[test]
+    fn latency_1kb_below_1us() {
+        let mut c = pair();
+        let lat = c.pingpong(0, 1, 1024, 20);
+        assert!(lat.micros() < 1.0, "1 KB half-RTT = {lat}");
+        assert!(lat.nanos() > 300.0, "sanity: bigger than 64 B");
+    }
+
+    #[test]
+    fn weak_bandwidth_64b_about_2500() {
+        let mut c = pair();
+        let bw = c.stream_bandwidth(0, 1, 64, SendMode::WeaklyOrdered, 20);
+        assert!(
+            (bw - 2500.0).abs() < 400.0,
+            "64 B weak bandwidth = {bw:.0} MB/s (paper: ~2500)"
+        );
+    }
+
+    #[test]
+    fn strict_bandwidth_plateaus_near_2000() {
+        let mut c = pair();
+        let bw = c.stream_bandwidth(0, 1, 4096, SendMode::StrictlyOrdered, 10);
+        assert!(
+            (bw - 2000.0).abs() < 300.0,
+            "strict bandwidth = {bw:.0} MB/s (paper: ~2000)"
+        );
+    }
+
+    #[test]
+    fn weak_peak_at_256k_exceeds_5000() {
+        let mut c = pair();
+        let bw = c.stream_bandwidth(0, 1, 256 << 10, SendMode::WeaklyOrdered, 5);
+        assert!(
+            bw > 5000.0 && bw < 5800.0,
+            "256 KB weak bandwidth = {bw:.0} MB/s (paper: ~5300)"
+        );
+    }
+
+    #[test]
+    fn weak_large_declines_toward_sustained() {
+        let mut c = pair();
+        let peak = c.stream_bandwidth(0, 1, 256 << 10, SendMode::WeaklyOrdered, 3);
+        let big = c.stream_bandwidth(0, 1, 4 << 20, SendMode::WeaklyOrdered, 3);
+        assert!(big < peak * 0.65, "peak {peak:.0}, 4 MB {big:.0}");
+        assert!(big > 2500.0, "sustained stays near link rate: {big:.0}");
+    }
+}

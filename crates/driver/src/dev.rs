@@ -1,0 +1,267 @@
+//! The `/dev/tcc` character-device model (paper §V "Enabling Remote
+//! Access" / §VI "a Linux driver which can map remote TCCluster memory
+//! addresses into the user space").
+//!
+//! The device refuses to open on a kernel that fails the TCCluster audit,
+//! knows the booted cluster's address layout, and services the two mmap
+//! requests the message library needs — remote windows (write-only,
+//! write-combining) and local exported windows (uncacheable) — with full
+//! bounds validation against the global address map.
+
+use crate::kernel::{audit, KernelConfig, Violation};
+use crate::vm::{AddressSpace, Backing, CacheAttr, MapError, Prot, PAGE};
+use tcc_firmware::topology::ClusterSpec;
+
+/// Errors from device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Kernel failed the load-time audit.
+    KernelNotReady(Vec<Violation>),
+    /// Target node does not exist.
+    NoSuchNode { supernode: usize, processor: usize },
+    /// Mapping one's own node as "remote" (would route to local DRAM and
+    /// bypass the UC rules — a driver must refuse).
+    SelfRemote,
+    /// Window outside the target's exported slice.
+    OutOfWindow { offset: u64, len: u64 },
+    Vm(MapError),
+}
+
+impl From<MapError> for DevError {
+    fn from(e: MapError) -> Self {
+        DevError::Vm(e)
+    }
+}
+
+impl core::fmt::Display for DevError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DevError::KernelNotReady(v) => write!(f, "kernel not TCCluster-ready: {v:?}"),
+            DevError::NoSuchNode { supernode, processor } => {
+                write!(f, "no node at supernode {supernode} processor {processor}")
+            }
+            DevError::SelfRemote => write!(f, "refusing to map own memory as remote"),
+            DevError::OutOfWindow { offset, len } => {
+                write!(f, "window [{offset:#x}+{len:#x}) exceeds exported slice")
+            }
+            DevError::Vm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+/// An open device on one node.
+#[derive(Debug)]
+pub struct TccDevice {
+    spec: ClusterSpec,
+    /// (supernode, processor) of the node this device runs on.
+    pub supernode: usize,
+    pub processor: usize,
+}
+
+/// Topology info returned by the query ioctl.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyInfo {
+    pub supernodes: usize,
+    pub processors_per_supernode: usize,
+    pub my_rank: usize,
+    pub exported_bytes: u64,
+}
+
+impl TccDevice {
+    /// `open("/dev/tcc")` — fails unless the kernel passed the audit.
+    pub fn open(
+        spec: ClusterSpec,
+        supernode: usize,
+        processor: usize,
+        kernel: &KernelConfig,
+    ) -> Result<Self, DevError> {
+        let violations = audit(kernel);
+        if !violations.is_empty() {
+            return Err(DevError::KernelNotReady(violations));
+        }
+        if supernode >= spec.supernode_count() || processor >= spec.supernode.processors {
+            return Err(DevError::NoSuchNode {
+                supernode,
+                processor,
+            });
+        }
+        Ok(TccDevice {
+            spec,
+            supernode,
+            processor,
+        })
+    }
+
+    /// The topology-query ioctl.
+    pub fn topology(&self) -> TopologyInfo {
+        TopologyInfo {
+            supernodes: self.spec.supernode_count(),
+            processors_per_supernode: self.spec.supernode.processors,
+            my_rank: self.spec.proc_index(self.supernode, self.processor),
+            exported_bytes: self.spec.supernode.dram_per_node,
+        }
+    }
+
+    /// Map `[offset, offset+len)` of a peer node's exported slice at user
+    /// VA `va`: write-only, write-combining — the send window.
+    pub fn map_remote(
+        &self,
+        aspace: &mut AddressSpace,
+        va: u64,
+        supernode: usize,
+        processor: usize,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), DevError> {
+        if supernode >= self.spec.supernode_count()
+            || processor >= self.spec.supernode.processors
+        {
+            return Err(DevError::NoSuchNode {
+                supernode,
+                processor,
+            });
+        }
+        if (supernode, processor) == (self.supernode, self.processor) {
+            return Err(DevError::SelfRemote);
+        }
+        self.check_window(offset, len)?;
+        let global = self.spec.node_base(supernode, processor) + offset;
+        aspace.mmap(
+            va,
+            len,
+            Backing::Remote { global_addr: global },
+            Prot::WO,
+            CacheAttr::WriteCombining,
+        )?;
+        Ok(())
+    }
+
+    /// Map `[offset, offset+len)` of this node's exported slice at `va`:
+    /// readable, uncacheable — the receive window.
+    pub fn map_local(
+        &self,
+        aspace: &mut AddressSpace,
+        va: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), DevError> {
+        self.check_window(offset, len)?;
+        aspace.mmap(
+            va,
+            len,
+            Backing::LocalExported { offset },
+            Prot::RW,
+            CacheAttr::Uncacheable,
+        )?;
+        Ok(())
+    }
+
+    fn check_window(&self, offset: u64, len: u64) -> Result<(), DevError> {
+        let slice = self.spec.supernode.dram_per_node;
+        if offset % PAGE != 0 || len == 0 || offset + len > slice {
+            return Err(DevError::OutOfWindow { offset, len });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_firmware::topology::{ClusterTopology, SupernodeSpec};
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::new(SupernodeSpec::new(2, 1 << 20), ClusterTopology::Pair)
+    }
+
+    fn dev() -> TccDevice {
+        TccDevice::open(spec(), 0, 0, &KernelConfig::tcc_2_6_34()).unwrap()
+    }
+
+    #[test]
+    fn stock_kernel_cannot_open() {
+        let err = TccDevice::open(spec(), 0, 0, &KernelConfig::stock_2_6_34());
+        assert!(matches!(err, Err(DevError::KernelNotReady(_))));
+    }
+
+    #[test]
+    fn topology_query() {
+        let t = dev().topology();
+        assert_eq!(t.supernodes, 2);
+        assert_eq!(t.processors_per_supernode, 2);
+        assert_eq!(t.my_rank, 0);
+        assert_eq!(t.exported_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn remote_mapping_end_to_end() {
+        let d = dev();
+        let mut aspace = AddressSpace::new();
+        d.map_remote(&mut aspace, 0x10_0000, 1, 0, 2 * PAGE, 8 * PAGE)
+            .unwrap();
+        // A store into the window translates to the peer's global slice.
+        let global_base = spec().node_base(1, 0) + 2 * PAGE;
+        assert_eq!(
+            aspace.store_translate(0x10_0000 + 0x18).unwrap(),
+            Backing::Remote {
+                global_addr: global_base + 0x18
+            }
+        );
+        // Loads fault — the write-only contract, enforced in software.
+        assert!(matches!(
+            aspace.load_translate(0x10_0000),
+            Err(MapError::Protection(_))
+        ));
+    }
+
+    #[test]
+    fn self_remote_refused() {
+        let d = dev();
+        let mut aspace = AddressSpace::new();
+        assert_eq!(
+            d.map_remote(&mut aspace, 0x10_0000, 0, 0, 0, PAGE),
+            Err(DevError::SelfRemote)
+        );
+    }
+
+    #[test]
+    fn window_bounds_enforced() {
+        let d = dev();
+        let mut aspace = AddressSpace::new();
+        assert!(matches!(
+            d.map_remote(&mut aspace, 0x10_0000, 1, 1, 1 << 20, PAGE),
+            Err(DevError::OutOfWindow { .. })
+        ));
+        assert!(matches!(
+            d.map_local(&mut aspace, 0x20_0000, (1 << 20) - 2048, PAGE),
+            Err(DevError::OutOfWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn local_mapping_is_uc_and_readable() {
+        let d = dev();
+        let mut aspace = AddressSpace::new();
+        d.map_local(&mut aspace, 0x20_0000, 0, 4 * PAGE).unwrap();
+        assert_eq!(
+            aspace.load_translate(0x20_0000 + 64).unwrap(),
+            Backing::LocalExported { offset: 64 }
+        );
+        assert_eq!(
+            aspace.store_translate(0x20_0000 + 64).unwrap(),
+            Backing::LocalExported { offset: 64 }
+        );
+    }
+
+    #[test]
+    fn nonexistent_peer_refused() {
+        let d = dev();
+        let mut aspace = AddressSpace::new();
+        assert!(matches!(
+            d.map_remote(&mut aspace, 0, 7, 0, 0, PAGE),
+            Err(DevError::NoSuchNode { .. })
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! The custom-kernel requirement (paper §VI): "Within the HyperTransport
+//! fabric interrupts are broadcasted to inform coherent and non-coherent
+//! devices … It is required to avoid broadcasting of interrupts over
+//! TCCluster as interrupts have to be handled within the system and must
+//! not be sent over the network. Therefore, all system management calls
+//! (SMC) need to be disabled which can only be achieved with a custom
+//! kernel."
+//!
+//! This module models the kernel configuration and its audit: the driver
+//! refuses to enable remote access on a kernel that would inject
+//! broadcast traffic into the fabric, and a demonstration shows what a
+//! spurious SMC broadcast would do to a remote node if it escaped.
+
+/// Kernel features relevant to TCCluster.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Kernel release string.
+    pub release: String,
+    /// System-management calls enabled (generate fabric broadcasts).
+    pub smc_enabled: bool,
+    /// IPI broadcast shortcuts (logical destination "all including self").
+    pub broadcast_ipis: bool,
+    /// MCE broadcast on machine checks.
+    pub mce_broadcast: bool,
+    /// The TCCluster driver is present.
+    pub tcc_driver: bool,
+}
+
+impl KernelConfig {
+    /// A stock distribution kernel of the era.
+    pub fn stock_2_6_34() -> Self {
+        KernelConfig {
+            release: "2.6.34".into(),
+            smc_enabled: true,
+            broadcast_ipis: true,
+            mce_broadcast: true,
+            tcc_driver: false,
+        }
+    }
+
+    /// The paper's patched kernel: "we needed to compile our own kernel
+    /// to comply with a limitation of TCCluster caused by interrupts."
+    pub fn tcc_2_6_34() -> Self {
+        KernelConfig {
+            release: "2.6.34-tcc".into(),
+            smc_enabled: false,
+            broadcast_ipis: false,
+            mce_broadcast: false,
+            tcc_driver: true,
+        }
+    }
+}
+
+/// One reason a kernel cannot run TCCluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    SmcEnabled,
+    BroadcastIpis,
+    MceBroadcast,
+    DriverMissing,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Violation::SmcEnabled => {
+                "system-management calls enabled: SMC broadcasts would enter the fabric"
+            }
+            Violation::BroadcastIpis => {
+                "broadcast IPIs enabled: wake-up interrupts would target all NodeIDs"
+            }
+            Violation::MceBroadcast => {
+                "machine-check broadcast enabled: an MCE would fan out as a fabric broadcast"
+            }
+            Violation::DriverMissing => "tcc driver not built into this kernel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Audit a kernel for TCCluster readiness.
+pub fn audit(cfg: &KernelConfig) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if cfg.smc_enabled {
+        v.push(Violation::SmcEnabled);
+    }
+    if cfg.broadcast_ipis {
+        v.push(Violation::BroadcastIpis);
+    }
+    if cfg.mce_broadcast {
+        v.push(Violation::MceBroadcast);
+    }
+    if !cfg.tcc_driver {
+        v.push(Violation::DriverMissing);
+    }
+    v
+}
+
+/// Does this kernel pass the driver's load-time check?
+pub fn tccluster_ready(cfg: &KernelConfig) -> bool {
+    audit(cfg).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_kernel_fails_audit() {
+        let v = audit(&KernelConfig::stock_2_6_34());
+        assert!(v.contains(&Violation::SmcEnabled));
+        assert!(v.contains(&Violation::DriverMissing));
+        assert_eq!(v.len(), 4);
+        assert!(!tccluster_ready(&KernelConfig::stock_2_6_34()));
+    }
+
+    #[test]
+    fn patched_kernel_passes() {
+        assert!(tccluster_ready(&KernelConfig::tcc_2_6_34()));
+    }
+
+    #[test]
+    fn violations_explain_themselves() {
+        for v in audit(&KernelConfig::stock_2_6_34()) {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+
+    #[test]
+    fn smc_broadcast_is_contained_by_firmware_but_must_not_be_generated() {
+        // Defence in depth: even with the firmware's broadcast masks a
+        // kernel SMC would waste fabric cycles and, on a mis-programmed
+        // node, reach the far machine as a spurious interrupt. Show both
+        // halves with the northbridge model.
+        use tcc_opteron::nb::{Disposition, Northbridge, Source};
+        use tcc_opteron::regs::{LinkId, NodeId};
+        use tcc_ht::packet::{Command, Packet, UnitId};
+
+        let intr = Packet::control(Command::Broadcast {
+            unit: UnitId::HOST,
+            addr: 0xFEE0_0000,
+        });
+
+        // Correctly booted node: filtered.
+        let mut good = Northbridge::new(NodeId(0));
+        good.broadcast_enable = [false; 4];
+        assert!(matches!(
+            good.dispose(&intr, Source::Core).unwrap(),
+            Disposition::Filtered { .. }
+        ));
+
+        // Mis-programmed node (stock firmware): the SMC escapes over the
+        // TCC link — this is exactly the failure the custom kernel
+        // prevents at the source.
+        let mut bad = Northbridge::new(NodeId(0));
+        bad.broadcast_enable = [false, false, true, false]; // link2 = TCC
+        match bad.dispose(&intr, Source::Core).unwrap() {
+            Disposition::Forward { link } => assert_eq!(link, LinkId(2)),
+            other => panic!("expected escape, got {other:?}"),
+        }
+    }
+}

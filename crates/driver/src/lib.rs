@@ -1,0 +1,22 @@
+//! # tcc-driver — the TCCluster operating-system layer
+//!
+//! The paper's software stack between firmware and the message library: a
+//! custom Linux kernel (interrupt/SMC broadcasts disabled, §VI) and a
+//! device driver that maps remote TCCluster windows into user space
+//! page-wise (§V):
+//!
+//! * [`kernel`] — kernel-configuration audit: the driver refuses to run
+//!   where SMC/IPI/MCE broadcasts could enter the fabric.
+//! * [`vm`] — page-granular mappings with the attribute rules the trick
+//!   requires (remote = write-only + write-combining, exported receive
+//!   buffers = uncacheable), each violation matching a real failure mode.
+//! * [`dev`] — the `/dev/tcc` model: topology query, `map_remote`,
+//!   `map_local`, bounds-checked against the booted global address map.
+
+pub mod dev;
+pub mod kernel;
+pub mod vm;
+
+pub use dev::{DevError, TccDevice, TopologyInfo};
+pub use kernel::{audit, tccluster_ready, KernelConfig, Violation};
+pub use vm::{AddressSpace, Backing, CacheAttr, MapError, Prot, PAGE};

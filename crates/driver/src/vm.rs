@@ -1,0 +1,335 @@
+//! Page-granular virtual-memory mapping (paper §V: "The API requests page
+//! wise memory mapping of remote addresses into user space").
+//!
+//! The driver maps two kinds of pages into a process:
+//!
+//! * **remote pages** — windows onto another node's exported memory.
+//!   They must be write-only (the fabric routes no read responses) and
+//!   write-combining (so stores coalesce into 64 B HT packets);
+//! * **local exported pages** — this node's receive buffers. They must be
+//!   uncacheable (incoming posted writes cannot invalidate caches) and
+//!   readable.
+//!
+//! The model tracks mappings per process and enforces the attribute rules
+//! the real driver derives from the MTRRs/PAT; every violation the tests
+//! provoke corresponds to a real crash or data-corruption mode.
+
+use std::collections::BTreeMap;
+
+/// Page size (x86-64 4 KiB pages).
+pub const PAGE: u64 = 4096;
+
+/// Access protection of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prot {
+    pub read: bool,
+    pub write: bool,
+}
+
+impl Prot {
+    pub const WO: Prot = Prot {
+        read: false,
+        write: true,
+    };
+    pub const RW: Prot = Prot {
+        read: true,
+        write: true,
+    };
+    pub const RO: Prot = Prot {
+        read: true,
+        write: false,
+    };
+}
+
+/// Page cache attribute (derived from MTRR/PAT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAttr {
+    WriteBack,
+    Uncacheable,
+    WriteCombining,
+}
+
+/// What a virtual page maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// A remote node's exported window (global physical address).
+    Remote { global_addr: u64 },
+    /// This node's exported DRAM (local physical offset).
+    LocalExported { offset: u64 },
+    /// Ordinary anonymous memory.
+    Anon,
+}
+
+/// One mapping record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    pub backing: Backing,
+    pub prot: Prot,
+    pub attr: CacheAttr,
+}
+
+/// Mapping errors — each is a real failure mode of the hardware trick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    Unaligned(u64),
+    Overlap(u64),
+    /// Remote pages must be write-only: a load would allocate a SrcTag
+    /// whose response can never route back (machine hang).
+    RemoteMustBeWriteOnly,
+    /// Remote pages must be WC (or at least UC); WB would let the cache
+    /// satisfy loads and reorder stores arbitrarily.
+    RemoteMustBeWriteCombining,
+    /// Local exported pages must be UC: a WB mapping reads stale cache
+    /// lines because incoming posted writes do not invalidate.
+    ExportedMustBeUncacheable,
+    NotMapped(u64),
+    Protection(u64),
+}
+
+impl core::fmt::Display for MapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MapError::Unaligned(a) => write!(f, "address {a:#x} not page aligned"),
+            MapError::Overlap(a) => write!(f, "page {a:#x} already mapped"),
+            MapError::RemoteMustBeWriteOnly => {
+                write!(f, "remote window mapped readable: loads cannot complete over a TCC link")
+            }
+            MapError::RemoteMustBeWriteCombining => {
+                write!(f, "remote window must be write-combining")
+            }
+            MapError::ExportedMustBeUncacheable => {
+                write!(f, "exported receive buffer must be uncacheable")
+            }
+            MapError::NotMapped(a) => write!(f, "no mapping at {a:#x}"),
+            MapError::Protection(a) => write!(f, "protection fault at {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// One process's TCCluster-relevant address space.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<u64, Mapping>,
+}
+
+impl AddressSpace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map `len` bytes at user VA `va`.
+    pub fn mmap(
+        &mut self,
+        va: u64,
+        len: u64,
+        backing: Backing,
+        prot: Prot,
+        attr: CacheAttr,
+    ) -> Result<(), MapError> {
+        if va % PAGE != 0 || len % PAGE != 0 || len == 0 {
+            return Err(MapError::Unaligned(va));
+        }
+        // The driver's attribute rules.
+        match backing {
+            Backing::Remote { .. } => {
+                if prot.read {
+                    return Err(MapError::RemoteMustBeWriteOnly);
+                }
+                if attr != CacheAttr::WriteCombining {
+                    return Err(MapError::RemoteMustBeWriteCombining);
+                }
+            }
+            Backing::LocalExported { .. } => {
+                if attr != CacheAttr::Uncacheable {
+                    return Err(MapError::ExportedMustBeUncacheable);
+                }
+            }
+            Backing::Anon => {}
+        }
+        // No overlaps.
+        for page in (va..va + len).step_by(PAGE as usize) {
+            if self.pages.contains_key(&page) {
+                return Err(MapError::Overlap(page));
+            }
+        }
+        for (i, page) in (va..va + len).step_by(PAGE as usize).enumerate() {
+            let backing = match backing {
+                Backing::Remote { global_addr } => Backing::Remote {
+                    global_addr: global_addr + i as u64 * PAGE,
+                },
+                Backing::LocalExported { offset } => Backing::LocalExported {
+                    offset: offset + i as u64 * PAGE,
+                },
+                Backing::Anon => Backing::Anon,
+            };
+            self.pages.insert(page, Mapping { backing, prot, attr });
+        }
+        Ok(())
+    }
+
+    pub fn munmap(&mut self, va: u64, len: u64) -> Result<(), MapError> {
+        if va % PAGE != 0 || len % PAGE != 0 {
+            return Err(MapError::Unaligned(va));
+        }
+        for page in (va..va + len).step_by(PAGE as usize) {
+            self.pages.remove(&page).ok_or(MapError::NotMapped(page))?;
+        }
+        Ok(())
+    }
+
+    /// Translate a user store: returns the backing target.
+    pub fn store_translate(&self, va: u64) -> Result<Backing, MapError> {
+        let m = self.lookup(va)?;
+        if !m.prot.write {
+            return Err(MapError::Protection(va));
+        }
+        Ok(self.offset_backing(va, m))
+    }
+
+    /// Translate a user load.
+    pub fn load_translate(&self, va: u64) -> Result<Backing, MapError> {
+        let m = self.lookup(va)?;
+        if !m.prot.read {
+            return Err(MapError::Protection(va));
+        }
+        Ok(self.offset_backing(va, m))
+    }
+
+    fn lookup(&self, va: u64) -> Result<Mapping, MapError> {
+        let page = va & !(PAGE - 1);
+        self.pages.get(&page).copied().ok_or(MapError::NotMapped(va))
+    }
+
+    fn offset_backing(&self, va: u64, m: Mapping) -> Backing {
+        let in_page = va & (PAGE - 1);
+        match m.backing {
+            Backing::Remote { global_addr } => Backing::Remote {
+                global_addr: global_addr + in_page,
+            },
+            Backing::LocalExported { offset } => Backing::LocalExported {
+                offset: offset + in_page,
+            },
+            Backing::Anon => Backing::Anon,
+        }
+    }
+
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_window_mapping_rules() {
+        let mut a = AddressSpace::new();
+        // Correct: write-only, write-combining.
+        a.mmap(
+            0x10_0000,
+            2 * PAGE,
+            Backing::Remote { global_addr: 0x1_0000_2000 },
+            Prot::WO,
+            CacheAttr::WriteCombining,
+        )
+        .unwrap();
+        // Readable remote mapping refused.
+        assert_eq!(
+            a.mmap(
+                0x20_0000,
+                PAGE,
+                Backing::Remote { global_addr: 0x1_0000_0000 },
+                Prot::RW,
+                CacheAttr::WriteCombining
+            ),
+            Err(MapError::RemoteMustBeWriteOnly)
+        );
+        // WB remote mapping refused.
+        assert_eq!(
+            a.mmap(
+                0x20_0000,
+                PAGE,
+                Backing::Remote { global_addr: 0x1_0000_0000 },
+                Prot::WO,
+                CacheAttr::WriteBack
+            ),
+            Err(MapError::RemoteMustBeWriteCombining)
+        );
+    }
+
+    #[test]
+    fn exported_pages_must_be_uc() {
+        let mut a = AddressSpace::new();
+        assert_eq!(
+            a.mmap(
+                0x30_0000,
+                PAGE,
+                Backing::LocalExported { offset: 0 },
+                Prot::RW,
+                CacheAttr::WriteBack
+            ),
+            Err(MapError::ExportedMustBeUncacheable)
+        );
+        a.mmap(
+            0x30_0000,
+            PAGE,
+            Backing::LocalExported { offset: 0 },
+            Prot::RW,
+            CacheAttr::Uncacheable,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn translation_offsets_within_pages() {
+        let mut a = AddressSpace::new();
+        a.mmap(
+            0x40_0000,
+            2 * PAGE,
+            Backing::Remote { global_addr: 0x2_0000_0000 },
+            Prot::WO,
+            CacheAttr::WriteCombining,
+        )
+        .unwrap();
+        assert_eq!(
+            a.store_translate(0x40_0000 + PAGE + 0x123).unwrap(),
+            Backing::Remote { global_addr: 0x2_0000_1123 }
+        );
+        // Loads from the write-only window fault (the driver's protection
+        // is what turns an impossible fabric read into a clean SIGSEGV).
+        assert_eq!(
+            a.load_translate(0x40_0000),
+            Err(MapError::Protection(0x40_0000))
+        );
+    }
+
+    #[test]
+    fn overlap_and_alignment_checks() {
+        let mut a = AddressSpace::new();
+        a.mmap(0x1000, PAGE, Backing::Anon, Prot::RW, CacheAttr::WriteBack)
+            .unwrap();
+        assert_eq!(
+            a.mmap(0x1000, PAGE, Backing::Anon, Prot::RW, CacheAttr::WriteBack),
+            Err(MapError::Overlap(0x1000))
+        );
+        assert_eq!(
+            a.mmap(0x1234, PAGE, Backing::Anon, Prot::RW, CacheAttr::WriteBack),
+            Err(MapError::Unaligned(0x1234))
+        );
+    }
+
+    #[test]
+    fn munmap_releases() {
+        let mut a = AddressSpace::new();
+        a.mmap(0x5000, 2 * PAGE, Backing::Anon, Prot::RW, CacheAttr::WriteBack)
+            .unwrap();
+        assert_eq!(a.mapped_pages(), 2);
+        a.munmap(0x5000, 2 * PAGE).unwrap();
+        assert_eq!(a.mapped_pages(), 0);
+        assert_eq!(a.munmap(0x5000, PAGE), Err(MapError::NotMapped(0x5000)));
+        assert!(matches!(a.store_translate(0x5000), Err(MapError::NotMapped(_))));
+    }
+}

@@ -1,0 +1,156 @@
+//! The event queue at the heart of the discrete-event kernel.
+//!
+//! Events are ordered by `(time, sequence)`: two events scheduled for the
+//! same instant fire in the order they were scheduled, which makes every
+//! simulation run fully deterministic.
+
+use crate::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+/// A time-ordered queue of events of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let key = Key {
+            at,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(event);
+                i
+            }
+            None => {
+                self.slots.push(Some(event));
+                self.slots.len() - 1
+            }
+        };
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Schedule `event` to fire `after` past `now`.
+    pub fn schedule_in(&mut self, now: SimTime, after: Duration, event: E) {
+        self.schedule_at(now + after, event);
+    }
+
+    /// Pop the earliest event, returning its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let ev = self.slots[slot].take().expect("event slot occupied");
+        self.free.push(slot);
+        Some((key.at, ev))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((k, _))| k.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_adds_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime(1_000), Duration::from_picos(500), ());
+        assert_eq!(q.pop(), Some((SimTime(1_500), ())));
+    }
+
+    #[test]
+    fn slot_reuse_keeps_len_bounded() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..64u64 {
+                q.schedule_at(SimTime(round * 100 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(q.slots.len() <= 64, "slots grew to {}", q.slots.len());
+        assert_eq!(q.scheduled_total(), 640);
+    }
+
+    #[test]
+    fn interleaved_pop_and_schedule() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 1u32);
+        q.schedule_at(SimTime(3), 3);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime(1), 1));
+        q.schedule_at(SimTime(2), 2);
+        assert_eq!(q.pop(), Some((SimTime(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime(3), 3)));
+    }
+}

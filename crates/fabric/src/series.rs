@@ -1,0 +1,231 @@
+//! Figure/table output: named data series and aligned-table printing.
+//!
+//! Every `tcc-bench` binary regenerates one paper figure or table by filling
+//! a [`Figure`] and printing it; tests assert on the numbers through the same
+//! structure, so the printed artifact and the tested values cannot drift
+//! apart.
+
+use core::fmt;
+
+/// One named series of (x, y) points, e.g. "weakly ordered" in Figure 6.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// y at the given x (exact match).
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
+    }
+
+    /// x at which y is maximal.
+    pub fn argmax(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(x, _)| x)
+    }
+
+    /// First x (scanning left to right) where this series' y exceeds
+    /// `other`'s y — the crossover point, if any.
+    pub fn crossover_with(&self, other: &Series) -> Option<f64> {
+        for &(x, y) in &self.points {
+            if let Some(oy) = other.at(x) {
+                if y > oy {
+                    return Some(x);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A figure: a set of series over a common x axis plus labels.
+#[derive(Debug, Clone, Default)]
+pub struct Figure {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// CSV rendering (x column then one column per series; union of x's).
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.iter().any(|&e| (e - x).abs() < 1e-9) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for x in xs {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                match s.at(x) {
+                    Some(y) => out.push_str(&format!("{y:.3}")),
+                    None => out.push_str(""),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.title)?;
+        // Header.
+        write!(f, "{:>14}", self.x_label)?;
+        for s in &self.series {
+            write!(f, "  {:>22}", s.name)?;
+        }
+        writeln!(f)?;
+        // Rows over the union of x values.
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.iter().any(|&e| (e - x).abs() < 1e-9) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        for x in xs {
+            if x == x.trunc() && x.abs() < 1e15 {
+                write!(f, "{:>14}", x as i64)?;
+            } else {
+                write!(f, "{x:>14.2}")?;
+            }
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => write!(f, "  {y:>22.2}")?,
+                    None => write!(f, "  {:>22}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "({})", self.y_label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("Fig X", "size", "MB/s");
+        let mut a = Series::new("weak");
+        a.push(64.0, 2500.0);
+        a.push(1024.0, 2700.0);
+        let mut b = Series::new("ib");
+        b.push(64.0, 200.0);
+        b.push(1024.0, 1500.0);
+        fig.add(a);
+        fig.add(b);
+        fig
+    }
+
+    #[test]
+    fn at_and_max() {
+        let fig = sample();
+        let weak = fig.get("weak").unwrap();
+        assert_eq!(weak.at(64.0), Some(2500.0));
+        assert_eq!(weak.at(65.0), None);
+        assert_eq!(weak.max_y(), 2700.0);
+        assert_eq!(weak.argmax(), Some(1024.0));
+    }
+
+    #[test]
+    fn crossover() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        for (x, ya, yb) in [(1.0, 1.0, 5.0), (2.0, 4.0, 4.5), (3.0, 9.0, 4.0)] {
+            a.push(x, ya);
+            b.push(x, yb);
+        }
+        assert_eq!(a.crossover_with(&b), Some(3.0));
+        assert_eq!(b.crossover_with(&a), Some(1.0));
+    }
+
+    #[test]
+    fn csv_includes_all_series() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("size,weak,ib"));
+        assert_eq!(lines.next(), Some("64,2500.000,200.000"));
+        assert_eq!(lines.next(), Some("1024,2700.000,1500.000"));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = format!("{}", sample());
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("weak"));
+        assert!(s.contains("2700.00"));
+    }
+
+    #[test]
+    fn ragged_series_show_dash() {
+        let mut fig = sample();
+        let mut c = Series::new("partial");
+        c.push(64.0, 1.0);
+        fig.add(c);
+        let s = format!("{fig}");
+        assert!(s.contains('-'), "missing point rendered as dash");
+    }
+}

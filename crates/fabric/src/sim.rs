@@ -1,0 +1,192 @@
+//! The simulation executive: owns the clock and the event queue and drives a
+//! user-supplied [`Model`] until quiescence or a time/event limit.
+//!
+//! The kernel is deliberately *not* built on trait-object component graphs —
+//! cross-referencing mutable components fights the borrow checker and costs
+//! virtual dispatch in the hot loop. Instead, a whole simulated system is one
+//! [`Model`] value with one event enum; sub-systems are plain structs whose
+//! methods return *actions* that the model turns into future events.
+
+use crate::event::EventQueue;
+use crate::time::{Duration, SimTime};
+
+/// A simulated system: a state machine advanced by timed events.
+pub trait Model {
+    /// The system-wide event type.
+    type Event;
+
+    /// Handle `event` firing at time `now`; schedule follow-ups on `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a [`Sim::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// The event queue drained — nothing left to do.
+    Quiescent,
+    /// The time horizon passed with events still pending.
+    Horizon,
+    /// The event budget was exhausted (runaway protection).
+    EventLimit,
+}
+
+/// The simulation executive.
+#[derive(Debug)]
+pub struct Sim<M: Model> {
+    pub model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    events_handled: u64,
+}
+
+impl<M: Model> Sim<M> {
+    pub fn new(model: M) -> Self {
+        Sim {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_handled: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute time (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.schedule_at(at, event);
+    }
+
+    /// Schedule an event `after` from now.
+    pub fn schedule_in(&mut self, after: Duration, event: M::Event) {
+        self.queue.schedule_in(self.now, after, event);
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) -> Stop {
+        self.run_until(SimTime::MAX, u64::MAX)
+    }
+
+    /// Run until the queue drains, `horizon` passes, or `max_events` fire.
+    pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> Stop {
+        let mut budget = max_events;
+        loop {
+            match self.queue.peek_time() {
+                None => return Stop::Quiescent,
+                Some(t) if t > horizon => return Stop::Horizon,
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return Stop::EventLimit;
+            }
+            budget -= 1;
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_handled += 1;
+            self.model.handle(t, ev, &mut self.queue);
+        }
+    }
+
+    /// Run a single event, returning its time, or `None` if quiescent.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.queue.pop()?;
+        self.now = t;
+        self.events_handled += 1;
+        self.model.handle(t, ev, &mut self.queue);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: a counter that reschedules itself `n` times.
+    struct Ticker {
+        ticks: u64,
+        period: Duration,
+        remaining: u64,
+        last: SimTime,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _: (), queue: &mut EventQueue<()>) {
+            self.ticks += 1;
+            self.last = now;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule_in(now, self.period, ());
+            }
+        }
+    }
+
+    fn ticker(n: u64) -> Sim<Ticker> {
+        let mut sim = Sim::new(Ticker {
+            ticks: 0,
+            period: Duration::from_nanos(10),
+            remaining: n,
+            last: SimTime::ZERO,
+        });
+        sim.schedule_at(SimTime::ZERO, ());
+        sim
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut sim = ticker(9);
+        assert_eq!(sim.run(), Stop::Quiescent);
+        assert_eq!(sim.model.ticks, 10);
+        assert_eq!(sim.model.last, SimTime(90_000));
+        assert_eq!(sim.now(), SimTime(90_000));
+        assert_eq!(sim.events_handled(), 10);
+    }
+
+    #[test]
+    fn horizon_stops_early_without_consuming() {
+        let mut sim = ticker(1_000);
+        assert_eq!(sim.run_until(SimTime(45_000), u64::MAX), Stop::Horizon);
+        // Ticks at 0,10,20,30,40 ns fired; 50 ns is pending.
+        assert_eq!(sim.model.ticks, 5);
+        assert_eq!(sim.pending(), 1);
+        // Resuming picks up exactly where it left off.
+        assert_eq!(sim.run(), Stop::Quiescent);
+        assert_eq!(sim.model.ticks, 1_001);
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let mut sim = ticker(u64::MAX);
+        assert_eq!(sim.run_until(SimTime::MAX, 100), Stop::EventLimit);
+        assert_eq!(sim.model.ticks, 100);
+    }
+
+    #[test]
+    fn step_advances_one_event() {
+        let mut sim = ticker(2);
+        assert_eq!(sim.step(), Some(SimTime::ZERO));
+        assert_eq!(sim.step(), Some(SimTime(10_000)));
+        assert_eq!(sim.step(), Some(SimTime(20_000)));
+        assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = ticker(5);
+        sim.run();
+        sim.schedule_at(SimTime(1), ());
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated time.
+//!
+//! The simulation clock counts **picoseconds** in a `u64`, which covers
+//! roughly 213 days of simulated time — far beyond anything the TCCluster
+//! experiments need (the longest runs simulate a few seconds) — while still
+//! resolving a single bit-time of an HT3.2 lane (~156 ps) exactly.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in picoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    #[inline]
+    pub fn picos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn nanos(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    #[inline]
+    pub const fn from_picos(ps: u64) -> Duration {
+        Duration(ps)
+    }
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Duration {
+        Duration(ns * 1_000)
+    }
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000_000)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000_000)
+    }
+
+    #[inline]
+    pub fn picos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn nanos(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiply by an integer count (saturating).
+    #[inline]
+    pub fn times(self, n: u64) -> Duration {
+        Duration(self.0.saturating_mul(n))
+    }
+
+    /// Bytes-per-second rate sustained when `bytes` take this duration.
+    ///
+    /// Returns `f64::INFINITY` for a zero duration.
+    pub fn bytes_per_sec(self, bytes: u64) -> f64 {
+        if self.0 == 0 {
+            return f64::INFINITY;
+        }
+        bytes as f64 * 1e12 / self.0 as f64
+    }
+
+    /// Megabytes (1e6 bytes) per second — the unit the paper's figures use.
+    pub fn mb_per_sec(self, bytes: u64) -> f64 {
+        self.bytes_per_sec(bytes) / 1e6
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative sim-time difference");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Duration(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps < 1_000 {
+            write!(f, "{ps}ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.2}ns", ps as f64 / 1e3)
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.2}us", ps as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Duration::from_nanos(227).picos(), 227_000);
+        assert_eq!(Duration::from_micros(3).picos(), 3_000_000);
+        assert_eq!(Duration::from_millis(1).picos(), 1_000_000_000);
+        assert!((Duration::from_nanos(227).nanos() - 227.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_nanos(100);
+        let u = t + Duration::from_nanos(27);
+        assert_eq!((u - t).picos(), 27_000);
+        assert_eq!(u.since(t).picos(), 27_000);
+        assert_eq!(t.since(u).picos(), 0, "since saturates");
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        // 64 bytes in 227 ns is the paper's headline small-message point:
+        // ~282 MB/s for a single one-way message.
+        let d = Duration::from_nanos(227);
+        let mbps = d.mb_per_sec(64);
+        assert!((mbps - 281.9).abs() < 1.0, "{mbps}");
+        assert_eq!(Duration::ZERO.bytes_per_sec(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Duration(999)), "999ps");
+        assert_eq!(format!("{}", Duration::from_nanos(50)), "50.00ns");
+        assert_eq!(format!("{}", Duration::from_micros(2)), "2.00us");
+        assert_eq!(format!("{}", Duration::from_millis(5)), "5.000ms");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime(5);
+        let b = SimTime(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

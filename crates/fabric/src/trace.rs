@@ -1,0 +1,213 @@
+//! Lightweight event tracing.
+//!
+//! The firmware boot sequence and the protocol state machines log their
+//! transitions here so tests can assert on ordering ("force-ncHT happened
+//! before the warm reset") and examples can print readable boot traces.
+
+use crate::time::SimTime;
+use core::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub at: SimTime,
+    /// Component that emitted the record, e.g. `"node0.nb"`.
+    pub source: String,
+    /// Free-form message.
+    pub what: String,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<16} {}", format!("{}", self.at), self.source, self.what)
+    }
+}
+
+/// An append-only trace buffer with an optional capacity bound.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<Record>,
+    capacity: Option<usize>,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// An enabled, unbounded trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+            capacity: None,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// An enabled trace that keeps only the most recent `cap` records.
+    pub fn bounded(cap: usize) -> Self {
+        Trace {
+            records: Vec::new(),
+            capacity: Some(cap),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: `log` is a no-op (zero-cost in hot paths that
+    /// format lazily via [`Trace::log_with`]).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            ..Trace::new()
+        }
+    }
+
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn log(&mut self, at: SimTime, source: impl Into<String>, what: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                self.records.remove(0);
+                self.dropped += 1;
+            }
+        }
+        self.records.push(Record {
+            at,
+            source: source.into(),
+            what: what.into(),
+        });
+    }
+
+    /// Log with lazy message construction — the closure only runs when the
+    /// trace is enabled.
+    pub fn log_with(
+        &mut self,
+        at: SimTime,
+        source: &str,
+        what: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.log(at, source, what());
+        }
+    }
+
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All records whose message contains `needle`, in order.
+    pub fn find(&self, needle: &str) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.what.contains(needle) || r.source.contains(needle))
+            .collect()
+    }
+
+    /// Index of the first record whose message contains `needle`.
+    pub fn position(&self, needle: &str) -> Option<usize> {
+        self.records.iter().position(|r| r.what.contains(needle))
+    }
+
+    /// Assert helper: `a` was logged strictly before `b`.
+    pub fn happened_before(&self, a: &str, b: &str) -> bool {
+        match (self.position(a), self.position(b)) {
+            (Some(i), Some(j)) => i < j,
+            _ => false,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_in_order() {
+        let mut t = Trace::new();
+        t.log(SimTime(10), "a", "first");
+        t.log(SimTime(20), "b", "second");
+        assert_eq!(t.len(), 2);
+        assert!(t.happened_before("first", "second"));
+        assert!(!t.happened_before("second", "first"));
+        assert!(!t.happened_before("first", "missing"));
+    }
+
+    #[test]
+    fn bounded_drops_oldest() {
+        let mut t = Trace::bounded(2);
+        t.log(SimTime(1), "x", "one");
+        t.log(SimTime(2), "x", "two");
+        t.log(SimTime(3), "x", "three");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.records()[0].what, "two");
+    }
+
+    #[test]
+    fn disabled_is_noop() {
+        let mut t = Trace::disabled();
+        t.log(SimTime(1), "x", "hidden");
+        let mut ran = false;
+        t.log_with(SimTime(2), "x", || {
+            ran = true;
+            "lazy".into()
+        });
+        assert!(t.is_empty());
+        assert!(!ran, "lazy closure must not run when disabled");
+    }
+
+    #[test]
+    fn find_filters_by_source_and_message() {
+        let mut t = Trace::new();
+        t.log(SimTime(1), "node0.nb", "route programmed");
+        t.log(SimTime(2), "node1.nb", "route programmed");
+        t.log(SimTime(3), "node0.core", "sfence");
+        assert_eq!(t.find("route").len(), 2);
+        assert_eq!(t.find("node0").len(), 2);
+        assert_eq!(t.find("sfence").len(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut t = Trace::new();
+        t.log(SimTime(1_000), "fw", "cold reset");
+        let s = format!("{t}");
+        assert!(s.contains("cold reset"));
+        assert!(s.contains("fw"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Coherent enumeration: the BSP's depth-first walk over its coherent
+//! fabric (paper §IV.E).
+//!
+//! After cold reset every AP's NodeID register reads 7; the BSP walks the
+//! coherent links depth-first, recognises unvisited nodes by "NodeID still
+//! 7", assigns fresh NodeIDs and programs routing-table entries. The
+//! TCCluster firmware modification: links that the topology marks as
+//! TCCluster ports are **ignored** during the walk even though they trained
+//! coherent — otherwise the two supernodes would merge into one (broken)
+//! coherent domain.
+
+use crate::machine::Platform;
+use tcc_fabric::time::SimTime;
+use tcc_opteron::regs::{LinkId, NodeId};
+use tcc_opteron::route::{NodeRoute, Route};
+
+/// Result of enumerating one supernode.
+#[derive(Debug, Clone)]
+pub struct EnumerationReport {
+    pub supernode: usize,
+    /// Global node index → assigned NodeID, in discovery order.
+    pub discovered: Vec<(usize, NodeId)>,
+    /// TCC ports that trained coherent but were deliberately skipped.
+    pub skipped_tcc_ports: Vec<(usize, LinkId)>,
+}
+
+/// Enumerate supernode `s` from its BSP.
+pub fn enumerate_supernode(platform: &mut Platform, s: usize, now: SimTime) -> EnumerationReport {
+    let spec = platform.spec;
+    let procs = spec.supernode.processors;
+    let bsp = spec.proc_index(s, 0);
+
+    let mut discovered = Vec::new();
+    let mut skipped = Vec::new();
+
+    // Depth-first walk starting at the BSP. With the chain wiring the walk
+    // is linear, but the algorithm is a genuine DFS over the wire list so
+    // it would handle richer internal topologies.
+    let mut stack = vec![bsp];
+    let mut next_id = 0u8;
+    while let Some(n) = stack.pop() {
+        if platform.nodes[n].regs.node_id != NodeId::UNENUMERATED {
+            continue; // already visited
+        }
+        let id = NodeId(next_id);
+        next_id += 1;
+        platform.nodes[n].regs.node_id = id;
+        platform.nodes[n].nb.node_id = id;
+        discovered.push((n, id));
+        platform.trace.log(
+            now,
+            format!("fw.sn{s}"),
+            format!("enumerated node{n} as NodeID {}", id.0),
+        );
+        // Examine all four links.
+        for l in 0..4u8 {
+            let link = LinkId(l);
+            let Some((peer, _)) = platform.peer_of(n, link) else {
+                continue;
+            };
+            match platform.link_coherent(n, link) {
+                Some(true) if platform.is_tcc_port(n, link) => {
+                    // The TCCluster modification: do not cross this link.
+                    skipped.push((n, link));
+                    platform.trace.log(
+                        now,
+                        format!("fw.sn{s}"),
+                        format!("ignoring coherent TCC port node{n} link{l}"),
+                    );
+                }
+                Some(true) => stack.push(peer),
+                _ => {} // non-coherent (I/O) or untrained: not part of the walk
+            }
+        }
+    }
+    assert_eq!(
+        discovered.len(),
+        procs,
+        "supernode {s}: expected {procs} nodes, found {}",
+        discovered.len()
+    );
+
+    // Program chain routing tables: dest < self → link0, dest > self →
+    // link1, self → accept. Broadcast masks cover internal links only.
+    for p in 0..procs {
+        let n = spec.proc_index(s, p);
+        let routes = &mut platform.nodes[n].nb.routes;
+        routes.clear();
+        for q in 0..procs {
+            let route = if q == p {
+                Route::SelfRoute
+            } else if q < p {
+                Route::Link(LinkId(0))
+            } else {
+                Route::Link(LinkId(1))
+            };
+            let mut mask = 0u8;
+            if p > 0 {
+                mask |= 1 << 0;
+            }
+            if p + 1 < procs {
+                mask |= 1 << 1;
+            }
+            routes.set(
+                NodeId(q as u8),
+                NodeRoute {
+                    request: route,
+                    response: route,
+                    broadcast_links: mask,
+                },
+            );
+        }
+    }
+
+    EnumerationReport {
+        supernode: s,
+        discovered,
+        skipped_tcc_ports: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
+    use tcc_opteron::UarchParams;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn chain_of_four_enumerates_in_order() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(4, MB), ClusterTopology::Pair);
+        let mut p = Platform::assemble(spec, UarchParams::shanghai());
+        p.train_all(SimTime::ZERO, true);
+        let rep = enumerate_supernode(&mut p, 0, SimTime::ZERO);
+        assert_eq!(rep.discovered.len(), 4);
+        for (i, (n, id)) in rep.discovered.iter().enumerate() {
+            assert_eq!(*n, i);
+            assert_eq!(id.0, i as u8);
+        }
+        // Second supernode untouched.
+        assert_eq!(p.nodes[4].regs.node_id, NodeId::UNENUMERATED);
+        // The coherent TCC port on the last processor was skipped.
+        assert!(!rep.skipped_tcc_ports.is_empty());
+    }
+
+    #[test]
+    fn routing_tables_form_the_chain() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(3, MB), ClusterTopology::Pair);
+        let mut p = Platform::assemble(spec, UarchParams::shanghai());
+        p.train_all(SimTime::ZERO, true);
+        enumerate_supernode(&mut p, 0, SimTime::ZERO);
+        let mid = &p.nodes[1].nb.routes;
+        assert_eq!(mid.request_route(NodeId(0)), Some(Route::Link(LinkId(0))));
+        assert_eq!(mid.request_route(NodeId(1)), Some(Route::SelfRoute));
+        assert_eq!(mid.request_route(NodeId(2)), Some(Route::Link(LinkId(1))));
+    }
+
+    #[test]
+    fn both_supernodes_enumerate_independently() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(2, MB), ClusterTopology::Pair);
+        let mut p = Platform::assemble(spec, UarchParams::shanghai());
+        p.train_all(SimTime::ZERO, true);
+        let r0 = enumerate_supernode(&mut p, 0, SimTime::ZERO);
+        let r1 = enumerate_supernode(&mut p, 1, SimTime::ZERO);
+        assert_eq!(r0.discovered.len(), 2);
+        assert_eq!(r1.discovered.len(), 2);
+        // Each supernode restarts NodeIDs at 0 — its own coherent domain.
+        assert_eq!(p.nodes[2].regs.node_id, NodeId(0));
+        assert_eq!(p.nodes[3].regs.node_id, NodeId(1));
+    }
+}

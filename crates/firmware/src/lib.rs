@@ -1,0 +1,22 @@
+//! # tcc-firmware — coreboot-like platform bring-up
+//!
+//! The firmware layer of the TCCluster reproduction:
+//!
+//! * [`topology`] — supernode/cluster descriptors, the contiguous global
+//!   address-space layout (paper Fig. 3) and the X-Y MMIO routing plan.
+//! * [`machine`] — the physical platform: nodes, link endpoints, cables,
+//!   southbridges, and packet propagation across the booted fabric.
+//! * [`enumerate`] — the BSP's coherent depth-first enumeration, modified
+//!   to ignore TCC ports (paper §V "Coherent Enumeration").
+//! * [`tcc_boot`] — the full 12-step TCCluster boot sequence with a
+//!   remote-access self-test and interrupt-containment verification.
+
+pub mod enumerate;
+pub mod machine;
+pub mod tcc_boot;
+pub mod topology;
+
+pub use enumerate::{enumerate_supernode, EnumerationReport};
+pub use machine::{DeliveredWrite, Platform, Wire};
+pub use tcc_boot::{boot, BootReport, TccBoot};
+pub use topology::{ClusterSpec, ClusterTopology, Port, SupernodeSpec, GLOBAL_BASE};

@@ -1,0 +1,317 @@
+//! The physical machine the firmware brings up: Opteron nodes, link
+//! endpoints, cables and southbridges — plus packet propagation, so a
+//! booted platform can actually move data end to end (including multi-hop
+//! forwarding through intermediate supernodes).
+
+use crate::topology::{ClusterSpec, SOUTHBRIDGE};
+use std::collections::BTreeMap;
+use tcc_fabric::time::SimTime;
+use tcc_fabric::Trace;
+use tcc_ht::init::{LinkEndpoint, LinkRegs};
+use tcc_ht::link::LinkConfig;
+use tcc_opteron::node::{Action, Node};
+use tcc_opteron::regs::{LinkId, NodeId};
+use tcc_opteron::UarchParams;
+
+/// A physical cable or board trace joining two node link ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire {
+    pub a: (usize, LinkId),
+    pub b: (usize, LinkId),
+    /// True for supernode-internal (board) links, false for TCC cables.
+    pub internal: bool,
+}
+
+/// A posted write that landed in some node's DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredWrite {
+    pub node: usize,
+    pub offset: u64,
+    pub visible: SimTime,
+}
+
+/// The assembled (un-booted) machine.
+#[derive(Debug)]
+pub struct Platform {
+    pub spec: ClusterSpec,
+    pub nodes: Vec<Node>,
+    /// Link-init FSM endpoint per (global node index, link).
+    pub endpoints: BTreeMap<(usize, u8), LinkEndpoint>,
+    /// Southbridge-side endpoints, keyed by the hosting node.
+    pub southbridges: BTreeMap<usize, LinkEndpoint>,
+    pub wires: Vec<Wire>,
+    pub trace: Trace,
+    /// Target configuration the firmware programs into TCC links.
+    pub tcc_target: LinkConfig,
+    /// Target configuration for supernode-internal coherent links.
+    pub internal_target: LinkConfig,
+}
+
+impl Platform {
+    /// Build the machine: nodes powered off, cables in place.
+    pub fn assemble(spec: ClusterSpec, params: UarchParams) -> Self {
+        let n_nodes = spec.total_processors();
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            nodes.push(Node::new(
+                NodeId::UNENUMERATED,
+                spec.supernode.dram_per_node as usize,
+                params.clone(),
+            ));
+        }
+
+        let mut wires = Vec::new();
+        // Supernode-internal chains: p.l1 <-> (p+1).l0.
+        for s in 0..spec.supernode_count() {
+            for p in 0..spec.supernode.processors - 1 {
+                wires.push(Wire {
+                    a: (spec.proc_index(s, p), LinkId(1)),
+                    b: (spec.proc_index(s, p + 1), LinkId(0)),
+                    internal: true,
+                });
+            }
+        }
+        // TCC cables.
+        for ((sa, pa), (sb, pb)) in spec.cables() {
+            let (qa, la) = pa.attach(&spec.supernode);
+            let (qb, lb) = pb.attach(&spec.supernode);
+            wires.push(Wire {
+                a: (spec.proc_index(sa, qa), la),
+                b: (spec.proc_index(sb, qb), lb),
+                internal: false,
+            });
+        }
+
+        let mut endpoints = BTreeMap::new();
+        for w in &wires {
+            for &(n, l) in [&w.a, &w.b] {
+                endpoints.insert((n, l.0), LinkEndpoint::new(LinkRegs::processor_default()));
+            }
+        }
+        // Southbridges: one per supernode on the BSP.
+        let mut southbridges = BTreeMap::new();
+        for s in 0..spec.supernode_count() {
+            let bsp = spec.proc_index(s, SOUTHBRIDGE.0);
+            endpoints.insert(
+                (bsp, SOUTHBRIDGE.1 .0),
+                LinkEndpoint::new(LinkRegs::processor_default()),
+            );
+            southbridges.insert(bsp, LinkEndpoint::new(LinkRegs::io_device()));
+        }
+
+        Platform {
+            spec,
+            nodes,
+            endpoints,
+            southbridges,
+            wires,
+            trace: Trace::new(),
+            tcc_target: LinkConfig::PROTOTYPE,
+            // On-board traces are far shorter than the HTX cable: a
+            // supernode-internal hop costs ~15 ns of propagation, keeping
+            // the per-hop adder under the paper's 50 ns envelope.
+            internal_target: LinkConfig {
+                hop_latency: tcc_fabric::time::Duration::from_nanos(15),
+                ..LinkConfig::HT3_FULL
+            },
+        }
+    }
+
+    /// The wire attached to (node, link), if any.
+    pub fn wire_at(&self, node: usize, link: LinkId) -> Option<&Wire> {
+        self.wires
+            .iter()
+            .find(|w| w.a == (node, link) || w.b == (node, link))
+    }
+
+    /// The far end of (node, link).
+    pub fn peer_of(&self, node: usize, link: LinkId) -> Option<(usize, LinkId)> {
+        let w = self.wire_at(node, link)?;
+        Some(if w.a == (node, link) { w.b } else { w.a })
+    }
+
+    /// Is the TCC cable/link at (node, link) — i.e. not a board link?
+    pub fn is_tcc_port(&self, node: usize, link: LinkId) -> bool {
+        self.wire_at(node, link).is_some_and(|w| !w.internal)
+    }
+
+    /// Negotiated coherence state of the link at (node, link).
+    pub fn link_coherent(&self, node: usize, link: LinkId) -> Option<bool> {
+        self.endpoints
+            .get(&(node, link.0))
+            .and_then(|e| e.active())
+            .map(|a| a.coherent)
+    }
+
+    /// Run link training on every wire (and southbridge stubs).
+    /// `first_training` selects the post-cold-reset 200 MHz/8-bit pass.
+    pub fn train_all(&mut self, now: SimTime, first_training: bool) {
+        let wires = self.wires.clone();
+        for w in wires {
+            let hop = if w.internal {
+                self.internal_target.hop_latency
+            } else {
+                self.tcc_target.hop_latency
+            };
+            // Two disjoint borrows out of the map.
+            let mut a = self.endpoints.remove(&(w.a.0, w.a.1 .0)).expect("endpoint a");
+            let mut b = self.endpoints.remove(&(w.b.0, w.b.1 .0)).expect("endpoint b");
+            a.begin_training();
+            b.begin_training();
+            let link = tcc_ht::init::negotiate(&mut a, &mut b, hop, first_training);
+            self.trace.log(
+                now,
+                format!("wire.n{}l{}-n{}l{}", w.a.0, w.a.1 .0, w.b.0, w.b.1 .0),
+                format!(
+                    "trained {} @{}MHz/{}bit",
+                    if link.coherent { "coherent" } else { "non-coherent" },
+                    link.config.clock_mhz,
+                    link.config.width_bits
+                ),
+            );
+            self.endpoints.insert((w.a.0, w.a.1 .0), a);
+            self.endpoints.insert((w.b.0, w.b.1 .0), b);
+            // Attach/reconfigure the serialising transmitters.
+            let seed_a = (w.a.0 as u64) << 8 | w.a.1 .0 as u64;
+            let seed_b = (w.b.0 as u64) << 8 | w.b.1 .0 as u64;
+            self.nodes[w.a.0].attach_link(w.a.1, link.config, seed_a);
+            self.nodes[w.b.0].attach_link(w.b.1, link.config, seed_b);
+        }
+        // Southbridge links (always non-coherent).
+        let sbs: Vec<usize> = self.southbridges.keys().copied().collect();
+        for bsp in sbs {
+            let key = (bsp, SOUTHBRIDGE.1 .0);
+            let mut cpu = self.endpoints.remove(&key).expect("SB cpu endpoint");
+            let sb = self.southbridges.get_mut(&bsp).expect("SB endpoint");
+            cpu.begin_training();
+            sb.begin_training();
+            let link =
+                tcc_ht::init::negotiate(&mut cpu, sb, self.tcc_target.hop_latency, first_training);
+            assert!(!link.coherent, "southbridge link must be non-coherent");
+            self.endpoints.insert(key, cpu);
+        }
+    }
+
+    /// Propagate a batch of node actions through the fabric until all
+    /// packets have landed. Returns every DRAM commit that resulted.
+    pub fn propagate(
+        &mut self,
+        from_node: usize,
+        actions: Vec<Action>,
+    ) -> Vec<DeliveredWrite> {
+        let mut commits = Vec::new();
+        let mut work: Vec<(usize, Action)> =
+            actions.into_iter().map(|a| (from_node, a)).collect();
+        while let Some((node, action)) = work.pop() {
+            match action {
+                Action::LocalCommit { offset, visible } => commits.push(DeliveredWrite {
+                    node,
+                    offset,
+                    visible,
+                }),
+                Action::BroadcastFiltered => {}
+                Action::PacketOut {
+                    link,
+                    packet,
+                    arrival,
+                } => {
+                    let (peer, peer_link) = self
+                        .peer_of(node, link)
+                        .unwrap_or_else(|| panic!("packet out unwired link n{node} l{}", link.0));
+                    let coherent = self
+                        .link_coherent(node, link)
+                        .expect("packet over untrained link");
+                    let followups = self.nodes[peer]
+                        .deliver(arrival, peer_link, packet, coherent)
+                        .unwrap_or_else(|e| {
+                            panic!("delivery failed at node {peer}: {e:?}")
+                        });
+                    work.extend(followups.into_iter().map(|a| (peer, a)));
+                }
+            }
+        }
+        commits
+    }
+
+    /// Issue a store on `node` and propagate its consequences. Returns
+    /// (outcome retire time, commits).
+    pub fn store_and_propagate(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        addr: u64,
+        data: &[u8],
+    ) -> (SimTime, Vec<DeliveredWrite>) {
+        let out = self.nodes[node].store(now, addr, data);
+        let retire = out.retire;
+        let mut commits = self.propagate(node, out.actions);
+        // Flush any residue held in WC buffers so single stores land.
+        let f = self.nodes[node].sfence(retire);
+        commits.extend(self.propagate(node, f.actions));
+        (retire, commits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ClusterTopology, SupernodeSpec};
+
+    const MB: u64 = 1 << 20;
+
+    fn pair_platform() -> Platform {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        Platform::assemble(spec, UarchParams::shanghai())
+    }
+
+    #[test]
+    fn assembly_counts() {
+        let p = pair_platform();
+        assert_eq!(p.nodes.len(), 2);
+        assert_eq!(p.wires.len(), 1, "one TCC cable");
+        assert!(!p.wires[0].internal);
+        assert_eq!(p.southbridges.len(), 2, "one SB per supernode");
+        // Pair: node0 East(l3) <-> node1 West(l2).
+        assert_eq!(p.peer_of(0, LinkId(3)), Some((1, LinkId(2))));
+        assert_eq!(p.peer_of(0, LinkId(1)), None);
+    }
+
+    #[test]
+    fn first_training_is_coherent_at_boot_speed() {
+        let mut p = pair_platform();
+        p.train_all(SimTime::ZERO, true);
+        assert_eq!(p.link_coherent(0, LinkId(3)), Some(true));
+        let ep = &p.endpoints[&(0, 3)];
+        let active = ep.active().unwrap();
+        assert_eq!(active.config.clock_mhz, 200);
+        assert_eq!(active.config.width_bits, 8);
+    }
+
+    #[test]
+    fn retraining_applies_programmed_registers() {
+        let mut p = pair_platform();
+        p.train_all(SimTime::ZERO, true);
+        for key in [(0usize, 3u8), (1, 2)] {
+            let ep = p.endpoints.get_mut(&key).unwrap();
+            ep.regs.force_noncoherent = true;
+            ep.regs.freq_mhz = 800;
+            ep.regs.width_bits = 16;
+            ep.warm_reset();
+        }
+        p.train_all(SimTime::ZERO, false);
+        assert_eq!(p.link_coherent(0, LinkId(3)), Some(false));
+        let active = p.endpoints[&(0, 3)].active().unwrap();
+        assert_eq!(active.config.clock_mhz, 800);
+    }
+
+    #[test]
+    fn supernode_internal_wiring() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(4, MB), ClusterTopology::Pair);
+        let p = Platform::assemble(spec, UarchParams::shanghai());
+        assert_eq!(p.nodes.len(), 8);
+        // 3 internal wires per supernode x2 + 1 cable.
+        assert_eq!(p.wires.len(), 7);
+        assert_eq!(p.peer_of(1, LinkId(1)), Some((2, LinkId(0))));
+        assert!(p.is_tcc_port(3, LinkId(2)) || p.is_tcc_port(3, LinkId(3)));
+    }
+}

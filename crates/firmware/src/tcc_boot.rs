@@ -1,0 +1,440 @@
+//! The TCCluster boot sequence (paper §V), step by step.
+//!
+//! ```text
+//! cold reset → coherent enumeration → force non-coherent → warm reset →
+//! northbridge init → CPU MSR (MTRR) init → memory init → exit CAR →
+//! (skip) non-coherent enumeration → post init → load OS →
+//! enable remote access
+//! ```
+//!
+//! Each step is a method so tests can drive and inspect them individually;
+//! [`boot`] runs them all and returns a [`BootReport`] whose trace proves
+//! the ordering (e.g. force-ncHT strictly before warm reset).
+
+use crate::enumerate::{enumerate_supernode, EnumerationReport};
+use crate::machine::Platform;
+use crate::topology::MemTypePlan;
+use tcc_fabric::time::{Duration, SimTime};
+use tcc_ht::init::TRAINING_TIME;
+use tcc_opteron::regs::{LinkId, NodeId, LINKS_PER_NODE};
+
+/// Outcome of a full boot.
+#[derive(Debug)]
+pub struct BootReport {
+    /// Step names in execution order.
+    pub steps: Vec<&'static str>,
+    /// Per-supernode enumeration results.
+    pub enumerations: Vec<EnumerationReport>,
+    /// Time the (simulated) boot finished.
+    pub completed_at: SimTime,
+    /// Results of the remote-access self-test: one entry per
+    /// (src supernode, dst supernode) pair exercised.
+    pub selftest_pairs: usize,
+}
+
+/// Drives the boot sequence over a [`Platform`].
+pub struct TccBoot {
+    now: SimTime,
+    steps: Vec<&'static str>,
+}
+
+impl Default for TccBoot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TccBoot {
+    pub fn new() -> Self {
+        TccBoot {
+            now: SimTime::ZERO,
+            steps: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, platform: &mut Platform, name: &'static str) {
+        self.steps.push(name);
+        platform.trace.log(self.now, "fw.boot", name);
+    }
+
+    /// Step 1 — cold reset: clear all registers, first link training.
+    /// All processor-processor links (including future TCC links) come up
+    /// **coherent** at 200 MHz / 8 bit.
+    pub fn cold_reset(&mut self, platform: &mut Platform) {
+        self.step(platform, "cold-reset");
+        for n in &mut platform.nodes {
+            n.regs.cold_reset();
+            n.nb.node_id = NodeId::UNENUMERATED;
+            n.nb.addr_map.clear();
+            n.nb.routes.clear();
+            n.mtrrs.clear();
+        }
+        for ep in platform.endpoints.values_mut() {
+            ep.cold_reset();
+        }
+        for sb in platform.southbridges.values_mut() {
+            sb.cold_reset();
+        }
+        self.now += TRAINING_TIME;
+        platform.train_all(self.now, true);
+    }
+
+    /// Step 2 — coherent enumeration per supernode, ignoring TCC ports.
+    pub fn coherent_enumeration(&mut self, platform: &mut Platform) -> Vec<EnumerationReport> {
+        self.step(platform, "coherent-enumeration");
+        (0..platform.spec.supernode_count())
+            .map(|s| enumerate_supernode(platform, s, self.now))
+            .collect()
+    }
+
+    /// Step 3 — force non-coherent: set the debug bit and the target
+    /// frequency/width on both endpoints of every TCC cable; raise the
+    /// internal links to full speed while at it. Nothing takes effect yet.
+    pub fn force_noncoherent(&mut self, platform: &mut Platform) {
+        self.step(platform, "force-non-coherent");
+        let wires = platform.wires.clone();
+        for w in &wires {
+            for &(n, l) in [&w.a, &w.b] {
+                let ep = platform
+                    .endpoints
+                    .get_mut(&(n, l.0))
+                    .expect("wired endpoint");
+                if w.internal {
+                    ep.regs.freq_mhz = platform.internal_target.clock_mhz;
+                    ep.regs.width_bits = platform.internal_target.width_bits;
+                } else {
+                    ep.regs.force_noncoherent = true;
+                    ep.regs.freq_mhz = platform.tcc_target.clock_mhz;
+                    ep.regs.width_bits = platform.tcc_target.width_bits;
+                    platform.trace.log(
+                        self.now,
+                        "fw.boot",
+                        format!("force-ncHT programmed on node{n} link{}", l.0),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Step 4 — warm reset: retrain every link; programmed identities and
+    /// speeds take effect. Verifies the TCC links actually came up
+    /// non-coherent at the target speed.
+    pub fn warm_reset(&mut self, platform: &mut Platform) {
+        self.step(platform, "warm-reset");
+        for ep in platform.endpoints.values_mut() {
+            ep.warm_reset();
+        }
+        for sb in platform.southbridges.values_mut() {
+            sb.warm_reset();
+        }
+        self.now += TRAINING_TIME;
+        platform.train_all(self.now, false);
+        let wires = platform.wires.clone();
+        for w in &wires {
+            let coherent = platform
+                .link_coherent(w.a.0, w.a.1)
+                .expect("trained wire");
+            if w.internal {
+                assert!(coherent, "internal link lost coherence");
+            } else {
+                assert!(!coherent, "TCC link still coherent after warm reset");
+                let cfg = platform.endpoints[&(w.a.0, w.a.1 .0)]
+                    .active()
+                    .unwrap()
+                    .config;
+                assert_eq!(cfg.clock_mhz, platform.tcc_target.clock_mhz);
+            }
+        }
+    }
+
+    /// Step 5 — northbridge init: address maps (paper Fig. 3), routing
+    /// tables (already programmed during enumeration) and broadcast masks.
+    pub fn northbridge_init(&mut self, platform: &mut Platform) {
+        self.step(platform, "northbridge-init");
+        let spec = platform.spec;
+        for s in 0..spec.supernode_count() {
+            let mmio_plan = spec.mmio_plan(s);
+            for p in 0..spec.supernode.processors {
+                let n = spec.proc_index(s, p);
+                let node = &mut platform.nodes[n];
+                node.nb.addr_map.clear();
+                // DRAM: one range per processor of this supernode.
+                for q in 0..spec.supernode.processors {
+                    node.nb
+                        .addr_map
+                        .add_dram(
+                            spec.node_base(s, q),
+                            spec.node_base(s, q) + spec.supernode.dram_per_node,
+                            NodeId(q as u8),
+                        )
+                        .expect("DRAM map fits");
+                }
+                // MMIO: the X-Y plan toward the TCC ports.
+                for &(base, limit, owner_p, link) in &mmio_plan {
+                    node.nb
+                        .addr_map
+                        .add_mmio(base, limit, NodeId(owner_p as u8), link)
+                        .expect("MMIO map fits");
+                }
+                node.nb.addr_map.validate().expect("disjoint map");
+                // Broadcasts stay on supernode-internal links.
+                let mut enable = [false; LINKS_PER_NODE];
+                if p > 0 {
+                    enable[0] = true;
+                }
+                if p + 1 < spec.supernode.processors {
+                    enable[1] = true;
+                }
+                node.nb.broadcast_enable = enable;
+            }
+        }
+    }
+
+    /// Step 6 — CPU MSR init: MTRRs. Remote (MMIO) space becomes
+    /// write-combining on the send side; the locally exported DRAM slice
+    /// becomes uncacheable so polling observes incoming posted writes.
+    pub fn cpu_msr_init(&mut self, platform: &mut Platform) {
+        self.step(platform, "cpu-msr-init");
+        let spec = platform.spec;
+        for s in 0..spec.supernode_count() {
+            let mmio_plan = spec.mmio_plan(s);
+            for p in 0..spec.supernode.processors {
+                let n = spec.proc_index(s, p);
+                let node = &mut platform.nodes[n];
+                node.mtrrs.clear();
+                for plan in MemTypePlan::for_node(&spec, s, &mmio_plan) {
+                    node.mtrrs.program(plan.0, plan.1, plan.2);
+                }
+            }
+        }
+    }
+
+    /// Step 7 — memory init.
+    pub fn memory_init(&mut self, platform: &mut Platform) {
+        self.step(platform, "memory-init");
+        self.now += Duration::from_millis(1); // DIMM training, symbolic
+        for node in &mut platform.nodes {
+            node.regs.mem_initialized = true;
+        }
+    }
+
+    /// Steps 8–11 — exit cache-as-RAM, skip non-coherent enumeration of
+    /// TCC links, post init, load OS. Pure sequencing markers.
+    pub fn finish_sequence(&mut self, platform: &mut Platform) {
+        self.step(platform, "exit-car");
+        self.step(platform, "skip-nc-enumeration");
+        // Regular firmware would now probe the "I/O device" behind each
+        // non-coherent link; for TCC links that would hang (the far side is
+        // a processor, not a device) — the modified firmware skips them.
+        let wires = platform.wires.clone();
+        for w in wires.iter().filter(|w| !w.internal) {
+            platform.trace.log(
+                self.now,
+                "fw.boot",
+                format!(
+                    "nc-enumeration skipped for TCC link node{} link{}",
+                    w.a.0, w.a.1 .0
+                ),
+            );
+        }
+        self.step(platform, "post-init");
+        self.step(platform, "load-os");
+        self.now += Duration::from_millis(5);
+    }
+
+    /// Step 12 — enable remote access and run the self test: a store from
+    /// every supernode's BSP into every other supernode's memory must land
+    /// in the right node's DRAM (multi-hop through the mesh included).
+    pub fn enable_remote_access(&mut self, platform: &mut Platform) -> usize {
+        self.step(platform, "enable-remote-access");
+        let spec = platform.spec;
+        let count = spec.supernode_count();
+        let mut pairs = 0;
+        for src in 0..count {
+            for dst in 0..count {
+                if src == dst {
+                    continue;
+                }
+                let src_node = spec.proc_index(src, 0);
+                // Probe address: 64 B into dst's first processor's slice.
+                let addr = spec.node_base(dst, 0) + 64;
+                let pattern = [(0xA0 + src as u8) ^ dst as u8; 8];
+                let (_, commits) =
+                    platform.store_and_propagate(src_node, self.now, addr, &pattern);
+                let dst_node = spec.proc_index(dst, 0);
+                let hit = commits
+                    .iter()
+                    .find(|c| c.node == dst_node && c.offset == 64)
+                    .unwrap_or_else(|| {
+                        panic!("self-test store {src}→{dst} did not land: {commits:?}")
+                    });
+                assert!(hit.visible > self.now);
+                assert_eq!(platform.nodes[dst_node].mem.peek(64, 8), &pattern);
+                pairs += 1;
+            }
+        }
+        platform.trace.log(
+            self.now,
+            "fw.boot",
+            format!("remote-access self-test passed for {pairs} pairs"),
+        );
+        pairs
+    }
+
+    /// Verify interrupts cannot escape: walk a broadcast from every node
+    /// and assert it never crosses a TCC cable.
+    pub fn verify_interrupt_containment(&mut self, platform: &mut Platform) {
+        self.step(platform, "verify-interrupt-containment");
+        let spec = platform.spec;
+        for n in 0..platform.nodes.len() {
+            let intr = tcc_ht::packet::Packet::control(tcc_ht::packet::Command::Broadcast {
+                unit: tcc_ht::packet::UnitId::HOST,
+                addr: 0xFEE0_0000,
+            });
+            // Inject at the node's own northbridge and follow forwards.
+            let mut work = vec![(n, None::<LinkId>, intr)];
+            let mut visited = 0;
+            while let Some((at, via, pkt)) = work.pop() {
+                visited += 1;
+                assert!(visited <= spec.total_processors() * 2, "broadcast loop");
+                let src = match via {
+                    None => tcc_opteron::nb::Source::Core,
+                    Some(l) => tcc_opteron::nb::Source::Link {
+                        id: l,
+                        coherent: true,
+                    },
+                };
+                match platform.nodes[at].nb.dispose(&pkt, src).expect("broadcast") {
+                    tcc_opteron::nb::Disposition::Forward { link } => {
+                        assert!(
+                            !platform.is_tcc_port(at, link),
+                            "interrupt broadcast escaped over TCC port node{at} link{}",
+                            link.0
+                        );
+                        let (peer, plink) =
+                            platform.peer_of(at, link).expect("wired broadcast route");
+                        work.push((peer, Some(plink), pkt.clone()));
+                    }
+                    tcc_opteron::nb::Disposition::Filtered { .. } => {}
+                    other => panic!("broadcast disposed unexpectedly: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// The complete sequence.
+    pub fn run(mut self, platform: &mut Platform) -> BootReport {
+        self.cold_reset(platform);
+        let enumerations = self.coherent_enumeration(platform);
+        self.force_noncoherent(platform);
+        self.warm_reset(platform);
+        self.northbridge_init(platform);
+        self.cpu_msr_init(platform);
+        self.memory_init(platform);
+        self.finish_sequence(platform);
+        let selftest_pairs = self.enable_remote_access(platform);
+        self.verify_interrupt_containment(platform);
+        BootReport {
+            steps: self.steps,
+            enumerations,
+            completed_at: self.now,
+            selftest_pairs,
+        }
+    }
+}
+
+/// Boot a platform with the full TCCluster sequence.
+pub fn boot(platform: &mut Platform) -> BootReport {
+    TccBoot::new().run(platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Platform;
+    use crate::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
+    use tcc_opteron::UarchParams;
+
+    const MB: u64 = 1 << 20;
+
+    fn booted(spec: ClusterSpec) -> (Platform, BootReport) {
+        let mut p = Platform::assemble(spec, UarchParams::shanghai());
+        let r = boot(&mut p);
+        (p, r)
+    }
+
+    #[test]
+    fn pair_boots_and_passes_selftest() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        let (p, r) = booted(spec);
+        assert_eq!(r.selftest_pairs, 2);
+        assert_eq!(
+            r.steps.first().copied(),
+            Some("cold-reset")
+        );
+        // Ordering proof: force-ncHT before warm reset, warm reset before
+        // northbridge init.
+        assert!(p.trace.happened_before("force-non-coherent", "warm-reset"));
+        assert!(p.trace.happened_before("warm-reset", "northbridge-init"));
+        assert!(p
+            .trace
+            .happened_before("force-ncHT programmed", "trained non-coherent"));
+    }
+
+    #[test]
+    fn two_socket_supernodes_boot() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(2, MB), ClusterTopology::Pair);
+        let (p, r) = booted(spec);
+        assert_eq!(r.selftest_pairs, 2);
+        assert_eq!(r.enumerations.len(), 2);
+        assert_eq!(r.enumerations[0].discovered.len(), 2);
+        // Internal links stayed coherent at full speed.
+        let cfg = p.endpoints[&(0, 1)].active().unwrap();
+        assert!(cfg.coherent);
+        assert_eq!(cfg.config.clock_mhz, 2600);
+    }
+
+    #[test]
+    fn chain_of_four_multihop_selftest() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Chain(4));
+        let (_, r) = booted(spec);
+        assert_eq!(r.selftest_pairs, 12, "4x3 ordered pairs, incl. 3-hop");
+    }
+
+    #[test]
+    fn mesh_2x2_boots() {
+        let spec = ClusterSpec::new(
+            SupernodeSpec::new(2, MB),
+            ClusterTopology::Mesh { x: 2, y: 2 },
+        );
+        let (_, r) = booted(spec);
+        assert_eq!(r.selftest_pairs, 12);
+    }
+
+    #[test]
+    fn mtrrs_programmed_as_paper_requires() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        let (p, _) = booted(spec);
+        let spec = p.spec;
+        // Node 0: own slice UC, remote slice WC.
+        let own = spec.node_base(0, 0);
+        let remote = spec.node_base(1, 0);
+        assert_eq!(
+            p.nodes[0].mtrrs.resolve(own + 128),
+            tcc_opteron::MemType::Uncacheable
+        );
+        assert_eq!(
+            p.nodes[0].mtrrs.resolve(remote + 128),
+            tcc_opteron::MemType::WriteCombining
+        );
+    }
+
+    #[test]
+    fn second_boot_is_idempotent() {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        let mut p = Platform::assemble(spec, UarchParams::shanghai());
+        boot(&mut p);
+        let r2 = boot(&mut p);
+        assert_eq!(r2.selftest_pairs, 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! Cluster topology descriptors and the global address-space layout.
+//!
+//! A *supernode* (paper §IV.E) is a chain of processors joined by coherent
+//! HT links, with one southbridge on the BSP and up to four TCCluster
+//! ports. Supernodes are arranged in a pair, a chain, or a 2-D mesh; the
+//! global physical address space is laid out contiguously (row-major for
+//! meshes) because the northbridge's interval routing cannot express
+//! memory holes (paper §IV.D).
+//!
+//! Port convention (chain-internal links are `l0` ← previous / `l1` → next):
+//!
+//! * southbridge: processor 0, link 0 (free: p0 has no previous neighbour)
+//! * West port:  processor 0, link 2        North port: processor 0, link 3
+//! * East port:  processor P-1, link 2      South port: processor P-1, link 3
+//!
+//! Single-processor supernodes therefore support only West/East (pair and
+//! chain topologies); meshes need at least two processors per supernode.
+
+use tcc_opteron::regs::{LinkId, NodeId};
+
+/// Shape of one supernode.
+#[derive(Debug, Clone, Copy)]
+pub struct SupernodeSpec {
+    /// Processors per supernode (1..=8, chained coherently).
+    pub processors: usize,
+    /// DRAM attached to each processor, bytes.
+    pub dram_per_node: u64,
+}
+
+impl SupernodeSpec {
+    pub fn new(processors: usize, dram_per_node: u64) -> Self {
+        assert!(
+            (1..=NodeId::MAX_COHERENT as usize).contains(&processors),
+            "supernode size {processors} exceeds the 8-node coherent limit"
+        );
+        assert!(dram_per_node.is_power_of_two(), "DRAM size must be 2^k");
+        SupernodeSpec {
+            processors,
+            dram_per_node,
+        }
+    }
+
+    /// Bytes of the global address space one supernode occupies.
+    pub fn slice_bytes(&self) -> u64 {
+        self.processors as u64 * self.dram_per_node
+    }
+}
+
+/// Arrangement of supernodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterTopology {
+    /// Two supernodes, one TCCluster cable — the paper's prototype.
+    Pair,
+    /// A 1-D chain of `n` supernodes (West–East).
+    Chain(usize),
+    /// An `x` × `y` mesh with X-Y (dimension-ordered) routing.
+    Mesh { x: usize, y: usize },
+}
+
+impl ClusterTopology {
+    pub fn supernode_count(&self) -> usize {
+        match *self {
+            ClusterTopology::Pair => 2,
+            ClusterTopology::Chain(n) => n,
+            ClusterTopology::Mesh { x, y } => x * y,
+        }
+    }
+
+    /// Grid position of supernode `s` (chain = 1-row mesh).
+    pub fn position(&self, s: usize) -> (usize, usize) {
+        match *self {
+            ClusterTopology::Pair => (0, s),
+            ClusterTopology::Chain(_) => (0, s),
+            ClusterTopology::Mesh { x, .. } => (s / x, s % x),
+        }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        match *self {
+            ClusterTopology::Pair => 2,
+            ClusterTopology::Chain(n) => n,
+            ClusterTopology::Mesh { x, .. } => x,
+        }
+    }
+
+    /// Hop distance between two supernodes under X-Y routing.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ra, ca) = self.position(a);
+        let (rb, cb) = self.position(b);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+}
+
+/// The four TCCluster ports of a supernode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    West,
+    East,
+    North,
+    South,
+}
+
+impl Port {
+    pub const ALL: [Port; 4] = [Port::West, Port::East, Port::North, Port::South];
+
+    /// (processor index within supernode, link) implementing this port.
+    ///
+    /// Single-processor supernodes fold East onto link 3 (so West/East
+    /// coexist for chains) and cannot offer North/South.
+    pub fn attach(self, spec: &SupernodeSpec) -> (usize, LinkId) {
+        let last = spec.processors - 1;
+        match self {
+            Port::West => (0, LinkId(2)),
+            Port::East if spec.processors == 1 => (0, LinkId(3)),
+            Port::East => (last, LinkId(2)),
+            Port::North => {
+                assert!(spec.processors >= 2, "North port needs >= 2 processors");
+                (0, LinkId(3))
+            }
+            Port::South => {
+                assert!(spec.processors >= 2, "South port needs >= 2 processors");
+                (last, LinkId(3))
+            }
+        }
+    }
+}
+
+/// Where the southbridge hangs.
+pub const SOUTHBRIDGE: (usize, LinkId) = (0, LinkId(0));
+
+/// Base of the global DRAM window (leaving low memory for legacy ranges).
+pub const GLOBAL_BASE: u64 = 0x1_0000_0000; // 4 GiB
+
+/// Full cluster description.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    pub supernode: SupernodeSpec,
+    pub topology: ClusterTopology,
+}
+
+impl ClusterSpec {
+    pub fn new(supernode: SupernodeSpec, topology: ClusterTopology) -> Self {
+        if let ClusterTopology::Mesh { x, y } = topology {
+            assert!(x >= 1 && y >= 1);
+            if y > 1 {
+                assert!(
+                    supernode.processors >= 2,
+                    "mesh topologies need >= 2 processors per supernode \
+                     (four TCC ports)"
+                );
+            }
+        }
+        ClusterSpec {
+            supernode,
+            topology,
+        }
+    }
+
+    pub fn supernode_count(&self) -> usize {
+        self.topology.supernode_count()
+    }
+
+    pub fn total_processors(&self) -> usize {
+        self.supernode_count() * self.supernode.processors
+    }
+
+    /// Global index of processor `p` of supernode `s`.
+    pub fn proc_index(&self, s: usize, p: usize) -> usize {
+        s * self.supernode.processors + p
+    }
+
+    /// Base address of supernode `s`'s DRAM slice.
+    pub fn supernode_base(&self, s: usize) -> u64 {
+        GLOBAL_BASE + s as u64 * self.supernode.slice_bytes()
+    }
+
+    /// Base address of the DRAM of processor `p` in supernode `s`.
+    pub fn node_base(&self, s: usize, p: usize) -> u64 {
+        self.supernode_base(s) + p as u64 * self.supernode.dram_per_node
+    }
+
+    /// Exclusive end of the global space.
+    pub fn global_end(&self) -> u64 {
+        GLOBAL_BASE + self.supernode_count() as u64 * self.supernode.slice_bytes()
+    }
+
+    /// The neighbour of supernode `s` through `port`, if it exists.
+    pub fn neighbor(&self, s: usize, port: Port) -> Option<usize> {
+        let (r, c) = self.topology.position(s);
+        let w = self.topology.width();
+        let count = self.supernode_count();
+        let rows = count.div_ceil(w);
+        match port {
+            Port::West if c > 0 => Some(r * w + (c - 1)),
+            Port::East if c + 1 < w && r * w + c + 1 < count => Some(r * w + c + 1),
+            Port::North if r > 0 => Some((r - 1) * w + c),
+            Port::South if r + 1 < rows && (r + 1) * w + c < count => Some((r + 1) * w + c),
+            _ => None,
+        }
+    }
+
+    /// All TCCluster cables as ((supernode, port), (supernode, port)),
+    /// each listed once.
+    pub fn cables(&self) -> Vec<((usize, Port), (usize, Port))> {
+        let mut out = Vec::new();
+        for s in 0..self.supernode_count() {
+            if let Some(e) = self.neighbor(s, Port::East) {
+                out.push(((s, Port::East), (e, Port::West)));
+            }
+            if let Some(d) = self.neighbor(s, Port::South) {
+                out.push(((s, Port::South), (d, Port::North)));
+            }
+        }
+        out
+    }
+
+    /// The MMIO programming for processor `p` of supernode `s`: a list of
+    /// (base, limit, owner-processor-in-supernode, link) directing every
+    /// non-local global address toward the right port under X-Y routing.
+    pub fn mmio_plan(&self, s: usize) -> Vec<(u64, u64, usize, LinkId)> {
+        let spec = &self.supernode;
+        let (r, _) = self.topology.position(s);
+        let w = self.topology.width();
+        let slice = spec.slice_bytes();
+        let row_base = GLOBAL_BASE + (r * w) as u64 * slice;
+        let my_base = self.supernode_base(s);
+        let my_end = my_base + slice;
+        let count = self.supernode_count();
+        let row_len = ((count - r * w).min(w)) as u64;
+        let row_end = row_base + row_len * slice;
+        let mut plan = Vec::new();
+        let port = |p: Port| p.attach(spec);
+        // X first: within my row.
+        if my_base > row_base {
+            let (p, l) = port(Port::West);
+            plan.push((row_base, my_base, p, l));
+        }
+        if row_end > my_end {
+            let (p, l) = port(Port::East);
+            plan.push((my_end, row_end, p, l));
+        }
+        // Then Y: everything in earlier rows goes North, later rows South.
+        if row_base > GLOBAL_BASE {
+            let (p, l) = port(Port::North);
+            plan.push((GLOBAL_BASE, row_base, p, l));
+        }
+        if self.global_end() > row_end {
+            let (p, l) = port(Port::South);
+            plan.push((row_end, self.global_end(), p, l));
+        }
+        plan
+    }
+}
+
+/// MTRR programming plan: (base, limit, type) triples for one processor.
+pub struct MemTypePlan;
+
+impl MemTypePlan {
+    /// The paper's §V "CPU MSR Init": the locally exported DRAM slice is
+    /// uncacheable (polls must see incoming posted writes); every remote
+    /// (MMIO) window is write-combining (stores coalesce into max-size HT
+    /// packets). Peer slices inside the same supernode stay write-back
+    /// (default, coherent fabric keeps them consistent).
+    pub fn for_node(
+        spec: &ClusterSpec,
+        s: usize,
+        mmio_plan: &[(u64, u64, usize, tcc_opteron::regs::LinkId)],
+    ) -> Vec<(u64, u64, tcc_opteron::mtrr::MemType)> {
+        use tcc_opteron::mtrr::MemType;
+        let mut out = Vec::new();
+        out.push((
+            spec.supernode_base(s),
+            spec.supernode_base(s) + spec.supernode.slice_bytes(),
+            MemType::Uncacheable,
+        ));
+        for &(base, limit, ..) in mmio_plan {
+            out.push((base, limit, MemType::WriteCombining));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn pair() -> ClusterSpec {
+        ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair)
+    }
+
+    fn mesh22() -> ClusterSpec {
+        ClusterSpec::new(SupernodeSpec::new(2, MB), ClusterTopology::Mesh { x: 2, y: 2 })
+    }
+
+    #[test]
+    fn pair_layout() {
+        let c = pair();
+        assert_eq!(c.supernode_count(), 2);
+        assert_eq!(c.supernode_base(0), GLOBAL_BASE);
+        assert_eq!(c.supernode_base(1), GLOBAL_BASE + MB);
+        assert_eq!(c.global_end(), GLOBAL_BASE + 2 * MB);
+        assert_eq!(c.cables().len(), 1);
+        assert_eq!(c.neighbor(0, Port::East), Some(1));
+        assert_eq!(c.neighbor(0, Port::West), None);
+        assert_eq!(c.neighbor(1, Port::West), Some(0));
+    }
+
+    #[test]
+    fn pair_mmio_plan_covers_everything_remote() {
+        let c = pair();
+        let plan0 = c.mmio_plan(0);
+        assert_eq!(plan0, vec![(GLOBAL_BASE + MB, GLOBAL_BASE + 2 * MB, 0, LinkId(3))]);
+        let plan1 = c.mmio_plan(1);
+        assert_eq!(plan1, vec![(GLOBAL_BASE, GLOBAL_BASE + MB, 0, LinkId(2))]);
+    }
+
+    #[test]
+    fn chain_hops() {
+        let t = ClusterTopology::Chain(8);
+        assert_eq!(t.hops(0, 7), 7);
+        assert_eq!(t.hops(3, 3), 0);
+        let c = ClusterSpec::new(SupernodeSpec::new(1, MB), t);
+        assert_eq!(c.cables().len(), 7);
+    }
+
+    #[test]
+    fn mesh_positions_and_cables() {
+        let c = mesh22();
+        assert_eq!(c.topology.position(3), (1, 1));
+        assert_eq!(c.topology.hops(0, 3), 2);
+        // 2x2 mesh: 2 horizontal + 2 vertical cables.
+        assert_eq!(c.cables().len(), 4);
+        assert_eq!(c.neighbor(0, Port::South), Some(2));
+        assert_eq!(c.neighbor(3, Port::North), Some(1));
+    }
+
+    #[test]
+    fn mesh_mmio_plan_xy_routing() {
+        let c = mesh22();
+        let slice = 2 * MB;
+        // Supernode 3 is at (1,1): West interval covers supernode 2, North
+        // interval covers row 0.
+        let plan = c.mmio_plan(3);
+        let west = (GLOBAL_BASE + 2 * slice, GLOBAL_BASE + 3 * slice, 0, LinkId(2));
+        let north = (GLOBAL_BASE, GLOBAL_BASE + 2 * slice, 0, LinkId(3));
+        assert!(plan.contains(&west), "{plan:?}");
+        assert!(plan.contains(&north), "{plan:?}");
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn mmio_plan_fits_register_budget() {
+        let c = ClusterSpec::new(
+            SupernodeSpec::new(2, MB),
+            ClusterTopology::Mesh { x: 16, y: 16 },
+        );
+        for s in 0..c.supernode_count() {
+            let plan = c.mmio_plan(s);
+            assert!(plan.len() <= 4, "supernode {s}: {} ranges", plan.len());
+            // Plan plus the supernode's own DRAM covers the global space
+            // exactly once.
+            let mut covered: u64 = plan.iter().map(|(b, l, ..)| l - b).sum();
+            covered += c.supernode.slice_bytes();
+            assert_eq!(covered, c.global_end() - GLOBAL_BASE);
+        }
+    }
+
+    #[test]
+    fn port_attachment_convention() {
+        let two = SupernodeSpec::new(2, MB);
+        assert_eq!(Port::West.attach(&two), (0, LinkId(2)));
+        assert_eq!(Port::North.attach(&two), (0, LinkId(3)));
+        assert_eq!(Port::East.attach(&two), (1, LinkId(2)));
+        assert_eq!(Port::South.attach(&two), (1, LinkId(3)));
+        let one = SupernodeSpec::new(1, MB);
+        assert_eq!(Port::East.attach(&one), (0, LinkId(3)), "1-proc East folds onto link 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "8-node coherent limit")]
+    fn oversized_supernode_rejected() {
+        SupernodeSpec::new(9, MB);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 processors")]
+    fn mesh_needs_two_procs() {
+        ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Mesh { x: 2, y: 2 });
+    }
+}

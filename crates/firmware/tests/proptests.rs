@@ -1,0 +1,100 @@
+//! Property-based tests for the firmware layer: address layout and MMIO
+//! plans over arbitrary topologies.
+
+use proptest::prelude::*;
+use tcc_firmware::topology::{ClusterSpec, ClusterTopology, Port, SupernodeSpec, GLOBAL_BASE};
+
+const MB: u64 = 1 << 20;
+
+fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
+    prop_oneof![
+        (1usize..=8).prop_map(|p| ClusterSpec::new(
+            SupernodeSpec::new(p, MB),
+            ClusterTopology::Pair
+        )),
+        ((1usize..=4), (2usize..=12)).prop_map(|(p, n)| ClusterSpec::new(
+            SupernodeSpec::new(p, MB),
+            ClusterTopology::Chain(n)
+        )),
+        ((2usize..=8), (1usize..=8), (1usize..=6)).prop_map(|(p, x, y)| ClusterSpec::new(
+            SupernodeSpec::new(p, MB),
+            ClusterTopology::Mesh { x, y }
+        )),
+    ]
+}
+
+proptest! {
+    /// Every supernode's MMIO plan plus its own DRAM slice tiles the
+    /// global address space exactly once, with at most 4 MMIO registers.
+    #[test]
+    fn mmio_plans_tile_the_space(spec in arb_spec()) {
+        let total = spec.global_end() - GLOBAL_BASE;
+        for s in 0..spec.supernode_count() {
+            let plan = spec.mmio_plan(s);
+            prop_assert!(plan.len() <= 4, "supernode {s} uses {} registers", plan.len());
+            // Disjoint.
+            for (i, a) in plan.iter().enumerate() {
+                for b in plan.iter().skip(i + 1) {
+                    prop_assert!(a.1 <= b.0 || b.1 <= a.0, "overlap {a:?} {b:?}");
+                }
+                // Own slice not covered by MMIO.
+                let own = (spec.supernode_base(s), spec.supernode_base(s) + spec.supernode.slice_bytes());
+                prop_assert!(a.1 <= own.0 || own.1 <= a.0, "MMIO overlaps own DRAM");
+            }
+            let covered: u64 = plan.iter().map(|(b, l, ..)| l - b).sum();
+            prop_assert_eq!(covered + spec.supernode.slice_bytes(), total);
+        }
+    }
+
+    /// The MMIO plan's ports route toward the destination: following the
+    /// plan from any source supernode reaches any target in exactly
+    /// `hops(src, dst)` steps (X-Y routing terminates and is minimal).
+    #[test]
+    fn mmio_plans_route_minimally(spec in arb_spec(), src_f in 0.0f64..1.0, dst_f in 0.0f64..1.0) {
+        let count = spec.supernode_count();
+        let src = ((count as f64 * src_f) as usize).min(count - 1);
+        let dst = ((count as f64 * dst_f) as usize).min(count - 1);
+        prop_assume!(src != dst);
+        let target_addr = spec.supernode_base(dst);
+        let mut at = src;
+        let mut steps = 0;
+        while at != dst {
+            steps += 1;
+            prop_assert!(steps <= count, "routing loop");
+            let plan = spec.mmio_plan(at);
+            let (_, _, owner_p, link) = *plan
+                .iter()
+                .find(|(b, l, ..)| target_addr >= *b && target_addr < *l)
+                .expect("target covered");
+            // Identify which port (owner_p, link) is and hop through it.
+            let port = Port::ALL
+                .iter()
+                .copied()
+                .find(|p| {
+                    // Ports only exist where a neighbour exists.
+                    spec.neighbor(at, *p).is_some() && p.attach(&spec.supernode) == (owner_p, link)
+                })
+                .expect("plan names a real port");
+            at = spec.neighbor(at, port).expect("port has a neighbour");
+        }
+        prop_assert_eq!(steps, spec.topology.hops(src, dst));
+    }
+
+    /// Cables are symmetric and unique: every cable appears once and its
+    /// two endpoints name each other through opposite ports.
+    #[test]
+    fn cables_are_consistent(spec in arb_spec()) {
+        let cables = spec.cables();
+        for ((sa, pa), (sb, pb)) in &cables {
+            prop_assert_eq!(spec.neighbor(*sa, *pa), Some(*sb));
+            prop_assert_eq!(spec.neighbor(*sb, *pb), Some(*sa));
+        }
+        // No duplicates in either orientation.
+        for (i, a) in cables.iter().enumerate() {
+            for b in cables.iter().skip(i + 1) {
+                prop_assert!(a.0 != b.0 || a.1 != b.1);
+                prop_assert!(a.0 != b.1 || a.1 != b.0);
+            }
+        }
+    }
+}

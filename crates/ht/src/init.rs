@@ -1,0 +1,298 @@
+//! Link initialisation: the state machine TCCluster subverts.
+//!
+//! After a cold reset both endpoints drive training patterns at 200 MHz /
+//! 8 bit, detect each other, and *identify* as coherent or non-coherent
+//! devices. Two Opterons normally identify as coherent. TCCluster's trick
+//! (paper §IV.B): after coherent enumeration the BSP sets a debug register
+//! that forces the link to identify as **non-coherent** — but the change
+//! only takes effect at the next **warm reset**, when low-level link
+//! initialisation re-runs with the programmed identity, width and frequency.
+//!
+//! This module models that FSM per link endpoint, including the negotiation
+//! rules (width = min of both, clock = min of both, link is coherent only
+//! if *both* sides identify coherent).
+
+use crate::link::LinkConfig;
+use tcc_fabric::time::Duration;
+
+/// What an endpoint announces during the identification phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Identity {
+    /// A processor in its default state.
+    Coherent,
+    /// An I/O device — or a processor with the force-ncHT debug bit set.
+    NonCoherent,
+}
+
+/// Per-endpoint programmable link registers (survive warm reset, cleared by
+/// cold reset).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRegs {
+    /// Programmed link clock for the next initialisation.
+    pub freq_mhz: u32,
+    /// Programmed width for the next initialisation.
+    pub width_bits: u8,
+    /// The undocumented debug bit: identify as non-coherent after the next
+    /// warm reset.
+    pub force_noncoherent: bool,
+    /// Whether this endpoint is a processor (true) or an I/O device.
+    pub is_processor: bool,
+}
+
+impl LinkRegs {
+    pub fn processor_default() -> Self {
+        LinkRegs {
+            freq_mhz: LinkConfig::BOOT.clock_mhz,
+            width_bits: LinkConfig::BOOT.width_bits,
+            force_noncoherent: false,
+            is_processor: true,
+        }
+    }
+
+    pub fn io_device() -> Self {
+        LinkRegs {
+            is_processor: false,
+            ..Self::processor_default()
+        }
+    }
+
+    fn identity(&self) -> Identity {
+        if !self.is_processor || self.force_noncoherent {
+            Identity::NonCoherent
+        } else {
+            Identity::Coherent
+        }
+    }
+}
+
+/// The per-endpoint initialisation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Powered down / in reset.
+    Reset,
+    /// Driving training patterns, waiting for the partner.
+    Training,
+    /// Link up; parameters fixed until the next reset.
+    Active(ActiveLink),
+    /// No partner detected (unconnected link).
+    Disconnected,
+}
+
+/// Parameters of an established link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveLink {
+    pub coherent: bool,
+    pub config: LinkConfig,
+}
+
+/// One endpoint of a link undergoing initialisation.
+#[derive(Debug, Clone)]
+pub struct LinkEndpoint {
+    pub regs: LinkRegs,
+    pub state: LinkState,
+}
+
+/// Time a low-level link initialisation takes (training sequence at
+/// 200 MHz; order of microseconds — exact value only affects boot-time
+/// reporting, not any experiment).
+pub const TRAINING_TIME: Duration = Duration(2_000_000); // 2 us
+
+impl LinkEndpoint {
+    pub fn new(regs: LinkRegs) -> Self {
+        LinkEndpoint {
+            regs,
+            state: LinkState::Reset,
+        }
+    }
+
+    /// Cold reset: clears programmed registers back to defaults (but keeps
+    /// the device kind) and drops the link.
+    pub fn cold_reset(&mut self) {
+        let is_processor = self.regs.is_processor;
+        self.regs = if is_processor {
+            LinkRegs::processor_default()
+        } else {
+            LinkRegs::io_device()
+        };
+        self.state = LinkState::Reset;
+    }
+
+    /// Warm reset: drops the link but **keeps** programmed registers —
+    /// this is the hook that makes force-ncHT effective.
+    pub fn warm_reset(&mut self) {
+        self.state = LinkState::Reset;
+    }
+
+    pub fn begin_training(&mut self) {
+        self.state = LinkState::Training;
+    }
+
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, LinkState::Active(_))
+    }
+
+    pub fn active(&self) -> Option<ActiveLink> {
+        match self.state {
+            LinkState::Active(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Negotiate a link between two endpoints that are both in `Training`.
+///
+/// Returns the agreed parameters and moves both endpoints to `Active`.
+/// Negotiation rules (HT spec): width and clock are the minimum of the two
+/// sides' programmed values; the link is coherent only if **both** sides
+/// identify as coherent. The first post-cold-reset training always runs at
+/// 200 MHz / 8 bit regardless of programmed values — programmed values take
+/// effect from the next warm reset (`first_training = false`).
+pub fn negotiate(
+    a: &mut LinkEndpoint,
+    b: &mut LinkEndpoint,
+    hop_latency: Duration,
+    first_training: bool,
+) -> ActiveLink {
+    assert_eq!(a.state, LinkState::Training, "endpoint A not training");
+    assert_eq!(b.state, LinkState::Training, "endpoint B not training");
+
+    let coherent =
+        a.regs.identity() == Identity::Coherent && b.regs.identity() == Identity::Coherent;
+    let config = if first_training {
+        LinkConfig {
+            hop_latency,
+            ..LinkConfig::BOOT
+        }
+    } else {
+        LinkConfig {
+            clock_mhz: a.regs.freq_mhz.min(b.regs.freq_mhz),
+            width_bits: a.regs.width_bits.min(b.regs.width_bits),
+            hop_latency,
+        }
+    };
+    let link = ActiveLink { coherent, config };
+    a.state = LinkState::Active(link);
+    b.state = LinkState::Active(link);
+    link
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> Duration {
+        Duration::from_nanos(50)
+    }
+
+    #[test]
+    fn two_processors_come_up_coherent() {
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        let mut b = LinkEndpoint::new(LinkRegs::processor_default());
+        a.begin_training();
+        b.begin_training();
+        let l = negotiate(&mut a, &mut b, lat(), true);
+        assert!(l.coherent);
+        assert_eq!(l.config.clock_mhz, 200);
+        assert_eq!(l.config.width_bits, 8);
+        assert!(a.is_active() && b.is_active());
+    }
+
+    #[test]
+    fn processor_to_io_device_is_noncoherent() {
+        let mut cpu = LinkEndpoint::new(LinkRegs::processor_default());
+        let mut sb = LinkEndpoint::new(LinkRegs::io_device());
+        cpu.begin_training();
+        sb.begin_training();
+        let l = negotiate(&mut cpu, &mut sb, lat(), true);
+        assert!(!l.coherent, "southbridge link is always non-coherent");
+    }
+
+    #[test]
+    fn tccluster_sequence_forces_noncoherent_cpu_link() {
+        // The paper's §IV.B sequence in miniature.
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        let mut b = LinkEndpoint::new(LinkRegs::processor_default());
+
+        // 1. Cold reset → first training: link is coherent.
+        a.begin_training();
+        b.begin_training();
+        let first = negotiate(&mut a, &mut b, lat(), true);
+        assert!(first.coherent);
+
+        // 2. Over the (still coherent) link, firmware sets the debug bit on
+        //    both sides and programs the target speed.
+        for ep in [&mut a, &mut b] {
+            ep.regs.force_noncoherent = true;
+            ep.regs.freq_mhz = 800;
+            ep.regs.width_bits = 16;
+        }
+        // The change is NOT live yet.
+        assert!(matches!(a.state, LinkState::Active(l) if l.coherent));
+
+        // 3. Warm reset → retrain: the programmed identity takes effect.
+        a.warm_reset();
+        b.warm_reset();
+        a.begin_training();
+        b.begin_training();
+        let second = negotiate(&mut a, &mut b, lat(), false);
+        assert!(!second.coherent, "link now identifies non-coherent");
+        assert_eq!(second.config.clock_mhz, 800);
+        assert_eq!(second.config.width_bits, 16);
+    }
+
+    #[test]
+    fn cold_reset_clears_the_debug_bit() {
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        a.regs.force_noncoherent = true;
+        a.regs.freq_mhz = 800;
+        a.cold_reset();
+        assert!(!a.regs.force_noncoherent);
+        assert_eq!(a.regs.freq_mhz, 200);
+        assert_eq!(a.state, LinkState::Reset);
+    }
+
+    #[test]
+    fn warm_reset_preserves_programmed_registers() {
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        a.regs.freq_mhz = 2600;
+        a.warm_reset();
+        assert_eq!(a.regs.freq_mhz, 2600);
+    }
+
+    #[test]
+    fn negotiation_takes_minimum_of_both_sides() {
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        let mut b = LinkEndpoint::new(LinkRegs::processor_default());
+        a.regs.freq_mhz = 2600;
+        a.regs.width_bits = 16;
+        b.regs.freq_mhz = 800;
+        b.regs.width_bits = 8;
+        a.begin_training();
+        b.begin_training();
+        let l = negotiate(&mut a, &mut b, lat(), false);
+        assert_eq!(l.config.clock_mhz, 800);
+        assert_eq!(l.config.width_bits, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not training")]
+    fn negotiate_requires_training_state() {
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        let mut b = LinkEndpoint::new(LinkRegs::processor_default());
+        a.begin_training();
+        negotiate(&mut a, &mut b, lat(), true);
+    }
+
+    #[test]
+    fn one_sided_force_still_kills_coherence() {
+        // Even if only one side has the debug bit, the link cannot be
+        // coherent (both must identify coherent).
+        let mut a = LinkEndpoint::new(LinkRegs::processor_default());
+        let mut b = LinkEndpoint::new(LinkRegs::processor_default());
+        a.regs.force_noncoherent = true;
+        a.begin_training();
+        b.begin_training();
+        let l = negotiate(&mut a, &mut b, lat(), false);
+        assert!(!l.coherent);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tcc-ht — HyperTransport protocol model
+//!
+//! Everything TCCluster needs from the HyperTransport I/O Link Specification
+//! rev 3.10, built from scratch:
+//!
+//! * [`packet`] — commands, virtual channels, SrcTags, packet wire sizes.
+//! * [`wire`] — binary encode/decode of 4- and 8-byte control packets.
+//! * [`flow`] — per-VC credit-based flow control with NOP credit returns.
+//! * [`link`] — physical-layer configs (HT200…HT3), serialisation, VC
+//!   arbitration, CRC error injection and link-level retry.
+//! * [`init`] — the link-initialisation FSM, including the force-ncHT debug
+//!   register whose abuse is the heart of the TCCluster mechanism.
+//! * [`crc`] — the per-window CRC-32 and its bandwidth derate.
+//! * [`ordering`] — the I/O ordering rules (PassPW, Fence) and a FIFO
+//!   delivery checker.
+//! * [`retry`] — the HT3 link-level retry protocol: per-frame CRC +
+//!   sequence numbers, cumulative acks, nak-triggered Go-Back-N replay.
+
+pub mod crc;
+pub mod flow;
+pub mod init;
+pub mod link;
+pub mod ordering;
+pub mod packet;
+pub mod retry;
+pub mod wire;
+
+pub use flow::{CreditReturn, RxBuffers, TxCredits};
+pub use init::{ActiveLink, Identity, LinkEndpoint, LinkRegs, LinkState};
+pub use link::{Delivery, LinkConfig, LinkRx, LinkStats, LinkTx};
+pub use packet::{Command, Opcode, Packet, SrcTag, UnitId, VirtualChannel, MAX_DATA};

@@ -1,0 +1,413 @@
+//! The physical link: width, frequency, serialisation and the transmit
+//! machinery combining virtual-channel queues, credits and CRC/retry.
+//!
+//! A [`LinkConfig`] captures what the paper calls "HT800 / 16 bit": the link
+//! clock in MHz (data moves on both edges, so bit rate per lane is twice the
+//! clock) and the lane count per direction.
+
+use crate::crc;
+use crate::flow::{nop_for, return_from_nop, CreditReturn, RxBuffers, TxCredits, DEFAULT_CREDITS};
+use crate::packet::{Packet, VirtualChannel};
+use std::collections::VecDeque;
+use tcc_fabric::channel::Channel;
+use tcc_fabric::time::{Duration, SimTime};
+use tcc_fabric::Xoshiro256;
+
+/// Physical-layer configuration of one HT link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Link clock in MHz; "HT800" means 800 MHz (1.6 Gbit/s per lane DDR).
+    pub clock_mhz: u32,
+    /// Lane count per direction (8, 16 or 32).
+    pub width_bits: u8,
+    /// One-hop propagation + forwarding latency. The paper measures
+    /// ~50 ns per hop on the Opteron fabric.
+    pub hop_latency: Duration,
+}
+
+impl LinkConfig {
+    /// The 200 MHz / 8-bit state every link powers up in after cold reset
+    /// (HT spec: links always train at 200 MHz, 8 bits wide).
+    pub const BOOT: LinkConfig = LinkConfig {
+        clock_mhz: 200,
+        width_bits: 8,
+        hop_latency: Duration(50_000),
+    };
+
+    /// The paper's prototype: HT800 over the HTX cable, 16 bits wide
+    /// (1.6 Gbit/s/lane; cable signal integrity barred higher rates).
+    pub const PROTOTYPE: LinkConfig = LinkConfig {
+        clock_mhz: 800,
+        width_bits: 16,
+        hop_latency: Duration(50_000),
+    };
+
+    /// Full-speed on-board HT3: 2.6 GHz, 16 bit (5.2 Gbit/s/lane,
+    /// 10.4 GB/s raw per direction).
+    pub const HT3_FULL: LinkConfig = LinkConfig {
+        clock_mhz: 2600,
+        width_bits: 16,
+        hop_latency: Duration(50_000),
+    };
+
+    /// Raw unidirectional bandwidth in bytes per second (DDR: two transfers
+    /// per clock).
+    pub fn raw_bytes_per_sec(&self) -> u64 {
+        self.clock_mhz as u64 * 1_000_000 * 2 * self.width_bits as u64 / 8
+    }
+
+    /// Effective bandwidth after the periodic CRC windows.
+    pub fn effective_bytes_per_sec(&self) -> u64 {
+        crc::derate_bandwidth(self.raw_bytes_per_sec())
+    }
+
+    /// Per-lane bit rate in Gbit/s (the unit the paper quotes).
+    pub fn gbit_per_lane(&self) -> f64 {
+        self.clock_mhz as f64 * 2.0 / 1000.0
+    }
+
+    /// Build the serialisation channel for this configuration.
+    pub fn channel(&self) -> Channel {
+        Channel::new(self.hop_latency, self.effective_bytes_per_sec())
+    }
+}
+
+/// Statistics of one link direction.
+#[derive(Debug, Default, Clone)]
+pub struct LinkStats {
+    pub packets_sent: u64,
+    pub data_bytes_sent: u64,
+    pub wire_bytes_sent: u64,
+    pub nops_sent: u64,
+    pub crc_errors: u64,
+    pub retries: u64,
+    pub stalls_no_credit: u64,
+}
+
+/// One direction of a link: VC queues in front of credits in front of the
+/// serialising channel.
+#[derive(Debug)]
+pub struct LinkTx {
+    pub config: LinkConfig,
+    channel: Channel,
+    credits: TxCredits,
+    queues: [VecDeque<Packet>; 3],
+    /// Error injection: probability a transmitted packet's CRC window is
+    /// corrupted (retry mode resends it).
+    pub crc_error_rate: f64,
+    rng: Xoshiro256,
+    pub stats: LinkStats,
+}
+
+/// A packet delivered out of a [`LinkTx`], with its arrival time.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    pub packet: Packet,
+    pub arrival: SimTime,
+}
+
+impl LinkTx {
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        LinkTx {
+            config,
+            channel: config.channel(),
+            credits: TxCredits::new(DEFAULT_CREDITS),
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            crc_error_rate: 0.0,
+            rng: Xoshiro256::seeded(seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Reconfigure the physical layer (warm reset applies new parameters).
+    /// Queued packets and in-flight state are dropped — a warm reset
+    /// reinitialises the link.
+    pub fn warm_reset(&mut self, config: LinkConfig) {
+        self.config = config;
+        self.channel = config.channel();
+        self.credits = TxCredits::new(DEFAULT_CREDITS);
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+
+    /// Queue a packet for transmission.
+    pub fn enqueue(&mut self, pkt: Packet) {
+        self.queues[pkt.vc().index()].push_back(pkt);
+    }
+
+    pub fn queued(&self, vc: VirtualChannel) -> usize {
+        self.queues[vc.index()].len()
+    }
+
+    pub fn credits(&self) -> &TxCredits {
+        &self.credits
+    }
+
+    /// Apply a credit return received from the far side.
+    pub fn credit_return(&mut self, ret: CreditReturn) {
+        self.credits.release(ret);
+    }
+
+    /// Try to transmit queued packets at `now`. Returns the deliveries that
+    /// entered the wire; each carries its arrival time at the far side.
+    ///
+    /// Arbitration is round-robin across VCs, but a packet blocked on
+    /// credits only blocks its own VC — that independence is what keeps the
+    /// fabric deadlock-free.
+    pub fn pump(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        loop {
+            let mut sent_any = false;
+            for vc in VirtualChannel::ALL {
+                let q = &mut self.queues[vc.index()];
+                let Some(front) = q.front() else { continue };
+                if !self.credits.can_send(front) {
+                    self.stats.stalls_no_credit += 1;
+                    continue;
+                }
+                let pkt = q.pop_front().expect("front exists");
+                self.credits.consume(&pkt).expect("checked can_send");
+                out.push(self.put_on_wire(now, pkt));
+                sent_any = true;
+            }
+            if !sent_any {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Transmit a NOP carrying `ret` (NOPs bypass credit checks — they are
+    /// info packets and always admissible).
+    pub fn send_nop(&mut self, now: SimTime, ret: CreditReturn) -> Delivery {
+        let pkt = Packet::control(nop_for(ret));
+        self.stats.nops_sent += 1;
+        self.put_on_wire(now, pkt)
+    }
+
+    fn put_on_wire(&mut self, now: SimTime, pkt: Packet) -> Delivery {
+        let mut wire = pkt.wire_bytes();
+        // Error injection with link-level retry: a corrupted window costs
+        // one full resend of the packet plus a resynchronisation gap.
+        while self.crc_error_rate > 0.0 && self.rng.chance(self.crc_error_rate) {
+            self.stats.crc_errors += 1;
+            self.stats.retries += 1;
+            self.channel.transfer(now, wire);
+            wire = pkt.wire_bytes();
+        }
+        let t = self.channel.transfer(now, wire);
+        self.stats.packets_sent += 1;
+        self.stats.data_bytes_sent += pkt.data.len() as u64;
+        self.stats.wire_bytes_sent += wire;
+        Delivery {
+            packet: pkt,
+            arrival: t.arrival,
+        }
+    }
+
+    /// Earliest time the wire is free (for schedulers).
+    pub fn next_free(&self) -> SimTime {
+        self.channel.next_free()
+    }
+}
+
+/// Receiver side of a link direction: buffer accounting + credit harvesting.
+#[derive(Debug, Default)]
+pub struct LinkRx {
+    buffers: RxBuffers,
+    pub packets_received: u64,
+    pub bytes_received: u64,
+}
+
+impl LinkRx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accept an arriving packet. If it is a NOP, the carried credit return
+    /// is extracted and handed back for the *transmit* side of this node to
+    /// apply; NOPs occupy no buffers.
+    pub fn accept(&mut self, pkt: &Packet) -> Option<CreditReturn> {
+        if let Some(ret) = return_from_nop(&pkt.cmd) {
+            return Some(ret);
+        }
+        self.buffers.accept(pkt);
+        self.packets_received += 1;
+        self.bytes_received += pkt.data.len() as u64;
+        None
+    }
+
+    /// Mark a packet processed; its buffers become returnable credits.
+    pub fn drain(&mut self, pkt: &Packet) {
+        self.buffers.drain(pkt);
+    }
+
+    /// Harvest pending credits for the next outbound NOP.
+    pub fn harvest(&mut self) -> CreditReturn {
+        self.buffers.harvest()
+    }
+
+    pub fn has_pending_credits(&self) -> bool {
+        self.buffers.has_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pw64(addr: u64) -> Packet {
+        Packet::posted_write(addr, Bytes::from_static(&[0u8; 64]))
+    }
+
+    #[test]
+    fn bandwidth_of_paper_configs() {
+        // Boot: 200 MHz DDR × 8 bit = 400 MB/s raw.
+        assert_eq!(LinkConfig::BOOT.raw_bytes_per_sec(), 400_000_000);
+        // Prototype: 800 MHz DDR × 16 bit = 3.2 GB/s raw; 1.6 Gbit/lane.
+        assert_eq!(LinkConfig::PROTOTYPE.raw_bytes_per_sec(), 3_200_000_000);
+        assert!((LinkConfig::PROTOTYPE.gbit_per_lane() - 1.6).abs() < 1e-9);
+        // Full HT3: 10.4 GB/s raw per direction.
+        assert_eq!(LinkConfig::HT3_FULL.raw_bytes_per_sec(), 10_400_000_000);
+        assert!((LinkConfig::HT3_FULL.gbit_per_lane() - 5.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_includes_crc_derate() {
+        let eff = LinkConfig::PROTOTYPE.effective_bytes_per_sec();
+        assert!(eff < 3_200_000_000);
+        assert!(eff > 3_170_000_000);
+    }
+
+    #[test]
+    fn transmit_and_deliver() {
+        let mut tx = LinkTx::new(LinkConfig::PROTOTYPE, 1);
+        tx.enqueue(pw64(0x1000));
+        let out = tx.pump(SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        // 72 wire bytes at ~3.175 GB/s ≈ 22.7 ns + 50 ns hop.
+        let ns = out[0].arrival.nanos();
+        assert!((ns - 72.7).abs() < 0.5, "arrival = {ns} ns");
+    }
+
+    #[test]
+    fn credits_stall_fourth_packet_then_recover() {
+        let mut tx = LinkTx::new(LinkConfig::PROTOTYPE, 2);
+        let mut rx = LinkRx::new();
+        for i in 0..(DEFAULT_CREDITS as u64 + 4) {
+            tx.enqueue(pw64(0x1000 + i * 64));
+        }
+        let sent = tx.pump(SimTime::ZERO);
+        assert_eq!(sent.len(), DEFAULT_CREDITS as usize, "credit-limited");
+        assert!(tx.stats.stalls_no_credit > 0);
+        // Receiver drains everything and returns credits.
+        for d in &sent {
+            assert!(rx.accept(&d.packet).is_none());
+            rx.drain(&d.packet);
+        }
+        while rx.has_pending_credits() {
+            tx.credit_return(rx.harvest());
+        }
+        let rest = tx.pump(SimTime(10_000_000));
+        assert_eq!(rest.len(), 4);
+    }
+
+    #[test]
+    fn nop_round_trip_returns_credits() {
+        let mut a_tx = LinkTx::new(LinkConfig::PROTOTYPE, 3);
+        let mut b_rx = LinkRx::new();
+        let mut b_tx = LinkTx::new(LinkConfig::PROTOTYPE, 4);
+
+        a_tx.enqueue(pw64(0));
+        let d = a_tx.pump(SimTime::ZERO).remove(0);
+        assert!(b_rx.accept(&d.packet).is_none());
+        b_rx.drain(&d.packet);
+        let nop = b_tx.send_nop(d.arrival, b_rx.harvest());
+        // Back at A: extract the credit return.
+        let mut a_rx = LinkRx::new();
+        let ret = a_rx.accept(&nop.packet).expect("NOP carries credits");
+        a_tx.credit_return(ret);
+        assert_eq!(
+            a_tx.credits().available_cmd(VirtualChannel::Posted),
+            DEFAULT_CREDITS
+        );
+    }
+
+    #[test]
+    fn blocked_posted_does_not_block_response() {
+        let mut tx = LinkTx::new(LinkConfig::PROTOTYPE, 5);
+        // Exhaust posted credits.
+        for i in 0..DEFAULT_CREDITS as u64 + 1 {
+            tx.enqueue(pw64(i * 64));
+        }
+        tx.pump(SimTime::ZERO);
+        assert_eq!(tx.queued(VirtualChannel::Posted), 1);
+        // A response must still go through.
+        tx.enqueue(Packet::control(crate::packet::Command::TgtDone {
+            unit: crate::packet::UnitId::HOST,
+            tag: crate::packet::SrcTag::new(1),
+            error: false,
+        }));
+        let out = tx.pump(SimTime(1_000_000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.vc(), VirtualChannel::Response);
+    }
+
+    #[test]
+    fn warm_reset_applies_new_speed() {
+        let mut tx = LinkTx::new(LinkConfig::BOOT, 6);
+        tx.enqueue(pw64(0));
+        tx.pump(SimTime::ZERO);
+        tx.warm_reset(LinkConfig::PROTOTYPE);
+        assert_eq!(tx.config.clock_mhz, 800);
+        assert_eq!(tx.queued(VirtualChannel::Posted), 0, "queues dropped");
+        // Speed visibly changed: a 64B packet serialises 8x faster.
+        tx.enqueue(pw64(0));
+        let d = tx.pump(SimTime::ZERO).remove(0);
+        assert!(d.arrival.nanos() < 80.0);
+    }
+
+    #[test]
+    fn crc_errors_cost_retries_but_deliver() {
+        let mut tx = LinkTx::new(LinkConfig::PROTOTYPE, 7);
+        tx.crc_error_rate = 0.3;
+        let mut deliveries = 0;
+        for i in 0..200u64 {
+            tx.enqueue(pw64(i * 64));
+            deliveries += tx.pump(SimTime::ZERO).len();
+            // Drain credits so the next packet can go.
+            tx.credit_return(CreditReturn {
+                cmd: [1, 0, 0],
+                data: [1, 0, 0],
+            });
+        }
+        assert_eq!(deliveries, 200, "every packet eventually delivered");
+        assert!(tx.stats.retries > 20, "retries = {}", tx.stats.retries);
+        assert_eq!(tx.stats.crc_errors, tx.stats.retries);
+    }
+
+    #[test]
+    fn sustained_rate_is_wire_limited() {
+        let mut tx = LinkTx::new(LinkConfig::PROTOTYPE, 8);
+        let n = 1000u64;
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            tx.enqueue(pw64(i * 64));
+            for d in tx.pump(SimTime::ZERO) {
+                last = last.max(d.arrival);
+            }
+            tx.credit_return(CreditReturn {
+                cmd: [1, 0, 0],
+                data: [1, 0, 0],
+            });
+        }
+        // Goodput = 64B per 72 wire bytes at ~3.175 GB/s ≈ 2.82 GB/s.
+        let goodput = (n * 64) as f64 / ((last.picos() - 50_000) as f64 / 1e12) / 1e6;
+        assert!(
+            (goodput - 2822.0).abs() < 30.0,
+            "goodput = {goodput:.0} MB/s"
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! HT3 link-level retry.
+//!
+//! Gen3 HyperTransport links (the paper's links run Gen1-compatible at
+//! HT800, but the architecture targets HT3 speeds where bit errors are a
+//! fact of life) protect each packet with a per-packet CRC and a sequence
+//! number. The receiver acks good packets cumulatively; on a CRC error it
+//! drops the packet and naks with the sequence it expected, and the
+//! transmitter replays everything from that point out of its retry
+//! buffer. The result is exactly-once, in-order delivery over a lossy
+//! wire — the property the posted-write fabric above assumes.
+
+use crate::crc::crc32;
+use crate::packet::Packet;
+use crate::wire::encode;
+use std::collections::VecDeque;
+
+/// Sequence numbers are 8 bits on the wire (wrap-around window).
+pub type Seq = u8;
+
+/// Window size: the transmitter may have at most this many unacked
+/// packets (half the sequence space, the classic Go-Back-N bound).
+pub const WINDOW: usize = 128;
+
+/// A packet framed for a retry-mode link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framed {
+    pub seq: Seq,
+    pub packet: Packet,
+    /// CRC over header bytes + payload (what the wire would carry).
+    pub crc: u32,
+}
+
+impl Framed {
+    fn new(seq: Seq, packet: Packet) -> Self {
+        let crc = frame_crc(seq, &packet);
+        Framed { seq, packet, crc }
+    }
+
+    /// Does the frame verify?
+    pub fn good(&self) -> bool {
+        self.crc == frame_crc(self.seq, &self.packet)
+    }
+
+    /// Corrupt the frame in place (test/error-injection hook).
+    pub fn corrupt(&mut self) {
+        self.crc ^= 0xDEAD_BEEF;
+    }
+}
+
+fn frame_crc(seq: Seq, packet: &Packet) -> u32 {
+    let mut bytes = encode(&packet.cmd);
+    bytes.push(seq);
+    bytes.extend_from_slice(&packet.data);
+    crc32(&bytes)
+}
+
+/// Control traffic flowing back from receiver to transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ack {
+    /// Everything up to and including `seq` arrived intact.
+    Good { up_to: Seq },
+    /// A frame failed CRC; retransmit starting at `expected`.
+    Nak { expected: Seq },
+}
+
+/// Transmitter-side retry state.
+#[derive(Debug, Default)]
+pub struct RetryTx {
+    next_seq: Seq,
+    /// Unacked frames, oldest first.
+    buffer: VecDeque<Framed>,
+    pub replays: u64,
+    pub sent: u64,
+}
+
+/// Errors from the retry layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryError {
+    /// Retry buffer full — caller must wait for acks.
+    WindowFull,
+    /// A nak named a sequence outside the outstanding window (link
+    /// protocol violation — real hardware would retrain the link).
+    NakOutOfWindow(Seq),
+}
+
+impl RetryTx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frame a packet for transmission; buffers it until acked.
+    pub fn send(&mut self, packet: Packet) -> Result<Framed, RetryError> {
+        if self.buffer.len() >= WINDOW {
+            return Err(RetryError::WindowFull);
+        }
+        let framed = Framed::new(self.next_seq, packet);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.buffer.push_back(framed.clone());
+        self.sent += 1;
+        Ok(framed)
+    }
+
+    /// Handle receiver feedback. For a nak, returns the frames to replay
+    /// (in order).
+    pub fn feedback(&mut self, ack: Ack) -> Result<Vec<Framed>, RetryError> {
+        match ack {
+            Ack::Good { up_to } => {
+                while let Some(front) = self.buffer.front() {
+                    // `up_to` acks front if front.seq <= up_to in wrapping
+                    // window arithmetic.
+                    let delta = up_to.wrapping_sub(front.seq);
+                    if (delta as usize) < WINDOW {
+                        self.buffer.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Vec::new())
+            }
+            Ack::Nak { expected } => {
+                // Validate the nak points inside the outstanding window.
+                let Some(front) = self.buffer.front() else {
+                    return Err(RetryError::NakOutOfWindow(expected));
+                };
+                let offset = expected.wrapping_sub(front.seq) as usize;
+                if offset >= self.buffer.len() {
+                    return Err(RetryError::NakOutOfWindow(expected));
+                }
+                // Ack everything before `expected`, replay the rest.
+                for _ in 0..offset {
+                    self.buffer.pop_front();
+                }
+                let replay: Vec<Framed> = self.buffer.iter().cloned().collect();
+                self.replays += replay.len() as u64;
+                Ok(replay)
+            }
+        }
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Timeout retransmit: replay every unacked frame. The recovery path
+    /// when feedback was lost or the nak'd replacement was itself
+    /// corrupted (the receiver naks only once per gap).
+    pub fn timeout_replay(&mut self) -> Vec<Framed> {
+        let replay: Vec<Framed> = self.buffer.iter().cloned().collect();
+        self.replays += replay.len() as u64;
+        replay
+    }
+}
+
+/// Receiver-side retry state.
+#[derive(Debug, Default)]
+pub struct RetryRx {
+    expected: Seq,
+    /// One-shot nak latch: a nak for the current `expected` has already
+    /// been sent. Without this, every stale frame behind a loss triggers
+    /// another nak, each nak replays the whole window, and the link
+    /// drowns in replays (the classic unthrottled Go-Back-N avalanche).
+    nak_pending: bool,
+    pub delivered: u64,
+    pub crc_drops: u64,
+    pub dup_drops: u64,
+}
+
+/// What the receiver does with an incoming frame. `None` feedback means
+/// nothing needs to be sent (nak suppressed / silent drop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxResult {
+    /// Deliver the packet upward and ack.
+    Deliver(Packet, Ack),
+    /// Frame dropped (bad CRC or a gap); nak carried at most once per gap.
+    Dropped(Option<Ack>),
+    /// Duplicate of an already-delivered frame (replay overshoot): drop
+    /// silently, re-ack.
+    Duplicate(Ack),
+}
+
+impl RetryRx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn nak_once(&mut self) -> Option<Ack> {
+        if self.nak_pending {
+            None
+        } else {
+            self.nak_pending = true;
+            Some(Ack::Nak {
+                expected: self.expected,
+            })
+        }
+    }
+
+    pub fn receive(&mut self, framed: Framed) -> RxResult {
+        if !framed.good() {
+            self.crc_drops += 1;
+            let nak = self.nak_once();
+            return RxResult::Dropped(nak);
+        }
+        if framed.seq == self.expected {
+            self.expected = self.expected.wrapping_add(1);
+            self.nak_pending = false; // progress clears the latch
+            self.delivered += 1;
+            return RxResult::Deliver(
+                framed.packet,
+                Ack::Good {
+                    up_to: framed.seq,
+                },
+            );
+        }
+        // Out of order: either an old duplicate (already delivered) or a
+        // gap (a dropped frame ahead of us).
+        let behind = self.expected.wrapping_sub(framed.seq) as usize;
+        if behind > 0 && behind <= WINDOW {
+            self.dup_drops += 1;
+            RxResult::Duplicate(Ack::Good {
+                up_to: self.expected.wrapping_sub(1),
+            })
+        } else {
+            let nak = self.nak_once();
+            RxResult::Dropped(nak)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pw(i: u64) -> Packet {
+        Packet::posted_write(i * 64, Bytes::from(vec![i as u8; 8]))
+    }
+
+    #[test]
+    fn clean_link_delivers_and_acks() {
+        let mut tx = RetryTx::new();
+        let mut rx = RetryRx::new();
+        for i in 0..10 {
+            let f = tx.send(pw(i)).unwrap();
+            match rx.receive(f) {
+                RxResult::Deliver(p, ack) => {
+                    assert_eq!(p.data[0], i as u8);
+                    tx.feedback(ack).unwrap();
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(tx.outstanding(), 0);
+        assert_eq!(rx.delivered, 10);
+    }
+
+    #[test]
+    fn corrupted_frame_naks_and_replays() {
+        let mut tx = RetryTx::new();
+        let mut rx = RetryRx::new();
+        let f0 = tx.send(pw(0)).unwrap();
+        let mut f1 = tx.send(pw(1)).unwrap();
+        let f2 = tx.send(pw(2)).unwrap();
+
+        // 0 arrives fine.
+        let RxResult::Deliver(_, ack0) = rx.receive(f0) else {
+            panic!()
+        };
+        tx.feedback(ack0).unwrap();
+        // 1 is corrupted on the wire.
+        f1.corrupt();
+        let RxResult::Dropped(Some(nak)) = rx.receive(f1) else {
+            panic!()
+        };
+        // 2 arrives but the receiver expects 1: dropped as a gap, and the
+        // nak for this gap was already sent — suppressed.
+        let RxResult::Dropped(None) = rx.receive(f2) else {
+            panic!()
+        };
+        // The nak triggers replay of 1 and 2.
+        let replay = tx.feedback(nak).unwrap();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay[0].seq, 1);
+        for f in replay {
+            match rx.receive(f) {
+                RxResult::Deliver(_, ack) => {
+                    tx.feedback(ack).unwrap();
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(rx.delivered, 3);
+        assert_eq!(rx.crc_drops, 1);
+        assert_eq!(tx.outstanding(), 0);
+        assert!(tx.replays >= 2);
+    }
+
+    #[test]
+    fn duplicate_replay_is_dropped_silently() {
+        let mut tx = RetryTx::new();
+        let mut rx = RetryRx::new();
+        let f = tx.send(pw(0)).unwrap();
+        let RxResult::Deliver(_, _ack) = rx.receive(f.clone()) else {
+            panic!()
+        };
+        // The same frame again (ack lost, tx replayed).
+        match rx.receive(f) {
+            RxResult::Duplicate(Ack::Good { up_to }) => assert_eq!(up_to, 0),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rx.delivered, 1, "no double delivery");
+        assert_eq!(rx.dup_drops, 1);
+    }
+
+    #[test]
+    fn window_fills_without_acks() {
+        let mut tx = RetryTx::new();
+        for i in 0..WINDOW as u64 {
+            tx.send(pw(i)).unwrap();
+        }
+        assert_eq!(tx.send(pw(999)), Err(RetryError::WindowFull));
+        // Cumulative ack frees the window.
+        tx.feedback(Ack::Good {
+            up_to: (WINDOW - 1) as Seq,
+        })
+        .unwrap();
+        assert_eq!(tx.outstanding(), 0);
+        assert!(tx.send(pw(999)).is_ok());
+    }
+
+    #[test]
+    fn bogus_nak_detected() {
+        let mut tx = RetryTx::new();
+        tx.send(pw(0)).unwrap();
+        assert_eq!(
+            tx.feedback(Ack::Nak { expected: 200 }),
+            Err(RetryError::NakOutOfWindow(200))
+        );
+    }
+
+    #[test]
+    fn lossy_link_eventually_delivers_everything_in_order() {
+        use tcc_fabric::rng::Xoshiro256;
+        let mut tx = RetryTx::new();
+        let mut rx = RetryRx::new();
+        let mut rng = Xoshiro256::seeded(2024);
+        const N: u64 = 2_000;
+
+        let mut to_send: VecDeque<u64> = (0..N).collect();
+        let mut wire: VecDeque<Framed> = VecDeque::new();
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut feedbacks: VecDeque<Ack> = VecDeque::new();
+
+        let mut steps = 0u64;
+        while (delivered.len() as u64) < N {
+            steps += 1;
+            assert!(steps < 200_000, "retry protocol did not converge");
+            // Transmit what fits in the window.
+            while let Some(&i) = to_send.front() {
+                match tx.send(pw(i)) {
+                    Ok(mut f) => {
+                        to_send.pop_front();
+                        // 10% of frames corrupted in flight.
+                        if rng.chance(0.10) {
+                            f.corrupt();
+                        }
+                        wire.push_back(f);
+                    }
+                    Err(RetryError::WindowFull) => break,
+                    Err(e) => panic!("{e:?}"),
+                }
+            }
+            // Deliver one frame.
+            if let Some(f) = wire.pop_front() {
+                match rx.receive(f) {
+                    RxResult::Deliver(p, ack) => {
+                        delivered.push(p.addr().unwrap() / 64);
+                        feedbacks.push_back(ack);
+                    }
+                    RxResult::Dropped(Some(nak)) => feedbacks.push_back(nak),
+                    RxResult::Dropped(None) => {}
+                    RxResult::Duplicate(ack) => feedbacks.push_back(ack),
+                }
+            } else if feedbacks.is_empty() && tx.outstanding() > 0 {
+                // Link idle with unacked frames: timeout retransmit (the
+                // nak'd replacement may itself have been corrupted).
+                for mut f in tx.timeout_replay() {
+                    if rng.chance(0.10) {
+                        f.corrupt();
+                    }
+                    wire.push_back(f);
+                }
+            }
+            // Process one feedback; naks replay onto the wire (replays may
+            // be corrupted again).
+            if let Some(ack) = feedbacks.pop_front() {
+                match tx.feedback(ack) {
+                    Ok(replays) => {
+                        for mut f in replays {
+                            if rng.chance(0.10) {
+                                f.corrupt();
+                            }
+                            wire.push_back(f);
+                        }
+                    }
+                    // A nak can go stale after a later cumulative ack or a
+                    // previous replay already moved the window; ignore.
+                    Err(RetryError::NakOutOfWindow(_)) => {}
+                    Err(e) => panic!("{e:?}"),
+                }
+            }
+        }
+        assert_eq!(delivered, (0..N).collect::<Vec<_>>(), "in order, exactly once");
+        assert!(rx.crc_drops > 100, "loss actually happened: {}", rx.crc_drops);
+        assert!(tx.replays > 100);
+    }
+}

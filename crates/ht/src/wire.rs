@@ -1,0 +1,385 @@
+//! Binary encoding of HT control packets.
+//!
+//! Layout (addressed 8-byte request, HT spec rev 3.10 request format):
+//!
+//! ```text
+//! byte 0: cmd[5:0] | seqid[3:2] << 6
+//! byte 1: unitid[4:0] | seqid[1:0] << 5 | passpw << 7
+//! byte 2: srctag[4:0] (non-posted) / reserved | compat << 5 | count[1:0] << 6
+//! byte 3: count[3:2] | addr[7:2] << 2
+//! byte 4..8: addr[39:8]
+//! ```
+//!
+//! 4-byte packets (NOP, responses, Fence) use the first four bytes with
+//! command-specific fields in bytes 2–3.
+
+use crate::packet::{Command, Opcode, SrcTag, UnitId, ADDR_MASK};
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    Truncated { need: usize, got: usize },
+    UnknownOpcode(u8),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated { need, got } => {
+                write!(f, "truncated control packet: need {need} bytes, got {got}")
+            }
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a command into its wire bytes (4 or 8).
+pub fn encode(cmd: &Command) -> Vec<u8> {
+    match cmd {
+        Command::Nop {
+            posted_cmd,
+            posted_data,
+            nonposted_cmd,
+            nonposted_data,
+            response_cmd,
+            response_data,
+        } => {
+            // NOP: credits packed two bits per class into bytes 1-2.
+            let b1 = (posted_cmd & 3) | ((posted_data & 3) << 2) | ((response_cmd & 3) << 4)
+                | ((response_data & 3) << 6);
+            let b2 = (nonposted_cmd & 3) | ((nonposted_data & 3) << 2);
+            vec![Opcode::Nop as u8, b1, b2, 0]
+        }
+        Command::WrSized {
+            posted,
+            unit,
+            addr,
+            count,
+            pass_pw,
+            seq_id,
+            tag,
+        } => {
+            // Posted-ness rides in cmd bit 5 of the sized-write group.
+            let op = Opcode::WrSized as u8 | if *posted { 0x20 } else { 0 };
+            encode_request(
+                op,
+                *unit,
+                *addr,
+                *count,
+                *pass_pw,
+                *seq_id,
+                tag.map(|t| t.0).unwrap_or(0),
+            )
+        }
+        Command::RdSized {
+            unit,
+            addr,
+            count,
+            pass_pw,
+            seq_id,
+            tag,
+        } => encode_request(
+            Opcode::RdSized as u8,
+            *unit,
+            *addr,
+            *count,
+            *pass_pw,
+            *seq_id,
+            tag.0,
+        ),
+        Command::RdResponse { unit, tag, error } => {
+            encode_response(Opcode::RdResponse as u8, *unit, *tag, *error)
+        }
+        Command::TgtDone { unit, tag, error } => {
+            encode_response(Opcode::TgtDone as u8, *unit, *tag, *error)
+        }
+        Command::Broadcast { unit, addr } => {
+            encode_request(Opcode::Broadcast as u8, *unit, *addr, 0, false, 0, 0)
+        }
+        Command::Fence { unit } => vec![Opcode::Fence as u8, unit.0 & 0x1F, 0, 0],
+        Command::Flush { unit, tag } => {
+            let mut v = vec![Opcode::Flush as u8, unit.0 & 0x1F, tag.0 & 0x1F, 0];
+            v.truncate(4);
+            v
+        }
+    }
+}
+
+fn encode_request(
+    op: u8,
+    unit: UnitId,
+    addr: u64,
+    count: u8,
+    pass_pw: bool,
+    seq_id: u8,
+    tag: u8,
+) -> Vec<u8> {
+    let addr = addr & ADDR_MASK;
+    let b0 = (op & 0x3F) | ((seq_id & 0x0C) << 4);
+    let b1 = (unit.0 & 0x1F) | ((seq_id & 0x03) << 5) | ((pass_pw as u8) << 7);
+    let b2 = (tag & 0x1F) | ((count & 0x03) << 6);
+    let b3 = ((count & 0x0C) >> 2) | (((addr >> 2) & 0x3F) as u8) << 2;
+    let mut out = vec![b0, b1, b2, b3];
+    out.extend_from_slice(&(((addr >> 8) & 0xFFFF_FFFF) as u32).to_le_bytes());
+    out
+}
+
+fn encode_response(op: u8, unit: UnitId, tag: SrcTag, error: bool) -> Vec<u8> {
+    let b0 = op & 0x3F;
+    let b1 = unit.0 & 0x1F;
+    let b2 = (tag.0 & 0x1F) | ((error as u8) << 5);
+    vec![b0, b1, b2, 0]
+}
+
+/// Decode wire bytes back into a command. Returns the command and the number
+/// of bytes consumed.
+pub fn decode(bytes: &[u8]) -> Result<(Command, usize), DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated {
+            need: 4,
+            got: bytes.len(),
+        });
+    }
+    let op6 = bytes[0] & 0x3F;
+    match op6 {
+        x if x == Opcode::Nop as u8 => {
+            let b1 = bytes[1];
+            let b2 = bytes[2];
+            Ok((
+                Command::Nop {
+                    posted_cmd: b1 & 3,
+                    posted_data: (b1 >> 2) & 3,
+                    response_cmd: (b1 >> 4) & 3,
+                    response_data: (b1 >> 6) & 3,
+                    nonposted_cmd: b2 & 3,
+                    nonposted_data: (b2 >> 2) & 3,
+                },
+                4,
+            ))
+        }
+        x if x & !0x20 == Opcode::WrSized as u8 => {
+            let posted = x & 0x20 != 0;
+            let (unit, addr, count, pass_pw, seq_id, tag) = decode_request(bytes)?;
+            Ok((
+                Command::WrSized {
+                    posted,
+                    unit,
+                    addr,
+                    count,
+                    pass_pw,
+                    seq_id,
+                    tag: if posted { None } else { Some(SrcTag::new(tag)) },
+                },
+                8,
+            ))
+        }
+        x if x == Opcode::RdSized as u8 => {
+            let (unit, addr, count, pass_pw, seq_id, tag) = decode_request(bytes)?;
+            Ok((
+                Command::RdSized {
+                    unit,
+                    addr,
+                    count,
+                    pass_pw,
+                    seq_id,
+                    tag: SrcTag::new(tag),
+                },
+                8,
+            ))
+        }
+        x if x == Opcode::RdResponse as u8 => {
+            let (unit, tag, error) = decode_response(bytes);
+            Ok((Command::RdResponse { unit, tag, error }, 4))
+        }
+        x if x == Opcode::TgtDone as u8 => {
+            let (unit, tag, error) = decode_response(bytes);
+            Ok((Command::TgtDone { unit, tag, error }, 4))
+        }
+        x if x == Opcode::Broadcast as u8 => {
+            let (unit, addr, ..) = decode_request(bytes)?;
+            Ok((Command::Broadcast { unit, addr }, 8))
+        }
+        x if x == Opcode::Fence as u8 => Ok((
+            Command::Fence {
+                unit: UnitId(bytes[1] & 0x1F),
+            },
+            4,
+        )),
+        x if x == Opcode::Flush as u8 => Ok((
+            Command::Flush {
+                unit: UnitId(bytes[1] & 0x1F),
+                tag: SrcTag::new(bytes[2] & 0x1F),
+            },
+            4,
+        )),
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_request(bytes: &[u8]) -> Result<(UnitId, u64, u8, bool, u8, u8), DecodeError> {
+    if bytes.len() < 8 {
+        return Err(DecodeError::Truncated {
+            need: 8,
+            got: bytes.len(),
+        });
+    }
+    let seq_hi = (bytes[0] >> 4) & 0x0C;
+    let unit = UnitId(bytes[1] & 0x1F);
+    let seq_lo = (bytes[1] >> 5) & 0x03;
+    let pass_pw = bytes[1] & 0x80 != 0;
+    let tag = bytes[2] & 0x1F;
+    let count_lo = (bytes[2] >> 6) & 0x03;
+    let count_hi = (bytes[3] & 0x03) << 2;
+    let addr_lo = ((bytes[3] >> 2) as u64) << 2;
+    let addr_hi = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as u64;
+    let addr = (addr_hi << 8) | addr_lo;
+    Ok((
+        unit,
+        addr,
+        count_hi | count_lo,
+        pass_pw,
+        seq_hi | seq_lo,
+        tag,
+    ))
+}
+
+fn decode_response(bytes: &[u8]) -> (UnitId, SrcTag, bool) {
+    (
+        UnitId(bytes[1] & 0x1F),
+        SrcTag::new(bytes[2] & 0x1F),
+        bytes[2] & 0x20 != 0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(cmd: Command) {
+        let bytes = encode(&cmd);
+        assert_eq!(bytes.len() as u64, cmd.header_bytes());
+        let (decoded, used) = decode(&bytes).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, cmd);
+    }
+
+    #[test]
+    fn posted_write_round_trips() {
+        round_trip(Command::WrSized {
+            posted: true,
+            unit: UnitId(5),
+            addr: 0x12_3456_7890 & !3,
+            count: 15,
+            pass_pw: true,
+            seq_id: 9,
+            tag: None,
+        });
+    }
+
+    #[test]
+    fn nonposted_write_round_trips() {
+        round_trip(Command::WrSized {
+            posted: false,
+            unit: UnitId(31),
+            addr: 0xFF_FFFF_FFFC,
+            count: 0,
+            pass_pw: false,
+            seq_id: 0,
+            tag: Some(SrcTag::new(17)),
+        });
+    }
+
+    #[test]
+    fn read_round_trips() {
+        round_trip(Command::RdSized {
+            unit: UnitId(1),
+            addr: 0x1000,
+            count: 7,
+            pass_pw: false,
+            seq_id: 3,
+            tag: SrcTag::new(31),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(Command::RdResponse {
+            unit: UnitId(2),
+            tag: SrcTag::new(30),
+            error: true,
+        });
+        round_trip(Command::TgtDone {
+            unit: UnitId(0),
+            tag: SrcTag::new(0),
+            error: false,
+        });
+    }
+
+    #[test]
+    fn infrastructure_round_trips() {
+        round_trip(Command::Nop {
+            posted_cmd: 2,
+            posted_data: 1,
+            nonposted_cmd: 3,
+            nonposted_data: 0,
+            response_cmd: 1,
+            response_data: 2,
+        });
+        round_trip(Command::Fence { unit: UnitId(4) });
+        round_trip(Command::Flush {
+            unit: UnitId(3),
+            tag: SrcTag::new(12),
+        });
+        round_trip(Command::Broadcast {
+            unit: UnitId(0),
+            addr: 0xFEE0_0000, // interrupt range
+        });
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            decode(&[0x28, 0, 0]),
+            Err(DecodeError::Truncated { need: 4, got: 3 })
+        );
+        // Addressed request needs 8 bytes.
+        let full = encode(&Command::Broadcast {
+            unit: UnitId(0),
+            addr: 0,
+        });
+        assert!(matches!(
+            decode(&full[..5]),
+            Err(DecodeError::Truncated { need: 8, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(&[0x3F, 0, 0, 0]), Err(DecodeError::UnknownOpcode(0x3F)));
+    }
+
+    #[test]
+    fn address_40bit_masked() {
+        // Encoding masks to 40 bits; bits above must not survive.
+        let cmd = Command::WrSized {
+            posted: true,
+            unit: UnitId(0),
+            addr: 0xFFFF_FF12_3456_7890 & !3,
+            count: 0,
+            pass_pw: false,
+            seq_id: 0,
+            tag: None,
+        };
+        let bytes = encode(&cmd);
+        let (decoded, _) = decode(&bytes).unwrap();
+        match decoded {
+            Command::WrSized { addr, .. } => {
+                assert_eq!(addr, 0x12_3456_7890 & ADDR_MASK & !3);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Active messages — the GASNet-style core the paper's PGAS outlook
+//! implies. A handler table is registered identically on every rank; a
+//! message names its handler by index and carries a payload; polling
+//! dispatches handlers against rank-local state.
+
+use tccluster::NodeCtx;
+
+/// Handler signature: (local state, source rank, payload).
+pub type Handler<S> = Box<dyn Fn(&mut S, usize, &[u8]) + Send + Sync>;
+
+/// An active-message engine over one rank's communication context.
+pub struct AmEngine<S> {
+    handlers: Vec<Handler<S>>,
+    /// Loopback queue: messages a rank sends to itself (GASNet supports
+    /// self-targeted AMs; there is no self-channel in the fabric).
+    loopback: std::collections::VecDeque<Vec<u8>>,
+    pub delivered: u64,
+}
+
+impl<S> Default for AmEngine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> AmEngine<S> {
+    pub fn new() -> Self {
+        AmEngine {
+            handlers: Vec::new(),
+            loopback: Default::default(),
+            delivered: 0,
+        }
+    }
+
+    /// Register a handler; returns its index. Registration order must be
+    /// identical on all ranks (as in GASNet).
+    pub fn register(&mut self, h: Handler<S>) -> u16 {
+        self.handlers.push(h);
+        (self.handlers.len() - 1) as u16
+    }
+
+    /// Send an active message invoking `handler` at `to` with `payload`.
+    /// Self-sends are queued locally and dispatched by the next poll.
+    pub fn send(&mut self, ctx: &mut NodeCtx, to: usize, handler: u16, payload: &[u8]) {
+        assert!((handler as usize) < self.handlers.len(), "unknown handler");
+        let mut msg = Vec::with_capacity(2 + payload.len());
+        msg.extend_from_slice(&handler.to_le_bytes());
+        msg.extend_from_slice(payload);
+        if to == ctx.rank {
+            self.loopback.push_back(msg);
+        } else {
+            ctx.send(to, &msg);
+        }
+    }
+
+    /// Poll and dispatch everything pending; returns handlers run.
+    pub fn poll(&mut self, ctx: &mut NodeCtx, state: &mut S) -> usize {
+        let mut ran = 0;
+        while let Some(msg) = self.loopback.pop_front() {
+            ran += self.dispatch(ctx.rank, &msg, state);
+        }
+        while let Some((src, msg)) = ctx.try_recv_any() {
+            ran += self.dispatch(src, &msg, state);
+        }
+        ran
+    }
+
+    fn dispatch(&mut self, src: usize, msg: &[u8], state: &mut S) -> usize {
+        assert!(msg.len() >= 2, "short AM frame");
+        let id = u16::from_le_bytes(msg[..2].try_into().expect("2B")) as usize;
+        let h = self.handlers.get(id).expect("handler registered everywhere");
+        h(state, src, &msg[2..]);
+        self.delivered += 1;
+        1
+    }
+
+    /// Poll until `pred(state)` holds.
+    pub fn poll_until(&mut self, ctx: &mut NodeCtx, state: &mut S, pred: impl Fn(&S) -> bool) {
+        while !pred(state) {
+            if self.poll(ctx, state) == 0 {
+                tcc_msglib::window::cpu_relax();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tccluster::ShmCluster;
+    use tcc_msglib::SendMode;
+
+    #[test]
+    fn counter_handler_fires_per_message() {
+        const N: usize = 4;
+        let results = ShmCluster::new(N, SendMode::WeaklyOrdered).run(|ctx| {
+            let mut am: AmEngine<(u64, Vec<u8>)> = AmEngine::new();
+            let add = am.register(Box::new(|s, _src, p| {
+                s.0 += u64::from_le_bytes(p.try_into().expect("8B"));
+            }));
+            let note = am.register(Box::new(|s, src, p| {
+                s.1.push(src as u8);
+                s.1.extend_from_slice(p);
+            }));
+            let mut state = (0u64, Vec::new());
+            // Everyone sends "rank+1" to rank 0 via handler `add`, and a
+            // note to rank (me+1)%n via handler `note`.
+            am.send(ctx, 0, add, &((ctx.rank as u64 + 1).to_le_bytes()));
+            am.send(ctx, (ctx.rank + 1) % ctx.n, note, b"hi");
+            if ctx.rank == 0 {
+                am.poll_until(ctx, &mut state, |s| s.0 >= (1..=N as u64).sum::<u64>() && !s.1.is_empty());
+            } else {
+                am.poll_until(ctx, &mut state, |s| !s.1.is_empty());
+            }
+            ctx.barrier();
+            // Drain any stragglers before exit.
+            am.poll(ctx, &mut state);
+            state.0
+        });
+        assert_eq!(results[0], (1..=N as u64).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_handler_rejected_at_send() {
+        let _ = ShmCluster::new(2, SendMode::WeaklyOrdered).run(|ctx| {
+            let mut am: AmEngine<()> = AmEngine::new();
+            if ctx.rank == 0 {
+                am.send(ctx, 1, 3, b"");
+            }
+        });
+    }
+}

@@ -1,0 +1,512 @@
+//! An MPI-like layer over the TCCluster message library — the middleware
+//! the paper names as the next step ("port a middleware software layer
+//! like MPI … on top of our simple message library", §VII).
+//!
+//! Point-to-point with tag matching plus the classic collectives, all
+//! implemented with nothing but remote-store messaging and the barrier.
+
+use std::collections::{HashMap, VecDeque};
+use tccluster::NodeCtx;
+
+/// Reduction operators over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len());
+        for (a, &b) in acc.iter_mut().zip(other) {
+            *a = match self {
+                ReduceOp::Sum => *a + b,
+                ReduceOp::Min => a.min(b),
+                ReduceOp::Max => a.max(b),
+            };
+        }
+    }
+}
+
+/// A communicator: tagged point-to-point and collectives.
+pub struct Comm<'a> {
+    ctx: &'a mut NodeCtx,
+    /// Messages that arrived while looking for a different (src, tag).
+    unexpected: HashMap<(usize, u64), VecDeque<Vec<u8>>>,
+}
+
+fn frame(tag: u64, data: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(8 + data.len());
+    f.extend_from_slice(&tag.to_le_bytes());
+    f.extend_from_slice(data);
+    f
+}
+
+fn deframe(mut f: Vec<u8>) -> (u64, Vec<u8>) {
+    assert!(f.len() >= 8, "short MPI frame");
+    let tag = u64::from_le_bytes(f[..8].try_into().expect("8B"));
+    f.drain(..8);
+    (tag, f)
+}
+
+impl<'a> Comm<'a> {
+    pub fn new(ctx: &'a mut NodeCtx) -> Self {
+        Comm {
+            ctx,
+            unexpected: HashMap::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.ctx.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.ctx.n
+    }
+
+    /// Tagged send.
+    pub fn send(&mut self, to: usize, tag: u64, data: &[u8]) {
+        self.ctx.send(to, &frame(tag, data));
+    }
+
+    /// Tagged receive: blocks until a message with (from, tag) arrives;
+    /// other messages from `from` are queued as unexpected.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(q) = self.unexpected.get_mut(&(from, tag)) {
+            if let Some(m) = q.pop_front() {
+                return m;
+            }
+        }
+        loop {
+            let raw = self.ctx.recv(from);
+            let (t, body) = deframe(raw);
+            if t == tag {
+                return body;
+            }
+            self.unexpected.entry((from, t)).or_default().push_back(body);
+        }
+    }
+
+    /// Non-blocking probe-receive.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Option<Vec<u8>> {
+        if let Some(q) = self.unexpected.get_mut(&(from, tag)) {
+            if let Some(m) = q.pop_front() {
+                return Some(m);
+            }
+        }
+        while let Some(raw) = self.ctx.try_recv(from) {
+            let (t, body) = deframe(raw);
+            if t == tag {
+                return Some(body);
+            }
+            self.unexpected.entry((from, t)).or_default().push_back(body);
+        }
+        None
+    }
+
+    pub fn barrier(&mut self) {
+        self.ctx.barrier();
+    }
+
+    /// Binomial-tree broadcast from `root`.
+    pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) {
+        const TAG: u64 = u64::MAX - 1;
+        let n = self.size();
+        let me = (self.rank() + n - root) % n; // virtual rank, root = 0
+        let mut mask = 1usize;
+        // Receive phase: find our parent.
+        while mask < n {
+            if me & mask != 0 {
+                let parent = (me - mask + root) % n;
+                *data = self.recv(parent, TAG);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below our lowest set bit.
+        let limit = mask;
+        let mut m = limit >> 1;
+        let mut children = Vec::new();
+        while m > 0 {
+            let child = me + m;
+            if child < n {
+                children.push((child + root) % n);
+            }
+            m >>= 1;
+        }
+        // Highest-distance child first (classic binomial order).
+        let payload = data.clone();
+        for c in children {
+            self.send(c, TAG, &payload);
+        }
+    }
+
+    /// Recursive-doubling allreduce over `f64` vectors (power-of-two ranks
+    /// use pure doubling; stragglers fold into a partner first).
+    pub fn allreduce(&mut self, op: ReduceOp, data: &mut [f64]) {
+        const TAG: u64 = u64::MAX - 2;
+        let n = self.size();
+        let me = self.rank();
+        let pow2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
+        let rem = n - pow2;
+        // Fold the remainder: ranks >= pow2 send to (rank - pow2).
+        let bytes = |d: &[f64]| {
+            let mut v = Vec::with_capacity(d.len() * 8);
+            for x in d {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+            v
+        };
+        let floats = |v: &[u8]| {
+            v.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8B")))
+                .collect::<Vec<f64>>()
+        };
+        if me >= pow2 {
+            self.send(me - pow2, TAG, &bytes(data));
+            // Wait for the final result.
+            let res = self.recv(me - pow2, TAG);
+            data.copy_from_slice(&floats(&res));
+            return;
+        }
+        if me < rem {
+            let other = self.recv(me + pow2, TAG);
+            op.apply(data, &floats(&other));
+        }
+        // Recursive doubling among the pow2 group.
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = me ^ mask;
+            self.send(partner, TAG, &bytes(data));
+            let other = self.recv(partner, TAG);
+            op.apply(data, &floats(&other));
+            mask <<= 1;
+        }
+        if me < rem {
+            self.send(me + pow2, TAG, &bytes(data));
+        }
+    }
+
+    /// Gather fixed-size contributions at `root`; returns rank-ordered
+    /// concatenation on the root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.rank() == root {
+            let mut all = vec![Vec::new(); self.size()];
+            all[root] = mine.to_vec();
+            for _ in 0..self.size() - 1 {
+                // Collect in arrival order; store by source.
+                for p in 0..self.size() {
+                    if p != root && all[p].is_empty() {
+                        if let Some(m) = self.try_recv(p, TAG) {
+                            all[p] = m;
+                        }
+                    }
+                }
+                if all.iter().enumerate().all(|(i, v)| i == root || !v.is_empty()) {
+                    break;
+                }
+            }
+            // Blocking pass for anything still missing.
+            for (p, slot) in all.iter_mut().enumerate() {
+                if p != root && slot.is_empty() {
+                    *slot = self.recv(p, TAG);
+                }
+            }
+            Some(all)
+        } else {
+            self.send(root, TAG, mine);
+            None
+        }
+    }
+
+    /// Reduce to `root` (rank order applied, so floating-point results
+    /// are deterministic). Returns the result on the root, `None` elsewhere.
+    pub fn reduce(&mut self, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
+        const TAG: u64 = u64::MAX - 5;
+        let bytes = |d: &[f64]| {
+            let mut v = Vec::with_capacity(d.len() * 8);
+            for x in d {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+            v
+        };
+        if self.rank() == root {
+            let mut acc = data.to_vec();
+            for p in 0..self.size() {
+                if p == root {
+                    continue;
+                }
+                let m = self.recv(p, TAG);
+                let other: Vec<f64> = m
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8B")))
+                    .collect();
+                op.apply(&mut acc, &other);
+            }
+            Some(acc)
+        } else {
+            self.send(root, TAG, &bytes(data));
+            None
+        }
+    }
+
+    /// Scatter: the root sends `parts[i]` to rank `i`; everyone returns
+    /// their part.
+    pub fn scatter(&mut self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+        const TAG: u64 = u64::MAX - 6;
+        if self.rank() == root {
+            let parts = parts.expect("root provides the parts");
+            assert_eq!(parts.len(), self.size());
+            for (p, part) in parts.iter().enumerate() {
+                if p != root {
+                    self.send(p, TAG, part);
+                }
+            }
+            parts[root].clone()
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+
+    /// Allgather: everyone contributes `mine`; everyone receives all
+    /// contributions in rank order (ring algorithm, n-1 steps).
+    pub fn allgather(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
+        const TAG: u64 = u64::MAX - 7;
+        let n = self.size();
+        let me = self.rank();
+        let mut all = vec![Vec::new(); n];
+        all[me] = mine.to_vec();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        // Step k: forward the piece that originated k hops back.
+        let mut carry = mine.to_vec();
+        for k in 0..n - 1 {
+            self.send(next, TAG + k as u64, &carry);
+            carry = self.recv(prev, TAG + k as u64);
+            let origin = (me + n - 1 - k) % n;
+            all[origin] = carry.clone();
+        }
+        all
+    }
+
+    /// Exclusive prefix scan (sum) over one f64 per rank: rank r receives
+    /// the sum of values at ranks 0..r (0.0 at rank 0).
+    pub fn exscan_sum(&mut self, mine: f64) -> f64 {
+        const TAG: u64 = u64::MAX - 8;
+        // Linear pipeline: simple and deterministic.
+        let me = self.rank();
+        let prefix = if me == 0 {
+            0.0
+        } else {
+            let m = self.recv(me - 1, TAG);
+            f64::from_le_bytes(m.try_into().expect("8B"))
+        };
+        if me + 1 < self.size() {
+            let up = prefix + mine;
+            self.send(me + 1, TAG, &up.to_le_bytes());
+        }
+        prefix
+    }
+
+    /// Personalised all-to-all: `send[i]` goes to rank `i`; returns what
+    /// each rank sent us, in rank order.
+    pub fn alltoall(&mut self, send: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        const TAG: u64 = u64::MAX - 4;
+        assert_eq!(send.len(), self.size());
+        let n = self.size();
+        let me = self.rank();
+        let mut out = vec![Vec::new(); n];
+        out[me] = send[me].clone();
+        // Pairwise exchange in n-1 rounds (rank rotation works for any n):
+        // round r sends to (me + r) and receives from (me - r). Send and
+        // receive are interleaved non-blockingly so large payloads cannot
+        // deadlock on rendezvous-zone credit.
+        for r in 1..n {
+            let to = (me + r) % n;
+            let from = (me + n - r) % n;
+            let f = frame(TAG + r as u64, &send[to]);
+            let mut sent = false;
+            let mut got: Option<Vec<u8>> = None;
+            while !sent || got.is_none() {
+                if !sent {
+                    sent = self.ctx.try_send(to, &f).is_ok();
+                }
+                if got.is_none() {
+                    got = self.try_recv(from, TAG + r as u64);
+                }
+                tcc_msglib::window::cpu_relax();
+            }
+            out[from] = got.expect("received");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tccluster::ShmCluster;
+    use tcc_msglib::SendMode;
+
+    fn run<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(&mut Comm) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        ShmCluster::new(n, SendMode::WeaklyOrdered).run(move |ctx| {
+            let mut comm = Comm::new(ctx);
+            f(&mut comm)
+        })
+    }
+
+    #[test]
+    fn tagged_out_of_order_matching() {
+        let results = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, b"seven");
+                c.send(1, 8, b"eight");
+                0
+            } else {
+                // Ask for tag 8 first: tag 7 must be queued, not lost.
+                let e = c.recv(0, 8);
+                let s = c.recv(0, 7);
+                assert_eq!(e, b"eight");
+                assert_eq!(s, b"seven");
+                1
+            }
+        });
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in [2usize, 3, 5, 8] {
+            let results = run(n, move |c| {
+                let mut acc = 0u64;
+                for root in 0..c.size() {
+                    let mut data = if c.rank() == root {
+                        vec![root as u8; 33]
+                    } else {
+                        Vec::new()
+                    };
+                    c.bcast(root, &mut data);
+                    assert_eq!(data, vec![root as u8; 33]);
+                    acc += data[0] as u64;
+                    c.barrier();
+                }
+                acc
+            });
+            let expect: u64 = (0..n as u64).sum();
+            assert!(results.iter().all(|&r| r == expect), "n={n}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        for n in [2usize, 4, 6, 7] {
+            let results = run(n, move |c| {
+                let me = c.rank() as f64;
+                let mut v = vec![me, -me, me * me];
+                c.allreduce(ReduceOp::Sum, &mut v);
+                let n = c.size() as f64;
+                let sum: f64 = (0..c.size()).map(|r| r as f64).sum();
+                assert_eq!(v[0], sum);
+                assert_eq!(v[1], -sum);
+
+                let mut w = vec![me];
+                c.allreduce(ReduceOp::Max, &mut w);
+                assert_eq!(w[0], n - 1.0);
+                let mut u = vec![me];
+                c.allreduce(ReduceOp::Min, &mut u);
+                assert_eq!(u[0], 0.0);
+                1u8
+            });
+            assert_eq!(results.len(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = run(4, |c| {
+            let mine = vec![c.rank() as u8 + 10; c.rank() + 1];
+            match c.gather(2, &mine) {
+                Some(all) => {
+                    for (r, v) in all.iter().enumerate() {
+                        assert_eq!(v, &vec![r as u8 + 10; r + 1]);
+                    }
+                    1u8
+                }
+                None => 0,
+            }
+        });
+        assert_eq!(results, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn reduce_to_root_ordered() {
+        let results = run(5, |c| {
+            let me = c.rank() as f64;
+            match c.reduce(3, ReduceOp::Sum, &[me, me * 2.0]) {
+                Some(acc) => {
+                    assert_eq!(acc, vec![10.0, 20.0]);
+                    1u8
+                }
+                None => 0,
+            }
+        });
+        assert_eq!(results, vec![0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let results = run(4, |c| {
+            let parts: Option<Vec<Vec<u8>>> = (c.rank() == 1).then(|| {
+                (0..4).map(|p| vec![p as u8 * 3; p + 1]).collect()
+            });
+            let part = c.scatter(1, parts.as_deref());
+            assert_eq!(part, vec![c.rank() as u8 * 3; c.rank() + 1]);
+            part.len()
+        });
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn allgather_ring() {
+        for n in [2usize, 3, 6] {
+            let results = run(n, |c| {
+                let mine = vec![c.rank() as u8 + 1; 5];
+                let all = c.allgather(&mine);
+                for (r, v) in all.iter().enumerate() {
+                    assert_eq!(v, &vec![r as u8 + 1; 5], "piece from {r}");
+                }
+                all.len()
+            });
+            assert!(results.iter().all(|&l| l == n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        let results = run(6, |c| c.exscan_sum((c.rank() + 1) as f64));
+        // Exclusive prefix of 1,2,3,4,5,6.
+        assert_eq!(results, vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn alltoall_permutes() {
+        let results = run(5, |c| {
+            let me = c.rank();
+            let send: Vec<Vec<u8>> = (0..c.size())
+                .map(|to| vec![(me * 16 + to) as u8; 4])
+                .collect();
+            let got = c.alltoall(&send);
+            for (from, v) in got.iter().enumerate() {
+                assert_eq!(v, &vec![(from * 16 + me) as u8; 4]);
+            }
+            1u8
+        });
+        assert_eq!(results, vec![1; 5]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Memory windows: the driver-level abstraction the message library is
+//! built on.
+//!
+//! After boot, the TCCluster driver hands user space two kinds of mappings
+//! (paper §V "Enabling Remote Access" / "Data Transmission"):
+//!
+//! * a [`RemoteWindow`] onto another node's exported memory — **write
+//!   only**, because a TCCluster link cannot route responses, so the trait
+//!   deliberately has no load method; and
+//! * a [`LocalWindow`] onto this node's own exported (uncacheable) memory,
+//!   where incoming posted writes appear and polling happens.
+//!
+//! Offsets are window-relative. All multi-byte values are little-endian.
+
+
+/// Polite busy-wait step for polling loops.
+///
+/// TCCluster software really does spin (the receive path *is* a poll
+/// loop), but an emulation must share cores with the thread it waits
+/// for — on a single-core host a raw `spin_loop` burns whole scheduler
+/// quanta. Spin briefly, then yield.
+pub fn cpu_relax() {
+    for _ in 0..64 {
+        std::hint::spin_loop();
+    }
+    std::thread::yield_now();
+}
+
+/// Write-only mapping of remote memory.
+pub trait RemoteWindow {
+    /// Number of addressable bytes.
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Posted store of `data` at `offset`. Weakly ordered: may coalesce
+    /// with neighbouring stores in write-combining buffers.
+    fn store(&self, offset: u64, data: &[u8]);
+
+    /// Store a little-endian u64 (8-aligned offsets only).
+    fn store_u64(&self, offset: u64, value: u64) {
+        self.store(offset, &value.to_le_bytes());
+    }
+
+    /// `sfence`: all prior stores through this window become globally
+    /// visible before any later ones.
+    fn fence(&self);
+}
+
+/// Pollable mapping of local exported memory (uncacheable).
+pub trait LocalWindow {
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Uncached read of `buf.len()` bytes at `offset`.
+    fn load(&self, offset: u64, buf: &mut [u8]);
+
+    /// Uncached read of a little-endian u64.
+    fn load_u64(&self, offset: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.load(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// A trivially in-process window pair over one buffer — the unit-test
+/// backend (single-threaded; the threaded backend is [`crate::shm`]).
+pub mod inproc {
+    use super::{LocalWindow, RemoteWindow};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared backing store.
+    #[derive(Debug, Clone)]
+    pub struct InprocMemory {
+        bytes: Rc<RefCell<Vec<u8>>>,
+    }
+
+    impl InprocMemory {
+        pub fn new(len: usize) -> Self {
+            InprocMemory {
+                bytes: Rc::new(RefCell::new(vec![0; len])),
+            }
+        }
+
+        pub fn remote(&self) -> InprocRemote {
+            InprocRemote { mem: self.clone() }
+        }
+
+        pub fn local(&self) -> InprocLocal {
+            InprocLocal { mem: self.clone() }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct InprocRemote {
+        mem: InprocMemory,
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct InprocLocal {
+        mem: InprocMemory,
+    }
+
+    impl RemoteWindow for InprocRemote {
+        fn len(&self) -> u64 {
+            self.mem.bytes.borrow().len() as u64
+        }
+
+        fn store(&self, offset: u64, data: &[u8]) {
+            let mut b = self.mem.bytes.borrow_mut();
+            let o = offset as usize;
+            assert!(o + data.len() <= b.len(), "remote store out of window");
+            b[o..o + data.len()].copy_from_slice(data);
+        }
+
+        fn fence(&self) {}
+    }
+
+    impl LocalWindow for InprocLocal {
+        fn len(&self) -> u64 {
+            self.mem.bytes.borrow().len() as u64
+        }
+
+        fn load(&self, offset: u64, buf: &mut [u8]) {
+            let b = self.mem.bytes.borrow();
+            let o = offset as usize;
+            assert!(o + buf.len() <= b.len(), "local load out of window");
+            buf.copy_from_slice(&b[o..o + buf.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::inproc::InprocMemory;
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mem = InprocMemory::new(128);
+        let r = mem.remote();
+        let l = mem.local();
+        r.store(16, &[1, 2, 3]);
+        let mut buf = [0u8; 3];
+        l.load(16, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn u64_helpers_little_endian() {
+        let mem = InprocMemory::new(64);
+        mem.remote().store_u64(8, 0x0102_0304_0506_0708);
+        assert_eq!(mem.local().load_u64(8), 0x0102_0304_0506_0708);
+        let mut raw = [0u8; 8];
+        mem.local().load(8, &mut raw);
+        assert_eq!(raw[0], 0x08, "little-endian");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of window")]
+    fn oob_store_panics() {
+        let mem = InprocMemory::new(16);
+        mem.remote().store(15, &[0, 0]);
+    }
+
+    #[test]
+    fn window_has_no_load_on_remote() {
+        // Compile-time property, documented here: RemoteWindow exposes
+        // only store/fence. (If a `load` were added this test file is the
+        // reminder of why it must not be.)
+        fn takes_remote<R: RemoteWindow>(_: &R) {}
+        let mem = InprocMemory::new(16);
+        takes_remote(&mem.remote());
+    }
+}

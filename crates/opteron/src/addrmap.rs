@@ -1,0 +1,268 @@
+//! Northbridge address-map registers: DRAM and MMIO base/limit pairs.
+//!
+//! Routing in the K10 northbridge is two-staged (paper §IV.C): an address is
+//! first matched against the DRAM and MMIO base/limit registers, yielding
+//! the home NodeID (DRAM) or a NodeID/destination-link (MMIO); the NodeID
+//! then indexes the routing table — except for MMIO ranges owned by the
+//! local node, whose destination link is taken directly from the register.
+//!
+//! TCCluster exploits precisely that: every node calls itself NodeID 0,
+//! maps its own DRAM slice as local, and maps the *rest of the global
+//! address space* as local MMIO whose destination link is the TCCluster
+//! link — so every remote store is forwarded straight out the link with no
+//! routing-table hop.
+
+use crate::regs::{LinkId, NodeId};
+
+/// Where an address resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// DRAM owned by `home` (may be this node or a coherent peer).
+    Dram { home: NodeId },
+    /// MMIO owned by `owner`; if the owner is the local node the packet
+    /// goes straight out `link`.
+    Mmio { owner: NodeId, link: LinkId },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DramRange {
+    base: u64,
+    limit: u64, // exclusive
+    home: NodeId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MmioRange {
+    base: u64,
+    limit: u64, // exclusive
+    owner: NodeId,
+    link: LinkId,
+}
+
+/// K10 provides 8 DRAM base/limit pairs and 8 MMIO pairs (plus fixed
+/// ranges we do not need).
+pub const MAX_DRAM_RANGES: usize = 8;
+pub const MAX_MMIO_RANGES: usize = 8;
+
+/// The programmable address map of one northbridge.
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    dram: Vec<DramRange>,
+    mmio: Vec<MmioRange>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    OutOfRegisters(&'static str),
+    Overlap { kind: &'static str, base: u64, limit: u64 },
+    Unmapped(u64),
+}
+
+impl core::fmt::Display for MapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MapError::OutOfRegisters(k) => write!(f, "out of {k} base/limit registers"),
+            MapError::Overlap { kind, base, limit } => {
+                write!(f, "overlapping {kind} range [{base:#x},{limit:#x})")
+            }
+            MapError::Unmapped(a) => write!(f, "address {a:#x} matches no range"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl AddressMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Program a DRAM base/limit pair.
+    pub fn add_dram(&mut self, base: u64, limit: u64, home: NodeId) -> Result<(), MapError> {
+        assert!(base < limit, "empty DRAM range");
+        if self.dram.len() == MAX_DRAM_RANGES {
+            return Err(MapError::OutOfRegisters("DRAM"));
+        }
+        if self.dram.iter().any(|r| base < r.limit && r.base < limit) {
+            return Err(MapError::Overlap {
+                kind: "DRAM",
+                base,
+                limit,
+            });
+        }
+        self.dram.push(DramRange { base, limit, home });
+        Ok(())
+    }
+
+    /// Program an MMIO base/limit pair.
+    pub fn add_mmio(
+        &mut self,
+        base: u64,
+        limit: u64,
+        owner: NodeId,
+        link: LinkId,
+    ) -> Result<(), MapError> {
+        assert!(base < limit, "empty MMIO range");
+        if self.mmio.len() == MAX_MMIO_RANGES {
+            return Err(MapError::OutOfRegisters("MMIO"));
+        }
+        if self.mmio.iter().any(|r| base < r.limit && r.base < limit) {
+            return Err(MapError::Overlap {
+                kind: "MMIO",
+                base,
+                limit,
+            });
+        }
+        self.mmio.push(MmioRange {
+            base,
+            limit,
+            owner,
+            link,
+        });
+        Ok(())
+    }
+
+    pub fn clear(&mut self) {
+        self.dram.clear();
+        self.mmio.clear();
+    }
+
+    /// Resolve an address. DRAM ranges take precedence (the hardware
+    /// forbids programming both for one address; we check in `validate`).
+    pub fn resolve(&self, addr: u64) -> Result<Target, MapError> {
+        if let Some(r) = self.dram.iter().find(|r| addr >= r.base && addr < r.limit) {
+            return Ok(Target::Dram { home: r.home });
+        }
+        if let Some(r) = self.mmio.iter().find(|r| addr >= r.base && addr < r.limit) {
+            return Ok(Target::Mmio {
+                owner: r.owner,
+                link: r.link,
+            });
+        }
+        Err(MapError::Unmapped(addr))
+    }
+
+    /// Check global invariants: DRAM and MMIO ranges must be mutually
+    /// disjoint, and each class internally disjoint (enforced at insert).
+    pub fn validate(&self) -> Result<(), MapError> {
+        for d in &self.dram {
+            for m in &self.mmio {
+                if d.base < m.limit && m.base < d.limit {
+                    return Err(MapError::Overlap {
+                        kind: "DRAM/MMIO",
+                        base: d.base.max(m.base),
+                        limit: d.limit.min(m.limit),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate programmed DRAM ranges as (base, limit, home).
+    pub fn dram_ranges(&self) -> impl Iterator<Item = (u64, u64, NodeId)> + '_ {
+        self.dram.iter().map(|r| (r.base, r.limit, r.home))
+    }
+
+    /// Iterate programmed MMIO ranges as (base, limit, owner, link).
+    pub fn mmio_ranges(&self) -> impl Iterator<Item = (u64, u64, NodeId, LinkId)> + '_ {
+        self.mmio.iter().map(|r| (r.base, r.limit, r.owner, r.link))
+    }
+
+    /// Total DRAM bytes mapped.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram.iter().map(|r| r.limit - r.base).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const L2: LinkId = LinkId(2);
+
+    #[test]
+    fn figure3_address_map_node0() {
+        // Paper Fig. 3: global space 0x1000-0x6FFF; Node0 owns 0x1000-0x1FFF
+        // as DRAM, everything else is MMIO out the TCCluster link.
+        let mut map = AddressMap::new();
+        map.add_dram(0x1000, 0x2000, N0).unwrap();
+        map.add_mmio(0x2000, 0x7000, N0, L2).unwrap();
+        map.validate().unwrap();
+
+        assert_eq!(map.resolve(0x1800), Ok(Target::Dram { home: N0 }));
+        assert_eq!(
+            map.resolve(0x2000),
+            Ok(Target::Mmio { owner: N0, link: L2 })
+        );
+        assert_eq!(
+            map.resolve(0x6FFF),
+            Ok(Target::Mmio { owner: N0, link: L2 })
+        );
+        assert_eq!(map.resolve(0x0800), Err(MapError::Unmapped(0x0800)));
+        assert_eq!(map.dram_bytes(), 0x1000);
+    }
+
+    #[test]
+    fn figure3_address_map_node1_differs() {
+        // Node1's view of the same global space: it owns 0x2000-0x2FFF.
+        // Write to 0x1800 from Node1 → MMIO → network packet toward Node0.
+        let mut map = AddressMap::new();
+        map.add_dram(0x2000, 0x3000, N0).unwrap(); // NodeID 0 on every node!
+        map.add_mmio(0x1000, 0x2000, N0, L2).unwrap();
+        map.add_mmio(0x3000, 0x7000, N0, L2).unwrap();
+        map.validate().unwrap();
+        assert!(matches!(map.resolve(0x1800), Ok(Target::Mmio { .. })));
+        assert!(matches!(map.resolve(0x2800), Ok(Target::Dram { .. })));
+    }
+
+    #[test]
+    fn dram_mmio_overlap_caught_by_validate() {
+        let mut map = AddressMap::new();
+        map.add_dram(0x1000, 0x3000, N0).unwrap();
+        map.add_mmio(0x2000, 0x4000, N0, L2).unwrap();
+        assert!(matches!(
+            map.validate(),
+            Err(MapError::Overlap { kind: "DRAM/MMIO", .. })
+        ));
+    }
+
+    #[test]
+    fn same_class_overlap_rejected_at_insert() {
+        let mut map = AddressMap::new();
+        map.add_dram(0x1000, 0x3000, N0).unwrap();
+        assert!(matches!(
+            map.add_dram(0x2000, 0x4000, NodeId(1)),
+            Err(MapError::Overlap { kind: "DRAM", .. })
+        ));
+    }
+
+    #[test]
+    fn register_budget() {
+        let mut map = AddressMap::new();
+        for i in 0..8u64 {
+            map.add_dram(i << 20, (i + 1) << 20, NodeId(i as u8)).unwrap();
+        }
+        assert!(matches!(
+            map.add_dram(9 << 20, 10 << 20, N0),
+            Err(MapError::OutOfRegisters("DRAM"))
+        ));
+    }
+
+    #[test]
+    fn contiguity_requirement_demonstrated() {
+        // The northbridge can only map *intervals*: a node wishing to
+        // export two discontiguous windows burns two MMIO registers. This
+        // is the paper's "memory holes are impossible" constraint —
+        // a 256-supernode cluster cannot give each peer its own register.
+        let mut map = AddressMap::new();
+        let mut used = 0;
+        for i in 0..MAX_MMIO_RANGES as u64 {
+            map.add_mmio(i * 0x10000, i * 0x10000 + 0x8000, N0, L2).unwrap();
+            used += 1;
+        }
+        assert_eq!(used, MAX_MMIO_RANGES);
+        assert!(map.add_mmio(0x9_0000_0000, 0x9_0001_0000, N0, L2).is_err());
+    }
+}

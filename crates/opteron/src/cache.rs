@@ -1,0 +1,265 @@
+//! A set-associative cache hierarchy with MESI line states.
+//!
+//! Used for two purposes: (a) the coherent-domain experiments, where probe
+//! traffic among caches is what limits shared-memory scaling (paper §III),
+//! and (b) receiver-side realism — the reason TCCluster receive buffers
+//! must be mapped uncacheable is that an incoming posted write cannot
+//! invalidate a remote cache; this model lets tests demonstrate the stale-
+//! read hazard the paper's firmware avoids.
+
+use crate::params::UarchParams;
+use tcc_fabric::time::Duration;
+
+/// MESI coherence states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    state: State,
+    lru: u64,
+}
+
+/// One cache level (physically indexed, write-back, write-allocate).
+#[derive(Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    line_bytes: usize,
+    set_shift: u32,
+    set_mask: u64,
+    tick: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub latency: Duration,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Hit(State),
+    /// Miss; if a dirty victim was evicted, its line address.
+    Miss { writeback: Option<u64> },
+}
+
+impl Cache {
+    pub fn new(capacity: usize, ways: usize, line_bytes: usize, latency: Duration) -> Self {
+        let lines = capacity / line_bytes;
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            line_bytes,
+            set_shift: line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            latency,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.set_shift
+    }
+
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    /// Look up without side effects.
+    pub fn probe(&self, addr: u64) -> State {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.sets[set]
+            .iter()
+            .find(|l| l.tag == tag)
+            .map(|l| l.state)
+            .filter(|s| *s != State::Invalid)
+            .unwrap_or(State::Invalid)
+    }
+
+    /// Access for read (`write = false`) or write (`true`). On a miss the
+    /// line is filled in the given `fill_state`.
+    pub fn access(&mut self, addr: u64, write: bool, fill_state: State) -> Access {
+        self.tick += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            if line.state != State::Invalid {
+                line.lru = self.tick;
+                let prev = line.state;
+                if write {
+                    line.state = State::Modified;
+                }
+                self.hits += 1;
+                return Access::Hit(prev);
+            }
+        }
+        self.misses += 1;
+        // Fill, possibly evicting the LRU way.
+        let mut writeback = None;
+        let sets = &mut self.sets[set];
+        sets.retain(|l| l.state != State::Invalid);
+        if sets.len() == self.ways {
+            let victim_idx = sets
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("ways > 0");
+            let victim = sets.swap_remove(victim_idx);
+            if victim.state == State::Modified {
+                writeback = Some(victim.tag << self.set_shift);
+            }
+        }
+        sets.push(Line {
+            tag,
+            state: if write { State::Modified } else { fill_state },
+            lru: self.tick,
+        });
+        Access::Miss { writeback }
+    }
+
+    /// External probe (snoop): downgrade or invalidate the line.
+    /// Returns the state the line was found in (Modified means the prober
+    /// gets dirty data from us).
+    pub fn snoop(&mut self, addr: u64, invalidate: bool) -> State {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            let was = line.state;
+            line.state = if invalidate { State::Invalid } else { State::Shared };
+            was
+        } else {
+            State::Invalid
+        }
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+/// The three-level hierarchy of one core (L3 shared in reality; modelled
+/// per-core for the experiments that need it, which are single-core).
+#[derive(Debug)]
+pub struct Hierarchy {
+    pub l1: Cache,
+    pub l2: Cache,
+    pub l3: Cache,
+    pub dram_read: Duration,
+}
+
+impl Hierarchy {
+    pub fn new(p: &UarchParams) -> Self {
+        Hierarchy {
+            l1: Cache::new(p.l1_bytes, 2, p.line_bytes, p.l1_latency),
+            l2: Cache::new(p.l2_bytes, 16, p.line_bytes, p.l2_latency),
+            l3: Cache::new(p.l3_bytes, 32, p.line_bytes, p.l3_latency),
+            dram_read: p.dram_read,
+        }
+    }
+
+    /// Latency of a (cacheable) read at `addr`, filling on the way back.
+    pub fn read_latency(&mut self, addr: u64) -> Duration {
+        if let Access::Hit(_) = self.l1.access(addr, false, State::Exclusive) {
+            return self.l1.latency;
+        }
+        if let Access::Hit(_) = self.l2.access(addr, false, State::Exclusive) {
+            return self.l2.latency;
+        }
+        if let Access::Hit(_) = self.l3.access(addr, false, State::Exclusive) {
+            return self.l3.latency;
+        }
+        self.dram_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512 B.
+        Cache::new(512, 2, 64, Duration::from_nanos(1))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x1000, false, State::Exclusive), Access::Miss { writeback: None });
+        assert_eq!(c.access(0x1000, false, State::Exclusive), Access::Hit(State::Exclusive));
+        assert_eq!(c.access(0x103F, false, State::Exclusive), Access::Hit(State::Exclusive), "same line");
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_marks_modified_and_evicts_dirty() {
+        let mut c = tiny();
+        c.access(0x0000, true, State::Exclusive);
+        assert_eq!(c.probe(0x0000), State::Modified);
+        // Two more lines mapping to set 0 (set stride = 4 * 64 = 256).
+        c.access(0x0100, false, State::Exclusive);
+        let r = c.access(0x0200, false, State::Exclusive);
+        assert_eq!(r, Access::Miss { writeback: Some(0x0000) }, "dirty LRU written back");
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = tiny();
+        c.access(0x0000, false, State::Exclusive);
+        c.access(0x0100, false, State::Exclusive);
+        c.access(0x0000, false, State::Exclusive); // touch
+        c.access(0x0200, false, State::Exclusive); // evicts 0x0100
+        assert_eq!(c.probe(0x0000), State::Exclusive);
+        assert_eq!(c.probe(0x0100), State::Invalid);
+    }
+
+    #[test]
+    fn snoop_invalidate_and_downgrade() {
+        let mut c = tiny();
+        c.access(0x40, true, State::Exclusive);
+        assert_eq!(c.snoop(0x40, false), State::Modified);
+        assert_eq!(c.probe(0x40), State::Shared);
+        assert_eq!(c.snoop(0x40, true), State::Shared);
+        assert_eq!(c.probe(0x40), State::Invalid);
+        assert_eq!(c.snoop(0x9999 & !63, true), State::Invalid, "absent line");
+    }
+
+    #[test]
+    fn stale_read_hazard_without_invalidation() {
+        // The reason receive rings must be UC: a cached copy goes stale
+        // when DRAM is updated behind the cache's back (posted write from
+        // the TCC link cannot snoop a *remote* node's cache).
+        let mut c = tiny();
+        c.access(0x80, false, State::Exclusive);
+        // DRAM now changes (incoming message) — no snoop is generated.
+        // The cache still claims a valid copy:
+        assert_ne!(c.probe(0x80), State::Invalid, "stale hit — the hazard");
+    }
+
+    #[test]
+    fn hierarchy_latencies_ascend() {
+        let p = UarchParams::shanghai();
+        let mut h = Hierarchy::new(&p);
+        let first = h.read_latency(0x4000);
+        assert_eq!(first, p.dram_read, "cold read goes to DRAM");
+        let second = h.read_latency(0x4000);
+        assert_eq!(second, p.l1_latency, "hot read hits L1");
+    }
+}

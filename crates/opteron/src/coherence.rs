@@ -1,0 +1,165 @@
+//! Coherent-fabric probe cost model.
+//!
+//! The paper's motivation (§§I, III): MESI-style coherence broadcasts a
+//! probe to every node in the coherent domain on each ownership-changing
+//! transaction and can complete only when the **last** response arrives, so
+//! both latency and bandwidth overhead grow with node count — which is why
+//! cache-coherent Opteron systems stop at 8 nodes and why TCCluster drops
+//! coherence. This module quantifies that, producing the `coherency_scaling`
+//! experiment's series.
+
+use crate::params::UarchParams;
+use tcc_fabric::time::Duration;
+
+/// How the coherent domain's nodes are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every node one hop from every other (possible up to 4–8 sockets).
+    FullyConnected,
+    /// Square mesh (what larger glueless fabrics degenerate to).
+    Mesh2D,
+}
+
+impl Topology {
+    /// Worst-case hop distance between any two of `n` nodes.
+    pub fn diameter(self, n: usize) -> usize {
+        match self {
+            Topology::FullyConnected => {
+                if n <= 1 {
+                    0
+                } else {
+                    1
+                }
+            }
+            Topology::Mesh2D => {
+                if n <= 1 {
+                    return 0;
+                }
+                let side = (n as f64).sqrt().ceil() as usize;
+                let rows = n.div_ceil(side);
+                (side - 1) + (rows - 1)
+            }
+        }
+    }
+}
+
+/// A coherent domain of `n` nodes.
+#[derive(Debug, Clone)]
+pub struct CoherentDomain {
+    pub n: usize,
+    pub topology: Topology,
+    pub params: UarchParams,
+}
+
+impl CoherentDomain {
+    pub fn new(n: usize, topology: Topology, params: UarchParams) -> Self {
+        assert!(n >= 1);
+        CoherentDomain {
+            n,
+            topology,
+            params,
+        }
+    }
+
+    /// Latency added to one transaction by probing: the round trip to the
+    /// *farthest* peer (last response is pivotal) plus a serialisation term
+    /// for collecting N-1 responses at the requester.
+    pub fn probe_latency(&self) -> Duration {
+        if self.n <= 1 {
+            return Duration::ZERO;
+        }
+        let d = self.topology.diameter(self.n) as u64;
+        let round_trip = self.params.probe_latency.times(2 * d);
+        // Responses funnel into one northbridge port: ~2 ns each to sink.
+        let collect = Duration::from_picos(2_000).times(self.n as u64 - 1);
+        round_trip + collect
+    }
+
+    /// Probe bytes injected into the fabric per coherent transaction
+    /// (probe to each peer + response from each peer).
+    pub fn probe_bytes_per_txn(&self) -> u64 {
+        2 * self.params.probe_wire_bytes * (self.n as u64 - 1)
+    }
+
+    /// Sustainable coherent-write throughput per node, accounting for the
+    /// probe traffic competing with data for link bandwidth. `link_bps` is
+    /// the per-link bandwidth; each 64 B store moves 72 wire bytes of data
+    /// plus the probe overhead.
+    pub fn effective_write_bandwidth(&self, link_bps: u64) -> f64 {
+        let data_wire = 72.0; // 64 B + command
+        let overhead = self.probe_bytes_per_txn() as f64;
+        link_bps as f64 * 64.0 / (data_wire + overhead)
+    }
+
+    /// End-to-end latency of one remote coherent store (fabric hop plus
+    /// the probe phase).
+    pub fn store_latency(&self) -> Duration {
+        let base = self.params.nb_tx + self.params.probe_latency + self.params.nb_rx;
+        base + self.probe_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(n: usize, t: Topology) -> CoherentDomain {
+        CoherentDomain::new(n, t, UarchParams::shanghai())
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(Topology::FullyConnected.diameter(1), 0);
+        assert_eq!(Topology::FullyConnected.diameter(8), 1);
+        assert_eq!(Topology::Mesh2D.diameter(4), 2); // 2x2
+        assert_eq!(Topology::Mesh2D.diameter(16), 6); // 4x4
+        assert_eq!(Topology::Mesh2D.diameter(64), 14); // 8x8
+    }
+
+    #[test]
+    fn single_node_pays_nothing() {
+        let d = domain(1, Topology::FullyConnected);
+        assert_eq!(d.probe_latency(), Duration::ZERO);
+        assert_eq!(d.probe_bytes_per_txn(), 0);
+    }
+
+    #[test]
+    fn probe_latency_grows_with_nodes() {
+        let l2 = domain(2, Topology::FullyConnected).probe_latency();
+        let l8 = domain(8, Topology::FullyConnected).probe_latency();
+        let l64 = domain(64, Topology::Mesh2D).probe_latency();
+        assert!(l2 < l8, "{l2} vs {l8}");
+        assert!(l8 < l64);
+        // 64-node mesh probe phase is in the microsecond range — an order
+        // of magnitude above the 227 ns TCCluster message.
+        assert!(l64.nanos() > 1000.0, "l64 = {l64}");
+    }
+
+    #[test]
+    fn probe_bandwidth_overhead_grows_linearly() {
+        let b2 = domain(2, Topology::FullyConnected).probe_bytes_per_txn();
+        let b8 = domain(8, Topology::FullyConnected).probe_bytes_per_txn();
+        assert_eq!(b2, 24);
+        assert_eq!(b8, 24 * 7);
+    }
+
+    #[test]
+    fn effective_bandwidth_collapses_at_scale() {
+        let link = 3_200_000_000u64;
+        let e2 = domain(2, Topology::FullyConnected).effective_write_bandwidth(link);
+        let e64 = domain(64, Topology::Mesh2D).effective_write_bandwidth(link);
+        assert!(e2 > 2.0e9, "two nodes barely notice: {e2}");
+        assert!(e64 < 0.15e9, "64 nodes drown in probes: {e64}");
+        assert!(e2 / e64 > 10.0);
+    }
+
+    #[test]
+    fn noncoherent_store_latency_is_flat_by_contrast() {
+        // TCCluster's store path has no probe phase — the comparison the
+        // coherency_scaling bench prints. Here: coherent 8-node store is
+        // already slower than a 2-node one, while the ncHT path is O(1).
+        let c2 = domain(2, Topology::FullyConnected).store_latency();
+        let c8 = domain(8, Topology::FullyConnected).store_latency();
+        assert!(c8 > c2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Memory Type Range Registers.
+//!
+//! The K10 core consults the MTRRs on every access to decide cacheability
+//! and write behaviour. TCCluster's firmware programs the remote-MMIO
+//! window **write-combining** on the send side (so stores coalesce into
+//! 64 B HT packets) and the locally-exported window **uncacheable** on the
+//! receive side (so polling reads bypass the cache and observe incoming
+//! posted writes — the fabric cannot invalidate remote caches).
+
+/// x86 memory types (the subset the model distinguishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemType {
+    /// Write-back cacheable — ordinary RAM.
+    WriteBack,
+    /// Uncacheable — every access goes to the memory system, serialised.
+    Uncacheable,
+    /// Write-combining — stores coalesce in WC buffers, weakly ordered.
+    WriteCombining,
+}
+
+/// A variable-range MTRR.
+#[derive(Debug, Clone, Copy)]
+pub struct MtrrEntry {
+    pub base: u64,
+    /// Exclusive end of the range.
+    pub limit: u64,
+    pub mem_type: MemType,
+}
+
+/// The MTRR file of one core. Default type (outside all ranges) is
+/// write-back, matching a BIOS that maps all of DRAM WB.
+#[derive(Debug, Clone, Default)]
+pub struct Mtrrs {
+    entries: Vec<MtrrEntry>,
+}
+
+/// K10 exposes 8 variable-range MTRR pairs.
+pub const MAX_VARIABLE_MTRRS: usize = 8;
+
+impl Mtrrs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Program a range. Ranges must not overlap existing ones.
+    pub fn program(&mut self, base: u64, limit: u64, mem_type: MemType) {
+        assert!(base < limit, "empty MTRR range");
+        assert!(
+            self.entries.len() < MAX_VARIABLE_MTRRS,
+            "out of variable MTRRs"
+        );
+        assert!(
+            !self
+                .entries
+                .iter()
+                .any(|e| base < e.limit && e.base < limit),
+            "overlapping MTRR ranges: [{base:#x},{limit:#x})"
+        );
+        self.entries.push(MtrrEntry {
+            base,
+            limit,
+            mem_type,
+        });
+    }
+
+    /// Remove all programmed ranges (warm reset reprogramming).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Memory type of `addr`.
+    pub fn resolve(&self, addr: u64) -> MemType {
+        self.entries
+            .iter()
+            .find(|e| addr >= e.base && addr < e.limit)
+            .map(|e| e.mem_type)
+            .unwrap_or(MemType::WriteBack)
+    }
+
+    /// Memory type of the whole access `[addr, addr+len)`; panics if the
+    /// access straddles ranges with different types (real hardware makes
+    /// that undefined — firmware must never produce it).
+    pub fn resolve_span(&self, addr: u64, len: u64) -> MemType {
+        let first = self.resolve(addr);
+        let last = self.resolve(addr + len - 1);
+        assert_eq!(
+            first, last,
+            "access [{addr:#x}+{len}) straddles MTRR types {first:?}/{last:?}"
+        );
+        first
+    }
+
+    pub fn entries(&self) -> &[MtrrEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_writeback() {
+        let m = Mtrrs::new();
+        assert_eq!(m.resolve(0x1234), MemType::WriteBack);
+    }
+
+    #[test]
+    fn programmed_ranges_resolve() {
+        let mut m = Mtrrs::new();
+        m.program(0x1_0000, 0x2_0000, MemType::WriteCombining);
+        m.program(0x2_0000, 0x3_0000, MemType::Uncacheable);
+        assert_eq!(m.resolve(0x0_FFFF), MemType::WriteBack);
+        assert_eq!(m.resolve(0x1_0000), MemType::WriteCombining);
+        assert_eq!(m.resolve(0x1_FFFF), MemType::WriteCombining);
+        assert_eq!(m.resolve(0x2_0000), MemType::Uncacheable);
+        assert_eq!(m.resolve(0x3_0000), MemType::WriteBack);
+    }
+
+    #[test]
+    fn span_within_one_range() {
+        let mut m = Mtrrs::new();
+        m.program(0x1000, 0x2000, MemType::WriteCombining);
+        assert_eq!(m.resolve_span(0x1000, 64), MemType::WriteCombining);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddles")]
+    fn span_across_types_panics() {
+        let mut m = Mtrrs::new();
+        m.program(0x1000, 0x2000, MemType::WriteCombining);
+        m.resolve_span(0x1FC0, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_rejected() {
+        let mut m = Mtrrs::new();
+        m.program(0x1000, 0x3000, MemType::Uncacheable);
+        m.program(0x2000, 0x4000, MemType::WriteCombining);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of variable MTRRs")]
+    fn register_budget_enforced() {
+        let mut m = Mtrrs::new();
+        for i in 0..9u64 {
+            m.program(i * 0x1000, (i + 1) * 0x1000, MemType::Uncacheable);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Mtrrs::new();
+        m.program(0x1000, 0x2000, MemType::Uncacheable);
+        m.clear();
+        assert_eq!(m.resolve(0x1800), MemType::WriteBack);
+        assert!(m.entries().is_empty());
+    }
+}

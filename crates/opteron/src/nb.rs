@@ -1,0 +1,399 @@
+//! The northbridge: system request queue, crossbar, IO bridge and the
+//! routing decision that glues address map, routing table and tag table
+//! together.
+//!
+//! Packet walk (paper §IV.C): a packet entering the northbridge — from a
+//! local core or from a link — is matched against the DRAM/MMIO base/limit
+//! registers. A DRAM hit yields the home NodeID: if it is this node, the
+//! access goes to the local memory controller (via the IO bridge when the
+//! packet arrived non-coherent); otherwise the routing table picks the
+//! outgoing link. An MMIO hit owned by this node forwards directly out the
+//! register's destination link, bypassing the routing table — the hook
+//! TCCluster exploits by claiming NodeID 0 everywhere.
+
+use crate::addrmap::{AddressMap, MapError, Target};
+use crate::regs::{LinkId, NodeId, LINKS_PER_NODE};
+use crate::route::{Route, RoutingTable};
+use crate::tags::TagTable;
+use tcc_ht::packet::{Command, Packet};
+
+/// Where a packet entered the northbridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// From a local core (through the system request queue).
+    Core,
+    /// From an HT link; `coherent` reflects the link's negotiated type.
+    Link { id: LinkId, coherent: bool },
+}
+
+/// What the northbridge decided to do with a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Deliver to the local memory controller at this DRAM offset.
+    /// `bridged` is true when the packet crossed the IO bridge
+    /// (non-coherent → coherent conversion, costs `nb_rx`).
+    LocalMemory { offset: u64, bridged: bool },
+    /// Forward out of `link`.
+    Forward { link: LinkId },
+    /// Dropped by interrupt/broadcast filtering (TCCluster links must not
+    /// carry broadcasts off-node).
+    Filtered { reason: &'static str },
+}
+
+/// Routing failures — all fatal in hardware, surfaced as errors here so
+/// tests can assert on the exact failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NbError {
+    Unmapped(u64),
+    NoRoute(NodeId),
+    /// A response arrived whose tag matches nothing — the signature of
+    /// trying to run non-posted traffic over a TCCluster link.
+    OrphanResponse,
+    /// A command that cannot be routed at all (e.g. response with no tag).
+    Unroutable(&'static str),
+}
+
+impl From<MapError> for NbError {
+    fn from(e: MapError) -> Self {
+        match e {
+            MapError::Unmapped(a) => NbError::Unmapped(a),
+            other => panic!("address map misprogrammed: {other}"),
+        }
+    }
+}
+
+/// The northbridge of one node.
+#[derive(Debug)]
+pub struct Northbridge {
+    pub node_id: NodeId,
+    pub addr_map: AddressMap,
+    pub routes: RoutingTable,
+    pub tags: TagTable,
+    /// Broadcast (interrupt) forwarding enable per link.
+    pub broadcast_enable: [bool; LINKS_PER_NODE],
+    /// Statistics.
+    pub requests_routed: u64,
+    pub packets_forwarded: u64,
+    pub broadcasts_filtered: u64,
+}
+
+impl Northbridge {
+    pub fn new(node_id: NodeId) -> Self {
+        Northbridge {
+            node_id,
+            addr_map: AddressMap::new(),
+            routes: RoutingTable::new(),
+            tags: TagTable::new(),
+            broadcast_enable: [true; LINKS_PER_NODE],
+            requests_routed: 0,
+            packets_forwarded: 0,
+            broadcasts_filtered: 0,
+        }
+    }
+
+    /// Offset of `addr` within this node's local DRAM, if `addr` falls in a
+    /// DRAM range homed here. Local DRAM offsets are assigned range-by-range
+    /// in programming order.
+    fn local_dram_offset(&self, addr: u64) -> Option<u64> {
+        let mut local_base = 0u64;
+        for (base, limit, home) in self.addr_map.dram_ranges() {
+            if home == self.node_id {
+                if addr >= base && addr < limit {
+                    return Some(local_base + (addr - base));
+                }
+                local_base += limit - base;
+            }
+        }
+        None
+    }
+
+    /// Route an addressed request packet entering from `source`.
+    pub fn dispose(&mut self, pkt: &Packet, source: Source) -> Result<Disposition, NbError> {
+        self.requests_routed += 1;
+        match &pkt.cmd {
+            Command::Broadcast { .. } => Ok(self.dispose_broadcast(source)),
+            Command::RdResponse { tag, .. } | Command::TgtDone { tag, .. } => {
+                // Responses route by tag, not address.
+                match self.tags.complete(*tag) {
+                    Ok(_pending) => Ok(Disposition::LocalMemory {
+                        offset: 0,
+                        bridged: false,
+                    }),
+                    Err(_) => Err(NbError::OrphanResponse),
+                }
+            }
+            Command::Fence { .. } | Command::Flush { .. } | Command::Nop { .. } => {
+                Err(NbError::Unroutable("link-local command reached router"))
+            }
+            _ => {
+                let addr = pkt.addr().expect("addressed request");
+                let target = self.addr_map.resolve(addr)?;
+                let from_noncoherent_link =
+                    matches!(source, Source::Link { coherent: false, .. });
+                match target {
+                    Target::Dram { home } if home == self.node_id => {
+                        let offset = self
+                            .local_dram_offset(addr)
+                            .expect("home node has a local range");
+                        Ok(Disposition::LocalMemory {
+                            offset,
+                            // ncHT packets cross the IO bridge into the
+                            // coherent domain before touching memory.
+                            bridged: from_noncoherent_link,
+                        })
+                    }
+                    Target::Dram { home } => {
+                        match self.routes.request_route(home).ok_or(NbError::NoRoute(home))? {
+                            Route::SelfRoute => {
+                                let offset = self
+                                    .local_dram_offset(addr)
+                                    .ok_or(NbError::Unmapped(addr))?;
+                                Ok(Disposition::LocalMemory {
+                                    offset,
+                                    bridged: from_noncoherent_link,
+                                })
+                            }
+                            Route::Link(l) => {
+                                self.packets_forwarded += 1;
+                                Ok(Disposition::Forward { link: l })
+                            }
+                        }
+                    }
+                    Target::Mmio { owner, link } if owner == self.node_id => {
+                        // Local MMIO: destination link comes straight from
+                        // the base/limit register — no routing-table hop.
+                        // This is the TCCluster fast path.
+                        self.packets_forwarded += 1;
+                        Ok(Disposition::Forward { link })
+                    }
+                    Target::Mmio { owner, .. } => {
+                        match self.routes.request_route(owner).ok_or(NbError::NoRoute(owner))? {
+                            Route::SelfRoute => Err(NbError::Unroutable(
+                                "MMIO owned remotely but routed to self",
+                            )),
+                            Route::Link(l) => {
+                                self.packets_forwarded += 1;
+                                Ok(Disposition::Forward { link: l })
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispose_broadcast(&mut self, source: Source) -> Disposition {
+        // Interrupt broadcasts fan out on every *enabled* link except the
+        // one they arrived on; with TCCluster links disabled the broadcast
+        // stays inside the node/supernode. We return either the single
+        // forward target (coherent peer) or Filtered if nothing is enabled.
+        let arrived_on = match source {
+            Source::Link { id, .. } => Some(id),
+            Source::Core => None,
+        };
+        for l in 0..LINKS_PER_NODE as u8 {
+            let id = LinkId(l);
+            if Some(id) == arrived_on {
+                continue;
+            }
+            if self.broadcast_enable[l as usize] {
+                self.packets_forwarded += 1;
+                return Disposition::Forward { link: id };
+            }
+        }
+        self.broadcasts_filtered += 1;
+        Disposition::Filtered {
+            reason: "broadcast forwarding disabled on all other links",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tcc_ht::packet::{SrcTag, UnitId};
+
+    const TCC_LINK: LinkId = LinkId(2);
+
+    /// A TCCluster-configured node per paper Fig. 3 (Node0's view).
+    fn tcc_node0() -> Northbridge {
+        let mut nb = Northbridge::new(NodeId(0));
+        nb.addr_map.add_dram(0x1000, 0x2000, NodeId(0)).unwrap();
+        nb.addr_map
+            .add_mmio(0x2000, 0x7000, NodeId(0), TCC_LINK)
+            .unwrap();
+        nb.routes
+            .set(NodeId(0), crate::route::symmetric(Route::SelfRoute));
+        // TCCluster: interrupts must not leave the node.
+        nb.broadcast_enable = [false; LINKS_PER_NODE];
+        nb
+    }
+
+    fn pw(addr: u64) -> Packet {
+        Packet::posted_write(addr, Bytes::from_static(&[0xAB; 64]))
+    }
+
+    #[test]
+    fn local_store_hits_local_memory() {
+        let mut nb = tcc_node0();
+        let d = nb.dispose(&pw(0x1800), Source::Core).unwrap();
+        assert_eq!(
+            d,
+            Disposition::LocalMemory {
+                offset: 0x800,
+                bridged: false
+            }
+        );
+    }
+
+    #[test]
+    fn remote_store_forwards_out_tcc_link() {
+        let mut nb = tcc_node0();
+        let d = nb.dispose(&pw(0x2800), Source::Core).unwrap();
+        assert_eq!(d, Disposition::Forward { link: TCC_LINK });
+        assert_eq!(nb.packets_forwarded, 1);
+    }
+
+    #[test]
+    fn arriving_tcc_write_is_bridged_to_memory() {
+        let mut nb = tcc_node0();
+        let d = nb
+            .dispose(
+                &pw(0x1400),
+                Source::Link {
+                    id: TCC_LINK,
+                    coherent: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            d,
+            Disposition::LocalMemory {
+                offset: 0x400,
+                bridged: true
+            }
+        );
+    }
+
+    #[test]
+    fn unmapped_address_errors() {
+        let mut nb = tcc_node0();
+        assert_eq!(
+            nb.dispose(&pw(0x0100), Source::Core),
+            Err(NbError::Unmapped(0x0100))
+        );
+    }
+
+    #[test]
+    fn orphan_response_detected() {
+        // A response crossing a TCCluster link matches no local tag.
+        let mut nb = tcc_node0();
+        let resp = Packet::control(Command::TgtDone {
+            unit: UnitId::HOST,
+            tag: SrcTag::new(9),
+            error: false,
+        });
+        assert_eq!(
+            nb.dispose(
+                &resp,
+                Source::Link {
+                    id: TCC_LINK,
+                    coherent: false
+                }
+            ),
+            Err(NbError::OrphanResponse)
+        );
+    }
+
+    #[test]
+    fn interrupt_broadcast_filtered_on_tcc_node() {
+        let mut nb = tcc_node0();
+        let intr = Packet::control(Command::Broadcast {
+            unit: UnitId::HOST,
+            addr: 0xFEE0_0000,
+        });
+        let d = nb.dispose(&intr, Source::Core).unwrap();
+        assert!(matches!(d, Disposition::Filtered { .. }));
+        assert_eq!(nb.broadcasts_filtered, 1);
+    }
+
+    #[test]
+    fn interrupt_broadcast_forwards_on_coherent_node() {
+        // A regular SMP node forwards broadcasts to its coherent peers.
+        let mut nb = tcc_node0();
+        nb.broadcast_enable[1] = true;
+        let intr = Packet::control(Command::Broadcast {
+            unit: UnitId::HOST,
+            addr: 0xFEE0_0000,
+        });
+        let d = nb.dispose(&intr, Source::Core).unwrap();
+        assert_eq!(d, Disposition::Forward { link: LinkId(1) });
+        // But never back out the link it arrived on.
+        let d2 = nb
+            .dispose(
+                &intr,
+                Source::Link {
+                    id: LinkId(1),
+                    coherent: true,
+                },
+            )
+            .unwrap();
+        assert!(matches!(d2, Disposition::Filtered { .. }));
+    }
+
+    #[test]
+    fn coherent_peer_route_via_routing_table() {
+        // An SMP (supernode-internal) configuration: addresses homed on
+        // NodeID 1 route out link 0 by table lookup.
+        let mut nb = Northbridge::new(NodeId(0));
+        nb.addr_map.add_dram(0x0000, 0x1000, NodeId(0)).unwrap();
+        nb.addr_map.add_dram(0x1000, 0x2000, NodeId(1)).unwrap();
+        nb.routes
+            .set(NodeId(0), crate::route::symmetric(Route::SelfRoute));
+        nb.routes
+            .set(NodeId(1), crate::route::symmetric(Route::Link(LinkId(0))));
+        let d = nb.dispose(&pw(0x1800), Source::Core).unwrap();
+        assert_eq!(d, Disposition::Forward { link: LinkId(0) });
+        assert_eq!(
+            nb.dispose(&pw(0x0800), Source::Core).unwrap(),
+            Disposition::LocalMemory {
+                offset: 0x800,
+                bridged: false
+            }
+        );
+    }
+
+    #[test]
+    fn missing_route_errors() {
+        let mut nb = Northbridge::new(NodeId(0));
+        nb.addr_map.add_dram(0x0000, 0x1000, NodeId(3)).unwrap();
+        assert_eq!(
+            nb.dispose(&pw(0x0), Source::Core),
+            Err(NbError::NoRoute(NodeId(3)))
+        );
+    }
+
+    #[test]
+    fn multihop_forwarding_through_intermediate_node() {
+        // Node in the middle of a chain: address homed on a node two hops
+        // away forwards out the next link without touching local memory.
+        let mut nb = Northbridge::new(NodeId(1));
+        nb.addr_map.add_dram(0x0000, 0x1000, NodeId(0)).unwrap();
+        nb.addr_map.add_dram(0x1000, 0x2000, NodeId(1)).unwrap();
+        nb.addr_map.add_dram(0x2000, 0x3000, NodeId(2)).unwrap();
+        nb.routes.set(NodeId(0), crate::route::symmetric(Route::Link(LinkId(0))));
+        nb.routes.set(NodeId(1), crate::route::symmetric(Route::SelfRoute));
+        nb.routes.set(NodeId(2), crate::route::symmetric(Route::Link(LinkId(1))));
+        let d = nb
+            .dispose(
+                &pw(0x2800),
+                Source::Link {
+                    id: LinkId(0),
+                    coherent: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(d, Disposition::Forward { link: LinkId(1) });
+    }
+}

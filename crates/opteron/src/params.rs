@@ -1,0 +1,174 @@
+//! Microarchitectural timing parameters of the simulated Opteron node.
+//!
+//! All calibration constants live here, in one place, so EXPERIMENTS.md can
+//! point at them. Defaults model the paper's testbed: a quad-core K10
+//! "Shanghai" at 2.8 GHz with 4 MB L3, DDR2 memory, and the HTX-cable
+//! TCCluster link at HT800 / 16 bit.
+//!
+//! Calibration anchors (paper §VI):
+//! * 227 ns half-round-trip for 64 B messages,
+//! * ~2500 MB/s streaming for 64 B messages (weakly ordered),
+//! * ~2700 MB/s sustained / ~2000 MB/s strictly ordered,
+//! * ~5300 MB/s apparent peak at 256 KB (sender-side buffering artifact),
+//! * <50 ns additional latency per hop.
+
+use tcc_fabric::time::Duration;
+
+/// Timing/shape parameters of one Opteron node model.
+#[derive(Debug, Clone)]
+pub struct UarchParams {
+    /// Core clock. 2.8 GHz Shanghai.
+    pub core_ghz: f64,
+
+    // ---- store path ----
+    /// Number of write-combining buffers per core (K10 has 8).
+    pub wc_buffers: usize,
+    /// Write-combining buffer size = cache line = 64 B.
+    pub wc_buffer_bytes: usize,
+    /// Latency from a store retiring to its WC flush entering the system
+    /// request queue (buffer-full flush).
+    pub wc_flush: Duration,
+    /// Extra serialisation cost of an `sfence` (drain store queue + WC
+    /// buffers and wait for acceptance by the SRQ).
+    pub sfence_drain: Duration,
+    /// Peak rate the core can issue stores into WC space (bounded by the
+    /// load side of the copy loop reading the source buffer from cache).
+    pub store_issue_bytes_per_sec: u64,
+
+    // ---- northbridge ----
+    /// System request queue + crossbar traversal on the transmit side.
+    pub nb_tx: Duration,
+    /// IO bridge (ncHT→cHT conversion) + crossbar on the receive side.
+    pub nb_rx: Duration,
+    /// Crossbar-only forwarding for routed-through packets (multi-hop).
+    pub xbar_forward: Duration,
+    /// Depth of the system request queue in 64 B entries.
+    pub srq_entries: usize,
+
+    // ---- memory ----
+    /// DRAM write commit latency (posted write becomes visible to a
+    /// subsequent read).
+    pub dram_write: Duration,
+    /// Uncached (UC) read round-trip from the core to DRAM — the cost of
+    /// one poll iteration on the receive side.
+    pub uc_read: Duration,
+    /// DRAM channel bandwidth (DDR2-800, two channels).
+    pub dram_bytes_per_sec: u64,
+
+    // ---- sender-side burst absorption (the Fig. 6 peak artifact) ----
+    /// Effective on-chip + memory-subsystem burst capacity that absorbs
+    /// weakly-ordered WC traffic faster than the link drains it. The paper
+    /// attributes the 5300 MB/s point at 256 KB to "caching structures
+    /// within the Opteron"; we model it as this bounded absorption stage.
+    pub absorb_capacity_bytes: u64,
+    /// Rate at which the absorption stage accepts data.
+    pub absorb_bytes_per_sec: u64,
+
+    // ---- coherent domain ----
+    /// Probe (snoop) round-trip to one peer in a coherent fabric.
+    pub probe_latency: Duration,
+    /// Per-probe bandwidth cost on each coherent link (probe + response).
+    pub probe_wire_bytes: u64,
+
+    // ---- caches ----
+    pub l1_bytes: usize,
+    pub l2_bytes: usize,
+    pub l3_bytes: usize,
+    pub line_bytes: usize,
+    pub l1_latency: Duration,
+    pub l2_latency: Duration,
+    pub l3_latency: Duration,
+    pub dram_read: Duration,
+}
+
+impl UarchParams {
+    /// The paper's prototype node ("Shanghai" @ 2.8 GHz, DDR2, HTX cable).
+    pub fn shanghai() -> Self {
+        UarchParams {
+            core_ghz: 2.8,
+
+            wc_buffers: 8,
+            wc_buffer_bytes: 64,
+            wc_flush: Duration::from_picos(5_000), // 5 ns
+            // ~26 core cycles at 2.8 GHz; calibrated so strictly-ordered
+            // streaming plateaus near 2000 MB/s (Fig. 6).
+            sfence_drain: Duration::from_picos(9_300),
+            // Copy-loop issue rate with the source in cache.
+            store_issue_bytes_per_sec: 12_800_000_000,
+
+            nb_tx: Duration::from_picos(20_000),  // 20 ns
+            nb_rx: Duration::from_picos(20_000),  // 20 ns
+            xbar_forward: Duration::from_picos(8_000),
+            srq_entries: 24,
+
+            dram_write: Duration::from_picos(10_000), // 10 ns commit
+            // Uncached read round trip; calibrated with the fixed pipeline
+            // so the 64 B ping-pong lands at ~227 ns (Fig. 7).
+            uc_read: Duration::from_picos(70_000),
+            dram_bytes_per_sec: 10_600_000_000, // dual-channel DDR2-667
+
+            // The absorbed-but-not-on-wire backlog grows at
+            // (absorb − wire) rate, so a burst stays fully absorbed until
+            // roughly 2× this capacity — 128 KB puts the apparent
+            // bandwidth peak at the paper's 256 KB.
+            absorb_capacity_bytes: 128 * 1024,
+            absorb_bytes_per_sec: 5_500_000_000,
+
+            probe_latency: Duration::from_picos(50_000),
+            probe_wire_bytes: 12, // probe command + response
+
+            l1_bytes: 64 * 1024,
+            l2_bytes: 512 * 1024,
+            l3_bytes: 4 * 1024 * 1024, // the paper's parts: 4 MB shared L3
+            line_bytes: 64,
+            l1_latency: Duration::from_picos(1_100),  // 3 cycles
+            l2_latency: Duration::from_picos(5_400),  // 15 cycles
+            l3_latency: Duration::from_picos(17_000), // ~48 cycles
+            dram_read: Duration::from_picos(60_000),
+        }
+    }
+
+    /// Core cycles expressed as a duration.
+    pub fn cycles(&self, n: u64) -> Duration {
+        Duration::from_picos((n as f64 * 1000.0 / self.core_ghz) as u64)
+    }
+}
+
+impl Default for UarchParams {
+    fn default() -> Self {
+        Self::shanghai()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shanghai_defaults_sane() {
+        let p = UarchParams::shanghai();
+        assert_eq!(p.wc_buffers, 8);
+        assert_eq!(p.wc_buffer_bytes, 64);
+        assert_eq!(p.l3_bytes, 4 << 20);
+        assert!(p.uc_read > p.dram_read, "UC read bypasses caches and pays NB overhead");
+    }
+
+    #[test]
+    fn cycles_at_2_8_ghz() {
+        let p = UarchParams::shanghai();
+        // 28 cycles at 2.8 GHz = 10 ns.
+        assert_eq!(p.cycles(28).picos(), 10_000);
+    }
+
+    #[test]
+    fn one_way_fixed_path_supports_227ns_anchor() {
+        // The fixed (non-serialisation) portion of the 64 B ping-pong:
+        // wc_flush + nb_tx + hop(50) + nb_rx + dram_write ≈ 105 ns,
+        // leaving room for wire serialisation (~28 ns) and poll detection
+        // (~94 ns) to land at ~227 ns. This test pins the budget so that a
+        // parameter change that breaks the anchor fails loudly here first.
+        let p = UarchParams::shanghai();
+        let fixed = p.wc_flush + p.nb_tx + Duration::from_nanos(50) + p.nb_rx + p.dram_write;
+        assert_eq!(fixed.picos(), 105_000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Architectural registers of one Opteron node: NodeID, link debug
+//! controls, and reset behaviour.
+
+use tcc_ht::init::LinkRegs;
+
+/// Coherent-fabric node identifier (3 bits — at most 8 nodes per coherent
+/// domain, the K10 limit the paper works around).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// The power-on value: 7. Coherent enumeration uses "still 7" to
+    /// recognise nodes it has not visited yet (paper §IV.E).
+    pub const UNENUMERATED: NodeId = NodeId(7);
+    pub const MAX_COHERENT: u8 = 8;
+}
+
+/// Index of one of the four HT links of a K10 package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u8);
+
+/// Number of HT links per K10 package.
+pub const LINKS_PER_NODE: usize = 4;
+
+/// The register file the firmware programs.
+#[derive(Debug, Clone)]
+pub struct NodeRegs {
+    /// This node's NodeID within its coherent domain. TCCluster sets it to
+    /// 0 on *every* node so each northbridge believes it is the home node
+    /// of every address.
+    pub node_id: NodeId,
+    /// Per-link physical/identity registers (frequency, width, and the
+    /// force-non-coherent debug bit).
+    pub links: [LinkRegs; LINKS_PER_NODE],
+    /// Interrupt/system-management broadcast forwarding per link. Must be
+    /// cleared on TCCluster links — interrupts must never leave the node
+    /// (the paper needed a custom kernel with SMCs disabled for this).
+    pub broadcast_enable: [bool; LINKS_PER_NODE],
+    /// Whether this node has completed memory-controller initialisation.
+    pub mem_initialized: bool,
+}
+
+impl Default for NodeRegs {
+    fn default() -> Self {
+        Self::power_on()
+    }
+}
+
+impl NodeRegs {
+    /// State after cold reset.
+    pub fn power_on() -> Self {
+        NodeRegs {
+            node_id: NodeId::UNENUMERATED,
+            links: [LinkRegs::processor_default(); LINKS_PER_NODE],
+            broadcast_enable: [true; LINKS_PER_NODE],
+            mem_initialized: false,
+        }
+    }
+
+    /// Warm reset: link identities re-train from programmed values; the
+    /// NodeID and address-map programming survive.
+    pub fn warm_reset(&mut self) {
+        // Nothing cleared: the whole point of the TCCluster sequence is
+        // that programmed registers persist across warm reset.
+    }
+
+    /// Cold reset: everything back to power-on defaults.
+    pub fn cold_reset(&mut self) {
+        *self = Self::power_on();
+    }
+
+    pub fn link(&self, l: LinkId) -> &LinkRegs {
+        &self.links[l.0 as usize]
+    }
+
+    pub fn link_mut(&mut self, l: LinkId) -> &mut LinkRegs {
+        &mut self.links[l.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_state() {
+        let r = NodeRegs::power_on();
+        assert_eq!(r.node_id, NodeId::UNENUMERATED);
+        assert!(r.broadcast_enable.iter().all(|&b| b));
+        assert!(!r.mem_initialized);
+        assert!(!r.links[0].force_noncoherent);
+    }
+
+    #[test]
+    fn warm_reset_preserves_programming() {
+        let mut r = NodeRegs::power_on();
+        r.node_id = NodeId(0);
+        r.link_mut(LinkId(2)).force_noncoherent = true;
+        r.broadcast_enable[2] = false;
+        r.warm_reset();
+        assert_eq!(r.node_id, NodeId(0));
+        assert!(r.link(LinkId(2)).force_noncoherent);
+        assert!(!r.broadcast_enable[2]);
+    }
+
+    #[test]
+    fn cold_reset_clears_programming() {
+        let mut r = NodeRegs::power_on();
+        r.node_id = NodeId(0);
+        r.link_mut(LinkId(1)).force_noncoherent = true;
+        r.cold_reset();
+        assert_eq!(r.node_id, NodeId::UNENUMERATED);
+        assert!(!r.link(LinkId(1)).force_noncoherent);
+    }
+}

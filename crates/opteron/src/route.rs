@@ -1,0 +1,164 @@
+//! The northbridge routing table: NodeID → destination.
+//!
+//! Stage two of K10 routing (paper §IV.C): once the address map yields a
+//! home NodeID, this table says where packets for that node go — to an
+//! outgoing link, or to this node's own memory controller / IO bridge.
+//! The hardware keeps separate routes for requests, responses and
+//! broadcasts; we model all three because the broadcast route is what the
+//! firmware must *sever* on TCCluster links to keep interrupts inside the
+//! node.
+
+use crate::regs::{LinkId, NodeId, LINKS_PER_NODE};
+
+/// Where a routed packet goes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Accept locally (this node is the destination).
+    SelfRoute,
+    /// Forward out a link.
+    Link(LinkId),
+}
+
+/// Routes for one destination NodeID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRoute {
+    pub request: Route,
+    pub response: Route,
+    /// Links a broadcast to this "destination" fans out on (bitmask).
+    pub broadcast_links: u8,
+}
+
+/// The per-node routing table, indexed by NodeID (8 entries).
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    entries: [Option<NodeRoute>; 8],
+}
+
+impl Default for RoutingTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingTable {
+    pub fn new() -> Self {
+        RoutingTable {
+            entries: [None; 8],
+        }
+    }
+
+    pub fn set(&mut self, node: NodeId, route: NodeRoute) {
+        self.entries[node.0 as usize] = Some(route);
+    }
+
+    pub fn get(&self, node: NodeId) -> Option<NodeRoute> {
+        self.entries[node.0 as usize]
+    }
+
+    pub fn request_route(&self, node: NodeId) -> Option<Route> {
+        self.get(node).map(|r| r.request)
+    }
+
+    pub fn response_route(&self, node: NodeId) -> Option<Route> {
+        self.get(node).map(|r| r.response)
+    }
+
+    /// Links on which a broadcast fans out (e.g. interrupts). TCCluster
+    /// firmware must exclude TCC links from every mask.
+    pub fn broadcast_links(&self, node: NodeId) -> Vec<LinkId> {
+        let Some(r) = self.get(node) else {
+            return Vec::new();
+        };
+        (0..LINKS_PER_NODE as u8)
+            .filter(|l| r.broadcast_links & (1 << l) != 0)
+            .map(LinkId)
+            .collect()
+    }
+
+    /// True if any broadcast mask includes `link` — used by firmware
+    /// verification to prove interrupts cannot leave over a TCC link.
+    pub fn broadcasts_reach(&self, link: LinkId) -> bool {
+        self.entries
+            .iter()
+            .flatten()
+            .any(|r| r.broadcast_links & (1 << link.0) != 0)
+    }
+
+    pub fn clear(&mut self) {
+        self.entries = [None; 8];
+    }
+}
+
+/// Convenience: a route where requests and responses take the same path and
+/// broadcasts fan out nowhere.
+pub fn symmetric(route: Route) -> NodeRoute {
+    NodeRoute {
+        request: route,
+        response: route,
+        broadcast_links: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_route_for_own_node() {
+        let mut t = RoutingTable::new();
+        t.set(NodeId(0), symmetric(Route::SelfRoute));
+        assert_eq!(t.request_route(NodeId(0)), Some(Route::SelfRoute));
+        assert_eq!(t.request_route(NodeId(1)), None, "unprogrammed");
+    }
+
+    #[test]
+    fn link_routes() {
+        let mut t = RoutingTable::new();
+        t.set(NodeId(1), symmetric(Route::Link(LinkId(3))));
+        assert_eq!(t.request_route(NodeId(1)), Some(Route::Link(LinkId(3))));
+        assert_eq!(t.response_route(NodeId(1)), Some(Route::Link(LinkId(3))));
+    }
+
+    #[test]
+    fn broadcast_masks() {
+        let mut t = RoutingTable::new();
+        t.set(
+            NodeId(0),
+            NodeRoute {
+                request: Route::SelfRoute,
+                response: Route::SelfRoute,
+                broadcast_links: 0b0101, // links 0 and 2
+            },
+        );
+        assert_eq!(
+            t.broadcast_links(NodeId(0)),
+            vec![LinkId(0), LinkId(2)]
+        );
+        assert!(t.broadcasts_reach(LinkId(2)));
+        assert!(!t.broadcasts_reach(LinkId(1)));
+    }
+
+    #[test]
+    fn tccluster_severs_broadcast_to_tcc_link() {
+        // Firmware programs broadcasts to fan out only on coherent links;
+        // the TCC link (say link 2) must not appear in any mask.
+        let mut t = RoutingTable::new();
+        t.set(
+            NodeId(0),
+            NodeRoute {
+                request: Route::SelfRoute,
+                response: Route::SelfRoute,
+                broadcast_links: 0b0010, // only link 1 (coherent peer)
+            },
+        );
+        assert!(!t.broadcasts_reach(LinkId(2)));
+    }
+
+    #[test]
+    fn clear_unprograms() {
+        let mut t = RoutingTable::new();
+        t.set(NodeId(3), symmetric(Route::SelfRoute));
+        t.clear();
+        assert_eq!(t.get(NodeId(3)), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! The response-matching table.
+//!
+//! Every non-posted request (read, non-posted write, flush) allocates an
+//! entry here and receives a 5-bit SrcTag; the matching response returns
+//! carrying the same tag and is routed by looking the entry up — responses
+//! carry **no address**. Entries are bound to the *requester's NodeID*,
+//! which is what makes remote reads impossible over a TCCluster link: with
+//! every node calling itself NodeID 0, a response arriving from the far
+//! node would match against the local table and be delivered to the wrong
+//! requester — so the architecture forbids non-posted traffic entirely
+//! (paper §IV.A).
+
+use crate::regs::NodeId;
+use tcc_ht::packet::SrcTag;
+
+/// What a table entry remembers about the outstanding request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pending {
+    /// NodeID of the requester the response must be steered to.
+    pub requester: NodeId,
+    /// Address of the original request (for data delivery).
+    pub addr: u64,
+    /// Length requested.
+    pub len: u32,
+}
+
+/// Why a tag operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagError {
+    /// All 32 tags are in flight — the requester must stall.
+    Exhausted,
+    /// A response arrived with a tag that has no outstanding entry, or the
+    /// entry belongs to a different node — the TCCluster failure mode.
+    Unmatched(SrcTag),
+}
+
+impl core::fmt::Display for TagError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TagError::Exhausted => write!(f, "response-matching table full"),
+            TagError::Unmatched(t) => write!(f, "no outstanding request for SrcTag {}", t.0),
+        }
+    }
+}
+
+impl std::error::Error for TagError {}
+
+/// The 32-entry response-matching table of one northbridge.
+#[derive(Debug, Default)]
+pub struct TagTable {
+    entries: Vec<Option<Pending>>,
+    in_flight: usize,
+}
+
+impl TagTable {
+    pub fn new() -> Self {
+        TagTable {
+            entries: vec![None; SrcTag::LIMIT as usize],
+            in_flight: 0,
+        }
+    }
+
+    /// Allocate a tag for a non-posted request.
+    pub fn allocate(&mut self, pending: Pending) -> Result<SrcTag, TagError> {
+        let slot = self
+            .entries
+            .iter()
+            .position(Option::is_none)
+            .ok_or(TagError::Exhausted)?;
+        self.entries[slot] = Some(pending);
+        self.in_flight += 1;
+        Ok(SrcTag::new(slot as u8))
+    }
+
+    /// Match an incoming response against the table. `responder_view` is
+    /// the NodeID the *response* claims as requester context; on a healthy
+    /// coherent fabric that always equals the stored requester. On a
+    /// TCCluster link, where both ends are NodeID 0, a response from the
+    /// far node aliases into this node's table — `complete` detects the
+    /// mismatch when the tag is not actually outstanding.
+    pub fn complete(&mut self, tag: SrcTag) -> Result<Pending, TagError> {
+        let slot = tag.0 as usize;
+        let entry = self.entries[slot].take().ok_or(TagError::Unmatched(tag))?;
+        self.in_flight -= 1;
+        Ok(entry)
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.in_flight == SrcTag::LIMIT as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(addr: u64) -> Pending {
+        Pending {
+            requester: NodeId(0),
+            addr,
+            len: 64,
+        }
+    }
+
+    #[test]
+    fn allocate_complete_round_trip() {
+        let mut t = TagTable::new();
+        let tag = t.allocate(pending(0x1000)).unwrap();
+        assert_eq!(t.in_flight(), 1);
+        let p = t.complete(tag).unwrap();
+        assert_eq!(p.addr, 0x1000);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn tags_are_reused_after_completion() {
+        let mut t = TagTable::new();
+        let a = t.allocate(pending(0)).unwrap();
+        t.complete(a).unwrap();
+        let b = t.allocate(pending(1)).unwrap();
+        assert_eq!(a, b, "lowest free slot reused");
+    }
+
+    #[test]
+    fn exhaustion_after_32_outstanding() {
+        let mut t = TagTable::new();
+        for i in 0..32 {
+            t.allocate(pending(i)).unwrap();
+        }
+        assert!(t.is_full());
+        assert_eq!(t.allocate(pending(99)), Err(TagError::Exhausted));
+    }
+
+    #[test]
+    fn unmatched_response_detected() {
+        let mut t = TagTable::new();
+        let err = t.complete(SrcTag::new(5));
+        assert_eq!(err, Err(TagError::Unmatched(SrcTag::new(5))));
+    }
+
+    #[test]
+    fn double_completion_detected() {
+        let mut t = TagTable::new();
+        let tag = t.allocate(pending(0x40)).unwrap();
+        t.complete(tag).unwrap();
+        assert!(matches!(t.complete(tag), Err(TagError::Unmatched(_))));
+    }
+
+    #[test]
+    fn remote_read_over_tccluster_cannot_complete() {
+        // A read issued toward the remote node allocates locally…
+        let mut local = TagTable::new();
+        let tag = local.allocate(pending(0x2000)).unwrap();
+        // …but the remote node (also NodeID 0) has its *own* table; the
+        // response it would generate matches against the remote table,
+        // where the tag was never allocated:
+        let mut remote = TagTable::new();
+        assert!(matches!(remote.complete(tag), Err(TagError::Unmatched(_))));
+        // The local entry leaks forever — the request never completes.
+        assert_eq!(local.in_flight(), 1);
+    }
+}

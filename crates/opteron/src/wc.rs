@@ -1,0 +1,287 @@
+//! Write-combining buffers.
+//!
+//! A K10 core has eight 64-byte write-combining buffers. Stores to WC
+//! memory land in a buffer for their cache line and coalesce; a buffer
+//! drains to the system request queue when it fills completely, when the
+//! core runs out of buffers, or when a serialising instruction (`sfence`)
+//! forces all of them out. Full-line flushes become single 64 B sized
+//! writes on the HT link — this coalescing is what gives TCCluster its
+//! packet efficiency (paper §VI: "intensive use of the write combining
+//! capability to generate maximum sized HyperTransport packets").
+
+/// One drained buffer: a run of bytes to be turned into HT packet(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flush {
+    /// Line-aligned base address of the buffer.
+    pub line_addr: u64,
+    /// Contiguous runs of (offset-in-line, bytes) that were written.
+    pub runs: Vec<(usize, Vec<u8>)>,
+}
+
+impl Flush {
+    /// Whether the whole 64 B line was written (single max-size packet).
+    pub fn is_full_line(&self, line_bytes: usize) -> bool {
+        self.runs.len() == 1 && self.runs[0].0 == 0 && self.runs[0].1.len() == line_bytes
+    }
+
+    /// Total payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|(_, d)| d.len()).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Buffer {
+    line_addr: u64,
+    valid: [bool; 64],
+    data: [u8; 64],
+    /// Allocation order for FIFO eviction.
+    age: u64,
+}
+
+impl Buffer {
+    fn flush(&self) -> Flush {
+        let mut runs: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut i = 0;
+        while i < 64 {
+            if self.valid[i] {
+                let start = i;
+                let mut bytes = Vec::new();
+                while i < 64 && self.valid[i] {
+                    bytes.push(self.data[i]);
+                    i += 1;
+                }
+                runs.push((start, bytes));
+            } else {
+                i += 1;
+            }
+        }
+        Flush {
+            line_addr: self.line_addr,
+            runs,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.valid.iter().all(|&v| v)
+    }
+}
+
+/// The write-combining buffer file of one core.
+#[derive(Debug)]
+pub struct WcBuffers {
+    buffers: Vec<Buffer>,
+    capacity: usize,
+    line_bytes: usize,
+    next_age: u64,
+    /// Statistics.
+    pub stores: u64,
+    pub flushes_full: u64,
+    pub flushes_evict: u64,
+    pub flushes_fence: u64,
+}
+
+impl WcBuffers {
+    pub fn new(capacity: usize, line_bytes: usize) -> Self {
+        assert_eq!(line_bytes, 64, "model is specialised to 64 B lines");
+        WcBuffers {
+            buffers: Vec::with_capacity(capacity),
+            capacity,
+            line_bytes,
+            next_age: 0,
+            stores: 0,
+            flushes_full: 0,
+            flushes_evict: 0,
+            flushes_fence: 0,
+        }
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    /// Apply one store. Returns any buffers drained as a consequence
+    /// (a filled buffer, or an eviction to make room).
+    pub fn store(&mut self, addr: u64, data: &[u8]) -> Vec<Flush> {
+        assert!(!data.is_empty());
+        let mut out = Vec::new();
+        let mut addr = addr;
+        let mut data = data;
+        self.stores += 1;
+        // Split stores that straddle a line boundary.
+        while !data.is_empty() {
+            let line = self.line_of(addr);
+            let off = (addr - line) as usize;
+            let n = data.len().min(self.line_bytes - off);
+            out.extend(self.store_within_line(line, off, &data[..n]));
+            addr += n as u64;
+            data = &data[n..];
+        }
+        out
+    }
+
+    fn store_within_line(&mut self, line: u64, off: usize, data: &[u8]) -> Vec<Flush> {
+        let mut out = Vec::new();
+        let idx = match self.buffers.iter().position(|b| b.line_addr == line) {
+            Some(i) => i,
+            None => {
+                if self.buffers.len() == self.capacity {
+                    // Evict the oldest buffer.
+                    let oldest = self
+                        .buffers
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, b)| b.age)
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0");
+                    let b = self.buffers.swap_remove(oldest);
+                    self.flushes_evict += 1;
+                    out.push(b.flush());
+                }
+                self.buffers.push(Buffer {
+                    line_addr: line,
+                    valid: [false; 64],
+                    data: [0; 64],
+                    age: self.next_age,
+                });
+                self.next_age += 1;
+                self.buffers.len() - 1
+            }
+        };
+        let b = &mut self.buffers[idx];
+        b.data[off..off + data.len()].copy_from_slice(data);
+        for v in &mut b.valid[off..off + data.len()] {
+            *v = true;
+        }
+        if b.is_full() {
+            let b = self.buffers.swap_remove(idx);
+            self.flushes_full += 1;
+            out.push(b.flush());
+        }
+        out
+    }
+
+    /// Serialising flush (`sfence`): drain every buffer, oldest first.
+    pub fn fence(&mut self) -> Vec<Flush> {
+        self.buffers.sort_by_key(|b| b.age);
+        let drained: Vec<Flush> = self.buffers.iter().map(Buffer::flush).collect();
+        self.flushes_fence += drained.len() as u64;
+        self.buffers.clear();
+        drained
+    }
+
+    pub fn occupied(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wc() -> WcBuffers {
+        WcBuffers::new(8, 64)
+    }
+
+    #[test]
+    fn full_line_flushes_immediately() {
+        let mut w = wc();
+        let mut flushes = Vec::new();
+        // Eight 8-byte stores fill one line.
+        for i in 0..8u64 {
+            flushes.extend(w.store(0x1000 + i * 8, &[i as u8; 8]));
+        }
+        assert_eq!(flushes.len(), 1);
+        let f = &flushes[0];
+        assert_eq!(f.line_addr, 0x1000);
+        assert!(f.is_full_line(64));
+        assert_eq!(f.payload_bytes(), 64);
+        assert_eq!(f.runs[0].1[0], 0);
+        assert_eq!(f.runs[0].1[63], 7);
+        assert_eq!(w.occupied(), 0);
+        assert_eq!(w.flushes_full, 1);
+    }
+
+    #[test]
+    fn partial_line_waits_for_fence() {
+        let mut w = wc();
+        assert!(w.store(0x2000, &[1, 2, 3, 4]).is_empty());
+        assert_eq!(w.occupied(), 1);
+        let drained = w.fence();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].runs, vec![(0, vec![1, 2, 3, 4])]);
+        assert_eq!(w.occupied(), 0);
+    }
+
+    #[test]
+    fn sparse_writes_become_multiple_runs() {
+        let mut w = wc();
+        w.store(0x3000, &[0xAA; 8]);
+        w.store(0x3000 + 32, &[0xBB; 8]);
+        let drained = w.fence();
+        assert_eq!(drained[0].runs.len(), 2);
+        assert_eq!(drained[0].runs[0], (0, vec![0xAA; 8]));
+        assert_eq!(drained[0].runs[1], (32, vec![0xBB; 8]));
+    }
+
+    #[test]
+    fn ninth_line_evicts_oldest() {
+        let mut w = wc();
+        for i in 0..8u64 {
+            w.store(0x1000 + i * 64, &[i as u8]); // 8 partial buffers
+        }
+        assert_eq!(w.occupied(), 8);
+        let flushed = w.store(0x1000 + 8 * 64, &[8]);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].line_addr, 0x1000, "oldest (first) evicted");
+        assert_eq!(w.occupied(), 8);
+        assert_eq!(w.flushes_evict, 1);
+    }
+
+    #[test]
+    fn straddling_store_splits_lines() {
+        let mut w = wc();
+        // 16 bytes starting 8 before a line boundary.
+        w.store(0x1000 + 56, &[0xCC; 16]);
+        let drained = w.fence();
+        assert_eq!(drained.len(), 2);
+        let mut lines: Vec<u64> = drained.iter().map(|f| f.line_addr).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0x1000, 0x1040]);
+        assert_eq!(drained.iter().map(Flush::payload_bytes).sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn overwrite_within_buffer_keeps_latest() {
+        let mut w = wc();
+        w.store(0x4000, &[1, 1, 1, 1]);
+        w.store(0x4000, &[9, 9]);
+        let drained = w.fence();
+        assert_eq!(drained[0].runs, vec![(0, vec![9, 9, 1, 1])]);
+    }
+
+    #[test]
+    fn fence_drains_in_allocation_order() {
+        let mut w = wc();
+        w.store(0x9000, &[1]);
+        w.store(0x5000, &[2]);
+        w.store(0x7000, &[3]);
+        let drained = w.fence();
+        let lines: Vec<u64> = drained.iter().map(|f| f.line_addr).collect();
+        assert_eq!(lines, vec![0x9000, 0x5000, 0x7000], "FIFO order");
+    }
+
+    #[test]
+    fn contiguous_stream_yields_one_flush_per_line() {
+        // The bandwidth path: a 4 KB contiguous WC stream must produce
+        // exactly 64 full-line flushes and nothing else.
+        let mut w = wc();
+        let mut flushes = Vec::new();
+        for i in 0..512u64 {
+            flushes.extend(w.store(0x8000 + i * 8, &[0u8; 8]));
+        }
+        assert_eq!(flushes.len(), 64);
+        assert!(flushes.iter().all(|f| f.is_full_line(64)));
+        assert_eq!(w.flushes_evict, 0, "no partial evictions in a dense stream");
+    }
+}

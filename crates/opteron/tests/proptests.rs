@@ -1,0 +1,145 @@
+//! Property-based tests for the Opteron node model.
+
+use proptest::prelude::*;
+use tcc_opteron::addrmap::{AddressMap, Target};
+use tcc_opteron::mtrr::{MemType, Mtrrs};
+use tcc_opteron::regs::{LinkId, NodeId};
+use tcc_opteron::wc::WcBuffers;
+
+proptest! {
+    /// WC buffers never lose, duplicate or reorder bytes: replaying all
+    /// flushes of any store schedule reconstructs exactly the last-written
+    /// value at every address.
+    #[test]
+    fn wc_preserves_memory_image(
+        stores in proptest::collection::vec(
+            (0u64..1024, 1usize..32, any::<u8>()),
+            1..200
+        )
+    ) {
+        let mut wc = WcBuffers::new(8, 64);
+        let mut image = vec![None::<u8>; 2048];
+        let mut replay = vec![None::<u8>; 2048];
+        let mut apply = |flushes: Vec<tcc_opteron::wc::Flush>, replay: &mut Vec<Option<u8>>| {
+            for f in flushes {
+                for (off, bytes) in f.runs {
+                    for (i, b) in bytes.iter().enumerate() {
+                        replay[f.line_addr as usize + off + i] = Some(*b);
+                    }
+                }
+            }
+        };
+        for (addr, len, val) in stores {
+            let data = vec![val; len];
+            for i in 0..len {
+                image[addr as usize + i] = Some(val);
+            }
+            let fl = wc.store(addr, &data);
+            apply(fl, &mut replay);
+        }
+        apply(wc.fence(), &mut replay);
+        prop_assert_eq!(image, replay);
+    }
+
+    /// Every address in a well-formed (boot-style) map resolves to exactly
+    /// one target, and resolution is consistent with interval containment.
+    #[test]
+    fn addrmap_resolution_total(
+        slices in proptest::collection::vec(64u64..512, 2..6),
+        probe_frac in 0.0f64..1.0,
+    ) {
+        // Build a contiguous layout: slice i is DRAM of node i (max 8),
+        // then one MMIO range covering the space above.
+        let mut map = AddressMap::new();
+        let mut base = 0x1000u64;
+        let mut bounds = Vec::new();
+        for (i, s) in slices.iter().enumerate().take(8) {
+            let limit = base + s * 64;
+            map.add_dram(base, limit, NodeId(i as u8)).unwrap();
+            bounds.push((base, limit, i));
+            base = limit;
+        }
+        let mmio_end = base + 0x10_000;
+        map.add_mmio(base, mmio_end, NodeId(0), LinkId(2)).unwrap();
+        map.validate().unwrap();
+
+        let addr = 0x1000 + ((mmio_end - 0x1000) as f64 * probe_frac) as u64;
+        let addr = addr.min(mmio_end - 1);
+        match map.resolve(addr).unwrap() {
+            Target::Dram { home } => {
+                let (b, l, i) = bounds.iter().copied()
+                    .find(|&(b, l, _)| addr >= b && addr < l)
+                    .expect("addr inside a DRAM slice");
+                prop_assert_eq!(home, NodeId(i as u8), "addr {:#x} in [{:#x},{:#x})", addr, b, l);
+            }
+            Target::Mmio { owner, link } => {
+                prop_assert!(addr >= base, "MMIO only above DRAM");
+                prop_assert_eq!(owner, NodeId(0));
+                prop_assert_eq!(link, LinkId(2));
+            }
+        }
+    }
+
+    /// MTRR resolution returns the programmed type inside ranges and the
+    /// WB default outside, for arbitrary disjoint programs.
+    #[test]
+    fn mtrr_resolution_respects_ranges(
+        lens in proptest::collection::vec(1u64..64, 1..8),
+        gap in 1u64..32,
+        probe in 0u64..8192,
+    ) {
+        let mut m = Mtrrs::new();
+        let mut base = 0u64;
+        let mut ranges = Vec::new();
+        for (i, l) in lens.iter().enumerate() {
+            let limit = base + l * 64;
+            let ty = if i % 2 == 0 { MemType::Uncacheable } else { MemType::WriteCombining };
+            m.program(base, limit, ty);
+            ranges.push((base, limit, ty));
+            base = limit + gap * 64;
+        }
+        let got = m.resolve(probe);
+        let expect = ranges
+            .iter()
+            .find(|&&(b, l, _)| probe >= b && probe < l)
+            .map(|&(_, _, t)| t)
+            .unwrap_or(MemType::WriteBack);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The store pipeline is causal and monotone: a later store never
+    /// retires before an earlier one, and retire never precedes issue.
+    #[test]
+    fn node_store_times_monotone(
+        sizes in proptest::collection::vec(8usize..64, 1..100)
+    ) {
+        use tcc_fabric::time::SimTime;
+        use tcc_ht::link::LinkConfig;
+        use tcc_opteron::{Node, UarchParams};
+        use tcc_opteron::route::{symmetric, Route};
+
+        let mut n = Node::new(NodeId(0), 1 << 20, UarchParams::shanghai());
+        n.nb.addr_map.add_dram(0x1_0000, 0x2_0000, NodeId(0)).unwrap();
+        n.nb.addr_map.add_mmio(0x2_0000, 0x10_0000, NodeId(0), LinkId(2)).unwrap();
+        n.nb.routes.set(NodeId(0), symmetric(Route::SelfRoute));
+        n.mtrrs.program(0x2_0000, 0x10_0000, MemType::WriteCombining);
+        n.attach_link(LinkId(2), LinkConfig::PROTOTYPE, 3);
+
+        let mut now = SimTime::ZERO;
+        let mut prev_retire = SimTime::ZERO;
+        let mut addr = 0x2_0000u64;
+        for s in sizes {
+            let out = n.store(now, addr, &vec![0u8; s]);
+            prop_assert!(out.issued >= now, "issue precedes request");
+            prop_assert!(out.retire >= prev_retire.min(out.issued));
+            for a in &out.actions {
+                if let tcc_opteron::Action::PacketOut { arrival, .. } = a {
+                    prop_assert!(*arrival >= out.issued);
+                }
+            }
+            prev_retire = prev_retire.max(out.retire);
+            now = out.issued;
+            addr += s as u64;
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build the paper's two-node prototype, boot it through the
+//! TCCluster firmware sequence, measure the headline numbers on the
+//! packet-level simulator, then exchange real messages on the threaded
+//! backend.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tccluster::msglib::SendMode;
+use tccluster::TcclusterBuilder;
+
+fn main() {
+    // --- 1. The simulated prototype (paper Fig. 5): two Tyan boards,
+    //        one HTX cable, HT800 / 16 bit. -----------------------------
+    let mut sim = TcclusterBuilder::new().build_sim();
+    println!("booted: {} firmware steps, {} self-test pairs",
+        sim.boot.steps.len(),
+        sim.boot.selftest_pairs);
+    println!("boot steps: {:?}\n", sim.boot.steps);
+
+    // --- 2. The paper's microbenchmarks. ------------------------------
+    let latency = sim.pingpong(0, 1, 64, 100);
+    let bandwidth = sim.stream_bandwidth(0, 1, 64, SendMode::WeaklyOrdered, 50);
+    println!("64 B half-round-trip latency : {latency}   (paper: 227 ns)");
+    println!("64 B message bandwidth       : {bandwidth:.0} MB/s (paper: ~2500 MB/s)\n");
+
+    // --- 3. Real message passing on the threaded backend. -------------
+    let cluster = TcclusterBuilder::new().build_shm();
+    let results = cluster.run(|ctx| {
+        if ctx.rank == 0 {
+            ctx.send(1, b"hello over the host interface");
+            let reply = ctx.recv(1);
+            String::from_utf8(reply).expect("utf8")
+        } else {
+            let msg = ctx.recv(0);
+            ctx.send(1 - ctx.rank, b"hello back, no NIC involved");
+            String::from_utf8(msg).expect("utf8")
+        }
+    });
+    println!("rank 0 received: {:?}", results[0]);
+    println!("rank 1 received: {:?}", results[1]);
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table into docs/results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p docs/results
+BINS="headline fig6_bandwidth fig7_latency multihop_latency link_sweep \
+      coherency_scaling endpoint_scaling sfence_ablation wc_ablation \
+      artifact_ablation mesh_bisection"
+cargo build --release -p tcc-bench
+for b in $BINS; do
+  echo "== $b =="
+  cargo run --release -q -p tcc-bench --bin "$b" | tee "docs/results/$b.txt" | tail -3
+done
+echo "all experiments regenerated under docs/results/"

@@ -1,0 +1,7 @@
+//! Umbrella crate for the TCCluster reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! lives in the `tccluster` crate and its substrates.
+
+pub use tccluster;

@@ -1,0 +1,137 @@
+//! Workspace-level property-based tests: invariants that must hold across
+//! randomly generated topologies, address patterns and message schedules.
+
+use proptest::prelude::*;
+use tcc_firmware::machine::Platform;
+use tcc_firmware::tcc_boot::boot;
+use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec, GLOBAL_BASE};
+use tcc_msglib::channel::{channel, CHANNEL_BYTES, CREDIT_BYTES};
+use tcc_msglib::ring::SendMode;
+use tcc_msglib::shm::ShmMemory;
+use tcc_opteron::UarchParams;
+
+const MB: u64 = 1 << 20;
+
+/// Strategy over bootable cluster shapes (kept small: every case boots a
+/// full platform).
+fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
+    prop_oneof![
+        (1usize..=4).prop_map(|p| ClusterSpec::new(
+            SupernodeSpec::new(p, MB),
+            ClusterTopology::Pair
+        )),
+        (2usize..=5).prop_map(|n| ClusterSpec::new(
+            SupernodeSpec::new(1, MB),
+            ClusterTopology::Chain(n)
+        )),
+        ((1usize..=3), (1usize..=2)).prop_map(|(x, y)| ClusterSpec::new(
+            SupernodeSpec::new(2, MB),
+            ClusterTopology::Mesh { x, y }
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every topology boots, self-tests all pairs, and never leaks an
+    /// interrupt broadcast over a TCC cable.
+    #[test]
+    fn every_topology_boots(spec in arb_spec()) {
+        let mut platform = Platform::assemble(spec, UarchParams::shanghai());
+        let report = boot(&mut platform);
+        let n = spec.supernode_count();
+        prop_assert_eq!(report.selftest_pairs, n * (n - 1));
+    }
+
+    /// After boot, every global address resolves consistently: a store
+    /// from any node lands in the DRAM of exactly the node that owns the
+    /// address, at the right offset.
+    #[test]
+    fn address_resolution_is_total_and_correct(
+        spec in arb_spec(),
+        addr_frac in 0.0f64..1.0,
+        src_frac in 0.0f64..1.0,
+    ) {
+        let mut platform = Platform::assemble(spec, UarchParams::shanghai());
+        boot(&mut platform);
+        let total = spec.global_end() - GLOBAL_BASE;
+        // Pick an aligned global address and a source node.
+        let addr = GLOBAL_BASE + ((total as f64 * addr_frac) as u64 & !63).min(total - 64);
+        let src = ((spec.total_processors() as f64 * src_frac) as usize)
+            .min(spec.total_processors() - 1);
+        // Expected owner from the layout.
+        let rel = addr - GLOBAL_BASE;
+        let sn = (rel / spec.supernode.slice_bytes()) as usize;
+        let p = ((rel % spec.supernode.slice_bytes()) / spec.supernode.dram_per_node) as usize;
+        let owner = spec.proc_index(sn, p);
+        let offset = rel % spec.supernode.dram_per_node;
+
+        let now = tcc_fabric::time::SimTime(1_000_000_000); // after boot traffic
+        let (_, commits) = platform.store_and_propagate(src, now, addr, &[0x77u8; 8]);
+        let hit = commits.iter().find(|c| c.offset == offset && c.node == owner);
+        prop_assert!(
+            hit.is_some(),
+            "store from {} to {:#x} expected at node {} offset {:#x}, got {:?}",
+            src, addr, owner, offset, commits
+        );
+        prop_assert_eq!(platform.nodes[owner].mem.peek(offset, 8), &[0x77u8; 8]);
+    }
+
+    /// The channel delivers any schedule of messages intact and in order
+    /// (single-threaded schedule; the threaded case is covered by the shm
+    /// stress tests).
+    #[test]
+    fn channel_delivers_any_schedule(
+        sizes in proptest::collection::vec(0usize..20_000, 1..40),
+        mode in prop_oneof![Just(SendMode::WeaklyOrdered), Just(SendMode::StrictlyOrdered)],
+    ) {
+        let data = ShmMemory::new(CHANNEL_BYTES as usize);
+        let credits = ShmMemory::new(CREDIT_BYTES as usize);
+        let (mut tx, mut rx) = channel(
+            data.remote(0, CHANNEL_BYTES),
+            credits.local(0, CREDIT_BYTES),
+            data.local(0, CHANNEL_BYTES),
+            credits.remote(0, CREDIT_BYTES),
+            mode,
+        );
+        let mut pending: std::collections::VecDeque<Vec<u8>> = Default::default();
+        for (i, &s) in sizes.iter().enumerate() {
+            let msg: Vec<u8> = (0..s).map(|j| ((i * 31 + j) % 251) as u8).collect();
+            // Drain when the channel would block (receiver keeps up).
+            loop {
+                match tx.try_send(&msg) {
+                    Ok(()) => break,
+                    Err(tcc_msglib::SendError::WouldBlock) => {
+                        let got = rx.recv();
+                        let want = pending.pop_front().expect("something in flight");
+                        prop_assert_eq!(got, want);
+                    }
+                    Err(e) => prop_assert!(false, "send failed: {:?}", e),
+                }
+            }
+            pending.push_back(msg);
+        }
+        while let Some(want) = pending.pop_front() {
+            prop_assert_eq!(rx.recv(), want);
+        }
+        prop_assert_eq!(rx.try_recv(), None, "no phantom messages");
+    }
+
+    /// Latency is monotone in message size and bandwidth curves stay
+    /// within physical bounds on the simulated prototype.
+    #[test]
+    fn sim_measurements_physically_bounded(size_pow in 6u32..12) {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        let mut sim = tccluster::SimCluster::boot(spec, UarchParams::shanghai());
+        let size = 1usize << size_pow;
+        let lat = sim.pingpong(0, 1, size, 10);
+        let bigger = sim.pingpong(0, 1, size * 2, 10);
+        prop_assert!(bigger > lat, "latency must grow with size");
+        let bw = sim.stream_bandwidth(0, 1, size, SendMode::WeaklyOrdered, 5);
+        // Nothing may exceed the absorption stage's 5.5 GB/s, and
+        // everything should beat 100 MB/s.
+        prop_assert!(bw < 5_800.0, "{} MB/s exceeds physics", bw);
+        prop_assert!(bw > 100.0, "{} MB/s implausibly slow", bw);
+    }
+}
