@@ -90,9 +90,18 @@ mod tests {
         let b64 = nic.bandwidth_mb_s(64);
         let b1k = nic.bandwidth_mb_s(1024);
         let b1m = nic.bandwidth_mb_s(1 << 20);
-        assert!((b64 - 200.0).abs() < 30.0, "64 B: {b64:.0} MB/s (paper: 200)");
-        assert!((b1k - 1500.0).abs() < 200.0, "1 KB: {b1k:.0} MB/s (paper: 1500)");
-        assert!((b1m - 2500.0).abs() < 350.0, "1 MB: {b1m:.0} MB/s (paper: 2500)");
+        assert!(
+            (b64 - 200.0).abs() < 30.0,
+            "64 B: {b64:.0} MB/s (paper: 200)"
+        );
+        assert!(
+            (b1k - 1500.0).abs() < 200.0,
+            "1 KB: {b1k:.0} MB/s (paper: 1500)"
+        );
+        assert!(
+            (b1m - 2500.0).abs() < 350.0,
+            "1 MB: {b1m:.0} MB/s (paper: 2500)"
+        );
     }
 
     #[test]

@@ -63,20 +63,26 @@ fn bench_wc(c: &mut Criterion) {
         let mut wc = WcBuffers::new(8, 64);
         let data = [0u8; 8];
         let mut addr = 0u64;
+        let mut flushes = Vec::new();
         b.iter(|| {
             for i in 0..8u64 {
-                black_box(wc.store(addr + i * 8, &data));
+                wc.store(addr + i * 8, &data, &mut flushes);
             }
+            black_box(flushes.len());
+            flushes.clear();
             addr = addr.wrapping_add(64);
         })
     });
     c.bench_function("wc/fence_8_partials", |b| {
         let mut wc = WcBuffers::new(8, 64);
+        let mut flushes = Vec::new();
         b.iter(|| {
             for i in 0..8u64 {
-                wc.store(i * 64, &[1u8; 4]);
+                wc.store(i * 64, &[1u8; 4], &mut flushes);
             }
-            black_box(wc.fence())
+            wc.fence(&mut flushes);
+            black_box(flushes.len());
+            flushes.clear();
         })
     });
 }

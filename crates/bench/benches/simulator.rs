@@ -17,8 +17,7 @@ fn prototype() -> SimCluster {
 fn bench_boot(c: &mut Criterion) {
     c.bench_function("boot/pair", |b| {
         b.iter(|| {
-            let spec =
-                ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
+            let spec = ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
             black_box(SimCluster::boot(spec, UarchParams::shanghai()))
         })
     });

@@ -49,7 +49,11 @@ fn main() {
 
     println!("peak location vs absorption capacity:");
     for &(cap, at) in &peaks {
-        println!("  window {:>8} KB -> peak at {:>8} KB", cap / 1024, at as u64 / 1024);
+        println!(
+            "  window {:>8} KB -> peak at {:>8} KB",
+            cap / 1024,
+            at as u64 / 1024
+        );
     }
     // The peak tracks the window at ~2x capacity: the paper's 128 KB
     // window puts it at 256 KB, exactly where Fig. 6 shows it.
@@ -66,7 +70,13 @@ fn main() {
     let spread = (at_big.iter().cloned().fold(f64::MIN, f64::max)
         - at_big.iter().cloned().fold(f64::MAX, f64::min))
         / at_big[0];
-    println!("\n4 MB sustained spread across windows: {:.1}%", spread * 100.0);
-    assert!(spread < 0.35, "sustained bandwidth should be link-dominated");
+    println!(
+        "\n4 MB sustained spread across windows: {:.1}%",
+        spread * 100.0
+    );
+    assert!(
+        spread < 0.35,
+        "sustained bandwidth should be link-dominated"
+    );
     println!("ARTIFACT ABLATION OK — the peak is a measurement effect, the link is the truth");
 }

@@ -63,6 +63,9 @@ fn main() {
     let at64 = c.at(64.0).unwrap();
     assert!(at2 / at64 > 10.0, "collapse {:.1}x", at2 / at64);
     assert!(t.at(64.0).unwrap() > 10.0 * at64, "TCC flat advantage");
-    println!("coherent 2->64 node effective-bandwidth collapse: {:.0}x", at2 / at64);
+    println!(
+        "coherent 2->64 node effective-bandwidth collapse: {:.0}x",
+        at2 / at64
+    );
     println!("ALL SCALING CLAIMS OK");
 }

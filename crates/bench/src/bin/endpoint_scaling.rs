@@ -43,7 +43,7 @@ fn main() {
 
     // "Hundreds of endpoints" fit comfortably in one node's exported
     // window: 512 rings are just 2 MB...
-    assert!(512 * RING_BYTES <= 2 << 20);
+    const { assert!(512 * RING_BYTES <= 2 << 20) };
     // ...while a full 512-endpoint poll sweep stays under 40 us.
     assert!(512.0 * params.uc_read.micros() < 40.0);
 
@@ -69,7 +69,10 @@ fn main() {
     for (r, &s) in results.iter().enumerate() {
         assert_eq!(s + r as u64, expect, "rank {r}");
     }
-    println!("\nlive all-to-all across {RANKS} ranks ({} channels): OK", RANKS * (RANKS - 1));
+    println!(
+        "\nlive all-to-all across {RANKS} ranks ({} channels): OK",
+        RANKS * (RANKS - 1)
+    );
     println!("\n{fig}");
     println!("ENDPOINT-SCALING CLAIMS OK");
 }

@@ -51,7 +51,14 @@ fn main() {
         "\npeak location: {} B (paper: 262144 B)",
         weak.argmax().unwrap()
     );
-    println!("{}", if ok { "ALL ANCHORS OK" } else { "SOME ANCHORS DEVIATE" });
+    println!(
+        "{}",
+        if ok {
+            "ALL ANCHORS OK"
+        } else {
+            "SOME ANCHORS DEVIATE"
+        }
+    );
 
     // Also emit machine-readable data.
     println!("\n--- CSV ---\n{}", fig.to_csv());

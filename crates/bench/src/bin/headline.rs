@@ -48,5 +48,12 @@ fn main() {
     println!("\n  latency advantage vs IB:   {lat_adv:.1}x");
     println!("  bandwidth advantage vs IB: {bw_adv:.1}x (64 B messages)");
     assert!(lat_adv > 4.0 && bw_adv > 10.0);
-    println!("\n{}", if ok { "ALL ANCHORS OK" } else { "SOME ANCHORS DEVIATE" });
+    println!(
+        "\n{}",
+        if ok {
+            "ALL ANCHORS OK"
+        } else {
+            "SOME ANCHORS DEVIATE"
+        }
+    );
 }

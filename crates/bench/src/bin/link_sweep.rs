@@ -76,7 +76,10 @@ fn main() {
     let boot = LinkConfig::BOOT;
     assert_eq!(boot.raw_bytes_per_sec(), 400_000_000, "400 Mbit/s x8 boot");
     let proto = LinkConfig::PROTOTYPE;
-    assert!((proto.gbit_per_lane() - 1.6).abs() < 1e-9, "1.6 Gbit/s/lane");
+    assert!(
+        (proto.gbit_per_lane() - 1.6).abs() < 1e-9,
+        "1.6 Gbit/s/lane"
+    );
     let max = configs.last().expect("configs").1;
     assert_eq!(max.raw_bytes_per_sec(), 12_800_000_000, "12.8 GB/s/link");
     // Boot sequence speed jump: 400 -> 4800 Mbit/s total (§V): 8 lanes at

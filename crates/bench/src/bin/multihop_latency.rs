@@ -14,10 +14,7 @@ use tccluster::SimCluster;
 
 fn main() {
     const PROCS: usize = 8;
-    let spec = ClusterSpec::new(
-        SupernodeSpec::new(PROCS, 1 << 20),
-        ClusterTopology::Pair,
-    );
+    let spec = ClusterSpec::new(SupernodeSpec::new(PROCS, 1 << 20), ClusterTopology::Pair);
     let mut cluster = SimCluster::boot(spec, UarchParams::shanghai());
 
     // The East port of supernode 0 is on its last processor; supernode 1

@@ -39,10 +39,16 @@ fn main() {
     for w in results.windows(2) {
         let ((ea, a), (eb, b)) = (w[0], w[1]);
         if eb != 0 || ea != 0 {
-            assert!(b >= a * 0.98, "non-monotone at {ea}->{eb}: {a:.0} -> {b:.0}");
+            assert!(
+                b >= a * 0.98,
+                "non-monotone at {ea}->{eb}: {a:.0} -> {b:.0}"
+            );
         }
     }
-    println!("\nstrict {strict:.0} MB/s -> weak {weak:.0} MB/s ({:.2}x)", weak / strict);
+    println!(
+        "\nstrict {strict:.0} MB/s -> weak {weak:.0} MB/s ({:.2}x)",
+        weak / strict
+    );
     println!("\n{fig}");
     println!("SFENCE ABLATION OK");
 }

@@ -14,7 +14,10 @@ fn main() {
     const SIZES: &[usize] = &[1 << 10, 16 << 10, 256 << 10];
 
     println!("Write-combining ablation\n");
-    println!("{:>12} {:>16} {:>16} {:>10}", "size", "WC on MB/s", "WC off MB/s", "ratio");
+    println!(
+        "{:>12} {:>16} {:>16} {:>10}",
+        "size", "WC on MB/s", "WC off MB/s", "ratio"
+    );
     let mut worst_ratio = f64::MAX;
     for &size in SIZES {
         let with_wc = cluster.stream_bandwidth(0, 1, size, SendMode::WeaklyOrdered, 5);

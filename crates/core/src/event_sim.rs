@@ -12,14 +12,13 @@
 //! The `event_sim_agrees_with_channel_model` test pins the two approaches
 //! to each other: sustained goodput must agree within a few percent.
 
-use std::collections::VecDeque;
+use bytes::Bytes;
 use tcc_fabric::event::EventQueue;
 use tcc_fabric::sim::{Model, Sim};
 use tcc_fabric::time::{Duration, SimTime};
 use tcc_ht::flow::CreditReturn;
 use tcc_ht::link::{LinkConfig, LinkRx, LinkTx};
 use tcc_ht::packet::Packet;
-use bytes::Bytes;
 
 /// Time the receiving northbridge takes to drain one packet's buffers —
 /// the memory-controller write for a 64 B payload (~6 ns at DDR2 rates
@@ -55,7 +54,10 @@ pub struct StreamModel {
     pub delivered: u64,
     /// Receiver-side drain queue (serialised through one IO bridge).
     drain_free: SimTime,
-    pending_drain: VecDeque<Packet>,
+    /// Packets accepted but not yet drained. The packets themselves ride
+    /// in their scheduled [`Ev::Drained`] events; only the occupancy
+    /// count is needed here, so nothing is cloned on the hot path.
+    pending_drain: usize,
 }
 
 impl StreamModel {
@@ -69,15 +71,17 @@ impl StreamModel {
             last_arrival: SimTime::ZERO,
             delivered: 0,
             drain_free: SimTime::ZERO,
-            pending_drain: VecDeque::new(),
+            pending_drain: 0,
         }
     }
 
     fn pump(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
         // Keep the transmit queue primed.
         while self.remaining > 0 && self.tx.queued(tcc_ht::VirtualChannel::Posted) < 4 {
-            self.tx
-                .enqueue(Packet::posted_write(self.next_addr, Bytes::from_static(&[0u8; 64])));
+            self.tx.enqueue(Packet::posted_write(
+                self.next_addr,
+                Bytes::from_static(&[0u8; 64]),
+            ));
             self.next_addr += 64;
             self.remaining -= 1;
         }
@@ -105,7 +109,7 @@ impl Model for StreamModel {
                     self.tx.credit_return(ret);
                 } else {
                     // Serialise the drain through the IO bridge.
-                    self.pending_drain.push_back(pkt.clone());
+                    self.pending_drain += 1;
                     let start = now.max(self.drain_free);
                     self.drain_free = start + DRAIN;
                     queue.schedule_at(self.drain_free, Ev::Drained(pkt));
@@ -113,7 +117,8 @@ impl Model for StreamModel {
             }
             Ev::Drained(pkt) => {
                 self.rx.drain(&pkt);
-                self.pending_drain.pop_front();
+                debug_assert!(self.pending_drain > 0, "drained more than accepted");
+                self.pending_drain -= 1;
                 self.delivered += 1;
                 self.last_arrival = now;
                 // Harvest credits and send them back in a NOP.
@@ -137,7 +142,11 @@ pub fn stream_goodput(config: LinkConfig, packets: u64) -> f64 {
     let mut sim = Sim::new(StreamModel::new(config, packets));
     sim.schedule_at(SimTime::ZERO, Ev::SourcePump);
     let stop = sim.run_until(SimTime(Duration::from_millis(100).picos()), 50_000_000);
-    assert_eq!(stop, tcc_fabric::sim::Stop::Quiescent, "stream did not finish");
+    assert_eq!(
+        stop,
+        tcc_fabric::sim::Stop::Quiescent,
+        "stream did not finish"
+    );
     assert_eq!(sim.model.delivered, packets, "lost packets");
     let bytes = packets * 64;
     bytes as f64 / (sim.model.last_arrival.picos() as f64 / 1e12) / 1e6

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::thread;
 use tcc_msglib::barrier::{Barrier, SYNC_BYTES};
-use tcc_msglib::channel::{channel, Receiver, Sender, CHANNEL_BYTES, CREDIT_BYTES};
+use tcc_msglib::channel::{Receiver, Sender, CHANNEL_BYTES, CREDIT_BYTES};
 use tcc_msglib::ring::SendMode;
 use tcc_msglib::shm::{ShmLocal, ShmMemory, ShmRemote};
 
@@ -54,19 +54,47 @@ impl NodeCtx {
             .recv()
     }
 
+    /// Blocking receive from `from` into a caller-provided buffer
+    /// (cleared first). Returns the message length; allocation-free in
+    /// steady state.
+    pub fn recv_into(&mut self, from: usize, out: &mut Vec<u8>) -> usize {
+        self.receivers[from]
+            .as_mut()
+            .unwrap_or_else(|| panic!("rank {} receiving from itself", self.rank))
+            .recv_into(out)
+    }
+
     /// Poll a specific peer.
     pub fn try_recv(&mut self, from: usize) -> Option<Vec<u8>> {
-        self.receivers[from].as_mut().expect("no self-channel").try_recv()
+        self.receivers[from]
+            .as_mut()
+            .expect("no self-channel")
+            .try_recv()
+    }
+
+    /// Poll a specific peer into a caller-provided buffer.
+    pub fn try_recv_into(&mut self, from: usize, out: &mut Vec<u8>) -> Option<usize> {
+        self.receivers[from]
+            .as_mut()
+            .expect("no self-channel")
+            .try_recv_into(out)
     }
 
     /// Poll all peers round-robin; returns (source, message).
     pub fn try_recv_any(&mut self) -> Option<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.try_recv_any_into(&mut out).map(|(src, _)| (src, out))
+    }
+
+    /// Poll all peers round-robin into a caller-provided buffer; returns
+    /// (source, message length).
+    pub fn try_recv_any_into(&mut self, out: &mut Vec<u8>) -> Option<(usize, usize)> {
         for p in 0..self.n {
             if p == self.rank {
                 continue;
             }
-            if let Some(m) = self.try_recv(p) {
-                return Some((p, m));
+            if let Some(n) = self.try_recv_into(p, out) {
+                return Some((p, n));
             }
         }
         None
@@ -74,11 +102,21 @@ impl NodeCtx {
 
     /// Blocking receive from any peer.
     pub fn recv_any(&mut self) -> (usize, Vec<u8>) {
+        let mut out = Vec::new();
+        let (src, _) = self.recv_any_into(&mut out);
+        (src, out)
+    }
+
+    /// Blocking receive from any peer into a caller-provided buffer;
+    /// returns (source, message length). Spins with exponential backoff
+    /// while every ring is empty.
+    pub fn recv_any_into(&mut self, out: &mut Vec<u8>) -> (usize, usize) {
+        let mut backoff = tcc_msglib::Backoff::new();
         loop {
-            if let Some(r) = self.try_recv_any() {
+            if let Some(r) = self.try_recv_any_into(out) {
                 return r;
             }
-            tcc_msglib::window::cpu_relax();
+            backoff.snooze();
         }
     }
 
@@ -136,25 +174,18 @@ impl ShmCluster {
                 continue;
             }
             // Channel r→p: ring in p's page (slot indexed by sender r),
-            // credits in r's page (slot indexed by receiver p).
-            let (tx, _) = channel(
+            // credits in r's page (slot indexed by receiver p). Rank p
+            // builds the matching receiver half from its own page.
+            senders.push(Some(Sender::new(
                 self.pages[p].remote(channel_offset(r), CHANNEL_BYTES),
                 self.pages[r].local(credit_offset(n, p), CREDIT_BYTES),
-                // The receiver half built here is discarded; p builds its own.
-                self.pages[p].local(channel_offset(r), CHANNEL_BYTES),
-                self.pages[r].remote(credit_offset(n, p), CREDIT_BYTES),
                 self.mode,
-            );
-            senders.push(Some(tx));
+            )));
             // Channel p→r: ring in r's page, credits in p's page.
-            let (_, rx) = channel(
-                self.pages[r].remote(channel_offset(p), CHANNEL_BYTES),
-                self.pages[p].local(credit_offset(n, r), CREDIT_BYTES),
+            receivers.push(Some(Receiver::new(
                 self.pages[r].local(channel_offset(p), CHANNEL_BYTES),
                 self.pages[p].remote(credit_offset(n, r), CREDIT_BYTES),
-                self.mode,
-            );
-            receivers.push(Some(rx));
+            )));
         }
         let peers = (0..n)
             .map(|p| (p != r).then(|| self.pages[p].remote(sync_offset(n), SYNC_BYTES)))
@@ -262,10 +293,7 @@ mod tests {
                 big.len()
             } else {
                 let got = ctx.recv(0);
-                assert!(got
-                    .iter()
-                    .enumerate()
-                    .all(|(i, &b)| b == (i % 241) as u8));
+                assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 241) as u8));
                 got.len()
             }
         });
@@ -278,7 +306,7 @@ mod tests {
         let cluster = ShmCluster::new(N, SendMode::WeaklyOrdered);
         let results = cluster.run(|ctx| {
             if ctx.rank == 0 {
-                let mut seen = vec![false; N];
+                let mut seen = [false; N];
                 for _ in 0..N - 1 {
                     let (src, msg) = ctx.recv_any();
                     assert_eq!(msg, (src as u64).to_le_bytes());

@@ -17,17 +17,21 @@
 //!   reflect the bandwidth performance of the TCCluster link").
 
 use tcc_fabric::time::{Duration, SimTime};
-use tcc_firmware::machine::Platform;
+use tcc_firmware::machine::{DeliveredWrite, Platform};
 use tcc_firmware::tcc_boot::{boot, BootReport};
 use tcc_firmware::topology::ClusterSpec;
 use tcc_msglib::ring::{CELL_BYTES, CELL_PAYLOAD};
 use tcc_msglib::SendMode;
-use tcc_opteron::UarchParams;
+use tcc_opteron::{ActionSink, BurstPattern, UarchParams};
 
 /// A booted, simulated TCCluster.
 pub struct SimCluster {
     pub platform: Platform,
     pub boot: BootReport,
+    /// Reusable action/commit buffers for the measurement drivers — the
+    /// benchmark loops allocate nothing per message.
+    sink: ActionSink,
+    commits: Vec<DeliveredWrite>,
 }
 
 /// Per-message software overhead of the message library (compose header,
@@ -55,7 +59,12 @@ impl SimCluster {
         let mut platform = Platform::assemble(spec, params);
         platform.tcc_target = tcc_link;
         let boot = boot(&mut platform);
-        SimCluster { platform, boot }
+        SimCluster {
+            platform,
+            boot,
+            sink: ActionSink::new(),
+            commits: Vec::new(),
+        }
     }
 
     pub fn spec(&self) -> ClusterSpec {
@@ -89,46 +98,54 @@ impl SimCluster {
         push_tail: bool,
     ) -> (SimTime, SimTime) {
         let mut now = at + LIB_SEND_OVERHEAD;
-        let mut retire = now;
-        let mut visible = now;
-        let cells = len.div_ceil(CELL_PAYLOAD).max(1);
-        for c in 0..cells {
-            let cell_base = base + (c * CELL_BYTES) as u64;
-            let chunk = CELL_PAYLOAD.min(len - (c * CELL_PAYLOAD).min(len));
-            if chunk > 0 {
-                let out = self.platform.nodes[node].store(now, cell_base, &vec![0xD5u8; chunk]);
-                now = out.issued;
-                retire = retire.max(out.retire);
-                visible = visible.max(self.max_visible(node, out.actions));
-            }
-            // The header (8 B at the end of the cell).
-            let out = self.platform.nodes[node].store(
-                now,
-                cell_base + CELL_PAYLOAD as u64,
-                &[0xAD; 8],
-            );
-            now = out.issued;
-            retire = retire.max(out.retire);
-            visible = visible.max(self.max_visible(node, out.actions));
-            if mode == SendMode::StrictlyOrdered {
-                let f = self.platform.nodes[node].sfence(now);
-                now = f.retire;
-                retire = retire.max(f.retire);
-                visible = visible.max(self.max_visible(node, f.actions));
-            }
-        }
-        if push_tail && mode == SendMode::WeaklyOrdered {
-            let f = self.platform.nodes[node].sfence(now);
-            retire = retire.max(f.retire);
-            visible = visible.max(self.max_visible(node, f.actions));
-        }
-        (retire, visible)
+        self.send_eager_at(node, base, len, &mut now, mode, push_tail)
     }
 
-    fn max_visible(&mut self, node: usize, actions: Vec<tcc_opteron::Action>) -> SimTime {
+    /// The one eager-send implementation: a single [`BurstPattern`] issue
+    /// through the node's batched store path, chained on a running issue
+    /// clock (`now` is advanced to where the next message may begin
+    /// issuing). All message payload/header stores and fences — and their
+    /// fabric propagation — happen in one `store_burst` + one `propagate`
+    /// call, with no per-cell buffers or per-store action vectors.
+    fn send_eager_at(
+        &mut self,
+        node: usize,
+        base: u64,
+        len: usize,
+        now: &mut SimTime,
+        mode: SendMode,
+        push_tail: bool,
+    ) -> (SimTime, SimTime) {
+        let pattern = BurstPattern {
+            cell_payload: CELL_PAYLOAD,
+            cell_stride: CELL_BYTES as u64,
+            header_bytes: 8,
+            payload_fill: 0xD5,
+            header_fill: 0xAD,
+            fence_every: if mode == SendMode::StrictlyOrdered {
+                1
+            } else {
+                0
+            },
+            final_fence: push_tail && mode == SendMode::WeaklyOrdered,
+            wrap_bytes: 0,
+        };
+        let start = *now;
+        self.sink.clear();
+        let out = self.platform.nodes[node].store_burst(*now, base, &pattern, len, &mut self.sink);
+        *now = out.issued;
+        let visible = start.max(self.drain_visible(node));
+        (start.max(out.retire), visible)
+    }
+
+    /// Propagate everything in the scratch sink and return the latest
+    /// DRAM-visible time (ZERO if nothing landed).
+    fn drain_visible(&mut self, node: usize) -> SimTime {
+        self.commits.clear();
         self.platform
-            .propagate(node, actions)
-            .into_iter()
+            .propagate(node, &mut self.sink, &mut self.commits);
+        self.commits
+            .iter()
             .map(|c| c.visible)
             .max()
             .unwrap_or(SimTime::ZERO)
@@ -163,8 +180,7 @@ impl SimCluster {
         let mut total = Duration::ZERO;
         for iter in 0..iters {
             let t0 = t;
-            let (_, vis_b) =
-                self.send_eager(a, ring_at_b, size, t0, SendMode::WeaklyOrdered, true);
+            let (_, vis_b) = self.send_eager(a, ring_at_b, size, t0, SendMode::WeaklyOrdered, true);
             let got_b = self.poll_detect(b, vis_b, self.stagger(b, iter));
             let reply_at = got_b + LIB_TURNAROUND;
             let (_, vis_a) =
@@ -218,66 +234,26 @@ impl SimCluster {
                 let cells = size.div_ceil(CELL_PAYLOAD).max(1);
                 let slot = (i * cells) % tcc_msglib::ring::RING_CELLS;
                 let base = dst_base + (slot * CELL_BYTES) as u64;
-                let (r, _) = self.send_eager_from(a, base, size, &mut now, mode);
+                let (r, _) = self.send_eager_at(a, base, size, &mut now, mode, false);
                 retire = retire.max(r);
                 if i + 1 == count / 2 {
                     mid_retire = retire;
                 }
             }
             let second_half = count - count / 2;
-            (size * second_half) as f64
-                / (retire.since(mid_retire).picos() as f64 / 1e12)
-                / 1e6
+            (size * second_half) as f64 / (retire.since(mid_retire).picos() as f64 / 1e12) / 1e6
         } else {
             let mut t = SimTime::ZERO;
             let mut sum_ps = 0.0;
             for _ in 0..iters {
                 let t0 = t;
-                let (retire, visible) =
-                    self.send_rendezvous(a, dst_base + 0x1000, size, t0, mode);
+                let (retire, visible) = self.send_rendezvous(a, dst_base + 0x1000, size, t0, mode);
                 sum_ps += retire.since(t0).picos() as f64;
                 // Drain fully before the next message (per-message timing).
                 t = retire.max(visible) + Duration::from_micros(2);
             }
             size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
         }
-    }
-
-    /// Eager send chained on a running issue clock (`now` is advanced to
-    /// where the next message may begin issuing).
-    fn send_eager_from(
-        &mut self,
-        node: usize,
-        base: u64,
-        len: usize,
-        now: &mut SimTime,
-        mode: SendMode,
-    ) -> (SimTime, SimTime) {
-        let mut retire = *now;
-        let mut visible = *now;
-        let cells = len.div_ceil(CELL_PAYLOAD).max(1);
-        for c in 0..cells {
-            let cell_base = base + (c * CELL_BYTES) as u64;
-            let chunk = CELL_PAYLOAD.min(len - (c * CELL_PAYLOAD).min(len));
-            if chunk > 0 {
-                let out = self.platform.nodes[node].store(*now, cell_base, &vec![0xD5u8; chunk]);
-                *now = out.issued;
-                retire = retire.max(out.retire);
-                visible = visible.max(self.max_visible(node, out.actions));
-            }
-            let out =
-                self.platform.nodes[node].store(*now, cell_base + CELL_PAYLOAD as u64, &[0xAD; 8]);
-            *now = out.issued;
-            retire = retire.max(out.retire);
-            visible = visible.max(self.max_visible(node, out.actions));
-            if mode == SendMode::StrictlyOrdered {
-                let f = self.platform.nodes[node].sfence(*now);
-                *now = f.retire;
-                retire = retire.max(f.retire);
-                visible = visible.max(self.max_visible(node, f.actions));
-            }
-        }
-        (retire, visible)
     }
 
     /// Ablation harness (sfence-interval sweep): like the weakly ordered
@@ -295,27 +271,24 @@ impl SimCluster {
         let spec = self.spec();
         let (sb, pb) = (b / spec.supernode.processors, b % spec.supernode.processors);
         let dst = spec.node_base(sb, pb);
+        let pattern = BurstPattern {
+            cell_payload: CELL_PAYLOAD,
+            cell_stride: CELL_BYTES as u64,
+            header_bytes: 0,
+            payload_fill: 0,
+            header_fill: 0,
+            fence_every: every,
+            final_fence: false,
+            wrap_bytes: 0,
+        };
         let mut t = SimTime::ZERO;
         let mut sum_ps = 0.0;
         for _ in 0..iters {
             let t0 = t + LIB_SEND_OVERHEAD;
-            let mut now = t0;
-            let mut retire = now;
-            let cells = size.div_ceil(CELL_PAYLOAD).max(1);
-            for c in 0..cells {
-                let base = dst + (c * CELL_BYTES) as u64;
-                let chunk = CELL_PAYLOAD.min(size - (c * CELL_PAYLOAD).min(size));
-                let out = self.platform.nodes[a].store(now, base, &vec![0u8; chunk.max(1)]);
-                now = out.issued;
-                retire = retire.max(out.retire);
-                self.max_visible(a, out.actions);
-                if every > 0 && (c + 1) % every == 0 {
-                    let f = self.platform.nodes[a].sfence(now);
-                    now = f.retire;
-                    retire = retire.max(f.retire);
-                    self.max_visible(a, f.actions);
-                }
-            }
+            self.sink.clear();
+            let out = self.platform.nodes[a].store_burst(t0, dst, &pattern, size, &mut self.sink);
+            let retire = t0.max(out.retire);
+            self.drain_visible(a);
             sum_ps += (retire - t0).picos() as f64;
             t = retire + Duration::from_micros(2);
         }
@@ -339,18 +312,27 @@ impl SimCluster {
             dst + spec.supernode.slice_bytes(),
             tcc_opteron::MemType::Uncacheable,
         );
+        // Every 8 B slot is stored in full (the driver loop wrote whole
+        // qwords), so round the burst length up to the stride.
+        let pattern = BurstPattern {
+            cell_payload: 8,
+            cell_stride: 8,
+            header_bytes: 0,
+            payload_fill: 0,
+            header_fill: 0,
+            fence_every: 0,
+            final_fence: false,
+            wrap_bytes: 0,
+        };
+        let len = size.div_ceil(8) * 8;
         let mut t = SimTime::ZERO;
         let mut sum_ps = 0.0;
         for _ in 0..iters {
             let t0 = t + LIB_SEND_OVERHEAD;
-            let mut now = t0;
-            let mut retire = now;
-            for off in (0..size as u64).step_by(8) {
-                let out = self.platform.nodes[a].store(now, dst + off, &[0u8; 8]);
-                now = out.issued;
-                retire = retire.max(out.retire);
-                self.max_visible(a, out.actions);
-            }
+            self.sink.clear();
+            let out = self.platform.nodes[a].store_burst(t0, dst, &pattern, len, &mut self.sink);
+            let retire = t0.max(out.retire);
+            self.drain_visible(a);
             sum_ps += (retire - t0).picos() as f64;
             t = retire + Duration::from_micros(2);
         }
@@ -373,33 +355,37 @@ impl SimCluster {
         // Rendezvous setup: zone-credit check and descriptor preparation
         // through the library (~400 ns of software per large message).
         let mut now = at + RDVZ_HANDSHAKE + LIB_SEND_OVERHEAD;
-        let mut retire = now;
-        let mut visible = now;
-        let zone = tcc_msglib::RDVZ_BYTES as usize;
-        let mut sent = 0usize;
-        while sent < len {
-            let n = CELL_PAYLOAD.min(len - sent);
-            let addr = zone_base + (sent % zone) as u64;
-            let out = self.platform.nodes[node].store(now, addr, &vec![0xB6u8; n]);
-            now = out.issued;
-            retire = retire.max(out.retire);
-            visible = visible.max(self.max_visible(node, out.actions));
-            if mode == SendMode::StrictlyOrdered {
-                // Paper §VI: "after each cache line sized store operation
-                // an Sfence instruction is triggered".
-                let f = self.platform.nodes[node].sfence(now);
-                now = f.retire;
-                retire = retire.max(f.retire);
-                visible = visible.max(self.max_visible(node, f.actions));
-            }
-            sent += n;
-        }
+        let start = now;
+        // Payload streamed as contiguous 64 B lines lapping the zone; in
+        // strict mode "after each cache line sized store operation an
+        // Sfence instruction is triggered" (paper §VI).
+        let pattern = BurstPattern {
+            cell_payload: CELL_PAYLOAD,
+            cell_stride: CELL_PAYLOAD as u64,
+            header_bytes: 0,
+            payload_fill: 0xB6,
+            header_fill: 0,
+            fence_every: if mode == SendMode::StrictlyOrdered {
+                1
+            } else {
+                0
+            },
+            final_fence: false,
+            wrap_bytes: tcc_msglib::RDVZ_BYTES,
+        };
+        self.sink.clear();
+        let out =
+            self.platform.nodes[node].store_burst(now, zone_base, &pattern, len, &mut self.sink);
+        now = out.issued;
+        let mut retire = start.max(out.retire);
+        let mut visible = start.max(self.drain_visible(node));
         // Descriptor through the ring (one header-sized store + fence).
-        let out = self.platform.nodes[node].store(now, zone_base - 0x1000, &[1u8; 8]);
+        let out =
+            self.platform.nodes[node].store(now, zone_base - 0x1000, &[1u8; 8], &mut self.sink);
         retire = retire.max(out.retire);
-        let f = self.platform.nodes[node].sfence(out.issued);
+        let f = self.platform.nodes[node].sfence(out.issued, &mut self.sink);
         retire = retire.max(f.retire);
-        visible = visible.max(self.max_visible(node, f.actions));
+        visible = visible.max(self.drain_visible(node));
         (retire, visible)
     }
 }

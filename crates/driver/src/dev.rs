@@ -18,12 +18,18 @@ pub enum DevError {
     /// Kernel failed the load-time audit.
     KernelNotReady(Vec<Violation>),
     /// Target node does not exist.
-    NoSuchNode { supernode: usize, processor: usize },
+    NoSuchNode {
+        supernode: usize,
+        processor: usize,
+    },
     /// Mapping one's own node as "remote" (would route to local DRAM and
     /// bypass the UC rules — a driver must refuse).
     SelfRemote,
     /// Window outside the target's exported slice.
-    OutOfWindow { offset: u64, len: u64 },
+    OutOfWindow {
+        offset: u64,
+        len: u64,
+    },
     Vm(MapError),
 }
 
@@ -37,7 +43,10 @@ impl core::fmt::Display for DevError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             DevError::KernelNotReady(v) => write!(f, "kernel not TCCluster-ready: {v:?}"),
-            DevError::NoSuchNode { supernode, processor } => {
+            DevError::NoSuchNode {
+                supernode,
+                processor,
+            } => {
                 write!(f, "no node at supernode {supernode} processor {processor}")
             }
             DevError::SelfRemote => write!(f, "refusing to map own memory as remote"),
@@ -115,9 +124,7 @@ impl TccDevice {
         offset: u64,
         len: u64,
     ) -> Result<(), DevError> {
-        if supernode >= self.spec.supernode_count()
-            || processor >= self.spec.supernode.processors
-        {
+        if supernode >= self.spec.supernode_count() || processor >= self.spec.supernode.processors {
             return Err(DevError::NoSuchNode {
                 supernode,
                 processor,
@@ -131,7 +138,9 @@ impl TccDevice {
         aspace.mmap(
             va,
             len,
-            Backing::Remote { global_addr: global },
+            Backing::Remote {
+                global_addr: global,
+            },
             Prot::WO,
             CacheAttr::WriteCombining,
         )?;
@@ -160,7 +169,7 @@ impl TccDevice {
 
     fn check_window(&self, offset: u64, len: u64) -> Result<(), DevError> {
         let slice = self.spec.supernode.dram_per_node;
-        if offset % PAGE != 0 || len == 0 || offset + len > slice {
+        if !offset.is_multiple_of(PAGE) || len == 0 || offset + len > slice {
             return Err(DevError::OutOfWindow { offset, len });
         }
         Ok(())

@@ -132,9 +132,9 @@ mod tests {
         // kernel SMC would waste fabric cycles and, on a mis-programmed
         // node, reach the far machine as a spurious interrupt. Show both
         // halves with the northbridge model.
+        use tcc_ht::packet::{Command, Packet, UnitId};
         use tcc_opteron::nb::{Disposition, Northbridge, Source};
         use tcc_opteron::regs::{LinkId, NodeId};
-        use tcc_ht::packet::{Command, Packet, UnitId};
 
         let intr = Packet::control(Command::Broadcast {
             unit: UnitId::HOST,

@@ -92,7 +92,10 @@ impl core::fmt::Display for MapError {
             MapError::Unaligned(a) => write!(f, "address {a:#x} not page aligned"),
             MapError::Overlap(a) => write!(f, "page {a:#x} already mapped"),
             MapError::RemoteMustBeWriteOnly => {
-                write!(f, "remote window mapped readable: loads cannot complete over a TCC link")
+                write!(
+                    f,
+                    "remote window mapped readable: loads cannot complete over a TCC link"
+                )
             }
             MapError::RemoteMustBeWriteCombining => {
                 write!(f, "remote window must be write-combining")
@@ -128,7 +131,7 @@ impl AddressSpace {
         prot: Prot,
         attr: CacheAttr,
     ) -> Result<(), MapError> {
-        if va % PAGE != 0 || len % PAGE != 0 || len == 0 {
+        if !va.is_multiple_of(PAGE) || !len.is_multiple_of(PAGE) || len == 0 {
             return Err(MapError::Unaligned(va));
         }
         // The driver's attribute rules.
@@ -164,13 +167,20 @@ impl AddressSpace {
                 },
                 Backing::Anon => Backing::Anon,
             };
-            self.pages.insert(page, Mapping { backing, prot, attr });
+            self.pages.insert(
+                page,
+                Mapping {
+                    backing,
+                    prot,
+                    attr,
+                },
+            );
         }
         Ok(())
     }
 
     pub fn munmap(&mut self, va: u64, len: u64) -> Result<(), MapError> {
-        if va % PAGE != 0 || len % PAGE != 0 {
+        if !va.is_multiple_of(PAGE) || !len.is_multiple_of(PAGE) {
             return Err(MapError::Unaligned(va));
         }
         for page in (va..va + len).step_by(PAGE as usize) {
@@ -199,7 +209,10 @@ impl AddressSpace {
 
     fn lookup(&self, va: u64) -> Result<Mapping, MapError> {
         let page = va & !(PAGE - 1);
-        self.pages.get(&page).copied().ok_or(MapError::NotMapped(va))
+        self.pages
+            .get(&page)
+            .copied()
+            .ok_or(MapError::NotMapped(va))
     }
 
     fn offset_backing(&self, va: u64, m: Mapping) -> Backing {
@@ -231,7 +244,9 @@ mod tests {
         a.mmap(
             0x10_0000,
             2 * PAGE,
-            Backing::Remote { global_addr: 0x1_0000_2000 },
+            Backing::Remote {
+                global_addr: 0x1_0000_2000,
+            },
             Prot::WO,
             CacheAttr::WriteCombining,
         )
@@ -241,7 +256,9 @@ mod tests {
             a.mmap(
                 0x20_0000,
                 PAGE,
-                Backing::Remote { global_addr: 0x1_0000_0000 },
+                Backing::Remote {
+                    global_addr: 0x1_0000_0000
+                },
                 Prot::RW,
                 CacheAttr::WriteCombining
             ),
@@ -252,7 +269,9 @@ mod tests {
             a.mmap(
                 0x20_0000,
                 PAGE,
-                Backing::Remote { global_addr: 0x1_0000_0000 },
+                Backing::Remote {
+                    global_addr: 0x1_0000_0000
+                },
                 Prot::WO,
                 CacheAttr::WriteBack
             ),
@@ -289,14 +308,18 @@ mod tests {
         a.mmap(
             0x40_0000,
             2 * PAGE,
-            Backing::Remote { global_addr: 0x2_0000_0000 },
+            Backing::Remote {
+                global_addr: 0x2_0000_0000,
+            },
             Prot::WO,
             CacheAttr::WriteCombining,
         )
         .unwrap();
         assert_eq!(
             a.store_translate(0x40_0000 + PAGE + 0x123).unwrap(),
-            Backing::Remote { global_addr: 0x2_0000_1123 }
+            Backing::Remote {
+                global_addr: 0x2_0000_1123
+            }
         );
         // Loads from the write-only window fault (the driver's protection
         // is what turns an impossible fabric read into a clean SIGSEGV).
@@ -324,12 +347,21 @@ mod tests {
     #[test]
     fn munmap_releases() {
         let mut a = AddressSpace::new();
-        a.mmap(0x5000, 2 * PAGE, Backing::Anon, Prot::RW, CacheAttr::WriteBack)
-            .unwrap();
+        a.mmap(
+            0x5000,
+            2 * PAGE,
+            Backing::Anon,
+            Prot::RW,
+            CacheAttr::WriteBack,
+        )
+        .unwrap();
         assert_eq!(a.mapped_pages(), 2);
         a.munmap(0x5000, 2 * PAGE).unwrap();
         assert_eq!(a.mapped_pages(), 0);
         assert_eq!(a.munmap(0x5000, PAGE), Err(MapError::NotMapped(0x5000)));
-        assert!(matches!(a.store_translate(0x5000), Err(MapError::NotMapped(_))));
+        assert!(matches!(
+            a.store_translate(0x5000),
+            Err(MapError::NotMapped(_))
+        ));
     }
 }

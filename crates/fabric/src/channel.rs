@@ -36,6 +36,15 @@ pub struct Channel {
     bytes_total: u64,
     /// Total time the channel spent busy (statistics).
     busy: Duration,
+    /// Small memo of recently computed serialisation times. Hot paths
+    /// stream a handful of transfer sizes (64 B payloads, 8 B headers,
+    /// 72 B wire packets), and the exact `u128` division is the single
+    /// most expensive operation on the store path. A single entry
+    /// thrashes when payload and header transfers alternate through the
+    /// same channel, so keep a few; `(0, ZERO)` is a correct entry.
+    memo: [(u64, Duration); Self::MEMO_ENTRIES],
+    /// Round-robin replacement cursor for `memo`.
+    memo_next: usize,
 }
 
 /// Result of submitting a transfer to a [`Channel`].
@@ -50,6 +59,8 @@ pub struct Transfer {
 }
 
 impl Channel {
+    const MEMO_ENTRIES: usize = 4;
+
     pub fn new(latency: Duration, bytes_per_sec: u64) -> Self {
         assert!(bytes_per_sec > 0, "zero-bandwidth channel");
         Channel {
@@ -58,13 +69,29 @@ impl Channel {
             next_free: SimTime::ZERO,
             bytes_total: 0,
             busy: Duration::ZERO,
+            memo: [(0, Duration::ZERO); Self::MEMO_ENTRIES],
+            memo_next: 0,
         }
+    }
+
+    /// Serialisation time of `bytes` on this channel, memoised.
+    #[inline]
+    fn serialization(&mut self, bytes: u64) -> Duration {
+        for &(b, d) in &self.memo {
+            if b == bytes {
+                return d;
+            }
+        }
+        let d = Duration(serialization_ps(bytes, self.bytes_per_sec));
+        self.memo[self.memo_next] = (bytes, d);
+        self.memo_next = (self.memo_next + 1) % Self::MEMO_ENTRIES;
+        d
     }
 
     /// Submit a transfer of `bytes` at time `now`.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Transfer {
         let start = now.max(self.next_free);
-        let ser = Duration(serialization_ps(bytes, self.bytes_per_sec));
+        let ser = self.serialization(bytes);
         let sent = start + ser;
         self.next_free = sent;
         self.bytes_total += bytes;

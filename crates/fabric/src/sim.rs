@@ -64,7 +64,11 @@ impl<M: Model> Sim<M> {
 
     /// Schedule an event at an absolute time (must not be in the past).
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule_at(at, event);
     }
 

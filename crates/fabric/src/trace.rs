@@ -19,7 +19,13 @@ pub struct Record {
 
 impl fmt::Display for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<16} {}", format!("{}", self.at), self.source, self.what)
+        write!(
+            f,
+            "[{:>12}] {:<16} {}",
+            format!("{}", self.at),
+            self.source,
+            self.what
+        )
     }
 }
 
@@ -89,12 +95,7 @@ impl Trace {
 
     /// Log with lazy message construction — the closure only runs when the
     /// trace is enabled.
-    pub fn log_with(
-        &mut self,
-        at: SimTime,
-        source: &str,
-        what: impl FnOnce() -> String,
-    ) {
+    pub fn log_with(&mut self, at: SimTime, source: &str, what: impl FnOnce() -> String) {
         if self.enabled {
             self.log(at, source, what());
         }

@@ -9,7 +9,7 @@ use tcc_fabric::time::SimTime;
 use tcc_fabric::Trace;
 use tcc_ht::init::{LinkEndpoint, LinkRegs};
 use tcc_ht::link::LinkConfig;
-use tcc_opteron::node::{Action, Node};
+use tcc_opteron::node::{Action, ActionSink, Node};
 use tcc_opteron::regs::{LinkId, NodeId};
 use tcc_opteron::UarchParams;
 
@@ -45,6 +45,15 @@ pub struct Platform {
     pub tcc_target: LinkConfig,
     /// Target configuration for supernode-internal coherent links.
     pub internal_target: LinkConfig,
+    /// Reusable propagation frontier (node, action) — drained FIFO.
+    propagate_work: Vec<(usize, Action)>,
+    /// Reusable per-delivery follow-up sink.
+    deliver_sink: ActionSink,
+    /// Lazily built per-(node, link) forwarding cache:
+    /// `(peer, peer_link, coherent)` for every trained wire end. Scanning
+    /// the wire list and the endpoint map per packet dominates propagation
+    /// otherwise; invalidated by [`train_all`](Self::train_all).
+    route_cache: Vec<[Option<(usize, LinkId, bool)>; 4]>,
 }
 
 impl Platform {
@@ -114,6 +123,9 @@ impl Platform {
                 hop_latency: tcc_fabric::time::Duration::from_nanos(15),
                 ..LinkConfig::HT3_FULL
             },
+            propagate_work: Vec::new(),
+            deliver_sink: ActionSink::new(),
+            route_cache: Vec::new(),
         }
     }
 
@@ -143,9 +155,28 @@ impl Platform {
             .map(|a| a.coherent)
     }
 
+    /// Rebuild the forwarding cache from the current wires and endpoint
+    /// states. Untrained or unwired ports stay `None`.
+    fn rebuild_route_cache(&mut self) {
+        self.route_cache = vec![[None; 4]; self.nodes.len()];
+        for w in &self.wires {
+            for (here, there) in [(w.a, w.b), (w.b, w.a)] {
+                let coherent = self
+                    .endpoints
+                    .get(&(here.0, here.1 .0))
+                    .and_then(|e| e.active())
+                    .map(|a| a.coherent);
+                if let Some(c) = coherent {
+                    self.route_cache[here.0][here.1 .0 as usize] = Some((there.0, there.1, c));
+                }
+            }
+        }
+    }
+
     /// Run link training on every wire (and southbridge stubs).
     /// `first_training` selects the post-cold-reset 200 MHz/8-bit pass.
     pub fn train_all(&mut self, now: SimTime, first_training: bool) {
+        self.route_cache.clear();
         let wires = self.wires.clone();
         for w in wires {
             let hop = if w.internal {
@@ -154,8 +185,14 @@ impl Platform {
                 self.tcc_target.hop_latency
             };
             // Two disjoint borrows out of the map.
-            let mut a = self.endpoints.remove(&(w.a.0, w.a.1 .0)).expect("endpoint a");
-            let mut b = self.endpoints.remove(&(w.b.0, w.b.1 .0)).expect("endpoint b");
+            let mut a = self
+                .endpoints
+                .remove(&(w.a.0, w.a.1 .0))
+                .expect("endpoint a");
+            let mut b = self
+                .endpoints
+                .remove(&(w.b.0, w.b.1 .0))
+                .expect("endpoint b");
             a.begin_training();
             b.begin_training();
             let link = tcc_ht::init::negotiate(&mut a, &mut b, hop, first_training);
@@ -164,7 +201,11 @@ impl Platform {
                 format!("wire.n{}l{}-n{}l{}", w.a.0, w.a.1 .0, w.b.0, w.b.1 .0),
                 format!(
                     "trained {} @{}MHz/{}bit",
-                    if link.coherent { "coherent" } else { "non-coherent" },
+                    if link.coherent {
+                        "coherent"
+                    } else {
+                        "non-coherent"
+                    },
                     link.config.clock_mhz,
                     link.config.width_bits
                 ),
@@ -193,16 +234,32 @@ impl Platform {
     }
 
     /// Propagate a batch of node actions through the fabric until all
-    /// packets have landed. Returns every DRAM commit that resulted.
+    /// packets have landed, delivering packets in FIFO (emission) order —
+    /// deliveries happen in exactly the order a store-at-a-time driver
+    /// loop would produce, so batching a whole message's actions into one
+    /// call leaves the receive-side timing unchanged. Drains `actions`
+    /// and appends every DRAM commit that resulted to `commits`; both
+    /// buffers are caller-owned so the hot path reuses them without
+    /// allocating.
     pub fn propagate(
         &mut self,
         from_node: usize,
-        actions: Vec<Action>,
-    ) -> Vec<DeliveredWrite> {
-        let mut commits = Vec::new();
-        let mut work: Vec<(usize, Action)> =
-            actions.into_iter().map(|a| (from_node, a)).collect();
-        while let Some((node, action)) = work.pop() {
+        actions: &mut ActionSink,
+        commits: &mut Vec<DeliveredWrite>,
+    ) {
+        if self.route_cache.is_empty() {
+            self.rebuild_route_cache();
+        }
+        let mut work = std::mem::take(&mut self.propagate_work);
+        work.clear();
+        work.extend(actions.drain().map(|a| (from_node, a)));
+        let mut i = 0;
+        while i < work.len() {
+            // Move the action out, leaving a cheap placeholder (the slot
+            // is never revisited).
+            let (node, action) =
+                std::mem::replace(&mut work[i], (usize::MAX, Action::BroadcastFiltered));
+            i += 1;
             match action {
                 Action::LocalCommit { offset, visible } => commits.push(DeliveredWrite {
                     node,
@@ -215,26 +272,28 @@ impl Platform {
                     packet,
                     arrival,
                 } => {
-                    let (peer, peer_link) = self
-                        .peer_of(node, link)
-                        .unwrap_or_else(|| panic!("packet out unwired link n{node} l{}", link.0));
-                    let coherent = self
-                        .link_coherent(node, link)
-                        .expect("packet over untrained link");
-                    let followups = self.nodes[peer]
-                        .deliver(arrival, peer_link, packet, coherent)
-                        .unwrap_or_else(|e| {
-                            panic!("delivery failed at node {peer}: {e:?}")
+                    let (peer, peer_link, coherent) = self.route_cache[node][link.0 as usize]
+                        .unwrap_or_else(|| {
+                            panic!("packet out untrained/unwired link n{node} l{}", link.0)
                         });
-                    work.extend(followups.into_iter().map(|a| (peer, a)));
+                    let mut followups = std::mem::take(&mut self.deliver_sink);
+                    followups.clear();
+                    self.nodes[peer]
+                        .deliver(arrival, peer_link, packet, coherent, &mut followups)
+                        .unwrap_or_else(|e| panic!("delivery failed at node {peer}: {e:?}"));
+                    work.extend(followups.drain().map(|a| (peer, a)));
+                    self.deliver_sink = followups;
                 }
             }
         }
-        commits
+        work.clear();
+        self.propagate_work = work;
     }
 
     /// Issue a store on `node` and propagate its consequences. Returns
-    /// (outcome retire time, commits).
+    /// (outcome retire time, commits). A convenience wrapper for boot
+    /// code and tests; hot loops drive `store`/`propagate` with their own
+    /// reusable buffers instead.
     pub fn store_and_propagate(
         &mut self,
         node: usize,
@@ -242,12 +301,14 @@ impl Platform {
         addr: u64,
         data: &[u8],
     ) -> (SimTime, Vec<DeliveredWrite>) {
-        let out = self.nodes[node].store(now, addr, data);
+        let mut sink = ActionSink::new();
+        let mut commits = Vec::new();
+        let out = self.nodes[node].store(now, addr, data, &mut sink);
         let retire = out.retire;
-        let mut commits = self.propagate(node, out.actions);
+        self.propagate(node, &mut sink, &mut commits);
         // Flush any residue held in WC buffers so single stores land.
-        let f = self.nodes[node].sfence(retire);
-        commits.extend(self.propagate(node, f.actions));
+        self.nodes[node].sfence(retire, &mut sink);
+        self.propagate(node, &mut sink, &mut commits);
         (retire, commits)
     }
 }

@@ -131,9 +131,7 @@ impl TccBoot {
         platform.train_all(self.now, false);
         let wires = platform.wires.clone();
         for w in &wires {
-            let coherent = platform
-                .link_coherent(w.a.0, w.a.1)
-                .expect("trained wire");
+            let coherent = platform.link_coherent(w.a.0, w.a.1).expect("trained wire");
             if w.internal {
                 assert!(coherent, "internal link lost coherence");
             } else {
@@ -259,8 +257,7 @@ impl TccBoot {
                 // Probe address: 64 B into dst's first processor's slice.
                 let addr = spec.node_base(dst, 0) + 64;
                 let pattern = [(0xA0 + src as u8) ^ dst as u8; 8];
-                let (_, commits) =
-                    platform.store_and_propagate(src_node, self.now, addr, &pattern);
+                let (_, commits) = platform.store_and_propagate(src_node, self.now, addr, &pattern);
                 let dst_node = spec.proc_index(dst, 0);
                 let hit = commits
                     .iter()
@@ -368,10 +365,7 @@ mod tests {
         let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
         let (p, r) = booted(spec);
         assert_eq!(r.selftest_pairs, 2);
-        assert_eq!(
-            r.steps.first().copied(),
-            Some("cold-reset")
-        );
+        assert_eq!(r.steps.first().copied(), Some("cold-reset"));
         // Ordering proof: force-ncHT before warm reset, warm reset before
         // northbridge init.
         assert!(p.trace.happened_before("force-non-coherent", "warm-reset"));

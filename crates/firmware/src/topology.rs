@@ -292,7 +292,10 @@ mod tests {
     }
 
     fn mesh22() -> ClusterSpec {
-        ClusterSpec::new(SupernodeSpec::new(2, MB), ClusterTopology::Mesh { x: 2, y: 2 })
+        ClusterSpec::new(
+            SupernodeSpec::new(2, MB),
+            ClusterTopology::Mesh { x: 2, y: 2 },
+        )
     }
 
     #[test]
@@ -312,7 +315,10 @@ mod tests {
     fn pair_mmio_plan_covers_everything_remote() {
         let c = pair();
         let plan0 = c.mmio_plan(0);
-        assert_eq!(plan0, vec![(GLOBAL_BASE + MB, GLOBAL_BASE + 2 * MB, 0, LinkId(3))]);
+        assert_eq!(
+            plan0,
+            vec![(GLOBAL_BASE + MB, GLOBAL_BASE + 2 * MB, 0, LinkId(3))]
+        );
         let plan1 = c.mmio_plan(1);
         assert_eq!(plan1, vec![(GLOBAL_BASE, GLOBAL_BASE + MB, 0, LinkId(2))]);
     }
@@ -344,7 +350,12 @@ mod tests {
         // Supernode 3 is at (1,1): West interval covers supernode 2, North
         // interval covers row 0.
         let plan = c.mmio_plan(3);
-        let west = (GLOBAL_BASE + 2 * slice, GLOBAL_BASE + 3 * slice, 0, LinkId(2));
+        let west = (
+            GLOBAL_BASE + 2 * slice,
+            GLOBAL_BASE + 3 * slice,
+            0,
+            LinkId(2),
+        );
         let north = (GLOBAL_BASE, GLOBAL_BASE + 2 * slice, 0, LinkId(3));
         assert!(plan.contains(&west), "{plan:?}");
         assert!(plan.contains(&north), "{plan:?}");
@@ -376,7 +387,11 @@ mod tests {
         assert_eq!(Port::East.attach(&two), (1, LinkId(2)));
         assert_eq!(Port::South.attach(&two), (1, LinkId(3)));
         let one = SupernodeSpec::new(1, MB);
-        assert_eq!(Port::East.attach(&one), (0, LinkId(3)), "1-proc East folds onto link 3");
+        assert_eq!(
+            Port::East.attach(&one),
+            (0, LinkId(3)),
+            "1-proc East folds onto link 3"
+        );
     }
 
     #[test]
@@ -388,6 +403,9 @@ mod tests {
     #[test]
     #[should_panic(expected = ">= 2 processors")]
     fn mesh_needs_two_procs() {
-        ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Mesh { x: 2, y: 2 });
+        ClusterSpec::new(
+            SupernodeSpec::new(1, MB),
+            ClusterTopology::Mesh { x: 2, y: 2 },
+        );
     }
 }

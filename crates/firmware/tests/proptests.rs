@@ -8,10 +8,8 @@ const MB: u64 = 1 << 20;
 
 fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
     prop_oneof![
-        (1usize..=8).prop_map(|p| ClusterSpec::new(
-            SupernodeSpec::new(p, MB),
-            ClusterTopology::Pair
-        )),
+        (1usize..=8)
+            .prop_map(|p| ClusterSpec::new(SupernodeSpec::new(p, MB), ClusterTopology::Pair)),
         ((1usize..=4), (2usize..=12)).prop_map(|(p, n)| ClusterSpec::new(
             SupernodeSpec::new(p, MB),
             ClusterTopology::Chain(n)

@@ -249,7 +249,10 @@ mod tests {
         tx.consume(&p).unwrap();
         rx.accept(&p);
         assert!(!tx.can_send(&p), "credits exhausted");
-        assert_eq!(tx.consume(&p), Err(FlowError::NoCmdCredit(VirtualChannel::Posted)));
+        assert_eq!(
+            tx.consume(&p),
+            Err(FlowError::NoCmdCredit(VirtualChannel::Posted))
+        );
         assert_eq!(rx.held(VirtualChannel::Posted), 2);
 
         rx.drain(&p);
@@ -318,9 +321,10 @@ mod tests {
 
     #[test]
     fn nop_encoding_carries_credits() {
-        let mut ret = CreditReturn::default();
-        ret.cmd = [1, 2, 3];
-        ret.data = [3, 0, 1];
+        let ret = CreditReturn {
+            cmd: [1, 2, 3],
+            data: [3, 0, 1],
+        };
         let cmd = nop_for(ret);
         let bytes = crate::wire::encode(&cmd);
         let (decoded, _) = crate::wire::decode(&bytes).unwrap();

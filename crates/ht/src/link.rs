@@ -157,6 +157,28 @@ impl LinkTx {
     /// fabric deadlock-free.
     pub fn pump(&mut self, now: SimTime) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.pump_into(now, &mut out);
+        out
+    }
+
+    /// Enqueue one packet and pump — the per-flush hot path. When every
+    /// VC queue is empty and credits admit the packet, it goes straight
+    /// to the wire without the queue round-trip; the transfer order (and
+    /// therefore all timing) is identical to `enqueue` + `pump_into`.
+    pub fn send_into(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Delivery>) {
+        if self.queues.iter().all(|q| q.is_empty()) && self.credits.can_send(&pkt) {
+            self.credits.consume(&pkt).expect("checked can_send");
+            out.push(self.put_on_wire(now, pkt));
+            return;
+        }
+        self.enqueue(pkt);
+        self.pump_into(now, out);
+    }
+
+    /// Like [`pump`](Self::pump), but appends into a caller-provided
+    /// scratch vector — the store-issue hot path reuses one per node so
+    /// pumping allocates nothing in steady state.
+    pub fn pump_into(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
         loop {
             let mut sent_any = false;
             for vc in VirtualChannel::ALL {
@@ -175,7 +197,6 @@ impl LinkTx {
                 break;
             }
         }
-        out
     }
 
     /// Transmit a NOP carrying `ret` (NOPs bypass credit checks — they are

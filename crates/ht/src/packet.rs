@@ -125,9 +125,17 @@ pub enum Command {
         tag: SrcTag,
     },
     /// Read response carrying data, matched by tag.
-    RdResponse { unit: UnitId, tag: SrcTag, error: bool },
+    RdResponse {
+        unit: UnitId,
+        tag: SrcTag,
+        error: bool,
+    },
     /// Target-done response completing a non-posted write.
-    TgtDone { unit: UnitId, tag: SrcTag, error: bool },
+    TgtDone {
+        unit: UnitId,
+        tag: SrcTag,
+        error: bool,
+    },
     /// Broadcast (used for interrupts/system management — must be filtered
     /// off TCCluster links).
     Broadcast { unit: UnitId, addr: u64 },
@@ -299,13 +307,7 @@ mod tests {
 
     #[test]
     fn header_sizes() {
-        assert_eq!(
-            Command::Fence {
-                unit: UnitId::HOST
-            }
-            .header_bytes(),
-            4
-        );
+        assert_eq!(Command::Fence { unit: UnitId::HOST }.header_bytes(), 4);
         let pw = Packet::posted_write(0x0, Bytes::from_static(&[0u8; 8]));
         assert_eq!(pw.cmd.header_bytes(), 8);
         assert_eq!(pw.wire_bytes(), 16);

@@ -204,12 +204,7 @@ impl RetryRx {
             self.expected = self.expected.wrapping_add(1);
             self.nak_pending = false; // progress clears the latch
             self.delivered += 1;
-            return RxResult::Deliver(
-                framed.packet,
-                Ack::Good {
-                    up_to: framed.seq,
-                },
-            );
+            return RxResult::Deliver(framed.packet, Ack::Good { up_to: framed.seq });
         }
         // Out of order: either an old duplicate (already delivered) or a
         // gap (a dropped frame ahead of us).
@@ -409,8 +404,16 @@ mod tests {
                 }
             }
         }
-        assert_eq!(delivered, (0..N).collect::<Vec<_>>(), "in order, exactly once");
-        assert!(rx.crc_drops > 100, "loss actually happened: {}", rx.crc_drops);
+        assert_eq!(
+            delivered,
+            (0..N).collect::<Vec<_>>(),
+            "in order, exactly once"
+        );
+        assert!(
+            rx.crc_drops > 100,
+            "loss actually happened: {}",
+            rx.crc_drops
+        );
         assert!(tx.replays > 100);
     }
 }

@@ -47,7 +47,9 @@ pub fn encode(cmd: &Command) -> Vec<u8> {
             response_data,
         } => {
             // NOP: credits packed two bits per class into bytes 1-2.
-            let b1 = (posted_cmd & 3) | ((posted_data & 3) << 2) | ((response_cmd & 3) << 4)
+            let b1 = (posted_cmd & 3)
+                | ((posted_data & 3) << 2)
+                | ((response_cmd & 3) << 4)
                 | ((response_data & 3) << 6);
             let b2 = (nonposted_cmd & 3) | ((nonposted_data & 3) << 2);
             vec![Opcode::Nop as u8, b1, b2, 0]
@@ -358,7 +360,10 @@ mod tests {
 
     #[test]
     fn unknown_opcode_rejected() {
-        assert_eq!(decode(&[0x3F, 0, 0, 0]), Err(DecodeError::UnknownOpcode(0x3F)));
+        assert_eq!(
+            decode(&[0x3F, 0, 0, 0]),
+            Err(DecodeError::UnknownOpcode(0x3F))
+        );
     }
 
     #[test]

@@ -68,8 +68,8 @@ fn arb_command() -> impl Strategy<Value = Command> {
         (unit.clone(), addr).prop_map(|(unit, addr)| Command::Broadcast { unit, addr }),
         unit.clone().prop_map(|unit| Command::Fence { unit }),
         (unit, tag).prop_map(|(unit, tag)| Command::Flush { unit, tag }),
-        (0u8..4, 0u8..4, 0u8..4, 0u8..4, 0u8..4, 0u8..4).prop_map(
-            |(a, b, c, d, e, f)| Command::Nop {
+        (0u8..4, 0u8..4, 0u8..4, 0u8..4, 0u8..4, 0u8..4).prop_map(|(a, b, c, d, e, f)| {
+            Command::Nop {
                 posted_cmd: a,
                 posted_data: b,
                 nonposted_cmd: c,
@@ -77,7 +77,7 @@ fn arb_command() -> impl Strategy<Value = Command> {
                 response_cmd: e,
                 response_data: f,
             }
-        ),
+        }),
     ]
 }
 

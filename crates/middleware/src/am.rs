@@ -68,7 +68,10 @@ impl<S> AmEngine<S> {
     fn dispatch(&mut self, src: usize, msg: &[u8], state: &mut S) -> usize {
         assert!(msg.len() >= 2, "short AM frame");
         let id = u16::from_le_bytes(msg[..2].try_into().expect("2B")) as usize;
-        let h = self.handlers.get(id).expect("handler registered everywhere");
+        let h = self
+            .handlers
+            .get(id)
+            .expect("handler registered everywhere");
         h(state, src, &msg[2..]);
         self.delivered += 1;
         1
@@ -87,8 +90,8 @@ impl<S> AmEngine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tccluster::ShmCluster;
     use tcc_msglib::SendMode;
+    use tccluster::ShmCluster;
 
     #[test]
     fn counter_handler_fires_per_message() {
@@ -108,7 +111,9 @@ mod tests {
             am.send(ctx, 0, add, &((ctx.rank as u64 + 1).to_le_bytes()));
             am.send(ctx, (ctx.rank + 1) % ctx.n, note, b"hi");
             if ctx.rank == 0 {
-                am.poll_until(ctx, &mut state, |s| s.0 >= (1..=N as u64).sum::<u64>() && !s.1.is_empty());
+                am.poll_until(ctx, &mut state, |s| {
+                    s.0 >= (1..=N as u64).sum::<u64>() && !s.1.is_empty()
+                });
             } else {
                 am.poll_until(ctx, &mut state, |s| !s.1.is_empty());
             }

@@ -85,7 +85,10 @@ impl<'a> Comm<'a> {
             if t == tag {
                 return body;
             }
-            self.unexpected.entry((from, t)).or_default().push_back(body);
+            self.unexpected
+                .entry((from, t))
+                .or_default()
+                .push_back(body);
         }
     }
 
@@ -101,7 +104,10 @@ impl<'a> Comm<'a> {
             if t == tag {
                 return Some(body);
             }
-            self.unexpected.entry((from, t)).or_default().push_back(body);
+            self.unexpected
+                .entry((from, t))
+                .or_default()
+                .push_back(body);
         }
         None
     }
@@ -198,14 +204,18 @@ impl<'a> Comm<'a> {
             all[root] = mine.to_vec();
             for _ in 0..self.size() - 1 {
                 // Collect in arrival order; store by source.
-                for p in 0..self.size() {
-                    if p != root && all[p].is_empty() {
+                for p in (0..self.size()).filter(|&p| p != root) {
+                    if all[p].is_empty() {
                         if let Some(m) = self.try_recv(p, TAG) {
                             all[p] = m;
                         }
                     }
                 }
-                if all.iter().enumerate().all(|(i, v)| i == root || !v.is_empty()) {
+                if all
+                    .iter()
+                    .enumerate()
+                    .all(|(i, v)| i == root || !v.is_empty())
+                {
                     break;
                 }
             }
@@ -348,8 +358,8 @@ impl<'a> Comm<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tccluster::ShmCluster;
     use tcc_msglib::SendMode;
+    use tccluster::ShmCluster;
 
     fn run<T: Send + 'static>(
         n: usize,
@@ -462,9 +472,8 @@ mod tests {
     #[test]
     fn scatter_distributes_parts() {
         let results = run(4, |c| {
-            let parts: Option<Vec<Vec<u8>>> = (c.rank() == 1).then(|| {
-                (0..4).map(|p| vec![p as u8 * 3; p + 1]).collect()
-            });
+            let parts: Option<Vec<Vec<u8>>> =
+                (c.rank() == 1).then(|| (0..4).map(|p| vec![p as u8 * 3; p + 1]).collect());
             let part = c.scatter(1, parts.as_deref());
             assert_eq!(part, vec![c.rank() as u8 * 3; c.rank() + 1]);
             part.len()

@@ -315,8 +315,8 @@ impl GlobalArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tccluster::ShmCluster;
     use tcc_msglib::SendMode;
+    use tccluster::ShmCluster;
 
     fn run<T: Send + 'static>(
         n: usize,

@@ -136,13 +136,13 @@ mod tests {
     }
 
     fn build(n: usize) -> Vec<Barrier<ShmRemote, ShmLocal>> {
-        let pages: Vec<ShmMemory> = (0..n).map(|_| ShmMemory::new(SYNC_BYTES as usize)).collect();
+        let pages: Vec<ShmMemory> = (0..n)
+            .map(|_| ShmMemory::new(SYNC_BYTES as usize))
+            .collect();
         (0..n)
             .map(|r| {
                 let peers = (0..n)
-                    .map(|p| {
-                        (p != r).then(|| pages[p].remote(0, SYNC_BYTES))
-                    })
+                    .map(|p| (p != r).then(|| pages[p].remote(0, SYNC_BYTES)))
                     .collect();
                 Barrier::new(r, n, peers, pages[r].local(0, SYNC_BYTES))
             })
@@ -206,7 +206,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing window")]
     fn missing_partner_window_caught() {
-        let pages: Vec<ShmMemory> = (0..2).map(|_| ShmMemory::new(SYNC_BYTES as usize)).collect();
+        let pages: Vec<ShmMemory> = (0..2)
+            .map(|_| ShmMemory::new(SYNC_BYTES as usize))
+            .collect();
         let peers: Vec<Option<ShmRemote>> = vec![None, None];
         let _ = Barrier::new(0, 2, peers, pages[0].local(0, SYNC_BYTES));
     }

@@ -115,6 +115,8 @@ pub struct Sender<R: RemoteWindow + Clone, L: LocalWindow + Clone> {
     rdvz_tail: u64,
     /// Bytes the receiver has confirmed consumed (monotonic).
     rdvz_credited: u64,
+    /// Reusable tag-framing buffer for the inline path.
+    frame_scratch: Vec<u8>,
     pub rendezvous_sends: u64,
 }
 
@@ -125,6 +127,53 @@ pub struct Receiver<L: LocalWindow + Clone, R: RemoteWindow + Clone> {
     rdvz: LocalAt<L>,
     rdvz_credit: RemoteAt<R>,
     rdvz_consumed: u64,
+}
+
+impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
+    /// Build the sending half alone.
+    ///
+    /// * `to_receiver` — remote window onto the receiver's exported
+    ///   channel region (`CHANNEL_BYTES`);
+    /// * `credits` — local window onto this sender's credit block.
+    pub fn new(to_receiver: R, credits: L, mode: SendMode) -> Self {
+        assert!(to_receiver.len() >= CHANNEL_BYTES);
+        assert!(credits.len() >= CREDIT_BYTES);
+        Sender {
+            ring: RingSender::new(
+                RemoteAt::new(to_receiver.clone(), 0, RING_BYTES as u64),
+                LocalAt::new(credits.clone(), 0, 8),
+                mode,
+            ),
+            rdvz: RemoteAt::new(to_receiver, RING_BYTES as u64, RDVZ_BYTES),
+            rdvz_credit: LocalAt::new(credits, 8, 8),
+            rdvz_tail: 0,
+            rdvz_credited: 0,
+            frame_scratch: Vec::new(),
+            rendezvous_sends: 0,
+        }
+    }
+}
+
+impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
+    /// Build the receiving half alone.
+    ///
+    /// * `ring_local` — local view of this receiver's exported channel
+    ///   region (`CHANNEL_BYTES`);
+    /// * `to_sender_credits` — remote window onto the sender's credit
+    ///   block.
+    pub fn new(ring_local: L, to_sender_credits: R) -> Self {
+        assert!(ring_local.len() >= CHANNEL_BYTES);
+        assert!(to_sender_credits.len() >= CREDIT_BYTES);
+        Receiver {
+            ring: RingReceiver::new(
+                LocalAt::new(ring_local.clone(), 0, RING_BYTES as u64),
+                RemoteAt::new(to_sender_credits.clone(), 0, 8),
+            ),
+            rdvz: LocalAt::new(ring_local, RING_BYTES as u64, RDVZ_BYTES),
+            rdvz_credit: RemoteAt::new(to_sender_credits, 8, 8),
+            rdvz_consumed: 0,
+        }
+    }
 }
 
 /// Build the two halves of one channel.
@@ -148,42 +197,22 @@ where
     L2: LocalWindow + Clone,
     R2: RemoteWindow + Clone,
 {
-    assert!(to_receiver.len() >= CHANNEL_BYTES);
-    assert!(ring_local.len() >= CHANNEL_BYTES);
-    assert!(sender_credits.len() >= CREDIT_BYTES);
-    assert!(to_sender_credits.len() >= CREDIT_BYTES);
-    let sender = Sender {
-        ring: RingSender::new(
-            RemoteAt::new(to_receiver.clone(), 0, RING_BYTES as u64),
-            LocalAt::new(sender_credits.clone(), 0, 8),
-            mode,
-        ),
-        rdvz: RemoteAt::new(to_receiver, RING_BYTES as u64, RDVZ_BYTES),
-        rdvz_credit: LocalAt::new(sender_credits, 8, 8),
-        rdvz_tail: 0,
-        rdvz_credited: 0,
-        rendezvous_sends: 0,
-    };
-    let receiver = Receiver {
-        ring: RingReceiver::new(
-            LocalAt::new(ring_local.clone(), 0, RING_BYTES as u64),
-            RemoteAt::new(to_sender_credits.clone(), 0, 8),
-        ),
-        rdvz: LocalAt::new(ring_local, RING_BYTES as u64, RDVZ_BYTES),
-        rdvz_credit: RemoteAt::new(to_sender_credits, 8, 8),
-        rdvz_consumed: 0,
-    };
-    (sender, receiver)
+    (
+        Sender::new(to_receiver, sender_credits, mode),
+        Receiver::new(ring_local, to_sender_credits),
+    )
 }
 
 impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
     /// Non-blocking send of a message of any size up to [`MAX_MESSAGE`].
     pub fn try_send(&mut self, msg: &[u8]) -> Result<(), SendError> {
-        if msg.len() + 1 <= MAX_EAGER {
-            let mut framed = Vec::with_capacity(msg.len() + 1);
-            framed.push(TAG_INLINE);
-            framed.extend_from_slice(msg);
-            return match self.ring.try_send(&framed) {
+        if msg.len() < MAX_EAGER {
+            // Frame in a reusable scratch buffer: no per-send allocation
+            // once it has grown to the working-set message size.
+            self.frame_scratch.clear();
+            self.frame_scratch.push(TAG_INLINE);
+            self.frame_scratch.extend_from_slice(msg);
+            return match self.ring.try_send(&self.frame_scratch) {
                 Ok(()) => Ok(()),
                 Err(RingError::WouldBlock) => Err(SendError::WouldBlock),
                 Err(RingError::TooLarge(_)) => unreachable!("checked size"),
@@ -249,17 +278,36 @@ impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
 
 impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
     /// Poll once.
+    ///
+    /// Allocating convenience wrapper over [`try_recv_into`].
+    ///
+    /// [`try_recv_into`]: Receiver::try_recv_into
     pub fn try_recv(&mut self) -> Option<Vec<u8>> {
-        let framed = self.ring.try_recv()?;
-        assert!(!framed.is_empty(), "frame always carries a tag");
-        match framed[0] {
-            TAG_INLINE => Some(framed[1..].to_vec()),
+        let mut out = Vec::new();
+        self.try_recv_into(&mut out).map(|_| out)
+    }
+
+    /// Poll once, delivering a complete message into `out` (cleared
+    /// first). Returns the message length.
+    ///
+    /// Allocation-free in steady state: the tag byte is stripped in
+    /// place and rendezvous payloads land directly in `out`.
+    pub fn try_recv_into(&mut self, out: &mut Vec<u8>) -> Option<usize> {
+        let framed = self.ring.try_recv_into(out)?;
+        assert!(framed > 0, "frame always carries a tag");
+        match out[0] {
+            TAG_INLINE => {
+                out.copy_within(1.., 0);
+                out.truncate(framed - 1);
+                Some(out.len())
+            }
             TAG_RDVZ => {
-                assert_eq!(framed.len(), 17, "descriptor frame");
-                let off = u64::from_le_bytes(framed[1..9].try_into().expect("8B"));
-                let len = u64::from_le_bytes(framed[9..17].try_into().expect("8B"));
-                let mut out = vec![0u8; len as usize];
-                self.rdvz.load(off, &mut out);
+                assert_eq!(framed, 17, "descriptor frame");
+                let off = u64::from_le_bytes(out[1..9].try_into().expect("8B"));
+                let len = u64::from_le_bytes(out[9..17].try_into().expect("8B"));
+                out.clear();
+                out.resize(len as usize, 0);
+                self.rdvz.load(off, out);
                 // Account for any wrap gap the sender skipped.
                 let pos = self.rdvz_consumed % RDVZ_BYTES;
                 let skip = if pos + len > RDVZ_BYTES {
@@ -270,7 +318,7 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
                 self.rdvz_consumed += skip + len;
                 self.rdvz_credit.store_u64(0, self.rdvz_consumed);
                 self.rdvz_credit.fence();
-                Some(out)
+                Some(out.len())
             }
             other => panic!("corrupt frame tag {other}"),
         }
@@ -278,11 +326,20 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
 
     /// Blocking receive.
     pub fn recv(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.recv_into(&mut out);
+        out
+    }
+
+    /// Blocking receive into a caller-provided buffer. Returns the
+    /// message length. Uses exponential backoff while idle.
+    pub fn recv_into(&mut self, out: &mut Vec<u8>) -> usize {
+        let mut backoff = crate::window::Backoff::new();
         loop {
-            if let Some(m) = self.try_recv() {
-                return m;
+            if let Some(n) = self.try_recv_into(out) {
+                return n;
             }
-            crate::window::cpu_relax();
+            backoff.snooze();
         }
     }
 

@@ -21,7 +21,11 @@ pub mod shm;
 pub mod window;
 
 pub use barrier::{Barrier, Flag, SYNC_BYTES};
-pub use channel::{channel, Receiver, SendError, Sender, CHANNEL_BYTES, CREDIT_BYTES, MAX_MESSAGE, RDVZ_BYTES};
-pub use ring::{RingError, RingReceiver, RingSender, SendMode, CELL_PAYLOAD, MAX_EAGER, RING_BYTES};
+pub use channel::{
+    channel, Receiver, SendError, Sender, CHANNEL_BYTES, CREDIT_BYTES, MAX_MESSAGE, RDVZ_BYTES,
+};
+pub use ring::{
+    RingError, RingReceiver, RingSender, SendMode, CELL_PAYLOAD, MAX_EAGER, RING_BYTES,
+};
 pub use shm::{ShmLocal, ShmMemory, ShmRemote};
-pub use window::{LocalWindow, RemoteWindow};
+pub use window::{Backoff, LocalWindow, RemoteWindow};

@@ -196,7 +196,23 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
     }
 
     /// Poll once: returns a complete message if one is ready.
+    ///
+    /// Allocating convenience wrapper over [`try_recv_into`].
+    ///
+    /// [`try_recv_into`]: RingReceiver::try_recv_into
     pub fn try_recv(&mut self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.try_recv_into(&mut out).map(|_| out)
+    }
+
+    /// Poll once, delivering a complete message into `out` (cleared
+    /// first). Returns the message length.
+    ///
+    /// Allocation-free in steady state: the receiver's internal partial
+    /// buffer and `out` swap roles on every delivery, so once both have
+    /// grown to the working-set message size no further heap traffic
+    /// occurs.
+    pub fn try_recv_into(&mut self, out: &mut Vec<u8>) -> Option<usize> {
         loop {
             self.polls += 1;
             let cell = (self.expect_seq % RING_CELLS as u64) as usize;
@@ -217,8 +233,7 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
                 }
                 return None;
             }
-            let (_, len, first, last) =
-                decode_header(header).expect("checked ready");
+            let (_, len, first, last) = decode_header(header).expect("checked ready");
             if first {
                 self.partial.clear();
             }
@@ -231,7 +246,11 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
             self.maybe_return_credit();
             if last {
                 self.received_messages += 1;
-                return Some(std::mem::take(&mut self.partial));
+                // Hand the accumulated message to the caller and adopt
+                // their buffer as the next partial (capacity ping-pong).
+                std::mem::swap(&mut self.partial, out);
+                self.partial.clear();
+                return Some(out.len());
             }
             // Multi-cell message: continue consuming cells.
         }
@@ -239,11 +258,20 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
 
     /// Spin until a message arrives.
     pub fn recv(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.recv_into(&mut out);
+        out
+    }
+
+    /// Spin until a message arrives, delivering into `out`. Returns the
+    /// message length. Uses exponential backoff while idle.
+    pub fn recv_into(&mut self, out: &mut Vec<u8>) -> usize {
+        let mut backoff = crate::window::Backoff::new();
         loop {
-            if let Some(m) = self.try_recv() {
-                return m;
+            if let Some(n) = self.try_recv_into(out) {
+                return n;
             }
-            crate::window::cpu_relax();
+            backoff.snooze();
         }
     }
 
@@ -268,7 +296,9 @@ mod tests {
     use super::*;
     use crate::window::inproc::InprocMemory;
 
-    fn channel(mode: SendMode) -> (
+    fn channel(
+        mode: SendMode,
+    ) -> (
         RingSender<crate::window::inproc::InprocRemote, crate::window::inproc::InprocLocal>,
         RingReceiver<crate::window::inproc::InprocLocal, crate::window::inproc::InprocRemote>,
     ) {
@@ -364,7 +394,10 @@ mod tests {
     fn oversized_goes_to_rendezvous() {
         let (mut tx, _) = channel(SendMode::WeaklyOrdered);
         let too_big = vec![0u8; MAX_EAGER + 1];
-        assert_eq!(tx.try_send(&too_big), Err(RingError::TooLarge(MAX_EAGER + 1)));
+        assert_eq!(
+            tx.try_send(&too_big),
+            Err(RingError::TooLarge(MAX_EAGER + 1))
+        );
     }
 
     #[test]

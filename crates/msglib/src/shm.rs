@@ -41,7 +41,7 @@ impl ShmMemory {
 
     /// A write-only window over `[base, base+len)`.
     pub fn remote(&self, base: u64, len: u64) -> ShmRemote {
-        assert!(base % 8 == 0, "windows are 8-byte aligned");
+        assert!(base.is_multiple_of(8), "windows are 8-byte aligned");
         assert!(base + len <= self.len(), "window exceeds memory");
         ShmRemote {
             mem: self.clone(),
@@ -52,7 +52,7 @@ impl ShmMemory {
 
     /// A pollable window over `[base, base+len)`.
     pub fn local(&self, base: u64, len: u64) -> ShmLocal {
-        assert!(base % 8 == 0, "windows are 8-byte aligned");
+        assert!(base.is_multiple_of(8), "windows are 8-byte aligned");
         assert!(base + len <= self.len(), "window exceeds memory");
         ShmLocal {
             mem: self.clone(),
@@ -67,7 +67,7 @@ impl ShmMemory {
         let mut off = at;
         let mut data = data;
         // Leading partial word.
-        if off % 8 != 0 {
+        if !off.is_multiple_of(8) {
             let w = (off / 8) as usize;
             let shift = (off % 8) as usize;
             let n = data.len().min(8 - shift);
@@ -126,7 +126,10 @@ impl RemoteWindow for ShmRemote {
     }
 
     fn store(&self, offset: u64, data: &[u8]) {
-        assert!(offset + data.len() as u64 <= self.len, "store out of window");
+        assert!(
+            offset + data.len() as u64 <= self.len,
+            "store out of window"
+        );
         self.mem.store_bytes(self.base + offset, data);
         // Publish: the header-last protocol needs the final word of a cell
         // to act as the release point. A release fence before nothing would
@@ -138,7 +141,7 @@ impl RemoteWindow for ShmRemote {
     }
 
     fn store_u64(&self, offset: u64, value: u64) {
-        assert!(offset % 8 == 0 && offset + 8 <= self.len);
+        assert!(offset.is_multiple_of(8) && offset + 8 <= self.len);
         let w = ((self.base + offset) / 8) as usize;
         // Header stores are the release points of the ring protocol.
         fence(Ordering::Release);
@@ -170,7 +173,7 @@ impl LocalWindow for ShmLocal {
     }
 
     fn load_u64(&self, offset: u64) -> u64 {
-        assert!(offset % 8 == 0 && offset + 8 <= self.len);
+        assert!(offset.is_multiple_of(8) && offset + 8 <= self.len);
         let w = ((self.base + offset) / 8) as usize;
         self.mem.words[w].load(Ordering::Acquire)
     }
@@ -229,10 +232,7 @@ mod tests {
             credit.local(0, 8),
             SendMode::WeaklyOrdered,
         );
-        let mut rx = RingReceiver::new(
-            ring.local(0, RING_BYTES as u64),
-            credit.remote(0, 8),
-        );
+        let mut rx = RingReceiver::new(ring.local(0, RING_BYTES as u64), credit.remote(0, 8));
         const N: u64 = 20_000;
         let producer = std::thread::spawn(move || {
             for i in 0..N {

@@ -12,7 +12,6 @@
 //!
 //! Offsets are window-relative. All multi-byte values are little-endian.
 
-
 /// Polite busy-wait step for polling loops.
 ///
 /// TCCluster software really does spin (the receive path *is* a poll
@@ -24,6 +23,44 @@ pub fn cpu_relax() {
         std::hint::spin_loop();
     }
     std::thread::yield_now();
+}
+
+/// Exponential-backoff spinner for receive loops.
+///
+/// Early iterations spin a handful of pause instructions (the message is
+/// usually already in flight); only after the spin budget is exhausted
+/// does the waiter start yielding its quantum. This keeps the common
+/// ping-pong case on-core while still being polite under real contention.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin budget: 2^SPIN_LIMIT pause instructions before yielding.
+    const SPIN_LIMIT: u32 = 7;
+
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Wait one escalating step: spin 2^step pauses, or yield once the
+    /// spin budget is spent.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Restart the escalation (call after making progress).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
 }
 
 /// Write-only mapping of remote memory.

@@ -50,7 +50,7 @@ proptest! {
         let mut step = 0u8;
         loop {
             step = step.wrapping_add(1);
-            let prefer_recv = step % recv_bias == 0;
+            let prefer_recv = step.is_multiple_of(recv_bias);
             if !prefer_recv {
                 if let Some(m) = to_send.clone().next() {
                     if tx.try_send(m).is_ok() {

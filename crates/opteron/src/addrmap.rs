@@ -54,7 +54,11 @@ pub struct AddressMap {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
     OutOfRegisters(&'static str),
-    Overlap { kind: &'static str, base: u64, limit: u64 },
+    Overlap {
+        kind: &'static str,
+        base: u64,
+        limit: u64,
+    },
     Unmapped(u64),
 }
 
@@ -194,11 +198,17 @@ mod tests {
         assert_eq!(map.resolve(0x1800), Ok(Target::Dram { home: N0 }));
         assert_eq!(
             map.resolve(0x2000),
-            Ok(Target::Mmio { owner: N0, link: L2 })
+            Ok(Target::Mmio {
+                owner: N0,
+                link: L2
+            })
         );
         assert_eq!(
             map.resolve(0x6FFF),
-            Ok(Target::Mmio { owner: N0, link: L2 })
+            Ok(Target::Mmio {
+                owner: N0,
+                link: L2
+            })
         );
         assert_eq!(map.resolve(0x0800), Err(MapError::Unmapped(0x0800)));
         assert_eq!(map.dram_bytes(), 0x1000);
@@ -224,7 +234,10 @@ mod tests {
         map.add_mmio(0x2000, 0x4000, N0, L2).unwrap();
         assert!(matches!(
             map.validate(),
-            Err(MapError::Overlap { kind: "DRAM/MMIO", .. })
+            Err(MapError::Overlap {
+                kind: "DRAM/MMIO",
+                ..
+            })
         ));
     }
 
@@ -242,7 +255,8 @@ mod tests {
     fn register_budget() {
         let mut map = AddressMap::new();
         for i in 0..8u64 {
-            map.add_dram(i << 20, (i + 1) << 20, NodeId(i as u8)).unwrap();
+            map.add_dram(i << 20, (i + 1) << 20, NodeId(i as u8))
+                .unwrap();
         }
         assert!(matches!(
             map.add_dram(9 << 20, 10 << 20, N0),
@@ -259,7 +273,8 @@ mod tests {
         let mut map = AddressMap::new();
         let mut used = 0;
         for i in 0..MAX_MMIO_RANGES as u64 {
-            map.add_mmio(i * 0x10000, i * 0x10000 + 0x8000, N0, L2).unwrap();
+            map.add_mmio(i * 0x10000, i * 0x10000 + 0x8000, N0, L2)
+                .unwrap();
             used += 1;
         }
         assert_eq!(used, MAX_MMIO_RANGES);

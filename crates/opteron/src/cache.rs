@@ -45,7 +45,9 @@ pub struct Cache {
 pub enum Access {
     Hit(State),
     /// Miss; if a dirty victim was evicted, its line address.
-    Miss { writeback: Option<u64> },
+    Miss {
+        writeback: Option<u64>,
+    },
 }
 
 impl Cache {
@@ -140,7 +142,11 @@ impl Cache {
         let tag = self.tag_of(addr);
         if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
             let was = line.state;
-            line.state = if invalidate { State::Invalid } else { State::Shared };
+            line.state = if invalidate {
+                State::Invalid
+            } else {
+                State::Shared
+            };
             was
         } else {
             State::Invalid
@@ -202,9 +208,19 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = tiny();
-        assert_eq!(c.access(0x1000, false, State::Exclusive), Access::Miss { writeback: None });
-        assert_eq!(c.access(0x1000, false, State::Exclusive), Access::Hit(State::Exclusive));
-        assert_eq!(c.access(0x103F, false, State::Exclusive), Access::Hit(State::Exclusive), "same line");
+        assert_eq!(
+            c.access(0x1000, false, State::Exclusive),
+            Access::Miss { writeback: None }
+        );
+        assert_eq!(
+            c.access(0x1000, false, State::Exclusive),
+            Access::Hit(State::Exclusive)
+        );
+        assert_eq!(
+            c.access(0x103F, false, State::Exclusive),
+            Access::Hit(State::Exclusive),
+            "same line"
+        );
         assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -216,7 +232,13 @@ mod tests {
         // Two more lines mapping to set 0 (set stride = 4 * 64 = 256).
         c.access(0x0100, false, State::Exclusive);
         let r = c.access(0x0200, false, State::Exclusive);
-        assert_eq!(r, Access::Miss { writeback: Some(0x0000) }, "dirty LRU written back");
+        assert_eq!(
+            r,
+            Access::Miss {
+                writeback: Some(0x0000)
+            },
+            "dirty LRU written back"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod mtrr;
 pub mod nb;
 pub mod node;
 pub mod params;
+pub mod pool;
 pub mod regs;
 pub mod route;
 pub mod tags;
@@ -35,8 +36,9 @@ pub mod wc;
 pub use addrmap::{AddressMap, MapError, Target};
 pub use mtrr::{MemType, Mtrrs};
 pub use nb::{Disposition, NbError, Northbridge, Source};
-pub use node::{Action, Node, StoreOutcome};
+pub use node::{Action, ActionSink, BurstPattern, Node, StoreOutcome};
 pub use params::UarchParams;
+pub use pool::PayloadPool;
 pub use regs::{LinkId, NodeId, NodeRegs, LINKS_PER_NODE};
 pub use route::{symmetric, NodeRoute, Route, RoutingTable};
 pub use tags::{Pending, TagError, TagTable};

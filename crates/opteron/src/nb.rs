@@ -128,8 +128,13 @@ impl Northbridge {
             _ => {
                 let addr = pkt.addr().expect("addressed request");
                 let target = self.addr_map.resolve(addr)?;
-                let from_noncoherent_link =
-                    matches!(source, Source::Link { coherent: false, .. });
+                let from_noncoherent_link = matches!(
+                    source,
+                    Source::Link {
+                        coherent: false,
+                        ..
+                    }
+                );
                 match target {
                     Target::Dram { home } if home == self.node_id => {
                         let offset = self
@@ -143,7 +148,11 @@ impl Northbridge {
                         })
                     }
                     Target::Dram { home } => {
-                        match self.routes.request_route(home).ok_or(NbError::NoRoute(home))? {
+                        match self
+                            .routes
+                            .request_route(home)
+                            .ok_or(NbError::NoRoute(home))?
+                        {
                             Route::SelfRoute => {
                                 let offset = self
                                     .local_dram_offset(addr)
@@ -167,7 +176,11 @@ impl Northbridge {
                         Ok(Disposition::Forward { link })
                     }
                     Target::Mmio { owner, .. } => {
-                        match self.routes.request_route(owner).ok_or(NbError::NoRoute(owner))? {
+                        match self
+                            .routes
+                            .request_route(owner)
+                            .ok_or(NbError::NoRoute(owner))?
+                        {
                             Route::SelfRoute => Err(NbError::Unroutable(
                                 "MMIO owned remotely but routed to self",
                             )),
@@ -382,9 +395,12 @@ mod tests {
         nb.addr_map.add_dram(0x0000, 0x1000, NodeId(0)).unwrap();
         nb.addr_map.add_dram(0x1000, 0x2000, NodeId(1)).unwrap();
         nb.addr_map.add_dram(0x2000, 0x3000, NodeId(2)).unwrap();
-        nb.routes.set(NodeId(0), crate::route::symmetric(Route::Link(LinkId(0))));
-        nb.routes.set(NodeId(1), crate::route::symmetric(Route::SelfRoute));
-        nb.routes.set(NodeId(2), crate::route::symmetric(Route::Link(LinkId(1))));
+        nb.routes
+            .set(NodeId(0), crate::route::symmetric(Route::Link(LinkId(0))));
+        nb.routes
+            .set(NodeId(1), crate::route::symmetric(Route::SelfRoute));
+        nb.routes
+            .set(NodeId(2), crate::route::symmetric(Route::Link(LinkId(1))));
         let d = nb
             .dispose(
                 &pw(0x2800),

@@ -3,20 +3,26 @@
 //!
 //! The node is a *timed functional* model: every operation moves real bytes
 //! and returns the simulated times at which effects become visible. The
-//! cluster layer wires nodes' links together and turns returned
+//! cluster layer wires nodes' links together and turns emitted
 //! [`Action`]s into events.
+//!
+//! The store/deliver path is allocation-free in steady state: callers
+//! provide a reusable [`ActionSink`], packet payloads come from a per-node
+//! [`PayloadPool`](crate::pool::PayloadPool), and whole messages can be
+//! issued with one [`Node::store_burst`] call instead of a store-per-cell
+//! driver loop.
 
 use crate::mem::MemoryController;
 use crate::mtrr::{MemType, Mtrrs};
 use crate::nb::{Disposition, NbError, Northbridge, Source};
 use crate::params::UarchParams;
+use crate::pool::PayloadPool;
 use crate::regs::{LinkId, NodeId, NodeRegs, LINKS_PER_NODE};
-use crate::wc::WcBuffers;
-use bytes::Bytes;
+use crate::wc::{Flush, WcBuffers};
 use std::collections::VecDeque;
 use tcc_fabric::channel::Channel;
 use tcc_fabric::time::{Duration, SimTime};
-use tcc_ht::link::{LinkConfig, LinkTx};
+use tcc_ht::link::{Delivery, LinkConfig, LinkTx};
 use tcc_ht::packet::Packet;
 
 /// An externally visible consequence of a node operation.
@@ -34,8 +40,47 @@ pub enum Action {
     BroadcastFiltered,
 }
 
-/// Result of issuing a store.
-#[derive(Debug, Clone)]
+/// Caller-provided scratch buffer collecting the [`Action`]s of one or
+/// more node operations. Reusing one sink across a whole message (or a
+/// whole benchmark loop) keeps the store path free of heap allocation.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    pub fn new() -> Self {
+        ActionSink::default()
+    }
+
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    pub fn as_slice(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Drain the collected actions in emission (FIFO) order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+}
+
+/// Result of issuing a store (or a burst of them).
+#[derive(Debug, Clone, Copy)]
 pub struct StoreOutcome {
     /// When the core may issue its next store: issue-stage time including
     /// store-queue backpressure. A streaming loop chains on this.
@@ -44,7 +89,35 @@ pub struct StoreOutcome {
     /// time a sender-side benchmark observes for its last store. For
     /// `sfence` this is when the fence completes.
     pub retire: SimTime,
-    pub actions: Vec<Action>,
+}
+
+/// Shape of a [`Node::store_burst`]: a message as the paper's send loops
+/// issue it — fixed-size payload cells at a fixed stride, an optional
+/// trailing header store per cell, and the fence policy of the selected
+/// ordering mode.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstPattern {
+    /// Payload bytes per cell (64 for ring cells, 8 for the UC ablation).
+    pub cell_payload: usize,
+    /// Address stride between consecutive cells (72 for ring cells with
+    /// their headers, 64 for rendezvous lines).
+    pub cell_stride: u64,
+    /// Header store appended at `cell_payload` into each cell (0 = none).
+    pub header_bytes: usize,
+    /// Fill byte for payload stores.
+    pub payload_fill: u8,
+    /// Fill byte for header stores.
+    pub header_fill: u8,
+    /// Issue an `sfence` after every N cells, advancing the issue clock to
+    /// the fence's retire (0 = never). 1 is the paper's strictly ordered
+    /// mechanism.
+    pub fence_every: usize,
+    /// Issue one trailing `sfence` after the last cell without advancing
+    /// the issue clock (the weakly ordered "push the tail out" fence).
+    pub final_fence: bool,
+    /// Wrap cell addresses at `base + wrap_bytes` (0 = no wrap); used by
+    /// rendezvous payloads lapping their landing zone.
+    pub wrap_bytes: u64,
 }
 
 /// One simulated Opteron package.
@@ -65,6 +138,15 @@ pub struct Node {
     /// Wire-entry times of absorbed lines, for capacity backpressure.
     inflight: VecDeque<SimTime>,
     inflight_bytes: u64,
+    /// Recycled packet payload slabs.
+    pool: PayloadPool,
+    /// Scratch for WC flushes drained by one store/fence.
+    flush_scratch: Vec<Flush>,
+    /// Scratch for link deliveries pumped by one disposition.
+    dels_scratch: Vec<Delivery>,
+    /// Memoised store-queue headroom keyed on its inputs (computing it
+    /// involves an exact `u128` division, far too costly per store).
+    sq_headroom_memo: (u64, u64, Duration),
     /// If set, link credits are returned instantly (used by open-loop
     /// microbenchmark harnesses where the receiver provably drains at
     /// line rate; the event-driven cluster sim disables it).
@@ -77,6 +159,7 @@ impl Node {
         let absorb = Channel::new(Duration::ZERO, params.absorb_bytes_per_sec);
         let mem = MemoryController::new(dram_capacity, &params);
         let wc = WcBuffers::new(params.wc_buffers, params.wc_buffer_bytes);
+        let flush_scratch = Vec::with_capacity(params.wc_buffers + 1);
         Node {
             nb: Northbridge::new(node_id),
             regs: NodeRegs::power_on(),
@@ -88,6 +171,10 @@ impl Node {
             absorb,
             inflight: VecDeque::new(),
             inflight_bytes: 0,
+            pool: PayloadPool::new(),
+            flush_scratch,
+            dels_scratch: Vec::new(),
+            sq_headroom_memo: (0, 0, Duration::ZERO),
             params,
             auto_credit: true,
         }
@@ -112,75 +199,85 @@ impl Node {
 
     /// Time by which the issue stage may run ahead of the absorption
     /// stage — the store queue's worth of buffering.
-    fn sq_headroom(&self) -> Duration {
+    fn sq_headroom(&mut self) -> Duration {
         let bytes = (self.params.srq_entries * self.params.wc_buffer_bytes) as u64;
-        Duration(tcc_fabric::channel::serialization_ps(
-            bytes,
-            self.params.absorb_bytes_per_sec,
-        ))
+        let rate = self.params.absorb_bytes_per_sec;
+        if self.sq_headroom_memo.0 != bytes || self.sq_headroom_memo.1 != rate {
+            self.sq_headroom_memo = (
+                bytes,
+                rate,
+                Duration(tcc_fabric::channel::serialization_ps(bytes, rate)),
+            );
+        }
+        self.sq_headroom_memo.2
     }
 
-    /// Issue a store of `data` to global address `addr` at `now`.
+    /// Issue a store of `data` to global address `addr` at `now`,
+    /// appending any externally visible consequences to `sink`.
     ///
     /// Stages pipeline: the returned `issued` (issue stage, gated by the
     /// store queue) is where a streaming loop chains its next store, while
     /// downstream stages (WC flush → absorption → northbridge → wire)
     /// proceed concurrently, each modelled by a busy-tracking channel.
-    pub fn store(&mut self, now: SimTime, addr: u64, data: &[u8]) -> StoreOutcome {
+    pub fn store(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        data: &[u8],
+        sink: &mut ActionSink,
+    ) -> StoreOutcome {
         // Store-queue backpressure: issue may lead absorption only by the
         // queue's drain time.
         let headroom = self.sq_headroom();
-        let gate = SimTime(self.absorb.next_free().picos().saturating_sub(headroom.picos()));
+        let gate = SimTime(
+            self.absorb
+                .next_free()
+                .picos()
+                .saturating_sub(headroom.picos()),
+        );
         let issued = self.issue.transfer(now.max(gate), data.len() as u64).sent;
 
         match self.mtrrs.resolve_span(addr, data.len() as u64) {
             MemType::WriteCombining => {
-                let flushes = self.wc.store(addr, data);
+                let mut flushes = std::mem::take(&mut self.flush_scratch);
+                flushes.clear();
+                self.wc.store(addr, data, &mut flushes);
                 let mut retire = issued;
-                let mut actions = Vec::new();
-                for f in flushes {
-                    let (t, acts) = self.emit_flush(issued, f);
-                    retire = retire.max(t);
-                    actions.extend(acts);
+                for f in &flushes {
+                    retire = retire.max(self.emit_flush(issued, f, sink));
                 }
-                StoreOutcome {
-                    issued,
-                    retire,
-                    actions,
-                }
+                self.flush_scratch = flushes;
+                StoreOutcome { issued, retire }
             }
             MemType::Uncacheable => {
                 // UC stores bypass WC and are strongly ordered: issue one
                 // packet/commit per store, serialised.
-                let flush = crate::wc::Flush {
-                    line_addr: addr & !(self.params.wc_buffer_bytes as u64 - 1),
-                    runs: vec![(
-                        (addr & (self.params.wc_buffer_bytes as u64 - 1)) as usize,
-                        data.to_vec(),
-                    )],
-                };
-                let (retire, actions) = self.emit_flush(issued, flush);
+                let line_mask = self.params.wc_buffer_bytes as u64 - 1;
+                let line_addr = addr & !line_mask;
+                let off = (addr & line_mask) as usize;
+                let retire = self.emit_runs(
+                    issued,
+                    line_addr,
+                    data.len() as u64,
+                    once_run(off, data),
+                    sink,
+                );
                 StoreOutcome {
                     issued: retire,
                     retire,
-                    actions,
                 }
             }
             MemType::WriteBack => {
                 // Ordinary cacheable store: local memory only. (A WB store
                 // to a remote-mapped address would be a firmware bug; the
                 // dispose path will reject it if it is not local DRAM.)
-                let (retire, actions) = self.commit_or_send(
+                let retire = self.commit_or_send(
                     issued,
                     addr & !63,
-                    vec![((addr & 63) as usize, data.to_vec())],
-                    false,
+                    once_run((addr & 63) as usize, data),
+                    sink,
                 );
-                StoreOutcome {
-                    issued,
-                    retire,
-                    actions,
-                }
+                StoreOutcome { issued, retire }
             }
         }
     }
@@ -188,35 +285,114 @@ impl Node {
     /// `sfence`: drain WC buffers, wait for all previously flushed stores
     /// to be accepted downstream, pay the serialisation cost, and return
     /// when the core may proceed.
-    pub fn sfence(&mut self, now: SimTime) -> StoreOutcome {
-        let drained = self.wc.fence();
+    pub fn sfence(&mut self, now: SimTime, sink: &mut ActionSink) -> StoreOutcome {
+        let mut drained = std::mem::take(&mut self.flush_scratch);
+        drained.clear();
+        self.wc.fence(&mut drained);
         // Serialises on *all* prior stores: earlier flushes still queued in
         // the absorption stage hold the fence too.
         let mut retire = now.max(self.absorb.next_free());
-        let mut actions = Vec::new();
-        for f in drained {
-            let (t, acts) = self.emit_flush(now, f);
-            retire = retire.max(t);
-            actions.extend(acts);
+        for f in &drained {
+            retire = retire.max(self.emit_flush(now, f, sink));
         }
+        self.flush_scratch = drained;
         retire += self.params.sfence_drain;
         StoreOutcome {
             issued: retire,
             retire,
-            actions,
         }
     }
 
-    /// Turn one WC flush into packets/commits. Returns (retire, actions):
-    /// retire is when the absorption stage accepted the data; the packet
-    /// cuts through to the northbridge at absorption *start*.
-    fn emit_flush(
+    /// Issue a whole message as one call: `len` payload bytes split into
+    /// `pattern.cell_payload`-sized cells at `pattern.cell_stride`,
+    /// optionally followed by a per-cell header store, fenced per the
+    /// pattern. The issue clock chains through every store exactly as a
+    /// caller looping over [`store`](Self::store)/[`sfence`](Self::sfence)
+    /// would chain it, so timing is identical — but the driver loop, its
+    /// per-cell payload buffers, and its per-store action vectors are gone.
+    ///
+    /// A message with `len == 0` still issues one (empty) cell so the
+    /// header store happens — a zero-length eager message is a real
+    /// message.
+    pub fn store_burst(
+        &mut self,
+        now: SimTime,
+        base: u64,
+        pattern: &BurstPattern,
+        len: usize,
+        sink: &mut ActionSink,
+    ) -> StoreOutcome {
+        let cp = pattern.cell_payload;
+        assert!(cp > 0 && cp <= 64, "cells are at most one line");
+        assert!(pattern.header_bytes <= 8, "headers are at most 8 B");
+        let payload = [pattern.payload_fill; 64];
+        let header = [pattern.header_fill; 8];
+        let cells = len.div_ceil(cp).max(1);
+        let mut now = now;
+        let mut retire = now;
+        for c in 0..cells {
+            let lane = (c as u64) * pattern.cell_stride;
+            let cell_base = if pattern.wrap_bytes > 0 {
+                base + lane % pattern.wrap_bytes
+            } else {
+                base + lane
+            };
+            let chunk = cp.min(len - (c * cp).min(len));
+            if chunk > 0 {
+                let out = self.store(now, cell_base, &payload[..chunk], sink);
+                now = out.issued;
+                retire = retire.max(out.retire);
+            }
+            if pattern.header_bytes > 0 {
+                let out = self.store(
+                    now,
+                    cell_base + cp as u64,
+                    &header[..pattern.header_bytes],
+                    sink,
+                );
+                now = out.issued;
+                retire = retire.max(out.retire);
+            }
+            if pattern.fence_every > 0 && (c + 1) % pattern.fence_every == 0 {
+                let f = self.sfence(now, sink);
+                now = f.retire;
+                retire = retire.max(f.retire);
+            }
+        }
+        if pattern.final_fence {
+            let f = self.sfence(now, sink);
+            retire = retire.max(f.retire);
+        }
+        StoreOutcome {
+            issued: now,
+            retire,
+        }
+    }
+
+    /// Turn one WC flush into packets/commits. Returns the retire time —
+    /// when the absorption stage accepted the data; the packet cuts
+    /// through to the northbridge at absorption *start*.
+    fn emit_flush(&mut self, at: SimTime, flush: &Flush, sink: &mut ActionSink) -> SimTime {
+        self.emit_runs(
+            at,
+            flush.line_addr,
+            flush.payload_bytes() as u64,
+            flush.runs(),
+            sink,
+        )
+    }
+
+    /// Absorption-stage accounting shared by WC flushes and UC stores.
+    /// `bytes` must equal the total length of `runs`.
+    fn emit_runs<'a>(
         &mut self,
         at: SimTime,
-        flush: crate::wc::Flush,
-    ) -> (SimTime, Vec<Action>) {
+        line_addr: u64,
+        bytes: u64,
+        runs: impl Iterator<Item = (usize, &'a [u8])>,
+        sink: &mut ActionSink,
+    ) -> SimTime {
         let t_wc = at + self.params.wc_flush;
-        let bytes: u64 = flush.payload_bytes() as u64;
         // Absorption-window backpressure: acceptance stalls until the
         // oldest absorbed line has reached the wire.
         let mut gate = t_wc;
@@ -226,82 +402,102 @@ impl Node {
             gate = gate.max(oldest);
         }
         let tr = self.absorb.transfer(gate, bytes);
-        let (wire_time, actions) = self.commit_or_send(tr.start, flush.line_addr, flush.runs, true);
+        let before = sink.len();
+        let wire_time = self.commit_or_send(tr.start, line_addr, runs, sink);
         // Track in-flight for capacity backpressure (only traffic that
         // leaves on a link occupies the window; local commits drain fast).
-        if actions
+        if sink.as_slice()[before..]
             .iter()
             .any(|a| matches!(a, Action::PacketOut { .. }))
         {
             self.inflight.push_back(wire_time);
             self.inflight_bytes += self.params.wc_buffer_bytes as u64;
         }
-        (tr.sent, actions)
+        tr.sent
     }
 
     /// Dispose runs of bytes at `line_addr` through the northbridge: local
-    /// commit or posted-write packets out a link. Returns (time the last
-    /// packet entered the wire / commit finished, actions).
-    fn commit_or_send(
+    /// commit or posted-write packets out a link. Returns the time the
+    /// last packet entered the wire / commit finished.
+    fn commit_or_send<'a>(
         &mut self,
         at: SimTime,
         line_addr: u64,
-        runs: Vec<(usize, Vec<u8>)>,
-        _from_wc: bool,
-    ) -> (SimTime, Vec<Action>) {
-        let mut actions = Vec::new();
+        runs: impl Iterator<Item = (usize, &'a [u8])>,
+        sink: &mut ActionSink,
+    ) -> SimTime {
         let mut done = at;
         for (off, bytes) in runs {
             let addr = line_addr + off as u64;
-            let pkt = Packet::posted_write(addr, Bytes::from(bytes.clone()));
+            let pkt = Packet::posted_write(addr, self.pool.alloc(bytes));
             match self.nb.dispose(&pkt, Source::Core) {
                 Ok(Disposition::LocalMemory { offset, .. }) => {
-                    let visible = self.mem.write(at + self.params.nb_tx, offset, &bytes);
+                    let visible = self.mem.write(at + self.params.nb_tx, offset, bytes);
                     done = done.max(visible);
-                    actions.push(Action::LocalCommit { offset, visible });
+                    sink.push(Action::LocalCommit { offset, visible });
                 }
                 Ok(Disposition::Forward { link }) => {
                     let t_nb = at + self.params.nb_tx;
-                    let auto = self.auto_credit;
-                    let tx = self.links[link.0 as usize]
-                        .as_mut()
-                        .unwrap_or_else(|| panic!("store routed to unattached link {link:?}"));
-                    tx.enqueue(pkt);
-                    let dels = tx.pump(t_nb);
-                    if auto {
-                        for d in &dels {
-                            let mut ret = tcc_ht::flow::CreditReturn::default();
-                            ret.cmd[d.packet.vc().index()] = 1;
-                            if !d.packet.data.is_empty() {
-                                ret.data[d.packet.vc().index()] = 1;
-                            }
-                            tx.credit_return(ret);
-                        }
-                    }
-                    for d in dels {
-                        done = done.max(d.arrival);
-                        actions.push(Action::PacketOut {
-                            link,
-                            packet: d.packet,
-                            arrival: d.arrival,
-                        });
-                    }
+                    done = done.max(self.transmit(link, pkt, t_nb, sink));
                 }
-                Ok(Disposition::Filtered { .. }) => actions.push(Action::BroadcastFiltered),
+                Ok(Disposition::Filtered { .. }) => sink.push(Action::BroadcastFiltered),
                 Err(e) => panic!("store to {addr:#x} unroutable: {e:?}"),
             }
         }
-        (done, actions)
+        done
     }
 
-    /// A packet arrives on `link` at `now` — the receive path.
+    /// Enqueue `pkt` on `link`, pump the transmitter at `t`, return
+    /// credits if auto-credit is on, and sink a `PacketOut` per delivery.
+    /// Returns the latest arrival time.
+    fn transmit(
+        &mut self,
+        link: LinkId,
+        pkt: Packet,
+        t: SimTime,
+        sink: &mut ActionSink,
+    ) -> SimTime {
+        let auto = self.auto_credit;
+        let mut dels = std::mem::take(&mut self.dels_scratch);
+        dels.clear();
+        let tx = self.links[link.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("packet routed to unattached link {link:?}"));
+        tx.send_into(t, pkt, &mut dels);
+        if auto {
+            for d in &dels {
+                let mut ret = tcc_ht::flow::CreditReturn::default();
+                ret.cmd[d.packet.vc().index()] = 1;
+                if !d.packet.data.is_empty() {
+                    ret.data[d.packet.vc().index()] = 1;
+                }
+                tx.credit_return(ret);
+            }
+        }
+        let mut done = t;
+        for d in dels.drain(..) {
+            done = done.max(d.arrival);
+            sink.push(Action::PacketOut {
+                link,
+                packet: d.packet,
+                arrival: d.arrival,
+            });
+        }
+        self.dels_scratch = dels;
+        done
+    }
+
+    /// A packet arrives on `link` at `now` — the receive path. Follow-on
+    /// consequences (DRAM commit, forwarded packets) are appended to
+    /// `sink`.
     pub fn deliver(
         &mut self,
         now: SimTime,
         link: LinkId,
         packet: Packet,
         coherent: bool,
-    ) -> Result<Vec<Action>, NbError> {
+        sink: &mut ActionSink,
+    ) -> Result<(), NbError> {
         let src = Source::Link { id: link, coherent };
         match self.nb.dispose(&packet, src)? {
             Disposition::LocalMemory { offset, bridged } => {
@@ -311,36 +507,18 @@ impl Node {
                     self.params.xbar_forward
                 };
                 let visible = self.mem.write(now + lat, offset, &packet.data);
-                Ok(vec![Action::LocalCommit { offset, visible }])
+                sink.push(Action::LocalCommit { offset, visible });
+                Ok(())
             }
             Disposition::Forward { link: out } => {
                 let t = now + self.params.xbar_forward;
-                let auto = self.auto_credit;
-                let tx = self.links[out.0 as usize]
-                    .as_mut()
-                    .expect("forward to unattached link");
-                tx.enqueue(packet);
-                let dels = tx.pump(t);
-                if auto {
-                    for d in &dels {
-                        let mut ret = tcc_ht::flow::CreditReturn::default();
-                        ret.cmd[d.packet.vc().index()] = 1;
-                        if !d.packet.data.is_empty() {
-                            ret.data[d.packet.vc().index()] = 1;
-                        }
-                        tx.credit_return(ret);
-                    }
-                }
-                Ok(dels
-                    .into_iter()
-                    .map(|d| Action::PacketOut {
-                        link: out,
-                        packet: d.packet,
-                        arrival: d.arrival,
-                    })
-                    .collect())
+                self.transmit(out, packet, t, sink);
+                Ok(())
             }
-            Disposition::Filtered { .. } => Ok(vec![Action::BroadcastFiltered]),
+            Disposition::Filtered { .. } => {
+                sink.push(Action::BroadcastFiltered);
+                Ok(())
+            }
         }
     }
 
@@ -359,20 +537,31 @@ impl Node {
         self.inflight.clear();
         self.inflight_bytes = 0;
         self.mem.quiesce();
-        for slot in self.links.iter_mut() {
-            if let Some(tx) = slot {
-                let cfg = tx.config;
-                tx.warm_reset(cfg);
-            }
+        for tx in self.links.iter_mut().flatten() {
+            let cfg = tx.config;
+            tx.warm_reset(cfg);
         }
-        let _ = self.wc.fence(); // drop any residue held in WC buffers
+        // Drop any residue held in WC buffers.
+        let mut drained = std::mem::take(&mut self.flush_scratch);
+        drained.clear();
+        self.wc.fence(&mut drained);
+        drained.clear();
+        self.flush_scratch = drained;
     }
+}
+
+/// A single-run iterator for the UC/WB store paths (the run may be longer
+/// than the remainder of the line; the packet carries it whole, exactly
+/// as the pre-pool implementation did).
+fn once_run(off: usize, data: &[u8]) -> impl Iterator<Item = (usize, &[u8])> + Clone {
+    std::iter::once((off, data))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::route::{symmetric, Route};
+    use bytes::Bytes;
 
     const TCC: LinkId = LinkId(2);
 
@@ -380,7 +569,9 @@ mod tests {
     /// global 0x1_0000, remote window above it out the TCC link.
     fn tcc_node() -> Node {
         let mut n = Node::new(NodeId(0), 1 << 20, UarchParams::shanghai());
-        n.nb.addr_map.add_dram(0x1_0000, 0x2_0000, NodeId(0)).unwrap();
+        n.nb.addr_map
+            .add_dram(0x1_0000, 0x2_0000, NodeId(0))
+            .unwrap();
         n.nb.addr_map
             .add_mmio(0x2_0000, 0x10_0000, NodeId(0), TCC)
             .unwrap();
@@ -395,15 +586,17 @@ mod tests {
     #[test]
     fn remote_wc_store_emits_packet_on_line_fill() {
         let mut n = tcc_node();
-        let mut actions = Vec::new();
+        let mut sink = ActionSink::new();
         for i in 0..8u64 {
-            let o = n.store(SimTime::ZERO, 0x2_0000 + i * 8, &[i as u8; 8]);
-            actions.extend(o.actions);
+            n.store(SimTime::ZERO, 0x2_0000 + i * 8, &[i as u8; 8], &mut sink);
         }
-        let pkts: Vec<_> = actions
+        let pkts: Vec<_> = sink
+            .as_slice()
             .iter()
             .filter_map(|a| match a {
-                Action::PacketOut { packet, arrival, .. } => Some((packet, *arrival)),
+                Action::PacketOut {
+                    packet, arrival, ..
+                } => Some((packet, *arrival)),
                 _ => None,
             })
             .collect();
@@ -419,8 +612,9 @@ mod tests {
     #[test]
     fn local_uc_store_commits_to_dram() {
         let mut n = tcc_node();
-        let o = n.store(SimTime::ZERO, 0x1_0040, &[9u8; 8]);
-        match &o.actions[..] {
+        let mut sink = ActionSink::new();
+        n.store(SimTime::ZERO, 0x1_0040, &[9u8; 8], &mut sink);
+        match sink.as_slice() {
             [Action::LocalCommit { offset, visible }] => {
                 assert_eq!(*offset, 0x40);
                 assert!(visible.nanos() > 0.0);
@@ -433,11 +627,12 @@ mod tests {
     #[test]
     fn partial_line_needs_fence() {
         let mut n = tcc_node();
-        let o = n.store(SimTime::ZERO, 0x2_0000, &[1u8; 8]);
-        assert!(o.actions.is_empty(), "held in WC buffer");
-        let f = n.sfence(SimTime(100_000));
-        let pkts = f
-            .actions
+        let mut sink = ActionSink::new();
+        n.store(SimTime::ZERO, 0x2_0000, &[1u8; 8], &mut sink);
+        assert!(sink.is_empty(), "held in WC buffer");
+        let f = n.sfence(SimTime(100_000), &mut sink);
+        let pkts = sink
+            .as_slice()
             .iter()
             .filter(|a| matches!(a, Action::PacketOut { .. }))
             .count();
@@ -446,11 +641,56 @@ mod tests {
     }
 
     #[test]
+    fn store_burst_matches_manual_loop() {
+        // Two identical nodes: one driven by store_burst, one by the
+        // equivalent store()/sfence() loop. Times and memory must agree
+        // exactly.
+        let pattern = BurstPattern {
+            cell_payload: 64,
+            cell_stride: 72,
+            header_bytes: 8,
+            payload_fill: 0xD5,
+            header_fill: 0xAD,
+            fence_every: 1,
+            final_fence: false,
+            wrap_bytes: 0,
+        };
+        let len = 200; // 4 cells, short tail
+        let mut burst_node = tcc_node();
+        let mut sink = ActionSink::new();
+        let out = burst_node.store_burst(SimTime::ZERO, 0x2_0000, &pattern, len, &mut sink);
+
+        let mut loop_node = tcc_node();
+        let mut loop_sink = ActionSink::new();
+        let mut now = SimTime::ZERO;
+        let mut retire = now;
+        let cells = len.div_ceil(64);
+        for c in 0..cells {
+            let base = 0x2_0000 + (c as u64) * 72;
+            let chunk = 64.min(len - c * 64);
+            let o = loop_node.store(now, base, &[0xD5u8; 64][..chunk], &mut loop_sink);
+            now = o.issued;
+            retire = retire.max(o.retire);
+            let o = loop_node.store(now, base + 64, &[0xADu8; 8], &mut loop_sink);
+            now = o.issued;
+            retire = retire.max(o.retire);
+            let f = loop_node.sfence(now, &mut loop_sink);
+            now = f.retire;
+            retire = retire.max(f.retire);
+        }
+        assert_eq!(out.issued, now);
+        assert_eq!(out.retire, retire);
+        assert_eq!(sink.len(), loop_sink.len());
+    }
+
+    #[test]
     fn delivery_lands_in_dram_with_bridge_latency() {
         let mut n = tcc_node();
         let pkt = Packet::posted_write(0x1_0100, Bytes::from(vec![0x5A; 64]));
-        let acts = n.deliver(SimTime::ZERO, TCC, pkt, false).unwrap();
-        match &acts[..] {
+        let mut sink = ActionSink::new();
+        n.deliver(SimTime::ZERO, TCC, pkt, false, &mut sink)
+            .unwrap();
+        match sink.as_slice() {
             [Action::LocalCommit { offset, visible }] => {
                 assert_eq!(*offset, 0x100);
                 // nb_rx(20) + DRAM ser(~6) + commit(10) ≈ 36 ns.
@@ -475,14 +715,16 @@ mod tests {
         // 1 MB weakly-ordered stream: retire-rate far above capacity must
         // converge to the link rate (~2.82 GB/s goodput for 64 B packets).
         let mut n = tcc_node();
+        let mut sink = ActionSink::new();
         let total: u64 = 1 << 20;
         let mut now = SimTime::ZERO;
         let mut retire = SimTime::ZERO;
         for i in 0..total / 64 {
             let addr = 0x2_0000 + (i * 64) % 0x4_0000; // reuse window
-            let o = n.store(now, addr, &[0u8; 64]);
+            let o = n.store(now, addr, &[0u8; 64], &mut sink);
             now = o.issued;
             retire = o.retire;
+            sink.clear();
         }
         let rate = total as f64 / (retire.picos() as f64 / 1e12) / 1e6;
         // Above link goodput because the tail sits in buffers, but below
@@ -497,26 +739,49 @@ mod tests {
         // retire rate is the absorb rate (~5.5 GB/s), not the link rate —
         // the Fig. 6 artifact.
         let mut n = tcc_node();
+        let mut sink = ActionSink::new();
         let total: u64 = 128 << 10;
         let mut now = SimTime::ZERO;
         let mut retire = SimTime::ZERO;
         for i in 0..total / 64 {
-            let o = n.store(now, 0x2_0000 + i * 64, &[0u8; 64]);
+            let o = n.store(now, 0x2_0000 + i * 64, &[0u8; 64], &mut sink);
             now = o.issued;
             retire = o.retire;
+            sink.clear();
         }
         let rate = total as f64 / (retire.picos() as f64 / 1e12) / 1e6;
         assert!((rate - 5500.0).abs() < 300.0, "rate = {rate:.0} MB/s");
     }
 
     #[test]
+    fn steady_state_stream_recycles_payload_slabs() {
+        let mut n = tcc_node();
+        let mut sink = ActionSink::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..4096u64 {
+            let addr = 0x2_0000 + (i * 64) % 0x4_0000;
+            let o = n.store(now, addr, &[0u8; 64], &mut sink);
+            now = o.issued;
+            sink.clear(); // dropping the actions releases the payloads
+        }
+        assert!(
+            n.pool.slots() <= 4,
+            "pool stays small: {} slabs",
+            n.pool.slots()
+        );
+        assert!(n.pool.served > 4000);
+    }
+
+    #[test]
     fn quiesce_resets_pipeline() {
         let mut n = tcc_node();
+        let mut sink = ActionSink::new();
         for i in 0..1000u64 {
-            n.store(SimTime::ZERO, 0x2_0000 + i * 64, &[0u8; 64]);
+            n.store(SimTime::ZERO, 0x2_0000 + i * 64, &[0u8; 64], &mut sink);
+            sink.clear();
         }
         n.quiesce();
-        let o = n.store(SimTime::ZERO, 0x2_0000, &[0u8; 64]);
+        let o = n.store(SimTime::ZERO, 0x2_0000, &[0u8; 64], &mut sink);
         assert!(o.retire.nanos() < 100.0, "fresh pipeline");
     }
 }

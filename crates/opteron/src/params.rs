@@ -96,8 +96,8 @@ impl UarchParams {
             // Copy-loop issue rate with the source in cache.
             store_issue_bytes_per_sec: 12_800_000_000,
 
-            nb_tx: Duration::from_picos(20_000),  // 20 ns
-            nb_rx: Duration::from_picos(20_000),  // 20 ns
+            nb_tx: Duration::from_picos(20_000), // 20 ns
+            nb_rx: Duration::from_picos(20_000), // 20 ns
             xbar_forward: Duration::from_picos(8_000),
             srq_entries: 24,
 
@@ -121,8 +121,8 @@ impl UarchParams {
             l2_bytes: 512 * 1024,
             l3_bytes: 4 * 1024 * 1024, // the paper's parts: 4 MB shared L3
             line_bytes: 64,
-            l1_latency: Duration::from_picos(1_100),  // 3 cycles
-            l2_latency: Duration::from_picos(5_400),  // 15 cycles
+            l1_latency: Duration::from_picos(1_100), // 3 cycles
+            l2_latency: Duration::from_picos(5_400), // 15 cycles
             l3_latency: Duration::from_picos(17_000), // ~48 cycles
             dram_read: Duration::from_picos(60_000),
         }
@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(p.wc_buffers, 8);
         assert_eq!(p.wc_buffer_bytes, 64);
         assert_eq!(p.l3_bytes, 4 << 20);
-        assert!(p.uc_read > p.dram_read, "UC read bypasses caches and pays NB overhead");
+        assert!(
+            p.uc_read > p.dram_read,
+            "UC read bypasses caches and pays NB overhead"
+        );
     }
 
     #[test]

@@ -42,9 +42,7 @@ impl Default for RoutingTable {
 
 impl RoutingTable {
     pub fn new() -> Self {
-        RoutingTable {
-            entries: [None; 8],
-        }
+        RoutingTable { entries: [None; 8] }
     }
 
     pub fn set(&mut self, node: NodeId, route: NodeRoute) {
@@ -130,10 +128,7 @@ mod tests {
                 broadcast_links: 0b0101, // links 0 and 2
             },
         );
-        assert_eq!(
-            t.broadcast_links(NodeId(0)),
-            vec![LinkId(0), LinkId(2)]
-        );
+        assert_eq!(t.broadcast_links(NodeId(0)), vec![LinkId(0), LinkId(2)]);
         assert!(t.broadcasts_reach(LinkId(2)));
         assert!(!t.broadcasts_reach(LinkId(1)));
     }

@@ -8,32 +8,90 @@
 //! writes on the HT link — this coalescing is what gives TCCluster its
 //! packet efficiency (paper §VI: "intensive use of the write combining
 //! capability to generate maximum sized HyperTransport packets").
+//!
+//! `Flush` is a fixed-size value (the line image plus its valid bitmap)
+//! and `store`/`fence` append into a caller-provided scratch vector, so
+//! the store-issue hot path performs no heap allocation in steady state.
 
-/// One drained buffer: a run of bytes to be turned into HT packet(s).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Bitmask covering bytes `[off, off + len)` of a 64 B line.
+#[inline]
+fn span_mask(off: usize, len: usize) -> u64 {
+    debug_assert!(off + len <= 64);
+    if len == 0 {
+        return 0;
+    }
+    (u64::MAX >> (64 - len)) << off
+}
+
+/// One drained buffer: the 64 B line image plus which bytes were written.
+/// Contiguous valid spans are exposed as runs via [`Flush::runs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flush {
     /// Line-aligned base address of the buffer.
     pub line_addr: u64,
-    /// Contiguous runs of (offset-in-line, bytes) that were written.
-    pub runs: Vec<(usize, Vec<u8>)>,
+    /// Bit `i` set means byte `i` of the line was written.
+    valid: u64,
+    data: [u8; 64],
 }
 
 impl Flush {
+    /// A flush holding a single contiguous run (the uncacheable-store
+    /// path, which bypasses the WC buffers entirely).
+    pub fn single_run(line_addr: u64, off: usize, bytes: &[u8]) -> Flush {
+        let mut f = Flush {
+            line_addr,
+            valid: span_mask(off, bytes.len()),
+            data: [0; 64],
+        };
+        f.data[off..off + bytes.len()].copy_from_slice(bytes);
+        f
+    }
+
+    /// Iterate the contiguous runs of (offset-in-line, bytes) written.
+    pub fn runs(&self) -> Runs<'_> {
+        Runs {
+            flush: self,
+            rem: self.valid,
+        }
+    }
+
     /// Whether the whole 64 B line was written (single max-size packet).
     pub fn is_full_line(&self, line_bytes: usize) -> bool {
-        self.runs.len() == 1 && self.runs[0].0 == 0 && self.runs[0].1.len() == line_bytes
+        line_bytes == 64 && self.valid == u64::MAX
     }
 
     /// Total payload bytes.
     pub fn payload_bytes(&self) -> usize {
-        self.runs.iter().map(|(_, d)| d.len()).sum()
+        self.valid.count_ones() as usize
+    }
+}
+
+/// Iterator over the contiguous valid spans of a [`Flush`].
+#[derive(Clone)]
+pub struct Runs<'a> {
+    flush: &'a Flush,
+    /// Valid bits not yet yielded.
+    rem: u64,
+}
+
+impl<'a> Iterator for Runs<'a> {
+    type Item = (usize, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rem == 0 {
+            return None;
+        }
+        let start = self.rem.trailing_zeros() as usize;
+        let len = (self.rem >> start).trailing_ones() as usize;
+        self.rem &= !span_mask(start, len);
+        Some((start, &self.flush.data[start..start + len]))
     }
 }
 
 #[derive(Debug, Clone)]
 struct Buffer {
     line_addr: u64,
-    valid: [bool; 64],
+    valid: u64,
     data: [u8; 64],
     /// Allocation order for FIFO eviction.
     age: u64,
@@ -41,29 +99,15 @@ struct Buffer {
 
 impl Buffer {
     fn flush(&self) -> Flush {
-        let mut runs: Vec<(usize, Vec<u8>)> = Vec::new();
-        let mut i = 0;
-        while i < 64 {
-            if self.valid[i] {
-                let start = i;
-                let mut bytes = Vec::new();
-                while i < 64 && self.valid[i] {
-                    bytes.push(self.data[i]);
-                    i += 1;
-                }
-                runs.push((start, bytes));
-            } else {
-                i += 1;
-            }
-        }
         Flush {
             line_addr: self.line_addr,
-            runs,
+            valid: self.valid,
+            data: self.data,
         }
     }
 
     fn is_full(&self) -> bool {
-        self.valid.iter().all(|&v| v)
+        self.valid == u64::MAX
     }
 }
 
@@ -100,11 +144,10 @@ impl WcBuffers {
         addr & !(self.line_bytes as u64 - 1)
     }
 
-    /// Apply one store. Returns any buffers drained as a consequence
-    /// (a filled buffer, or an eviction to make room).
-    pub fn store(&mut self, addr: u64, data: &[u8]) -> Vec<Flush> {
+    /// Apply one store, appending any buffers drained as a consequence
+    /// (a filled buffer, or an eviction to make room) to `out`.
+    pub fn store(&mut self, addr: u64, data: &[u8], out: &mut Vec<Flush>) {
         assert!(!data.is_empty());
-        let mut out = Vec::new();
         let mut addr = addr;
         let mut data = data;
         self.stores += 1;
@@ -113,15 +156,13 @@ impl WcBuffers {
             let line = self.line_of(addr);
             let off = (addr - line) as usize;
             let n = data.len().min(self.line_bytes - off);
-            out.extend(self.store_within_line(line, off, &data[..n]));
+            self.store_within_line(line, off, &data[..n], out);
             addr += n as u64;
             data = &data[n..];
         }
-        out
     }
 
-    fn store_within_line(&mut self, line: u64, off: usize, data: &[u8]) -> Vec<Flush> {
-        let mut out = Vec::new();
+    fn store_within_line(&mut self, line: u64, off: usize, data: &[u8], out: &mut Vec<Flush>) {
         let idx = match self.buffers.iter().position(|b| b.line_addr == line) {
             Some(i) => i,
             None => {
@@ -140,7 +181,7 @@ impl WcBuffers {
                 }
                 self.buffers.push(Buffer {
                     line_addr: line,
-                    valid: [false; 64],
+                    valid: 0,
                     data: [0; 64],
                     age: self.next_age,
                 });
@@ -150,24 +191,25 @@ impl WcBuffers {
         };
         let b = &mut self.buffers[idx];
         b.data[off..off + data.len()].copy_from_slice(data);
-        for v in &mut b.valid[off..off + data.len()] {
-            *v = true;
-        }
+        b.valid |= span_mask(off, data.len());
         if b.is_full() {
             let b = self.buffers.swap_remove(idx);
             self.flushes_full += 1;
             out.push(b.flush());
         }
-        out
     }
 
-    /// Serialising flush (`sfence`): drain every buffer, oldest first.
-    pub fn fence(&mut self) -> Vec<Flush> {
-        self.buffers.sort_by_key(|b| b.age);
-        let drained: Vec<Flush> = self.buffers.iter().map(Buffer::flush).collect();
-        self.flushes_fence += drained.len() as u64;
+    /// Serialising flush (`sfence`): drain every buffer, oldest first,
+    /// appending to `out`.
+    pub fn fence(&mut self, out: &mut Vec<Flush>) {
+        // Ages are unique, so an unstable sort is deterministic (and
+        // allocation-free, unlike the stable sort).
+        self.buffers.sort_unstable_by_key(|b| b.age);
+        for b in &self.buffers {
+            out.push(b.flush());
+            self.flushes_fence += 1;
+        }
         self.buffers.clear();
-        drained
     }
 
     pub fn occupied(&self) -> usize {
@@ -183,21 +225,26 @@ mod tests {
         WcBuffers::new(8, 64)
     }
 
+    fn runs_of(f: &Flush) -> Vec<(usize, Vec<u8>)> {
+        f.runs().map(|(off, b)| (off, b.to_vec())).collect()
+    }
+
     #[test]
     fn full_line_flushes_immediately() {
         let mut w = wc();
         let mut flushes = Vec::new();
         // Eight 8-byte stores fill one line.
         for i in 0..8u64 {
-            flushes.extend(w.store(0x1000 + i * 8, &[i as u8; 8]));
+            w.store(0x1000 + i * 8, &[i as u8; 8], &mut flushes);
         }
         assert_eq!(flushes.len(), 1);
         let f = &flushes[0];
         assert_eq!(f.line_addr, 0x1000);
         assert!(f.is_full_line(64));
         assert_eq!(f.payload_bytes(), 64);
-        assert_eq!(f.runs[0].1[0], 0);
-        assert_eq!(f.runs[0].1[63], 7);
+        let runs = runs_of(f);
+        assert_eq!(runs[0].1[0], 0);
+        assert_eq!(runs[0].1[63], 7);
         assert_eq!(w.occupied(), 0);
         assert_eq!(w.flushes_full, 1);
     }
@@ -205,33 +252,42 @@ mod tests {
     #[test]
     fn partial_line_waits_for_fence() {
         let mut w = wc();
-        assert!(w.store(0x2000, &[1, 2, 3, 4]).is_empty());
+        let mut flushes = Vec::new();
+        w.store(0x2000, &[1, 2, 3, 4], &mut flushes);
+        assert!(flushes.is_empty());
         assert_eq!(w.occupied(), 1);
-        let drained = w.fence();
+        let mut drained = Vec::new();
+        w.fence(&mut drained);
         assert_eq!(drained.len(), 1);
-        assert_eq!(drained[0].runs, vec![(0, vec![1, 2, 3, 4])]);
+        assert_eq!(runs_of(&drained[0]), vec![(0, vec![1, 2, 3, 4])]);
         assert_eq!(w.occupied(), 0);
     }
 
     #[test]
     fn sparse_writes_become_multiple_runs() {
         let mut w = wc();
-        w.store(0x3000, &[0xAA; 8]);
-        w.store(0x3000 + 32, &[0xBB; 8]);
-        let drained = w.fence();
-        assert_eq!(drained[0].runs.len(), 2);
-        assert_eq!(drained[0].runs[0], (0, vec![0xAA; 8]));
-        assert_eq!(drained[0].runs[1], (32, vec![0xBB; 8]));
+        let mut sink = Vec::new();
+        w.store(0x3000, &[0xAA; 8], &mut sink);
+        w.store(0x3000 + 32, &[0xBB; 8], &mut sink);
+        let mut drained = Vec::new();
+        w.fence(&mut drained);
+        let runs = runs_of(&drained[0]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], (0, vec![0xAA; 8]));
+        assert_eq!(runs[1], (32, vec![0xBB; 8]));
     }
 
     #[test]
     fn ninth_line_evicts_oldest() {
         let mut w = wc();
+        let mut sink = Vec::new();
         for i in 0..8u64 {
-            w.store(0x1000 + i * 64, &[i as u8]); // 8 partial buffers
+            w.store(0x1000 + i * 64, &[i as u8], &mut sink); // 8 partial buffers
         }
+        assert!(sink.is_empty());
         assert_eq!(w.occupied(), 8);
-        let flushed = w.store(0x1000 + 8 * 64, &[8]);
+        let mut flushed = Vec::new();
+        w.store(0x1000 + 8 * 64, &[8], &mut flushed);
         assert_eq!(flushed.len(), 1);
         assert_eq!(flushed[0].line_addr, 0x1000, "oldest (first) evicted");
         assert_eq!(w.occupied(), 8);
@@ -241,9 +297,11 @@ mod tests {
     #[test]
     fn straddling_store_splits_lines() {
         let mut w = wc();
+        let mut sink = Vec::new();
         // 16 bytes starting 8 before a line boundary.
-        w.store(0x1000 + 56, &[0xCC; 16]);
-        let drained = w.fence();
+        w.store(0x1000 + 56, &[0xCC; 16], &mut sink);
+        let mut drained = Vec::new();
+        w.fence(&mut drained);
         assert_eq!(drained.len(), 2);
         let mut lines: Vec<u64> = drained.iter().map(|f| f.line_addr).collect();
         lines.sort_unstable();
@@ -254,21 +312,33 @@ mod tests {
     #[test]
     fn overwrite_within_buffer_keeps_latest() {
         let mut w = wc();
-        w.store(0x4000, &[1, 1, 1, 1]);
-        w.store(0x4000, &[9, 9]);
-        let drained = w.fence();
-        assert_eq!(drained[0].runs, vec![(0, vec![9, 9, 1, 1])]);
+        let mut sink = Vec::new();
+        w.store(0x4000, &[1, 1, 1, 1], &mut sink);
+        w.store(0x4000, &[9, 9], &mut sink);
+        let mut drained = Vec::new();
+        w.fence(&mut drained);
+        assert_eq!(runs_of(&drained[0]), vec![(0, vec![9, 9, 1, 1])]);
     }
 
     #[test]
     fn fence_drains_in_allocation_order() {
         let mut w = wc();
-        w.store(0x9000, &[1]);
-        w.store(0x5000, &[2]);
-        w.store(0x7000, &[3]);
-        let drained = w.fence();
+        let mut sink = Vec::new();
+        w.store(0x9000, &[1], &mut sink);
+        w.store(0x5000, &[2], &mut sink);
+        w.store(0x7000, &[3], &mut sink);
+        let mut drained = Vec::new();
+        w.fence(&mut drained);
         let lines: Vec<u64> = drained.iter().map(|f| f.line_addr).collect();
         assert_eq!(lines, vec![0x9000, 0x5000, 0x7000], "FIFO order");
+    }
+
+    #[test]
+    fn single_run_flush_reports_span() {
+        let f = Flush::single_run(0x6000, 8, &[0xEE; 4]);
+        assert_eq!(runs_of(&f), vec![(8, vec![0xEE; 4])]);
+        assert_eq!(f.payload_bytes(), 4);
+        assert!(!f.is_full_line(64));
     }
 
     #[test]
@@ -278,7 +348,7 @@ mod tests {
         let mut w = wc();
         let mut flushes = Vec::new();
         for i in 0..512u64 {
-            flushes.extend(w.store(0x8000 + i * 8, &[0u8; 8]));
+            w.store(0x8000 + i * 8, &[0u8; 8], &mut flushes);
         }
         assert_eq!(flushes.len(), 64);
         assert!(flushes.iter().all(|f| f.is_full_line(64)));

@@ -20,24 +20,26 @@ proptest! {
         let mut wc = WcBuffers::new(8, 64);
         let mut image = vec![None::<u8>; 2048];
         let mut replay = vec![None::<u8>; 2048];
-        let mut apply = |flushes: Vec<tcc_opteron::wc::Flush>, replay: &mut Vec<Option<u8>>| {
-            for f in flushes {
-                for (off, bytes) in f.runs {
+        let apply = |flushes: &mut Vec<tcc_opteron::wc::Flush>, replay: &mut Vec<Option<u8>>| {
+            for f in flushes.drain(..) {
+                for (off, bytes) in f.runs() {
                     for (i, b) in bytes.iter().enumerate() {
                         replay[f.line_addr as usize + off + i] = Some(*b);
                     }
                 }
             }
         };
+        let mut fl = Vec::new();
         for (addr, len, val) in stores {
             let data = vec![val; len];
             for i in 0..len {
                 image[addr as usize + i] = Some(val);
             }
-            let fl = wc.store(addr, &data);
-            apply(fl, &mut replay);
+            wc.store(addr, &data, &mut fl);
+            apply(&mut fl, &mut replay);
         }
-        apply(wc.fence(), &mut replay);
+        wc.fence(&mut fl);
+        apply(&mut fl, &mut replay);
         prop_assert_eq!(image, replay);
     }
 
@@ -128,11 +130,13 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut prev_retire = SimTime::ZERO;
         let mut addr = 0x2_0000u64;
+        let mut sink = tcc_opteron::ActionSink::new();
         for s in sizes {
-            let out = n.store(now, addr, &vec![0u8; s]);
+            sink.clear();
+            let out = n.store(now, addr, &vec![0u8; s], &mut sink);
             prop_assert!(out.issued >= now, "issue precedes request");
             prop_assert!(out.retire >= prev_retire.min(out.issued));
-            for a in &out.actions {
+            for a in sink.as_slice() {
                 if let tcc_opteron::Action::PacketOut { arrival, .. } = a {
                     prop_assert!(*arrival >= out.issued);
                 }

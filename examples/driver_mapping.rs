@@ -52,7 +52,9 @@ fn main() {
     let readable_remote = bad.mmap(
         0x1000_0000,
         PAGE,
-        Backing::Remote { global_addr: spec.node_base(1, 0) },
+        Backing::Remote {
+            global_addr: spec.node_base(1, 0),
+        },
         Prot::RW,
         CacheAttr::WriteCombining,
     );

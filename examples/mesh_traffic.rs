@@ -59,8 +59,19 @@ fn main() {
     );
     // Sender-side measured bandwidth is hop-independent (posted writes
     // stream; only latency grows with distance).
-    let near_bw = sim.stream_bandwidth(0, spec.proc_index(1, 0), 64 << 10, SendMode::WeaklyOrdered, 5);
+    let near_bw = sim.stream_bandwidth(
+        0,
+        spec.proc_index(1, 0),
+        64 << 10,
+        SendMode::WeaklyOrdered,
+        5,
+    );
     println!("adjacent supernode:          64 KB messages at {near_bw:.0} MB/s");
-    assert!((bw - near_bw).abs() / near_bw < 0.05, "streaming bw must not depend on hops");
-    println!("\nmesh traffic study OK — bandwidth is distance-independent, latency is ~linear in hops");
+    assert!(
+        (bw - near_bw).abs() / near_bw < 0.05,
+        "streaming bw must not depend on hops"
+    );
+    println!(
+        "\nmesh traffic study OK — bandwidth is distance-independent, latency is ~linear in hops"
+    );
 }

@@ -52,14 +52,14 @@ fn main() {
 
     let expected = (RANKS * SAMPLES_PER_RANK) as f64;
     for (r, (total, _, _)) in results.iter().enumerate() {
-        assert_eq!(
-            *total, expected,
-            "rank {r} sees an incomplete histogram"
-        );
+        assert_eq!(*total, expected, "rank {r} sees an incomplete histogram");
     }
     let (_, mode_bin, _) = results[0];
     println!("total samples  : {expected} (verified identically on all ranks)");
-    println!("mode bin       : {mode_bin} (triangular distribution centres near {})", BINS / 2);
+    println!(
+        "mode bin       : {mode_bin} (triangular distribution centres near {})",
+        BINS / 2
+    );
     // Print rank 0's local block as a bar chart.
     println!("\nrank 0's local bins:");
     for (i, v) in results[0].2.iter().enumerate() {

@@ -14,9 +14,11 @@ fn main() {
     // --- 1. The simulated prototype (paper Fig. 5): two Tyan boards,
     //        one HTX cable, HT800 / 16 bit. -----------------------------
     let mut sim = TcclusterBuilder::new().build_sim();
-    println!("booted: {} firmware steps, {} self-test pairs",
+    println!(
+        "booted: {} firmware steps, {} self-test pairs",
         sim.boot.steps.len(),
-        sim.boot.selftest_pairs);
+        sim.boot.selftest_pairs
+    );
     println!("boot steps: {:?}\n", sim.boot.steps);
 
     // --- 2. The paper's microbenchmarks. ------------------------------

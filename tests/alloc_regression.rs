@@ -1,0 +1,102 @@
+//! Allocation-regression guard for the zero-allocation hot paths.
+//!
+//! A counting global allocator proves that steady-state message traffic
+//! performs no heap allocation at all — on the shm channel path (send +
+//! recv_into) and on the simulated store/propagate path. Both checks live
+//! in one test function because the allocation counter is process-global
+//! and the default test runner is multi-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tcc_msglib::channel::{channel, CHANNEL_BYTES, CREDIT_BYTES};
+use tcc_msglib::shm::ShmMemory;
+use tcc_msglib::SendMode;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_hot_paths_allocate_nothing() {
+    // --- shm channel path: eager send + recv_into, single-threaded. ---
+    let data = ShmMemory::new(CHANNEL_BYTES as usize);
+    let credits = ShmMemory::new(CREDIT_BYTES as usize);
+    let (mut tx, mut rx) = channel(
+        data.remote(0, CHANNEL_BYTES),
+        credits.local(0, CREDIT_BYTES),
+        data.local(0, CHANNEL_BYTES),
+        credits.remote(0, CREDIT_BYTES),
+        SendMode::WeaklyOrdered,
+    );
+    let msg = [0x5Au8; 64];
+    let mut buf = Vec::new();
+    // Warm-up: grows the reassembly buffer, frame scratch and `buf` to
+    // their steady-state capacities.
+    for _ in 0..256 {
+        tx.send(&msg).expect("fits");
+        assert_eq!(rx.recv_into(&mut buf), 64);
+    }
+    let before = allocs();
+    for _ in 0..10_000 {
+        tx.send(&msg).expect("fits");
+        assert_eq!(rx.recv_into(&mut buf), 64);
+        assert_eq!(buf[0], 0x5A);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "shm eager message path must not allocate in steady state"
+    );
+
+    // --- simulated store/propagate path: 64 B WC stores to a remote
+    //     node, fully propagated, with caller-reused buffers. ---
+    use tccluster::fabric::time::SimTime;
+    let mut cluster = tcc_bench::prototype();
+    cluster.reset_timebase();
+    let dst = cluster.spec().node_base(1, 0);
+    let mut sink = tcc_opteron::ActionSink::new();
+    let mut commits = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut run = |now: &mut SimTime, n: u64, a0: u64| {
+        for i in a0..a0 + n {
+            let addr = dst + (i * 64) % (256 << 10);
+            let out = cluster.platform.nodes[0].store(*now, addr, &[0u8; 64], &mut sink);
+            *now = out.issued;
+            commits.clear();
+            cluster.platform.propagate(0, &mut sink, &mut commits);
+        }
+    };
+    // Warm-up: payload pool growth, link queues, propagate work buffers.
+    run(&mut now, 4_096, 0);
+    let before = allocs();
+    run(&mut now, 20_000, 4_096);
+    assert_eq!(
+        allocs() - before,
+        0,
+        "store/propagate path must not allocate in steady state"
+    );
+}

@@ -45,10 +45,7 @@ fn driver_mapping_agrees_with_fabric_routing() {
             .any(|c| c.node == 2 && c.offset == expected_offset),
         "store did not land where the mapping promised: {commits:?}"
     );
-    assert_eq!(
-        platform.nodes[2].mem.peek(expected_offset, 8),
-        &[0x42u8; 8]
-    );
+    assert_eq!(platform.nodes[2].mem.peek(expected_offset, 8), &[0x42u8; 8]);
 }
 
 #[test]
@@ -74,11 +71,13 @@ fn driver_refuses_what_the_fabric_cannot_do() {
         error: false,
     });
     // Node 0's TCC port is East; for a 1-proc supernode that is link 3.
+    let mut sink = tcc_opteron::ActionSink::new();
     let err = platform.nodes[0].deliver(
         tcc_fabric::time::SimTime(2_000_000_000),
         tcc_opteron::LinkId(3),
         resp,
         false,
+        &mut sink,
     );
     assert!(matches!(err, Err(tcc_opteron::NbError::OrphanResponse)));
 }

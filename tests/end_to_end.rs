@@ -128,7 +128,7 @@ fn strict_and_weak_modes_agree_functionally() {
                 ctx.recv(1)
             } else {
                 let m = ctx.recv(0);
-                ctx.send(0, &m[..64].to_vec());
+                ctx.send(0, &m[..64]);
                 m
             }
         });

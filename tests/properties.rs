@@ -16,14 +16,10 @@ const MB: u64 = 1 << 20;
 /// full platform).
 fn arb_spec() -> impl Strategy<Value = ClusterSpec> {
     prop_oneof![
-        (1usize..=4).prop_map(|p| ClusterSpec::new(
-            SupernodeSpec::new(p, MB),
-            ClusterTopology::Pair
-        )),
-        (2usize..=5).prop_map(|n| ClusterSpec::new(
-            SupernodeSpec::new(1, MB),
-            ClusterTopology::Chain(n)
-        )),
+        (1usize..=4)
+            .prop_map(|p| ClusterSpec::new(SupernodeSpec::new(p, MB), ClusterTopology::Pair)),
+        (2usize..=5)
+            .prop_map(|n| ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Chain(n))),
         ((1usize..=3), (1usize..=2)).prop_map(|(x, y)| ClusterSpec::new(
             SupernodeSpec::new(2, MB),
             ClusterTopology::Mesh { x, y }
@@ -116,6 +112,101 @@ proptest! {
             prop_assert_eq!(rx.recv(), want);
         }
         prop_assert_eq!(rx.try_recv(), None, "no phantom messages");
+    }
+
+    /// `store_burst` is exactly equivalent to the store()/sfence() loop it
+    /// replaces: identical issue/retire times, identical commit stream,
+    /// and a byte-identical destination memory image — on a fully booted
+    /// platform with propagation, not just a bare node.
+    #[test]
+    fn store_burst_equals_store_loop_on_platform(
+        len in 0usize..2048,
+        strict in prop_oneof![Just(true), Just(false)],
+        header in prop_oneof![Just(true), Just(false)],
+    ) {
+        use tcc_fabric::time::SimTime;
+        use tcc_opteron::BurstPattern;
+
+        let pattern = BurstPattern {
+            cell_payload: 64,
+            cell_stride: if header { 72 } else { 64 },
+            header_bytes: if header { 8 } else { 0 },
+            payload_fill: 0xD5,
+            header_fill: 0xAD,
+            fence_every: if strict { 1 } else { 0 },
+            final_fence: !strict,
+            wrap_bytes: 0,
+        };
+
+        let mut burst = tcc_bench::prototype();
+        let mut looped = tcc_bench::prototype();
+        burst.reset_timebase();
+        looped.reset_timebase();
+        let base = burst.spec().node_base(1, 0);
+
+        // Burst side: one call, one propagation.
+        let mut sink = tcc_opteron::ActionSink::new();
+        let mut b_commits = Vec::new();
+        let out = burst.platform.nodes[0].store_burst(SimTime::ZERO, base, &pattern, len, &mut sink);
+        burst.platform.propagate(0, &mut sink, &mut b_commits);
+
+        // Loop side: the equivalent driver loop, propagating per store —
+        // the shape every pre-batching caller had.
+        let mut l_sink = tcc_opteron::ActionSink::new();
+        let mut l_commits = Vec::new();
+        let mut scratch = Vec::new();
+        let mut drive = |node: &mut tcc_firmware::machine::Platform,
+                         f: &mut dyn FnMut(&mut tcc_firmware::machine::Platform,
+                                            &mut tcc_opteron::ActionSink)| {
+            f(node, &mut l_sink);
+            scratch.clear();
+            node.propagate(0, &mut l_sink, &mut scratch);
+            l_commits.extend(scratch.iter().copied());
+        };
+        let cells = len.div_ceil(64).max(1);
+        let mut now = SimTime::ZERO;
+        let mut retire = now;
+        for c in 0..cells {
+            let cell_base = base + (c as u64) * pattern.cell_stride;
+            let chunk = 64.min(len - (c * 64).min(len));
+            if chunk > 0 {
+                drive(&mut looped.platform, &mut |p, s| {
+                    let o = p.nodes[0].store(now, cell_base, &[0xD5u8; 64][..chunk], s);
+                    now = o.issued;
+                    retire = retire.max(o.retire);
+                });
+            }
+            if pattern.header_bytes > 0 {
+                drive(&mut looped.platform, &mut |p, s| {
+                    let o = p.nodes[0].store(now, cell_base + 64, &[0xADu8; 8], s);
+                    now = o.issued;
+                    retire = retire.max(o.retire);
+                });
+            }
+            if strict {
+                drive(&mut looped.platform, &mut |p, s| {
+                    let f = p.nodes[0].sfence(now, s);
+                    now = f.retire;
+                    retire = retire.max(f.retire);
+                });
+            }
+        }
+        if pattern.final_fence {
+            drive(&mut looped.platform, &mut |p, s| {
+                let f = p.nodes[0].sfence(now, s);
+                retire = retire.max(f.retire);
+            });
+        }
+
+        prop_assert_eq!(out.issued, now, "issue clocks diverge");
+        prop_assert_eq!(out.retire, retire, "retire times diverge");
+        prop_assert_eq!(&b_commits, &l_commits, "commit streams diverge");
+        let cap = burst.platform.nodes[1].mem.capacity();
+        prop_assert_eq!(cap, looped.platform.nodes[1].mem.capacity());
+        prop_assert!(
+            burst.platform.nodes[1].mem.peek(0, cap) == looped.platform.nodes[1].mem.peek(0, cap),
+            "destination memory images diverge"
+        );
     }
 
     /// Latency is monotone in message size and bandwidth curves stay

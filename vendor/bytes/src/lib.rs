@@ -1,0 +1,221 @@
+//! Minimal offline shim for the `bytes` crate.
+//!
+//! Provides [`Bytes`]: an immutable, cheaply cloneable byte buffer. Two
+//! representations are supported — a borrowed `&'static [u8]` (from
+//! [`Bytes::from_static`]) and a shared `Arc<Vec<u8>>` (from `Vec<u8>` or
+//! from an `Arc` directly). Cloning never copies the payload.
+//!
+//! Local extension over the real crate: `From<Arc<Vec<u8>>>` lets a caller
+//! hand out views of pooled buffers without copying, and
+//! [`Bytes::ref_count`] exposes the sharing degree so a pool can detect
+//! when a slab has been returned.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wrap a static slice (no allocation).
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copy a slice into a freshly allocated buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a.as_slice(),
+        }
+    }
+
+    /// How many `Bytes` handles (plus external `Arc` holders) share this
+    /// buffer. Static buffers report 1. Used by slab pools to detect that
+    /// every consumer has dropped its view.
+    pub fn ref_count(&self) -> usize {
+        match &self.repr {
+            Repr::Static(_) => 1,
+            Repr::Shared(a) => Arc::strong_count(a),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+/// Local extension: share an existing `Arc`'d buffer without copying.
+impl From<Arc<Vec<u8>>> for Bytes {
+    fn from(a: Arc<Vec<u8>>) -> Self {
+        Bytes {
+            repr: Repr::Shared(a),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.ref_count(), 2);
+        drop(c);
+        assert_eq!(b.ref_count(), 1);
+    }
+
+    #[test]
+    fn static_and_owned_compare_equal() {
+        let s = Bytes::from_static(&[9, 9]);
+        let o = Bytes::from(vec![9, 9]);
+        assert_eq!(s, o);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn arc_view_does_not_copy() {
+        let arc = Arc::new(vec![7u8; 64]);
+        let b = Bytes::from(arc.clone());
+        assert_eq!(b.as_slice(), &[7u8; 64][..]);
+        assert_eq!(Arc::strong_count(&arc), 2);
+    }
+}

@@ -1,0 +1,436 @@
+//! Minimal offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace uses: the [`proptest!`]
+//! test macro with an optional `#![proptest_config(...)]` header, the
+//! [`prop_oneof!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map`, [`strategy::Just`], [`any`], numeric range strategies,
+//! tuple strategies, and [`collection::vec`].
+//!
+//! Each test runs `ProptestConfig::cases` deterministic cases seeded by the
+//! case index (splitmix64), so failures are reproducible. There is no
+//! shrinking: a failing case panics with the ordinary assert message.
+
+/// Per-test configuration. Only `cases` is modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the heavier simulation properties
+        // in this workspace make a smaller deterministic sweep appropriate.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic per-case RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construct the RNG for one test case. Exposed for the `proptest!` macro.
+#[doc(hidden)]
+pub fn test_rng(case: u64) -> TestRng {
+    TestRng {
+        state: case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5DEECE66D,
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies (see `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Rc<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+            self.arms.push(Rc::new(s));
+            self
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Strategy for "any value of T" (see [`super::any`]).
+    #[derive(Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(span > 0, "empty range strategy");
+                    (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+/// Generate an arbitrary value of `T` (bools and primitive integers).
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`].
+    pub trait IntoSizeRange {
+        /// (min, max) inclusive bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.end > self.start, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `Vec`s of `elem` with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when the assumption does not hold. Expands to an
+/// early return from the per-case closure the `proptest!` macro wraps each
+/// body in.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($arm))+
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(__case as u64);
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = __strats;
+                    ($($crate::strategy::Strategy::sample($arg, &mut __rng),)+)
+                };
+                let __run = move || $body;
+                __run();
+            }
+        }
+    )*};
+}
+
+/// The `proptest!` test-definition macro. Each contained function becomes a
+/// `#[test]` running `cases` deterministic samples of its argument
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Mode {
+        A,
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..7, y in 10u64..=20, f in 0.25f64..0.75) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((10..=20).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn oneof_map_and_tuples(
+            m in prop_oneof![Just(Mode::A), Just(Mode::B)],
+            pair in (0u8..4, any::<bool>()).prop_map(|(a, b)| (a as u32, b)),
+        ) {
+            prop_assert!(m == Mode::A || m == Mode::B);
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn vecs_have_requested_lengths(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..10).map(|c| s.sample(&mut crate::test_rng(c))).collect();
+        let b: Vec<u64> = (0..10).map(|c| s.sample(&mut crate::test_rng(c))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal offline shim for the `rand` crate (0.10-style trait split).
+//!
+//! Provides the fallible [`TryRng`] source trait and the infallible
+//! [`Rng`] convenience trait, with the blanket derivation the real crate
+//! performs: any `TryRng` whose error is uninhabited is an `Rng`.
+
+use core::convert::Infallible;
+
+/// A fallible random number source.
+pub trait TryRng {
+    type Error;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number source.
+pub trait Rng {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T> Rng for T
+where
+    T: TryRng<Error = Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl TryRng for Lcg {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.try_next_u64()? >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.try_next_u64()?.to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_from_infallible_tryrng() {
+        let mut r = Lcg(1);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&x| x != 0));
+        let f = r.random_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
