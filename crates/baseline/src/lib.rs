@@ -8,6 +8,8 @@
 //! * [`ethernet`] — 10GbE through a kernel TCP stack (the "traditional
 //!   technology" of the introduction).
 
+#![forbid(unsafe_code)]
+
 pub mod ethernet;
 pub mod ib;
 

@@ -102,7 +102,8 @@ fn bench_linktx(c: &mut Criterion) {
             tx.credit_return(CreditReturn {
                 cmd: [1, 0, 0],
                 data: [1, 0, 0],
-            });
+            })
+            .unwrap();
             black_box(out)
         })
     });

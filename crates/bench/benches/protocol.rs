@@ -50,6 +50,8 @@ fn bench_channel_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+// The bench harness is the legitimate wallclock consumer (clippy.toml).
+#[allow(clippy::disallowed_methods)]
 fn bench_threaded_pingpong(c: &mut Criterion) {
     // Host-side latency of one real threaded round trip through the
     // protocol (producer thread + this thread).

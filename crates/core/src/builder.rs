@@ -29,6 +29,7 @@ impl Default for TcclusterBuilder {
 impl TcclusterBuilder {
     /// Defaults mirror the paper's prototype: two single-socket
     /// supernodes joined by one HT800/16-bit cable.
+    #[must_use]
     pub fn new() -> Self {
         TcclusterBuilder {
             topology: ClusterTopology::Pair,
@@ -40,17 +41,20 @@ impl TcclusterBuilder {
         }
     }
 
+    #[must_use]
     pub fn topology(mut self, t: ClusterTopology) -> Self {
         self.topology = t;
         self
     }
 
+    #[must_use]
     pub fn processors_per_supernode(mut self, p: usize) -> Self {
         self.processors = p;
         self
     }
 
     /// Simulated DRAM per processor (power of two).
+    #[must_use]
     pub fn dram_per_node(mut self, bytes: u64) -> Self {
         self.dram_per_node = bytes;
         self
@@ -58,22 +62,26 @@ impl TcclusterBuilder {
 
     /// TCC cable configuration (e.g. [`LinkConfig::PROTOTYPE`] = HT800,
     /// or [`LinkConfig::HT3_FULL`] for the backplane the paper projects).
+    #[must_use]
     pub fn tcc_link(mut self, cfg: LinkConfig) -> Self {
         self.tcc_link = cfg;
         self
     }
 
+    #[must_use]
     pub fn params(mut self, p: UarchParams) -> Self {
         self.params = p;
         self
     }
 
     /// Send-ordering mode for the shared-memory backend.
+    #[must_use]
     pub fn send_mode(mut self, m: SendMode) -> Self {
         self.mode = m;
         self
     }
 
+    #[must_use]
     pub fn spec(&self) -> ClusterSpec {
         ClusterSpec::new(
             SupernodeSpec::new(self.processors, self.dram_per_node),
@@ -83,12 +91,14 @@ impl TcclusterBuilder {
 
     /// Boot the packet-level simulation (runs the full §V firmware
     /// sequence, including the remote-access self test).
+    #[must_use]
     pub fn build_sim(&self) -> SimCluster {
         SimCluster::boot_with(self.spec(), self.params.clone(), self.tcc_link)
     }
 
     /// Build the threaded shared-memory emulation with one rank per
     /// processor.
+    #[must_use]
     pub fn build_shm(&self) -> ShmCluster {
         let ranks = self.spec().total_processors();
         ShmCluster::new(ranks, self.mode)

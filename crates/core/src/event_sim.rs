@@ -103,10 +103,11 @@ impl Model for StreamModel {
         match ev {
             Ev::SourcePump => self.pump(now, queue),
             Ev::Arrive(pkt) => {
-                if let Some(ret) = self.rx.accept(&pkt) {
+                let accepted = self.rx.accept(&pkt).expect("tx sent within its credits");
+                if let Some(ret) = accepted {
                     // (Only NOPs produce immediate returns; data packets
                     // occupy buffers until drained.)
-                    self.tx.credit_return(ret);
+                    self.tx.credit_return(ret).expect("receiver-harvested");
                 } else {
                     // Serialise the drain through the IO bridge.
                     self.pending_drain += 1;
@@ -116,7 +117,7 @@ impl Model for StreamModel {
                 }
             }
             Ev::Drained(pkt) => {
-                self.rx.drain(&pkt);
+                self.rx.drain(&pkt).expect("accepted before drain");
                 debug_assert!(self.pending_drain > 0, "drained more than accepted");
                 self.pending_drain -= 1;
                 self.delivered += 1;
@@ -129,7 +130,7 @@ impl Model for StreamModel {
                 }
             }
             Ev::CreditBack(ret) => {
-                self.tx.credit_return(ret);
+                self.tx.credit_return(ret).expect("receiver-harvested");
                 // Freed credits may unblock the source immediately.
                 self.pump(now, queue);
             }

@@ -24,6 +24,8 @@
 //! assert!(latency.nanos() < 300.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod event_sim;
 pub mod shm_cluster;

@@ -13,6 +13,8 @@
 //! * [`dev`] — the `/dev/tcc` model: topology query, `map_remote`,
 //!   `map_local`, bounds-checked against the booted global address map.
 
+#![forbid(unsafe_code)]
+
 pub mod dev;
 pub mod kernel;
 pub mod vm;

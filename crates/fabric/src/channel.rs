@@ -61,6 +61,7 @@ pub struct Transfer {
 impl Channel {
     const MEMO_ENTRIES: usize = 4;
 
+    #[must_use]
     pub fn new(latency: Duration, bytes_per_sec: u64) -> Self {
         assert!(bytes_per_sec > 0, "zero-bandwidth channel");
         Channel {
@@ -142,6 +143,7 @@ pub struct RateLimiter {
 }
 
 impl RateLimiter {
+    #[must_use]
     pub fn new(gap: Duration) -> Self {
         RateLimiter {
             gap,

@@ -31,6 +31,7 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    #[must_use]
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),

@@ -13,6 +13,8 @@
 //! * [`trace`] — ordered event traces for boot sequences and protocol FSMs.
 //! * [`series`] — figure/table output shared by all experiment harnesses.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod event;
 pub mod rng;

@@ -13,6 +13,7 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }

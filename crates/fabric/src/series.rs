@@ -15,6 +15,7 @@ pub struct Series {
 }
 
 impl Series {
+    #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
         Series {
             name: name.into(),
@@ -71,6 +72,7 @@ pub struct Figure {
 }
 
 impl Figure {
+    #[must_use]
     pub fn new(
         title: impl Into<String>,
         x_label: impl Into<String>,

@@ -40,6 +40,7 @@ pub struct Sim<M: Model> {
 }
 
 impl<M: Model> Sim<M> {
+    #[must_use]
     pub fn new(model: M) -> Self {
         Sim {
             model,

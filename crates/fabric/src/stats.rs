@@ -39,6 +39,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -152,6 +153,7 @@ impl Default for Gauge {
 }
 
 impl Gauge {
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }

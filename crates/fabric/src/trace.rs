@@ -40,6 +40,7 @@ pub struct Trace {
 
 impl Trace {
     /// An enabled, unbounded trace.
+    #[must_use]
     pub fn new() -> Self {
         Trace {
             records: Vec::new(),

@@ -11,12 +11,14 @@
 //! * [`tcc_boot`] — the full 12-step TCCluster boot sequence with a
 //!   remote-access self-test and interrupt-containment verification.
 
+#![forbid(unsafe_code)]
+
 pub mod enumerate;
 pub mod machine;
 pub mod tcc_boot;
 pub mod topology;
 
 pub use enumerate::{enumerate_supernode, EnumerationReport};
-pub use machine::{DeliveredWrite, Platform, Wire};
+pub use machine::{DeliveredWrite, FabricMonitor, PacketEvent, Platform, Wire};
 pub use tcc_boot::{boot, BootReport, TccBoot};
 pub use topology::{ClusterSpec, ClusterTopology, Port, SupernodeSpec, GLOBAL_BASE};

@@ -9,9 +9,34 @@ use tcc_fabric::time::SimTime;
 use tcc_fabric::Trace;
 use tcc_ht::init::{LinkEndpoint, LinkRegs};
 use tcc_ht::link::LinkConfig;
+use tcc_ht::Packet;
 use tcc_opteron::node::{Action, ActionSink, Node};
 use tcc_opteron::regs::{LinkId, NodeId};
 use tcc_opteron::UarchParams;
+
+/// One packet crossing a wire, as seen by a [`FabricMonitor`].
+#[derive(Debug)]
+pub struct PacketEvent<'a> {
+    /// Transmitting (node, link) port.
+    pub src: (usize, LinkId),
+    /// Receiving (node, link) port.
+    pub dst: (usize, LinkId),
+    /// Negotiated coherence of the traversed link (false on TCC cables).
+    pub coherent: bool,
+    pub packet: &'a Packet,
+    /// Arrival time at the receiving port.
+    pub arrival: SimTime,
+}
+
+/// Observer attached to the fabric via [`Platform::with_monitors`]. Called
+/// for every packet the propagation loop delivers; when no monitor is
+/// installed the hook is a single `Option` discriminant test, so the hot
+/// path is unaffected (verified by the simspeed harness and the
+/// counting-allocator regression test).
+pub trait FabricMonitor: std::fmt::Debug {
+    /// Invoked just before the packet is handed to the receiving node.
+    fn on_packet(&mut self, ev: &PacketEvent<'_>);
+}
 
 /// A physical cable or board trace joining two node link ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +79,8 @@ pub struct Platform {
     /// the wire list and the endpoint map per packet dominates propagation
     /// otherwise; invalidated by [`train_all`](Self::train_all).
     route_cache: Vec<[Option<(usize, LinkId, bool)>; 4]>,
+    /// Optional fabric observer; `None` in every perf-sensitive run.
+    monitor: Option<Box<dyn FabricMonitor>>,
 }
 
 impl Platform {
@@ -126,7 +153,20 @@ impl Platform {
             propagate_work: Vec::new(),
             deliver_sink: ActionSink::new(),
             route_cache: Vec::new(),
+            monitor: None,
         }
+    }
+
+    /// Install a fabric monitor. Monitors observe every delivered packet;
+    /// compose several with a fan-out monitor if more than one check is
+    /// wanted. Replaces any previously installed monitor.
+    pub fn with_monitors(&mut self, monitor: Box<dyn FabricMonitor>) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Remove the installed monitor (hot path reverts to zero-cost).
+    pub fn clear_monitors(&mut self) -> Option<Box<dyn FabricMonitor>> {
+        self.monitor.take()
     }
 
     /// The wire attached to (node, link), if any.
@@ -276,6 +316,15 @@ impl Platform {
                         .unwrap_or_else(|| {
                             panic!("packet out untrained/unwired link n{node} l{}", link.0)
                         });
+                    if let Some(mon) = self.monitor.as_deref_mut() {
+                        mon.on_packet(&PacketEvent {
+                            src: (node, link),
+                            dst: (peer, peer_link),
+                            coherent,
+                            packet: &packet,
+                            arrival,
+                        });
+                    }
                     let mut followups = std::mem::take(&mut self.deliver_sink);
                     followups.clear();
                     self.nodes[peer]

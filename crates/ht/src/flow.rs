@@ -6,11 +6,92 @@
 //! data credit, if the packet carries data) for the packet's VC; the
 //! receiver returns credits in NOP packets as it drains its buffers.
 //!
-//! The invariant the property tests lean on: **credits are conserved** —
+//! The invariant everything else leans on: **credits are conserved** —
 //! `in_flight + available + pending_return == initial` for every pool, at
-//! all times.
+//! all times. All arithmetic on pool counters is checked: an increment or
+//! decrement that would break conservation surfaces as a typed
+//! [`CreditError`] instead of silently wrapping, and the runtime monitors
+//! in `tcc-verify` turn those errors into structured diagnostics.
 
 use crate::packet::{Packet, VirtualChannel};
+
+/// Which of the two credit classes of a VC a failure concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditClass {
+    /// Command credits (one per packet).
+    Cmd,
+    /// Data credits (one per packet carrying payload).
+    Data,
+}
+
+impl core::fmt::Display for CreditClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            CreditClass::Cmd => "cmd",
+            CreditClass::Data => "data",
+        })
+    }
+}
+
+/// Typed credit-accounting failures. Every variant is a protocol
+/// violation by one side of the link — none of these occur on a correct
+/// fabric, so callers on known-good paths may `expect` them, while the
+/// verification layer reports them with full context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditError {
+    /// No command credit available for the packet's VC.
+    NoCmdCredit(VirtualChannel),
+    /// No data credit available for the packet's VC.
+    NoDataCredit(VirtualChannel),
+    /// A NOP returned more credits than were ever consumed.
+    OverReturn {
+        vc: VirtualChannel,
+        class: CreditClass,
+        returned: u8,
+        outstanding: u8,
+    },
+    /// A packet arrived with no free receive buffer — the transmitter
+    /// sent without holding a credit.
+    BufferOverrun {
+        vc: VirtualChannel,
+        class: CreditClass,
+    },
+    /// A buffer was drained that was never occupied.
+    DrainUnderflow {
+        vc: VirtualChannel,
+        class: CreditClass,
+    },
+}
+
+impl core::fmt::Display for CreditError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CreditError::NoCmdCredit(vc) => write!(f, "no {vc} command credit"),
+            CreditError::NoDataCredit(vc) => write!(f, "no {vc} data credit"),
+            CreditError::OverReturn {
+                vc,
+                class,
+                returned,
+                outstanding,
+            } => write!(
+                f,
+                "credit overflow: {returned} {vc} {class} credits returned with only \
+                 {outstanding} outstanding"
+            ),
+            CreditError::BufferOverrun { vc, class } => {
+                write!(
+                    f,
+                    "receive {vc} {class} buffer overrun: sent without credit"
+                )
+            }
+            CreditError::DrainUnderflow { vc, class } => {
+                write!(f, "draining {vc} {class} buffer that was never accepted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CreditError {}
 
 /// Credits for one (VC × command/data) pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +107,23 @@ impl Pool {
             available: initial,
         }
     }
+
+    /// Consume one credit.
+    fn take(&mut self) -> Option<()> {
+        self.available = self.available.checked_sub(1)?;
+        Some(())
+    }
+
+    /// Return `n` credits; fails if that would exceed `initial`.
+    fn put(&mut self, n: u8) -> Result<(), u8> {
+        match self.available.checked_add(n).filter(|&v| v <= self.initial) {
+            Some(v) => {
+                self.available = v;
+                Ok(())
+            }
+            None => Err(self.initial - self.available),
+        }
+    }
 }
 
 /// Transmitter-side credit state for one link direction.
@@ -36,8 +134,14 @@ pub struct TxCredits {
 }
 
 /// Receiver-side buffer state: consumed credits awaiting return.
-#[derive(Debug, Clone, Default)]
+///
+/// Constructed only via [`RxBuffers::new`] with an explicit buffer depth
+/// — a zero-depth receiver is unrepresentable by accident, because every
+/// arriving packet would be a [`CreditError::BufferOverrun`].
+#[derive(Debug, Clone)]
 pub struct RxBuffers {
+    /// Buffer depth per pool; mirrors the transmitter's initial credits.
+    initial: u8,
     /// Packets held per VC (command buffer occupancy).
     held_cmd: [u8; 3],
     /// Data buffers held per VC.
@@ -50,14 +154,6 @@ pub struct RxBuffers {
 /// Default buffer depth per pool. The K10 northbridge provides buffers in
 /// this range; the exact depth only shifts where backpressure kicks in.
 pub const DEFAULT_CREDITS: u8 = 8;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlowError {
-    /// No command credit available for the packet's VC.
-    NoCmdCredit(VirtualChannel),
-    /// No data credit available for the packet's VC.
-    NoDataCredit(VirtualChannel),
-}
 
 impl TxCredits {
     pub fn new(per_pool: u8) -> Self {
@@ -75,6 +171,14 @@ impl TxCredits {
         self.data[vc.index()].available
     }
 
+    pub fn initial_cmd(&self, vc: VirtualChannel) -> u8 {
+        self.cmd[vc.index()].initial
+    }
+
+    pub fn initial_data(&self, vc: VirtualChannel) -> u8 {
+        self.data[vc.index()].initial
+    }
+
     /// Whether `pkt` could be sent right now.
     pub fn can_send(&self, pkt: &Packet) -> bool {
         let vc = pkt.vc();
@@ -88,43 +192,64 @@ impl TxCredits {
     }
 
     /// Consume credits for sending `pkt`.
-    pub fn consume(&mut self, pkt: &Packet) -> Result<(), FlowError> {
+    pub fn consume(&mut self, pkt: &Packet) -> Result<(), CreditError> {
         let vc = pkt.vc();
         let i = vc.index();
         if self.cmd[i].available == 0 {
-            return Err(FlowError::NoCmdCredit(vc));
+            return Err(CreditError::NoCmdCredit(vc));
         }
         if !pkt.data.is_empty() && self.data[i].available == 0 {
-            return Err(FlowError::NoDataCredit(vc));
+            return Err(CreditError::NoDataCredit(vc));
         }
-        self.cmd[i].available -= 1;
+        self.cmd[i].take().expect("checked above");
         if !pkt.data.is_empty() {
-            self.data[i].available -= 1;
+            self.data[i].take().expect("checked above");
         }
         Ok(())
     }
 
-    /// Apply a credit return carried by a received NOP.
-    pub fn release(&mut self, ret: CreditReturn) {
-        for i in 0..3 {
-            let c = &mut self.cmd[i];
-            c.available = c
-                .available
-                .checked_add(ret.cmd[i])
-                .filter(|&v| v <= c.initial)
-                .expect("command credit overflow: more returned than consumed");
-            let d = &mut self.data[i];
-            d.available = d
-                .available
-                .checked_add(ret.data[i])
-                .filter(|&v| v <= d.initial)
-                .expect("data credit overflow: more returned than consumed");
+    /// Apply a credit return carried by a received NOP. Fails with
+    /// [`CreditError::OverReturn`] when the far side returns credits that
+    /// were never consumed; the transmitter state is left untouched in
+    /// that case (the return is rejected whole).
+    pub fn release(&mut self, ret: CreditReturn) -> Result<(), CreditError> {
+        // Validate before mutating so a rejected return has no effect.
+        for (i, &vc) in VirtualChannel::ALL.iter().enumerate() {
+            let c = self.cmd[i];
+            if ret.cmd[i] > c.initial - c.available {
+                return Err(CreditError::OverReturn {
+                    vc,
+                    class: CreditClass::Cmd,
+                    returned: ret.cmd[i],
+                    outstanding: c.initial - c.available,
+                });
+            }
+            let d = self.data[i];
+            if ret.data[i] > d.initial - d.available {
+                return Err(CreditError::OverReturn {
+                    vc,
+                    class: CreditClass::Data,
+                    returned: ret.data[i],
+                    outstanding: d.initial - d.available,
+                });
+            }
         }
+        for i in 0..3 {
+            self.cmd[i].put(ret.cmd[i]).expect("validated above");
+            self.data[i].put(ret.data[i]).expect("validated above");
+        }
+        Ok(())
     }
 
     /// Credits currently in flight (consumed, not yet returned).
     pub fn in_flight_cmd(&self, vc: VirtualChannel) -> u8 {
         let p = self.cmd[vc.index()];
+        p.initial - p.available
+    }
+
+    /// Data credits currently in flight.
+    pub fn in_flight_data(&self, vc: VirtualChannel) -> u8 {
+        let p = self.data[vc.index()];
         p.initial - p.available
     }
 }
@@ -141,34 +266,83 @@ impl CreditReturn {
     pub fn is_empty(&self) -> bool {
         self.cmd.iter().all(|&c| c == 0) && self.data.iter().all(|&d| d == 0)
     }
+
+    /// Total credits carried (both classes, all VCs).
+    pub fn total(&self) -> u32 {
+        self.cmd.iter().map(|&c| c as u32).sum::<u32>()
+            + self.data.iter().map(|&d| d as u32).sum::<u32>()
+    }
 }
 
 impl RxBuffers {
-    pub fn new() -> Self {
-        Self::default()
+    /// A receiver with `initial` buffers per pool (matching the credits
+    /// the paired transmitter starts with).
+    pub fn new(initial: u8) -> Self {
+        assert!(initial > 0, "a zero-buffer receiver can accept nothing");
+        RxBuffers {
+            initial,
+            held_cmd: [0; 3],
+            held_data: [0; 3],
+            pending_cmd: [0; 3],
+            pending_data: [0; 3],
+        }
     }
 
-    /// Account for an arriving packet occupying buffers.
-    pub fn accept(&mut self, pkt: &Packet) {
-        let i = pkt.vc().index();
+    /// Buffer depth per pool.
+    pub fn initial(&self) -> u8 {
+        self.initial
+    }
+
+    /// Account for an arriving packet occupying buffers. Fails with
+    /// [`CreditError::BufferOverrun`] when the packet arrives with every
+    /// buffer of its pool occupied or pending return — i.e. the far-side
+    /// transmitter sent without holding a credit.
+    pub fn accept(&mut self, pkt: &Packet) -> Result<(), CreditError> {
+        let vc = pkt.vc();
+        let i = vc.index();
+        if self.held_cmd[i] + self.pending_cmd[i] >= self.initial {
+            return Err(CreditError::BufferOverrun {
+                vc,
+                class: CreditClass::Cmd,
+            });
+        }
+        if !pkt.data.is_empty() && self.held_data[i] + self.pending_data[i] >= self.initial {
+            return Err(CreditError::BufferOverrun {
+                vc,
+                class: CreditClass::Data,
+            });
+        }
         self.held_cmd[i] += 1;
         if !pkt.data.is_empty() {
             self.held_data[i] += 1;
         }
+        Ok(())
     }
 
     /// The receiver finished processing a packet: its buffers become
-    /// returnable credits.
-    pub fn drain(&mut self, pkt: &Packet) {
-        let i = pkt.vc().index();
-        assert!(self.held_cmd[i] > 0, "draining more than accepted");
-        self.held_cmd[i] -= 1;
+    /// returnable credits. Fails with [`CreditError::DrainUnderflow`] on
+    /// a drain without a matching accept.
+    pub fn drain(&mut self, pkt: &Packet) -> Result<(), CreditError> {
+        let vc = pkt.vc();
+        let i = vc.index();
+        self.held_cmd[i] = self.held_cmd[i]
+            .checked_sub(1)
+            .ok_or(CreditError::DrainUnderflow {
+                vc,
+                class: CreditClass::Cmd,
+            })?;
         self.pending_cmd[i] += 1;
         if !pkt.data.is_empty() {
-            assert!(self.held_data[i] > 0);
-            self.held_data[i] -= 1;
+            self.held_data[i] =
+                self.held_data[i]
+                    .checked_sub(1)
+                    .ok_or(CreditError::DrainUnderflow {
+                        vc,
+                        class: CreditClass::Data,
+                    })?;
             self.pending_data[i] += 1;
         }
+        Ok(())
     }
 
     /// Whether any credits await return.
@@ -190,6 +364,20 @@ impl RxBuffers {
 
     pub fn held(&self, vc: VirtualChannel) -> u8 {
         self.held_cmd[vc.index()]
+    }
+
+    pub fn held_data(&self, vc: VirtualChannel) -> u8 {
+        self.held_data[vc.index()]
+    }
+
+    /// Command credits freed but not yet harvested into a NOP.
+    pub fn pending(&self, vc: VirtualChannel) -> u8 {
+        self.pending_cmd[vc.index()]
+    }
+
+    /// Data credits freed but not yet harvested into a NOP.
+    pub fn pending_data(&self, vc: VirtualChannel) -> u8 {
+        self.pending_data[vc.index()]
     }
 }
 
@@ -241,24 +429,24 @@ mod tests {
     #[test]
     fn consume_and_release_round_trip() {
         let mut tx = TxCredits::new(2);
-        let mut rx = RxBuffers::new();
+        let mut rx = RxBuffers::new(2);
         let p = pw();
         assert!(tx.can_send(&p));
         tx.consume(&p).unwrap();
-        rx.accept(&p);
+        rx.accept(&p).unwrap();
         tx.consume(&p).unwrap();
-        rx.accept(&p);
+        rx.accept(&p).unwrap();
         assert!(!tx.can_send(&p), "credits exhausted");
         assert_eq!(
             tx.consume(&p),
-            Err(FlowError::NoCmdCredit(VirtualChannel::Posted))
+            Err(CreditError::NoCmdCredit(VirtualChannel::Posted))
         );
         assert_eq!(rx.held(VirtualChannel::Posted), 2);
 
-        rx.drain(&p);
+        rx.drain(&p).unwrap();
         let ret = rx.harvest();
         assert_eq!(ret.cmd[VirtualChannel::Posted.index()], 1);
-        tx.release(ret);
+        tx.release(ret).unwrap();
         assert!(tx.can_send(&p));
     }
 
@@ -294,21 +482,79 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "credit overflow")]
-    fn over_return_caught() {
+    fn over_return_rejected_without_effect() {
         let mut tx = TxCredits::new(1);
         let mut ret = CreditReturn::default();
         ret.cmd[0] = 1; // returning a credit that was never consumed
-        tx.release(ret);
+        assert_eq!(
+            tx.release(ret),
+            Err(CreditError::OverReturn {
+                vc: VirtualChannel::Posted,
+                class: CreditClass::Cmd,
+                returned: 1,
+                outstanding: 0,
+            })
+        );
+        // Rejected whole: the pool is unchanged.
+        assert_eq!(tx.available_cmd(VirtualChannel::Posted), 1);
+    }
+
+    #[test]
+    fn partial_over_return_leaves_state_untouched() {
+        // cmd return is legal, data return is not: nothing may be applied.
+        let mut tx = TxCredits::new(2);
+        tx.consume(&pw()).unwrap();
+        let mut ret = CreditReturn::default();
+        ret.cmd[0] = 1;
+        ret.data[0] = 2; // only 1 outstanding
+        assert!(matches!(
+            tx.release(ret),
+            Err(CreditError::OverReturn {
+                class: CreditClass::Data,
+                ..
+            })
+        ));
+        assert_eq!(tx.available_cmd(VirtualChannel::Posted), 1, "not applied");
+    }
+
+    #[test]
+    fn buffer_overrun_detected() {
+        let mut rx = RxBuffers::new(1);
+        let p = pw();
+        rx.accept(&p).unwrap();
+        assert_eq!(
+            rx.accept(&p),
+            Err(CreditError::BufferOverrun {
+                vc: VirtualChannel::Posted,
+                class: CreditClass::Cmd,
+            })
+        );
+        // Still overrun while the credit is pending return (not yet in a NOP).
+        rx.drain(&p).unwrap();
+        assert!(rx.accept(&p).is_err());
+        let _ = rx.harvest();
+        assert!(rx.accept(&p).is_ok(), "space after harvest");
+    }
+
+    #[test]
+    fn drain_underflow_detected() {
+        let mut rx = RxBuffers::new(2);
+        assert_eq!(
+            rx.drain(&pw()),
+            Err(CreditError::DrainUnderflow {
+                vc: VirtualChannel::Posted,
+                class: CreditClass::Cmd,
+            })
+        );
     }
 
     #[test]
     fn harvest_caps_at_three_per_nop() {
-        let mut rx = RxBuffers::new();
+        let mut rx = RxBuffers::new(8);
         let p = pw();
         for _ in 0..5 {
-            rx.accept(&p);
-            rx.drain(&p);
+            rx.accept(&p).unwrap();
+            rx.drain(&p).unwrap();
         }
         let first = rx.harvest();
         assert_eq!(first.cmd[0], 3, "NOP carries at most 3 per class");
@@ -336,7 +582,7 @@ mod tests {
         use tcc_fabric::rng::Xoshiro256;
         let initial = DEFAULT_CREDITS;
         let mut tx = TxCredits::new(initial);
-        let mut rx = RxBuffers::new();
+        let mut rx = RxBuffers::new(initial);
         let mut rng = Xoshiro256::seeded(99);
         let p = pw();
         let mut in_receiver: Vec<Packet> = Vec::new();
@@ -344,37 +590,27 @@ mod tests {
             match rng.below(3) {
                 0 => {
                     if tx.consume(&p).is_ok() {
-                        rx.accept(&p);
+                        rx.accept(&p).unwrap();
                         in_receiver.push(p.clone());
                     }
                 }
                 1 => {
                     if let Some(q) = in_receiver.pop() {
-                        rx.drain(&q);
+                        rx.drain(&q).unwrap();
                     }
                 }
                 _ => {
                     let ret = rx.harvest();
-                    tx.release(ret);
+                    tx.release(ret).unwrap();
                 }
             }
             // Conservation: available + held + pending == initial.
-            let avail = tx.available_cmd(VirtualChannel::Posted);
-            let held = rx.held(VirtualChannel::Posted);
-            let pending = {
-                // peek by harvesting into a copy
-                let mut probe = rx.clone();
-                let mut total = 0u8;
-                loop {
-                    let r = probe.harvest();
-                    if r.is_empty() {
-                        break;
-                    }
-                    total += r.cmd[0];
-                }
-                total
-            };
-            assert_eq!(avail + held + pending, initial);
+            let vc = VirtualChannel::Posted;
+            assert_eq!(tx.available_cmd(vc) + rx.held(vc) + rx.pending(vc), initial);
+            assert_eq!(
+                tx.available_data(vc) + rx.held_data(vc) + rx.pending_data(vc),
+                initial
+            );
         }
     }
 }

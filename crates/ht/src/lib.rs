@@ -16,6 +16,8 @@
 //! * [`retry`] — the HT3 link-level retry protocol: per-frame CRC +
 //!   sequence numbers, cumulative acks, nak-triggered Go-Back-N replay.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 pub mod flow;
 pub mod init;
@@ -25,7 +27,7 @@ pub mod packet;
 pub mod retry;
 pub mod wire;
 
-pub use flow::{CreditReturn, RxBuffers, TxCredits};
+pub use flow::{CreditClass, CreditError, CreditReturn, RxBuffers, TxCredits};
 pub use init::{ActiveLink, Identity, LinkEndpoint, LinkRegs, LinkState};
 pub use link::{Delivery, LinkConfig, LinkRx, LinkStats, LinkTx};
 pub use packet::{Command, Opcode, Packet, SrcTag, UnitId, VirtualChannel, MAX_DATA};

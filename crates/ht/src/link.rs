@@ -6,7 +6,9 @@
 //! clock) and the lane count per direction.
 
 use crate::crc;
-use crate::flow::{nop_for, return_from_nop, CreditReturn, RxBuffers, TxCredits, DEFAULT_CREDITS};
+use crate::flow::{
+    nop_for, return_from_nop, CreditError, CreditReturn, RxBuffers, TxCredits, DEFAULT_CREDITS,
+};
 use crate::packet::{Packet, VirtualChannel};
 use std::collections::VecDeque;
 use tcc_fabric::channel::Channel;
@@ -144,9 +146,11 @@ impl LinkTx {
         &self.credits
     }
 
-    /// Apply a credit return received from the far side.
-    pub fn credit_return(&mut self, ret: CreditReturn) {
-        self.credits.release(ret);
+    /// Apply a credit return received from the far side. Fails when the
+    /// far side returns credits that were never consumed — a protocol
+    /// violation by the receiver.
+    pub fn credit_return(&mut self, ret: CreditReturn) -> Result<(), CreditError> {
+        self.credits.release(ret)
     }
 
     /// Try to transmit queued packets at `now`. Returns the deliveries that
@@ -234,7 +238,7 @@ impl LinkTx {
 }
 
 /// Receiver side of a link direction: buffer accounting + credit harvesting.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LinkRx {
     buffers: RxBuffers,
     pub packets_received: u64,
@@ -242,26 +246,38 @@ pub struct LinkRx {
 }
 
 impl LinkRx {
+    /// A receiver matching [`DEFAULT_CREDITS`]-deep transmitters.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_depth(DEFAULT_CREDITS)
+    }
+
+    /// A receiver with an explicit buffer depth per pool; must match the
+    /// initial credits of the paired [`LinkTx`].
+    pub fn with_depth(initial: u8) -> Self {
+        LinkRx {
+            buffers: RxBuffers::new(initial),
+            packets_received: 0,
+            bytes_received: 0,
+        }
     }
 
     /// Accept an arriving packet. If it is a NOP, the carried credit return
     /// is extracted and handed back for the *transmit* side of this node to
-    /// apply; NOPs occupy no buffers.
-    pub fn accept(&mut self, pkt: &Packet) -> Option<CreditReturn> {
+    /// apply; NOPs occupy no buffers. A non-NOP arriving with every buffer
+    /// of its pool occupied means the far side sent without a credit.
+    pub fn accept(&mut self, pkt: &Packet) -> Result<Option<CreditReturn>, CreditError> {
         if let Some(ret) = return_from_nop(&pkt.cmd) {
-            return Some(ret);
+            return Ok(Some(ret));
         }
-        self.buffers.accept(pkt);
+        self.buffers.accept(pkt)?;
         self.packets_received += 1;
         self.bytes_received += pkt.data.len() as u64;
-        None
+        Ok(None)
     }
 
     /// Mark a packet processed; its buffers become returnable credits.
-    pub fn drain(&mut self, pkt: &Packet) {
-        self.buffers.drain(pkt);
+    pub fn drain(&mut self, pkt: &Packet) -> Result<(), CreditError> {
+        self.buffers.drain(pkt)
     }
 
     /// Harvest pending credits for the next outbound NOP.
@@ -271,6 +287,17 @@ impl LinkRx {
 
     pub fn has_pending_credits(&self) -> bool {
         self.buffers.has_pending()
+    }
+
+    /// Buffer-occupancy state, for conservation audits.
+    pub fn buffers(&self) -> &RxBuffers {
+        &self.buffers
+    }
+}
+
+impl Default for LinkRx {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -325,11 +352,11 @@ mod tests {
         assert!(tx.stats.stalls_no_credit > 0);
         // Receiver drains everything and returns credits.
         for d in &sent {
-            assert!(rx.accept(&d.packet).is_none());
-            rx.drain(&d.packet);
+            assert!(rx.accept(&d.packet).unwrap().is_none());
+            rx.drain(&d.packet).unwrap();
         }
         while rx.has_pending_credits() {
-            tx.credit_return(rx.harvest());
+            tx.credit_return(rx.harvest()).unwrap();
         }
         let rest = tx.pump(SimTime(10_000_000));
         assert_eq!(rest.len(), 4);
@@ -343,13 +370,16 @@ mod tests {
 
         a_tx.enqueue(pw64(0));
         let d = a_tx.pump(SimTime::ZERO).remove(0);
-        assert!(b_rx.accept(&d.packet).is_none());
-        b_rx.drain(&d.packet);
+        assert!(b_rx.accept(&d.packet).unwrap().is_none());
+        b_rx.drain(&d.packet).unwrap();
         let nop = b_tx.send_nop(d.arrival, b_rx.harvest());
         // Back at A: extract the credit return.
         let mut a_rx = LinkRx::new();
-        let ret = a_rx.accept(&nop.packet).expect("NOP carries credits");
-        a_tx.credit_return(ret);
+        let ret = a_rx
+            .accept(&nop.packet)
+            .unwrap()
+            .expect("NOP carries credits");
+        a_tx.credit_return(ret).unwrap();
         assert_eq!(
             a_tx.credits().available_cmd(VirtualChannel::Posted),
             DEFAULT_CREDITS
@@ -402,7 +432,8 @@ mod tests {
             tx.credit_return(CreditReturn {
                 cmd: [1, 0, 0],
                 data: [1, 0, 0],
-            });
+            })
+            .unwrap();
         }
         assert_eq!(deliveries, 200, "every packet eventually delivered");
         assert!(tx.stats.retries > 20, "retries = {}", tx.stats.retries);
@@ -422,7 +453,8 @@ mod tests {
             tx.credit_return(CreditReturn {
                 cmd: [1, 0, 0],
                 data: [1, 0, 0],
-            });
+            })
+            .unwrap();
         }
         // Goodput = 64B per 72 wire bytes at ~3.175 GB/s ≈ 2.82 GB/s.
         let goodput = (n * 64) as f64 / ((last.picos() - 50_000) as f64 / 1e12) / 1e6;

@@ -105,7 +105,7 @@ proptest! {
     #[test]
     fn credit_conservation(ops in proptest::collection::vec(0u8..3, 1..500), initial in 1u8..16) {
         let mut tx = TxCredits::new(initial);
-        let mut rx = RxBuffers::new();
+        let mut rx = RxBuffers::new(initial);
         let pkt = Packet::posted_write(0x1000, Bytes::from_static(&[0u8; 64]));
         let mut at_receiver: u32 = 0;
 
@@ -114,7 +114,7 @@ proptest! {
                 0 => {
                     if tx.can_send(&pkt) {
                         tx.consume(&pkt).unwrap();
-                        rx.accept(&pkt);
+                        rx.accept(&pkt).unwrap();
                         at_receiver += 1;
                     } else {
                         prop_assert_eq!(tx.available_cmd(VirtualChannel::Posted), 0);
@@ -122,13 +122,14 @@ proptest! {
                 }
                 1 => {
                     if at_receiver > 0 {
-                        rx.drain(&pkt);
+                        rx.drain(&pkt).unwrap();
                         at_receiver -= 1;
                     }
                 }
                 _ => {
                     let ret = rx.harvest();
-                    tx.release(ret); // panics on over-return — the property
+                    // errors on over-return — the property
+                    prop_assert!(tx.release(ret).is_ok());
                 }
             }
             prop_assert!(tx.available_cmd(VirtualChannel::Posted) <= initial);
@@ -150,7 +151,7 @@ proptest! {
             for d in tx.pump(SimTime::ZERO) {
                 arrivals.push((d.packet.addr().unwrap(), d.arrival));
             }
-            tx.credit_return(CreditReturn { cmd: [1,0,0], data: [1,0,0] });
+            tx.credit_return(CreditReturn { cmd: [1,0,0], data: [1,0,0] }).unwrap();
         }
         for d in tx.pump(SimTime::ZERO) {
             arrivals.push((d.packet.addr().unwrap(), d.arrival));

@@ -12,6 +12,8 @@
 //! * [`am`] — GASNet-style active messages with a registered handler
 //!   table, the substrate PGAS runtimes build on.
 
+#![forbid(unsafe_code)]
+
 pub mod am;
 pub mod mpi;
 pub mod pgas;

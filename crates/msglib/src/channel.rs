@@ -49,6 +49,7 @@ pub struct RemoteAt<R> {
 }
 
 impl<R: RemoteWindow> RemoteAt<R> {
+    #[must_use]
     pub fn new(inner: R, base: u64, len: u64) -> Self {
         assert!(base + len <= inner.len());
         RemoteAt { inner, base, len }
@@ -79,6 +80,7 @@ pub struct LocalAt<L> {
 }
 
 impl<L: LocalWindow> LocalAt<L> {
+    #[must_use]
     pub fn new(inner: L, base: u64, len: u64) -> Self {
         assert!(base + len <= inner.len());
         LocalAt { inner, base, len }
@@ -135,6 +137,7 @@ impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
     /// * `to_receiver` — remote window onto the receiver's exported
     ///   channel region (`CHANNEL_BYTES`);
     /// * `credits` — local window onto this sender's credit block.
+    #[must_use]
     pub fn new(to_receiver: R, credits: L, mode: SendMode) -> Self {
         assert!(to_receiver.len() >= CHANNEL_BYTES);
         assert!(credits.len() >= CREDIT_BYTES);
@@ -161,6 +164,7 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
     ///   region (`CHANNEL_BYTES`);
     /// * `to_sender_credits` — remote window onto the sender's credit
     ///   block.
+    #[must_use]
     pub fn new(ring_local: L, to_sender_credits: R) -> Self {
         assert!(ring_local.len() >= CHANNEL_BYTES);
         assert!(to_sender_credits.len() >= CREDIT_BYTES);
@@ -184,6 +188,7 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
 /// * `ring_local` — the receiver's local view of the same channel region;
 /// * `to_sender_credits` — remote window onto the sender's credit block,
 ///   held by the receiver.
+#[must_use]
 pub fn channel<R1, L1, L2, R2>(
     to_receiver: R1,
     sender_credits: L1,

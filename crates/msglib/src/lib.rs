@@ -14,10 +14,13 @@
 //! * [`shm`] — the threaded execution backend mapping TCCluster semantics
 //!   onto atomics (Release headers, Acquire polls, SeqCst sfence).
 
+#![forbid(unsafe_code)]
+
 pub mod barrier;
 pub mod channel;
 pub mod ring;
 pub mod shm;
+pub(crate) mod sync;
 pub mod window;
 
 pub use barrier::{Barrier, Flag, SYNC_BYTES};

@@ -91,6 +91,7 @@ pub struct RingSender<R: RemoteWindow, L: LocalWindow> {
 }
 
 impl<R: RemoteWindow, L: LocalWindow> RingSender<R, L> {
+    #[must_use]
     pub fn new(ring: R, credit: L, mode: SendMode) -> Self {
         assert!(ring.len() >= RING_BYTES as u64, "ring window too small");
         assert!(credit.len() >= 8);
@@ -181,6 +182,7 @@ pub struct RingReceiver<L: LocalWindow, R: RemoteWindow> {
 }
 
 impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
+    #[must_use]
     pub fn new(ring: L, credit: R) -> Self {
         assert!(ring.len() >= RING_BYTES as u64);
         assert!(credit.len() >= 8);

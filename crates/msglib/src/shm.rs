@@ -13,8 +13,8 @@
 //! and written concurrently without UB; the protocols guarantee a single
 //! writer per region, mirroring the hardware (one HT link feeds one ring).
 
+use crate::sync::{fence, AtomicU64, Ordering};
 use crate::window::{LocalWindow, RemoteWindow};
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A block of exported memory, shareable across threads.
@@ -24,6 +24,7 @@ pub struct ShmMemory {
 }
 
 impl ShmMemory {
+    #[must_use]
     pub fn new(len_bytes: usize) -> Self {
         let words = len_bytes.div_ceil(8);
         ShmMemory {

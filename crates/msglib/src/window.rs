@@ -19,10 +19,17 @@
 /// for — on a single-core host a raw `spin_loop` burns whole scheduler
 /// quanta. Spin briefly, then yield.
 pub fn cpu_relax() {
-    for _ in 0..64 {
-        std::hint::spin_loop();
+    // Under loom, spinning never lets the modeled scheduler switch
+    // threads: always yield so polling loops make progress.
+    #[cfg(loom)]
+    loom::thread::yield_now();
+    #[cfg(not(loom))]
+    {
+        for _ in 0..64 {
+            std::hint::spin_loop();
+        }
+        std::thread::yield_now();
     }
-    std::thread::yield_now();
 }
 
 /// Exponential-backoff spinner for receive loops.
@@ -38,6 +45,7 @@ pub struct Backoff {
 
 impl Backoff {
     /// Spin budget: 2^SPIN_LIMIT pause instructions before yielding.
+    #[cfg_attr(loom, allow(dead_code))]
     const SPIN_LIMIT: u32 = 7;
 
     pub fn new() -> Self {
@@ -47,6 +55,9 @@ impl Backoff {
     /// Wait one escalating step: spin 2^step pauses, or yield once the
     /// spin budget is spent.
     pub fn snooze(&mut self) {
+        #[cfg(loom)]
+        loom::thread::yield_now();
+        #[cfg(not(loom))]
         if self.step <= Self::SPIN_LIMIT {
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();

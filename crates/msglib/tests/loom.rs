@@ -1,0 +1,122 @@
+//! Concurrency checks for the shm primitives under `cfg(loom)`.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p tcc-msglib --test loom`.
+//! Each body is kept tiny (two threads, a handful of operations) so that
+//! when the vendored loom shim is swapped for the real checker, the
+//! interleaving space stays tractable. Under the shim each `loom::model`
+//! body is re-run as a randomized-schedule stress test.
+//!
+//! What is checked:
+//!
+//! * the release-publication protocol of `ShmRemote::store`/`store_u64`
+//!   makes a message's payload visible before its header (the invariant
+//!   the poll loop in `RingReceiver` depends on);
+//! * the eager ring's Sender/Receiver half split delivers messages intact
+//!   across real threads;
+//! * the framed channel halves (PR 1's Sender/Receiver split) preserve
+//!   message boundaries;
+//! * `Flag` and the dissemination `Barrier` synchronise two ranks.
+
+#![cfg(loom)]
+
+use tcc_msglib::channel::{channel, CHANNEL_BYTES, CREDIT_BYTES};
+use tcc_msglib::ring::{RingReceiver, RingSender, SendMode, RING_BYTES};
+use tcc_msglib::shm::ShmMemory;
+use tcc_msglib::{Barrier, Flag, LocalWindow, RemoteWindow, SYNC_BYTES};
+
+/// Payload stored before a flag must be visible after observing the flag:
+/// the store_u64 release / load_u64 acquire pair is the ring protocol's
+/// entire correctness argument.
+#[test]
+fn flag_publication_orders_payload() {
+    loom::model(|| {
+        let page = ShmMemory::new(64);
+        let remote = page.remote(0, 64);
+        let local = page.local(0, 64);
+        let writer = loom::thread::spawn(move || {
+            remote.store(0, &[0xAB; 8]);
+            remote.store_u64(8, 1); // release point
+        });
+        let flag = Flag::waiter(local.clone(), 8);
+        flag.wait_for(1);
+        let mut payload = [0u8; 8];
+        local.load(0, &mut payload);
+        assert_eq!(payload, [0xAB; 8], "payload published after header");
+        writer.join().unwrap();
+    });
+}
+
+/// One eager message through the ring's split halves, sender on its own
+/// thread.
+#[test]
+fn ring_halves_deliver_one_message() {
+    loom::model(|| {
+        let ring = ShmMemory::new(RING_BYTES);
+        let credit = ShmMemory::new(8);
+        let mut tx = RingSender::new(
+            ring.remote(0, RING_BYTES as u64),
+            credit.local(0, 8),
+            SendMode::WeaklyOrdered,
+        );
+        let mut rx = RingReceiver::new(ring.local(0, RING_BYTES as u64), credit.remote(0, 8));
+        let producer = loom::thread::spawn(move || {
+            tx.send(&[7, 6, 5]).unwrap();
+        });
+        assert_eq!(rx.recv(), vec![7, 6, 5]);
+        producer.join().unwrap();
+    });
+}
+
+/// Two back-to-back messages stay framed and ordered through the framed
+/// channel halves.
+#[test]
+fn channel_halves_preserve_framing() {
+    loom::model(|| {
+        let chan = ShmMemory::new(CHANNEL_BYTES as usize);
+        let creds = ShmMemory::new(CREDIT_BYTES as usize);
+        let (mut tx, mut rx) = channel(
+            chan.remote(0, CHANNEL_BYTES),
+            creds.local(0, CREDIT_BYTES),
+            chan.local(0, CHANNEL_BYTES),
+            creds.remote(0, CREDIT_BYTES),
+            SendMode::WeaklyOrdered,
+        );
+        let producer = loom::thread::spawn(move || {
+            tx.send(&[1; 5]).unwrap();
+            tx.send(&[2; 9]).unwrap();
+        });
+        assert_eq!(rx.recv(), vec![1; 5]);
+        assert_eq!(rx.recv(), vec![2; 9]);
+        producer.join().unwrap();
+    });
+}
+
+/// A two-rank dissemination barrier: a value stored before the barrier on
+/// one rank is visible after it on the other.
+#[test]
+fn barrier_two_ranks_synchronise() {
+    loom::model(|| {
+        let pages: Vec<ShmMemory> = (0..2)
+            .map(|_| ShmMemory::new(SYNC_BYTES as usize))
+            .collect();
+        let data = ShmMemory::new(8);
+        let mk = |rank: usize| {
+            let peers = (0..2)
+                .map(|p| (p != rank).then(|| pages[p].remote(0, SYNC_BYTES)))
+                .collect();
+            Barrier::new(rank, 2, peers, pages[rank].local(0, SYNC_BYTES))
+        };
+        let mut b0 = mk(0);
+        let mut b1 = mk(1);
+        let data_w = data.remote(0, 8);
+        let data_r = data.local(0, 8);
+        let t = loom::thread::spawn(move || {
+            data_w.store_u64(0, 42);
+            data_w.fence();
+            b1.wait();
+        });
+        b0.wait();
+        assert_eq!(data_r.load_u64(0), 42, "pre-barrier store visible");
+        t.join().unwrap();
+    });
+}

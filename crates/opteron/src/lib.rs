@@ -19,6 +19,8 @@
 //! * [`coherence`] — probe-broadcast cost model (why ccNUMA stops scaling).
 //! * [`node`] — the assembled package: store path, receive path, polling.
 
+#![forbid(unsafe_code)]
+
 pub mod addrmap;
 pub mod cache;
 pub mod coherence;

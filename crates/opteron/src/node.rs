@@ -471,7 +471,8 @@ impl Node {
                 if !d.packet.data.is_empty() {
                     ret.data[d.packet.vc().index()] = 1;
                 }
-                tx.credit_return(ret);
+                tx.credit_return(ret)
+                    .expect("auto-credit returns exactly what this delivery consumed");
             }
         }
         let mut done = t;

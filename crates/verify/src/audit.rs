@@ -1,0 +1,199 @@
+//! Build-time platform audits: address-map validity, cross-node route
+//! consistency and broadcast containment, checked against a booted
+//! [`Platform`] before (or after) traffic runs.
+//!
+//! These checks walk exactly the structures the hardware would consult —
+//! each northbridge's base/limit registers and routing table — so a pass
+//! means every global address reaches the node that owns it, in a bounded
+//! number of hops, and interrupts can never leave a supernode over a TCC
+//! cable.
+
+use crate::diag::Violation;
+use tcc_firmware::Platform;
+use tcc_ht::VirtualChannel;
+use tcc_opteron::addrmap::Target;
+use tcc_opteron::regs::LinkId;
+use tcc_opteron::route::Route;
+
+/// Run every static audit; returns all violations found.
+pub fn audit_platform(platform: &Platform) -> Vec<Violation> {
+    let mut out = Vec::new();
+    audit_addr_maps(platform, &mut out);
+    audit_routes(platform, &mut out);
+    audit_broadcast_masks(platform, &mut out);
+    out
+}
+
+/// Each node's address map must pass its own validation (no DRAM/MMIO
+/// overlap) and every MMIO destination link must be wired and trained.
+fn audit_addr_maps(platform: &Platform, out: &mut Vec<Violation>) {
+    for (i, node) in platform.nodes.iter().enumerate() {
+        if let Err(e) = node.nb.addr_map.validate() {
+            out.push(Violation::AddrMap {
+                node: i,
+                detail: e.to_string(),
+            });
+        }
+        for (base, limit, owner, link) in node.nb.addr_map.mmio_ranges() {
+            if owner == node.nb.node_id && platform.peer_of(i, link).is_none() {
+                out.push(Violation::AddrMap {
+                    node: i,
+                    detail: format!("MMIO [{base:#x},{limit:#x}) exits unwired link l{}", link.0),
+                });
+            }
+        }
+    }
+}
+
+/// Replay the two-stage K10 routing decision (address map, then routing
+/// table) from every node toward every node's exported memory, following
+/// forwards across wires. Detects unmapped holes, dead links, packets
+/// landing on the wrong node, and routing loops (hop-bounded).
+fn audit_routes(platform: &Platform, out: &mut Vec<Violation>) {
+    let spec = &platform.spec;
+    let n = platform.nodes.len();
+    // One probe address inside each node's exported slice.
+    let probes: Vec<u64> = (0..spec.supernode_count())
+        .flat_map(|s| (0..spec.supernode.processors).map(move |p| (s, p)))
+        .map(|(s, p)| spec.node_base(s, p))
+        .collect();
+    let hop_limit = n + 4;
+    for from in 0..n {
+        for (target, &addr) in probes.iter().enumerate() {
+            let mut here = from;
+            let mut hops = 0;
+            loop {
+                if hops > hop_limit {
+                    out.push(Violation::Route {
+                        from,
+                        target_node: target,
+                        addr,
+                        detail: format!("routing loop: no delivery within {hop_limit} hops"),
+                    });
+                    break;
+                }
+                match next_hop(platform, here, addr) {
+                    Ok(None) => {
+                        // Landed: the node accepting the address must be
+                        // the one exporting that slice.
+                        if here != target {
+                            out.push(Violation::Route {
+                                from,
+                                target_node: target,
+                                addr,
+                                detail: format!("delivered to n{here} instead"),
+                            });
+                        }
+                        break;
+                    }
+                    Ok(Some(link)) => match platform.peer_of(here, link) {
+                        Some((peer, _)) => {
+                            here = peer;
+                            hops += 1;
+                        }
+                        None => {
+                            out.push(Violation::Route {
+                                from,
+                                target_node: target,
+                                addr,
+                                detail: format!("n{here} forwards out unwired link l{}", link.0),
+                            });
+                            break;
+                        }
+                    },
+                    Err(detail) => {
+                        out.push(Violation::Route {
+                            from,
+                            target_node: target,
+                            addr,
+                            detail: format!("at n{here}: {detail}"),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One routing step at `node` for a posted write to `addr`: `Ok(None)`
+/// accepts locally, `Ok(Some(link))` forwards. Mirrors
+/// `Northbridge::dispose` for addressed requests, read-only.
+fn next_hop(platform: &Platform, node: usize, addr: u64) -> Result<Option<LinkId>, String> {
+    let nb = &platform.nodes[node].nb;
+    let target = nb.addr_map.resolve(addr).map_err(|e| e.to_string())?;
+    match target {
+        Target::Dram { home } if home == nb.node_id => Ok(None),
+        Target::Dram { home } => match nb
+            .routes
+            .request_route(home)
+            .ok_or_else(|| format!("no route for home NodeID {}", home.0))?
+        {
+            Route::SelfRoute => Ok(None),
+            Route::Link(l) => Ok(Some(l)),
+        },
+        Target::Mmio { owner, link } if owner == nb.node_id => Ok(Some(link)),
+        Target::Mmio { owner, .. } => match nb
+            .routes
+            .request_route(owner)
+            .ok_or_else(|| format!("no route for MMIO owner NodeID {}", owner.0))?
+        {
+            Route::SelfRoute => Err("MMIO owned remotely but routed to self".to_string()),
+            Route::Link(l) => Ok(Some(l)),
+        },
+    }
+}
+
+/// No broadcast route mask may include a non-coherent (TCC) link — this
+/// is the interrupt-containment property the boot sequence must establish.
+fn audit_broadcast_masks(platform: &Platform, out: &mut Vec<Violation>) {
+    for (i, node) in platform.nodes.iter().enumerate() {
+        for l in 0..4u8 {
+            let link = LinkId(l);
+            if platform.link_coherent(i, link) == Some(false)
+                && node.nb.routes.broadcasts_reach(link)
+            {
+                out.push(Violation::BroadcastRoute { node: i, link: l });
+            }
+        }
+    }
+}
+
+/// At quiescence every transmitter must hold its full initial credit
+/// complement — a shortfall means credits leaked somewhere in the run.
+pub fn audit_quiescent_credits(platform: &Platform) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, node) in platform.nodes.iter().enumerate() {
+        for l in 0..4u8 {
+            let Some(tx) = node.link(LinkId(l)) else {
+                continue;
+            };
+            let credits = tx.credits();
+            for vc in VirtualChannel::ALL {
+                for (class, in_flight, initial) in [
+                    (
+                        tcc_ht::flow::CreditClass::Cmd,
+                        credits.in_flight_cmd(vc),
+                        credits.initial_cmd(vc),
+                    ),
+                    (
+                        tcc_ht::flow::CreditClass::Data,
+                        credits.in_flight_data(vc),
+                        credits.initial_data(vc),
+                    ),
+                ] {
+                    if in_flight != 0 {
+                        out.push(Violation::CreditConservation {
+                            link: crate::diag::PortRef { node: i, link: l },
+                            vc,
+                            class,
+                            initial,
+                            accounted: (initial - in_flight) as u32,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

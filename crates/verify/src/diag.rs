@@ -1,0 +1,180 @@
+//! Structured diagnostics for invariant violations.
+//!
+//! Every check in this crate reports a [`Violation`] carrying the full
+//! context of the failure — which link, which packet pair, which cycle —
+//! instead of a bare panic, so a failing run can be triaged from the
+//! report alone and a harness can decide whether to abort or collect.
+
+use tcc_ht::flow::CreditClass;
+use tcc_ht::VirtualChannel;
+
+/// A (node, link) port, printed as `n0.l3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortRef {
+    pub node: usize,
+    pub link: u8,
+}
+
+impl core::fmt::Display for PortRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}.l{}", self.node, self.link)
+    }
+}
+
+/// Compact description of one packet involved in a violation: its opcode
+/// class, VC, address if any, and the monitor-assigned delivery sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRef {
+    pub opcode: &'static str,
+    pub vc: VirtualChannel,
+    pub addr: Option<u64>,
+    /// Monotonic per-link emission sequence assigned by the monitor.
+    pub seq: u64,
+    /// Arrival time in picoseconds.
+    pub arrival_ps: u64,
+}
+
+impl core::fmt::Display for PacketRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "#{} {}/{}", self.seq, self.opcode, self.vc)?;
+        if let Some(a) = self.addr {
+            write!(f, " @{a:#x}")?;
+        }
+        write!(f, " arr={}ps", self.arrival_ps)
+    }
+}
+
+/// One detected invariant violation, with enough structure to identify
+/// the invariant, the location and the witnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `in_flight + available + pending_return != initial` for a pool.
+    CreditConservation {
+        link: PortRef,
+        vc: VirtualChannel,
+        class: CreditClass,
+        initial: u8,
+        /// Sum observed across transmitter, wire and receiver.
+        accounted: u32,
+    },
+    /// A typed credit-accounting error surfaced by the flow layer.
+    CreditAccounting { link: PortRef, detail: String },
+    /// Delivery order contradicts the HT ch. 6 ordering table: `later`
+    /// overtook `earlier` on the same directed link although
+    /// `may_pass(later, earlier)` is false.
+    OrderingViolation {
+        link: PortRef,
+        earlier: PacketRef,
+        later: PacketRef,
+    },
+    /// A SrcTag was issued while still outstanding (uniqueness broken).
+    TagReuse { port: PortRef, tag: u8 },
+    /// A response arrived carrying a tag with no outstanding request.
+    TagUnmatched { port: PortRef, tag: u8 },
+    /// A broadcast crossed a non-coherent (TCC) link — interrupts must
+    /// stay inside the supernode.
+    BroadcastLeak { link: PortRef, dst: PortRef },
+    /// Non-posted or response traffic on a TCC link, which the
+    /// architecture forbids (posted-write-only fabric).
+    NonPostedOnTcc { link: PortRef, packet: PacketRef },
+    /// An address map failed validation or two nodes' maps disagree.
+    AddrMap { node: usize, detail: String },
+    /// A routed walk from `from` toward `target_node`'s memory failed.
+    Route {
+        from: usize,
+        target_node: usize,
+        addr: u64,
+        detail: String,
+    },
+    /// A broadcast route mask includes a TCC link.
+    BroadcastRoute { node: usize, link: u8 },
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Violation::CreditConservation {
+                link,
+                vc,
+                class,
+                initial,
+                accounted,
+            } => write!(
+                f,
+                "credit conservation broken on {link} {vc}/{class}: accounted {accounted} \
+                 of initial {initial}"
+            ),
+            Violation::CreditAccounting { link, detail } => {
+                write!(f, "credit accounting error on {link}: {detail}")
+            }
+            Violation::OrderingViolation {
+                link,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "illegal pass on {link}: [{later}] overtook [{earlier}] but may_pass=false"
+            ),
+            Violation::TagReuse { port, tag } => {
+                write!(f, "SrcTag {tag} reissued while outstanding at {port}")
+            }
+            Violation::TagUnmatched { port, tag } => {
+                write!(f, "response with unmatched SrcTag {tag} at {port}")
+            }
+            Violation::BroadcastLeak { link, dst } => {
+                write!(f, "broadcast leaked over TCC link {link} -> {dst}")
+            }
+            Violation::NonPostedOnTcc { link, packet } => {
+                write!(f, "non-posted traffic on TCC link {link}: [{packet}]")
+            }
+            Violation::AddrMap { node, detail } => {
+                write!(f, "address map on node {node}: {detail}")
+            }
+            Violation::Route {
+                from,
+                target_node,
+                addr,
+                detail,
+            } => write!(
+                f,
+                "route walk n{from} -> n{target_node} (addr {addr:#x}): {detail}"
+            ),
+            Violation::BroadcastRoute { node, link } => {
+                write!(
+                    f,
+                    "broadcast route mask on node {node} includes TCC link l{link}"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_structured() {
+        let v = Violation::OrderingViolation {
+            link: PortRef { node: 0, link: 3 },
+            earlier: PacketRef {
+                opcode: "WrSized",
+                vc: VirtualChannel::Posted,
+                addr: Some(0x2000),
+                seq: 7,
+                arrival_ps: 1000,
+            },
+            later: PacketRef {
+                opcode: "RdSized",
+                vc: VirtualChannel::NonPosted,
+                addr: Some(0x3000),
+                seq: 8,
+                arrival_ps: 900,
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("n0.l3"), "{s}");
+        assert!(s.contains("#8"), "{s}");
+        assert!(s.contains("#7"), "{s}");
+    }
+}

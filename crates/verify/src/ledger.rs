@@ -1,0 +1,164 @@
+//! Credit-conservation auditing.
+//!
+//! The six-pool invariant (`in_flight + available + pending_return ==
+//! initial`, per VC and per cmd/data class) is only observable with both
+//! ends of a link in hand: the transmitter's [`TxCredits`], the
+//! receiver's [`RxBuffers`], and whatever is in transit on the wire. The
+//! [`TransitCounts`] snapshot supplies the wire term; closed-loop
+//! harnesses (like the event simulator in `tccluster::event_sim`) keep it
+//! by counting packets scheduled but not yet accepted, and credit
+//! returns sent but not yet applied.
+
+use crate::diag::{PortRef, Violation};
+use tcc_ht::flow::{CreditClass, RxBuffers, TxCredits};
+use tcc_ht::VirtualChannel;
+
+/// Credits currently on the wire, from the auditor's point of view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransitCounts {
+    /// Command credits consumed by packets sent but not yet accepted.
+    pub cmd: [u32; 3],
+    /// Data credits consumed by packets sent but not yet accepted.
+    pub data: [u32; 3],
+    /// Command credits harvested into NOPs still in flight.
+    pub ret_cmd: [u32; 3],
+    /// Data credits harvested into NOPs still in flight.
+    pub ret_data: [u32; 3],
+}
+
+/// Audit all six pools of one link direction. Returns one violation per
+/// broken pool; empty means conservation holds.
+pub fn check_conservation(
+    link: PortRef,
+    tx: &TxCredits,
+    rx: &RxBuffers,
+    transit: &TransitCounts,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for vc in VirtualChannel::ALL {
+        let i = vc.index();
+        let initial = tx.initial_cmd(vc);
+        if rx.initial() != initial {
+            out.push(Violation::CreditAccounting {
+                link,
+                detail: format!(
+                    "buffer depth mismatch: tx initial {initial}, rx depth {}",
+                    rx.initial()
+                ),
+            });
+        }
+        let cmd_accounted = tx.available_cmd(vc) as u32
+            + transit.cmd[i]
+            + rx.held(vc) as u32
+            + rx.pending(vc) as u32
+            + transit.ret_cmd[i];
+        if cmd_accounted != initial as u32 {
+            out.push(Violation::CreditConservation {
+                link,
+                vc,
+                class: CreditClass::Cmd,
+                initial,
+                accounted: cmd_accounted,
+            });
+        }
+        let initial_data = tx.initial_data(vc);
+        let data_accounted = tx.available_data(vc) as u32
+            + transit.data[i]
+            + rx.held_data(vc) as u32
+            + rx.pending_data(vc) as u32
+            + transit.ret_data[i];
+        if data_accounted != initial_data as u32 {
+            out.push(Violation::CreditConservation {
+                link,
+                vc,
+                class: CreditClass::Data,
+                initial: initial_data,
+                accounted: data_accounted,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tcc_ht::flow::CreditReturn;
+    use tcc_ht::Packet;
+
+    const LINK: PortRef = PortRef { node: 0, link: 3 };
+
+    fn pw() -> Packet {
+        Packet::posted_write(0x1000, Bytes::from_static(&[0u8; 64]))
+    }
+
+    #[test]
+    fn balanced_link_is_conserved_at_every_step() {
+        let mut tx = TxCredits::new(4);
+        let mut rx = RxBuffers::new(4);
+        let mut transit = TransitCounts::default();
+        let p = pw();
+
+        // Send two packets (credits in transit while "on the wire").
+        for _ in 0..2 {
+            tx.consume(&p).unwrap();
+            transit.cmd[0] += 1;
+            transit.data[0] += 1;
+            assert!(check_conservation(LINK, &tx, &rx, &transit).is_empty());
+        }
+        // They arrive.
+        for _ in 0..2 {
+            rx.accept(&p).unwrap();
+            transit.cmd[0] -= 1;
+            transit.data[0] -= 1;
+            assert!(check_conservation(LINK, &tx, &rx, &transit).is_empty());
+        }
+        // Drain one, harvest, fly the NOP back, apply it.
+        rx.drain(&p).unwrap();
+        let ret = rx.harvest();
+        transit.ret_cmd[0] += ret.cmd[0] as u32;
+        transit.ret_data[0] += ret.data[0] as u32;
+        assert!(check_conservation(LINK, &tx, &rx, &transit).is_empty());
+        tx.release(ret).unwrap();
+        transit.ret_cmd[0] -= ret.cmd[0] as u32;
+        transit.ret_data[0] -= ret.data[0] as u32;
+        assert!(check_conservation(LINK, &tx, &rx, &transit).is_empty());
+    }
+
+    #[test]
+    fn dropped_credit_return_is_flagged_as_leak() {
+        let mut tx = TxCredits::new(4);
+        let mut rx = RxBuffers::new(4);
+        let transit = TransitCounts::default();
+        let p = pw();
+        tx.consume(&p).unwrap();
+        rx.accept(&p).unwrap();
+        rx.drain(&p).unwrap();
+        // The faulty receiver harvests the credits and *drops* the NOP.
+        let _lost: CreditReturn = rx.harvest();
+        let vs = check_conservation(LINK, &tx, &rx, &transit);
+        assert!(
+            vs.iter().any(|v| matches!(
+                v,
+                Violation::CreditConservation {
+                    class: CreditClass::Cmd,
+                    accounted: 3,
+                    initial: 4,
+                    ..
+                }
+            )),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn depth_mismatch_is_flagged() {
+        let tx = TxCredits::new(4);
+        let rx = RxBuffers::new(8);
+        let vs = check_conservation(LINK, &tx, &rx, &TransitCounts::default());
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::CreditAccounting { .. })));
+    }
+}

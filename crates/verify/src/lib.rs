@@ -1,0 +1,32 @@
+//! # tcc-verify — correctness tooling for the TCCluster reproduction
+//!
+//! The paper's mechanism is sound only while the HT protocol invariants
+//! hold: credit conservation across all six pools per link direction,
+//! the ch. 6 I/O ordering table, SrcTag/response matching, consistent
+//! address maps and routes, and interrupt containment. This crate turns
+//! those doc-comment invariants into executable checks at three depths:
+//!
+//! * [`monitor`] — runtime observers mounted on a live simulation via
+//!   `Platform::with_monitors`, checking every delivered packet;
+//! * [`audit`] + [`ledger`] — whole-platform static audits (address maps,
+//!   routes, broadcast masks) and credit-conservation snapshots;
+//! * [`mc`] — a bounded model checker proving deadlock-freedom and
+//!   credit conservation exhaustively on small configurations, with
+//!   minimal counterexample traces on failure.
+//!
+//! Violations are structured [`diag::Violation`] values, not panics.
+//! See `docs/invariants.md` for the invariant ↔ spec-section map.
+
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod diag;
+pub mod ledger;
+pub mod mc;
+pub mod monitor;
+
+pub use audit::{audit_platform, audit_quiescent_credits};
+pub use diag::{PacketRef, PortRef, Violation};
+pub use ledger::{check_conservation, TransitCounts};
+pub use mc::{check, Counterexample, Fault, McConfig, McResult, McTopology};
+pub use monitor::{key_may_pass, InvariantMonitor, MonitorHandle, OrderKey, Report};

@@ -1,0 +1,553 @@
+//! A bounded model checker for the credit-flow fabric.
+//!
+//! Explores — exhaustively, by breadth-first search over hashed states —
+//! every interleaving of inject / send / deliver-or-forward / return-credits
+//! on a small cluster, proving two properties for the chosen configuration:
+//!
+//! * **credit conservation**: `available + rx_held + pending_return ==
+//!   initial` on every link in every reachable state;
+//! * **deadlock freedom**: every non-final reachable state has at least
+//!   one enabled transition.
+//!
+//! The abstraction models what the paper's fabric actually carries:
+//! posted writes only, one credit pool per directed link, bounded VC
+//! queues, NOP credit returns capped at 3 per NOP (the 2-bit wire field).
+//! Forwarding at intermediate hops blocks when the next hop's queue is
+//! full — exactly the head-of-line coupling that produces routing
+//! deadlocks in meshes, which is why X-Y dimension-ordered routing (used
+//! by `mesh_bisection` and verified here) matters.
+//!
+//! Because the search is BFS, the counterexample returned on a property
+//! failure is already minimal: no shorter action sequence reaches any
+//! violating state.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Hard ceiling on explored states — a misconfigured (too-large) instance
+/// fails fast instead of exhausting memory.
+const MAX_STATES: usize = 5_000_000;
+
+/// Topologies the checker knows how to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McTopology {
+    /// The paper's prototype: two nodes, one cable (a directed link pair).
+    Pair,
+    /// An x × y mesh with X-Y dimension-ordered routing, as used by the
+    /// `mesh_bisection` study.
+    Mesh { x: usize, y: usize },
+}
+
+/// Deliberate protocol breakages for negative testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The receiver on `link` harvests freed buffers but never sends the
+    /// NOP: credits leak, conservation breaks, the fabric starves.
+    DropCreditReturn { link: usize },
+    /// The transmitter on `link` ignores the credit check and sends into
+    /// a full receiver (models the unchecked-arithmetic bug class the
+    /// hardened `flow.rs` rejects at runtime).
+    SendWithoutCredit { link: usize },
+}
+
+/// Which (source, destination) pairs carry traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traffic {
+    /// Every node sends to every other node.
+    AllToAll,
+    /// Every node sends to its mirror (node `n-1-i`): the bisection-
+    /// stressing pattern `mesh_bisection` measures, and — because mirror
+    /// routes cross both dimensions — the pattern that exercises X-Y
+    /// forwarding and head-of-line coupling hardest per packet.
+    Transpose,
+}
+
+/// One checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    pub topology: McTopology,
+    /// Initial credits (= receive buffer depth) per directed link.
+    pub credits: u8,
+    /// Transmit-queue bound per directed link.
+    pub tx_cap: usize,
+    /// Messages each node sends to each of its destinations.
+    pub messages_per_pair: u8,
+    /// Source/destination pattern.
+    pub traffic: Traffic,
+    pub fault: Option<Fault>,
+}
+
+impl McConfig {
+    /// The paper's two-node prototype with realistic small bounds.
+    pub fn paper_pair() -> Self {
+        McConfig {
+            topology: McTopology::Pair,
+            credits: 2,
+            tx_cap: 2,
+            messages_per_pair: 2,
+            traffic: Traffic::AllToAll,
+            fault: None,
+        }
+    }
+
+    /// The `mesh_bisection` mesh, shrunk to a 2×2 exhaustively checkable
+    /// instance (same router, same X-Y order) under the bisection-crossing
+    /// transpose pattern.
+    pub fn mesh_2x2() -> Self {
+        McConfig {
+            topology: McTopology::Mesh { x: 2, y: 2 },
+            credits: 1,
+            tx_cap: 1,
+            messages_per_pair: 1,
+            traffic: Traffic::Transpose,
+            fault: None,
+        }
+    }
+}
+
+/// A directed link of the abstract fabric.
+#[derive(Debug, Clone)]
+struct LinkDef {
+    src: usize,
+    dst: usize,
+}
+
+struct Fabric {
+    nodes: usize,
+    links: Vec<LinkDef>,
+    /// `route[node][dest]` = outgoing link index for a packet at `node`
+    /// headed to `dest` (X-Y order for meshes).
+    route: Vec<Vec<Option<usize>>>,
+}
+
+impl Fabric {
+    fn build(topology: McTopology) -> Self {
+        match topology {
+            McTopology::Pair => {
+                let links = vec![LinkDef { src: 0, dst: 1 }, LinkDef { src: 1, dst: 0 }];
+                let route = vec![vec![None, Some(0)], vec![Some(1), None]];
+                Fabric {
+                    nodes: 2,
+                    links,
+                    route,
+                }
+            }
+            McTopology::Mesh { x, y } => {
+                let nodes = x * y;
+                let mut links = Vec::new();
+                let mut index = HashMap::new();
+                let id = |xx: usize, yy: usize| yy * x + xx;
+                for yy in 0..y {
+                    for xx in 0..x {
+                        let here = id(xx, yy);
+                        let mut neighbors = Vec::new();
+                        if xx + 1 < x {
+                            neighbors.push(id(xx + 1, yy));
+                        }
+                        if xx > 0 {
+                            neighbors.push(id(xx - 1, yy));
+                        }
+                        if yy + 1 < y {
+                            neighbors.push(id(xx, yy + 1));
+                        }
+                        if yy > 0 {
+                            neighbors.push(id(xx, yy - 1));
+                        }
+                        for n in neighbors {
+                            index.insert((here, n), links.len());
+                            links.push(LinkDef { src: here, dst: n });
+                        }
+                    }
+                }
+                // X-Y routing: correct the x coordinate first, then y.
+                let mut route = vec![vec![None; nodes]; nodes];
+                for (src, row) in route.iter_mut().enumerate() {
+                    for (dst, slot) in row.iter_mut().enumerate() {
+                        if src == dst {
+                            continue;
+                        }
+                        let (sx, sy) = (src % x, src / x);
+                        let (dx, dy) = (dst % x, dst / x);
+                        let next = if sx < dx {
+                            id(sx + 1, sy)
+                        } else if sx > dx {
+                            id(sx - 1, sy)
+                        } else if sy < dy {
+                            id(sx, sy + 1)
+                        } else {
+                            id(sx, sy - 1)
+                        };
+                        *slot = Some(index[&(src, next)]);
+                    }
+                }
+                Fabric {
+                    nodes,
+                    links,
+                    route,
+                }
+            }
+        }
+    }
+}
+
+/// Mutable per-link state: queues are dest-node lists in FIFO order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LinkState {
+    tx: Vec<u8>,
+    avail: u8,
+    rx: Vec<u8>,
+    pending: u8,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    links: Vec<LinkState>,
+    /// `inject[node][dest]` = messages still to inject.
+    inject: Vec<Vec<u8>>,
+}
+
+/// One atomic fabric step (the trace alphabet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Inject { node: usize, dest: usize },
+    Send { link: usize },
+    Deliver { link: usize },
+    ReturnCredits { link: usize },
+}
+
+/// A minimal failing run: the BFS-shortest action sequence from the
+/// initial state into a state violating a property.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    pub property: String,
+    /// Human-readable steps from the initial state.
+    pub trace: Vec<String>,
+    /// Description of the violating state.
+    pub state: String,
+}
+
+impl core::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "property violated: {}", self.property)?;
+        writeln!(f, "minimal trace ({} steps):", self.trace.len())?;
+        for (i, s) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:>3}. {s}")?;
+        }
+        write!(f, "violating state: {}", self.state)
+    }
+}
+
+/// Outcome of one exhaustive exploration.
+#[derive(Debug)]
+pub struct McResult {
+    pub states: usize,
+    pub transitions: usize,
+    /// `None` = both properties hold on every reachable state.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl McResult {
+    pub fn holds(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+struct Checker {
+    fabric: Fabric,
+    config: McConfig,
+}
+
+impl Checker {
+    fn initial(&self) -> State {
+        let links = self
+            .fabric
+            .links
+            .iter()
+            .map(|_| LinkState {
+                tx: Vec::new(),
+                avail: self.config.credits,
+                rx: Vec::new(),
+                pending: 0,
+            })
+            .collect();
+        let n = self.fabric.nodes;
+        let inject = (0..n)
+            .map(|src| {
+                (0..n)
+                    .map(|dst| {
+                        let sends = match self.config.traffic {
+                            Traffic::AllToAll => src != dst,
+                            Traffic::Transpose => dst == n - 1 - src && src != dst,
+                        };
+                        if sends {
+                            self.config.messages_per_pair
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        State { links, inject }
+    }
+
+    fn is_goal(&self, s: &State) -> bool {
+        s.inject.iter().all(|row| row.iter().all(|&m| m == 0))
+            && s.links.iter().all(|l| l.tx.is_empty() && l.rx.is_empty())
+    }
+
+    fn enabled(&self, s: &State, out: &mut Vec<Step>) {
+        out.clear();
+        for (node, row) in s.inject.iter().enumerate() {
+            for (dest, &m) in row.iter().enumerate() {
+                if m == 0 {
+                    continue;
+                }
+                let link = self.fabric.route[node][dest].expect("routable dest");
+                if s.links[link].tx.len() < self.config.tx_cap {
+                    out.push(Step::Inject { node, dest });
+                }
+            }
+        }
+        for (i, l) in s.links.iter().enumerate() {
+            let forced_send = matches!(
+                self.config.fault,
+                Some(Fault::SendWithoutCredit { link }) if link == i
+            );
+            if !l.tx.is_empty() && (l.avail > 0 || forced_send) {
+                out.push(Step::Send { link: i });
+            }
+            if let Some(&head) = l.rx.first() {
+                let dst_node = self.fabric.links[i].dst;
+                if head as usize == dst_node {
+                    out.push(Step::Deliver { link: i });
+                } else {
+                    let next = self.fabric.route[dst_node][head as usize].expect("routable");
+                    if s.links[next].tx.len() < self.config.tx_cap {
+                        out.push(Step::Deliver { link: i });
+                    }
+                    // else: head-of-line blocked — deliver disabled.
+                }
+            }
+            if l.pending > 0 {
+                out.push(Step::ReturnCredits { link: i });
+            }
+        }
+    }
+
+    fn apply(&self, s: &State, step: Step) -> State {
+        let mut n = s.clone();
+        match step {
+            Step::Inject { node, dest } => {
+                n.inject[node][dest] -= 1;
+                let link = self.fabric.route[node][dest].expect("routable");
+                n.links[link].tx.push(dest as u8);
+            }
+            Step::Send { link } => {
+                let l = &mut n.links[link];
+                let dest = l.tx.remove(0);
+                l.avail = l.avail.saturating_sub(1);
+                l.rx.push(dest);
+            }
+            Step::Deliver { link } => {
+                let dst_node = self.fabric.links[link].dst;
+                let dest = n.links[link].rx.remove(0);
+                n.links[link].pending += 1;
+                if dest as usize != dst_node {
+                    let next = self.fabric.route[dst_node][dest as usize].expect("routable");
+                    n.links[next].tx.push(dest);
+                }
+            }
+            Step::ReturnCredits { link } => {
+                let l = &mut n.links[link];
+                let k = l.pending.min(3);
+                l.pending -= k;
+                let dropped = matches!(
+                    self.config.fault,
+                    Some(Fault::DropCreditReturn { link: f }) if f == link
+                );
+                if !dropped {
+                    l.avail += k;
+                }
+            }
+        }
+        n
+    }
+
+    fn describe(&self, step: Step) -> String {
+        match step {
+            Step::Inject { node, dest } => format!("inject n{node} -> n{dest}"),
+            Step::Send { link } => {
+                let l = &self.fabric.links[link];
+                format!("send on link {link} (n{} -> n{})", l.src, l.dst)
+            }
+            Step::Deliver { link } => {
+                let l = &self.fabric.links[link];
+                format!("deliver/forward at n{} (link {link})", l.dst)
+            }
+            Step::ReturnCredits { link } => {
+                let l = &self.fabric.links[link];
+                format!("return credits on link {link} (n{} <- n{})", l.src, l.dst)
+            }
+        }
+    }
+
+    fn describe_state(&self, s: &State) -> String {
+        let mut parts = Vec::new();
+        for (i, l) in s.links.iter().enumerate() {
+            let d = &self.fabric.links[i];
+            parts.push(format!(
+                "link{i}(n{}->n{}): tx={:?} avail={} rx={:?} pending={}",
+                d.src, d.dst, l.tx, l.avail, l.rx, l.pending
+            ));
+        }
+        parts.join("; ")
+    }
+
+    /// The per-state property check; `Some(reason)` on violation.
+    fn violated(&self, s: &State, enabled_empty: bool) -> Option<String> {
+        for (i, l) in s.links.iter().enumerate() {
+            let accounted = l.avail as u32 + l.rx.len() as u32 + l.pending as u32;
+            if accounted != self.config.credits as u32 {
+                return Some(format!(
+                    "credit conservation on link {i}: avail({}) + rx({}) + pending({}) != \
+                     initial({})",
+                    l.avail,
+                    l.rx.len(),
+                    l.pending,
+                    self.config.credits
+                ));
+            }
+        }
+        if enabled_empty && !self.is_goal(s) {
+            return Some("deadlock: non-final state with no enabled transition".to_string());
+        }
+        None
+    }
+}
+
+/// Exhaustively explore `config`. Every reachable state is visited once
+/// (hashed dedup); the result carries the state/transition counts and, if
+/// a property failed, the minimal counterexample.
+pub fn check(config: McConfig) -> McResult {
+    let checker = Checker {
+        fabric: Fabric::build(config.topology),
+        config,
+    };
+    let init = checker.initial();
+    let mut ids: HashMap<State, usize> = HashMap::new();
+    let mut states: Vec<State> = Vec::new();
+    let mut parents: Vec<Option<(usize, Step)>> = Vec::new();
+    let mut frontier = VecDeque::new();
+    ids.insert(init.clone(), 0);
+    states.push(init);
+    parents.push(None);
+    frontier.push_back(0usize);
+    let mut transitions = 0usize;
+    let mut steps = Vec::new();
+
+    let build_cex =
+        |property: String, id: usize, states: &[State], parents: &[Option<(usize, Step)>]| {
+            let mut trace = Vec::new();
+            let mut cur = id;
+            while let Some((parent, step)) = parents[cur] {
+                trace.push(checker.describe(step));
+                cur = parent;
+            }
+            trace.reverse();
+            Counterexample {
+                property,
+                trace,
+                state: checker.describe_state(&states[id]),
+            }
+        };
+
+    while let Some(id) = frontier.pop_front() {
+        let state = states[id].clone();
+        checker.enabled(&state, &mut steps);
+        if let Some(reason) = checker.violated(&state, steps.is_empty()) {
+            return McResult {
+                states: states.len(),
+                transitions,
+                counterexample: Some(build_cex(reason, id, &states, &parents)),
+            };
+        }
+        for &step in &steps {
+            transitions += 1;
+            let next = checker.apply(&state, step);
+            if !ids.contains_key(&next) {
+                let nid = states.len();
+                assert!(
+                    nid < MAX_STATES,
+                    "state space exceeds {MAX_STATES}: shrink the configuration \
+                     (credits/queues/traffic) to keep the check exhaustive"
+                );
+                ids.insert(next.clone(), nid);
+                states.push(next);
+                parents.push(Some((id, step)));
+                frontier.push_back(nid);
+            }
+        }
+    }
+
+    McResult {
+        states: states.len(),
+        transitions,
+        counterexample: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pair_is_deadlock_free_and_conserving() {
+        let r = check(McConfig::paper_pair());
+        assert!(r.holds(), "{}", r.counterexample.unwrap());
+        assert!(r.states > 100, "exhaustive: visited {} states", r.states);
+    }
+
+    #[test]
+    fn mesh_2x2_is_deadlock_free_and_conserving() {
+        let r = check(McConfig::mesh_2x2());
+        assert!(r.holds(), "{}", r.counterexample.unwrap());
+        assert!(r.states > 1000, "exhaustive: visited {} states", r.states);
+    }
+
+    #[test]
+    fn dropped_credit_returns_yield_minimal_counterexample() {
+        let mut cfg = McConfig::paper_pair();
+        cfg.fault = Some(Fault::DropCreditReturn { link: 0 });
+        let r = check(cfg);
+        let cex = r.counterexample.expect("fault must be caught");
+        assert!(cex.property.contains("credit conservation"), "{cex}");
+        // Minimal: inject, send, deliver, (drop) return — four steps.
+        assert_eq!(cex.trace.len(), 4, "{cex}");
+        let printed = cex.to_string();
+        assert!(printed.contains("minimal trace"), "{printed}");
+    }
+
+    #[test]
+    fn send_without_credit_breaks_conservation() {
+        let mut cfg = McConfig::paper_pair();
+        // Three messages against two credits: the faulty transmitter gets
+        // a chance to push into a full receiver.
+        cfg.messages_per_pair = 3;
+        cfg.fault = Some(Fault::SendWithoutCredit { link: 0 });
+        let r = check(cfg);
+        let cex = r.counterexample.expect("fault must be caught");
+        assert!(cex.property.contains("credit conservation"), "{cex}");
+    }
+
+    #[test]
+    fn bigger_pair_load_still_holds() {
+        let cfg = McConfig {
+            credits: 3,
+            tx_cap: 3,
+            messages_per_pair: 3,
+            ..McConfig::paper_pair()
+        };
+        let r = check(cfg);
+        assert!(r.holds(), "{}", r.counterexample.unwrap());
+    }
+}

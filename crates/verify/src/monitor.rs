@@ -1,0 +1,446 @@
+//! Runtime invariant monitors for the simulated fabric.
+//!
+//! [`InvariantMonitor`] implements [`tcc_firmware::FabricMonitor`] and
+//! attaches to a [`Platform`](tcc_firmware::Platform) via
+//! `Platform::with_monitors`. On every delivered packet it checks:
+//!
+//! * **delivery-order legality** — within one directed link, a packet that
+//!   overtakes an earlier-emitted packet (earlier arrival time) must be
+//!   allowed to by the HT ch. 6 ordering table ([`tcc_ht::ordering::may_pass`]);
+//! * **SrcTag uniqueness** — a tag may not be reissued on a link while a
+//!   response for it is outstanding, and a response must match an
+//!   outstanding tag;
+//! * **TCC link discipline** — no broadcasts and no non-posted/response
+//!   traffic ever cross a non-coherent (TCC) link.
+//!
+//! Violations accumulate in a shared [`Report`] read through the
+//! [`MonitorHandle`] the caller keeps. When no monitor is installed the
+//! platform hot path pays a single branch (see `Platform::propagate`).
+
+use crate::diag::{PacketRef, PortRef, Violation};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
+use tcc_firmware::{FabricMonitor, PacketEvent};
+use tcc_ht::packet::Command;
+use tcc_ht::{Packet, VirtualChannel};
+
+/// How many recent deliveries per directed link the ordering check keeps.
+/// A pass can only happen within one serialisation window of the wire, so
+/// a small bound loses nothing in practice while bounding memory.
+const ORDER_WINDOW: usize = 64;
+
+/// Everything a packet's ordering behaviour depends on — the projection
+/// of a [`Packet`] that [`may_pass`](tcc_ht::ordering::may_pass) actually
+/// reads. [`key_may_pass`] on two keys agrees with `may_pass` on the
+/// packets they were taken from (property-tested in `tests/monitors.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderKey {
+    pub vc: VirtualChannel,
+    pub is_fence: bool,
+    pub pass_pw: bool,
+}
+
+impl OrderKey {
+    pub fn of(pkt: &Packet) -> Self {
+        OrderKey {
+            vc: pkt.vc(),
+            is_fence: matches!(pkt.cmd, Command::Fence { .. }),
+            pass_pw: matches!(
+                pkt.cmd,
+                Command::WrSized { pass_pw: true, .. } | Command::RdSized { pass_pw: true, .. }
+            ),
+        }
+    }
+}
+
+/// The ordering oracle on projected keys; mirrors
+/// [`tcc_ht::ordering::may_pass`] exactly.
+pub fn key_may_pass(later: OrderKey, earlier: OrderKey) -> bool {
+    use VirtualChannel::*;
+    if later.vc == earlier.vc {
+        return false;
+    }
+    if earlier.is_fence || later.is_fence {
+        return false;
+    }
+    match (later.vc, earlier.vc) {
+        (NonPosted, Posted) | (Response, Posted) => later.pass_pw,
+        (Posted, NonPosted) | (Posted, Response) => true,
+        (NonPosted, Response) | (Response, NonPosted) => true,
+        _ => false,
+    }
+}
+
+/// Accumulated monitor output.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub packets_seen: u64,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Caller-side handle onto the report a mounted monitor writes into.
+#[derive(Debug, Clone)]
+pub struct MonitorHandle(Rc<RefCell<Report>>);
+
+impl MonitorHandle {
+    /// Run `f` against the current report.
+    pub fn with<R>(&self, f: impl FnOnce(&Report) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    pub fn violations(&self) -> Vec<Violation> {
+        self.0.borrow().violations.clone()
+    }
+
+    pub fn packets_seen(&self) -> u64 {
+        self.0.borrow().packets_seen
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.0.borrow().is_clean()
+    }
+}
+
+#[derive(Debug, Default)]
+struct LinkWindow {
+    /// Recently delivered packets on this directed link, in emission order.
+    recent: VecDeque<(OrderKey, PacketRef)>,
+    next_seq: u64,
+}
+
+/// The pluggable observer. Build one paired with its handle via
+/// [`InvariantMonitor::new`], then hand the box to
+/// `Platform::with_monitors`.
+#[derive(Debug)]
+pub struct InvariantMonitor {
+    report: Rc<RefCell<Report>>,
+    /// Ordering window per directed link, keyed by the transmitting port.
+    windows: BTreeMap<PortRef, LinkWindow>,
+    /// Outstanding SrcTags per requesting port (request's source).
+    outstanding: BTreeMap<PortRef, BTreeSet<u8>>,
+}
+
+impl InvariantMonitor {
+    /// A fresh monitor and the handle its report is read through.
+    pub fn new() -> (Box<Self>, MonitorHandle) {
+        let report = Rc::new(RefCell::new(Report::default()));
+        let handle = MonitorHandle(Rc::clone(&report));
+        (
+            Box::new(InvariantMonitor {
+                report,
+                windows: BTreeMap::new(),
+                outstanding: BTreeMap::new(),
+            }),
+            handle,
+        )
+    }
+
+    fn packet_ref(pkt: &Packet, seq: u64, arrival_ps: u64) -> PacketRef {
+        PacketRef {
+            opcode: match pkt.cmd {
+                Command::Nop { .. } => "Nop",
+                Command::WrSized { .. } => "WrSized",
+                Command::RdSized { .. } => "RdSized",
+                Command::RdResponse { .. } => "RdResponse",
+                Command::TgtDone { .. } => "TgtDone",
+                Command::Broadcast { .. } => "Broadcast",
+                Command::Fence { .. } => "Fence",
+                Command::Flush { .. } => "Flush",
+            },
+            vc: pkt.vc(),
+            addr: pkt.addr(),
+            seq,
+            arrival_ps,
+        }
+    }
+
+    fn check_ordering(&mut self, src: PortRef, pkt: &Packet, arrival_ps: u64) {
+        let window = self.windows.entry(src).or_default();
+        let seq = window.next_seq;
+        window.next_seq += 1;
+        let key = OrderKey::of(pkt);
+        let me = Self::packet_ref(pkt, seq, arrival_ps);
+        for (earlier_key, earlier) in window.recent.iter() {
+            // Emitted earlier but arriving later: `me` passed `earlier`.
+            if arrival_ps < earlier.arrival_ps && !key_may_pass(key, *earlier_key) {
+                self.report
+                    .borrow_mut()
+                    .violations
+                    .push(Violation::OrderingViolation {
+                        link: src,
+                        earlier: earlier.clone(),
+                        later: me.clone(),
+                    });
+            }
+        }
+        if window.recent.len() == ORDER_WINDOW {
+            window.recent.pop_front();
+        }
+        window.recent.push_back((key, me));
+    }
+
+    fn check_tags(&mut self, src: PortRef, dst: PortRef, pkt: &Packet) {
+        match &pkt.cmd {
+            cmd if cmd.needs_response() => {
+                let tag = match cmd {
+                    Command::WrSized { tag: Some(t), .. } => Some(t.0),
+                    Command::RdSized { tag, .. } | Command::Flush { tag, .. } => Some(tag.0),
+                    _ => None,
+                };
+                if let Some(tag) = tag {
+                    if !self.outstanding.entry(src).or_default().insert(tag) {
+                        self.report
+                            .borrow_mut()
+                            .violations
+                            .push(Violation::TagReuse { port: src, tag });
+                    }
+                }
+            }
+            // The matching request left through the port this response
+            // is arriving at.
+            Command::RdResponse { tag, .. } | Command::TgtDone { tag, .. }
+                if !self.outstanding.entry(dst).or_default().remove(&tag.0) =>
+            {
+                self.report
+                    .borrow_mut()
+                    .violations
+                    .push(Violation::TagUnmatched {
+                        port: dst,
+                        tag: tag.0,
+                    });
+            }
+            _ => {}
+        }
+    }
+
+    fn check_tcc_discipline(&mut self, src: PortRef, dst: PortRef, pkt: &Packet, seq_hint: u64) {
+        if matches!(pkt.cmd, Command::Broadcast { .. }) {
+            self.report
+                .borrow_mut()
+                .violations
+                .push(Violation::BroadcastLeak { link: src, dst });
+        } else if pkt.vc() != VirtualChannel::Posted {
+            let packet = Self::packet_ref(pkt, seq_hint, 0);
+            self.report
+                .borrow_mut()
+                .violations
+                .push(Violation::NonPostedOnTcc { link: src, packet });
+        }
+    }
+}
+
+impl FabricMonitor for InvariantMonitor {
+    fn on_packet(&mut self, ev: &PacketEvent<'_>) {
+        let src = PortRef {
+            node: ev.src.0,
+            link: ev.src.1 .0,
+        };
+        let dst = PortRef {
+            node: ev.dst.0,
+            link: ev.dst.1 .0,
+        };
+        self.report.borrow_mut().packets_seen += 1;
+        let arrival_ps = ev.arrival.0;
+        self.check_ordering(src, ev.packet, arrival_ps);
+        self.check_tags(src, dst, ev.packet);
+        if !ev.coherent {
+            let seq = self.windows.get(&src).map_or(0, |w| w.next_seq);
+            self.check_tcc_discipline(src, dst, ev.packet, seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tcc_fabric::time::SimTime;
+    use tcc_ht::packet::{SrcTag, UnitId};
+    use tcc_opteron::regs::LinkId;
+
+    fn ev<'a>(pkt: &'a Packet, arrival_ps: u64, coherent: bool) -> PacketEvent<'a> {
+        PacketEvent {
+            src: (0, LinkId(3)),
+            dst: (1, LinkId(2)),
+            coherent,
+            packet: pkt,
+            arrival: SimTime(arrival_ps),
+        }
+    }
+
+    #[test]
+    fn fifo_posted_stream_is_clean() {
+        let (mut mon, handle) = InvariantMonitor::new();
+        for i in 0..100u64 {
+            let p = Packet::posted_write(i * 64, Bytes::from_static(&[0u8; 64]));
+            mon.on_packet(&ev(&p, 1000 + i * 10, false));
+        }
+        assert!(handle.is_clean(), "{:?}", handle.violations());
+        assert_eq!(handle.packets_seen(), 100);
+    }
+
+    #[test]
+    fn illegal_pass_detected_with_context() {
+        let (mut mon, handle) = InvariantMonitor::new();
+        // A read (non-posted, pass_pw=0) emitted after a posted write must
+        // not arrive earlier.
+        let w = Packet::posted_write(0x2000, Bytes::from_static(&[0u8; 64]));
+        let r = Packet::control(Command::RdSized {
+            unit: UnitId::HOST,
+            addr: 0x3000,
+            count: 0,
+            pass_pw: false,
+            seq_id: 0,
+            tag: SrcTag::new(1),
+        });
+        mon.on_packet(&ev(&w, 2000, true));
+        mon.on_packet(&ev(&r, 1000, true));
+        let vs = handle.violations();
+        assert_eq!(vs.len(), 1);
+        match &vs[0] {
+            Violation::OrderingViolation {
+                link,
+                earlier,
+                later,
+            } => {
+                assert_eq!(link.node, 0);
+                assert_eq!(earlier.opcode, "WrSized");
+                assert_eq!(later.opcode, "RdSized");
+                assert!(later.arrival_ps < earlier.arrival_ps);
+            }
+            other => panic!("wrong violation: {other}"),
+        }
+    }
+
+    #[test]
+    fn legal_pass_passes() {
+        let (mut mon, handle) = InvariantMonitor::new();
+        // pass_pw=1 read may overtake a posted write.
+        let w = Packet::posted_write(0x2000, Bytes::from_static(&[0u8; 64]));
+        let r = Packet::control(Command::RdSized {
+            unit: UnitId::HOST,
+            addr: 0x3000,
+            count: 0,
+            pass_pw: true,
+            seq_id: 0,
+            tag: SrcTag::new(1),
+        });
+        mon.on_packet(&ev(&w, 2000, true));
+        mon.on_packet(&ev(&r, 1000, true));
+        assert!(handle.is_clean(), "{:?}", handle.violations());
+    }
+
+    #[test]
+    fn tag_reuse_and_unmatched_detected() {
+        let (mut mon, handle) = InvariantMonitor::new();
+        let rd = |t: u8| {
+            Packet::control(Command::RdSized {
+                unit: UnitId::HOST,
+                addr: 0,
+                count: 0,
+                pass_pw: false,
+                seq_id: 0,
+                tag: SrcTag::new(t),
+            })
+        };
+        mon.on_packet(&ev(&rd(4), 100, true));
+        mon.on_packet(&ev(&rd(4), 200, true)); // reuse while outstanding
+        let vs = handle.violations();
+        assert!(
+            matches!(vs[0], Violation::TagReuse { tag: 4, .. }),
+            "{vs:?}"
+        );
+
+        // An unmatched response (tag 9 never requested).
+        let resp = Packet::control(Command::TgtDone {
+            unit: UnitId::HOST,
+            tag: SrcTag::new(9),
+            error: false,
+        });
+        // Response travels the reverse direction: dst is the requester port.
+        let rev = PacketEvent {
+            src: (1, LinkId(2)),
+            dst: (0, LinkId(3)),
+            coherent: true,
+            packet: &resp,
+            arrival: SimTime(300),
+        };
+        mon.on_packet(&rev);
+        let vs = handle.violations();
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::TagUnmatched { tag: 9, .. })),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn matched_response_is_clean() {
+        let (mut mon, handle) = InvariantMonitor::new();
+        let rd = Packet::control(Command::RdSized {
+            unit: UnitId::HOST,
+            addr: 0,
+            count: 0,
+            pass_pw: true,
+            seq_id: 0,
+            tag: SrcTag::new(7),
+        });
+        mon.on_packet(&ev(&rd, 100, true));
+        let resp = Packet::new(
+            Command::RdResponse {
+                unit: UnitId::HOST,
+                tag: SrcTag::new(7),
+                error: false,
+            },
+            Bytes::from_static(&[0u8; 64]),
+        );
+        let rev = PacketEvent {
+            src: (1, LinkId(2)),
+            dst: (0, LinkId(3)),
+            coherent: true,
+            packet: &resp,
+            arrival: SimTime(300),
+        };
+        mon.on_packet(&rev);
+        assert!(handle.is_clean(), "{:?}", handle.violations());
+    }
+
+    #[test]
+    fn tcc_discipline_flags_broadcast_and_nonposted() {
+        let (mut mon, handle) = InvariantMonitor::new();
+        let b = Packet::control(Command::Broadcast {
+            unit: UnitId::HOST,
+            addr: 0xFEE0_0000,
+        });
+        mon.on_packet(&ev(&b, 100, false));
+        let rd = Packet::control(Command::RdSized {
+            unit: UnitId::HOST,
+            addr: 0,
+            count: 0,
+            pass_pw: false,
+            seq_id: 0,
+            tag: SrcTag::new(0),
+        });
+        mon.on_packet(&ev(&rd, 200, false));
+        let vs = handle.violations();
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::BroadcastLeak { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::NonPostedOnTcc { .. })));
+        // Same traffic on a coherent link: no TCC-discipline violations,
+        // though the read still registers its tag.
+        let (mut mon2, handle2) = InvariantMonitor::new();
+        mon2.on_packet(&ev(&b, 100, true));
+        mon2.on_packet(&ev(&rd, 200, true));
+        assert!(handle2.is_clean(), "{:?}", handle2.violations());
+    }
+}

@@ -1,0 +1,219 @@
+//! Integration: monitors on a live simulation, platform audits on booted
+//! clusters, and the property/fuzz coverage the ordering and address-map
+//! checkers are held to.
+
+use proptest::prelude::*;
+use tcc_opteron::addrmap::AddressMap;
+use tcc_opteron::regs::{LinkId, NodeId};
+use tcc_verify::{
+    audit_platform, audit_quiescent_credits, key_may_pass, InvariantMonitor, OrderKey, Violation,
+};
+use tccluster::TcclusterBuilder;
+
+/// A booted paper-prototype pair with an invariant monitor mounted.
+fn monitored_cluster() -> (tccluster::SimCluster, tcc_verify::MonitorHandle) {
+    let mut cluster = TcclusterBuilder::new().build_sim();
+    let (mon, handle) = InvariantMonitor::new();
+    cluster.platform.with_monitors(mon);
+    (cluster, handle)
+}
+
+#[test]
+fn live_pingpong_traffic_is_clean() {
+    let (mut cluster, handle) = monitored_cluster();
+    let lat = cluster.pingpong(0, 1, 64, 20);
+    assert!(lat.nanos() > 0.0);
+    assert!(
+        handle.packets_seen() > 40,
+        "monitor saw {} packets",
+        handle.packets_seen()
+    );
+    assert!(handle.is_clean(), "{:?}", handle.violations());
+}
+
+#[test]
+fn live_bandwidth_stream_is_clean_and_credits_quiesce() {
+    let (mut cluster, handle) = monitored_cluster();
+    let bw = cluster.stream_bandwidth(0, 1, 64, tccluster::msglib::SendMode::WeaklyOrdered, 2000);
+    assert!(bw > 0.0);
+    assert!(handle.is_clean(), "{:?}", handle.violations());
+    assert!(handle.packets_seen() >= 2000);
+    // Open-loop sim auto-returns credits: the fabric must be whole again.
+    let leaks = audit_quiescent_credits(&cluster.platform);
+    assert!(leaks.is_empty(), "{leaks:?}");
+}
+
+#[test]
+fn booted_pair_passes_static_audit() {
+    let (cluster, _handle) = monitored_cluster();
+    let vs = audit_platform(&cluster.platform);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn booted_multiprocessor_ring_passes_static_audit() {
+    // Two supernodes of two processors each: internal coherent hops plus
+    // the TCC cable — exercises the multi-hop route walk.
+    let mut cluster = TcclusterBuilder::new()
+        .processors_per_supernode(2)
+        .build_sim();
+    let vs = audit_platform(&cluster.platform);
+    assert!(vs.is_empty(), "{vs:?}");
+    // And traffic across the full route stays clean under the monitor.
+    let (mon, handle) = InvariantMonitor::new();
+    cluster.platform.with_monitors(mon);
+    cluster.pingpong(0, 3, 64, 10);
+    assert!(handle.is_clean(), "{:?}", handle.violations());
+}
+
+#[test]
+fn sabotaged_route_is_reported_with_context() {
+    let (mut cluster, _handle) = monitored_cluster();
+    // Point node 0's remote MMIO window at an unwired link.
+    let map = &mut cluster.platform.nodes[0].nb.addr_map;
+    let ranges: Vec<_> = map.mmio_ranges().collect();
+    map.clear();
+    for (base, limit, owner, _link) in ranges {
+        map.add_mmio(base, limit, owner, LinkId(1)).unwrap();
+    }
+    let vs = audit_platform(&cluster.platform);
+    assert!(
+        vs.iter().any(|v| matches!(
+            v,
+            Violation::AddrMap { node: 0, .. } | Violation::Route { from: 0, .. }
+        )),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn broadcast_mask_over_tcc_link_is_reported() {
+    let (mut cluster, _handle) = monitored_cluster();
+    // Find node 0's TCC link and illegally enable broadcasts across it.
+    let tcc = (0..4)
+        .map(LinkId)
+        .find(|&l| cluster.platform.link_coherent(0, l) == Some(false))
+        .expect("pair has a TCC link on node 0");
+    let nb = &mut cluster.platform.nodes[0].nb;
+    nb.routes.set(
+        NodeId(0),
+        tcc_opteron::route::NodeRoute {
+            request: tcc_opteron::route::Route::SelfRoute,
+            response: tcc_opteron::route::Route::SelfRoute,
+            broadcast_links: 1 << tcc.0,
+        },
+    );
+    let vs = audit_platform(&cluster.platform);
+    assert!(
+        vs.iter()
+            .any(|v| matches!(v, Violation::BroadcastRoute { node: 0, .. })),
+        "{vs:?}"
+    );
+}
+
+/// The paper's Fig. 3 two-node map (node 0's view).
+fn figure3_map() -> AddressMap {
+    let mut map = AddressMap::new();
+    map.add_dram(0x1000, 0x2000, NodeId(0)).unwrap();
+    map.add_mmio(0x2000, 0x7000, NodeId(0), LinkId(2)).unwrap();
+    map
+}
+
+/// Fuzz-style sweep: every mutation of the Fig. 3 map that drags one
+/// range boundary across the other range must be rejected — either at
+/// insert (same-class overlap is impossible to express here) or by
+/// `validate` (DRAM/MMIO cross overlap).
+#[test]
+fn every_overlap_mutation_of_figure3_map_is_rejected() {
+    figure3_map().validate().expect("baseline map is legal");
+    let mut tried = 0u32;
+    // Mutate the DRAM limit upward into MMIO, one step at a time.
+    for dram_limit in (0x2001..=0x7000u64).step_by(0x3ff) {
+        let mut map = AddressMap::new();
+        map.add_dram(0x1000, dram_limit, NodeId(0)).unwrap();
+        map.add_mmio(0x2000, 0x7000, NodeId(0), LinkId(2)).unwrap();
+        assert!(map.validate().is_err(), "limit {dram_limit:#x} accepted");
+        tried += 1;
+    }
+    // Mutate the MMIO base downward into DRAM.
+    for mmio_base in (0x1000..0x2000u64).step_by(0xff) {
+        let mut map = AddressMap::new();
+        map.add_dram(0x1000, 0x2000, NodeId(0)).unwrap();
+        map.add_mmio(mmio_base, 0x7000, NodeId(0), LinkId(2))
+            .unwrap();
+        assert!(map.validate().is_err(), "base {mmio_base:#x} accepted");
+        tried += 1;
+    }
+    // Add a second DRAM range overlapping the first: rejected at insert.
+    for base in (0x1000..0x2000u64).step_by(0xff) {
+        let mut map = figure3_map();
+        assert!(
+            map.add_dram(base, base + 0x800, NodeId(1)).is_err() || map.validate().is_err(),
+            "second DRAM at {base:#x} accepted"
+        );
+        tried += 1;
+    }
+    assert!(tried > 40, "swept {tried} mutants");
+}
+
+fn arb_packet() -> impl Strategy<Value = tcc_ht::Packet> {
+    use bytes::Bytes;
+    use tcc_ht::packet::{Command, Packet, SrcTag, UnitId};
+    prop_oneof![
+        (any::<u64>(), any::<bool>()).prop_map(|(addr, pass_pw)| {
+            Packet::new(
+                Command::WrSized {
+                    posted: true,
+                    unit: UnitId::HOST,
+                    addr,
+                    count: 15,
+                    pass_pw,
+                    seq_id: 0,
+                    tag: None,
+                },
+                Bytes::from_static(&[0u8; 64]),
+            )
+        }),
+        (any::<u64>(), any::<bool>(), 0u8..32).prop_map(|(addr, pass_pw, t)| {
+            Packet::control(Command::RdSized {
+                unit: UnitId::HOST,
+                addr,
+                count: 0,
+                pass_pw,
+                seq_id: 0,
+                tag: SrcTag::new(t),
+            })
+        }),
+        (0u8..32).prop_map(|t| {
+            Packet::control(Command::TgtDone {
+                unit: UnitId::HOST,
+                tag: SrcTag::new(t),
+                error: false,
+            })
+        }),
+        Just(Packet::control(Command::Fence { unit: UnitId::HOST })),
+        Just(Packet::control(Command::Flush {
+            unit: UnitId::HOST,
+            tag: SrcTag::new(0),
+        })),
+    ]
+}
+
+proptest! {
+    /// The monitor's projected ordering oracle agrees with the real
+    /// `may_pass` on arbitrary packet pairs drawn from random streams.
+    #[test]
+    fn order_key_oracle_agrees_with_may_pass(
+        stream in proptest::collection::vec(arb_packet(), 2..24)
+    ) {
+        for a in &stream {
+            for b in &stream {
+                prop_assert_eq!(
+                    key_may_pass(OrderKey::of(b), OrderKey::of(a)),
+                    tcc_ht::ordering::may_pass(b, a),
+                    "later={:?} earlier={:?}", b.cmd, a.cmd
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Workspace automation. `cargo xtask lint` is the single entry point CI
+//! and developers run before merging:
+//!
+//! 1. **forbid-unsafe** — every non-bench crate's `lib.rs` must carry
+//!    `#![forbid(unsafe_code)]` (the bench crate is exempt: its counting
+//!    global allocator needs `unsafe impl GlobalAlloc`).
+//! 2. **hot-path-alloc** — the functions PR 1 made allocation-free stay
+//!    allocation-free *at the source level*: their bodies may not contain
+//!    `Vec::new`, `vec![`, `with_capacity`, `to_vec`, `Box::new`,
+//!    `collect()`, `format!` or `to_string`. This catches regressions at
+//!    review time instead of waiting for the counting-allocator test.
+//! 3. **clippy** — `cargo clippy --workspace --all-targets -- -D warnings`,
+//!    which also promotes the `clippy.toml` disallowed-methods (wallclock
+//!    reads outside the bench harness) to hard errors.
+//!
+//! `cargo xtask lint --no-clippy` runs only the source scans (fast, no
+//! compilation).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Functions whose bodies must stay allocation-free at the source level.
+/// (file relative to the workspace root, function name)
+const HOT_FUNCTIONS: &[(&str, &str)] = &[
+    ("crates/opteron/src/node.rs", "fn store"),
+    ("crates/opteron/src/node.rs", "fn store_burst"),
+    ("crates/opteron/src/node.rs", "fn sfence"),
+    ("crates/opteron/src/node.rs", "fn emit_flush"),
+    ("crates/opteron/src/node.rs", "fn emit_runs"),
+    ("crates/opteron/src/node.rs", "fn sq_headroom"),
+    ("crates/firmware/src/machine.rs", "fn propagate"),
+    ("crates/msglib/src/ring.rs", "fn send"),
+    ("crates/msglib/src/ring.rs", "fn recv_into"),
+    ("crates/msglib/src/channel.rs", "fn send"),
+    ("crates/msglib/src/channel.rs", "fn recv_into"),
+];
+
+/// Substrings that indicate a heap allocation (or an allocation-returning
+/// conversion) inside a hot function body.
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "with_capacity(",
+    ".to_vec(",
+    "Box::new(",
+    ".collect(",
+    "format!(",
+    ".to_string(",
+    "String::new(",
+    "String::from(",
+];
+
+/// Crates exempt from `#![forbid(unsafe_code)]`: bench installs a counting
+/// `GlobalAlloc` for the zero-allocation regression tests.
+const UNSAFE_EXEMPT: &[&str] = &["bench"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("lint") => {
+            let clippy = !args.iter().any(|a| a == "--no-clippy");
+            lint(clippy)
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--no-clippy]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(run_clippy: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    failures.extend(check_forbid_unsafe(&root));
+    failures.extend(check_hot_path_allocs(&root));
+
+    if failures.is_empty() {
+        println!("xtask lint: forbid-unsafe ok, hot-path-alloc ok");
+    } else {
+        for f in &failures {
+            eprintln!("xtask lint: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if run_clippy {
+        let status = Command::new(env!("CARGO"))
+            .current_dir(&root)
+            .args([
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ])
+            .status()
+            .expect("spawn cargo clippy");
+        if !status.success() {
+            eprintln!("xtask lint: clippy failed");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask lint: clippy ok");
+    }
+    ExitCode::SUCCESS
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Every `crates/*/src/lib.rs` (bench exempt) must forbid unsafe code.
+fn check_forbid_unsafe(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)
+        .expect("read crates/")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for dir in entries {
+        let name = dir.file_name().unwrap().to_string_lossy().into_owned();
+        if UNSAFE_EXEMPT.contains(&name.as_str()) {
+            continue;
+        }
+        let lib = dir.join("src/lib.rs");
+        if !lib.is_file() {
+            continue; // bin-only crate (xtask itself)
+        }
+        let text = std::fs::read_to_string(&lib).expect("read lib.rs");
+        if !text.contains("#![forbid(unsafe_code)]") {
+            out.push(format!(
+                "{}: missing #![forbid(unsafe_code)]",
+                lib.strip_prefix(root).unwrap().display()
+            ));
+        }
+    }
+    out
+}
+
+fn check_hot_path_allocs(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    for &(file, func) in HOT_FUNCTIONS {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {file}: {e}"));
+        match function_body(&text, func) {
+            Some((start_line, body)) => {
+                for (off, line) in body.lines().enumerate() {
+                    let code = strip_comment(line);
+                    for pat in ALLOC_PATTERNS {
+                        if code.contains(pat) {
+                            out.push(format!(
+                                "{file}:{}: `{pat}` inside hot function `{func}` \
+                                 (see docs/hot-path.md)",
+                                start_line + off
+                            ));
+                        }
+                    }
+                }
+            }
+            None => out.push(format!(
+                "{file}: hot function `{func}` not found — update xtask's HOT_FUNCTIONS"
+            )),
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Extract the body of the first function whose signature line contains
+/// `func` as a word-bounded match, by brace counting from its opening
+/// brace. Returns (1-based line of the signature, body text).
+fn function_body<'a>(text: &'a str, func: &str) -> Option<(usize, &'a str)> {
+    let mut search_from = 0;
+    loop {
+        let rel = text[search_from..].find(func)?;
+        let at = search_from + rel;
+        // Word-bounded on the right: `fn store` must not match `fn store_burst`.
+        let after = text[at + func.len()..].chars().next();
+        if !matches!(after, Some('(') | Some('<') | Some(' ')) {
+            search_from = at + func.len();
+            continue;
+        }
+        let sig_line = text[..at].lines().count();
+        let open = at + text[at..].find('{')?;
+        let mut depth = 0usize;
+        for (i, ch) in text[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((sig_line, &text[open..open + i + 1]));
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+impl Foo {
+    pub fn store(&mut self) -> u32 {
+        let x = { 1 + 2 };
+        x
+    }
+
+    pub fn store_burst(&mut self) {
+        let v = Vec::new();
+        drop(v);
+    }
+}
+";
+
+    #[test]
+    fn body_extraction_is_word_bounded() {
+        let (line, body) = function_body(SAMPLE, "fn store").unwrap();
+        assert_eq!(line, 2);
+        assert!(body.contains("1 + 2"));
+        assert!(!body.contains("Vec::new"));
+    }
+
+    #[test]
+    fn nested_braces_are_balanced() {
+        let (_, body) = function_body(SAMPLE, "fn store_burst").unwrap();
+        assert!(body.contains("Vec::new"));
+        assert!(!body.contains("impl"));
+    }
+
+    #[test]
+    fn comments_do_not_trip_the_scan() {
+        assert_eq!(
+            strip_comment("let x = 1; // Vec::new( in a comment"),
+            "let x = 1; "
+        );
+    }
+
+    #[test]
+    fn workspace_hot_functions_are_present_and_clean() {
+        let root = workspace_root();
+        let failures = check_hot_path_allocs(&root);
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn workspace_crates_forbid_unsafe() {
+        let root = workspace_root();
+        let failures = check_forbid_unsafe(&root);
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal offline shim for the `loom` concurrency checker.
+//!
+//! The real `loom` replaces `std::sync::atomic`/`std::thread` with modeled
+//! versions and `loom::model` exhaustively explores every legal
+//! interleaving under the C11 memory model. This offline container cannot
+//! fetch it, so this shim keeps the *same API surface* backed by `std`:
+//! `model(f)` re-runs the body many times with real threads, which makes
+//! the `cfg(loom)` tests a randomized-schedule stress suite rather than an
+//! exhaustive proof. Swapping this path dependency for the real
+//! `loom = "0.7"` upgrades the identical test source to exhaustive
+//! exploration — keep test bodies small (≤3 threads, ≤4 operations each)
+//! so they stay tractable when that happens.
+
+#![forbid(unsafe_code)]
+
+/// Number of stress repetitions standing in for loom's exhaustive search.
+const SHIM_ITERATIONS: usize = 256;
+
+/// Run `f` under the (shimmed) model: repeatedly, with real threads.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..SHIM_ITERATIONS {
+        f();
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, Mutex};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_body_with_threads() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&total);
+        super::model(move || {
+            let v = Arc::new(AtomicU64::new(0));
+            let v2 = Arc::clone(&v);
+            let h = super::thread::spawn(move || v2.store(7, Ordering::Release));
+            h.join().unwrap();
+            assert_eq!(v.load(Ordering::Acquire), 7);
+            t2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), super::SHIM_ITERATIONS as u64);
+    }
+}
