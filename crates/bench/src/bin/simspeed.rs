@@ -176,6 +176,24 @@ fn bench_shm_channel() -> (f64, f64) {
     (dt.as_nanos() as f64 / N as f64, da as f64 / N as f64)
 }
 
+/// Event-driven fabric engine: concurrent all-to-all on a 2×2 mesh of
+/// two-socket supernodes (12 flows, real credit flow control). Returns
+/// host events/sec — the sweep-rate currency of every congestion study.
+fn bench_event_fabric() -> f64 {
+    use tccluster::firmware::topology::ClusterTopology;
+    use tccluster::{EngineKind, TcclusterBuilder, TrafficPattern};
+    let mut cluster = TcclusterBuilder::new()
+        .topology(ClusterTopology::Mesh { x: 2, y: 2 })
+        .processors_per_supernode(2)
+        .engine(EngineKind::EventDriven)
+        .build_sim();
+    let t0 = Instant::now();
+    let report = cluster.run_workload(TrafficPattern::AllToAll, 256 << 10);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(report.lost_packets(), 0, "event fabric lost packets");
+    report.events as f64 / dt
+}
+
 /// Threaded ShmCluster ping-pong storm. Returns messages/sec (both
 /// directions counted).
 fn bench_shm_storm() -> f64 {
@@ -215,6 +233,8 @@ fn main() {
     println!("shm channel (1 thread)     {shm_ns:>12.1} ns/msg     {shm_allocs:.2} allocs/msg");
     let storm = -best_of(|| -bench_shm_storm());
     println!("shm storm (2 threads)      {storm:>12.0} msgs/sec");
+    let event_eps = -best_of(|| -bench_event_fabric());
+    println!("event fabric (2x2 mesh)    {event_eps:>12.0} events/sec");
 
     let speedup6 = if PRE_CHANGE_FIG6_MS > 0.0 {
         PRE_CHANGE_FIG6_MS / fig6_ms
@@ -231,7 +251,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"tcc-simspeed-v1\",\n  \"pre_change\": {{\n    \"fig6_sweep_ms\": {PRE_CHANGE_FIG6_MS:.1},\n    \"fig7_sweep_ms\": {PRE_CHANGE_FIG7_MS:.1},\n    \"sim_store_ns\": {PRE_CHANGE_STORE_NS:.1},\n    \"sim_store_allocs\": {PRE_CHANGE_STORE_ALLOCS:.3},\n    \"shm_message_ns\": {PRE_CHANGE_SHM_MESSAGE_NS:.1},\n    \"shm_allocs_per_message\": {PRE_CHANGE_SHM_ALLOCS:.3},\n    \"shm_storm_msgs_per_sec\": {PRE_CHANGE_STORM_MSGS_PER_SEC:.0}\n  }},\n  \"measured\": {{\n    \"fig6_sweep_ms\": {fig6_ms:.1},\n    \"fig7_sweep_ms\": {fig7_ms:.1},\n    \"fig6_speedup\": {speedup6:.2},\n    \"fig7_speedup\": {speedup7:.2},\n    \"sim_store_ns\": {store_ns:.1},\n    \"sim_store_allocs\": {store_allocs:.3},\n    \"shm_message_ns\": {shm_ns:.1},\n    \"shm_allocs_per_message\": {shm_allocs:.3},\n    \"shm_storm_msgs_per_sec\": {storm:.0}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"tcc-simspeed-v2\",\n  \"pre_change\": {{\n    \"fig6_sweep_ms\": {PRE_CHANGE_FIG6_MS:.1},\n    \"fig7_sweep_ms\": {PRE_CHANGE_FIG7_MS:.1},\n    \"sim_store_ns\": {PRE_CHANGE_STORE_NS:.1},\n    \"sim_store_allocs\": {PRE_CHANGE_STORE_ALLOCS:.3},\n    \"shm_message_ns\": {PRE_CHANGE_SHM_MESSAGE_NS:.1},\n    \"shm_allocs_per_message\": {PRE_CHANGE_SHM_ALLOCS:.3},\n    \"shm_storm_msgs_per_sec\": {PRE_CHANGE_STORM_MSGS_PER_SEC:.0}\n  }},\n  \"measured\": {{\n    \"fig6_sweep_ms\": {fig6_ms:.1},\n    \"fig7_sweep_ms\": {fig7_ms:.1},\n    \"fig6_speedup\": {speedup6:.2},\n    \"fig7_speedup\": {speedup7:.2},\n    \"sim_store_ns\": {store_ns:.1},\n    \"sim_store_allocs\": {store_allocs:.3},\n    \"shm_message_ns\": {shm_ns:.1},\n    \"shm_allocs_per_message\": {shm_allocs:.3},\n    \"shm_storm_msgs_per_sec\": {storm:.0},\n    \"event_fabric_events_per_sec\": {event_eps:.0}\n  }}\n}}\n"
     );
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("\nwrote BENCH_simspeed.json");

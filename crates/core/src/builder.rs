@@ -2,6 +2,7 @@
 //! a packet-level simulation ([`SimCluster`]) or as a threaded
 //! shared-memory emulation ([`ShmCluster`]).
 
+use crate::engine::EngineKind;
 use crate::shm_cluster::ShmCluster;
 use crate::sim::SimCluster;
 use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
@@ -18,6 +19,7 @@ pub struct TcclusterBuilder {
     tcc_link: LinkConfig,
     params: UarchParams,
     mode: SendMode,
+    engine: EngineKind,
 }
 
 impl Default for TcclusterBuilder {
@@ -38,6 +40,7 @@ impl TcclusterBuilder {
             tcc_link: LinkConfig::PROTOTYPE,
             params: UarchParams::shanghai(),
             mode: SendMode::WeaklyOrdered,
+            engine: EngineKind::Chained,
         }
     }
 
@@ -81,6 +84,16 @@ impl TcclusterBuilder {
         self
     }
 
+    /// Timing engine for the packet-level simulation: the default
+    /// analytic [`EngineKind::Chained`] path, or the discrete-event
+    /// fabric ([`EngineKind::EventDriven`]) with real credit flow control
+    /// and concurrent multi-flow contention. See `docs/engine.md`.
+    #[must_use]
+    pub fn engine(mut self, k: EngineKind) -> Self {
+        self.engine = k;
+        self
+    }
+
     #[must_use]
     pub fn spec(&self) -> ClusterSpec {
         ClusterSpec::new(
@@ -93,7 +106,7 @@ impl TcclusterBuilder {
     /// sequence, including the remote-access self test).
     #[must_use]
     pub fn build_sim(&self) -> SimCluster {
-        SimCluster::boot_with(self.spec(), self.params.clone(), self.tcc_link)
+        SimCluster::boot_engine(self.spec(), self.params.clone(), self.tcc_link, self.engine)
     }
 
     /// Build the threaded shared-memory emulation with one rank per

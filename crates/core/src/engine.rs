@@ -1,0 +1,976 @@
+//! The fabric timing engines.
+//!
+//! Every benchmark and workload in this crate runs over one of two
+//! interchangeable timing engines selected by [`EngineKind`]:
+//!
+//! * **Chained** — the fast analytic path: `Platform::propagate` walks a
+//!   sender's actions to completion through busy-tracked channels, with
+//!   link credits auto-returned. Valid for open-loop traffic whose
+//!   receiver provably drains at line rate; this is what regenerates the
+//!   paper's figures in milliseconds of wall clock.
+//! * **EventDriven** — a discrete-event model of the whole fabric with
+//!   **real credit-based flow control**: every trained `Platform` wire
+//!   becomes an event-driven channel pair ([`PortState`]) with per-VC
+//!   credit pools, receiver buffers that drain with a modelled latency,
+//!   credit returns riding back in NOP packets on the reverse direction,
+//!   and hop-by-hop forwarding through each intermediate northbridge
+//!   (via [`Node::deliver_routed`](tcc_opteron::node::Node::deliver_routed)
+//!   and the same route tables the chained engine uses). Because the
+//!   event queue interleaves all transmitters, many nodes can issue
+//!   traffic *concurrently* — all-to-all, hotspot and halo-exchange
+//!   patterns on `Mesh{x,y}` topologies exhibit genuine link contention,
+//!   backpressure and fairness.
+//!
+//! The two engines are pinned to each other by cross-validation: on a
+//! single flow their goodput must agree within a few percent (see
+//! `tests/engine_crossval.rs` and the module tests below), and the
+//! paper's 227 ns / ~2500 MB/s anchors reproduce on both. `docs/engine.md`
+//! describes when each engine's answers are valid.
+//!
+//! Deadlock freedom: TCCluster restricts itself to posted writes, so all
+//! data moves in one VC. The event engine releases an input port's buffer
+//! only once a forwarded packet has been handed to its output link
+//! (hold-until-forwarded), which is safe because X-Y dimension-ordered
+//! routing keeps the channel dependency graph acyclic, and credit-return
+//! NOPs are info packets that never wait for credits.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+use tcc_fabric::event::EventQueue;
+use tcc_fabric::sim::{Model, Sim, Stop};
+use tcc_fabric::time::{Duration, SimTime};
+use tcc_firmware::machine::{PacketEvent, Platform};
+use tcc_firmware::topology::{ClusterSpec, Port};
+use tcc_ht::link::{Delivery, LinkRx, LinkTx};
+use tcc_ht::packet::{Packet, VirtualChannel};
+use tcc_opteron::node::DeliverOutcome;
+use tcc_opteron::regs::{LinkId, LINKS_PER_NODE};
+use tcc_opteron::{Disposition, Source};
+
+/// Which timing engine a [`SimCluster`](crate::sim::SimCluster) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The analytic chained-channel path (`Platform::propagate`).
+    #[default]
+    Chained,
+    /// The discrete-event fabric with real flow control.
+    EventDriven,
+}
+
+/// Time the receiving northbridge takes to drain one packet's buffers —
+/// the memory-controller write for a 64 B payload (~6 ns at DDR2 rates
+/// plus queue overhead). The IO-bridge conversion latency is on the
+/// packet's path, not the buffer-occupancy path, so it does not throttle
+/// the drain *rate*.
+pub const DEFAULT_DRAIN: Duration = Duration(8_000);
+
+/// Per-flow landing window in the destination's DRAM (64 packets deep).
+const WIN: u64 = 0x1000;
+/// Node-local offset of the first flow window — far above the message
+/// rings at the bottom of each node's exported slice.
+const WIN_BASE: u64 = 0x8_0000;
+
+static ZERO64: [u8; 64] = [0u8; 64];
+
+/// Events of the N-node fabric model.
+#[derive(Debug)]
+pub enum FabricEvent {
+    /// Flow `flow` tries to enqueue + pump more packets at its source.
+    Pump { flow: usize },
+    /// A node's store path handed a packet to the fabric at (node, link).
+    Inject {
+        node: usize,
+        link: LinkId,
+        packet: Packet,
+    },
+    /// A packet arrives at `node` on `link`.
+    Arrive {
+        node: usize,
+        link: LinkId,
+        packet: Packet,
+    },
+    /// The receiver at (node, link) finished a packet of this shape; its
+    /// buffers become returnable credits.
+    Drained {
+        node: usize,
+        link: LinkId,
+        vc: VirtualChannel,
+        has_data: bool,
+    },
+}
+
+/// One directed end of a trained wire: the transmitter leaving `node` via
+/// `link` plus the receiver for packets arriving there.
+#[derive(Debug)]
+pub struct PortState {
+    tx: LinkTx,
+    rx: LinkRx,
+    peer: usize,
+    peer_link: LinkId,
+    coherent: bool,
+    /// Input link each queued (Posted, data-bearing) packet came in on;
+    /// `None` for locally injected packets. Exactly parallel to the tx
+    /// Posted queue: the engine never enqueues NOPs (they go out via
+    /// `send_nop`), so one delivery pops one entry.
+    provenance: VecDeque<Option<LinkId>>,
+    /// Indices of flows whose first hop leaves through this port — woken
+    /// when a credit NOP arrives.
+    flows: Vec<usize>,
+}
+
+impl PortState {
+    /// The receiving (node, link) at the far end of this wire direction.
+    pub fn peer(&self) -> (usize, LinkId) {
+        (self.peer, self.peer_link)
+    }
+
+    pub fn coherent(&self) -> bool {
+        self.coherent
+    }
+
+    pub fn tx(&self) -> &LinkTx {
+        &self.tx
+    }
+
+    pub fn rx(&self) -> &LinkRx {
+        &self.rx
+    }
+}
+
+/// A posted write that landed in some node's DRAM through the event
+/// engine (the event-side analogue of `DeliveredWrite`).
+#[derive(Debug, Clone, Copy)]
+pub struct CommitRec {
+    /// Global node index the write committed on.
+    pub node: usize,
+    /// Node-local DRAM offset.
+    pub offset: u64,
+    /// When the write became visible to polls.
+    pub visible: SimTime,
+    /// Payload bytes committed.
+    pub bytes: u64,
+}
+
+/// One synthetic traffic source: a stream of 64 B posted writes from
+/// `src` into a dedicated window of `dst`'s DRAM, injected as fast as
+/// credits allow.
+#[derive(Debug)]
+pub struct Flow {
+    /// Global source node index.
+    pub src: usize,
+    /// Global destination node index.
+    pub dst: usize,
+    /// First-hop link out of `src` (from the northbridge's own routing).
+    port: LinkId,
+    /// Node-local offset of the landing window in `dst`'s DRAM.
+    win_off: u64,
+    /// Window size in bytes; packet addresses wrap within it.
+    window: u64,
+    /// Global base address of the window.
+    base: u64,
+    /// Global address of the next packet.
+    next: u64,
+    /// Packets still to inject.
+    remaining: u64,
+    /// Packets enqueued so far.
+    pub injected: u64,
+}
+
+/// Mutable fabric state, separable from the platform borrow.
+#[derive(Debug)]
+struct FabricState {
+    ports: Vec<[Option<PortState>; LINKS_PER_NODE]>,
+    /// Per-node receive-bridge serialisation clock for buffer drains.
+    drain_free: Vec<SimTime>,
+    drain: Duration,
+    flows: Vec<Flow>,
+    commits: Vec<CommitRec>,
+    /// Scratch for link deliveries pumped by one event.
+    dels: Vec<Delivery>,
+}
+
+/// The model actually driven by [`Sim`]: fabric state coupled to the
+/// booted platform for the duration of one run. `Model::handle` cannot
+/// carry extra borrows, so the engine parks its queue/clock between runs
+/// (via [`Sim::into_parts`]) and resumes them with a fresh short-lived
+/// platform borrow each time.
+#[derive(Debug)]
+struct Coupled<'a> {
+    state: &'a mut FabricState,
+    platform: &'a mut Platform,
+}
+
+impl Model for Coupled<'_> {
+    type Event = FabricEvent;
+
+    fn handle(&mut self, now: SimTime, ev: FabricEvent, queue: &mut EventQueue<FabricEvent>) {
+        match ev {
+            FabricEvent::Pump { flow } => self.pump_flow(now, flow, queue),
+            FabricEvent::Inject { node, link, packet } => {
+                self.on_inject(now, node, link, packet, queue);
+            }
+            FabricEvent::Arrive { node, link, packet } => {
+                self.on_arrive(now, node, link, packet, queue);
+            }
+            FabricEvent::Drained {
+                node,
+                link,
+                vc,
+                has_data,
+            } => self.on_drained(now, node, link, vc, has_data, queue),
+        }
+    }
+}
+
+impl Coupled<'_> {
+    /// Keep flow `i`'s transmit queue primed and pump its port. The flow
+    /// reschedules itself only while the wire (not credits) paces it: an
+    /// empty queue after pumping means everything went out, so poll again
+    /// when the wire frees; a non-empty queue means credits blocked and
+    /// the arrival of a credit NOP will re-pump (no busy-spin).
+    fn pump_flow(&mut self, now: SimTime, i: usize, queue: &mut EventQueue<FabricEvent>) {
+        let FabricState { flows, ports, .. } = &mut *self.state;
+        let f = &mut flows[i];
+        let port = ports[f.src][f.port.0 as usize]
+            .as_mut()
+            .expect("flow's first hop is wired");
+        while f.remaining > 0 && port.tx.queued(VirtualChannel::Posted) < 4 {
+            port.tx
+                .enqueue(Packet::posted_write(f.next, Bytes::from_static(&ZERO64)));
+            port.provenance.push_back(None);
+            f.next = f.base + (f.next - f.base + 64) % f.window;
+            f.remaining -= 1;
+            f.injected += 1;
+        }
+        let (src, link, remaining) = (f.src, f.port, f.remaining);
+        self.pump_port(now, src, link, queue);
+        let port = self.state.ports[src][link.0 as usize]
+            .as_ref()
+            .expect("port");
+        if remaining > 0 && port.tx.queued(VirtualChannel::Posted) == 0 {
+            let next = port.tx.next_free().max(now + Duration(1_000));
+            queue.schedule_at(next, FabricEvent::Pump { flow: i });
+        }
+    }
+
+    /// Transmit whatever credits admit at (node, link), scheduling an
+    /// arrival per delivery. A delivery whose provenance names an input
+    /// link releases that input port's buffer (hold-until-forwarded),
+    /// serialised through the node's receive bridge.
+    fn pump_port(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        link: LinkId,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let FabricState {
+            ports,
+            drain_free,
+            drain,
+            dels,
+            ..
+        } = &mut *self.state;
+        let mut out = std::mem::take(dels);
+        out.clear();
+        let port = ports[node][link.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("pump on inactive port n{node} l{}", link.0));
+        port.tx.pump_into(now, &mut out);
+        let (peer, peer_link) = (port.peer, port.peer_link);
+        for d in out.drain(..) {
+            let from = port.provenance.pop_front().expect("provenance aligned");
+            if let Some(in_link) = from {
+                let start = now.max(drain_free[node]);
+                drain_free[node] = start + *drain;
+                queue.schedule_at(
+                    start + *drain,
+                    FabricEvent::Drained {
+                        node,
+                        link: in_link,
+                        vc: d.packet.vc(),
+                        has_data: !d.packet.data.is_empty(),
+                    },
+                );
+            }
+            queue.schedule_at(
+                d.arrival,
+                FabricEvent::Arrive {
+                    node: peer,
+                    link: peer_link,
+                    packet: d.packet,
+                },
+            );
+        }
+        *dels = out;
+    }
+
+    /// A node's own store path handed a packet to the fabric.
+    fn on_inject(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        link: LinkId,
+        packet: Packet,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let port = self.state.ports[node][link.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("inject on inactive port n{node} l{}", link.0));
+        port.tx.enqueue(packet);
+        port.provenance.push_back(None);
+        self.pump_port(now, node, link, queue);
+    }
+
+    /// A packet lands at (node, link): fire the monitor, occupy a buffer,
+    /// and route it — commit locally, forward out another link, or (for a
+    /// NOP) release the credits it carries and wake blocked transmitters.
+    fn on_arrive(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        link: LinkId,
+        packet: Packet,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let (peer, peer_link, coherent) = {
+            let port = self.state.ports[node][link.0 as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("arrival on inactive port n{node} l{}", link.0));
+            (port.peer, port.peer_link, port.coherent)
+        };
+        self.platform.monitor_packet(&PacketEvent {
+            src: (peer, peer_link),
+            dst: (node, link),
+            coherent,
+            packet: &packet,
+            arrival: now,
+        });
+        let port = self.state.ports[node][link.0 as usize]
+            .as_mut()
+            .expect("port");
+        match port.rx.accept(&packet).expect("sender honoured credits") {
+            Some(ret) => {
+                // A credit NOP: freed credits may unblock the queue and
+                // any flow sourced at this port, immediately.
+                port.tx
+                    .credit_return(ret)
+                    .expect("receiver-harvested credits");
+                self.pump_port(now, node, link, queue);
+                let n = self.state.ports[node][link.0 as usize]
+                    .as_ref()
+                    .expect("port")
+                    .flows
+                    .len();
+                for k in 0..n {
+                    let fi = self.state.ports[node][link.0 as usize]
+                        .as_ref()
+                        .expect("port")
+                        .flows[k];
+                    self.pump_flow(now, fi, queue);
+                }
+            }
+            None => {
+                let vc = packet.vc();
+                let has_data = !packet.data.is_empty();
+                let bytes = packet.data.len() as u64;
+                let outcome = self.platform.nodes[node]
+                    .deliver_routed(now, link, packet, coherent)
+                    .unwrap_or_else(|e| panic!("delivery failed at node {node}: {e:?}"));
+                match outcome {
+                    DeliverOutcome::Committed { offset, visible } => {
+                        let start = now.max(self.state.drain_free[node]);
+                        self.state.drain_free[node] = start + self.state.drain;
+                        queue.schedule_at(
+                            start + self.state.drain,
+                            FabricEvent::Drained {
+                                node,
+                                link,
+                                vc,
+                                has_data,
+                            },
+                        );
+                        self.state.commits.push(CommitRec {
+                            node,
+                            offset,
+                            visible,
+                            bytes,
+                        });
+                    }
+                    DeliverOutcome::Forward {
+                        link: out,
+                        packet,
+                        at,
+                    } => {
+                        // Hold this input buffer until the packet leaves on
+                        // the output link: pump_port schedules the drain.
+                        let out_port = self.state.ports[node][out.0 as usize]
+                            .as_mut()
+                            .unwrap_or_else(|| {
+                                panic!("forward out inactive port n{node} l{}", out.0)
+                            });
+                        out_port.tx.enqueue(packet);
+                        out_port.provenance.push_back(Some(link));
+                        self.pump_port(at, node, out, queue);
+                    }
+                    DeliverOutcome::Filtered => {
+                        let start = now.max(self.state.drain_free[node]);
+                        self.state.drain_free[node] = start + self.state.drain;
+                        queue.schedule_at(
+                            start + self.state.drain,
+                            FabricEvent::Drained {
+                                node,
+                                link,
+                                vc,
+                                has_data,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Buffers freed: harvest the pending credits into NOPs on the
+    /// reverse direction (NOPs bypass credit checks, so returns can never
+    /// deadlock).
+    fn on_drained(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        link: LinkId,
+        vc: VirtualChannel,
+        has_data: bool,
+        queue: &mut EventQueue<FabricEvent>,
+    ) {
+        let port = self.state.ports[node][link.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("drain on inactive port n{node} l{}", link.0));
+        port.rx
+            .drain_parts(vc, has_data)
+            .expect("accepted before drain");
+        while port.rx.has_pending_credits() {
+            let ret = port.rx.harvest();
+            let d = port.tx.send_nop(now, ret);
+            queue.schedule_at(
+                d.arrival,
+                FabricEvent::Arrive {
+                    node: port.peer,
+                    link: port.peer_link,
+                    packet: d.packet,
+                },
+            );
+        }
+    }
+}
+
+/// The event-driven fabric engine: one [`PortState`] per trained wire
+/// direction, persistent across runs against a borrowed [`Platform`].
+#[derive(Debug)]
+pub struct EventEngine {
+    state: FabricState,
+    queue: EventQueue<FabricEvent>,
+    now: SimTime,
+    events: u64,
+}
+
+impl EventEngine {
+    /// Build an engine over every trained wire of `platform`, with link
+    /// configurations taken from the negotiated endpoint state (the same
+    /// tables the chained engine serialises against).
+    pub fn new(platform: &mut Platform, drain: Duration) -> Self {
+        let n = platform.nodes.len();
+        let mut ports: Vec<[Option<PortState>; LINKS_PER_NODE]> =
+            (0..n).map(|_| std::array::from_fn(|_| None)).collect();
+        for (node, row) in ports.iter_mut().enumerate() {
+            for (l, slot) in row.iter_mut().enumerate() {
+                let link = LinkId(l as u8);
+                if let Some((peer, peer_link, coherent)) = platform.route_hop(node, link) {
+                    let config = platform
+                        .active_config(node, link)
+                        .expect("trained wire has an active config");
+                    let seed = 0x1000 | ((node as u64) << 4) | l as u64;
+                    *slot = Some(PortState {
+                        tx: LinkTx::new(config, seed),
+                        rx: LinkRx::new(),
+                        peer,
+                        peer_link,
+                        coherent,
+                        provenance: VecDeque::new(),
+                        flows: Vec::new(),
+                    });
+                }
+            }
+        }
+        EventEngine {
+            state: FabricState {
+                ports,
+                drain_free: vec![SimTime::ZERO; n],
+                drain,
+                flows: Vec::new(),
+                commits: Vec::new(),
+                dels: Vec::new(),
+            },
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events: 0,
+        }
+    }
+
+    /// The configured receiver drain latency.
+    pub fn drain(&self) -> Duration {
+        self.state.drain
+    }
+
+    /// The engine clock (last event handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events handled across all runs.
+    pub fn events_handled(&self) -> u64 {
+        self.events
+    }
+
+    /// Every DRAM commit delivered so far, in delivery order.
+    pub fn commits(&self) -> &[CommitRec] {
+        &self.state.commits
+    }
+
+    pub fn flows(&self) -> &[Flow] {
+        &self.state.flows
+    }
+
+    /// The port at (node, link), if that wire end is trained.
+    pub fn port(&self, node: usize, link: LinkId) -> Option<&PortState> {
+        self.state.ports[node][link.0 as usize].as_ref()
+    }
+
+    /// All active (node, link) port coordinates.
+    pub fn port_ids(&self) -> Vec<(usize, LinkId)> {
+        let mut out = Vec::new();
+        for (node, row) in self.state.ports.iter().enumerate() {
+            for (l, slot) in row.iter().enumerate() {
+                if slot.is_some() {
+                    out.push((node, LinkId(l as u8)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total transmitter stalls for want of a credit, across all ports —
+    /// nonzero exactly when flow control engaged.
+    pub fn stalls_no_credit(&self) -> u64 {
+        self.state
+            .ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.tx.stats.stalls_no_credit)
+            .sum()
+    }
+
+    /// Total credit NOPs sent across all ports.
+    pub fn nops_sent(&self) -> u64 {
+        self.state
+            .ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.tx.stats.nops_sent)
+            .sum()
+    }
+
+    /// Queue a packet leaving `node` on `link`, no earlier than `ready`
+    /// (clamped to the engine clock — the store path's issue clock can
+    /// lag a fabric that already ran ahead).
+    pub fn inject_at(&mut self, node: usize, link: LinkId, packet: Packet, ready: SimTime) {
+        let at = ready.max(self.now);
+        self.queue
+            .schedule_at(at, FabricEvent::Inject { node, link, packet });
+    }
+
+    /// Register a flow of `bytes` (rounded up to 64 B packets) from
+    /// global node `src` into a dedicated window of `dst`'s DRAM, routed
+    /// by `src`'s own northbridge. Returns the flow index.
+    pub fn add_flow(
+        &mut self,
+        platform: &mut Platform,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> usize {
+        let spec = platform.spec;
+        let idx = self.state.flows.len();
+        let win_off = WIN_BASE + (idx as u64) * WIN;
+        assert!(
+            win_off + WIN <= spec.supernode.dram_per_node,
+            "flow window {idx} exceeds the destination's DRAM"
+        );
+        let (s, p) = (
+            dst / spec.supernode.processors,
+            dst % spec.supernode.processors,
+        );
+        let base = spec.node_base(s, p) + win_off;
+        let probe = Packet::posted_write(base, Bytes::from_static(&ZERO64));
+        let port = match platform.nodes[src].nb.dispose(&probe, Source::Core) {
+            Ok(Disposition::Forward { link }) => link,
+            other => panic!("flow {src}->{dst} does not leave node {src}: {other:?}"),
+        };
+        let packets = bytes.div_ceil(64).max(1);
+        self.state.flows.push(Flow {
+            src,
+            dst,
+            port,
+            win_off,
+            window: WIN,
+            base,
+            next: base,
+            remaining: packets,
+            injected: 0,
+        });
+        self.state.ports[src][port.0 as usize]
+            .as_mut()
+            .expect("flow's first hop is wired")
+            .flows
+            .push(idx);
+        self.queue
+            .schedule_at(self.now, FabricEvent::Pump { flow: idx });
+        idx
+    }
+
+    /// Run the fabric until every pending packet, drain and credit return
+    /// has completed. Returns the latest commit-visible time of this run
+    /// (`SimTime::ZERO` if nothing landed).
+    pub fn run_quiescent(&mut self, platform: &mut Platform) -> SimTime {
+        let first_new = self.state.commits.len();
+        let queue = std::mem::replace(&mut self.queue, EventQueue::new());
+        let model = Coupled {
+            state: &mut self.state,
+            platform,
+        };
+        let mut sim = Sim::resume(model, queue, self.now);
+        let stop = sim.run_until(SimTime::MAX, 500_000_000);
+        assert_eq!(stop, Stop::Quiescent, "event fabric did not quiesce");
+        let handled = sim.events_handled();
+        let (_, queue, now) = sim.into_parts();
+        self.queue = queue;
+        self.now = now;
+        self.events += handled;
+        self.state.commits[first_new..]
+            .iter()
+            .map(|c| c.visible)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// After quiescence every credit must be home: transmit pools full,
+    /// receive buffers empty, nothing pending return. Panics otherwise —
+    /// a failure here means the engine lost or duplicated a credit.
+    pub fn assert_quiescent_credits(&self) {
+        for (node, row) in self.state.ports.iter().enumerate() {
+            for (l, slot) in row.iter().enumerate() {
+                let Some(port) = slot else { continue };
+                assert!(
+                    port.provenance.is_empty(),
+                    "n{node} l{l}: packets still queued"
+                );
+                for vc in VirtualChannel::ALL {
+                    let c = port.tx.credits();
+                    assert_eq!(
+                        c.available_cmd(vc),
+                        c.initial_cmd(vc),
+                        "n{node} l{l} {vc}: cmd credits missing"
+                    );
+                    assert_eq!(
+                        c.available_data(vc),
+                        c.initial_data(vc),
+                        "n{node} l{l} {vc}: data credits missing"
+                    );
+                    let b = port.rx.buffers();
+                    assert_eq!(b.held(vc), 0, "n{node} l{l} {vc}: buffers occupied");
+                    assert_eq!(b.pending(vc), 0, "n{node} l{l} {vc}: returns unharvested");
+                }
+            }
+        }
+    }
+
+    /// Per-flow delivery accounting, attributing commits by landing
+    /// window.
+    pub fn flow_reports(&self) -> Vec<FlowReport> {
+        self.state
+            .flows
+            .iter()
+            .map(|f| {
+                let mut delivered = 0u64;
+                let mut first = SimTime::MAX;
+                let mut last = SimTime::ZERO;
+                for c in &self.state.commits {
+                    if c.node == f.dst && c.offset >= f.win_off && c.offset < f.win_off + f.window {
+                        delivered += c.bytes;
+                        first = first.min(c.visible);
+                        last = last.max(c.visible);
+                    }
+                }
+                if delivered == 0 {
+                    first = SimTime::ZERO;
+                }
+                FlowReport {
+                    src: f.src,
+                    dst: f.dst,
+                    injected_packets: f.injected,
+                    delivered_bytes: delivered,
+                    first_visible: first,
+                    last_visible: last,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Synthetic concurrent traffic shapes over the cluster's supernodes
+/// (each supernode is represented by its processor 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every supernode streams to every other supernode.
+    AllToAll,
+    /// Every supernode streams to one `target` supernode.
+    Hotspot { target: usize },
+    /// Every supernode streams to each of its mesh neighbours
+    /// (halo exchange).
+    Halo,
+    /// One flow from supernode `src` to supernode `dst`.
+    Single { src: usize, dst: usize },
+}
+
+/// (src, dst) global node pairs a pattern expands to on `spec`.
+pub fn pattern_pairs(spec: &ClusterSpec, pattern: TrafficPattern) -> Vec<(usize, usize)> {
+    let rep = |s: usize| spec.proc_index(s, 0);
+    let n = spec.supernode_count();
+    let mut pairs = Vec::new();
+    match pattern {
+        TrafficPattern::Single { src, dst } => pairs.push((rep(src), rep(dst))),
+        TrafficPattern::AllToAll => {
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        pairs.push((rep(s), rep(d)));
+                    }
+                }
+            }
+        }
+        TrafficPattern::Hotspot { target } => {
+            for s in 0..n {
+                if s != target {
+                    pairs.push((rep(s), rep(target)));
+                }
+            }
+        }
+        TrafficPattern::Halo => {
+            for s in 0..n {
+                for port in Port::ALL {
+                    if let Some(d) = spec.neighbor(s, port) {
+                        pairs.push((rep(s), rep(d)));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Delivery accounting for one flow of a workload run.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    pub src: usize,
+    pub dst: usize,
+    pub injected_packets: u64,
+    pub delivered_bytes: u64,
+    pub first_visible: SimTime,
+    pub last_visible: SimTime,
+}
+
+impl FlowReport {
+    /// Delivered goodput across the flow's active window, MB/s.
+    pub fn goodput_mbps(&self) -> f64 {
+        let span = self.last_visible.since(self.first_visible).picos();
+        if span == 0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 / (span as f64 / 1e12) / 1e6
+    }
+}
+
+/// Result of one [`SimCluster::run_workload`](crate::sim::SimCluster::run_workload).
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    pub flows: Vec<FlowReport>,
+    /// Transmitter stalls for want of a credit — nonzero under load iff
+    /// flow control engaged.
+    pub stalls_no_credit: u64,
+    /// Events the engine handled.
+    pub events: u64,
+    /// Simulated completion time of the whole workload.
+    pub elapsed: SimTime,
+    pub injected_packets: u64,
+    pub delivered_packets: u64,
+}
+
+impl WorkloadReport {
+    pub fn lost_packets(&self) -> u64 {
+        self.injected_packets.saturating_sub(self.delivered_packets)
+    }
+
+    /// Aggregate delivered goodput over the run, MB/s.
+    pub fn aggregate_goodput_mbps(&self) -> f64 {
+        let bytes: u64 = self.flows.iter().map(|f| f.delivered_bytes).sum();
+        bytes as f64 / (self.elapsed.picos() as f64 / 1e12) / 1e6
+    }
+}
+
+/// Run a single closed-loop flow of `packets` 64 B posted writes over a
+/// freshly booted two-supernode platform with `config` as the TCC cable,
+/// returning delivered goodput in MB/s. This is the cross-validation
+/// primitive: the chained model's analytic expectation for the same wire
+/// is `config.effective_bytes_per_sec() * 64 / 72`.
+pub fn stream_goodput(config: tcc_ht::link::LinkConfig, packets: u64) -> f64 {
+    stream_goodput_with_drain(config, packets, DEFAULT_DRAIN)
+}
+
+/// [`stream_goodput`] with an explicit receiver drain latency — a slow
+/// receiver collapses goodput to credits-per-round-trip, which is how the
+/// tests prove flow control is live.
+pub fn stream_goodput_with_drain(
+    config: tcc_ht::link::LinkConfig,
+    packets: u64,
+    drain: Duration,
+) -> f64 {
+    let (mut platform, mut engine) = booted_pair_engine(config, drain);
+    engine.add_flow(&mut platform, 0, 1, packets * 64);
+    engine.run_quiescent(&mut platform);
+    assert_eq!(engine.commits().len() as u64, packets, "lost packets");
+    engine.assert_quiescent_credits();
+    let last = engine
+        .commits()
+        .iter()
+        .map(|c| c.visible)
+        .max()
+        .expect("at least one packet");
+    (packets * 64) as f64 / (last.picos() as f64 / 1e12) / 1e6
+}
+
+/// A booted paper-prototype pair plus a fresh engine over it, with node
+/// pipelines quiesced so the measurement epoch starts at time zero.
+fn booted_pair_engine(
+    config: tcc_ht::link::LinkConfig,
+    drain: Duration,
+) -> (Platform, EventEngine) {
+    use tcc_firmware::topology::{ClusterTopology, SupernodeSpec};
+    let spec = ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
+    let mut platform = Platform::assemble(spec, tcc_opteron::UarchParams::shanghai());
+    platform.tcc_target = config;
+    let _ = tcc_firmware::tcc_boot::boot(&mut platform);
+    for node in &mut platform.nodes {
+        node.quiesce();
+    }
+    let engine = EventEngine::new(&mut platform, drain);
+    (platform, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcc_ht::link::LinkConfig;
+
+    #[test]
+    fn closed_loop_delivers_everything() {
+        let bw = stream_goodput(LinkConfig::PROTOTYPE, 2_000);
+        // 64 B goodput behind 72 wire bytes at ~3.175 GB/s ≈ 2.82 GB/s;
+        // with real credit stalls it must stay within ~10% of that.
+        assert!(
+            (2500.0..2850.0).contains(&bw),
+            "credit-limited goodput = {bw:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn credits_actually_bind_under_slow_drain() {
+        // A receiver that takes 200 ns per packet drains far slower than
+        // the wire delivers: the 8-credit pools empty, the transmitter
+        // genuinely stalls, and goodput collapses toward
+        // credits-per-round-trip instead of wire rate.
+        let slow = stream_goodput_with_drain(LinkConfig::PROTOTYPE, 500, Duration::from_nanos(200));
+        assert!(
+            slow < 600.0,
+            "slow drain must collapse goodput: {slow:.0} MB/s"
+        );
+        let fast = stream_goodput(LinkConfig::PROTOTYPE, 500);
+        assert!(
+            fast > slow * 3.0,
+            "line-rate drain {fast:.0} vs slow drain {slow:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn slow_drain_engages_flow_control_without_loss() {
+        let (mut platform, mut engine) =
+            booted_pair_engine(LinkConfig::PROTOTYPE, Duration::from_nanos(200));
+        engine.add_flow(&mut platform, 0, 1, 500 * 64);
+        engine.run_quiescent(&mut platform);
+        assert!(engine.stalls_no_credit() > 0, "flow control never engaged");
+        assert_eq!(engine.commits().len(), 500, "lost packets");
+        engine.assert_quiescent_credits();
+    }
+
+    #[test]
+    fn event_engine_agrees_with_channel_model() {
+        // The event engine's wire-rate goodput must agree with the
+        // analytic expectation used throughout the chained-channel model.
+        let bw = stream_goodput(LinkConfig::PROTOTYPE, 5_000);
+        let wire = LinkConfig::PROTOTYPE.effective_bytes_per_sec() as f64;
+        let expected = wire * 64.0 / 72.0 / 1e6;
+        let err = (bw - expected).abs() / expected;
+        assert!(
+            err < 0.10,
+            "event engine {bw:.0} vs model {expected:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn faster_link_scales_goodput_until_credits_bind() {
+        let slow = stream_goodput(LinkConfig::PROTOTYPE, 2_000);
+        let fast = stream_goodput(LinkConfig::HT3_FULL, 2_000);
+        // At HT800 the wire is the bottleneck (~2.8 GB/s goodput). At HT3
+        // the wire would do ~9 GB/s, but the 8-entry credit pools and the
+        // 3-credit-per-NOP return rate bind first: goodput improves ~1.6x,
+        // not 3.3x. (Real HT3 parts grew their buffer counts for exactly
+        // this reason.)
+        assert!(
+            fast > slow * 1.4,
+            "HT3 should still beat HT800: {slow:.0} -> {fast:.0}"
+        );
+        assert!(
+            fast < slow * 2.5,
+            "credits should bind well below the 3.3x wire ratio: {fast:.0}"
+        );
+    }
+
+    #[test]
+    fn pattern_pairs_cover_the_mesh() {
+        use tcc_firmware::topology::{ClusterTopology, SupernodeSpec};
+        let spec = ClusterSpec::new(
+            SupernodeSpec::new(2, 1 << 20),
+            ClusterTopology::Mesh { x: 2, y: 2 },
+        );
+        assert_eq!(pattern_pairs(&spec, TrafficPattern::AllToAll).len(), 12);
+        assert_eq!(
+            pattern_pairs(&spec, TrafficPattern::Hotspot { target: 0 }).len(),
+            3
+        );
+        // Every supernode in a 2x2 mesh has exactly two neighbours.
+        assert_eq!(pattern_pairs(&spec, TrafficPattern::Halo).len(), 8);
+        let single = pattern_pairs(&spec, TrafficPattern::Single { src: 0, dst: 3 });
+        assert_eq!(single, vec![(spec.proc_index(0, 0), spec.proc_index(3, 0))]);
+    }
+}

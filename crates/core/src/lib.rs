@@ -27,11 +27,12 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
-pub mod event_sim;
+pub mod engine;
 pub mod shm_cluster;
 pub mod sim;
 
 pub use builder::TcclusterBuilder;
+pub use engine::{EngineKind, EventEngine, FlowReport, TrafficPattern, WorkloadReport};
 pub use shm_cluster::{NodeCtx, ShmCluster};
 pub use sim::SimCluster;
 

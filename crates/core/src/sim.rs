@@ -16,13 +16,17 @@
 //!   256 KB ("leverages caching structures within the Opteron and does not
 //!   reflect the bandwidth performance of the TCCluster link").
 
+use crate::engine::{
+    pattern_pairs, CommitRec, EngineKind, EventEngine, TrafficPattern, WorkloadReport,
+    DEFAULT_DRAIN,
+};
 use tcc_fabric::time::{Duration, SimTime};
 use tcc_firmware::machine::{DeliveredWrite, Platform};
 use tcc_firmware::tcc_boot::{boot, BootReport};
 use tcc_firmware::topology::ClusterSpec;
 use tcc_msglib::ring::{CELL_BYTES, CELL_PAYLOAD};
 use tcc_msglib::SendMode;
-use tcc_opteron::{ActionSink, BurstPattern, UarchParams};
+use tcc_opteron::{Action, ActionSink, BurstPattern, UarchParams};
 
 /// A booted, simulated TCCluster.
 pub struct SimCluster {
@@ -32,6 +36,13 @@ pub struct SimCluster {
     /// benchmark loops allocate nothing per message.
     sink: ActionSink,
     commits: Vec<DeliveredWrite>,
+    /// Which timing engine paces the fabric.
+    engine: EngineKind,
+    /// The event-driven fabric, present iff `engine == EventDriven`. The
+    /// nodes run with `raw_egress` set: their store paths hand packets to
+    /// this engine at northbridge-exit time and it owns all wire
+    /// serialisation, credits and hop-by-hop forwarding.
+    event: Option<EventEngine>,
 }
 
 /// Per-message software overhead of the message library (compose header,
@@ -56,27 +67,80 @@ impl SimCluster {
         params: UarchParams,
         tcc_link: tcc_ht::link::LinkConfig,
     ) -> Self {
+        Self::boot_engine(spec, params, tcc_link, EngineKind::default())
+    }
+
+    /// Assemble and boot on an explicit timing engine (see
+    /// [`EngineKind`] and `docs/engine.md` for the trade-off).
+    pub fn boot_engine(
+        spec: ClusterSpec,
+        params: UarchParams,
+        tcc_link: tcc_ht::link::LinkConfig,
+        engine: EngineKind,
+    ) -> Self {
         let mut platform = Platform::assemble(spec, params);
         platform.tcc_target = tcc_link;
         let boot = boot(&mut platform);
-        SimCluster {
+        let mut cluster = SimCluster {
             platform,
             boot,
             sink: ActionSink::new(),
             commits: Vec::new(),
+            engine,
+            event: None,
+        };
+        if engine == EngineKind::EventDriven {
+            cluster.install_event_engine(DEFAULT_DRAIN);
         }
+        cluster
+    }
+
+    /// Flip every node to raw egress and mount a fresh event engine over
+    /// the trained wires. Boot always runs chained (its self-tests assume
+    /// the analytic path); the switch happens once, here.
+    fn install_event_engine(&mut self, drain: Duration) {
+        for node in &mut self.platform.nodes {
+            node.raw_egress = true;
+        }
+        self.event = Some(EventEngine::new(&mut self.platform, drain));
     }
 
     pub fn spec(&self) -> ClusterSpec {
         self.platform.spec
     }
 
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The event-driven fabric, when this cluster runs on it.
+    pub fn event_engine(&self) -> Option<&EventEngine> {
+        self.event.as_ref()
+    }
+
     /// Start a fresh measurement epoch: drain every node's pipeline and
     /// link occupancy (the boot sequence itself moved traffic and left
-    /// channel clocks far in the future).
+    /// channel clocks far in the future). In event mode the fabric engine
+    /// is rebuilt, restarting its clock, ports and credit pools.
     pub fn reset_timebase(&mut self) {
         for node in &mut self.platform.nodes {
             node.quiesce();
+        }
+        if let Some(e) = &self.event {
+            let drain = e.drain();
+            self.install_event_engine(drain);
+        }
+    }
+
+    /// Event mode: run the fabric to quiescence — every in-flight packet
+    /// delivered, every credit home — and return the latest commit time
+    /// of the run. Chained mode: no-op returning `ZERO` (propagation
+    /// already completed inside `drain_visible`), so call sites can
+    /// simply `max()` this in.
+    fn settle(&mut self) -> SimTime {
+        match self.event.as_mut() {
+            Some(engine) => engine.run_quiescent(&mut self.platform),
+            None => SimTime::ZERO,
         }
     }
 
@@ -138,9 +202,28 @@ impl SimCluster {
         (start.max(out.retire), visible)
     }
 
-    /// Propagate everything in the scratch sink and return the latest
-    /// DRAM-visible time (ZERO if nothing landed).
+    /// Move everything in the scratch sink into the fabric and return the
+    /// latest *locally* DRAM-visible time (ZERO if nothing landed).
+    ///
+    /// Chained mode propagates to completion analytically. Event mode
+    /// only *injects* the raw-egress packets into the engine's queue —
+    /// remote visibility exists once [`Self::settle`] has run the fabric.
     fn drain_visible(&mut self, node: usize) -> SimTime {
+        if let Some(engine) = self.event.as_mut() {
+            let mut vis = SimTime::ZERO;
+            for action in self.sink.drain() {
+                match action {
+                    Action::LocalCommit { visible, .. } => vis = vis.max(visible),
+                    Action::PacketOut {
+                        link,
+                        packet,
+                        arrival,
+                    } => engine.inject_at(node, link, packet, arrival),
+                    Action::BroadcastFiltered => {}
+                }
+            }
+            return vis;
+        }
         self.commits.clear();
         self.platform
             .propagate(node, &mut self.sink, &mut self.commits);
@@ -181,10 +264,15 @@ impl SimCluster {
         for iter in 0..iters {
             let t0 = t;
             let (_, vis_b) = self.send_eager(a, ring_at_b, size, t0, SendMode::WeaklyOrdered, true);
+            // Event mode: the leg is only *injected* so far — run the
+            // fabric to quiescence for the delivered time. Chained mode:
+            // settle() is ZERO and the max is a no-op.
+            let vis_b = vis_b.max(self.settle());
             let got_b = self.poll_detect(b, vis_b, self.stagger(b, iter));
             let reply_at = got_b + LIB_TURNAROUND;
             let (_, vis_a) =
                 self.send_eager(b, ring_at_a, size, reply_at, SendMode::WeaklyOrdered, true);
+            let vis_a = vis_a.max(self.settle());
             let got_a = self.poll_detect(a, vis_a, self.stagger(a, iter.wrapping_add(13)));
             total += got_a - t0;
             // Idle gap before the next iteration lets queues drain.
@@ -226,6 +314,10 @@ impl SimCluster {
             // has filled and the link is pacing the sender.
             let window = self.platform.nodes[a].params.absorb_capacity_bytes as usize;
             let count = (iters as usize).max((8 * window) / size.max(1)).min(65_536);
+            // Raw egress removes the sender-side absorption backpressure,
+            // so event mode measures the receiver instead: remember where
+            // the commit log stands and time deliveries, not retires.
+            let commit_floor = self.event.as_ref().map(|e| e.commits().len());
             let mut now = SimTime::ZERO;
             let mut retire = SimTime::ZERO;
             let mut mid_retire = SimTime::ZERO;
@@ -240,6 +332,11 @@ impl SimCluster {
                     mid_retire = retire;
                 }
             }
+            if let Some(floor) = commit_floor {
+                self.settle();
+                let engine = self.event.as_ref().expect("event engine");
+                return eager_delivered_goodput(engine.commits(), floor, size);
+            }
             let second_half = count - count / 2;
             (size * second_half) as f64 / (retire.since(mid_retire).picos() as f64 / 1e12) / 1e6
         } else {
@@ -248,9 +345,18 @@ impl SimCluster {
             for _ in 0..iters {
                 let t0 = t;
                 let (retire, visible) = self.send_rendezvous(a, dst_base + 0x1000, size, t0, mode);
-                sum_ps += retire.since(t0).picos() as f64;
+                let done = visible.max(self.settle());
+                // Chained: the paper's sender-side clock stop. Event: the
+                // absorption artifact doesn't exist under raw egress, so
+                // the honest stamp is delivery completion.
+                let stamp = if self.event.is_some() {
+                    retire.max(done)
+                } else {
+                    retire
+                };
+                sum_ps += stamp.since(t0).picos() as f64;
                 // Drain fully before the next message (per-message timing).
-                t = retire.max(visible) + Duration::from_micros(2);
+                t = retire.max(done) + Duration::from_micros(2);
             }
             size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
         }
@@ -289,8 +395,16 @@ impl SimCluster {
             let out = self.platform.nodes[a].store_burst(t0, dst, &pattern, size, &mut self.sink);
             let retire = t0.max(out.retire);
             self.drain_visible(a);
-            sum_ps += (retire - t0).picos() as f64;
-            t = retire + Duration::from_micros(2);
+            // Event mode times delivery completion (sender-side retire is
+            // not backpressured under raw egress); chained keeps the
+            // paper's sender-side stamp.
+            let fin = if self.event.is_some() {
+                retire.max(self.settle())
+            } else {
+                retire
+            };
+            sum_ps += (fin - t0).picos() as f64;
+            t = fin + Duration::from_micros(2);
         }
         size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
     }
@@ -333,8 +447,16 @@ impl SimCluster {
             let out = self.platform.nodes[a].store_burst(t0, dst, &pattern, len, &mut self.sink);
             let retire = t0.max(out.retire);
             self.drain_visible(a);
-            sum_ps += (retire - t0).picos() as f64;
-            t = retire + Duration::from_micros(2);
+            // Event mode times delivery completion (sender-side retire is
+            // not backpressured under raw egress); chained keeps the
+            // paper's sender-side stamp.
+            let fin = if self.event.is_some() {
+                retire.max(self.settle())
+            } else {
+                retire
+            };
+            sum_ps += (fin - t0).picos() as f64;
+            t = fin + Duration::from_micros(2);
         }
         self.platform.nodes[a].mtrrs = saved;
         size as f64 / (sum_ps / iters as f64 / 1e12) / 1e6
@@ -388,6 +510,61 @@ impl SimCluster {
         visible = visible.max(self.drain_visible(node));
         (retire, visible)
     }
+
+    /// Drive a concurrent synthetic traffic pattern through the
+    /// event-driven fabric: one credit-paced 64 B posted-write flow of
+    /// `bytes_per_flow` per (src, dst) pair the pattern expands to, all
+    /// interleaved in one event queue so they genuinely contend for
+    /// links. Requires [`EngineKind::EventDriven`].
+    pub fn run_workload(&mut self, pattern: TrafficPattern, bytes_per_flow: u64) -> WorkloadReport {
+        assert!(
+            self.event.is_some(),
+            "run_workload requires EngineKind::EventDriven (builder: .engine(..))"
+        );
+        // Fresh engine and clocks: each workload is its own epoch.
+        self.reset_timebase();
+        let pairs = pattern_pairs(&self.spec(), pattern);
+        assert!(
+            !pairs.is_empty(),
+            "pattern yields no flows on this topology"
+        );
+        let engine = self.event.as_mut().expect("event engine");
+        for (src, dst) in pairs {
+            engine.add_flow(&mut self.platform, src, dst, bytes_per_flow);
+        }
+        engine.run_quiescent(&mut self.platform);
+        engine.assert_quiescent_credits();
+        let flows = engine.flow_reports();
+        let injected_packets: u64 = flows.iter().map(|f| f.injected_packets).sum();
+        WorkloadReport {
+            stalls_no_credit: engine.stalls_no_credit(),
+            events: engine.events_handled(),
+            elapsed: engine.now(),
+            injected_packets,
+            delivered_packets: engine.commits().len() as u64,
+            flows,
+        }
+    }
+}
+
+/// Receiver-side steady-state goodput for the event engine's eager
+/// stream: application bytes per second over the second half of the
+/// commit log (sorted by visibility), scaling the ring traffic down by
+/// the header overhead each message carries.
+fn eager_delivered_goodput(commits: &[CommitRec], floor: usize, size: usize) -> f64 {
+    let cells = size.div_ceil(CELL_PAYLOAD).max(1);
+    let app_frac = size as f64 / (size + 8 * cells) as f64;
+    let mut vis: Vec<(SimTime, u64)> = commits[floor..]
+        .iter()
+        .map(|c| (c.visible, c.bytes))
+        .collect();
+    vis.sort();
+    assert!(vis.len() >= 4, "not enough deliveries to measure");
+    let mid = vis.len() / 2;
+    let t0 = vis[mid].0;
+    let t1 = vis.last().expect("nonempty").0;
+    let ring: u64 = vis[mid + 1..].iter().map(|x| x.1).sum();
+    ring as f64 * app_frac / (t1.since(t0).picos() as f64 / 1e12) / 1e6
 }
 
 #[cfg(test)]
@@ -400,6 +577,16 @@ mod tests {
     fn pair() -> SimCluster {
         let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
         SimCluster::boot(spec, UarchParams::shanghai())
+    }
+
+    fn pair_event() -> SimCluster {
+        let spec = ClusterSpec::new(SupernodeSpec::new(1, MB), ClusterTopology::Pair);
+        SimCluster::boot_engine(
+            spec,
+            UarchParams::shanghai(),
+            tcc_ht::link::LinkConfig::PROTOTYPE,
+            EngineKind::EventDriven,
+        )
     }
 
     #[test]
@@ -449,6 +636,67 @@ mod tests {
             bw > 5000.0 && bw < 5800.0,
             "256 KB weak bandwidth = {bw:.0} MB/s (paper: ~5300)"
         );
+    }
+
+    #[test]
+    fn event_engine_reproduces_headline_latency() {
+        // The paper's 227 ns anchor must hold on the event-driven fabric
+        // too: same store path, same wire math, now with real credits.
+        let mut c = pair_event();
+        let lat = c.pingpong(0, 1, 64, 50);
+        let ns = lat.nanos();
+        assert!(
+            (ns - 227.0).abs() < 25.0,
+            "event-driven 64 B half-RTT = {ns:.1} ns (paper: 227 ns)"
+        );
+    }
+
+    #[test]
+    fn event_engine_bandwidth_agrees_with_chained() {
+        // Cross-validation pin: the two engines must tell the same story
+        // for a single 64 B eager stream — the paper's ~2500 MB/s point —
+        // within 10% of each other.
+        let mut chained = pair();
+        let mut event = pair_event();
+        let bw_c = chained.stream_bandwidth(0, 1, 64, SendMode::WeaklyOrdered, 20);
+        let bw_e = event.stream_bandwidth(0, 1, 64, SendMode::WeaklyOrdered, 20);
+        assert!(
+            (bw_e - 2500.0).abs() < 400.0,
+            "event-driven 64 B bandwidth = {bw_e:.0} MB/s (paper: ~2500)"
+        );
+        let err = (bw_e - bw_c).abs() / bw_c;
+        assert!(
+            err < 0.10,
+            "engines disagree: chained {bw_c:.0} vs event {bw_e:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn concurrent_all_to_all_contends_without_loss() {
+        // The tentpole behaviour: concurrent flows on a 2x2 mesh through
+        // the event engine see real backpressure (credit stalls) and
+        // still deliver every packet.
+        let spec = ClusterSpec::new(
+            SupernodeSpec::new(2, MB),
+            ClusterTopology::Mesh { x: 2, y: 2 },
+        );
+        let mut c = SimCluster::boot_engine(
+            spec,
+            UarchParams::shanghai(),
+            tcc_ht::link::LinkConfig::PROTOTYPE,
+            EngineKind::EventDriven,
+        );
+        let report = c.run_workload(TrafficPattern::AllToAll, 16 << 10);
+        assert_eq!(report.flows.len(), 12);
+        assert_eq!(report.lost_packets(), 0, "{report:?}");
+        assert_eq!(report.delivered_packets, 12 * 256);
+        assert!(
+            report.stalls_no_credit > 0,
+            "concurrent mesh traffic never hit flow control"
+        );
+        for f in &report.flows {
+            assert_eq!(f.delivered_bytes, 16 << 10, "flow {}->{}", f.src, f.dst);
+        }
     }
 
     #[test]

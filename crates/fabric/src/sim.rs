@@ -104,6 +104,31 @@ impl<M: Model> Sim<M> {
         }
     }
 
+    /// Rebuild an executive around a previously parked queue and clock.
+    ///
+    /// This is the persistence hook for models that cannot live inside a
+    /// long-lived `Sim` value: the N-node fabric engine borrows the booted
+    /// platform only for the duration of one run, so between runs it parks
+    /// its queue/clock (via [`into_parts`](Self::into_parts)) and resumes
+    /// them here with a fresh short-lived model borrow.
+    #[must_use]
+    pub fn resume(model: M, queue: EventQueue<M::Event>, now: SimTime) -> Self {
+        Sim {
+            model,
+            queue,
+            now,
+            events_handled: 0,
+        }
+    }
+
+    /// Dismantle the executive, returning the model, the pending event
+    /// queue and the current clock so a later [`resume`](Self::resume)
+    /// picks up exactly where this run stopped.
+    #[must_use]
+    pub fn into_parts(self) -> (M, EventQueue<M::Event>, SimTime) {
+        (self.model, self.queue, self.now)
+    }
+
     /// Run a single event, returning its time, or `None` if quiescent.
     pub fn step(&mut self) -> Option<SimTime> {
         let (t, ev) = self.queue.pop()?;
@@ -176,6 +201,17 @@ mod tests {
         let mut sim = ticker(u64::MAX);
         assert_eq!(sim.run_until(SimTime::MAX, 100), Stop::EventLimit);
         assert_eq!(sim.model.ticks, 100);
+    }
+
+    #[test]
+    fn resume_continues_a_parked_run() {
+        let mut sim = ticker(10);
+        assert_eq!(sim.run_until(SimTime(45_000), u64::MAX), Stop::Horizon);
+        let (model, queue, now) = sim.into_parts();
+        let mut sim = Sim::resume(model, queue, now);
+        assert_eq!(sim.run(), Stop::Quiescent);
+        assert_eq!(sim.model.ticks, 11);
+        assert_eq!(sim.now(), SimTime(100_000));
     }
 
     #[test]

@@ -213,6 +213,36 @@ impl Platform {
         }
     }
 
+    /// The trained forwarding entry for (node, link): the receiving
+    /// `(peer, peer_link, coherent)` triple, lazily (re)building the route
+    /// cache exactly as [`propagate`](Self::propagate) does. External
+    /// fabric engines use this to walk packets hop by hop with the same
+    /// tables the chained engine uses.
+    pub fn route_hop(&mut self, node: usize, link: LinkId) -> Option<(usize, LinkId, bool)> {
+        if self.route_cache.is_empty() {
+            self.rebuild_route_cache();
+        }
+        self.route_cache[node][link.0 as usize]
+    }
+
+    /// Fire the installed fabric monitor (if any) for one wire crossing.
+    /// Both engines funnel every delivered packet through here, so a
+    /// monitor mounted with [`with_monitors`](Self::with_monitors)
+    /// observes chained and event-driven runs identically.
+    pub fn monitor_packet(&mut self, ev: &PacketEvent<'_>) {
+        if let Some(mon) = self.monitor.as_deref_mut() {
+            mon.on_packet(ev);
+        }
+    }
+
+    /// Negotiated configuration of the trained link at (node, link).
+    pub fn active_config(&self, node: usize, link: LinkId) -> Option<LinkConfig> {
+        self.endpoints
+            .get(&(node, link.0))
+            .and_then(|e| e.active())
+            .map(|a| a.config)
+    }
+
     /// Run link training on every wire (and southbridge stubs).
     /// `first_training` selects the post-cold-reset 200 MHz/8-bit pass.
     pub fn train_all(&mut self, now: SimTime, first_training: bool) {
@@ -316,15 +346,13 @@ impl Platform {
                         .unwrap_or_else(|| {
                             panic!("packet out untrained/unwired link n{node} l{}", link.0)
                         });
-                    if let Some(mon) = self.monitor.as_deref_mut() {
-                        mon.on_packet(&PacketEvent {
-                            src: (node, link),
-                            dst: (peer, peer_link),
-                            coherent,
-                            packet: &packet,
-                            arrival,
-                        });
-                    }
+                    self.monitor_packet(&PacketEvent {
+                        src: (node, link),
+                        dst: (peer, peer_link),
+                        coherent,
+                        packet: &packet,
+                        arrival,
+                    });
                     let mut followups = std::mem::take(&mut self.deliver_sink);
                     followups.clear();
                     self.nodes[peer]

@@ -323,7 +323,14 @@ impl RxBuffers {
     /// returnable credits. Fails with [`CreditError::DrainUnderflow`] on
     /// a drain without a matching accept.
     pub fn drain(&mut self, pkt: &Packet) -> Result<(), CreditError> {
-        let vc = pkt.vc();
+        self.drain_parts(pkt.vc(), !pkt.data.is_empty())
+    }
+
+    /// Like [`drain`](Self::drain), but keyed on the packet's (VC, carries
+    /// data) shape instead of the packet itself. Event-driven receivers
+    /// hand the packet on to the northbridge *before* its buffers free up,
+    /// so at drain time only the shape is still around.
+    pub fn drain_parts(&mut self, vc: VirtualChannel, has_data: bool) -> Result<(), CreditError> {
         let i = vc.index();
         self.held_cmd[i] = self.held_cmd[i]
             .checked_sub(1)
@@ -332,7 +339,7 @@ impl RxBuffers {
                 class: CreditClass::Cmd,
             })?;
         self.pending_cmd[i] += 1;
-        if !pkt.data.is_empty() {
+        if has_data {
             self.held_data[i] =
                 self.held_data[i]
                     .checked_sub(1)

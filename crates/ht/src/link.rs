@@ -280,6 +280,13 @@ impl LinkRx {
         self.buffers.drain(pkt)
     }
 
+    /// Like [`drain`](Self::drain), keyed on the packet's (VC, carries
+    /// data) shape — for receivers that consumed the packet before its
+    /// buffers were released.
+    pub fn drain_parts(&mut self, vc: VirtualChannel, has_data: bool) -> Result<(), CreditError> {
+        self.buffers.drain_parts(vc, has_data)
+    }
+
     /// Harvest pending credits for the next outbound NOP.
     pub fn harvest(&mut self) -> CreditReturn {
         self.buffers.harvest()

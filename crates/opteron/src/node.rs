@@ -40,6 +40,24 @@ pub enum Action {
     BroadcastFiltered,
 }
 
+/// What the northbridge decided about one delivered packet — the routed
+/// form of [`Node::deliver`] for engines that own the wire themselves and
+/// must see a forward *before* it is transmitted.
+#[derive(Debug)]
+pub enum DeliverOutcome {
+    /// The packet landed in local DRAM.
+    Committed { offset: u64, visible: SimTime },
+    /// The packet must leave again on `link`, entering that transmitter
+    /// no earlier than `at` (crossbar forward latency paid).
+    Forward {
+        link: LinkId,
+        packet: Packet,
+        at: SimTime,
+    },
+    /// A broadcast was filtered (kept inside the node).
+    Filtered,
+}
+
 /// Caller-provided scratch buffer collecting the [`Action`]s of one or
 /// more node operations. Reusing one sink across a whole message (or a
 /// whole benchmark loop) keeps the store path free of heap allocation.
@@ -151,6 +169,12 @@ pub struct Node {
     /// microbenchmark harnesses where the receiver provably drains at
     /// line rate; the event-driven cluster sim disables it).
     pub auto_credit: bool,
+    /// If set, [`transmit`](Self::transmit) bypasses the node's `LinkTx`
+    /// and emits the packet at its northbridge-exit time: an external
+    /// fabric engine owns wire serialisation, credits and arrival timing
+    /// per hop, so the node must not serialise (or gate on credits) a
+    /// second time.
+    pub raw_egress: bool,
 }
 
 impl Node {
@@ -177,6 +201,7 @@ impl Node {
             sq_headroom_memo: (0, 0, Duration::ZERO),
             params,
             auto_credit: true,
+            raw_egress: false,
         }
     }
 
@@ -457,6 +482,14 @@ impl Node {
         t: SimTime,
         sink: &mut ActionSink,
     ) -> SimTime {
+        if self.raw_egress {
+            sink.push(Action::PacketOut {
+                link,
+                packet: pkt,
+                arrival: t,
+            });
+            return t;
+        }
         let auto = self.auto_credit;
         let mut dels = std::mem::take(&mut self.dels_scratch);
         dels.clear();
@@ -499,6 +532,33 @@ impl Node {
         coherent: bool,
         sink: &mut ActionSink,
     ) -> Result<(), NbError> {
+        match self.deliver_routed(now, link, packet, coherent)? {
+            DeliverOutcome::Committed { offset, visible } => {
+                sink.push(Action::LocalCommit { offset, visible });
+            }
+            DeliverOutcome::Forward {
+                link: out,
+                packet,
+                at,
+            } => {
+                self.transmit(out, packet, at, sink);
+            }
+            DeliverOutcome::Filtered => sink.push(Action::BroadcastFiltered),
+        }
+        Ok(())
+    }
+
+    /// The receive path with the routing decision *returned* instead of
+    /// acted on: a local commit happens here (DRAM timing is the node's),
+    /// but a forward is handed back untransmitted so an event-driven
+    /// fabric engine can put the packet on its own per-wire channel.
+    pub fn deliver_routed(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        packet: Packet,
+        coherent: bool,
+    ) -> Result<DeliverOutcome, NbError> {
         let src = Source::Link { id: link, coherent };
         match self.nb.dispose(&packet, src)? {
             Disposition::LocalMemory { offset, bridged } => {
@@ -508,18 +568,14 @@ impl Node {
                     self.params.xbar_forward
                 };
                 let visible = self.mem.write(now + lat, offset, &packet.data);
-                sink.push(Action::LocalCommit { offset, visible });
-                Ok(())
+                Ok(DeliverOutcome::Committed { offset, visible })
             }
-            Disposition::Forward { link: out } => {
-                let t = now + self.params.xbar_forward;
-                self.transmit(out, packet, t, sink);
-                Ok(())
-            }
-            Disposition::Filtered { .. } => {
-                sink.push(Action::BroadcastFiltered);
-                Ok(())
-            }
+            Disposition::Forward { link: out } => Ok(DeliverOutcome::Forward {
+                link: out,
+                packet,
+                at: now + self.params.xbar_forward,
+            }),
+            Disposition::Filtered { .. } => Ok(DeliverOutcome::Filtered),
         }
     }
 

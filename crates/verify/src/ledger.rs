@@ -5,9 +5,10 @@
 //! ends of a link in hand: the transmitter's [`TxCredits`], the
 //! receiver's [`RxBuffers`], and whatever is in transit on the wire. The
 //! [`TransitCounts`] snapshot supplies the wire term; closed-loop
-//! harnesses (like the event simulator in `tccluster::event_sim`) keep it
-//! by counting packets scheduled but not yet accepted, and credit
-//! returns sent but not yet applied.
+//! harnesses (like the event-driven fabric in `tccluster::engine`) keep
+//! it by counting packets scheduled but not yet accepted, and credit
+//! returns sent but not yet applied — at quiescence the wire term is
+//! zero and a default snapshot suffices.
 
 use crate::diag::{PortRef, Violation};
 use tcc_ht::flow::{CreditClass, RxBuffers, TxCredits};

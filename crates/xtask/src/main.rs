@@ -31,6 +31,10 @@ const HOT_FUNCTIONS: &[(&str, &str)] = &[
     ("crates/opteron/src/node.rs", "fn emit_runs"),
     ("crates/opteron/src/node.rs", "fn sq_headroom"),
     ("crates/firmware/src/machine.rs", "fn propagate"),
+    ("crates/ht/src/link.rs", "fn send_into"),
+    ("crates/ht/src/link.rs", "fn pump_into"),
+    ("crates/core/src/engine.rs", "fn pump_port"),
+    ("crates/core/src/engine.rs", "fn on_arrive"),
     ("crates/msglib/src/ring.rs", "fn send"),
     ("crates/msglib/src/ring.rs", "fn recv_into"),
     ("crates/msglib/src/channel.rs", "fn send"),
