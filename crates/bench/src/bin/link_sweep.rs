@@ -7,6 +7,7 @@
 //! The sweep boots a fresh two-node cluster per configuration and reports
 //! raw/effective link bandwidth plus measured end-to-end numbers.
 
+use rayon::prelude::*;
 use tcc_fabric::series::{Figure, Series};
 use tcc_fabric::time::Duration;
 use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
@@ -54,11 +55,19 @@ fn main() {
 
     let mut fig = Figure::new("Link sweep", "clock MHz", "measured 4MB MB/s");
     let mut series = Series::new("weak @4MB");
-    for (name, cfg) in &configs {
-        let spec = ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
-        let mut cluster = SimCluster::boot_with(spec, UarchParams::shanghai(), *cfg);
-        let bw = cluster.stream_bandwidth(0, 1, 4 << 20, SendMode::WeaklyOrdered, 2);
-        let lat = cluster.pingpong(0, 1, 64, 30).nanos();
+    // Each configuration boots its own cluster, so the sweep points are
+    // fully independent: measure them in parallel, print in order.
+    let measured: Vec<(f64, f64)> = configs
+        .par_iter()
+        .map(|&(_, cfg)| {
+            let spec = ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
+            let mut cluster = SimCluster::boot_with(spec, UarchParams::shanghai(), cfg);
+            let bw = cluster.stream_bandwidth(0, 1, 4 << 20, SendMode::WeaklyOrdered, 2);
+            let lat = cluster.pingpong(0, 1, 64, 30).nanos();
+            (bw, lat)
+        })
+        .collect();
+    for ((name, cfg), &(bw, lat)) in configs.iter().zip(&measured) {
         println!(
             "{:<24} {:>12.1} {:>12.2} {:>14.2} {:>14.0} {:>12.1}",
             name,

@@ -2,10 +2,23 @@
 //!
 //! The paper's figures measure simulated time; this binary measures
 //! wallclock — the packets-per-second engine behind every sweep. It times
-//! the Fig. 6 + Fig. 7 reproductions, a ShmCluster ping-pong storm, the
-//! raw store-issue path, and counts heap allocations per message, then
-//! writes `BENCH_simspeed.json` next to the workspace root so future perf
-//! PRs can regress against it. See docs/hot-path.md for the schema.
+//! the Fig. 6 + Fig. 7 reproductions (parallel sweeps), a ShmCluster
+//! ping-pong storm, the raw store-issue path, counts heap allocations per
+//! message, and scales the sharded event engine across worker threads and
+//! queue backends on an 8×8 mesh, then writes `BENCH_simspeed.json` next
+//! to the workspace root so future perf PRs can regress against it. See
+//! docs/hot-path.md for the schema.
+//!
+//! Modes:
+//!
+//! * default — full run, writes `BENCH_simspeed.json`.
+//! * `--smoke` — fast CI subset: runs the event engine at 1 and 4 worker
+//!   threads on a 4×4 mesh and asserts the reports are byte-identical
+//!   (the determinism contract), then exits without touching the JSON.
+//! * `--check` — full run plus host-aware regression guards (exit 1 on
+//!   violation). Guards that depend on host parallelism (the shm storm,
+//!   the 8-thread scaling target) are skipped — loudly — on hosts without
+//!   the cores to express them.
 
 // The speed harness is the legitimate wallclock consumer (clippy.toml).
 #![allow(clippy::disallowed_methods)]
@@ -14,11 +27,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tcc_bench::{fig6_sizes, fig7_sizes, figure6, figure7, prototype};
+use tcc_bench::{fig6_sizes, fig7_sizes, figure6_par, figure7_par, prototype};
 use tcc_msglib::channel::{channel, CHANNEL_BYTES, CREDIT_BYTES};
 use tcc_msglib::shm::ShmMemory;
 use tcc_msglib::SendMode;
-use tccluster::ShmCluster;
+use tccluster::firmware::topology::ClusterTopology;
+use tccluster::{
+    EngineKind, QueueBackend, ShmCluster, TcclusterBuilder, TrafficPattern, WorkloadReport,
+};
 
 /// Counting allocator: every heap allocation in the process bumps a
 /// counter, so steady-state loops can assert/report allocations per
@@ -50,6 +66,12 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Wallclock of the pre-change harness on the reference dev host, recorded
 /// immediately before the zero-allocation refactor landed (same sweep, same
 /// binary). The ≥3x acceptance criterion compares against these.
@@ -59,7 +81,15 @@ const PRE_CHANGE_STORE_NS: f64 = 578.8;
 const PRE_CHANGE_STORE_ALLOCS: f64 = 15.0;
 const PRE_CHANGE_SHM_MESSAGE_NS: f64 = 167.1;
 const PRE_CHANGE_SHM_ALLOCS: f64 = 4.0;
+/// Recorded on a multi-core reference host. The storm is a 2-thread
+/// ping-pong: on a single-CPU host every message leg forces a scheduler
+/// switch, capping throughput near 1/(2·context-switch) regardless of
+/// code quality — see docs/hot-path.md ("shm storm and host topology").
 const PRE_CHANGE_STORM_MSGS_PER_SEC: f64 = 591_846.0;
+
+/// 8×8 all-to-all flow size: 4 KB per flow × 4032 flows keeps the run in
+/// the millions-of-events regime without dominating the harness.
+const MESH8_FLOW_BYTES: u64 = 4 << 10;
 
 fn time_ms(f: impl FnOnce()) -> f64 {
     let t0 = Instant::now();
@@ -91,22 +121,21 @@ fn best_of2(mut f: impl FnMut() -> (f64, f64)) -> (f64, f64) {
         })
 }
 
-/// Fig. 6 sweep (full size range, both orderings + IB reference).
+/// Fig. 6 sweep (full size range, both orderings + IB reference,
+/// parallel sweep points).
 fn bench_fig6() -> f64 {
-    let mut cluster = prototype();
     let sizes = fig6_sizes();
     time_ms(|| {
-        let fig = figure6(&mut cluster, &sizes);
+        let fig = figure6_par(&sizes);
         assert_eq!(fig.series.len(), 3);
     })
 }
 
-/// Fig. 7 sweep (latency curve).
+/// Fig. 7 sweep (latency curve, parallel sweep points).
 fn bench_fig7() -> f64 {
-    let mut cluster = prototype();
     let sizes = fig7_sizes();
     time_ms(|| {
-        let fig = figure7(&mut cluster, &sizes);
+        let fig = figure7_par(&sizes);
         assert_eq!(fig.series.len(), 2);
     })
 }
@@ -176,12 +205,11 @@ fn bench_shm_channel() -> (f64, f64) {
     (dt.as_nanos() as f64 / N as f64, da as f64 / N as f64)
 }
 
-/// Event-driven fabric engine: concurrent all-to-all on a 2×2 mesh of
-/// two-socket supernodes (12 flows, real credit flow control). Returns
-/// host events/sec — the sweep-rate currency of every congestion study.
+/// Event-driven fabric engine, small scale: concurrent all-to-all on a
+/// 2×2 mesh of two-socket supernodes (12 flows, real credit flow
+/// control). Returns host events/sec — the sweep-rate currency of every
+/// congestion study. Kept from schema v2 for baseline continuity.
 fn bench_event_fabric() -> f64 {
-    use tccluster::firmware::topology::ClusterTopology;
-    use tccluster::{EngineKind, TcclusterBuilder, TrafficPattern};
     let mut cluster = TcclusterBuilder::new()
         .topology(ClusterTopology::Mesh { x: 2, y: 2 })
         .processors_per_supernode(2)
@@ -192,6 +220,24 @@ fn bench_event_fabric() -> f64 {
     let dt = t0.elapsed().as_secs_f64();
     assert_eq!(report.lost_packets(), 0, "event fabric lost packets");
     report.events as f64 / dt
+}
+
+/// One 8×8 all-to-all run (4032 flows) at a given worker-thread count and
+/// queue backend. Returns (events/sec, report) — the report so the caller
+/// can assert cross-configuration determinism.
+fn bench_mesh8(threads: usize, backend: QueueBackend) -> (f64, WorkloadReport) {
+    let mut cluster = TcclusterBuilder::new()
+        .topology(ClusterTopology::Mesh { x: 8, y: 8 })
+        .processors_per_supernode(2)
+        .engine(EngineKind::EventDriven)
+        .event_threads(threads)
+        .event_queue(backend)
+        .build_sim();
+    let t0 = Instant::now();
+    let report = cluster.run_workload(TrafficPattern::AllToAll, MESH8_FLOW_BYTES);
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(report.lost_packets(), 0, "8x8 all-to-all lost packets");
+    (report.events as f64 / dt, report)
 }
 
 /// Threaded ShmCluster ping-pong storm. Returns messages/sec (both
@@ -218,13 +264,57 @@ fn bench_shm_storm() -> f64 {
     (2 * ROUND_TRIPS) as f64 / dt
 }
 
+/// CI smoke: the event engine at 1 and 4 worker threads on a 4×4 mesh
+/// must produce byte-identical reports, on both queue backends. Prints
+/// rates, exits nonzero via assert on divergence.
+fn smoke() {
+    println!("simspeed --smoke: thread-scaling determinism check (4x4 all-to-all)\n");
+    let run = |threads: usize, backend: QueueBackend| {
+        let mut cluster = TcclusterBuilder::new()
+            .topology(ClusterTopology::Mesh { x: 4, y: 4 })
+            .processors_per_supernode(2)
+            .engine(EngineKind::EventDriven)
+            .event_threads(threads)
+            .event_queue(backend)
+            .build_sim();
+        let t0 = Instant::now();
+        let report = cluster.run_workload(TrafficPattern::AllToAll, 2 << 10);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(report.lost_packets(), 0, "smoke lost packets");
+        println!(
+            "  {:>10?} x{threads} threads: {:>12.0} events/sec",
+            backend,
+            report.events as f64 / dt
+        );
+        report
+    };
+    let baseline = run(1, QueueBackend::Calendar);
+    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for threads in [1usize, 4] {
+            let got = run(threads, backend);
+            assert_eq!(
+                got, baseline,
+                "{backend:?} x{threads} threads diverged from sequential calendar"
+            );
+        }
+    }
+    println!("\nsmoke OK: all thread counts and backends byte-identical");
+}
+
 fn main() {
-    println!("simspeed: wallclock of the reproduction's hot paths\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let check = args.iter().any(|a| a == "--check");
+    let cpus = host_cpus();
+    println!("simspeed: wallclock of the reproduction's hot paths (host_cpus={cpus})\n");
 
     let fig6_ms = best_of(bench_fig6);
-    println!("fig6 sweep                 {fig6_ms:>12.1} ms");
+    println!("fig6 sweep (parallel)      {fig6_ms:>12.1} ms");
     let fig7_ms = best_of(bench_fig7);
-    println!("fig7 sweep                 {fig7_ms:>12.1} ms");
+    println!("fig7 sweep (parallel)      {fig7_ms:>12.1} ms");
     let (store_ns, store_allocs) = best_of2(bench_store_path);
     println!(
         "sim store path             {store_ns:>12.1} ns/store   {store_allocs:.2} allocs/store"
@@ -235,6 +325,33 @@ fn main() {
     println!("shm storm (2 threads)      {storm:>12.0} msgs/sec");
     let event_eps = -best_of(|| -bench_event_fabric());
     println!("event fabric (2x2 mesh)    {event_eps:>12.0} events/sec");
+
+    // ── 8×8 thread/backend scaling (single run each: minutes-long loop
+    // territory otherwise, and the determinism assert means every run is
+    // also a correctness check). ──────────────────────────────────────
+    println!("\nevent fabric 8x8 all-to-all ({MESH8_FLOW_BYTES} B x 4032 flows):");
+    let mut cal = Vec::new();
+    let mut baseline: Option<WorkloadReport> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (eps, report) = bench_mesh8(threads, QueueBackend::Calendar);
+        println!("  calendar    x{threads} threads  {eps:>12.0} events/sec");
+        if let Some(b) = &baseline {
+            assert_eq!(&report, b, "8x8 calendar x{threads} diverged");
+        } else {
+            baseline = Some(report);
+        }
+        cal.push(eps);
+    }
+    let (heap_t1, heap_report) = bench_mesh8(1, QueueBackend::BinaryHeap);
+    println!("  binary heap x1 threads  {heap_t1:>12.0} events/sec");
+    assert_eq!(
+        &heap_report,
+        baseline.as_ref().expect("baseline run"),
+        "8x8 heap diverged from calendar"
+    );
+    let mesh8_events = baseline.as_ref().map_or(0, |r| r.events);
+    let speedup8 = cal[3] / cal[0];
+    println!("  t8/t1 scaling: {speedup8:.2}x (host has {cpus} CPUs)");
 
     let speedup6 = if PRE_CHANGE_FIG6_MS > 0.0 {
         PRE_CHANGE_FIG6_MS / fig6_ms
@@ -251,8 +368,67 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"tcc-simspeed-v2\",\n  \"pre_change\": {{\n    \"fig6_sweep_ms\": {PRE_CHANGE_FIG6_MS:.1},\n    \"fig7_sweep_ms\": {PRE_CHANGE_FIG7_MS:.1},\n    \"sim_store_ns\": {PRE_CHANGE_STORE_NS:.1},\n    \"sim_store_allocs\": {PRE_CHANGE_STORE_ALLOCS:.3},\n    \"shm_message_ns\": {PRE_CHANGE_SHM_MESSAGE_NS:.1},\n    \"shm_allocs_per_message\": {PRE_CHANGE_SHM_ALLOCS:.3},\n    \"shm_storm_msgs_per_sec\": {PRE_CHANGE_STORM_MSGS_PER_SEC:.0}\n  }},\n  \"measured\": {{\n    \"fig6_sweep_ms\": {fig6_ms:.1},\n    \"fig7_sweep_ms\": {fig7_ms:.1},\n    \"fig6_speedup\": {speedup6:.2},\n    \"fig7_speedup\": {speedup7:.2},\n    \"sim_store_ns\": {store_ns:.1},\n    \"sim_store_allocs\": {store_allocs:.3},\n    \"shm_message_ns\": {shm_ns:.1},\n    \"shm_allocs_per_message\": {shm_allocs:.3},\n    \"shm_storm_msgs_per_sec\": {storm:.0},\n    \"event_fabric_events_per_sec\": {event_eps:.0}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"tcc-simspeed-v3\",\n  \"host_cpus\": {cpus},\n  \"pre_change\": {{\n    \"fig6_sweep_ms\": {PRE_CHANGE_FIG6_MS:.1},\n    \"fig7_sweep_ms\": {PRE_CHANGE_FIG7_MS:.1},\n    \"sim_store_ns\": {PRE_CHANGE_STORE_NS:.1},\n    \"sim_store_allocs\": {PRE_CHANGE_STORE_ALLOCS:.3},\n    \"shm_message_ns\": {PRE_CHANGE_SHM_MESSAGE_NS:.1},\n    \"shm_allocs_per_message\": {PRE_CHANGE_SHM_ALLOCS:.3},\n    \"shm_storm_msgs_per_sec\": {PRE_CHANGE_STORM_MSGS_PER_SEC:.0}\n  }},\n  \"measured\": {{\n    \"fig6_sweep_ms\": {fig6_ms:.1},\n    \"fig7_sweep_ms\": {fig7_ms:.1},\n    \"fig6_speedup\": {speedup6:.2},\n    \"fig7_speedup\": {speedup7:.2},\n    \"sim_store_ns\": {store_ns:.1},\n    \"sim_store_allocs\": {store_allocs:.3},\n    \"shm_message_ns\": {shm_ns:.1},\n    \"shm_allocs_per_message\": {shm_allocs:.3},\n    \"shm_storm_msgs_per_sec\": {storm:.0},\n    \"event_fabric_events_per_sec\": {event_eps:.0}\n  }},\n  \"event_fabric_8x8\": {{\n    \"flow_bytes\": {MESH8_FLOW_BYTES},\n    \"flows\": 4032,\n    \"events\": {mesh8_events},\n    \"calendar_events_per_sec\": {{\n      \"t1\": {t1:.0},\n      \"t2\": {t2:.0},\n      \"t4\": {t4:.0},\n      \"t8\": {t8:.0}\n    }},\n    \"binary_heap_t1_events_per_sec\": {heap_t1:.0},\n    \"speedup_t8_vs_t1\": {speedup8:.2},\n    \"deterministic_across_threads_and_backends\": true\n  }},\n  \"notes\": {{\n    \"shm_storm\": \"2-thread ping-pong; context-switch bound on single-CPU hosts (pre_change was a multi-core host). Guarded only when host_cpus >= 2.\",\n    \"event_fabric_8x8\": \"thread scaling requires host cores; the t8/t1 target (>= 3x) is asserted by --check only when host_cpus >= 8.\"\n  }}\n}}\n",
+        t1 = cal[0],
+        t2 = cal[1],
+        t4 = cal[2],
+        t8 = cal[3],
     );
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("\nwrote BENCH_simspeed.json");
+
+    if check {
+        let mut failed = false;
+        let mut guard = |name: &str, ok: bool, detail: String| {
+            if ok {
+                println!("check: {name:<38} OK   {detail}");
+            } else {
+                println!("check: {name:<38} FAIL {detail}");
+                failed = true;
+            }
+        };
+        guard(
+            "sim_store_allocs == 0",
+            store_allocs < 0.005,
+            format!("({store_allocs:.3}/store)"),
+        );
+        guard(
+            "shm_allocs_per_message == 0",
+            shm_allocs < 0.005,
+            format!("({shm_allocs:.3}/msg)"),
+        );
+        guard(
+            "fig6 not slower than pre-change",
+            fig6_ms <= PRE_CHANGE_FIG6_MS,
+            format!("({fig6_ms:.1} ms vs {PRE_CHANGE_FIG6_MS:.1})"),
+        );
+        if cpus >= 2 {
+            guard(
+                "shm_storm within 2x of pre-change",
+                storm >= PRE_CHANGE_STORM_MSGS_PER_SEC / 2.0,
+                format!("({storm:.0} vs {PRE_CHANGE_STORM_MSGS_PER_SEC:.0} msgs/sec)"),
+            );
+        } else {
+            println!(
+                "check: shm_storm                              SKIP single-CPU host \
+                 (context-switch bound; measured {storm:.0})"
+            );
+        }
+        if cpus >= 8 {
+            guard(
+                "8x8 t8/t1 scaling >= 3x",
+                speedup8 >= 3.0,
+                format!("({speedup8:.2}x)"),
+            );
+        } else {
+            println!(
+                "check: 8x8 t8/t1 scaling                      SKIP host has {cpus} CPUs \
+                 (needs >= 8; measured {speedup8:.2}x)"
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\nall checks passed");
+    }
 }

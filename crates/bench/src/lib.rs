@@ -5,6 +5,7 @@
 //! and reporting helpers so every binary prints through the same
 //! [`tcc_fabric::series::Figure`] machinery that the tests assert on.
 
+use rayon::prelude::*;
 use tcc_baseline::IbNic;
 use tcc_fabric::series::{Figure, Series};
 use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
@@ -92,6 +93,69 @@ pub fn figure7(cluster: &mut SimCluster, sizes: &[usize]) -> Figure {
     fig
 }
 
+/// [`figure6`] with the sweep points computed in parallel: each worker
+/// boots its own prototype cluster and sweeps a contiguous chunk of
+/// `sizes`. Every measurement resets the simulated timebase first, so
+/// the points are independent and the dataset is bit-identical to the
+/// sequential sweep — parallelism trades wall clock only.
+pub fn figure6_par(sizes: &[usize]) -> Figure {
+    let pts: Vec<(f64, f64, f64)> = sizes
+        .par_iter()
+        .map_init(prototype, |cluster, &s| {
+            let it = iters_for(s);
+            (
+                s as f64,
+                cluster.stream_bandwidth(0, 1, s, SendMode::WeaklyOrdered, it),
+                cluster.stream_bandwidth(0, 1, s, SendMode::StrictlyOrdered, it),
+            )
+        })
+        .collect();
+    let mut fig = Figure::new(
+        "Figure 6 — TCCluster bandwidth (MB/s) vs message size (B)",
+        "bytes",
+        "MB/s",
+    );
+    let mut weak = Series::new("TCC weakly ordered");
+    let mut strict = Series::new("TCC strictly ordered");
+    let mut ib = Series::new("InfiniBand ConnectX");
+    let nic = IbNic::connectx();
+    for (x, w, st) in pts {
+        weak.push(x, w);
+        strict.push(x, st);
+        ib.push(x, nic.bandwidth_mb_s(x as usize));
+    }
+    fig.add(weak);
+    fig.add(strict);
+    fig.add(ib);
+    fig
+}
+
+/// [`figure7`] with parallel sweep points; bit-identical to the
+/// sequential dataset (see [`figure6_par`] for why).
+pub fn figure7_par(sizes: &[usize]) -> Figure {
+    let pts: Vec<(f64, f64)> = sizes
+        .par_iter()
+        .map_init(prototype, |cluster, &s| {
+            (s as f64, cluster.pingpong(0, 1, s, 50).nanos())
+        })
+        .collect();
+    let mut fig = Figure::new(
+        "Figure 7 — TCCluster half-round-trip latency (ns) vs message size (B)",
+        "bytes",
+        "ns",
+    );
+    let mut tcc = Series::new("TCCluster");
+    let mut ib = Series::new("InfiniBand ConnectX");
+    let nic = IbNic::connectx();
+    for (x, ns) in pts {
+        tcc.push(x, ns);
+        ib.push(x, nic.latency(x as usize).nanos());
+    }
+    fig.add(tcc);
+    fig.add(ib);
+    fig
+}
+
 /// Print a paper-vs-measured anchor line and return whether it is within
 /// `tol_frac` of the paper's value.
 pub fn check_anchor(name: &str, paper: f64, measured: f64, tol_frac: f64) -> bool {
@@ -130,6 +194,29 @@ mod tests {
         for &(x, y) in &strict.points {
             assert!(y <= weak.at(x).unwrap() * 1.05, "strict above weak at {x}");
         }
+    }
+
+    #[test]
+    fn parallel_sweeps_match_sequential_bitwise() {
+        // The parallel sweep boots a cluster per worker; every point
+        // resets the simulated timebase, so the numbers must be exactly
+        // the sequential ones.
+        let sizes = vec![64usize, 1024, 64 << 10];
+        let mut c = prototype();
+        let seq6 = figure6(&mut c, &sizes);
+        let par6 = figure6_par(&sizes);
+        for name in ["TCC weakly ordered", "TCC strictly ordered"] {
+            let a = &seq6.get(name).unwrap().points;
+            let b = &par6.get(name).unwrap().points;
+            assert_eq!(a, b, "{name} diverged");
+        }
+        let lat_sizes = vec![64usize, 512];
+        let seq7 = figure7(&mut c, &lat_sizes);
+        let par7 = figure7_par(&lat_sizes);
+        assert_eq!(
+            seq7.get("TCCluster").unwrap().points,
+            par7.get("TCCluster").unwrap().points
+        );
     }
 
     #[test]

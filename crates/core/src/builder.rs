@@ -2,9 +2,10 @@
 //! a packet-level simulation ([`SimCluster`]) or as a threaded
 //! shared-memory emulation ([`ShmCluster`]).
 
-use crate::engine::EngineKind;
+use crate::engine::{EngineKind, EngineOptions};
 use crate::shm_cluster::ShmCluster;
 use crate::sim::SimCluster;
+use tcc_fabric::event::QueueBackend;
 use tcc_firmware::topology::{ClusterSpec, ClusterTopology, SupernodeSpec};
 use tcc_ht::link::LinkConfig;
 use tcc_msglib::ring::SendMode;
@@ -20,6 +21,7 @@ pub struct TcclusterBuilder {
     params: UarchParams,
     mode: SendMode,
     engine: EngineKind,
+    options: EngineOptions,
 }
 
 impl Default for TcclusterBuilder {
@@ -41,6 +43,7 @@ impl TcclusterBuilder {
             params: UarchParams::shanghai(),
             mode: SendMode::WeaklyOrdered,
             engine: EngineKind::Chained,
+            options: EngineOptions::default(),
         }
     }
 
@@ -94,6 +97,25 @@ impl TcclusterBuilder {
         self
     }
 
+    /// Worker threads for the event engine's sharded conservative-PDES
+    /// executive (one shard per supernode; extra threads are clamped).
+    /// Results are bit-identical for every thread count — this knob
+    /// trades wall clock only. Meaningful with
+    /// [`EngineKind::EventDriven`].
+    #[must_use]
+    pub fn event_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
+        self
+    }
+
+    /// Event-queue backend for the event engine: the O(1) calendar queue
+    /// (default) or the `BinaryHeap` kept for differential testing.
+    #[must_use]
+    pub fn event_queue(mut self, backend: QueueBackend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
     #[must_use]
     pub fn spec(&self) -> ClusterSpec {
         ClusterSpec::new(
@@ -106,7 +128,13 @@ impl TcclusterBuilder {
     /// sequence, including the remote-access self test).
     #[must_use]
     pub fn build_sim(&self) -> SimCluster {
-        SimCluster::boot_engine(self.spec(), self.params.clone(), self.tcc_link, self.engine)
+        SimCluster::boot_engine_opts(
+            self.spec(),
+            self.params.clone(),
+            self.tcc_link,
+            self.engine,
+            self.options,
+        )
     }
 
     /// Build the threaded shared-memory emulation with one rank per

@@ -21,6 +21,31 @@
 //!   patterns on `Mesh{x,y}` topologies exhibit genuine link contention,
 //!   backpressure and fairness.
 //!
+//! # Parallel execution
+//!
+//! The event engine is a conservative parallel discrete-event simulator
+//! (Chandy–Misra style). The fabric is sharded **by supernode**: each
+//! [`Shard`] owns the ports, flows, drain clocks and event queue of one
+//! supernode's nodes, so shard state is fully disjoint. Wire latency
+//! gives the synchronization lookahead for free — every cross-shard
+//! event is a packet [`Arrive`](FabricEvent::Arrive) produced by
+//! `put_on_wire`, whose arrival lies at least one hop latency in the
+//! future. With `L = min(hop_latency over cut links)`, every epoch
+//! processes events strictly below the horizon
+//! `min(next event anywhere) + L`; events a shard generates for another
+//! shard during the epoch land at or past the horizon, so exchanging
+//! mailboxes at the epoch barrier never delivers an event into a
+//! shard's past.
+//!
+//! Determinism: every event carries an [`EventKey`] `(time, shard, seq)`
+//! stamped by the shard that *scheduled* it, each shard pops its queue
+//! in total key order, and sequential execution (`threads = 1`) runs the
+//! *same* epoch algorithm — so results are bit-identical for any thread
+//! count. DRAM commits are concatenated in shard-index order after each
+//! run, and monitor callbacks are recorded per shard and replayed in
+//! merged global key order (see `replay_monitors`), which is likewise
+//! thread-count-invariant.
+//!
 //! The two engines are pinned to each other by cross-validation: on a
 //! single flow their goodput must agree within a few percent (see
 //! `tests/engine_crossval.rs` and the module tests below), and the
@@ -36,14 +61,15 @@
 
 use bytes::Bytes;
 use std::collections::VecDeque;
-use tcc_fabric::event::EventQueue;
-use tcc_fabric::sim::{Model, Sim, Stop};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use tcc_fabric::event::{EventKey, EventQueue, QueueBackend};
 use tcc_fabric::time::{Duration, SimTime};
 use tcc_firmware::machine::{PacketEvent, Platform};
-use tcc_firmware::topology::{ClusterSpec, Port};
+use tcc_firmware::topology::{ClusterSpec, ClusterTopology, Port};
 use tcc_ht::link::{Delivery, LinkRx, LinkTx};
 use tcc_ht::packet::{Packet, VirtualChannel};
-use tcc_opteron::node::DeliverOutcome;
+use tcc_opteron::node::{DeliverOutcome, Node};
 use tcc_opteron::regs::{LinkId, LINKS_PER_NODE};
 use tcc_opteron::{Disposition, Source};
 
@@ -55,6 +81,28 @@ pub enum EngineKind {
     Chained,
     /// The discrete-event fabric with real flow control.
     EventDriven,
+}
+
+/// Tuning knobs for the event engine's executive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads for the sharded conservative-PDES executive. One
+    /// shard per supernode; threads beyond the shard count are clamped.
+    /// `1` runs the same epoch algorithm inline (no spawn, no barriers)
+    /// and is the zero-allocation reference path.
+    pub threads: usize,
+    /// Event-queue backend per shard (calendar queue by default; the
+    /// binary heap is kept for differential testing).
+    pub backend: QueueBackend,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            threads: 1,
+            backend: QueueBackend::default(),
+        }
+    }
 }
 
 /// Time the receiving northbridge takes to drain one packet's buffers —
@@ -70,12 +118,20 @@ const WIN: u64 = 0x1000;
 /// rings at the bottom of each node's exported slice.
 const WIN_BASE: u64 = 0x8_0000;
 
+/// Hard per-run event budget — a run that exceeds it did not quiesce.
+const EVENT_BUDGET: u64 = 500_000_000;
+
 static ZERO64: [u8; 64] = [0u8; 64];
 
 /// Events of the N-node fabric model.
+///
+/// `node` indices are global; `flow` is the index within the owning
+/// shard's flow table (flows never cross shards — a flow lives at its
+/// source node's shard).
 #[derive(Debug)]
 pub enum FabricEvent {
-    /// Flow `flow` tries to enqueue + pump more packets at its source.
+    /// Flow `flow` (shard-local index) tries to enqueue + pump more
+    /// packets at its source.
     Pump { flow: usize },
     /// A node's store path handed a packet to the fabric at (node, link).
     Inject {
@@ -113,8 +169,8 @@ pub struct PortState {
     /// Posted queue: the engine never enqueues NOPs (they go out via
     /// `send_nop`), so one delivery pops one entry.
     provenance: VecDeque<Option<LinkId>>,
-    /// Indices of flows whose first hop leaves through this port — woken
-    /// when a credit NOP arrives.
+    /// Shard-local indices of flows whose first hop leaves through this
+    /// port — woken when a credit NOP arrives.
     flows: Vec<usize>,
 }
 
@@ -139,7 +195,7 @@ impl PortState {
 
 /// A posted write that landed in some node's DRAM through the event
 /// engine (the event-side analogue of `DeliveredWrite`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitRec {
     /// Global node index the write committed on.
     pub node: usize,
@@ -176,62 +232,190 @@ pub struct Flow {
     pub injected: u64,
 }
 
-/// Mutable fabric state, separable from the platform borrow.
+/// A monitor callback captured on a shard during a run, replayed to the
+/// platform's `FabricMonitor` in merged key order after the run so
+/// monitors observe one deterministic global packet order regardless of
+/// thread count.
 #[derive(Debug)]
-struct FabricState {
+struct MonRec {
+    key: EventKey,
+    src: (usize, LinkId),
+    dst: (usize, LinkId),
+    coherent: bool,
+    arrival: SimTime,
+    packet: Packet,
+}
+
+/// Everything one supernode's slice of the fabric owns: its ports, its
+/// flows, its receive-bridge drain clocks and its event queue. Shards
+/// share nothing; cross-shard traffic moves only through [`Inbox`]es at
+/// epoch boundaries.
+#[derive(Debug)]
+struct Shard {
+    /// Shard index == supernode index; also the `src` stamp of every
+    /// event this shard schedules.
+    id: u32,
+    /// First global node index of this supernode.
+    base: usize,
+    /// Ports indexed by node-local index (`global - base`).
     ports: Vec<[Option<PortState>; LINKS_PER_NODE]>,
     /// Per-node receive-bridge serialisation clock for buffer drains.
     drain_free: Vec<SimTime>,
-    drain: Duration,
+    /// Flows sourced at this shard's nodes.
     flows: Vec<Flow>,
+    queue: EventQueue<FabricEvent>,
+    /// Monotonic scheduling counter — the `seq` of the next event key,
+    /// shared by local scheduling and cross-shard sends so keys are
+    /// globally unique.
+    seq: u64,
+    /// Shard clock (last event handled).
+    now: SimTime,
+    /// Events handled since the counter was last merged.
+    events: u64,
+    /// Commits of this run, merged into the engine log in shard order.
     commits: Vec<CommitRec>,
     /// Scratch for link deliveries pumped by one event.
     dels: Vec<Delivery>,
+    /// Monitor records of this run (empty unless a monitor is mounted).
+    monlog: Vec<MonRec>,
+    /// Double-buffer for inbox drains; capacity ping-pongs with the
+    /// inbox Vec so the steady state allocates nothing.
+    inscratch: Vec<(EventKey, FabricEvent)>,
 }
 
-/// The model actually driven by [`Sim`]: fabric state coupled to the
-/// booted platform for the duration of one run. `Model::handle` cannot
-/// carry extra borrows, so the engine parks its queue/clock between runs
-/// (via [`Sim::into_parts`]) and resumes them with a fresh short-lived
-/// platform borrow each time.
+/// A shard's per-epoch mailbox: events other shards scheduled into it,
+/// applied at the next epoch barrier. The mutex is uncontended in the
+/// inline path and epoch-bounded in the threaded path; push order is
+/// irrelevant because delivery order is decided by the event keys.
 #[derive(Debug)]
-struct Coupled<'a> {
-    state: &'a mut FabricState,
-    platform: &'a mut Platform,
+struct Inbox(Mutex<Vec<(EventKey, FabricEvent)>>);
+
+/// One shard coupled to its slice of platform nodes for the duration of
+/// a run — the unit of work a PDES worker thread owns.
+struct ShardRun<'a> {
+    shard: &'a mut Shard,
+    /// This supernode's nodes, indexed node-locally.
+    nodes: &'a mut [Node],
+    inboxes: &'a [Inbox],
+    procs: usize,
+    drain: Duration,
+    /// Record monitor callbacks for post-run replay.
+    record: bool,
 }
 
-impl Model for Coupled<'_> {
-    type Event = FabricEvent;
+impl ShardRun<'_> {
+    /// Stamp and schedule a shard-local event.
+    fn schedule(&mut self, at: SimTime, ev: FabricEvent) {
+        let key = EventKey {
+            at,
+            src: self.shard.id,
+            seq: self.shard.seq,
+        };
+        self.shard.seq += 1;
+        self.shard.queue.schedule_keyed(key, ev);
+    }
 
-    fn handle(&mut self, now: SimTime, ev: FabricEvent, queue: &mut EventQueue<FabricEvent>) {
-        match ev {
-            FabricEvent::Pump { flow } => self.pump_flow(now, flow, queue),
-            FabricEvent::Inject { node, link, packet } => {
-                self.on_inject(now, node, link, packet, queue);
-            }
-            FabricEvent::Arrive { node, link, packet } => {
-                self.on_arrive(now, node, link, packet, queue);
-            }
+    /// Serialise a buffer drain through `node`'s receive bridge.
+    fn schedule_drain(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        link: LinkId,
+        vc: VirtualChannel,
+        has_data: bool,
+    ) {
+        let ln = node - self.shard.base;
+        let start = now.max(self.shard.drain_free[ln]);
+        self.shard.drain_free[ln] = start + self.drain;
+        self.schedule(
+            start + self.drain,
             FabricEvent::Drained {
                 node,
                 link,
                 vc,
                 has_data,
-            } => self.on_drained(now, node, link, vc, has_data, queue),
+            },
+        );
+    }
+
+    /// Route an `Arrive` to whichever shard owns the receiving node:
+    /// locally into our own queue, or into the peer shard's mailbox
+    /// (applied at the next epoch barrier — sound because the arrival is
+    /// at least one lookahead past the current horizon's base).
+    fn send_arrive(&mut self, at: SimTime, node: usize, link: LinkId, packet: Packet) {
+        let dst = node / self.procs;
+        if dst == self.shard.id as usize {
+            self.schedule(at, FabricEvent::Arrive { node, link, packet });
+        } else {
+            let key = EventKey {
+                at,
+                src: self.shard.id,
+                seq: self.shard.seq,
+            };
+            self.shard.seq += 1;
+            self.inboxes[dst]
+                .0
+                .lock()
+                .expect("inbox poisoned")
+                .push((key, FabricEvent::Arrive { node, link, packet }));
         }
     }
-}
 
-impl Coupled<'_> {
+    /// Apply every event other shards mailed us since the last barrier.
+    /// Swaps the inbox Vec with a retained scratch buffer, so the steady
+    /// state moves events without allocating.
+    fn drain_inbox(&mut self) {
+        let mut scratch = std::mem::take(&mut self.shard.inscratch);
+        {
+            let mut inbox = self.inboxes[self.shard.id as usize]
+                .0
+                .lock()
+                .expect("inbox poisoned");
+            std::mem::swap(&mut *inbox, &mut scratch);
+        }
+        for (key, ev) in scratch.drain(..) {
+            self.shard.queue.schedule_keyed(key, ev);
+        }
+        self.shard.inscratch = scratch;
+    }
+
+    /// Handle every queued event strictly below `horizon`, in key order.
+    /// Returns the number handled.
+    fn run_epoch(&mut self, horizon: SimTime) -> u64 {
+        let mut handled = 0u64;
+        while let Some((key, ev)) = self.shard.queue.pop_keyed_before(horizon) {
+            self.shard.now = key.at;
+            handled += 1;
+            match ev {
+                FabricEvent::Pump { flow } => self.pump_flow(key.at, flow),
+                FabricEvent::Inject { node, link, packet } => {
+                    self.on_inject(key.at, node, link, packet);
+                }
+                FabricEvent::Arrive { node, link, packet } => {
+                    self.on_arrive(key, node, link, packet);
+                }
+                FabricEvent::Drained {
+                    node,
+                    link,
+                    vc,
+                    has_data,
+                } => self.on_drained(key.at, node, link, vc, has_data),
+            }
+        }
+        self.shard.events += handled;
+        handled
+    }
+
     /// Keep flow `i`'s transmit queue primed and pump its port. The flow
     /// reschedules itself only while the wire (not credits) paces it: an
     /// empty queue after pumping means everything went out, so poll again
     /// when the wire frees; a non-empty queue means credits blocked and
     /// the arrival of a credit NOP will re-pump (no busy-spin).
-    fn pump_flow(&mut self, now: SimTime, i: usize, queue: &mut EventQueue<FabricEvent>) {
-        let FabricState { flows, ports, .. } = &mut *self.state;
+    fn pump_flow(&mut self, now: SimTime, i: usize) {
+        let base = self.shard.base;
+        let Shard { flows, ports, .. } = &mut *self.shard;
         let f = &mut flows[i];
-        let port = ports[f.src][f.port.0 as usize]
+        let port = ports[f.src - base][f.port.0 as usize]
             .as_mut()
             .expect("flow's first hop is wired");
         while f.remaining > 0 && port.tx.queued(VirtualChannel::Posted) < 4 {
@@ -243,13 +427,13 @@ impl Coupled<'_> {
             f.injected += 1;
         }
         let (src, link, remaining) = (f.src, f.port, f.remaining);
-        self.pump_port(now, src, link, queue);
-        let port = self.state.ports[src][link.0 as usize]
+        self.pump_port(now, src, link);
+        let port = self.shard.ports[src - base][link.0 as usize]
             .as_ref()
             .expect("port");
         if remaining > 0 && port.tx.queued(VirtualChannel::Posted) == 0 {
             let next = port.tx.next_free().max(now + Duration(1_000));
-            queue.schedule_at(next, FabricEvent::Pump { flow: i });
+            self.schedule(next, FabricEvent::Pump { flow: i });
         }
     }
 
@@ -257,96 +441,67 @@ impl Coupled<'_> {
     /// arrival per delivery. A delivery whose provenance names an input
     /// link releases that input port's buffer (hold-until-forwarded),
     /// serialised through the node's receive bridge.
-    fn pump_port(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        link: LinkId,
-        queue: &mut EventQueue<FabricEvent>,
-    ) {
-        let FabricState {
-            ports,
-            drain_free,
-            drain,
-            dels,
-            ..
-        } = &mut *self.state;
-        let mut out = std::mem::take(dels);
+    fn pump_port(&mut self, now: SimTime, node: usize, link: LinkId) {
+        let ln = node - self.shard.base;
+        let mut out = std::mem::take(&mut self.shard.dels);
         out.clear();
-        let port = ports[node][link.0 as usize]
-            .as_mut()
-            .unwrap_or_else(|| panic!("pump on inactive port n{node} l{}", link.0));
-        port.tx.pump_into(now, &mut out);
-        let (peer, peer_link) = (port.peer, port.peer_link);
+        let (peer, peer_link) = {
+            let port = self.shard.ports[ln][link.0 as usize]
+                .as_mut()
+                .unwrap_or_else(|| panic!("pump on inactive port n{node} l{}", link.0));
+            port.tx.pump_into(now, &mut out);
+            (port.peer, port.peer_link)
+        };
         for d in out.drain(..) {
-            let from = port.provenance.pop_front().expect("provenance aligned");
+            let from = self.shard.ports[ln][link.0 as usize]
+                .as_mut()
+                .expect("port")
+                .provenance
+                .pop_front()
+                .expect("provenance aligned");
             if let Some(in_link) = from {
-                let start = now.max(drain_free[node]);
-                drain_free[node] = start + *drain;
-                queue.schedule_at(
-                    start + *drain,
-                    FabricEvent::Drained {
-                        node,
-                        link: in_link,
-                        vc: d.packet.vc(),
-                        has_data: !d.packet.data.is_empty(),
-                    },
-                );
+                self.schedule_drain(now, node, in_link, d.packet.vc(), !d.packet.data.is_empty());
             }
-            queue.schedule_at(
-                d.arrival,
-                FabricEvent::Arrive {
-                    node: peer,
-                    link: peer_link,
-                    packet: d.packet,
-                },
-            );
+            self.send_arrive(d.arrival, peer, peer_link, d.packet);
         }
-        *dels = out;
+        self.shard.dels = out;
     }
 
     /// A node's own store path handed a packet to the fabric.
-    fn on_inject(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        link: LinkId,
-        packet: Packet,
-        queue: &mut EventQueue<FabricEvent>,
-    ) {
-        let port = self.state.ports[node][link.0 as usize]
+    fn on_inject(&mut self, now: SimTime, node: usize, link: LinkId, packet: Packet) {
+        let ln = node - self.shard.base;
+        let port = self.shard.ports[ln][link.0 as usize]
             .as_mut()
             .unwrap_or_else(|| panic!("inject on inactive port n{node} l{}", link.0));
         port.tx.enqueue(packet);
         port.provenance.push_back(None);
-        self.pump_port(now, node, link, queue);
+        self.pump_port(now, node, link);
     }
 
-    /// A packet lands at (node, link): fire the monitor, occupy a buffer,
-    /// and route it — commit locally, forward out another link, or (for a
-    /// NOP) release the credits it carries and wake blocked transmitters.
-    fn on_arrive(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        link: LinkId,
-        packet: Packet,
-        queue: &mut EventQueue<FabricEvent>,
-    ) {
+    /// A packet lands at (node, link): record it for the monitors, occupy
+    /// a buffer, and route it — commit locally, forward out another link,
+    /// or (for a NOP) release the credits it carries and wake blocked
+    /// transmitters.
+    fn on_arrive(&mut self, key: EventKey, node: usize, link: LinkId, packet: Packet) {
+        let now = key.at;
+        let ln = node - self.shard.base;
         let (peer, peer_link, coherent) = {
-            let port = self.state.ports[node][link.0 as usize]
+            let port = self.shard.ports[ln][link.0 as usize]
                 .as_ref()
                 .unwrap_or_else(|| panic!("arrival on inactive port n{node} l{}", link.0));
             (port.peer, port.peer_link, port.coherent)
         };
-        self.platform.monitor_packet(&PacketEvent {
-            src: (peer, peer_link),
-            dst: (node, link),
-            coherent,
-            packet: &packet,
-            arrival: now,
-        });
-        let port = self.state.ports[node][link.0 as usize]
+        if self.record {
+            self.shard.monlog.push(MonRec {
+                key,
+                src: (peer, peer_link),
+                dst: (node, link),
+                coherent,
+                arrival: now,
+                packet: packet.clone(),
+            });
+        }
+        let port = self.shard.ports[ln][link.0 as usize]
             .as_mut()
             .expect("port");
         match port.rx.accept(&packet).expect("sender honoured credits") {
@@ -356,41 +511,31 @@ impl Coupled<'_> {
                 port.tx
                     .credit_return(ret)
                     .expect("receiver-harvested credits");
-                self.pump_port(now, node, link, queue);
-                let n = self.state.ports[node][link.0 as usize]
+                self.pump_port(now, node, link);
+                let n = self.shard.ports[ln][link.0 as usize]
                     .as_ref()
                     .expect("port")
                     .flows
                     .len();
                 for k in 0..n {
-                    let fi = self.state.ports[node][link.0 as usize]
+                    let fi = self.shard.ports[ln][link.0 as usize]
                         .as_ref()
                         .expect("port")
                         .flows[k];
-                    self.pump_flow(now, fi, queue);
+                    self.pump_flow(now, fi);
                 }
             }
             None => {
                 let vc = packet.vc();
                 let has_data = !packet.data.is_empty();
                 let bytes = packet.data.len() as u64;
-                let outcome = self.platform.nodes[node]
+                let outcome = self.nodes[ln]
                     .deliver_routed(now, link, packet, coherent)
                     .unwrap_or_else(|e| panic!("delivery failed at node {node}: {e:?}"));
                 match outcome {
                     DeliverOutcome::Committed { offset, visible } => {
-                        let start = now.max(self.state.drain_free[node]);
-                        self.state.drain_free[node] = start + self.state.drain;
-                        queue.schedule_at(
-                            start + self.state.drain,
-                            FabricEvent::Drained {
-                                node,
-                                link,
-                                vc,
-                                has_data,
-                            },
-                        );
-                        self.state.commits.push(CommitRec {
+                        self.schedule_drain(now, node, link, vc, has_data);
+                        self.shard.commits.push(CommitRec {
                             node,
                             offset,
                             visible,
@@ -402,29 +547,34 @@ impl Coupled<'_> {
                         packet,
                         at,
                     } => {
-                        // Hold this input buffer until the packet leaves on
-                        // the output link: pump_port schedules the drain.
-                        let out_port = self.state.ports[node][out.0 as usize]
+                        // Across a TCC hop, hold this input buffer until
+                        // the packet leaves on the output link (pump_port
+                        // schedules the drain). Into the *coherent*
+                        // crossbar inside the supernode, release it at
+                        // handoff instead: cHT has its own per-port
+                        // buffering, and holding across the shared
+                        // internal links would couple the X- and Y-phase
+                        // dependency graphs into credit cycles (a real
+                        // deadlock on meshes of 4x4 and up — the 2x2 the
+                        // model checker covers is too small to close the
+                        // loop).
+                        let out_port = self.shard.ports[ln][out.0 as usize]
                             .as_mut()
                             .unwrap_or_else(|| {
                                 panic!("forward out inactive port n{node} l{}", out.0)
                             });
+                        let hold = !out_port.coherent;
                         out_port.tx.enqueue(packet);
-                        out_port.provenance.push_back(Some(link));
-                        self.pump_port(at, node, out, queue);
+                        out_port
+                            .provenance
+                            .push_back(if hold { Some(link) } else { None });
+                        if !hold {
+                            self.schedule_drain(now, node, link, vc, has_data);
+                        }
+                        self.pump_port(at, node, out);
                     }
                     DeliverOutcome::Filtered => {
-                        let start = now.max(self.state.drain_free[node]);
-                        self.state.drain_free[node] = start + self.state.drain;
-                        queue.schedule_at(
-                            start + self.state.drain,
-                            FabricEvent::Drained {
-                                node,
-                                link,
-                                vc,
-                                has_data,
-                            },
-                        );
+                        self.schedule_drain(now, node, link, vc, has_data);
                     }
                 }
             }
@@ -441,35 +591,211 @@ impl Coupled<'_> {
         link: LinkId,
         vc: VirtualChannel,
         has_data: bool,
-        queue: &mut EventQueue<FabricEvent>,
     ) {
-        let port = self.state.ports[node][link.0 as usize]
-            .as_mut()
-            .unwrap_or_else(|| panic!("drain on inactive port n{node} l{}", link.0));
-        port.rx
-            .drain_parts(vc, has_data)
-            .expect("accepted before drain");
-        while port.rx.has_pending_credits() {
-            let ret = port.rx.harvest();
-            let d = port.tx.send_nop(now, ret);
-            queue.schedule_at(
-                d.arrival,
-                FabricEvent::Arrive {
-                    node: port.peer,
-                    link: port.peer_link,
-                    packet: d.packet,
-                },
-            );
+        let ln = node - self.shard.base;
+        {
+            let port = self.shard.ports[ln][link.0 as usize]
+                .as_mut()
+                .unwrap_or_else(|| panic!("drain on inactive port n{node} l{}", link.0));
+            port.rx
+                .drain_parts(vc, has_data)
+                .expect("accepted before drain");
+        }
+        loop {
+            let (d, peer, peer_link) = {
+                let port = self.shard.ports[ln][link.0 as usize]
+                    .as_mut()
+                    .expect("port");
+                if !port.rx.has_pending_credits() {
+                    break;
+                }
+                let ret = port.rx.harvest();
+                (port.tx.send_nop(now, ret), port.peer, port.peer_link)
+            };
+            self.send_arrive(d.arrival, peer, peer_link, d.packet);
         }
     }
 }
 
+/// Epoch coordination shared by the PDES workers. Three barrier phases
+/// per epoch: (B1) every worker has drained its mailboxes and published
+/// its local minimum; (B2) worker 0 has combined them into the next
+/// horizon; (B0) every worker has finished the epoch, so all cross-shard
+/// sends for it are in the mailboxes.
+struct Coord {
+    barrier: Barrier,
+    /// Per-worker minimum next-event time (picoseconds), `u64::MAX` when
+    /// the worker's shards are all idle.
+    mins: Vec<AtomicU64>,
+    /// The published horizon, or a sentinel ([`DONE`]/[`ABORT`]).
+    horizon: AtomicU64,
+    /// Events handled so far this run, for the budget check.
+    events: AtomicU64,
+    lookahead: u64,
+}
+
+/// Horizon sentinel: every queue and mailbox is empty — quiescent.
+const DONE: u64 = u64::MAX;
+/// Horizon sentinel: the event budget blew — abort cleanly (a panic in a
+/// worker would deadlock the others on the barrier).
+const ABORT: u64 = u64::MAX - 1;
+
+/// One PDES worker: loops epochs over its contiguous group of shards
+/// until the horizon goes to a sentinel. Returns `true` on quiescence.
+fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
+    loop {
+        let mut min = u64::MAX;
+        for run in runs.iter_mut() {
+            run.drain_inbox();
+            if let Some(t) = run.shard.queue.peek_time() {
+                min = min.min(t.picos());
+            }
+        }
+        coord.mins[w].store(min, Ordering::Release);
+        coord.barrier.wait(); // B1: all minima published.
+        if w == 0 {
+            let gmin = coord
+                .mins
+                .iter()
+                .map(|m| m.load(Ordering::Acquire))
+                .min()
+                .expect("at least one worker");
+            let total = coord.events.load(Ordering::Relaxed);
+            let horizon = if gmin == u64::MAX {
+                DONE
+            } else if total > EVENT_BUDGET {
+                ABORT
+            } else {
+                gmin.saturating_add(coord.lookahead).min(ABORT - 1)
+            };
+            coord.horizon.store(horizon, Ordering::Release);
+        }
+        coord.barrier.wait(); // B2: horizon visible to everyone.
+        let horizon = coord.horizon.load(Ordering::Acquire);
+        if horizon == DONE {
+            return true;
+        }
+        if horizon == ABORT {
+            return false;
+        }
+        let mut delta = 0u64;
+        for run in runs.iter_mut() {
+            delta += run.run_epoch(SimTime(horizon));
+        }
+        coord.events.fetch_add(delta, Ordering::Relaxed);
+        coord.barrier.wait(); // B0: epoch done, all sends mailed.
+    }
+}
+
+/// The sequential executive: the identical epoch algorithm with no
+/// spawn, no barriers and no atomics. This is both the `threads = 1`
+/// fast path and the reference the threaded path must bit-match.
+fn run_inline(runs: &mut [ShardRun<'_>], lookahead: Duration) -> bool {
+    let mut total = 0u64;
+    loop {
+        let mut gmin = u64::MAX;
+        for run in runs.iter_mut() {
+            run.drain_inbox();
+            if let Some(t) = run.shard.queue.peek_time() {
+                gmin = gmin.min(t.picos());
+            }
+        }
+        if gmin == u64::MAX {
+            return true;
+        }
+        if total > EVENT_BUDGET {
+            return false;
+        }
+        let horizon = SimTime(gmin.saturating_add(lookahead.picos()));
+        for run in runs.iter_mut() {
+            total += run.run_epoch(horizon);
+        }
+    }
+}
+
+/// Split the shard runs into `threads` contiguous groups and drive them
+/// with scoped workers (worker 0 runs on the caller's thread). Returns
+/// `true` on quiescence.
+fn run_threaded(runs: &mut [ShardRun<'_>], lookahead: Duration, threads: usize) -> bool {
+    let coord = Coord {
+        barrier: Barrier::new(threads),
+        mins: (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        horizon: AtomicU64::new(0),
+        events: AtomicU64::new(0),
+        lookahead: lookahead.picos(),
+    };
+    let n = runs.len();
+    let mut groups: Vec<&mut [ShardRun<'_>]> = Vec::with_capacity(threads);
+    let mut rest = runs;
+    for w in 0..threads {
+        let take = n / threads + usize::from(w < n % threads);
+        let (head, tail) = rest.split_at_mut(take);
+        groups.push(head);
+        rest = tail;
+    }
+    std::thread::scope(|s| {
+        let mut iter = groups.into_iter().enumerate();
+        let (_, first) = iter.next().expect("at least one group");
+        for (w, group) in iter {
+            let coord = &coord;
+            s.spawn(move || run_worker(group, w, coord));
+        }
+        run_worker(first, 0, &coord);
+    });
+    coord.horizon.load(Ordering::Acquire) == DONE
+}
+
+/// Replay recorded monitor callbacks in merged global key order. Each
+/// shard's log is already key-sorted (shards process events in key
+/// order), so a k-way min-merge walks them once.
+fn replay_monitors(platform: &mut Platform, shards: &mut [Shard]) {
+    let mut idx = vec![0usize; shards.len()];
+    loop {
+        let mut best: Option<(EventKey, usize)> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            if let Some(rec) = shard.monlog.get(idx[s]) {
+                if best.is_none_or(|(k, _)| rec.key < k) {
+                    best = Some((rec.key, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else { break };
+        let rec = &shards[s].monlog[idx[s]];
+        idx[s] += 1;
+        platform.monitor_packet(&PacketEvent {
+            src: rec.src,
+            dst: rec.dst,
+            coherent: rec.coherent,
+            packet: &rec.packet,
+            arrival: rec.arrival,
+        });
+    }
+    for shard in shards {
+        shard.monlog.clear();
+    }
+}
+
 /// The event-driven fabric engine: one [`PortState`] per trained wire
-/// direction, persistent across runs against a borrowed [`Platform`].
+/// direction, persistent across runs against a borrowed [`Platform`],
+/// sharded by supernode for the conservative-PDES executive.
 #[derive(Debug)]
 pub struct EventEngine {
-    state: FabricState,
-    queue: EventQueue<FabricEvent>,
+    shards: Vec<Shard>,
+    inboxes: Vec<Inbox>,
+    /// Global flow index → (shard, shard-local flow index), in
+    /// registration order.
+    flow_dir: Vec<(u32, u32)>,
+    /// Commits of all runs, concatenated in shard-index order per run.
+    commits_log: Vec<CommitRec>,
+    /// Next free landing-window offset per destination node.
+    win_next: Vec<u64>,
+    dram_per_node: u64,
+    procs: usize,
+    /// Conservative lookahead: minimum hop latency over cut links.
+    lookahead: Duration,
+    drain: Duration,
+    threads: usize,
+    backend: QueueBackend,
     now: SimTime,
     events: u64,
 }
@@ -479,39 +805,78 @@ impl EventEngine {
     /// configurations taken from the negotiated endpoint state (the same
     /// tables the chained engine serialises against).
     pub fn new(platform: &mut Platform, drain: Duration) -> Self {
+        Self::with_options(platform, drain, EngineOptions::default())
+    }
+
+    /// [`EventEngine::new`] with explicit executive options.
+    pub fn with_options(platform: &mut Platform, drain: Duration, options: EngineOptions) -> Self {
+        let spec = platform.spec;
+        let procs = spec.supernode.processors;
         let n = platform.nodes.len();
-        let mut ports: Vec<[Option<PortState>; LINKS_PER_NODE]> =
-            (0..n).map(|_| std::array::from_fn(|_| None)).collect();
-        for (node, row) in ports.iter_mut().enumerate() {
-            for (l, slot) in row.iter_mut().enumerate() {
-                let link = LinkId(l as u8);
-                if let Some((peer, peer_link, coherent)) = platform.route_hop(node, link) {
-                    let config = platform
-                        .active_config(node, link)
-                        .expect("trained wire has an active config");
-                    let seed = 0x1000 | ((node as u64) << 4) | l as u64;
-                    *slot = Some(PortState {
-                        tx: LinkTx::new(config, seed),
-                        rx: LinkRx::new(),
-                        peer,
-                        peer_link,
-                        coherent,
-                        provenance: VecDeque::new(),
-                        flows: Vec::new(),
-                    });
+        let nshards = n / procs;
+        let mut lookahead = Duration(u64::MAX);
+        let mut shards = Vec::with_capacity(nshards);
+        for sid in 0..nshards {
+            let base = sid * procs;
+            let mut ports: Vec<[Option<PortState>; LINKS_PER_NODE]> =
+                (0..procs).map(|_| std::array::from_fn(|_| None)).collect();
+            for (ln, row) in ports.iter_mut().enumerate() {
+                let node = base + ln;
+                for (l, slot) in row.iter_mut().enumerate() {
+                    let link = LinkId(l as u8);
+                    if let Some((peer, peer_link, coherent)) = platform.route_hop(node, link) {
+                        let config = platform
+                            .active_config(node, link)
+                            .expect("trained wire has an active config");
+                        if peer / procs != sid {
+                            lookahead = lookahead.min(config.hop_latency);
+                        }
+                        let seed = 0x1000 | ((node as u64) << 4) | l as u64;
+                        *slot = Some(PortState {
+                            tx: LinkTx::new(config, seed),
+                            rx: LinkRx::new(),
+                            peer,
+                            peer_link,
+                            coherent,
+                            provenance: VecDeque::new(),
+                            flows: Vec::new(),
+                        });
+                    }
                 }
             }
-        }
-        EventEngine {
-            state: FabricState {
+            shards.push(Shard {
+                id: sid as u32,
+                base,
                 ports,
-                drain_free: vec![SimTime::ZERO; n],
-                drain,
+                drain_free: vec![SimTime::ZERO; procs],
                 flows: Vec::new(),
+                queue: EventQueue::with_backend(options.backend),
+                seq: 0,
+                now: SimTime::ZERO,
+                events: 0,
                 commits: Vec::new(),
                 dels: Vec::new(),
-            },
-            queue: EventQueue::new(),
+                monlog: Vec::new(),
+                inscratch: Vec::new(),
+            });
+        }
+        // A zero lookahead would make the horizon equal the minimum and
+        // process nothing; one picosecond still admits the minimum event.
+        let lookahead = Duration(lookahead.picos().max(1));
+        EventEngine {
+            shards,
+            inboxes: (0..nshards)
+                .map(|_| Inbox(Mutex::new(Vec::new())))
+                .collect(),
+            flow_dir: Vec::new(),
+            commits_log: Vec::new(),
+            win_next: vec![WIN_BASE; n],
+            dram_per_node: spec.supernode.dram_per_node,
+            procs,
+            lookahead,
+            drain,
+            threads: options.threads.max(1),
+            backend: options.backend,
             now: SimTime::ZERO,
             events: 0,
         }
@@ -519,7 +884,21 @@ impl EventEngine {
 
     /// The configured receiver drain latency.
     pub fn drain(&self) -> Duration {
-        self.state.drain
+        self.drain
+    }
+
+    /// The executive options this engine was built with.
+    pub fn options(&self) -> EngineOptions {
+        EngineOptions {
+            threads: self.threads,
+            backend: self.backend,
+        }
+    }
+
+    /// The conservative synchronization lookahead (minimum hop latency
+    /// over links whose two ends live in different shards).
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
     }
 
     /// The engine clock (last event handled).
@@ -532,27 +911,27 @@ impl EventEngine {
         self.events
     }
 
-    /// Every DRAM commit delivered so far, in delivery order.
+    /// Every DRAM commit delivered so far: per run, shards' commits in
+    /// processing order, concatenated in shard-index order.
     pub fn commits(&self) -> &[CommitRec] {
-        &self.state.commits
-    }
-
-    pub fn flows(&self) -> &[Flow] {
-        &self.state.flows
+        &self.commits_log
     }
 
     /// The port at (node, link), if that wire end is trained.
     pub fn port(&self, node: usize, link: LinkId) -> Option<&PortState> {
-        self.state.ports[node][link.0 as usize].as_ref()
+        let shard = &self.shards[node / self.procs];
+        shard.ports[node - shard.base][link.0 as usize].as_ref()
     }
 
     /// All active (node, link) port coordinates.
     pub fn port_ids(&self) -> Vec<(usize, LinkId)> {
         let mut out = Vec::new();
-        for (node, row) in self.state.ports.iter().enumerate() {
-            for (l, slot) in row.iter().enumerate() {
-                if slot.is_some() {
-                    out.push((node, LinkId(l as u8)));
+        for shard in &self.shards {
+            for (ln, row) in shard.ports.iter().enumerate() {
+                for (l, slot) in row.iter().enumerate() {
+                    if slot.is_some() {
+                        out.push((shard.base + ln, LinkId(l as u8)));
+                    }
                 }
             }
         }
@@ -562,22 +941,18 @@ impl EventEngine {
     /// Total transmitter stalls for want of a credit, across all ports —
     /// nonzero exactly when flow control engaged.
     pub fn stalls_no_credit(&self) -> u64 {
-        self.state
-            .ports
+        self.shards
             .iter()
-            .flatten()
-            .flatten()
+            .flat_map(|s| s.ports.iter().flatten().flatten())
             .map(|p| p.tx.stats.stalls_no_credit)
             .sum()
     }
 
     /// Total credit NOPs sent across all ports.
     pub fn nops_sent(&self) -> u64 {
-        self.state
-            .ports
+        self.shards
             .iter()
-            .flatten()
-            .flatten()
+            .flat_map(|s| s.ports.iter().flatten().flatten())
             .map(|p| p.tx.stats.nops_sent)
             .sum()
     }
@@ -587,13 +962,22 @@ impl EventEngine {
     /// lag a fabric that already ran ahead).
     pub fn inject_at(&mut self, node: usize, link: LinkId, packet: Packet, ready: SimTime) {
         let at = ready.max(self.now);
-        self.queue
-            .schedule_at(at, FabricEvent::Inject { node, link, packet });
+        let sid = node / self.procs;
+        let shard = &mut self.shards[sid];
+        let key = EventKey {
+            at,
+            src: sid as u32,
+            seq: shard.seq,
+        };
+        shard.seq += 1;
+        shard
+            .queue
+            .schedule_keyed(key, FabricEvent::Inject { node, link, packet });
     }
 
     /// Register a flow of `bytes` (rounded up to 64 B packets) from
     /// global node `src` into a dedicated window of `dst`'s DRAM, routed
-    /// by `src`'s own northbridge. Returns the flow index.
+    /// by `src`'s own northbridge. Returns the global flow index.
     pub fn add_flow(
         &mut self,
         platform: &mut Platform,
@@ -602,16 +986,14 @@ impl EventEngine {
         bytes: u64,
     ) -> usize {
         let spec = platform.spec;
-        let idx = self.state.flows.len();
-        let win_off = WIN_BASE + (idx as u64) * WIN;
+        let gidx = self.flow_dir.len();
+        let win_off = self.win_next[dst];
         assert!(
-            win_off + WIN <= spec.supernode.dram_per_node,
-            "flow window {idx} exceeds the destination's DRAM"
+            win_off + WIN <= self.dram_per_node,
+            "flow {gidx}: node {dst} is out of landing windows"
         );
-        let (s, p) = (
-            dst / spec.supernode.processors,
-            dst % spec.supernode.processors,
-        );
+        self.win_next[dst] = win_off + WIN;
+        let (s, p) = (dst / self.procs, dst % self.procs);
         let base = spec.node_base(s, p) + win_off;
         let probe = Packet::posted_write(base, Bytes::from_static(&ZERO64));
         let port = match platform.nodes[src].nb.dispose(&probe, Source::Core) {
@@ -619,7 +1001,10 @@ impl EventEngine {
             other => panic!("flow {src}->{dst} does not leave node {src}: {other:?}"),
         };
         let packets = bytes.div_ceil(64).max(1);
-        self.state.flows.push(Flow {
+        let sid = src / self.procs;
+        let shard = &mut self.shards[sid];
+        let lidx = shard.flows.len();
+        shard.flows.push(Flow {
             src,
             dst,
             port,
@@ -630,35 +1015,71 @@ impl EventEngine {
             remaining: packets,
             injected: 0,
         });
-        self.state.ports[src][port.0 as usize]
+        shard.ports[src - shard.base][port.0 as usize]
             .as_mut()
             .expect("flow's first hop is wired")
             .flows
-            .push(idx);
-        self.queue
-            .schedule_at(self.now, FabricEvent::Pump { flow: idx });
-        idx
+            .push(lidx);
+        let key = EventKey {
+            at: self.now,
+            src: sid as u32,
+            seq: shard.seq,
+        };
+        shard.seq += 1;
+        shard
+            .queue
+            .schedule_keyed(key, FabricEvent::Pump { flow: lidx });
+        self.flow_dir.push((sid as u32, lidx as u32));
+        gidx
     }
 
     /// Run the fabric until every pending packet, drain and credit return
-    /// has completed. Returns the latest commit-visible time of this run
-    /// (`SimTime::ZERO` if nothing landed).
+    /// has completed, over `threads` PDES workers (clamped to the shard
+    /// count; `1` runs inline). Returns the latest commit-visible time of
+    /// this run (`SimTime::ZERO` if nothing landed).
     pub fn run_quiescent(&mut self, platform: &mut Platform) -> SimTime {
-        let first_new = self.state.commits.len();
-        let queue = std::mem::replace(&mut self.queue, EventQueue::new());
-        let model = Coupled {
-            state: &mut self.state,
-            platform,
+        let first_new = self.commits_log.len();
+        let record = platform.has_monitor();
+        let procs = self.procs;
+        let drain = self.drain;
+        let lookahead = self.lookahead;
+        let threads = self.threads.min(self.shards.len()).max(1);
+        let inboxes = &self.inboxes;
+        let mut runs: Vec<ShardRun<'_>> = self
+            .shards
+            .iter_mut()
+            .zip(platform.nodes.chunks_mut(procs))
+            .map(|(shard, nodes)| ShardRun {
+                shard,
+                nodes,
+                inboxes,
+                procs,
+                drain,
+                record,
+            })
+            .collect();
+        let clean = if threads == 1 {
+            run_inline(&mut runs, lookahead)
+        } else {
+            run_threaded(&mut runs, lookahead, threads)
         };
-        let mut sim = Sim::resume(model, queue, self.now);
-        let stop = sim.run_until(SimTime::MAX, 500_000_000);
-        assert_eq!(stop, Stop::Quiescent, "event fabric did not quiesce");
-        let handled = sim.events_handled();
-        let (_, queue, now) = sim.into_parts();
-        self.queue = queue;
+        drop(runs);
+        assert!(
+            clean,
+            "event fabric did not quiesce within {EVENT_BUDGET} events"
+        );
+        let mut now = self.now;
+        for shard in &mut self.shards {
+            now = now.max(shard.now);
+            self.events += shard.events;
+            shard.events = 0;
+            self.commits_log.append(&mut shard.commits);
+        }
         self.now = now;
-        self.events += handled;
-        self.state.commits[first_new..]
+        if record {
+            replay_monitors(platform, &mut self.shards);
+        }
+        self.commits_log[first_new..]
             .iter()
             .map(|c| c.visible)
             .max()
@@ -669,44 +1090,47 @@ impl EventEngine {
     /// receive buffers empty, nothing pending return. Panics otherwise —
     /// a failure here means the engine lost or duplicated a credit.
     pub fn assert_quiescent_credits(&self) {
-        for (node, row) in self.state.ports.iter().enumerate() {
-            for (l, slot) in row.iter().enumerate() {
-                let Some(port) = slot else { continue };
-                assert!(
-                    port.provenance.is_empty(),
-                    "n{node} l{l}: packets still queued"
-                );
-                for vc in VirtualChannel::ALL {
-                    let c = port.tx.credits();
-                    assert_eq!(
-                        c.available_cmd(vc),
-                        c.initial_cmd(vc),
-                        "n{node} l{l} {vc}: cmd credits missing"
+        for shard in &self.shards {
+            for (ln, row) in shard.ports.iter().enumerate() {
+                let node = shard.base + ln;
+                for (l, slot) in row.iter().enumerate() {
+                    let Some(port) = slot else { continue };
+                    assert!(
+                        port.provenance.is_empty(),
+                        "n{node} l{l}: packets still queued"
                     );
-                    assert_eq!(
-                        c.available_data(vc),
-                        c.initial_data(vc),
-                        "n{node} l{l} {vc}: data credits missing"
-                    );
-                    let b = port.rx.buffers();
-                    assert_eq!(b.held(vc), 0, "n{node} l{l} {vc}: buffers occupied");
-                    assert_eq!(b.pending(vc), 0, "n{node} l{l} {vc}: returns unharvested");
+                    for vc in VirtualChannel::ALL {
+                        let c = port.tx.credits();
+                        assert_eq!(
+                            c.available_cmd(vc),
+                            c.initial_cmd(vc),
+                            "n{node} l{l} {vc}: cmd credits missing"
+                        );
+                        assert_eq!(
+                            c.available_data(vc),
+                            c.initial_data(vc),
+                            "n{node} l{l} {vc}: data credits missing"
+                        );
+                        let b = port.rx.buffers();
+                        assert_eq!(b.held(vc), 0, "n{node} l{l} {vc}: buffers occupied");
+                        assert_eq!(b.pending(vc), 0, "n{node} l{l} {vc}: returns unharvested");
+                    }
                 }
             }
         }
     }
 
     /// Per-flow delivery accounting, attributing commits by landing
-    /// window.
+    /// window, in flow-registration order.
     pub fn flow_reports(&self) -> Vec<FlowReport> {
-        self.state
-            .flows
+        self.flow_dir
             .iter()
-            .map(|f| {
+            .map(|&(sid, lidx)| {
+                let f = &self.shards[sid as usize].flows[lidx as usize];
                 let mut delivered = 0u64;
                 let mut first = SimTime::MAX;
                 let mut last = SimTime::ZERO;
-                for c in &self.state.commits {
+                for c in &self.commits_log {
                     if c.node == f.dst && c.offset >= f.win_off && c.offset < f.win_off + f.window {
                         delivered += c.bytes;
                         first = first.min(c.visible);
@@ -740,6 +1164,15 @@ pub enum TrafficPattern {
     /// Every supernode streams to each of its mesh neighbours
     /// (halo exchange).
     Halo,
+    /// Matrix transpose: supernode (r, c) of a mesh streams to (c, r) —
+    /// the classic adversarial case for X-Y routing (every flow turns at
+    /// the diagonal). On non-mesh topologies: `s → n-1-s`.
+    Transpose,
+    /// Tornado: each supernode streams to the one half the ring away in
+    /// its own row — the worst case for minimal routing on tori, here a
+    /// maximum-distance row-parallel load. On non-mesh topologies:
+    /// `s → (s + n/2) mod n`.
+    Tornado,
     /// One flow from supernode `src` to supernode `dst`.
     Single { src: usize, dst: usize },
 }
@@ -776,12 +1209,46 @@ pub fn pattern_pairs(spec: &ClusterSpec, pattern: TrafficPattern) -> Vec<(usize,
                 }
             }
         }
+        TrafficPattern::Transpose => {
+            for s in 0..n {
+                let d = match spec.topology {
+                    ClusterTopology::Mesh { x, y } => {
+                        let (r, c) = (s / x, s % x);
+                        // (r, c) → (c, r): valid only when the transposed
+                        // coordinate exists, i.e. c < y and r < x.
+                        if c < y && r < x {
+                            c * x + r
+                        } else {
+                            s
+                        }
+                    }
+                    _ => n - 1 - s,
+                };
+                if d != s {
+                    pairs.push((rep(s), rep(d)));
+                }
+            }
+        }
+        TrafficPattern::Tornado => {
+            for s in 0..n {
+                let d = match spec.topology {
+                    ClusterTopology::Mesh { x, .. } if x > 1 => {
+                        let (r, c) = (s / x, s % x);
+                        r * x + (c + x / 2) % x
+                    }
+                    _ => (s + n / 2) % n,
+                };
+                if d != s {
+                    pairs.push((rep(s), rep(d)));
+                }
+            }
+        }
     }
     pairs
 }
 
 /// Delivery accounting for one flow of a workload run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowReport {
     pub src: usize,
     pub dst: usize,
@@ -803,7 +1270,11 @@ impl FlowReport {
 }
 
 /// Result of one [`SimCluster::run_workload`](crate::sim::SimCluster::run_workload).
-#[derive(Debug, Clone)]
+///
+/// Derives `Eq`: two reports are equal iff every counter, timestamp and
+/// per-flow record matches exactly — which is what the determinism suite
+/// asserts across thread counts and queue backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadReport {
     pub flows: Vec<FlowReport>,
     /// Transmitter stalls for want of a credit — nonzero under load iff
@@ -866,7 +1337,16 @@ fn booted_pair_engine(
     config: tcc_ht::link::LinkConfig,
     drain: Duration,
 ) -> (Platform, EventEngine) {
-    use tcc_firmware::topology::{ClusterTopology, SupernodeSpec};
+    booted_pair_engine_with(config, drain, EngineOptions::default())
+}
+
+/// [`booted_pair_engine`] with explicit executive options.
+fn booted_pair_engine_with(
+    config: tcc_ht::link::LinkConfig,
+    drain: Duration,
+    options: EngineOptions,
+) -> (Platform, EventEngine) {
+    use tcc_firmware::topology::SupernodeSpec;
     let spec = ClusterSpec::new(SupernodeSpec::new(1, 1 << 20), ClusterTopology::Pair);
     let mut platform = Platform::assemble(spec, tcc_opteron::UarchParams::shanghai());
     platform.tcc_target = config;
@@ -874,7 +1354,7 @@ fn booted_pair_engine(
     for node in &mut platform.nodes {
         node.quiesce();
     }
-    let engine = EventEngine::new(&mut platform, drain);
+    let engine = EventEngine::with_options(&mut platform, drain, options);
     (platform, engine)
 }
 
@@ -958,7 +1438,7 @@ mod tests {
 
     #[test]
     fn pattern_pairs_cover_the_mesh() {
-        use tcc_firmware::topology::{ClusterTopology, SupernodeSpec};
+        use tcc_firmware::topology::SupernodeSpec;
         let spec = ClusterSpec::new(
             SupernodeSpec::new(2, 1 << 20),
             ClusterTopology::Mesh { x: 2, y: 2 },
@@ -972,5 +1452,66 @@ mod tests {
         assert_eq!(pattern_pairs(&spec, TrafficPattern::Halo).len(), 8);
         let single = pattern_pairs(&spec, TrafficPattern::Single { src: 0, dst: 3 });
         assert_eq!(single, vec![(spec.proc_index(0, 0), spec.proc_index(3, 0))]);
+    }
+
+    #[test]
+    fn transpose_and_tornado_patterns() {
+        use tcc_firmware::topology::SupernodeSpec;
+        let spec = ClusterSpec::new(
+            SupernodeSpec::new(2, 1 << 20),
+            ClusterTopology::Mesh { x: 4, y: 4 },
+        );
+        // Transpose on a 4x4 mesh: the 4 diagonal supernodes sit still,
+        // the other 12 stream; the map is an involution. pattern_pairs
+        // returns global node indices (processor 0 of each supernode).
+        let t = pattern_pairs(&spec, TrafficPattern::Transpose);
+        assert_eq!(t.len(), 12);
+        for &(a, b) in &t {
+            assert!(t.contains(&(b, a)), "transpose must be an involution");
+            let (s, d) = (a / 2, b / 2);
+            let (r, c) = (s / 4, s % 4);
+            assert_eq!(d, c * 4 + r);
+        }
+        // Tornado on a 4x4 mesh: every supernode streams 2 columns right
+        // within its own row.
+        let t = pattern_pairs(&spec, TrafficPattern::Tornado);
+        assert_eq!(t.len(), 16);
+        for &(a, b) in &t {
+            let (s, d) = (a / 2, b / 2);
+            assert_eq!(s / 4, d / 4, "tornado stays in its row");
+            assert_eq!(d % 4, (s % 4 + 2) % 4);
+        }
+    }
+
+    /// The whole point of the conservative executive: running the two
+    /// shards of a pair on two real threads must produce byte-for-byte
+    /// the commits, clock and event count of the inline path — on both
+    /// queue backends.
+    #[test]
+    fn threaded_run_is_bit_identical_to_sequential() {
+        let run = |options: EngineOptions| {
+            let (mut platform, mut engine) =
+                booted_pair_engine_with(LinkConfig::PROTOTYPE, DEFAULT_DRAIN, options);
+            engine.add_flow(&mut platform, 0, 1, 300 * 64);
+            engine.add_flow(&mut platform, 1, 0, 300 * 64);
+            engine.run_quiescent(&mut platform);
+            engine.assert_quiescent_credits();
+            (
+                engine.commits().to_vec(),
+                engine.now(),
+                engine.events_handled(),
+                engine.flow_reports(),
+            )
+        };
+        let baseline = run(EngineOptions::default());
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            for threads in [1, 2, 4] {
+                let got = run(EngineOptions { threads, backend });
+                assert_eq!(
+                    got, baseline,
+                    "{backend:?} x {threads} threads diverged from sequential"
+                );
+            }
+        }
     }
 }

@@ -32,9 +32,12 @@ pub mod shm_cluster;
 pub mod sim;
 
 pub use builder::TcclusterBuilder;
-pub use engine::{EngineKind, EventEngine, FlowReport, TrafficPattern, WorkloadReport};
+pub use engine::{
+    EngineKind, EngineOptions, EventEngine, FlowReport, TrafficPattern, WorkloadReport,
+};
 pub use shm_cluster::{NodeCtx, ShmCluster};
 pub use sim::SimCluster;
+pub use tcc_fabric::event::QueueBackend;
 
 // Re-export the substrate crates under one roof for downstream users.
 pub use tcc_fabric as fabric;

@@ -17,8 +17,8 @@
 //!   reflect the bandwidth performance of the TCCluster link").
 
 use crate::engine::{
-    pattern_pairs, CommitRec, EngineKind, EventEngine, TrafficPattern, WorkloadReport,
-    DEFAULT_DRAIN,
+    pattern_pairs, CommitRec, EngineKind, EngineOptions, EventEngine, TrafficPattern,
+    WorkloadReport, DEFAULT_DRAIN,
 };
 use tcc_fabric::time::{Duration, SimTime};
 use tcc_firmware::machine::{DeliveredWrite, Platform};
@@ -38,6 +38,9 @@ pub struct SimCluster {
     commits: Vec<DeliveredWrite>,
     /// Which timing engine paces the fabric.
     engine: EngineKind,
+    /// Executive options for the event engine (threads, queue backend),
+    /// preserved across `reset_timebase` rebuilds.
+    options: EngineOptions,
     /// The event-driven fabric, present iff `engine == EventDriven`. The
     /// nodes run with `raw_egress` set: their store paths hand packets to
     /// this engine at northbridge-exit time and it owns all wire
@@ -78,6 +81,19 @@ impl SimCluster {
         tcc_link: tcc_ht::link::LinkConfig,
         engine: EngineKind,
     ) -> Self {
+        Self::boot_engine_opts(spec, params, tcc_link, engine, EngineOptions::default())
+    }
+
+    /// [`SimCluster::boot_engine`] with explicit event-executive options
+    /// (worker threads, queue backend). The options persist across
+    /// [`SimCluster::reset_timebase`] rebuilds.
+    pub fn boot_engine_opts(
+        spec: ClusterSpec,
+        params: UarchParams,
+        tcc_link: tcc_ht::link::LinkConfig,
+        engine: EngineKind,
+        options: EngineOptions,
+    ) -> Self {
         let mut platform = Platform::assemble(spec, params);
         platform.tcc_target = tcc_link;
         let boot = boot(&mut platform);
@@ -87,6 +103,7 @@ impl SimCluster {
             sink: ActionSink::new(),
             commits: Vec::new(),
             engine,
+            options,
             event: None,
         };
         if engine == EngineKind::EventDriven {
@@ -102,7 +119,11 @@ impl SimCluster {
         for node in &mut self.platform.nodes {
             node.raw_egress = true;
         }
-        self.event = Some(EventEngine::new(&mut self.platform, drain));
+        self.event = Some(EventEngine::with_options(
+            &mut self.platform,
+            drain,
+            self.options,
+        ));
     }
 
     pub fn spec(&self) -> ClusterSpec {
@@ -111,6 +132,11 @@ impl SimCluster {
 
     pub fn engine_kind(&self) -> EngineKind {
         self.engine
+    }
+
+    /// The event-executive options this cluster runs with.
+    pub fn engine_options(&self) -> EngineOptions {
+        self.options
     }
 
     /// The event-driven fabric, when this cluster runs on it.

@@ -1,27 +1,72 @@
 //! The event queue at the heart of the discrete-event kernel.
 //!
-//! Events are ordered by `(time, sequence)`: two events scheduled for the
-//! same instant fire in the order they were scheduled, which makes every
-//! simulation run fully deterministic.
+//! Events are totally ordered by [`EventKey`] = `(time, src, seq)`: two
+//! events scheduled for the same instant fire in the order their keys
+//! compare, which makes every simulation run fully deterministic. The
+//! `src` component exists for the *parallel* fabric engine: each shard of
+//! a sharded simulation stamps the events it schedules with its own shard
+//! index and a shard-local sequence number, so the interleaving of
+//! same-instant events is a pure function of the model — independent of
+//! which worker thread ran which shard, and independent of thread count.
+//! Single-queue users never see it: [`EventQueue::schedule_at`] stamps
+//! `src = 0` and a queue-local sequence, which reduces to the classic
+//! `(time, seq)` FIFO-within-instant order.
+//!
+//! Two backends implement the same contract:
+//!
+//! * [`QueueBackend::Calendar`] (the default) — a Brown-style calendar
+//!   queue: events hash into `width`-picosecond buckets mod the bucket
+//!   count, dequeue scans the bucket of the current "day" for the minimum
+//!   key, and the structure resizes itself as the population grows or
+//!   shrinks. Fabric events cluster in a narrow band (wire
+//!   serialisation plus receiver drain, tens of nanoseconds), which is
+//!   exactly the access pattern calendar queues turn into O(1)
+//!   schedule/pop.
+//! * [`QueueBackend::BinaryHeap`] — the original `BinaryHeap` engine,
+//!   kept behind a constructor for differential testing (the determinism
+//!   suite runs every workload on both backends and asserts bit-identical
+//!   results) and as a fallback should a pathological distribution defeat
+//!   the calendar's bucket adaptation.
 
 use crate::time::{Duration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    at: SimTime,
-    seq: u64,
+/// Total order on events: time first, then the scheduling source (shard
+/// index in sharded simulations, 0 otherwise), then the source-local
+/// sequence number. Unique per event, so the order is total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Absolute firing time.
+    pub at: SimTime,
+    /// Scheduling source (shard index); 0 for single-queue users.
+    pub src: u32,
+    /// Source-local sequence number; unique per `src`.
+    pub seq: u64,
 }
 
-/// A time-ordered queue of events of type `E`.
+/// Which implementation backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Calendar queue (O(1) amortised for banded event populations).
+    #[default]
+    Calendar,
+    /// Binary heap (O(log n)); the differential-testing reference.
+    BinaryHeap,
+}
+
+/// A time-ordered queue of events of type `E`, generic over backend.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, usize)>>,
-    slots: Vec<Option<E>>,
-    free: Vec<usize>,
+    inner: Inner<E>,
     next_seq: u64,
     scheduled_total: u64,
+}
+
+#[derive(Debug)]
+enum Inner<E> {
+    Heap(HeapQueue<E>),
+    Calendar(CalendarQueue<E>),
 }
 
 impl<E> Default for EventQueue<E> {
@@ -31,25 +76,138 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// A queue on the default backend (calendar).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// A queue on the classic binary-heap backend.
+    #[must_use]
+    pub fn binary_heap() -> Self {
+        Self::with_backend(QueueBackend::BinaryHeap)
+    }
+
+    #[must_use]
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let inner = match backend {
+            QueueBackend::BinaryHeap => Inner::Heap(HeapQueue::new()),
+            QueueBackend::Calendar => Inner::Calendar(CalendarQueue::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            inner,
             next_seq: 0,
             scheduled_total: 0,
         }
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// The backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.inner {
+            Inner::Heap(_) => QueueBackend::BinaryHeap,
+            Inner::Calendar(_) => QueueBackend::Calendar,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (source 0, local
+    /// sequence — FIFO within the same instant).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        let key = Key {
-            at,
-            seq: self.next_seq,
-        };
+        let seq = self.next_seq;
         self.next_seq += 1;
+        self.schedule_keyed(EventKey { at, src: 0, seq }, event);
+    }
+
+    /// Schedule `event` to fire `after` past `now`.
+    pub fn schedule_in(&mut self, now: SimTime, after: Duration, event: E) {
+        self.schedule_at(now + after, event);
+    }
+
+    /// Schedule `event` under an explicit key. The sharded engine uses
+    /// this to stamp events with `(shard, shard-local seq)` so merge
+    /// order is deterministic across thread counts. Keys must be unique.
+    pub fn schedule_keyed(&mut self, key: EventKey, event: E) {
         self.scheduled_total += 1;
+        match &mut self.inner {
+            Inner::Heap(q) => q.push(key, event),
+            Inner::Calendar(q) => q.insert(key, event),
+        }
+    }
+
+    /// Pop the earliest event, returning its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(k, e)| (k.at, e))
+    }
+
+    /// Pop the earliest event together with its full key.
+    pub fn pop_keyed(&mut self) -> Option<(EventKey, E)> {
+        match &mut self.inner {
+            Inner::Heap(q) => q.pop(),
+            Inner::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Pop the earliest event only if it fires strictly before `limit` —
+    /// the epoch primitive of the sharded engine (one ordered scan per
+    /// call, nothing popped and re-pushed at the horizon).
+    pub fn pop_keyed_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
+        match &mut self.inner {
+            Inner::Heap(q) => {
+                if q.peek_key()?.at >= limit {
+                    return None;
+                }
+                q.pop()
+            }
+            Inner::Calendar(q) => q.pop_before(limit),
+        }
+    }
+
+    /// Time of the earliest pending event. Takes `&mut self` so the
+    /// calendar backend can memoise the located minimum: the epoch
+    /// executive peeks every shard to publish its local bound, then pops
+    /// the same event — one bucket scan instead of two.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.inner {
+            Inner::Heap(q) => q.peek_key().map(|k| k.at),
+            Inner::Calendar(q) => q.peek_key().map(|k| k.at),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Heap(q) => q.len(),
+            Inner::Calendar(q) => q.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+// ───────────────────────── binary-heap backend ─────────────────────────
+
+#[derive(Debug)]
+struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<(EventKey, usize)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+}
+
+impl<E> HeapQueue<E> {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, key: EventKey, event: E) {
         let slot = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Some(event);
@@ -63,35 +221,255 @@ impl<E> EventQueue<E> {
         self.heap.push(Reverse((key, slot)));
     }
 
-    /// Schedule `event` to fire `after` past `now`.
-    pub fn schedule_in(&mut self, now: SimTime, after: Duration, event: E) {
-        self.schedule_at(now + after, event);
-    }
-
-    /// Pop the earliest event, returning its firing time.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(EventKey, E)> {
         let Reverse((key, slot)) = self.heap.pop()?;
         let ev = self.slots[slot].take().expect("event slot occupied");
         self.free.push(slot);
-        Some((key.at, ev))
+        Some((key, ev))
     }
 
-    /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse((k, _))| k.at)
+    fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|Reverse((k, _))| *k)
     }
 
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
+}
 
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+// ───────────────────────── calendar backend ────────────────────────────
+
+/// A Brown calendar queue. Buckets are unsorted vectors of
+/// `(key, event)`; an event at time `t` lives in bucket
+/// `(t / width) % nbuckets`. Dequeue walks buckets from the cursor,
+/// taking the minimum-key event whose time falls inside the bucket's
+/// current "day"; after scanning a full year without a hit it falls back
+/// to a direct min search (events far beyond the calendar horizon).
+///
+/// The queue resizes (doubling/halving the bucket count and re-deriving
+/// the bucket width from the observed spread of pending events) when the
+/// population crosses 2×/0.5× the bucket count, which keeps the expected
+/// bucket occupancy — and therefore schedule/pop cost — O(1) for the
+/// banded distributions discrete-event fabrics produce.
+#[derive(Debug)]
+struct CalendarQueue<E> {
+    buckets: Vec<Vec<(EventKey, E)>>,
+    /// Picoseconds per bucket (power of two, so the hash is a shift).
+    width_shift: u32,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: usize,
+    /// Bucket the dequeue cursor is standing on.
+    cursor: usize,
+    /// Start of the day the cursor bucket currently covers.
+    day_start: u64,
+    count: usize,
+    /// Memoised location `(bucket, index)` of the minimum-key event, or
+    /// `None` when unknown. A peek finds the minimum, a pop of the same
+    /// event reuses it; inserts keep it live (a smaller key simply takes
+    /// it over), so a peek/pop pair costs one bucket scan, not two.
+    min_hint: Option<(usize, usize)>,
+    /// Spare bucket storage kept across resizes so steady-state churn
+    /// allocates nothing.
+    spare: Vec<Vec<(EventKey, E)>>,
+}
+
+/// Initial bucket width: 2^12 ps ≈ 4 ns — the low edge of the wire
+/// serialisation band, so freshly built queues start near the adapted
+/// state for fabric workloads.
+const INIT_WIDTH_SHIFT: u32 = 12;
+const INIT_BUCKETS: usize = 16;
+
+impl<E> CalendarQueue<E> {
+    fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..INIT_BUCKETS).map(|_| Vec::new()).collect(),
+            width_shift: INIT_WIDTH_SHIFT,
+            mask: INIT_BUCKETS - 1,
+            cursor: 0,
+            day_start: 0,
+            count: 0,
+            min_hint: None,
+            spare: Vec::new(),
+        }
     }
 
-    /// Total number of events ever scheduled (for run statistics).
-    pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+    #[inline]
+    fn bucket_of(&self, at: SimTime) -> usize {
+        ((at.0 >> self.width_shift) as usize) & self.mask
+    }
+
+    /// Insert under `key`. Amortised O(1): a bucket index computation and
+    /// an append; the occupancy-triggered `resize` is the only non-hot
+    /// step and recycles bucket storage.
+    fn insert(&mut self, key: EventKey, event: E) {
+        // An event earlier than the cursor's day (legal: ties with the
+        // current instant, or a sharded merge delivering work at the
+        // epoch floor) must rewind the cursor so dequeue sees it.
+        if key.at.0 < self.day_start {
+            self.day_start = (key.at.0 >> self.width_shift) << self.width_shift;
+            self.cursor = self.bucket_of(key.at);
+        }
+        let b = self.bucket_of(key.at);
+        self.buckets[b].push((key, event));
+        // Bucket pushes never move existing entries, so a live hint stays
+        // valid; it only changes hands if the new key is smaller (keys
+        // are unique, so `<` suffices).
+        self.min_hint = match self.min_hint {
+            None if self.count == 0 => Some((b, self.buckets[b].len() - 1)),
+            Some((hb, hi)) if key < self.buckets[hb][hi].0 => Some((b, self.buckets[b].len() - 1)),
+            h => h,
+        };
+        self.count += 1;
+        if self.count > 2 * self.buckets.len() && self.buckets.len() < (1 << 20) {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Locate the minimum-key event: walk day buckets from the cursor for
+    /// at most one year (each day's events can only live in its own
+    /// bucket, so the first day with an event holds the minimum), falling
+    /// back to a direct sweep for sparse far-future populations.
+    fn find_min(&self) -> Option<(usize, usize)> {
+        if self.count == 0 {
+            return None;
+        }
+        let width = 1u64 << self.width_shift;
+        let nb = self.buckets.len();
+        for step in 0..nb {
+            let b = (self.cursor + step) & self.mask;
+            let day_end = self
+                .day_start
+                .saturating_add((step as u64 + 1).saturating_mul(width));
+            let bucket = &self.buckets[b];
+            let mut best: Option<usize> = None;
+            for (i, (k, _)) in bucket.iter().enumerate() {
+                if k.at.0 < day_end {
+                    best = match best {
+                        Some(j) if bucket[j].0 <= *k => Some(j),
+                        _ => Some(i),
+                    };
+                }
+            }
+            if let Some(i) = best {
+                return Some((b, i));
+            }
+        }
+        let mut out: Option<(usize, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, (k, _)) in bucket.iter().enumerate() {
+                let better = match out {
+                    Some((ob, oi)) => *k < self.buckets[ob][oi].0,
+                    None => true,
+                };
+                if better {
+                    out = Some((b, i));
+                }
+            }
+        }
+        debug_assert!(out.is_some(), "count > 0 but no event found");
+        out
+    }
+
+    /// [`find_min`](Self::find_min) through the memo: reuse a live hint,
+    /// otherwise scan and remember the answer.
+    fn find_min_cached(&mut self) -> Option<(usize, usize)> {
+        if self.min_hint.is_none() {
+            self.min_hint = self.find_min();
+        }
+        self.min_hint
+    }
+
+    fn pop(&mut self) -> Option<(EventKey, E)> {
+        let (b, i) = self.find_min_cached()?;
+        Some(self.commit_take(b, i))
+    }
+
+    /// Pop the minimum only if it fires strictly before `limit`; the
+    /// cursor stays put on a refusal and the hint stays live, so the next
+    /// call is O(1) (the gap is at most one epoch's lookahead band).
+    fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
+        let (b, i) = self.find_min_cached()?;
+        if self.buckets[b][i].0.at >= limit {
+            return None;
+        }
+        Some(self.commit_take(b, i))
+    }
+
+    /// Advance the cursor to the popped key's day and remove it.
+    fn commit_take(&mut self, b: usize, i: usize) -> (EventKey, E) {
+        let at = self.buckets[b][i].0.at;
+        self.day_start = (at.0 >> self.width_shift) << self.width_shift;
+        self.cursor = self.bucket_of(at);
+        self.take(b, i)
+    }
+
+    /// Remove entry `i` of bucket `b` (order inside a bucket is
+    /// irrelevant, so `swap_remove`), shrinking the calendar if the
+    /// population collapsed.
+    fn take(&mut self, b: usize, i: usize) -> (EventKey, E) {
+        // `swap_remove` relocates the bucket's last entry, and the
+        // minimum is gone either way: drop the hint.
+        self.min_hint = None;
+        let out = self.buckets[b].swap_remove(i);
+        self.count -= 1;
+        if self.count * 4 < self.buckets.len() && self.buckets.len() > INIT_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        out
+    }
+
+    fn peek_key(&mut self) -> Option<EventKey> {
+        self.find_min_cached().map(|(b, i)| self.buckets[b][i].0)
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Rebuild with `nb` buckets (power of two) and a bucket width
+    /// re-derived from the observed event spread, re-hashing every
+    /// pending event. Amortised against the pushes/pops that triggered
+    /// it; bucket storage is recycled through `spare`.
+    fn resize(&mut self, nb: usize) {
+        debug_assert!(nb.is_power_of_two());
+        self.min_hint = None; // every entry is about to be re-hashed
+
+        // Width adaptation: aim for the day span (nb * width) to cover
+        // the pending population's time spread, so events spread across
+        // the year instead of aliasing into the same day.
+        if self.count >= 2 {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for (k, _) in self.buckets.iter().flatten() {
+                lo = lo.min(k.at.0);
+                hi = hi.max(k.at.0);
+            }
+            let spread = (hi - lo).max(1);
+            // width ≈ 2 * spread / count, clamped to [2^6, 2^40] ps.
+            let target = (2 * spread / self.count as u64).max(1);
+            self.width_shift = (63 - target.leading_zeros()).clamp(6, 40);
+        }
+        let mut old = std::mem::take(&mut self.buckets);
+        self.buckets = (0..nb)
+            .map(|_| self.spare.pop().unwrap_or_default())
+            .collect();
+        self.mask = nb - 1;
+        let mut min_at: Option<u64> = None;
+        for bucket in &old {
+            for (k, _) in bucket {
+                min_at = Some(min_at.map_or(k.at.0, |m| m.min(k.at.0)));
+            }
+        }
+        for mut bucket in old.drain(..) {
+            for (k, e) in bucket.drain(..) {
+                let b = self.bucket_of(k.at);
+                self.buckets[b].push((k, e));
+            }
+            self.spare.push(bucket);
+        }
+        let floor = min_at.unwrap_or(self.day_start);
+        self.day_start = (floor >> self.width_shift) << self.width_shift;
+        self.cursor = ((floor >> self.width_shift) as usize) & self.mask;
     }
 }
 
@@ -101,25 +479,29 @@ mod tests {
 
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime(30), "c");
-        q.schedule_at(SimTime(10), "a");
-        q.schedule_at(SimTime(20), "b");
-        assert_eq!(q.peek_time(), Some(SimTime(10)));
-        assert_eq!(q.pop(), Some((SimTime(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime(30), "c")));
-        assert_eq!(q.pop(), None);
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule_at(SimTime(30), "c");
+            q.schedule_at(SimTime(10), "a");
+            q.schedule_at(SimTime(20), "b");
+            assert_eq!(q.peek_time(), Some(SimTime(10)), "{backend:?}");
+            assert_eq!(q.pop(), Some((SimTime(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn fifo_within_same_instant() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule_at(SimTime(5), i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.schedule_at(SimTime(5), i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((SimTime(5), i)), "{backend:?}");
+            }
         }
     }
 
@@ -131,27 +513,161 @@ mod tests {
     }
 
     #[test]
+    fn keyed_order_is_time_src_seq() {
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            let k = |at, src, seq| EventKey {
+                at: SimTime(at),
+                src,
+                seq,
+            };
+            q.schedule_keyed(k(50, 1, 0), "b");
+            q.schedule_keyed(k(50, 0, 7), "a");
+            q.schedule_keyed(k(50, 1, 1), "c");
+            q.schedule_keyed(k(40, 9, 9), "first");
+            assert_eq!(q.pop_keyed().unwrap().1, "first", "{backend:?}");
+            assert_eq!(q.pop_keyed().unwrap().1, "a");
+            assert_eq!(q.pop_keyed().unwrap().1, "b");
+            assert_eq!(q.pop_keyed().unwrap().1, "c");
+        }
+    }
+
+    #[test]
     fn slot_reuse_keeps_len_bounded() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::binary_heap();
         for round in 0..10u64 {
             for i in 0..64u64 {
                 q.schedule_at(SimTime(round * 100 + i), i);
             }
             while q.pop().is_some() {}
         }
-        assert!(q.slots.len() <= 64, "slots grew to {}", q.slots.len());
+        match &q.inner {
+            Inner::Heap(h) => assert!(h.slots.len() <= 64, "slots grew to {}", h.slots.len()),
+            Inner::Calendar(_) => unreachable!(),
+        }
         assert_eq!(q.scheduled_total(), 640);
     }
 
     #[test]
     fn interleaved_pop_and_schedule() {
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule_at(SimTime(1), 1u32);
+            q.schedule_at(SimTime(3), 3);
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t, e), (SimTime(1), 1), "{backend:?}");
+            q.schedule_at(SimTime(2), 2);
+            assert_eq!(q.pop(), Some((SimTime(2), 2)));
+            assert_eq!(q.pop(), Some((SimTime(3), 3)));
+        }
+    }
+
+    #[test]
+    fn calendar_survives_resize_churn() {
         let mut q = EventQueue::new();
-        q.schedule_at(SimTime(1), 1u32);
-        q.schedule_at(SimTime(3), 3);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t, e), (SimTime(1), 1));
-        q.schedule_at(SimTime(2), 2);
-        assert_eq!(q.pop(), Some((SimTime(2), 2)));
-        assert_eq!(q.pop(), Some((SimTime(3), 3)));
+        // Push enough to force several doublings, then drain to force
+        // shrinks, with times spanning ns to ms so the width adapts.
+        let mut expect = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let at = x % 1_000_000_000; // 0..1 ms
+            q.schedule_at(SimTime(at), i);
+            expect.push((at, i));
+        }
+        expect.sort();
+        let mut got = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            got.push((t.0, e));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn calendar_handles_far_future_and_past_rewind() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1_000_000_000_000), "far"); // 1 s out
+        q.schedule_at(SimTime(10), "near");
+        assert_eq!(q.pop(), Some((SimTime(10), "near")));
+        // After the cursor advanced, a push behind it must still dequeue
+        // in order.
+        q.schedule_at(SimTime(20), "behind");
+        assert_eq!(q.pop(), Some((SimTime(20), "behind")));
+        assert_eq!(q.pop(), Some((SimTime(1_000_000_000_000), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule_at(SimTime(10), "a");
+            q.schedule_at(SimTime(20), "b");
+            q.schedule_at(SimTime(30), "c");
+            assert_eq!(q.pop_keyed_before(SimTime(10)), None, "{backend:?}");
+            assert_eq!(q.pop_keyed_before(SimTime(21)).unwrap().1, "a");
+            assert_eq!(q.pop_keyed_before(SimTime(21)).unwrap().1, "b");
+            assert_eq!(q.pop_keyed_before(SimTime(21)), None);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop_keyed_before(SimTime::MAX).unwrap().1, "c");
+            assert_eq!(q.pop_keyed_before(SimTime::MAX), None);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_random_workload() {
+        // Differential test: identical operation sequences produce
+        // identical pop sequences on both backends.
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::binary_heap();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let step = |q: &mut EventQueue<u64>, x: &mut u64, ops: &mut Vec<(u64, u64)>| {
+            for i in 0..400u64 {
+                *x ^= *x << 13;
+                *x ^= *x >> 7;
+                *x ^= *x << 17;
+                let at = *x % 50_000;
+                q.schedule_at(SimTime(at), i);
+                ops.push((at, i));
+            }
+        };
+        let mut ops_a = Vec::new();
+        let mut ops_b = Vec::new();
+        let mut xa = x;
+        step(&mut cal, &mut xa, &mut ops_a);
+        step(&mut heap, &mut x, &mut ops_b);
+        assert_eq!(ops_a, ops_b, "same op stream");
+        loop {
+            assert_eq!(cal.peek_time(), heap.peek_time());
+            let a = cal.pop_keyed();
+            let b = heap.pop_keyed();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_memo_survives_inserts() {
+        // Exercises the calendar's min-hint: a peek locates the minimum,
+        // then inserts land both behind it (take the hint over) and ahead
+        // of it (leave it alone) before the pops check the order.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(500), "mid");
+        assert_eq!(q.peek_time(), Some(SimTime(500)));
+        q.schedule_at(SimTime(900), "late"); // keeps the hint
+        q.schedule_at(SimTime(100), "early"); // takes the hint over
+        assert_eq!(q.peek_time(), Some(SimTime(100)));
+        q.schedule_at(SimTime(100), "early2"); // same instant, later seq
+        assert_eq!(q.pop(), Some((SimTime(100), "early")));
+        assert_eq!(q.pop(), Some((SimTime(100), "early2")));
+        assert_eq!(q.peek_time(), Some(SimTime(500)));
+        assert_eq!(q.pop(), Some((SimTime(500), "mid")));
+        assert_eq!(q.pop(), Some((SimTime(900), "late")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
     }
 }

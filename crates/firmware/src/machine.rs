@@ -169,6 +169,13 @@ impl Platform {
         self.monitor.take()
     }
 
+    /// Whether a fabric monitor is installed. The sharded event engine
+    /// checks this once per run: with no monitor it skips packet-event
+    /// recording entirely, keeping the shard hot path allocation-free.
+    pub fn has_monitor(&self) -> bool {
+        self.monitor.is_some()
+    }
+
     /// The wire attached to (node, link), if any.
     pub fn wire_at(&self, node: usize, link: LinkId) -> Option<&Wire> {
         self.wires

@@ -79,9 +79,12 @@ impl<S> AmEngine<S> {
 
     /// Poll until `pred(state)` holds.
     pub fn poll_until(&mut self, ctx: &mut NodeCtx, state: &mut S, pred: impl Fn(&S) -> bool) {
+        let mut backoff = tcc_msglib::window::Backoff::new();
         while !pred(state) {
             if self.poll(ctx, state) == 0 {
-                tcc_msglib::window::cpu_relax();
+                backoff.snooze();
+            } else {
+                backoff.reset();
             }
         }
     }

@@ -340,14 +340,21 @@ impl<'a> Comm<'a> {
             let f = frame(TAG + r as u64, &send[to]);
             let mut sent = false;
             let mut got: Option<Vec<u8>> = None;
+            let mut backoff = tcc_msglib::window::Backoff::new();
             while !sent || got.is_none() {
-                if !sent {
-                    sent = self.ctx.try_send(to, &f).is_ok();
+                if !sent && self.ctx.try_send(to, &f).is_ok() {
+                    sent = true;
+                    backoff.reset();
                 }
                 if got.is_none() {
                     got = self.try_recv(from, TAG + r as u64);
+                    if got.is_some() {
+                        backoff.reset();
+                    }
                 }
-                tcc_msglib::window::cpu_relax();
+                if !sent || got.is_none() {
+                    backoff.snooze();
+                }
             }
             out[from] = got.expect("received");
         }

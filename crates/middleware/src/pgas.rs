@@ -132,13 +132,16 @@ impl GlobalArray {
         msg.extend_from_slice(&(self.offset(i) as u64).to_le_bytes());
         msg.extend_from_slice(&token.to_le_bytes());
         ctx.send(o, &msg);
+        let mut backoff = tcc_msglib::window::Backoff::new();
         loop {
             if let Some((src, m)) = ctx.try_recv_any() {
                 if let Some(v) = self.dispatch(ctx, src, m, Some((o, token))) {
                     return v;
                 }
+                backoff.reset();
+            } else {
+                backoff.snooze();
             }
-            tcc_msglib::window::cpu_relax();
         }
     }
 
@@ -236,6 +239,7 @@ impl GlobalArray {
         // this epoch — and no further: bytes past the marker belong to
         // the next epoch (or to another layer, e.g. an MPI phase that
         // starts right after the fence on a faster rank).
+        let mut backoff = tcc_msglib::window::Backoff::new();
         loop {
             let mut all_in = true;
             for p in 0..self.n {
@@ -246,12 +250,13 @@ impl GlobalArray {
                 if let Some(m) = ctx.try_recv(p) {
                     let r = self.dispatch(ctx, p, m, None);
                     debug_assert!(r.is_none(), "unexpected get reply during fence");
+                    backoff.reset();
                 }
             }
             if all_in {
                 break;
             }
-            tcc_msglib::window::cpu_relax();
+            backoff.snooze();
         }
     }
 

@@ -70,11 +70,13 @@ impl<R: RemoteWindow, L: LocalWindow> Barrier<R, L> {
                 w.store_u64((k * 8) as u64, e);
                 w.fence();
             }
-            // Wait for our round-k predecessor.
+            // Wait for our round-k predecessor (bounded spin, then yield
+            // — the predecessor may share this core).
             let from = (self.rank + self.n - (1 << k) % self.n) % self.n;
             if from != self.rank {
+                let mut backoff = crate::window::Backoff::new();
                 while self.local.load_u64((k * 8) as u64) < e {
-                    crate::window::cpu_relax();
+                    backoff.snooze();
                 }
             }
         }
@@ -115,8 +117,9 @@ impl<W: LocalWindow> Flag<W> {
     }
 
     pub fn wait_for(&self, value: u64) {
+        let mut backoff = crate::window::Backoff::new();
         while self.poll() < value {
-            crate::window::cpu_relax();
+            backoff.snooze();
         }
     }
 }

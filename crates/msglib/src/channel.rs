@@ -266,11 +266,12 @@ impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
         }
     }
 
-    /// Blocking send.
+    /// Blocking send. Uses exponential backoff while out of credit.
     pub fn send(&mut self, msg: &[u8]) -> Result<(), SendError> {
+        let mut backoff = crate::window::Backoff::new();
         loop {
             match self.try_send(msg) {
-                Err(SendError::WouldBlock) => crate::window::cpu_relax(),
+                Err(SendError::WouldBlock) => backoff.snooze(),
                 other => return other,
             }
         }

@@ -155,11 +155,12 @@ impl<R: RemoteWindow, L: LocalWindow> RingSender<R, L> {
         Ok(())
     }
 
-    /// Blocking send: spins on credit.
+    /// Blocking send: exponential backoff while waiting on credit.
     pub fn send(&mut self, msg: &[u8]) -> Result<(), RingError> {
+        let mut backoff = crate::window::Backoff::new();
         loop {
             match self.try_send(msg) {
-                Err(RingError::WouldBlock) => crate::window::cpu_relax(),
+                Err(RingError::WouldBlock) => backoff.snooze(),
                 other => return other,
             }
         }

@@ -12,32 +12,16 @@
 //!
 //! Offsets are window-relative. All multi-byte values are little-endian.
 
-/// Polite busy-wait step for polling loops.
+/// Exponential-backoff spinner for polling loops.
 ///
 /// TCCluster software really does spin (the receive path *is* a poll
-/// loop), but an emulation must share cores with the thread it waits
-/// for — on a single-core host a raw `spin_loop` burns whole scheduler
-/// quanta. Spin briefly, then yield.
-pub fn cpu_relax() {
-    // Under loom, spinning never lets the modeled scheduler switch
-    // threads: always yield so polling loops make progress.
-    #[cfg(loom)]
-    loom::thread::yield_now();
-    #[cfg(not(loom))]
-    {
-        for _ in 0..64 {
-            std::hint::spin_loop();
-        }
-        std::thread::yield_now();
-    }
-}
-
-/// Exponential-backoff spinner for receive loops.
-///
+/// loop), but an emulation must share cores with the thread it waits for.
 /// Early iterations spin a handful of pause instructions (the message is
 /// usually already in flight); only after the spin budget is exhausted
 /// does the waiter start yielding its quantum. This keeps the common
-/// ping-pong case on-core while still being polite under real contention.
+/// ping-pong case on-core while still being polite under real contention
+/// — on a single-core host an unbounded `spin_loop` would burn whole
+/// scheduler quanta waiting for a peer that cannot run.
 #[derive(Debug, Default)]
 pub struct Backoff {
     step: u32,
@@ -45,26 +29,47 @@ pub struct Backoff {
 
 impl Backoff {
     /// Spin budget: 2^SPIN_LIMIT pause instructions before yielding.
-    #[cfg_attr(loom, allow(dead_code))]
     const SPIN_LIMIT: u32 = 7;
 
     pub fn new() -> Self {
         Backoff { step: 0 }
     }
 
-    /// Wait one escalating step: spin 2^step pauses, or yield once the
-    /// spin budget is spent.
+    /// What the next [`snooze`](Self::snooze) will do: burn `Some(n)`
+    /// pause instructions, or `None` — give up the scheduler quantum.
+    /// Exposed so the escalation schedule itself is unit-testable.
+    pub fn spins_next(&self) -> Option<u32> {
+        (self.step <= Self::SPIN_LIMIT).then(|| 1u32 << self.step)
+    }
+
+    /// Whether the spin budget is exhausted (every further snooze yields).
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+
+    /// Wait one escalating step: spin 2^step pauses, doubling each call,
+    /// or yield the quantum once the spin budget is spent. The step
+    /// saturates — total on-core spinning per wait is bounded at
+    /// 2^(SPIN_LIMIT+1)-1 pauses, after which a waiter on a single-core
+    /// host cedes the CPU to whoever it is waiting for.
     pub fn snooze(&mut self) {
+        let spins = self.spins_next();
+        self.step = (self.step + 1).min(Self::SPIN_LIMIT + 1);
+        // Under loom, spinning never lets the modeled scheduler switch
+        // threads: always yield so polling loops make progress.
         #[cfg(loom)]
-        loom::thread::yield_now();
+        {
+            let _ = spins;
+            loom::thread::yield_now();
+        }
         #[cfg(not(loom))]
-        if self.step <= Self::SPIN_LIMIT {
-            for _ in 0..(1u32 << self.step) {
-                std::hint::spin_loop();
+        match spins {
+            Some(n) => {
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
             }
-            self.step += 1;
-        } else {
-            std::thread::yield_now();
+            None => std::thread::yield_now(),
         }
     }
 
@@ -188,6 +193,27 @@ pub mod inproc {
 mod tests {
     use super::inproc::InprocMemory;
     use super::*;
+
+    #[test]
+    fn backoff_schedule_doubles_then_yields() {
+        let mut b = Backoff::new();
+        // Spin phase: 1, 2, 4, ... 128 pauses — doubling each snooze.
+        for expect in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+            assert_eq!(b.spins_next(), Some(expect));
+            assert!(!b.is_yielding());
+            b.snooze();
+        }
+        // Budget exhausted: every further snooze yields the quantum.
+        for _ in 0..3 {
+            assert_eq!(b.spins_next(), None);
+            assert!(b.is_yielding());
+            b.snooze();
+        }
+        // Progress restarts the escalation from the shortest spin.
+        b.reset();
+        assert_eq!(b.spins_next(), Some(1));
+        assert!(!b.is_yielding());
+    }
 
     #[test]
     fn store_load_round_trip() {

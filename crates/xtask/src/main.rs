@@ -35,6 +35,12 @@ const HOT_FUNCTIONS: &[(&str, &str)] = &[
     ("crates/ht/src/link.rs", "fn pump_into"),
     ("crates/core/src/engine.rs", "fn pump_port"),
     ("crates/core/src/engine.rs", "fn on_arrive"),
+    ("crates/core/src/engine.rs", "fn drain_inbox"),
+    ("crates/core/src/engine.rs", "fn send_arrive"),
+    ("crates/core/src/engine.rs", "fn run_epoch"),
+    ("crates/fabric/src/event.rs", "fn insert"),
+    ("crates/fabric/src/event.rs", "fn find_min"),
+    ("crates/fabric/src/event.rs", "fn pop_before"),
     ("crates/msglib/src/ring.rs", "fn send"),
     ("crates/msglib/src/ring.rs", "fn recv_into"),
     ("crates/msglib/src/channel.rs", "fn send"),

@@ -1,0 +1,168 @@
+//! Determinism of the sharded conservative-PDES event engine.
+//!
+//! The engine's contract (docs/engine.md, "Parallel execution") is that
+//! results are **bit-identical** for every worker thread count and for
+//! both event-queue backends: shard state is disjoint, every event is
+//! processed in deterministic `(time, shard, seq)` key order, and the
+//! thread count only changes which OS thread runs which shard's epochs.
+//! These tests enforce that contract, and re-pin the paper's anchors
+//! (227 ns / ~2500 MB/s) on the parallel path.
+
+use proptest::prelude::*;
+use tcc_firmware::topology::ClusterTopology;
+use tcc_ht::link::LinkConfig;
+use tccluster::{EngineKind, QueueBackend, TcclusterBuilder, TrafficPattern, WorkloadReport};
+
+/// Run one workload on a mesh with explicit executive options.
+fn run(
+    mesh: (usize, usize),
+    link: LinkConfig,
+    pattern: TrafficPattern,
+    bytes: u64,
+    threads: usize,
+    backend: QueueBackend,
+) -> WorkloadReport {
+    let mut cluster = TcclusterBuilder::new()
+        .topology(ClusterTopology::Mesh {
+            x: mesh.0,
+            y: mesh.1,
+        })
+        .processors_per_supernode(2)
+        .tcc_link(link)
+        .engine(EngineKind::EventDriven)
+        .event_threads(threads)
+        .event_queue(backend)
+        .build_sim();
+    cluster.run_workload(pattern, bytes)
+}
+
+fn arb_link() -> impl Strategy<Value = LinkConfig> {
+    (
+        prop_oneof![Just(600), Just(800), Just(1_000)],
+        prop_oneof![Just(8u8), Just(16u8)],
+        40u64..=60,
+    )
+        .prop_map(|(clock_mhz, width_bits, hop_ns)| LinkConfig {
+            clock_mhz,
+            width_bits,
+            hop_latency: tcc_fabric::time::Duration::from_nanos(hop_ns),
+        })
+}
+
+fn arb_pattern() -> impl Strategy<Value = TrafficPattern> {
+    prop_oneof![
+        Just(TrafficPattern::AllToAll),
+        Just(TrafficPattern::Hotspot { target: 0 }),
+        Just(TrafficPattern::Halo),
+        Just(TrafficPattern::Transpose),
+        Just(TrafficPattern::Tornado),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The core determinism property: the same workload yields a
+    /// byte-identical [`WorkloadReport`] across thread counts {1, 2, 4}
+    /// and across both queue backends, for randomized link shapes,
+    /// patterns and flow sizes on a 2x2 mesh.
+    #[test]
+    fn workload_reports_are_bit_identical_across_threads_and_backends(
+        link in arb_link(),
+        pattern in arb_pattern(),
+        kb in 2u64..=8,
+    ) {
+        let bytes = kb << 10;
+        let baseline = run((2, 2), link, pattern, bytes, 1, QueueBackend::Calendar);
+        prop_assert!(baseline.delivered_packets > 0, "workload moved no data");
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            for threads in [1usize, 2, 4] {
+                let got = run((2, 2), link, pattern, bytes, threads, backend);
+                prop_assert_eq!(
+                    &got,
+                    &baseline,
+                    "{:?} x {} threads diverged on {:?}",
+                    backend,
+                    threads,
+                    pattern
+                );
+            }
+        }
+    }
+}
+
+/// A bigger, deeply contended single case: all-to-all on a 4x4 mesh, all
+/// thread counts, both backends, compared field-for-field.
+#[test]
+fn mesh4x4_all_to_all_is_thread_count_invariant() {
+    let baseline = run(
+        (4, 4),
+        LinkConfig::PROTOTYPE,
+        TrafficPattern::AllToAll,
+        4 << 10,
+        1,
+        QueueBackend::Calendar,
+    );
+    assert_eq!(baseline.flows.len(), 16 * 15);
+    assert_eq!(baseline.lost_packets(), 0, "{baseline:?}");
+    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for threads in [2usize, 4, 8] {
+            let got = run(
+                (4, 4),
+                LinkConfig::PROTOTYPE,
+                TrafficPattern::AllToAll,
+                4 << 10,
+                threads,
+                backend,
+            );
+            assert_eq!(got, baseline, "{backend:?} x {threads} threads diverged");
+        }
+    }
+}
+
+/// The paper's 227 ns half-RTT anchor must hold when the event engine
+/// runs its parallel executive (2 shards on 2 threads) — the epoch
+/// algorithm may not change any timing, only wall clock.
+#[test]
+fn parallel_path_reproduces_headline_latency() {
+    let mut c = TcclusterBuilder::new()
+        .engine(EngineKind::EventDriven)
+        .event_threads(2)
+        .build_sim();
+    let lat = c.pingpong(0, 1, 64, 50);
+    let ns = lat.nanos();
+    assert!(
+        (ns - 227.0).abs() < 25.0,
+        "parallel event engine 64 B half-RTT = {ns:.1} ns (paper: 227 ns)"
+    );
+}
+
+/// The ~2500 MB/s single-stream bandwidth anchor on the parallel path,
+/// and exact agreement with the sequential event engine.
+#[test]
+fn parallel_path_reproduces_headline_bandwidth() {
+    use tcc_msglib::SendMode;
+    let bw = |threads: usize, backend: QueueBackend| {
+        let mut c = TcclusterBuilder::new()
+            .engine(EngineKind::EventDriven)
+            .event_threads(threads)
+            .event_queue(backend)
+            .build_sim();
+        c.stream_bandwidth(0, 1, 64, SendMode::WeaklyOrdered, 20)
+    };
+    let sequential = bw(1, QueueBackend::Calendar);
+    assert!(
+        (sequential - 2500.0).abs() < 400.0,
+        "64 B weak bandwidth = {sequential:.0} MB/s (paper: ~2500)"
+    );
+    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for threads in [2usize, 4] {
+            let got = bw(threads, backend);
+            assert_eq!(
+                got.to_bits(),
+                sequential.to_bits(),
+                "{backend:?} x {threads}: {got} vs {sequential} MB/s"
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal offline shim for `rayon` parallel iterators.
+//!
+//! Covers exactly the surface the workspace consumes — `par_iter()` on
+//! slices with `map` / `map_init` and an order-preserving
+//! `collect::<Vec<_>>()` — backed by `std::thread::scope` instead of a
+//! work-stealing pool. Items are split into contiguous chunks, one scoped
+//! thread per chunk, at most [`available`] workers. `map_init` runs the
+//! init closure once per chunk (the real rayon runs it at least once per
+//! split — same contract: a fresh init value is shared only by items of
+//! one worker's run).
+//!
+//! Swapping the `path = "vendor/rayon"` override in the root `Cargo.toml`
+//! for the real `rayon = "1"` upgrades identical call sites to the
+//! work-stealing implementation.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    pub use crate::{FromParallelVec, IntoParallelRefIterator, ParIter, ParMap, ParMapInit};
+}
+
+/// Worker count: the host's available parallelism (1 in minimal cgroups).
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Entry point: `items.par_iter()` on anything that derefs to a slice.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Like `map`, but each worker first builds a local value with `init`
+    /// (e.g. a freshly booted simulation) that `f` threads through every
+    /// item of that worker's chunk.
+    pub fn map_init<I, R, FI, F>(self, init: FI, f: F) -> ParMapInit<'a, T, FI, F>
+    where
+        FI: Fn() -> I + Sync,
+        F: Fn(&mut I, &T) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`], ready to collect.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<T, F, R> ParMap<'_, T, F>
+where
+    T: Sync,
+    F: Fn(&T) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        C::from_vec(run_chunked(self.items, |chunk, out| {
+            for (t, o) in chunk.iter().zip(out.iter_mut()) {
+                *o = Some((self.f)(t));
+            }
+        }))
+    }
+}
+
+/// Result of [`ParIter::map_init`], ready to collect.
+#[derive(Debug)]
+pub struct ParMapInit<'a, T, FI, F> {
+    items: &'a [T],
+    init: FI,
+    f: F,
+}
+
+impl<T, I, FI, F, R> ParMapInit<'_, T, FI, F>
+where
+    T: Sync,
+    FI: Fn() -> I + Sync,
+    F: Fn(&mut I, &T) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        C::from_vec(run_chunked(self.items, |chunk, out| {
+            let mut state = (self.init)();
+            for (t, o) in chunk.iter().zip(out.iter_mut()) {
+                *o = Some((self.f)(&mut state, t));
+            }
+        }))
+    }
+}
+
+/// Split `items` into one contiguous chunk per worker, run `body` on each
+/// chunk in a scoped thread, and return results in item order.
+fn run_chunked<T, R, B>(items: &[T], body: B) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    B: Fn(&[T], &mut [Option<R>]) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = available().min(n);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    if workers <= 1 {
+        body(items, &mut out);
+    } else {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let body = &body;
+                s.spawn(move || body(islice, oslice));
+            }
+        });
+    }
+    out.into_iter()
+        .map(|o| o.expect("every item produced"))
+        .collect()
+}
+
+/// Shim-side stand-in for rayon's `FromParallelIterator`, so call sites
+/// keep the idiomatic `.collect::<Vec<_>>()` shape.
+pub trait FromParallelVec<R> {
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelVec<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_builds_worker_state() {
+        let xs: Vec<u64> = (0..64).collect();
+        // Each worker's accumulator starts at 1000: results must not leak
+        // between items in a way that depends on worker count only via
+        // the explicitly chunk-local state.
+        let ys: Vec<u64> = xs
+            .par_iter()
+            .map_init(
+                || 1000u64,
+                |acc, &x| {
+                    *acc += 1;
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(ys, xs);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u8> = Vec::new();
+        let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}
