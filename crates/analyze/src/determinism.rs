@@ -1,0 +1,396 @@
+//! Pass 5 — determinism bans.
+//!
+//! The simulator's contract is bit-identical results for identical
+//! inputs — the parallel fabric's conformance suite and the replay
+//! tooling both depend on it. Three things silently break that contract
+//! and none of them is a type error:
+//!
+//! - **wallclock** (`Instant::now`, `SystemTime::now`, `thread::sleep`):
+//!   real time leaking into simulated time. `clippy.toml` already bans
+//!   the method calls workspace-wide; this pass keeps the ban inside the
+//!   analyzer's single report and covers fixture code clippy never sees.
+//! - **entropy-seeded randomness** (`thread_rng`, `from_entropy`,
+//!   `rand::random`, `RandomState`): seeded generators (`from_seed`,
+//!   `seed_from_u64`) are fine and are not flagged.
+//! - **`HashMap`/`HashSet` iteration**: iteration order varies run to
+//!   run. Keyed access (`get`, `insert`, `entry`, `remove`) is fine;
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()` and `for .. in &map`
+//!   are flagged. Containers are found by declared type — struct fields,
+//!   `let` annotations/initialisers and parameters — not by name.
+//!
+//! The bench harness and xtask (see [`crate::EXEMPT_CRATES`]) and all
+//! test code are exempt: benches legitimately time things, proptest owns
+//! its seeding, and tests may iterate freely.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{call_sites, CallKind};
+use crate::report::Diagnostic;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+const ENTROPY_CALLS: &[&str] = &["thread_rng", "from_entropy", "random"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    // Hash-typed struct fields anywhere in the workspace.
+    let hash_fields: BTreeSet<&str> = ws
+        .fields
+        .iter()
+        .filter(|f| HASH_TYPES.contains(&f.ty.split(' ').next().unwrap_or("")))
+        .map(|f| f.name.as_str())
+        .collect();
+
+    let mut out = Vec::new();
+    for f in &ws.fns {
+        if ws.exempt(f) {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let file = ws.file(f);
+        let toks = &file.toks;
+        let hash_names = hash_locals(f, toks, &hash_fields);
+
+        for c in call_sites(toks, body) {
+            match c.kind {
+                CallKind::Path => {
+                    let q = c.qual.as_deref();
+                    if c.name == "now" && matches!(q, Some("Instant") | Some("SystemTime")) {
+                        out.push(diag(
+                            "det.wallclock",
+                            f,
+                            file,
+                            c.line,
+                            format!("wallclock read `{}::now()` in simulation code", q.unwrap()),
+                            "derive timing from SimTime; real time is bench-only",
+                        ));
+                    } else if c.name == "sleep" && q == Some("thread") {
+                        out.push(diag(
+                            "det.wallclock",
+                            f,
+                            file,
+                            c.line,
+                            "`thread::sleep` in simulation code".to_string(),
+                            "model latency as simulated Duration, never host delay",
+                        ));
+                    } else if ENTROPY_CALLS.contains(&c.name.as_str())
+                        || (c.name == "new" && q == Some("RandomState"))
+                    {
+                        out.push(diag(
+                            "det.randomness",
+                            f,
+                            file,
+                            c.line,
+                            format!("entropy-seeded randomness (`{}`)", c.name),
+                            "use a fixed seed (`from_seed`/`seed_from_u64`) so runs replay",
+                        ));
+                    }
+                }
+                CallKind::Method => {
+                    if ENTROPY_CALLS.contains(&c.name.as_str()) {
+                        out.push(diag(
+                            "det.randomness",
+                            f,
+                            file,
+                            c.line,
+                            format!("entropy-seeded randomness (`.{}()`)", c.name),
+                            "use a fixed seed (`from_seed`/`seed_from_u64`) so runs replay",
+                        ));
+                    } else if ITER_METHODS.contains(&c.name.as_str())
+                        && receiver_is_hash(toks, c.tok, &hash_names)
+                    {
+                        out.push(diag(
+                            "det.hashmap-iter",
+                            f,
+                            file,
+                            c.line,
+                            format!(
+                                "`.{}()` on a HashMap/HashSet: iteration order is unstable",
+                                c.name
+                            ),
+                            "use a BTreeMap/BTreeSet, or collect-and-sort before iterating",
+                        ));
+                    }
+                }
+                CallKind::Macro => {}
+            }
+        }
+
+        // `for pat in <expr> {` iterating a hash container directly.
+        let (bs, be) = body;
+        let mut k = bs;
+        while k < be.min(toks.len()) {
+            if toks[k].is_ident("for") {
+                if let Some(line) = for_loop_over_hash(toks, k, be, &hash_names) {
+                    out.push(diag(
+                        "det.hashmap-iter",
+                        f,
+                        file,
+                        line,
+                        "`for` loop over a HashMap/HashSet: iteration order is unstable"
+                            .to_string(),
+                        "use a BTreeMap/BTreeSet, or collect-and-sort before iterating",
+                    ));
+                }
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+fn diag(
+    code: &str,
+    f: &crate::parse::FnDef,
+    file: &crate::parse::SourceFile,
+    line: u32,
+    message: String,
+    hint: &str,
+) -> Diagnostic {
+    Diagnostic {
+        pass: "determinism",
+        code: code.to_string(),
+        file: file.path.clone(),
+        line,
+        function: f.display_name(),
+        message,
+        notes: vec![hint.to_string()],
+    }
+}
+
+/// Hash-typed locals and parameters of one function.
+fn hash_locals(
+    f: &crate::parse::FnDef,
+    toks: &[Tok],
+    hash_fields: &BTreeSet<&str>,
+) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> = hash_fields.iter().map(|s| s.to_string()).collect();
+    let (ss, se) = f.sig;
+    let mut k = ss;
+    while k + 2 < se.min(toks.len()) {
+        if toks[k].kind == TokKind::Ident
+            && toks[k + 1].is(":")
+            && type_mentions_hash(&toks[k + 2..se])
+        {
+            names.insert(toks[k].text.clone());
+        }
+        k += 1;
+    }
+    let Some((bs, be)) = f.body else {
+        return names;
+    };
+    let mut k = bs;
+    while k < be.min(toks.len()) {
+        if toks[k].is_ident("let") {
+            let mut n = k + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if toks.get(n).map(|t| t.kind) == Some(TokKind::Ident) {
+                let name = &toks[n];
+                // `let x: HashMap<..>` or `let x = HashMap::new()` — scan
+                // to the end of the statement for the type name.
+                let mut m = n + 1;
+                let mut depth = 0i32;
+                let mut is_hash = false;
+                while m < be.min(toks.len()) {
+                    match toks[m].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            depth -= 1;
+                            if depth < 0 {
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => break,
+                        s if HASH_TYPES.contains(&s) => is_hash = true,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                if is_hash {
+                    names.insert(name.text.clone());
+                }
+                k = m;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    names
+}
+
+/// Does a type snippet name HashMap/HashSet at its head (past `&`/`mut`)?
+fn type_mentions_hash(toks: &[Tok]) -> bool {
+    for t in toks {
+        match t.text.as_str() {
+            "&" | "mut" | "dyn" => continue,
+            s if HASH_TYPES.contains(&s) => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Is the receiver chain of the iter-method call at `tok` a known hash
+/// container (last chain component before the method)?
+fn receiver_is_hash(toks: &[Tok], tok: usize, hash_names: &BTreeSet<String>) -> bool {
+    // toks[tok] is the method name, toks[tok-1] the `.`.
+    tok.checked_sub(2)
+        .map(|k| &toks[k])
+        .is_some_and(|t| t.kind == TokKind::Ident && hash_names.contains(&t.text))
+}
+
+/// For a `for` keyword at `k`, does the iterated expression name a hash
+/// container that is consumed directly (or via an iter method)?
+fn for_loop_over_hash(
+    toks: &[Tok],
+    k: usize,
+    end: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<u32> {
+    // Find `in` at nesting depth 0, then the expression up to `{`.
+    let mut depth = 0i32;
+    let mut m = k + 1;
+    let mut in_at = None;
+    while m < end.min(toks.len()) {
+        match toks[m].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => {
+                in_at = Some(m);
+                break;
+            }
+            "{" => return None,
+            _ => {}
+        }
+        m += 1;
+    }
+    let start = in_at? + 1;
+    let mut m = start;
+    let mut depth = 0i32;
+    while m < end.min(toks.len()) {
+        let t = &toks[m];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return None,
+            _ if t.kind == TokKind::Ident && hash_names.contains(&t.text) => {
+                // Direct iteration (`&map`, `map`, `self.map`) or via an
+                // iter method; keyed access (`map.get(..)`) is fine.
+                let next = toks.get(m + 1);
+                let direct = next.is_none_or(|n| n.is("{"));
+                let via_iter = next.is_some_and(|n| n.is("."))
+                    && toks
+                        .get(m + 2)
+                        .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()));
+                if direct || via_iter {
+                    return Some(t.line);
+                }
+                m += 1;
+                continue;
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        run(&Workspace::from_sources(&[("fix.rs", src)]))
+    }
+
+    #[test]
+    fn wallclock_is_flagged() {
+        let d = diags("fn f() -> Instant { Instant::now() }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "det.wallclock");
+    }
+
+    #[test]
+    fn entropy_randomness_is_flagged_seeded_is_not() {
+        let d = diags(
+            "
+            fn bad() { let mut rng = thread_rng(); rng.fill(&mut [0u8; 4]); }
+            fn good() { let rng = StdRng::seed_from_u64(42); drop(rng); }
+            ",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "det.randomness");
+        assert_eq!(d[0].function, "bad");
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_keyed_access_is_not() {
+        let d = diags(
+            "
+            struct T { index: HashMap<u64, u32> }
+            impl T {
+                fn bad(&self) -> u64 { self.index.keys().sum() }
+                fn good(&self, k: u64) -> Option<&u32> { self.index.get(&k) }
+            }
+            ",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "det.hashmap-iter");
+        assert_eq!(d[0].function, "T::bad");
+    }
+
+    #[test]
+    fn for_loop_over_map_is_flagged() {
+        let d = diags(
+            "
+            fn f(map: &HashMap<u64, u32>) -> u64 {
+                let mut sum = 0;
+                for (k, v) in map {
+                    sum += k + *v as u64;
+                }
+                sum
+            }
+            ",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "det.hashmap-iter");
+    }
+
+    #[test]
+    fn vec_iteration_is_clean() {
+        let d = diags(
+            "
+            fn f(v: &Vec<u64>) -> u64 {
+                let mut sum = 0;
+                for x in v.iter() { sum += x; }
+                sum
+            }
+            ",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = diags(
+            "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let x = Instant::now(); drop(x); }
+            }
+            ",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

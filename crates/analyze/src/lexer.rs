@@ -1,0 +1,411 @@
+//! A self-contained Rust lexer: good enough to tokenize every crate in
+//! this workspace, with line numbers on every token so the passes can
+//! emit `file:line` diagnostics.
+//!
+//! Comments are dropped (after harvesting `tcc-analyze: allow(..)`
+//! directives upstream, see [`crate::parse`]), string/char literals are
+//! kept as single opaque tokens, and the common multi-character operators
+//! are fused so the passes can match on `::`, `->`, `+=` etc. directly.
+
+/// What a token is, at the granularity the passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `store`, `SimTime`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`). Kept distinct so `'a` never looks
+    /// like the start of a char literal.
+    Lifetime,
+    /// Any literal: number, string, char, byte string.
+    Lit,
+    /// Punctuation, possibly fused (`::`, `->`, `+=`, `{`, ...).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const FUSED: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "..",
+];
+
+/// Tokenize `src`. Unterminated constructs consume to end of input
+/// rather than erroring: the analyzer must never abort on a source file
+/// the real compiler accepts, and trailing garbage only costs precision.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::from_utf8_lossy(&b[i..end]).into_owned(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (end, nl) = scan_raw_or_byte(b, i);
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::from_utf8_lossy(&b[i..end]).into_owned(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'\x'`-style and `'a'` are
+                // chars; `'a` followed by anything but `'` is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    let end = scan_char(b, i);
+                    toks.push(tok_lit(b, i, end, line));
+                    i = end;
+                } else if is_ident_start(b.get(i + 1).copied()) {
+                    // Find the extent of the would-be lifetime name.
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'\'') && j == i + 2 {
+                        // exactly one ident char then a quote: 'a'
+                        toks.push(tok_lit(b, i, j + 1, line));
+                        i = j + 1;
+                    } else {
+                        toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Degenerate ('(' etc.): char literal.
+                    let end = scan_char(b, i);
+                    toks.push(tok_lit(b, i, end, line));
+                    i = end;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let end = scan_number(b, i);
+                toks.push(tok_lit(b, i, end, line));
+                i = end;
+            }
+            c if is_ident_start(Some(c)) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let rest = &src[i..];
+                let fused = FUSED.iter().find(|op| rest.starts_with(**op));
+                let text = match fused {
+                    Some(op) => (*op).to_string(),
+                    None => (c as char).to_string(),
+                };
+                let len = text.len();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    toks
+}
+
+fn tok_lit(b: &[u8], start: usize, end: usize, line: u32) -> Tok {
+    Tok {
+        kind: TokKind::Lit,
+        text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+        line,
+    }
+}
+
+fn is_ident_start(c: Option<u8>) -> bool {
+    matches!(c, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// `"..."` with escapes; returns (end index past the quote, newlines seen).
+fn scan_string(b: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), nl)
+}
+
+/// `'x'` or `'\n'`; returns end index past the closing quote.
+fn scan_char(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Does `r`/`b` at `i` start a raw or byte string (r", r#", b", br", rb...)?
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // up to two prefix letters (r, b, br, rb)
+    for _ in 0..2 {
+        match b.get(j) {
+            Some(b'r') | Some(b'b') => j += 1,
+            _ => break,
+        }
+    }
+    if j == i {
+        return false;
+    }
+    match b.get(j) {
+        Some(b'"') => true,
+        Some(b'#') => {
+            // raw string hashes: r#"..."# or r##"..."##
+            let mut k = j;
+            while b.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            b.get(k) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Scan a raw/byte string starting at `i`; returns (end, newlines).
+fn scan_raw_or_byte(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    let mut raw = false;
+    for _ in 0..2 {
+        match b.get(j) {
+            Some(b'r') => {
+                raw = true;
+                j += 1;
+            }
+            Some(b'b') => j += 1,
+            _ => break,
+        }
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&b'"'));
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+        } else if !raw && b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut h = 0usize;
+            while h < hashes && b.get(k) == Some(&b'#') {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return (k, nl);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (b.len(), nl)
+}
+
+/// Numbers: ints, floats, hex/oct/bin, suffixes, underscores. `1..2`
+/// must not swallow the range operator; `1.max(2)` must not swallow the
+/// method call.
+fn scan_number(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    // A single decimal point counts only if followed by a digit (float),
+    // never `..` (range) or `.ident` (method/field).
+    if i < b.len()
+        && b[i] == b'.'
+        && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+        && b.get(i + 1) != Some(&b'.')
+    {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent sign: 1e-12
+    if i < b.len() && (b[i] == b'+' || b[i] == b'-') && matches!(b[i - 1], b'e' | b'E') {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        assert_eq!(
+            texts("fn foo(x: u64) -> u64 { x += 1; x }"),
+            [
+                "fn", "foo", "(", "x", ":", "u64", ")", "->", "u64", "{", "x", "+=", "1", ";", "x",
+                "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_and_turbofish() {
+        assert_eq!(
+            texts("Vec::<u8>::with_capacity(4)"),
+            [
+                "Vec",
+                "::",
+                "<",
+                "u8",
+                ">",
+                "::",
+                "with_capacity",
+                "(",
+                "4",
+                ")"
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let lits: Vec<_> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn comments_are_dropped_and_lines_counted() {
+        let t = lex("a // Vec::new(\n/* block\nspanning */ b");
+        assert_eq!(t.len(), 2);
+        assert_eq!((t[0].text.as_str(), t[0].line), ("a", 1));
+        assert_eq!((t[1].text.as_str(), t[1].line), ("b", 3));
+    }
+
+    #[test]
+    fn strings_including_raw() {
+        let t = lex(r##"let s = r#"raw "quoted" body"#; let p = "pl\"ain";"##);
+        let lits: Vec<_> = t.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits[0].text.starts_with("r#\""));
+        assert!(lits[1].text.starts_with('"'));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(texts("0..1"), ["0", "..", "1"]);
+        assert_eq!(texts("1.5e-3"), ["1.5e-3"]);
+        assert_eq!(texts("1.max(2)"), ["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(texts("x.0.saturating_add(y.0)")[0..3], ["x", ".", "0"]);
+    }
+
+    #[test]
+    fn fused_operators() {
+        assert_eq!(texts("a <<= b >> c"), ["a", "<<=", "b", ">>", "c"]);
+        assert_eq!(texts("a::b->c=>d"), ["a", "::", "b", "->", "c", "=>", "d"]);
+    }
+}

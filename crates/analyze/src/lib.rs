@@ -1,0 +1,306 @@
+//! `tcc-analyze` — AST-level static analysis for the TCCluster workspace.
+//!
+//! The workspace's correctness rests on invariants the type system cannot
+//! see: hot paths must stay allocation-free *transitively*, the PDES
+//! engine's mailbox locks must stay cycle-free, picosecond arithmetic
+//! must not overflow silently, and simulation results must never depend
+//! on wallclock, hash order or entropy. Substring scans (the previous
+//! `cargo xtask lint` implementation) check none of this robustly: they
+//! stop checking a function the moment it is renamed, and they cannot see
+//! a hot function calling a helper that allocates.
+//!
+//! This crate parses every workspace crate with its own lexer and
+//! item/expression parser (no rustc dependency — in the spirit of the
+//! vendored loom/rayon shims), builds an intra-workspace call graph, and
+//! runs four visitor-based passes:
+//!
+//! | pass | module | checks |
+//! |---|---|---|
+//! | `alloc-reachability` | [`alloc`] | `#[cfg_attr(lint, tcc_no_alloc)]` functions never *transitively* reach an allocating call |
+//! | `lock-order` | [`locks`] | the may-hold-while-acquiring graph over `Mutex::lock` sites is acyclic |
+//! | `time-arith` | [`timearith`] | raw `+`/`-`/`*` on picosecond-valued expressions use `checked_`/`saturating_` forms or a blessed newtype op |
+//! | `determinism` | [`determinism`] | no wallclock, no `HashMap`/`HashSet` iteration, no entropy-seeded randomness in simulation code |
+//!
+//! Escape hatches are explicit and auditable: `#[cfg_attr(lint,
+//! tcc_alloc_ok)]` marks an amortized/cold allocation the reachability
+//! pass may stop at, and a `// tcc-analyze: allow(<code>)` comment on
+//! (or immediately above) a flagged line suppresses that one diagnostic.
+//! Every run produces a [`report::Report`], which `cargo xtask lint`
+//! serialises to `LINT_report.json`. See `docs/static-analysis.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod determinism;
+pub mod lexer;
+pub mod locks;
+pub mod parse;
+pub mod report;
+pub mod timearith;
+
+use parse::{parse_file, FnDef, Parsed, SourceFile};
+use report::Report;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// A loaded-and-parsed source tree the passes run over.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub fns: Vec<FnDef>,
+    pub fields: Vec<parse::FieldDef>,
+    /// Built by [`Workspace::from_sources`] (fixture tests): passes whose
+    /// production scope is a file subset widen to every file.
+    pub synthetic: bool,
+    /// Crate dir-name → dir-names whose items that crate's code can see
+    /// (itself plus transitive path dependencies, from the Cargo.tomls).
+    /// Name-based call resolution must not cross into crates the caller
+    /// cannot even import — `ht`'s `release` calling a `put` must never
+    /// resolve to `middleware`'s `GlobalArray::put`. Empty for fixture
+    /// workspaces (everything visible).
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Crates whose sources are loaded but exempt from the determinism and
+/// alloc passes: the bench harness is the one legitimate wallclock (and
+/// counting-allocator) consumer, and xtask only shells out to cargo.
+pub const EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+
+impl Workspace {
+    /// Load every `crates/*/src/**/*.rs` plus the top-level `src/` of the
+    /// workspace at `root`. `vendor/`, `tests/`, `examples/` and
+    /// `benches/` trees are not loaded: vendored shims are API stand-ins,
+    /// and test/bench code allocates freely by design (in-source
+    /// `#[cfg(test)]` modules are parsed but marked `is_test`).
+    pub fn load_root(root: &Path) -> io::Result<Workspace> {
+        let mut sources = Vec::new();
+        // (dir-name, package-name, dep package names) per manifest.
+        let mut manifests: Vec<(String, String, Vec<String>)> = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let crate_name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+                let (pkg, deps) = manifest_pkgs(&text);
+                manifests.push((crate_name.clone(), pkg.unwrap_or_default(), deps));
+            }
+            let src_dir = dir.join("src");
+            if src_dir.is_dir() {
+                collect_rs(&src_dir, &mut |path, text| {
+                    sources.push((rel(root, path), crate_name.clone(), text));
+                })?;
+            }
+        }
+        let top_src = root.join("src");
+        if top_src.is_dir() {
+            if let Ok(text) = std::fs::read_to_string(root.join("Cargo.toml")) {
+                let (pkg, deps) = manifest_pkgs(&text);
+                manifests.push((
+                    "tccluster-suite".to_string(),
+                    pkg.unwrap_or_else(|| "tccluster-suite".to_string()),
+                    deps,
+                ));
+            }
+            collect_rs(&top_src, &mut |path, text| {
+                sources.push((rel(root, path), "tccluster-suite".to_string(), text));
+            })?;
+        }
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut ws = Self::build(sources, false);
+        ws.crate_deps = dep_closure(&manifests);
+        Ok(ws)
+    }
+
+    /// Build a workspace from in-memory sources — the fixture-test entry
+    /// point. Paths are arbitrary labels; crate name is `fixture`.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let owned = sources
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), "fixture".to_string(), (*s).to_string()))
+            .collect();
+        Self::build(owned, true)
+    }
+
+    fn build(sources: Vec<(String, String, String)>, synthetic: bool) -> Workspace {
+        let mut files = Vec::new();
+        let mut fns = Vec::new();
+        let mut fields = Vec::new();
+        for (path, crate_name, text) in sources {
+            let file = SourceFile::new(path, crate_name, &text);
+            let idx = files.len();
+            let Parsed { fns: f, fields: fd } = parse_file(idx, &file);
+            fns.extend(f);
+            fields.extend(fd);
+            files.push(file);
+        }
+        Workspace {
+            files,
+            fns,
+            fields,
+            synthetic,
+            crate_deps: BTreeMap::new(),
+        }
+    }
+
+    pub fn file(&self, f: &FnDef) -> &SourceFile {
+        &self.files[f.file]
+    }
+
+    /// Is this function part of an exempt crate or test-only code?
+    pub fn exempt(&self, f: &FnDef) -> bool {
+        f.is_test || EXEMPT_CRATES.contains(&self.files[f.file].crate_name.as_str())
+    }
+
+    /// May code in `from_crate` name items of `to_crate`? True within a
+    /// crate, for fixture workspaces, and along (transitive) Cargo
+    /// dependency edges.
+    pub fn visible(&self, from_crate: &str, to_crate: &str) -> bool {
+        if self.synthetic || from_crate == to_crate {
+            return true;
+        }
+        match self.crate_deps.get(from_crate) {
+            Some(seen) => seen.contains(to_crate),
+            None => true,
+        }
+    }
+}
+
+/// Pull the `[package] name` and the candidate dependency package names
+/// out of a manifest. Dependency detection is line-shaped (`pkg = {..}`,
+/// `pkg.workspace = true`); non-package keys (`version`, `lto`, ...) are
+/// harvested too but filtered out later against the real package list.
+fn manifest_pkgs(text: &str) -> (Option<String>, Vec<String>) {
+    let mut name = None;
+    let mut deps = Vec::new();
+    for line in text.lines() {
+        let l = line.trim();
+        if name.is_none() {
+            if let Some(rest) = l.strip_prefix("name = \"") {
+                if let Some(end) = rest.find('"') {
+                    name = Some(rest[..end].to_string());
+                }
+            }
+        }
+        let head: String = l
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if !head.is_empty() {
+            let rest = &l[head.len()..];
+            if rest.starts_with(".workspace") || rest.trim_start().starts_with('=') {
+                deps.push(head);
+            }
+        }
+    }
+    (name, deps)
+}
+
+/// Transitive closure of the path-dependency graph, keyed by crate dir
+/// name (each crate sees itself).
+fn dep_closure(manifests: &[(String, String, Vec<String>)]) -> BTreeMap<String, BTreeSet<String>> {
+    let pkg_to_dir: BTreeMap<&str, &str> = manifests
+        .iter()
+        .map(|(dir, pkg, _)| (pkg.as_str(), dir.as_str()))
+        .collect();
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (dir, _, deps) in manifests {
+        let set: BTreeSet<String> = deps
+            .iter()
+            .filter_map(|d| pkg_to_dir.get(d.as_str()))
+            .map(|d| d.to_string())
+            .chain(std::iter::once(dir.clone()))
+            .collect();
+        out.insert(dir.clone(), set);
+    }
+    loop {
+        let mut changed = false;
+        let dirs: Vec<String> = out.keys().cloned().collect();
+        for dir in &dirs {
+            let reach: BTreeSet<String> = out[dir]
+                .iter()
+                .filter_map(|d| out.get(d))
+                .flatten()
+                .cloned()
+                .collect();
+            let mine = out.get_mut(dir).expect("seeded");
+            let before = mine.len();
+            mine.extend(reach);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, sink: &mut dyn FnMut(&Path, String)) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, sink)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&p)?;
+            sink(&p, text);
+        }
+    }
+    Ok(())
+}
+
+/// Run all four passes and assemble the report.
+pub fn run_all(ws: &Workspace) -> Report {
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        functions_indexed: ws.fns.len(),
+        no_alloc_annotations: ws
+            .fns
+            .iter()
+            .filter(|f| f.has_marker("tcc_no_alloc"))
+            .count(),
+        alloc_ok_annotations: ws
+            .fns
+            .iter()
+            .filter(|f| f.has_marker("tcc_alloc_ok"))
+            .count(),
+        ..Report::default()
+    };
+    report.diagnostics.extend(alloc::run(ws));
+    report.diagnostics.extend(locks::run(ws));
+    report.diagnostics.extend(timearith::run(ws));
+    report.diagnostics.extend(determinism::run(ws));
+    // Honour inline allow directives, then order for stable output.
+    report
+        .diagnostics
+        .retain(|d| !allowed(ws, &d.file, d.line, &d.code));
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, &a.code).cmp(&(&b.file, b.line, &b.code)));
+    report
+}
+
+fn allowed(ws: &Workspace, file: &str, line: u32, code: &str) -> bool {
+    ws.files
+        .iter()
+        .find(|f| f.path == file)
+        .is_some_and(|f| f.allowed(line, code))
+}

@@ -1,0 +1,589 @@
+//! Pass 3 — lock-order / deadlock detection.
+//!
+//! The sharded PDES engine keeps one `Mutex` per shard mailbox; the
+//! pre-PR-4 coherent crossbar deadlocked ≥4×4 meshes precisely because a
+//! sender held its local port lock while acquiring the peer's. This pass
+//! makes that class of bug a lint failure instead of a hung simulation:
+//!
+//! 1. Every `.lock()` / `.try_lock()` call in scope is extracted and given
+//!    a *lock identity*: the normalised receiver chain (`self.` stripped,
+//!    index expressions abstracted to `[_]`, call arguments to `(_)`), so
+//!    `self.inboxes[dst].0.lock()` and `self.inboxes[src].0.lock()` are
+//!    the same lock *class* `inboxes[_].0`.
+//! 2. A guard's *hold range* is computed: a let-bound guard lives to the
+//!    end of its enclosing block (or an explicit `drop(guard)`); a
+//!    temporary (`x.lock().unwrap().push(..)`) lives to the end of its
+//!    statement.
+//! 3. Acquisitions inside a hold range add may-hold-while-acquiring
+//!    edges; calls inside a hold range add edges to everything the callee
+//!    may transitively acquire (fixpoint over the workspace call graph).
+//! 4. Any cycle in the resulting graph — including a self-edge, i.e. two
+//!    locks of the same class nested — is reported as `lock.cycle`.
+//!
+//! Two instances of one lock class acquired in a nested fashion count as
+//! a cycle on purpose: without a global order between instances (shard
+//! ids, port sides) that shape deadlocks exactly like an A/B-B/A pair.
+//!
+//! In production runs the scope is the concurrent core — `crates/core/
+//! src/engine.rs` and `crates/fabric/` — the only places the simulator
+//! takes locks; fixture workspaces are scanned whole.
+
+use crate::alloc::resolve;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::{call_sites, is_keyword, CallKind};
+use crate::report::Diagnostic;
+use crate::Workspace;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+const LOCK_METHODS: &[&str] = &["lock", "try_lock"];
+
+/// One lock acquisition with its computed hold range.
+struct Acq {
+    id: String,
+    /// Token index of the `lock` name.
+    tok: usize,
+    line: u32,
+    /// Exclusive token bound while the guard may still be held.
+    hold_end: usize,
+}
+
+/// Provenance of one may-hold-while-acquiring edge.
+#[derive(Clone)]
+struct Edge {
+    file: String,
+    line: u32,
+    detail: String,
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let live: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| ws.fns[i].body.is_some() && !ws.fns[i].is_test)
+        .collect();
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut by_qual_name: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+    for &i in &live {
+        let f = &ws.fns[i];
+        by_name.entry(f.name.as_str()).or_default().push(i);
+        if let Some(q) = &f.qual {
+            by_qual_name
+                .entry((q.as_str(), f.name.as_str()))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    // Direct acquisitions + transitive may-acquire summaries (workspace
+    // wide: a helper called from the engine still counts).
+    let mut acqs: HashMap<usize, Vec<Acq>> = HashMap::new();
+    let mut callees: HashMap<usize, Vec<(usize, u32, String)>> = HashMap::new();
+    let mut may: HashMap<usize, BTreeSet<String>> = HashMap::new();
+    for &i in &live {
+        let f = &ws.fns[i];
+        let toks = &ws.file(f).toks;
+        let body = f.body.expect("live fns have bodies");
+        let mut here = Vec::new();
+        for c in call_sites(toks, body) {
+            if c.kind == CallKind::Method && LOCK_METHODS.contains(&c.name.as_str()) {
+                let id = lock_identity(toks, c.tok);
+                here.push(Acq {
+                    id,
+                    tok: c.tok,
+                    line: c.line,
+                    hold_end: hold_end(toks, body, c.tok),
+                });
+            } else {
+                let crate_name = &ws.file(f).crate_name;
+                for succ in resolve(
+                    ws,
+                    crate_name,
+                    f.qual.as_deref(),
+                    &c,
+                    &by_name,
+                    &by_qual_name,
+                ) {
+                    if succ != i {
+                        callees
+                            .entry(i)
+                            .or_default()
+                            .push((succ, c.line, c.name.clone()));
+                    }
+                }
+            }
+        }
+        may.insert(i, here.iter().map(|a| a.id.clone()).collect());
+        acqs.insert(i, here);
+    }
+    // Fixpoint: what may each function transitively acquire?
+    loop {
+        let mut changed = false;
+        for &i in &live {
+            let mut add = BTreeSet::new();
+            for (succ, _, _) in callees.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                if let Some(s) = may.get(succ) {
+                    add.extend(s.iter().cloned());
+                }
+            }
+            let mine = may.get_mut(&i).expect("seeded above");
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the may-hold-while-acquiring graph from in-scope functions.
+    let mut graph: BTreeMap<String, BTreeMap<String, Edge>> = BTreeMap::new();
+    for &i in &live {
+        let f = &ws.fns[i];
+        if !in_scope(ws, &ws.file(f).path) {
+            continue;
+        }
+        let file = ws.file(f).path.clone();
+        let held = &acqs[&i];
+        for a in held {
+            for b in held {
+                if b.tok > a.tok && b.tok < a.hold_end {
+                    graph
+                        .entry(a.id.clone())
+                        .or_default()
+                        .entry(b.id.clone())
+                        .or_insert_with(|| Edge {
+                            file: file.clone(),
+                            line: b.line,
+                            detail: format!(
+                                "`{}` acquires `{}` at {}:{} while holding `{}` (acquired line {})",
+                                f.display_name(),
+                                b.id,
+                                file,
+                                b.line,
+                                a.id,
+                                a.line
+                            ),
+                        });
+                }
+            }
+            for (succ, cline, cname) in callees.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                // The call must sit inside the hold range; approximate
+                // the call position by its line relative to the hold
+                // range's token lines.
+                let ctok = call_tok_near(&ws.file(f).toks, *cline, cname);
+                let inside = ctok.is_some_and(|t| t > a.tok && t < a.hold_end);
+                if !inside {
+                    continue;
+                }
+                for lk in may.get(succ).map(|s| s.iter()).into_iter().flatten() {
+                    graph
+                        .entry(a.id.clone())
+                        .or_default()
+                        .entry(lk.clone())
+                        .or_insert_with(|| Edge {
+                            file: file.clone(),
+                            line: *cline,
+                            detail: format!(
+                                "`{}` calls `{}` at {}:{} while holding `{}`; the callee may acquire `{}`",
+                                f.display_name(),
+                                ws.fns[*succ].display_name(),
+                                file,
+                                cline,
+                                a.id,
+                                lk
+                            ),
+                        });
+                }
+            }
+        }
+    }
+
+    // Cycle detection: for each edge a -> b, is a reachable from b?
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for (a, succs) in &graph {
+        for b in succs.keys() {
+            let Some(path) = reach(&graph, b, a) else {
+                continue;
+            };
+            // Cycle is a -> b -> ... -> a.
+            let mut cycle = vec![a.clone()];
+            cycle.extend(path);
+            let mut canon = cycle.clone();
+            canon.sort();
+            canon.dedup();
+            if !reported.insert(canon) {
+                continue;
+            }
+            let edge = &succs[b];
+            let mut notes: Vec<String> = Vec::new();
+            for w in cycle.windows(2) {
+                if let Some(e) = graph.get(&w[0]).and_then(|s| s.get(&w[1])) {
+                    notes.push(e.detail.clone());
+                }
+            }
+            notes.push(
+                "impose a global acquisition order (or release before acquiring) \
+                 to break the cycle"
+                    .to_string(),
+            );
+            out.push(Diagnostic {
+                pass: "lock-order",
+                code: "lock.cycle".to_string(),
+                file: edge.file.clone(),
+                line: edge.line,
+                function: String::new(),
+                message: format!("lock-order cycle: {}", cycle.join(" -> ")),
+                notes,
+            });
+        }
+    }
+    out
+}
+
+fn in_scope(ws: &Workspace, path: &str) -> bool {
+    ws.synthetic || path == "crates/core/src/engine.rs" || path.starts_with("crates/fabric/src/")
+}
+
+/// Shortest path from `from` to `to` in the identity graph (BFS),
+/// returned as the node list `from.. -> to` — or `None`. A self-edge is
+/// the `from == to` case with an explicit edge, handled by the caller
+/// having found `to` among `from`'s successors.
+fn reach(
+    graph: &BTreeMap<String, BTreeMap<String, Edge>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    if from == to {
+        return Some(vec![to.to_string()]);
+    }
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        for s in graph.get(n).map(|m| m.keys()).into_iter().flatten() {
+            if s == to {
+                let mut path = vec![to.to_string(), n.to_string()];
+                let mut cur = n;
+                while let Some(&p) = parent.get(cur) {
+                    path.push(p.to_string());
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if !parent.contains_key(s.as_str()) && s != from {
+                parent.insert(s, n);
+                queue.push_back(s);
+            }
+        }
+    }
+    None
+}
+
+/// Normalised receiver chain of a `.lock()` call: walk backwards from the
+/// method name through `expr.field`, `expr[idx]` and `expr(args)` links.
+fn lock_identity(toks: &[Tok], lock_tok: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    // toks[lock_tok] is `lock`; toks[lock_tok - 1] is `.`.
+    let mut k = lock_tok as isize - 2;
+    while k >= 0 {
+        let t = &toks[k as usize];
+        match t.text.as_str() {
+            "]" | ")" => {
+                let (open, close, abs) = if t.text == "]" {
+                    ("[", "]", "[_]")
+                } else {
+                    ("(", ")", "(_)")
+                };
+                let mut depth = 0i32;
+                while k >= 0 {
+                    let s = toks[k as usize].text.as_str();
+                    if s == close {
+                        depth += 1;
+                    } else if s == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k -= 1;
+                }
+                parts.push(abs.to_string());
+                k -= 1;
+            }
+            _ if (t.kind == TokKind::Ident && !is_keyword(&t.text) || t.text == "self")
+                || t.kind == TokKind::Lit =>
+            {
+                parts.push(t.text.clone());
+                if k >= 1 && toks[(k - 1) as usize].is(".") {
+                    k -= 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    if parts.first().is_some_and(|p| p == "self") {
+        parts.remove(0);
+    }
+    let mut s = String::new();
+    for p in &parts {
+        if p == "[_]" || p == "(_)" {
+            s.push_str(p);
+        } else {
+            if !s.is_empty() {
+                s.push('.');
+            }
+            s.push_str(p);
+        }
+    }
+    if s.is_empty() {
+        "<expr>".to_string()
+    } else {
+        s
+    }
+}
+
+/// How long may the guard produced at `lock_tok` be held?
+fn hold_end(toks: &[Tok], body: (usize, usize), lock_tok: usize) -> usize {
+    let (_, bend) = body;
+    // Find the start of the receiver chain, then the statement start.
+    let mut chain_start = lock_tok;
+    {
+        let mut k = lock_tok as isize - 2;
+        while k >= 0 {
+            let t = &toks[k as usize];
+            match t.text.as_str() {
+                "]" | ")" => {
+                    let (open, close) = if t.text == "]" {
+                        ("[", "]")
+                    } else {
+                        ("(", ")")
+                    };
+                    let mut depth = 0i32;
+                    while k >= 0 {
+                        let s = toks[k as usize].text.as_str();
+                        if s == close {
+                            depth += 1;
+                        } else if s == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k -= 1;
+                    }
+                    chain_start = k.max(0) as usize;
+                    k -= 1;
+                }
+                _ if (t.kind == TokKind::Ident && !is_keyword(&t.text) || t.text == "self")
+                    || t.kind == TokKind::Lit =>
+                {
+                    chain_start = k as usize;
+                    if k >= 1 && toks[(k - 1) as usize].is(".") {
+                        k -= 2;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+    // Statement tokens run back to the nearest `;`/`{`/`}`.
+    let mut stmt_start = chain_start;
+    while stmt_start > 0 {
+        let t = &toks[stmt_start - 1];
+        if t.is(";") || t.is("{") || t.is("}") {
+            break;
+        }
+        stmt_start -= 1;
+    }
+    let stmt = &toks[stmt_start..chain_start];
+    let is_let = stmt.iter().any(|t| t.is_ident("let")) && stmt.iter().any(|t| t.is("="));
+    if !is_let {
+        // Temporary guard: dies at the end of the statement (or of the
+        // enclosing argument list, whichever closes first).
+        let mut depth = 0i32;
+        let mut k = lock_tok + 1;
+        while k < bend {
+            match toks[k].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                }
+                ";" if depth == 0 => return k,
+                _ => {}
+            }
+            k += 1;
+        }
+        return bend;
+    }
+    // Let-bound guard: held to the end of the enclosing block, or to an
+    // explicit `drop(guard)`.
+    let guard: Option<&str> = stmt
+        .iter()
+        .position(|t| t.is("="))
+        .and_then(|eq| {
+            stmt[..eq]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
+        })
+        .map(|t| t.text.as_str());
+    let mut depth = 0i32;
+    let mut k = lock_tok + 1;
+    while k < bend {
+        match toks[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            "drop"
+                if toks.get(k + 1).is_some_and(|t| t.is("("))
+                    && guard.is_some()
+                    && toks.get(k + 2).map(|t| t.text.as_str()) == guard
+                    && toks.get(k + 3).is_some_and(|t| t.is(")")) =>
+            {
+                return k;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    bend
+}
+
+/// Token index of the call named `name` on `line` (used to anchor call
+/// sites back into hold ranges).
+fn call_tok_near(toks: &[Tok], line: u32, name: &str) -> Option<usize> {
+    toks.iter()
+        .position(|t| t.line == line && t.kind == TokKind::Ident && t.text == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        run(&Workspace::from_sources(&[("fix.rs", src)]))
+    }
+
+    #[test]
+    fn identity_normalises_index_and_self() {
+        let f = crate::parse::SourceFile::new(
+            "t.rs".into(),
+            "fixture".into(),
+            "fn f(&self) { self.inboxes[dst].0.lock(); }",
+        );
+        let lock = f.toks.iter().position(|t| t.text == "lock").unwrap();
+        assert_eq!(lock_identity(&f.toks, lock), "inboxes[_].0");
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_flagged() {
+        let d = diags(
+            "
+            fn forward(a: &Port, b: &Port) {
+                let ga = a.east.lock().unwrap();
+                let gb = b.west.lock().unwrap();
+                drop(gb); drop(ga);
+            }
+            fn backward(a: &Port, b: &Port) {
+                let gb = b.west.lock().unwrap();
+                let ga = a.east.lock().unwrap();
+                drop(ga); drop(gb);
+            }
+            ",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, "lock.cycle");
+        assert!(d[0].message.contains("east"));
+        assert!(d[0].message.contains("west"));
+    }
+
+    #[test]
+    fn nested_same_class_is_a_self_cycle() {
+        let d = diags(
+            "
+            fn hop(&self, src: usize, dst: usize) {
+                let held = self.ports[src].lock().unwrap();
+                let peer = self.ports[dst].lock().unwrap();
+                drop(peer); drop(held);
+            }
+            ",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ports[_]"));
+    }
+
+    #[test]
+    fn temporary_guard_does_not_hold_across_statements() {
+        let d = diags(
+            "
+            fn f(a: &M, b: &M) {
+                a.x.lock().unwrap().push(1);
+                b.y.lock().unwrap().push(2);
+            }
+            fn g(a: &M, b: &M) {
+                b.y.lock().unwrap().push(1);
+                a.x.lock().unwrap().push(2);
+            }
+            ",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn drop_releases_before_second_acquire() {
+        let d = diags(
+            "
+            fn f(a: &M, b: &M) {
+                let ga = a.x.lock().unwrap();
+                drop(ga);
+                let gb = b.y.lock().unwrap();
+                drop(gb);
+            }
+            fn g(a: &M, b: &M) {
+                let gb = b.y.lock().unwrap();
+                drop(gb);
+                let ga = a.x.lock().unwrap();
+                drop(ga);
+            }
+            ",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_helper() {
+        let d = diags(
+            "
+            impl Node {
+                fn outer(&self) {
+                    let g = self.east.lock().unwrap();
+                    self.helper();
+                    drop(g);
+                }
+                fn helper(&self) {
+                    let g = self.west.lock().unwrap();
+                    self.closer();
+                    drop(g);
+                }
+                fn closer(&self) {
+                    let g = self.east.lock().unwrap();
+                    drop(g);
+                }
+            }
+            ",
+        );
+        assert!(!d.is_empty(), "{d:?}");
+        assert!(d[0].message.contains("east"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Structured diagnostics and the `LINT_report.json` emitter.
+//!
+//! The JSON schema is stable (`"schema": 1`): tools downstream (CI
+//! artifact consumers, the xtask gate) key off `clean`, `diagnostics[]`
+//! and the annotation counters, so fields are only ever *added*.
+
+use std::fmt::Write as _;
+
+/// One finding of one pass, anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which pass produced this (`alloc-reachability`, `lock-order`,
+    /// `time-arith`, `determinism`).
+    pub pass: &'static str,
+    /// Stable machine code (`alloc.transitive`, `det.wallclock`, ...).
+    pub code: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the anchor token.
+    pub line: u32,
+    /// Function the finding is inside (display name), if any.
+    pub function: String,
+    pub message: String,
+    /// Supporting detail: call paths, cycle edges, related sites.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}:{}: [{}] {} (in `{}`)",
+            self.file, self.line, self.code, self.message, self.function
+        );
+        for n in &self.notes {
+            s.push_str("\n    note: ");
+            s.push_str(n);
+        }
+        s
+    }
+}
+
+/// The full analyzer result for one run over a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of `tcc_no_alloc` annotations seen (the xtask baseline
+    /// guard fails if this ever drops below the migrated count).
+    pub no_alloc_annotations: usize,
+    /// Count of `tcc_alloc_ok` escape hatches seen.
+    pub alloc_ok_annotations: usize,
+    pub files_scanned: usize,
+    pub functions_indexed: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics produced by `pass`.
+    pub fn by_pass<'a>(&'a self, pass: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diagnostics.iter().filter(move |d| d.pass == pass)
+    }
+
+    /// Serialize to the stable `LINT_report.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"tool\": \"tcc-analyze\",\n");
+        s.push_str(
+            "  \"passes\": [\"alloc-reachability\", \"lock-order\", \"time-arith\", \"determinism\"],\n",
+        );
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"functions_indexed\": {},", self.functions_indexed);
+        let _ = writeln!(
+            s,
+            "  \"no_alloc_annotations\": {},",
+            self.no_alloc_annotations
+        );
+        let _ = writeln!(
+            s,
+            "  \"alloc_ok_annotations\": {},",
+            self.alloc_ok_annotations
+        );
+        let _ = writeln!(s, "  \"clean\": {},", self.clean());
+        s.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            let _ = write!(s, "\"pass\": \"{}\", ", esc(d.pass));
+            let _ = write!(s, "\"code\": \"{}\", ", esc(&d.code));
+            let _ = write!(s, "\"file\": \"{}\", ", esc(&d.file));
+            let _ = write!(s, "\"line\": {}, ", d.line);
+            let _ = write!(s, "\"function\": \"{}\", ", esc(&d.function));
+            let _ = write!(s, "\"message\": \"{}\", ", esc(&d.message));
+            s.push_str("\"notes\": [");
+            for (j, n) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\"", esc(n));
+            }
+            s.push_str("]}");
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_schema_stable() {
+        let mut r = Report {
+            no_alloc_annotations: 21,
+            ..Report::default()
+        };
+        r.diagnostics.push(Diagnostic {
+            pass: "time-arith",
+            code: "time.raw-add".into(),
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            function: "f".into(),
+            message: "raw `+` on \"picosecond\" value".into(),
+            notes: vec!["use saturating_add".into()],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\"no_alloc_annotations\": 21"));
+        assert!(j.contains("raw `+` on \\\"picosecond\\\" value"));
+        // Keys the gate depends on must never disappear.
+        for key in [
+            "\"pass\"",
+            "\"code\"",
+            "\"file\"",
+            "\"line\"",
+            "\"function\"",
+            "\"message\"",
+            "\"notes\"",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.clean());
+        assert!(r.to_json().contains("\"diagnostics\": []"));
+    }
+}

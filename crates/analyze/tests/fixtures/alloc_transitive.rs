@@ -1,0 +1,24 @@
+//! Fixture: a hot function whose own body is clean but which reaches an
+//! allocation through a local helper. The pre-analyzer `cargo xtask lint`
+//! substring scan only looked at the annotated function's body, so this
+//! shape regressed silently; the call-graph pass must flag it.
+
+pub struct SendQueue {
+    depth: usize,
+    scratch: [u8; 64],
+}
+
+impl SendQueue {
+    /// Hot path: body contains no allocating construct at all.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    pub fn issue(&mut self, len: usize) -> usize {
+        self.depth += 1;
+        self.stage(len)
+    }
+
+    /// The helper the substring scan never looked at.
+    fn stage(&mut self, len: usize) -> usize {
+        let shadow = self.scratch[..len].to_vec();
+        shadow.len()
+    }
+}

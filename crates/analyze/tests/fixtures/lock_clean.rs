@@ -1,0 +1,27 @@
+//! Fixture: the current engine's locking discipline. Every mailbox guard
+//! is either a single-statement temporary (released at the semicolon) or
+//! dropped before the next acquisition, so the may-hold-while-acquiring
+//! graph has no cycle even though both orders appear textually.
+
+use std::sync::Mutex;
+
+pub struct Shards {
+    inboxes: Vec<Mutex<Vec<u64>>>,
+}
+
+impl Shards {
+    pub fn send_arrive(&self, dst: usize, ev: u64) {
+        // Temporary guard: dead by the end of the statement.
+        self.inboxes[dst].lock().unwrap().push(ev);
+    }
+
+    pub fn drain_inbox(&self, src: usize, dst: usize) {
+        let mut moved = Vec::new();
+        {
+            let mut guard = self.inboxes[src].lock().unwrap();
+            std::mem::swap(&mut moved, &mut guard);
+        }
+        // The source guard's block has closed; this is not held-under.
+        self.inboxes[dst].lock().unwrap().extend(moved);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: the pre-PR-4 coherent-crossbar locking shape. `route` held a
+//! per-port mailbox guard while taking the directory lock; `invalidate`
+//! took them in the opposite order. Two threads running one of each
+//! deadlock. PR 4's engine replaced this with single-statement temporary
+//! guards (never holding one mailbox while taking another), which the
+//! companion `lock_clean` fixture mirrors.
+
+use std::sync::Mutex;
+
+pub struct Crossbar {
+    ports: Mutex<Vec<u64>>,
+    directory: Mutex<Vec<u32>>,
+}
+
+impl Crossbar {
+    pub fn route(&self, pkt: u64) {
+        let mut port = self.ports.lock().unwrap();
+        // Directory acquired while the port guard is still live.
+        let dir = self.directory.lock().unwrap();
+        port.push(pkt + dir.len() as u64);
+    }
+
+    pub fn invalidate(&self, line: u32) {
+        let mut dir = self.directory.lock().unwrap();
+        // Reverse order: port acquired under the directory guard.
+        let port = self.ports.lock().unwrap();
+        dir.push(line + port.len() as u32);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: the three determinism bans. A simulation that reads wallclock,
+//! iterates a `HashMap`, or seeds randomness from entropy produces runs
+//! that cannot be replayed — the PDES engine's conservative synchrony
+//! proof assumes identical per-shard event orders across reruns.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Router {
+    pub routes: HashMap<u32, u32>,
+}
+
+impl Router {
+    /// Wallclock read inside simulation code: flagged.
+    pub fn stamp(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Hash-order iteration decides tie-breaks: flagged.
+    pub fn first_hop(&self) -> u32 {
+        let mut best = 0;
+        for (_, hop) in self.routes.iter() {
+            best = best.max(*hop);
+        }
+        best
+    }
+
+    /// Entropy-seeded randomness: flagged. (A `seed_from_u64` stream
+    /// would be fine — replayable from the recorded seed.)
+    pub fn jitter(&self) -> u64 {
+        let r: u64 = rand::random();
+        r
+    }
+}

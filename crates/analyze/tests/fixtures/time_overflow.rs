@@ -1,0 +1,34 @@
+//! Fixture: unchecked arithmetic on picosecond values. `SimTime::MAX` is
+//! the legal "never" sentinel, so a raw `+` on `.0`/`.picos()` wraps to a
+//! small timestamp and silently reorders the event queue. Every operator
+//! here must be flagged; the `checked_`/`saturating_` forms and the
+//! newtype `impl Add` are the blessed alternatives.
+
+pub struct SimTime(pub u64);
+pub struct Duration(pub u64);
+
+impl SimTime {
+    pub fn picos(&self) -> u64 {
+        self.0
+    }
+
+    /// Raw add on the inner picosecond counter: flagged.
+    pub fn bump(&self, d: &Duration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+/// Raw multiply on a `.picos()` chain: flagged.
+pub fn scale(t: &SimTime, factor: u64) -> u64 {
+    t.picos() * factor
+}
+
+/// Raw subtract between two time-typed values: flagged.
+pub fn gap(a: &SimTime, b: &SimTime) -> u64 {
+    a.picos() - b.picos()
+}
+
+/// The blessed forms: no diagnostics.
+pub fn safe(t: &SimTime, d: &Duration) -> SimTime {
+    SimTime(t.picos().saturating_add(d.0).min(u64::MAX))
+}

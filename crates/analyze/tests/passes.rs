@@ -1,0 +1,172 @@
+//! Fixture tests: every pass must (a) flag its fixture — each diagnostic
+//! code in this suite is pinned by a file that exists to trip it — and
+//! (b) find the real workspace clean. The legacy-scan regression test
+//! additionally proves the analyzer is strictly stronger than the
+//! substring scan it replaced.
+
+use std::path::Path;
+use tcc_analyze::{alloc, determinism, locks, run_all, timearith, Workspace};
+
+const ALLOC_TRANSITIVE: &str = include_str!("fixtures/alloc_transitive.rs");
+const LOCK_CYCLE: &str = include_str!("fixtures/lock_cycle.rs");
+const LOCK_CLEAN: &str = include_str!("fixtures/lock_clean.rs");
+const TIME_OVERFLOW: &str = include_str!("fixtures/time_overflow.rs");
+const NONDETERMINISM: &str = include_str!("fixtures/nondeterminism.rs");
+
+fn ws(name: &str, src: &str) -> Workspace {
+    Workspace::from_sources(&[(name, src)])
+}
+
+#[test]
+fn alloc_pass_catches_transitive_allocation() {
+    let d = alloc::run(&ws("alloc_transitive.rs", ALLOC_TRANSITIVE));
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "alloc.transitive");
+    assert_eq!(d[0].function, "SendQueue::issue");
+    assert!(
+        d[0].notes
+            .iter()
+            .any(|n| n.contains("SendQueue::issue -> SendQueue::stage")),
+        "diagnostic must name the call path: {:#?}",
+        d[0].notes
+    );
+}
+
+/// The scan `cargo xtask lint` ran before this crate existed: extract the
+/// annotated function's body by brace counting, then substring-match
+/// allocation patterns. Reproduced here byte-for-byte in miniature to pin
+/// the regression: it finds NOTHING in a hot function that allocates
+/// through a helper, while the call-graph pass does.
+#[test]
+fn legacy_substring_scan_misses_what_the_graph_pass_catches() {
+    const ALLOC_PATTERNS: &[&str] = &[
+        "Vec::new(",
+        "vec![",
+        "with_capacity(",
+        ".to_vec(",
+        "Box::new(",
+        ".collect(",
+        "format!(",
+        ".to_string(",
+        "String::new(",
+        "String::from(",
+    ];
+    fn function_body<'a>(text: &'a str, func: &str) -> Option<&'a str> {
+        let at = text.find(func)?;
+        let open = at + text[at..].find('{')?;
+        let mut depth = 0usize;
+        for (i, ch) in text[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&text[open..open + i + 1]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    let body = function_body(ALLOC_TRANSITIVE, "fn issue").expect("hot fn present");
+    let legacy_hits: Vec<&&str> = ALLOC_PATTERNS
+        .iter()
+        .filter(|p| {
+            body.lines()
+                .map(|l| l.split("//").next().unwrap_or(""))
+                .any(|code| code.contains(**p))
+        })
+        .collect();
+    assert!(
+        legacy_hits.is_empty(),
+        "the legacy scan must stay blind to the helper for this regression \
+         test to mean anything, but it matched {legacy_hits:?}"
+    );
+
+    let d = alloc::run(&ws("alloc_transitive.rs", ALLOC_TRANSITIVE));
+    assert_eq!(d.len(), 1, "the graph pass sees through the helper: {d:#?}");
+    assert_eq!(d[0].code, "alloc.transitive");
+}
+
+#[test]
+fn lock_pass_flags_the_pre_pr4_crossbar_cycle() {
+    let d = locks::run(&ws("lock_cycle.rs", LOCK_CYCLE));
+    assert!(!d.is_empty(), "reverse-order holds must cycle");
+    assert!(d.iter().all(|x| x.code == "lock.cycle"), "{d:#?}");
+    let rendered = format!("{d:#?}");
+    assert!(
+        rendered.contains("ports") && rendered.contains("directory"),
+        "cycle report names both locks: {rendered}"
+    );
+}
+
+#[test]
+fn lock_pass_accepts_the_current_engine_discipline() {
+    let d = locks::run(&ws("lock_clean.rs", LOCK_CLEAN));
+    assert!(
+        d.is_empty(),
+        "temporary and block-scoped guards must not cycle: {d:#?}"
+    );
+}
+
+#[test]
+fn time_pass_flags_each_raw_operator_and_blesses_saturating_forms() {
+    let d = timearith::run(&ws("time_overflow.rs", TIME_OVERFLOW));
+    let codes: Vec<&str> = d.iter().map(|x| x.code.as_str()).collect();
+    assert!(codes.contains(&"time.raw-add"), "{d:#?}");
+    assert!(codes.contains(&"time.raw-mul"), "{d:#?}");
+    assert!(codes.contains(&"time.raw-sub"), "{d:#?}");
+    assert!(
+        !d.iter().any(|x| x.function == "safe"),
+        "saturating/min chains are blessed: {d:#?}"
+    );
+}
+
+#[test]
+fn determinism_pass_flags_wallclock_hash_iteration_and_entropy() {
+    let d = determinism::run(&ws("nondeterminism.rs", NONDETERMINISM));
+    let codes: Vec<&str> = d.iter().map(|x| x.code.as_str()).collect();
+    assert!(codes.contains(&"det.wallclock"), "{d:#?}");
+    assert!(codes.contains(&"det.hashmap-iter"), "{d:#?}");
+    assert!(codes.contains(&"det.randomness"), "{d:#?}");
+}
+
+/// The real workspace passes every gate. This is the test that makes the
+/// fixtures honest: the passes fire on the fixtures above and stay quiet
+/// on ~90 production files, so they discriminate rather than spam.
+#[test]
+fn workspace_is_clean_under_all_four_passes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("analyze lives two levels below the workspace root");
+    let ws = Workspace::load_root(root).expect("load workspace sources");
+    let report = run_all(&ws);
+    assert!(
+        report.clean(),
+        "workspace must be diagnostic-free:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.no_alloc_annotations >= 21,
+        "the 21 PR-1 hot functions must keep their tcc_no_alloc annotations \
+         (found {})",
+        report.no_alloc_annotations
+    );
+    assert!(report.files_scanned >= 80, "{}", report.files_scanned);
+    // The engine's mailbox discipline specifically: scanned, and clean.
+    assert!(
+        ws.files
+            .iter()
+            .any(|f| f.path == "crates/core/src/engine.rs"),
+        "engine must be in scope for the lock pass"
+    );
+    assert_eq!(report.by_pass("lock-order").count(), 0);
+}

@@ -342,6 +342,7 @@ impl ShardRun<'_> {
     /// locally into our own queue, or into the peer shard's mailbox
     /// (applied at the next epoch barrier — sound because the arrival is
     /// at least one lookahead past the current horizon's base).
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn send_arrive(&mut self, at: SimTime, node: usize, link: LinkId, packet: Packet) {
         let dst = node / self.procs;
         if dst == self.shard.id as usize {
@@ -364,6 +365,7 @@ impl ShardRun<'_> {
     /// Apply every event other shards mailed us since the last barrier.
     /// Swaps the inbox Vec with a retained scratch buffer, so the steady
     /// state moves events without allocating.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn drain_inbox(&mut self) {
         let mut scratch = std::mem::take(&mut self.shard.inscratch);
         {
@@ -381,6 +383,7 @@ impl ShardRun<'_> {
 
     /// Handle every queued event strictly below `horizon`, in key order.
     /// Returns the number handled.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn run_epoch(&mut self, horizon: SimTime) -> u64 {
         let mut handled = 0u64;
         while let Some((key, ev)) = self.shard.queue.pop_keyed_before(horizon) {
@@ -441,6 +444,7 @@ impl ShardRun<'_> {
     /// arrival per delivery. A delivery whose provenance names an input
     /// link releases that input port's buffer (hold-until-forwarded),
     /// serialised through the node's receive bridge.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn pump_port(&mut self, now: SimTime, node: usize, link: LinkId) {
         let ln = node - self.shard.base;
         let mut out = std::mem::take(&mut self.shard.dels);
@@ -482,6 +486,7 @@ impl ShardRun<'_> {
     /// a buffer, and route it — commit locally, forward out another link,
     /// or (for a NOP) release the credits it carries and wake blocked
     /// transmitters.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn on_arrive(&mut self, key: EventKey, node: usize, link: LinkId, packet: Packet) {
         let now = key.at;
         let ln = node - self.shard.base;
@@ -1362,6 +1367,24 @@ fn booted_pair_engine_with(
 mod tests {
     use super::*;
     use tcc_ht::link::LinkConfig;
+
+    #[test]
+    fn drain_scheduling_saturates_at_the_never_sentinel() {
+        // `schedule_drain` advances the per-node drain clock with
+        // `start + self.drain`; that `+` is the blessed SimTime/Duration
+        // operator, which saturates so SimTime::MAX ("never") stays
+        // absorbing instead of wrapping the drain-free clock into the
+        // past. Exercise exactly the arithmetic the scheduler performs.
+        let drain = DEFAULT_DRAIN;
+        let start = SimTime::MAX.max(SimTime(123));
+        assert_eq!(start + drain, SimTime::MAX);
+        // A near-MAX clock saturates rather than wrapping below `now`.
+        let near = SimTime(u64::MAX - 1) + drain;
+        assert_eq!(near, SimTime::MAX);
+        assert!(near >= SimTime(u64::MAX - 1));
+        // The epoch-horizon guard arithmetic survives the sentinel too.
+        assert_eq!(SimTime::MAX + Duration(1_000), SimTime::MAX);
+    }
 
     #[test]
     fn closed_loop_delivers_everything() {

@@ -304,7 +304,7 @@ impl SimCluster {
             // Idle gap before the next iteration lets queues drain.
             t = got_a + Duration::from_nanos(500);
         }
-        Duration(total.picos() / (2 * iters as u64))
+        Duration(total.picos() / (iters as u64).saturating_mul(2))
     }
 
     /// Paper Fig. 6: sender-side streaming bandwidth in MB/s for

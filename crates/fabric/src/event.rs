@@ -301,6 +301,7 @@ impl<E> CalendarQueue<E> {
     /// Insert under `key`. Amortised O(1): a bucket index computation and
     /// an append; the occupancy-triggered `resize` is the only non-hot
     /// step and recycles bucket storage.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn insert(&mut self, key: EventKey, event: E) {
         // An event earlier than the cursor's day (legal: ties with the
         // current instant, or a sharded merge delivering work at the
@@ -329,6 +330,7 @@ impl<E> CalendarQueue<E> {
     /// at most one year (each day's events can only live in its own
     /// bucket, so the first day with an event holds the minimum), falling
     /// back to a direct sweep for sparse far-future populations.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn find_min(&self) -> Option<(usize, usize)> {
         if self.count == 0 {
             return None;
@@ -387,6 +389,7 @@ impl<E> CalendarQueue<E> {
     /// Pop the minimum only if it fires strictly before `limit`; the
     /// cursor stays put on a refusal and the hint stays live, so the next
     /// call is O(1) (the gap is at most one epoch's lookahead band).
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
         let (b, i) = self.find_min_cached()?;
         if self.buckets[b][i].0.at >= limit {
@@ -430,6 +433,7 @@ impl<E> CalendarQueue<E> {
     /// re-derived from the observed event spread, re-hashing every
     /// pending event. Amortised against the pushes/pops that triggered
     /// it; bucket storage is recycled through `spare`.
+    #[cfg_attr(lint, tcc_alloc_ok)]
     fn resize(&mut self, nb: usize) {
         debug_assert!(nb.is_power_of_two());
         self.min_hint = None; // every entry is about to be re-hashed
@@ -444,9 +448,12 @@ impl<E> CalendarQueue<E> {
                 lo = lo.min(k.at.0);
                 hi = hi.max(k.at.0);
             }
-            let spread = (hi - lo).max(1);
+            // `hi`/`lo` span the full u64 picosecond range (SimTime::MAX
+            // is a legal "never" key), so the spread and its doubling
+            // must saturate rather than wrap.
+            let spread = hi.saturating_sub(lo).max(1);
             // width ≈ 2 * spread / count, clamped to [2^6, 2^40] ps.
-            let target = (2 * spread / self.count as u64).max(1);
+            let target = (spread.saturating_mul(2) / self.count as u64).max(1);
             self.width_shift = (63 - target.leading_zeros()).clamp(6, 40);
         }
         let mut old = std::mem::take(&mut self.buckets);
@@ -529,6 +536,34 @@ mod tests {
             assert_eq!(q.pop_keyed().unwrap().1, "a");
             assert_eq!(q.pop_keyed().unwrap().1, "b");
             assert_eq!(q.pop_keyed().unwrap().1, "c");
+        }
+    }
+
+    #[test]
+    fn near_max_keys_survive_resize_churn() {
+        // The width-adaptation in `CalendarQueue::resize` measures the
+        // key spread; with "never"-adjacent keys (SimTime::MAX) in the
+        // population the spread spans nearly the whole u64 range and the
+        // old `2 * spread` doubling wrapped. Mixing near-zero and
+        // near-MAX keys through enough inserts to force resizes must
+        // still drain in exact order.
+        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..64u64 {
+                q.schedule_at(SimTime(i), i);
+                q.schedule_at(SimTime(u64::MAX - i), u64::MAX - i);
+            }
+            let mut prev = None;
+            let mut n = 0;
+            while let Some((at, v)) = q.pop() {
+                assert_eq!(at.picos(), v, "{backend:?}");
+                if let Some(p) = prev {
+                    assert!(at.picos() > p, "{backend:?}: {p} then {}", at.picos());
+                }
+                prev = Some(at.picos());
+                n += 1;
+            }
+            assert_eq!(n, 128, "{backend:?}");
         }
     }
 

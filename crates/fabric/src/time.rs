@@ -65,17 +65,17 @@ impl Duration {
 
     #[inline]
     pub const fn from_nanos(ns: u64) -> Duration {
-        Duration(ns * 1_000)
+        Duration(ns.saturating_mul(1_000))
     }
 
     #[inline]
     pub const fn from_micros(us: u64) -> Duration {
-        Duration(us * 1_000_000)
+        Duration(us.saturating_mul(1_000_000))
     }
 
     #[inline]
     pub const fn from_millis(ms: u64) -> Duration {
-        Duration(ms * 1_000_000_000)
+        Duration(ms.saturating_mul(1_000_000_000))
     }
 
     #[inline]
@@ -115,18 +115,21 @@ impl Duration {
     }
 }
 
+// The `+` impls saturate: `SimTime::MAX` is the "never" sentinel, and
+// saturation keeps it absorbing — "never" plus any delay is still
+// "never" — instead of wrapping into the distant past in release builds.
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<Duration> for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -135,7 +138,7 @@ impl Sub<SimTime> for SimTime {
     #[inline]
     fn sub(self, rhs: SimTime) -> Duration {
         debug_assert!(self.0 >= rhs.0, "negative sim-time difference");
-        Duration(self.0 - rhs.0)
+        Duration(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -143,14 +146,14 @@ impl Add for Duration {
     type Output = Duration;
     #[inline]
     fn add(self, rhs: Duration) -> Duration {
-        Duration(self.0 + rhs.0)
+        Duration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Duration {
     #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -228,5 +231,32 @@ mod tests {
         let b = SimTime(9);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn never_stays_never() {
+        // SimTime::MAX is the "never" sentinel: adding any delay must
+        // saturate rather than wrap into the past.
+        assert_eq!(SimTime::MAX + Duration::from_millis(1), SimTime::MAX);
+        let mut t = SimTime::MAX;
+        t += Duration(1);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(SimTime::MAX + Duration(u64::MAX), SimTime::MAX);
+    }
+
+    #[test]
+    fn duration_addition_saturates() {
+        assert_eq!(Duration(u64::MAX) + Duration(1), Duration(u64::MAX));
+        let mut d = Duration(u64::MAX - 1);
+        d += Duration(5);
+        assert_eq!(d, Duration(u64::MAX));
+    }
+
+    #[test]
+    fn conversions_saturate_instead_of_wrapping() {
+        assert_eq!(Duration::from_nanos(u64::MAX).picos(), u64::MAX);
+        assert_eq!(Duration::from_micros(u64::MAX).picos(), u64::MAX);
+        assert_eq!(Duration::from_millis(u64::MAX).picos(), u64::MAX);
+        assert_eq!(Duration::from_millis(1).picos(), 1_000_000_000);
     }
 }

@@ -118,8 +118,10 @@ impl Trace {
         self.dropped
     }
 
-    /// All records whose message contains `needle`, in order.
-    pub fn find(&self, needle: &str) -> Vec<&Record> {
+    /// All records whose message contains `needle`, in order. (Named
+    /// `grep` rather than `find` so name-based call-graph resolution in
+    /// tcc-analyze never confuses it with `Iterator::find`.)
+    pub fn grep(&self, needle: &str) -> Vec<&Record> {
         self.records
             .iter()
             .filter(|r| r.what.contains(needle) || r.source.contains(needle))
@@ -199,9 +201,9 @@ mod tests {
         t.log(SimTime(1), "node0.nb", "route programmed");
         t.log(SimTime(2), "node1.nb", "route programmed");
         t.log(SimTime(3), "node0.core", "sfence");
-        assert_eq!(t.find("route").len(), 2);
-        assert_eq!(t.find("node0").len(), 2);
-        assert_eq!(t.find("sfence").len(), 1);
+        assert_eq!(t.grep("route").len(), 2);
+        assert_eq!(t.grep("node0").len(), 2);
+        assert_eq!(t.grep("sfence").len(), 1);
     }
 
     #[test]

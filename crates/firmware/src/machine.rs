@@ -204,6 +204,11 @@ impl Platform {
 
     /// Rebuild the forwarding cache from the current wires and endpoint
     /// states. Untrained or unwired ports stay `None`.
+    ///
+    /// `tcc_alloc_ok`: runs only when the cache was invalidated by a
+    /// topology change (link train/untrain) — never in the per-packet
+    /// propagate loop, which hits the prebuilt cache.
+    #[cfg_attr(lint, tcc_alloc_ok)]
     fn rebuild_route_cache(&mut self) {
         self.route_cache = vec![[None; 4]; self.nodes.len()];
         for w in &self.wires {
@@ -318,6 +323,7 @@ impl Platform {
     /// and appends every DRAM commit that resulted to `commits`; both
     /// buffers are caller-owned so the hot path reuses them without
     /// allocating.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn propagate(
         &mut self,
         from_node: usize,

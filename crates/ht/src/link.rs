@@ -169,6 +169,7 @@ impl LinkTx {
     /// VC queue is empty and credits admit the packet, it goes straight
     /// to the wire without the queue round-trip; the transfer order (and
     /// therefore all timing) is identical to `enqueue` + `pump_into`.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn send_into(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Delivery>) {
         if self.queues.iter().all(|q| q.is_empty()) && self.credits.can_send(&pkt) {
             self.credits.consume(&pkt).expect("checked can_send");
@@ -182,6 +183,7 @@ impl LinkTx {
     /// Like [`pump`](Self::pump), but appends into a caller-provided
     /// scratch vector — the store-issue hot path reuses one per node so
     /// pumping allocates nothing in steady state.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn pump_into(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
         loop {
             let mut sent_any = false;

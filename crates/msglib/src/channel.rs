@@ -267,6 +267,7 @@ impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
     }
 
     /// Blocking send. Uses exponential backoff while out of credit.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn send(&mut self, msg: &[u8]) -> Result<(), SendError> {
         let mut backoff = crate::window::Backoff::new();
         loop {
@@ -339,6 +340,7 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
 
     /// Blocking receive into a caller-provided buffer. Returns the
     /// message length. Uses exponential backoff while idle.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn recv_into(&mut self, out: &mut Vec<u8>) -> usize {
         let mut backoff = crate::window::Backoff::new();
         loop {

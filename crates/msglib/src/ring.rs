@@ -156,6 +156,7 @@ impl<R: RemoteWindow, L: LocalWindow> RingSender<R, L> {
     }
 
     /// Blocking send: exponential backoff while waiting on credit.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn send(&mut self, msg: &[u8]) -> Result<(), RingError> {
         let mut backoff = crate::window::Backoff::new();
         loop {
@@ -268,6 +269,7 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
 
     /// Spin until a message arrives, delivering into `out`. Returns the
     /// message length. Uses exponential backoff while idle.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn recv_into(&mut self, out: &mut Vec<u8>) -> usize {
         let mut backoff = crate::window::Backoff::new();
         loop {

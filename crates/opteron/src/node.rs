@@ -224,6 +224,7 @@ impl Node {
 
     /// Time by which the issue stage may run ahead of the absorption
     /// stage — the store queue's worth of buffering.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn sq_headroom(&mut self) -> Duration {
         let bytes = (self.params.srq_entries * self.params.wc_buffer_bytes) as u64;
         let rate = self.params.absorb_bytes_per_sec;
@@ -244,6 +245,7 @@ impl Node {
     /// store queue) is where a streaming loop chains its next store, while
     /// downstream stages (WC flush → absorption → northbridge → wire)
     /// proceed concurrently, each modelled by a busy-tracking channel.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn store(
         &mut self,
         now: SimTime,
@@ -310,6 +312,7 @@ impl Node {
     /// `sfence`: drain WC buffers, wait for all previously flushed stores
     /// to be accepted downstream, pay the serialisation cost, and return
     /// when the core may proceed.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn sfence(&mut self, now: SimTime, sink: &mut ActionSink) -> StoreOutcome {
         let mut drained = std::mem::take(&mut self.flush_scratch);
         drained.clear();
@@ -339,6 +342,7 @@ impl Node {
     /// A message with `len == 0` still issues one (empty) cell so the
     /// header store happens — a zero-length eager message is a real
     /// message.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn store_burst(
         &mut self,
         now: SimTime,
@@ -397,6 +401,7 @@ impl Node {
     /// Turn one WC flush into packets/commits. Returns the retire time —
     /// when the absorption stage accepted the data; the packet cuts
     /// through to the northbridge at absorption *start*.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn emit_flush(&mut self, at: SimTime, flush: &Flush, sink: &mut ActionSink) -> SimTime {
         self.emit_runs(
             at,
@@ -409,6 +414,7 @@ impl Node {
 
     /// Absorption-stage accounting shared by WC flushes and UC stores.
     /// `bytes` must equal the total length of `runs`.
+    #[cfg_attr(lint, tcc_no_alloc)]
     fn emit_runs<'a>(
         &mut self,
         at: SimTime,

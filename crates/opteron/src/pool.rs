@@ -42,6 +42,12 @@ impl PayloadPool {
 
     /// Copy `data` into a recycled slab (or a new one if every slab is
     /// still referenced by an in-flight packet) and return it as `Bytes`.
+    ///
+    /// `tcc_alloc_ok`: growing the pool is the amortized fallback when
+    /// every slab is in flight — steady-state traffic recycles slabs and
+    /// never reaches the `with_capacity` below (`grown` counts the
+    /// exceptions, and the simspeed harness asserts they stay rare).
+    #[cfg_attr(lint, tcc_alloc_ok)]
     pub fn alloc(&mut self, data: &[u8]) -> Bytes {
         self.served += 1;
         let n = self.slots.len();

@@ -4,63 +4,31 @@
 //! 1. **forbid-unsafe** — every non-bench crate's `lib.rs` must carry
 //!    `#![forbid(unsafe_code)]` (the bench crate is exempt: its counting
 //!    global allocator needs `unsafe impl GlobalAlloc`).
-//! 2. **hot-path-alloc** — the functions PR 1 made allocation-free stay
-//!    allocation-free *at the source level*: their bodies may not contain
-//!    `Vec::new`, `vec![`, `with_capacity`, `to_vec`, `Box::new`,
-//!    `collect()`, `format!` or `to_string`. This catches regressions at
-//!    review time instead of waiting for the counting-allocator test.
+//! 2. **tcc-analyze** — the four AST-level passes (alloc-reachability,
+//!    lock-order, time-arith, determinism; see `docs/static-analysis.md`).
+//!    This replaced the old HOT_FUNCTIONS substring scan: hot functions
+//!    now carry `#[cfg_attr(lint, tcc_no_alloc)]` in-place, the analyzer
+//!    checks them *transitively*, and a baseline guard fails the gate if
+//!    annotations are ever deleted instead of migrated.
 //! 3. **clippy** — `cargo clippy --workspace --all-targets -- -D warnings`,
 //!    which also promotes the `clippy.toml` disallowed-methods (wallclock
 //!    reads outside the bench harness) to hard errors.
 //!
-//! `cargo xtask lint --no-clippy` runs only the source scans (fast, no
-//! compilation).
+//! Every run writes `LINT_report.json` (schema-stable, uploaded as a CI
+//! artifact). `--no-clippy` skips step 3 (fast, no compilation); `--json`
+//! prints the report to stdout instead of human-readable diagnostics;
+//! `--quiet` suppresses per-diagnostic output and prints only the verdict.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-/// Functions whose bodies must stay allocation-free at the source level.
-/// (file relative to the workspace root, function name)
-const HOT_FUNCTIONS: &[(&str, &str)] = &[
-    ("crates/opteron/src/node.rs", "fn store"),
-    ("crates/opteron/src/node.rs", "fn store_burst"),
-    ("crates/opteron/src/node.rs", "fn sfence"),
-    ("crates/opteron/src/node.rs", "fn emit_flush"),
-    ("crates/opteron/src/node.rs", "fn emit_runs"),
-    ("crates/opteron/src/node.rs", "fn sq_headroom"),
-    ("crates/firmware/src/machine.rs", "fn propagate"),
-    ("crates/ht/src/link.rs", "fn send_into"),
-    ("crates/ht/src/link.rs", "fn pump_into"),
-    ("crates/core/src/engine.rs", "fn pump_port"),
-    ("crates/core/src/engine.rs", "fn on_arrive"),
-    ("crates/core/src/engine.rs", "fn drain_inbox"),
-    ("crates/core/src/engine.rs", "fn send_arrive"),
-    ("crates/core/src/engine.rs", "fn run_epoch"),
-    ("crates/fabric/src/event.rs", "fn insert"),
-    ("crates/fabric/src/event.rs", "fn find_min"),
-    ("crates/fabric/src/event.rs", "fn pop_before"),
-    ("crates/msglib/src/ring.rs", "fn send"),
-    ("crates/msglib/src/ring.rs", "fn recv_into"),
-    ("crates/msglib/src/channel.rs", "fn send"),
-    ("crates/msglib/src/channel.rs", "fn recv_into"),
-];
-
-/// Substrings that indicate a heap allocation (or an allocation-returning
-/// conversion) inside a hot function body.
-const ALLOC_PATTERNS: &[&str] = &[
-    "Vec::new(",
-    "vec![",
-    "with_capacity(",
-    ".to_vec(",
-    "Box::new(",
-    ".collect(",
-    "format!(",
-    ".to_string(",
-    "String::new(",
-    "String::from(",
-];
+/// The number of `#[cfg_attr(lint, tcc_no_alloc)]` annotations the
+/// workspace carried when the old HOT_FUNCTIONS table (21 entries) was
+/// migrated to in-place attributes. The count may only grow: a drop means
+/// someone deleted an annotation rather than migrating it.
+const NO_ALLOC_BASELINE: usize = 21;
 
 /// Crates exempt from `#![forbid(unsafe_code)]`: bench installs a counting
 /// `GlobalAlloc` for the zero-allocation regression tests.
@@ -71,32 +39,54 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str);
     match cmd {
         Some("lint") => {
-            let clippy = !args.iter().any(|a| a == "--no-clippy");
-            lint(clippy)
+            let opts = Opts {
+                clippy: !args.iter().any(|a| a == "--no-clippy"),
+                json: args.iter().any(|a| a == "--json"),
+                quiet: args.iter().any(|a| a == "--quiet"),
+            };
+            lint(&opts)
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--no-clippy]");
+            eprintln!("usage: cargo xtask lint [--no-clippy] [--json] [--quiet]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint(run_clippy: bool) -> ExitCode {
-    let root = workspace_root();
-    let mut failures = Vec::new();
-    failures.extend(check_forbid_unsafe(&root));
-    failures.extend(check_hot_path_allocs(&root));
+struct Opts {
+    clippy: bool,
+    json: bool,
+    quiet: bool,
+}
 
-    if failures.is_empty() {
-        println!("xtask lint: forbid-unsafe ok, hot-path-alloc ok");
-    } else {
-        for f in &failures {
+fn lint(opts: &Opts) -> ExitCode {
+    let root = workspace_root();
+    let mut failed = false;
+
+    let unsafe_failures = check_forbid_unsafe(&root);
+    if !unsafe_failures.is_empty() {
+        for f in &unsafe_failures {
             eprintln!("xtask lint: {f}");
         }
-        return ExitCode::FAILURE;
+        failed = true;
     }
 
-    if run_clippy {
+    match run_analyzer(&root, opts) {
+        Ok(clean) => failed |= !clean,
+        Err(e) => {
+            eprintln!("xtask lint: analyzer failed: {e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    if !opts.json && !opts.quiet {
+        println!("xtask lint: forbid-unsafe ok, tcc-analyze ok");
+    }
+
+    if opts.clippy {
         let status = Command::new(env!("CARGO"))
             .current_dir(&root)
             .args([
@@ -113,9 +103,51 @@ fn lint(run_clippy: bool) -> ExitCode {
             eprintln!("xtask lint: clippy failed");
             return ExitCode::FAILURE;
         }
-        println!("xtask lint: clippy ok");
+        if !opts.json && !opts.quiet {
+            println!("xtask lint: clippy ok");
+        }
+    }
+    if opts.quiet && !opts.json {
+        println!("xtask lint: ok");
     }
     ExitCode::SUCCESS
+}
+
+/// Run the four tcc-analyze passes, write `LINT_report.json` at the
+/// workspace root, enforce the annotation baseline. Returns Ok(clean).
+fn run_analyzer(root: &Path, opts: &Opts) -> Result<bool, String> {
+    let ws = tcc_analyze::Workspace::load_root(root).map_err(|e| e.to_string())?;
+    let report = tcc_analyze::run_all(&ws);
+
+    let json = report.to_json();
+    std::fs::write(root.join("LINT_report.json"), &json)
+        .map_err(|e| format!("write LINT_report.json: {e}"))?;
+    if opts.json {
+        print!("{json}");
+    }
+
+    let mut clean = report.clean();
+    if !clean && !opts.json && !opts.quiet {
+        for d in &report.diagnostics {
+            eprintln!("xtask lint: {}", d.render());
+        }
+    }
+    if report.no_alloc_annotations < NO_ALLOC_BASELINE {
+        eprintln!(
+            "xtask lint: tcc_no_alloc annotation count dropped below baseline \
+             ({} < {NO_ALLOC_BASELINE}) — hot-path annotations must be migrated, \
+             not deleted (docs/static-analysis.md)",
+            report.no_alloc_annotations
+        );
+        clean = false;
+    }
+    if !clean && !opts.json {
+        eprintln!(
+            "xtask lint: tcc-analyze found {} diagnostic(s); see LINT_report.json",
+            report.diagnostics.len()
+        );
+    }
+    Ok(clean)
 }
 
 fn workspace_root() -> PathBuf {
@@ -157,126 +189,51 @@ fn check_forbid_unsafe(root: &Path) -> Vec<String> {
     out
 }
 
-fn check_hot_path_allocs(root: &Path) -> Vec<String> {
-    let mut out = Vec::new();
-    for &(file, func) in HOT_FUNCTIONS {
-        let path = root.join(file);
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {file}: {e}"));
-        match function_body(&text, func) {
-            Some((start_line, body)) => {
-                for (off, line) in body.lines().enumerate() {
-                    let code = strip_comment(line);
-                    for pat in ALLOC_PATTERNS {
-                        if code.contains(pat) {
-                            out.push(format!(
-                                "{file}:{}: `{pat}` inside hot function `{func}` \
-                                 (see docs/hot-path.md)",
-                                start_line + off
-                            ));
-                        }
-                    }
-                }
-            }
-            None => out.push(format!(
-                "{file}: hot function `{func}` not found — update xtask's HOT_FUNCTIONS"
-            )),
-        }
-    }
-    out
-}
-
-fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-/// Extract the body of the first function whose signature line contains
-/// `func` as a word-bounded match, by brace counting from its opening
-/// brace. Returns (1-based line of the signature, body text).
-fn function_body<'a>(text: &'a str, func: &str) -> Option<(usize, &'a str)> {
-    let mut search_from = 0;
-    loop {
-        let rel = text[search_from..].find(func)?;
-        let at = search_from + rel;
-        // Word-bounded on the right: `fn store` must not match `fn store_burst`.
-        let after = text[at + func.len()..].chars().next();
-        if !matches!(after, Some('(') | Some('<') | Some(' ')) {
-            search_from = at + func.len();
-            continue;
-        }
-        let sig_line = text[..at].lines().count();
-        let open = at + text[at..].find('{')?;
-        let mut depth = 0usize;
-        for (i, ch) in text[open..].char_indices() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some((sig_line, &text[open..open + i + 1]));
-                    }
-                }
-                _ => {}
-            }
-        }
-        return None;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    const SAMPLE: &str = "\
-impl Foo {
-    pub fn store(&mut self) -> u32 {
-        let x = { 1 + 2 };
-        x
-    }
-
-    pub fn store_burst(&mut self) {
-        let v = Vec::new();
-        drop(v);
-    }
-}
-";
-
-    #[test]
-    fn body_extraction_is_word_bounded() {
-        let (line, body) = function_body(SAMPLE, "fn store").unwrap();
-        assert_eq!(line, 2);
-        assert!(body.contains("1 + 2"));
-        assert!(!body.contains("Vec::new"));
-    }
-
-    #[test]
-    fn nested_braces_are_balanced() {
-        let (_, body) = function_body(SAMPLE, "fn store_burst").unwrap();
-        assert!(body.contains("Vec::new"));
-        assert!(!body.contains("impl"));
-    }
-
-    #[test]
-    fn comments_do_not_trip_the_scan() {
-        assert_eq!(
-            strip_comment("let x = 1; // Vec::new( in a comment"),
-            "let x = 1; "
-        );
-    }
-
-    #[test]
-    fn workspace_hot_functions_are_present_and_clean() {
-        let root = workspace_root();
-        let failures = check_hot_path_allocs(&root);
-        assert!(failures.is_empty(), "{failures:#?}");
-    }
 
     #[test]
     fn workspace_crates_forbid_unsafe() {
         let root = workspace_root();
         let failures = check_forbid_unsafe(&root);
         assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn analyzer_gate_is_clean_and_annotations_hold_the_baseline() {
+        let root = workspace_root();
+        let ws = tcc_analyze::Workspace::load_root(&root).expect("load workspace");
+        let report = tcc_analyze::run_all(&ws);
+        assert!(
+            report.clean(),
+            "{}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.render())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            report.no_alloc_annotations >= NO_ALLOC_BASELINE,
+            "annotation count {} fell below the migrated baseline {NO_ALLOC_BASELINE}",
+            report.no_alloc_annotations
+        );
+    }
+
+    #[test]
+    fn report_json_has_the_gate_keys() {
+        let root = workspace_root();
+        let ws = tcc_analyze::Workspace::load_root(&root).expect("load workspace");
+        let json = tcc_analyze::run_all(&ws).to_json();
+        for key in [
+            "\"schema\": 1",
+            "\"clean\"",
+            "\"no_alloc_annotations\"",
+            "\"diagnostics\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
     }
 }

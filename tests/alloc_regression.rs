@@ -2,12 +2,18 @@
 //!
 //! A counting global allocator proves that steady-state message traffic
 //! performs no heap allocation at all — on the shm channel path (send +
-//! recv_into) and on the simulated store/propagate path. Both checks live
-//! in one test function because the allocation counter is process-global
-//! and the default test runner is multi-threaded.
+//! recv_into) and on the simulated store/propagate path.
+//!
+//! The counter is **thread-local**: the libtest harness's own threads
+//! (the main thread waiting on its event channel, timeout bookkeeping)
+//! allocate at unpredictable moments, and with a process-global counter
+//! those allocations raced into the measurement window often enough to
+//! make the test flaky. Only the measuring thread's allocations are the
+//! code under test. The slot is const-initialized, so reading it from
+//! inside the allocator cannot itself allocate or recurse.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use tcc_msglib::channel::{channel, CHANNEL_BYTES, CREDIT_BYTES};
 use tcc_msglib::shm::ShmMemory;
@@ -15,11 +21,19 @@ use tcc_msglib::SendMode;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // Allocations during TLS teardown (after the slot is destroyed) are
+    // not on any measured path; just stop counting them.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -28,7 +42,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -37,7 +51,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+    ALLOCS.with(|c| c.get())
 }
 
 #[test]

@@ -59,7 +59,7 @@ fn mesh_boot_every_pair_communicates() {
     // records the step.
     assert!(platform
         .trace
-        .find("verify-interrupt-containment")
+        .grep("verify-interrupt-containment")
         .len()
         .gt(&0));
 }
