@@ -1,8 +1,11 @@
 //! Fixture: the current engine's locking discipline. Every mailbox guard
 //! is either a single-statement temporary (released at the semicolon) or
 //! dropped before the next acquisition, so the may-hold-while-acquiring
-//! graph has no cycle even though both orders appear textually.
+//! graph has no cycle even though both orders appear textually. The
+//! batch-ring handoff shape (PR-6) adds `try_lock` slot guards scoped to
+//! a block with an atomic counter store after release — also clean.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub struct Shards {
@@ -23,5 +26,39 @@ impl Shards {
         }
         // The source guard's block has closed; this is not held-under.
         self.inboxes[dst].lock().unwrap().extend(moved);
+    }
+}
+
+/// The epoch-batched SPSC handoff ring: slot guards are `try_lock`
+/// temporaries scoped to a block, the head/tail counters are stored
+/// *after* the guard drops, and publish/take never hold two slots at
+/// once — no hold-while-acquiring edge exists.
+pub struct RingShards {
+    slots: Vec<Mutex<Vec<u64>>>,
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+impl RingShards {
+    pub fn publish(&self, staging: &mut Vec<u64>) {
+        let head = self.head.load(Ordering::Relaxed);
+        {
+            let mut slot = self.slots[head as usize % self.slots.len()]
+                .try_lock()
+                .expect("SPSC slot uncontended");
+            std::mem::swap(&mut *slot, staging);
+        }
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    pub fn take(&self, scratch: &mut Vec<u64>) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        {
+            let mut slot = self.slots[tail as usize % self.slots.len()]
+                .try_lock()
+                .expect("SPSC slot uncontended");
+            std::mem::swap(&mut *slot, scratch);
+        }
+        self.tail.store(tail + 1, Ordering::Release);
     }
 }

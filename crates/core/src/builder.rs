@@ -2,7 +2,7 @@
 //! a packet-level simulation ([`SimCluster`]) or as a threaded
 //! shared-memory emulation ([`ShmCluster`]).
 
-use crate::engine::{EngineKind, EngineOptions};
+use crate::engine::{EngineKind, EngineOptions, MailboxKind};
 use crate::shm_cluster::ShmCluster;
 use crate::sim::SimCluster;
 use tcc_fabric::event::QueueBackend;
@@ -108,11 +108,31 @@ impl TcclusterBuilder {
         self
     }
 
-    /// Event-queue backend for the event engine: the O(1) calendar queue
-    /// (default) or the `BinaryHeap` kept for differential testing.
+    /// Event-queue backend for the event engine: the ladder queue
+    /// (default), or the calendar queue / `BinaryHeap` kept for
+    /// differential testing.
     #[must_use]
     pub fn event_queue(mut self, backend: QueueBackend) -> Self {
         self.options.backend = backend;
+        self
+    }
+
+    /// Cross-shard mailbox implementation for the event engine: batched
+    /// SPSC rings (default) or the mutex mailbox kept for differential
+    /// testing. Results are bit-identical either way.
+    #[must_use]
+    pub fn event_mailbox(mut self, mailbox: MailboxKind) -> Self {
+        self.options.mailbox = mailbox;
+        self
+    }
+
+    /// Inject a monotonic nanosecond clock for the event engine's
+    /// per-stage attribution ([`EventEngine::stage_profile`]
+    /// (crate::EventEngine::stage_profile)). Off by default; attribution
+    /// runs pay two clock reads per event.
+    #[must_use]
+    pub fn event_profile_clock(mut self, clock: fn() -> u64) -> Self {
+        self.options.profile_clock = Some(clock);
         self
     }
 

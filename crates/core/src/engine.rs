@@ -69,6 +69,7 @@ use tcc_firmware::machine::{PacketEvent, Platform};
 use tcc_firmware::topology::{ClusterSpec, ClusterTopology, Port};
 use tcc_ht::link::{Delivery, LinkRx, LinkTx};
 use tcc_ht::packet::{Packet, VirtualChannel};
+use tcc_msglib::handoff::BatchRing;
 use tcc_opteron::node::{DeliverOutcome, Node};
 use tcc_opteron::regs::{LinkId, LINKS_PER_NODE};
 use tcc_opteron::{Disposition, Source};
@@ -83,17 +84,56 @@ pub enum EngineKind {
     EventDriven,
 }
 
+/// How cross-shard events move between PDES workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MailboxKind {
+    /// Epoch-batched SPSC [`BatchRing`]s, one per (sender → receiver)
+    /// shard pair with a cut wire: senders stage events locally and
+    /// publish the whole batch once per epoch — no per-event locking.
+    #[default]
+    Ring,
+    /// The original per-receiver `Mutex<Vec>` mailbox, locked per event.
+    /// Kept as the differential-testing reference for the ring path.
+    Mutex,
+}
+
+impl MailboxKind {
+    /// Every mailbox kind, for differential tests and benches.
+    pub const ALL: [MailboxKind; 2] = [MailboxKind::Ring, MailboxKind::Mutex];
+
+    /// Short stable name (bench JSON keys, test labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            MailboxKind::Ring => "ring",
+            MailboxKind::Mutex => "mutex",
+        }
+    }
+}
+
 /// Tuning knobs for the event engine's executive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// No `PartialEq`: the profile clock is a function pointer, and function
+/// pointer identity is not stable across codegen units.
+#[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
     /// Worker threads for the sharded conservative-PDES executive. One
     /// shard per supernode; threads beyond the shard count are clamped.
     /// `1` runs the same epoch algorithm inline (no spawn, no barriers)
     /// and is the zero-allocation reference path.
     pub threads: usize,
-    /// Event-queue backend per shard (calendar queue by default; the
-    /// binary heap is kept for differential testing).
+    /// Event-queue backend per shard (ladder queue by default; calendar
+    /// and binary heap are kept for differential testing).
     pub backend: QueueBackend,
+    /// Cross-shard mailbox implementation (batched SPSC rings by
+    /// default; the mutex mailbox is kept for differential testing).
+    pub mailbox: MailboxKind,
+    /// Monotonic nanosecond clock for per-stage attribution
+    /// ([`EventEngine::stage_profile`]). `None` (the default) runs the
+    /// unconditional hot loop with zero instrumentation; benches inject
+    /// a clock for attribution runs. A function pointer — not a reading
+    /// of any wall clock by this crate — so the engine itself stays free
+    /// of nondeterminism sources.
+    pub profile_clock: Option<fn() -> u64>,
 }
 
 impl Default for EngineOptions {
@@ -101,7 +141,37 @@ impl Default for EngineOptions {
         EngineOptions {
             threads: 1,
             backend: QueueBackend::default(),
+            mailbox: MailboxKind::default(),
+            profile_clock: None,
         }
+    }
+}
+
+/// Wall-clock attribution of a profiled run, split over the three hot
+/// sections of the epoch loop. Only populated when
+/// [`EngineOptions::profile_clock`] is set; all zeros otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Nanoseconds inside event-queue pops (including refused
+    /// `pop_keyed_before` horizon probes).
+    pub queue_ns: u64,
+    /// Nanoseconds draining and publishing cross-shard mailboxes.
+    pub mailbox_ns: u64,
+    /// Nanoseconds executing event handlers (the model itself).
+    pub exec_ns: u64,
+    /// Events handled under profiling.
+    pub profiled_events: u64,
+    /// Shard-epochs run (one per shard per horizon round).
+    pub epochs: u64,
+}
+
+impl StageProfile {
+    fn merge(&mut self, other: StageProfile) {
+        self.queue_ns += other.queue_ns;
+        self.mailbox_ns += other.mailbox_ns;
+        self.exec_ns += other.exec_ns;
+        self.profiled_events += other.profiled_events;
+        self.epochs += other.epochs;
     }
 }
 
@@ -278,9 +348,20 @@ struct Shard {
     dels: Vec<Delivery>,
     /// Monitor records of this run (empty unless a monitor is mounted).
     monlog: Vec<MonRec>,
-    /// Double-buffer for inbox drains; capacity ping-pongs with the
-    /// inbox Vec so the steady state allocates nothing.
+    /// Double-buffer for mailbox drains; capacity ping-pongs with the
+    /// mailbox Vecs so the steady state allocates nothing.
     inscratch: Vec<(EventKey, FabricEvent)>,
+    /// Ring-mailbox staging, indexed by destination shard: cross-shard
+    /// sends accumulate here during an epoch and publish in one batch at
+    /// the barrier. Only `out_peers` entries are ever non-empty.
+    outbox: Vec<Vec<(EventKey, FabricEvent)>>,
+    /// Destination shards this shard has cut wires *to*, ascending.
+    out_peers: Vec<u32>,
+    /// Source shards with cut wires *into* this shard, ascending — the
+    /// drain order (order is cosmetic: queue insertion is key-ordered).
+    in_peers: Vec<u32>,
+    /// Per-stage attribution of this run (profiled runs only).
+    profile: StageProfile,
 }
 
 /// A shard's per-epoch mailbox: events other shards scheduled into it,
@@ -290,17 +371,38 @@ struct Shard {
 #[derive(Debug)]
 struct Inbox(Mutex<Vec<(EventKey, FabricEvent)>>);
 
+/// The cross-shard transport, in both flavours. The ring fabric is the
+/// default: `rings[src][dst]` exists iff some wire crosses from shard
+/// `src` to shard `dst`, and carries at most one batch per epoch
+/// (published before the epoch barrier, taken after it, with the barrier
+/// providing the happens-before edge). The mutex mailboxes are the
+/// reference implementation the determinism suite diffs against; they
+/// are always allocated (one lock per shard is negligible) so a single
+/// engine can be rebuilt onto either path.
+/// One epoch batch in flight from one shard to another.
+type EventRing = BatchRing<(EventKey, FabricEvent)>;
+
+#[derive(Debug)]
+struct Mailboxes {
+    kind: MailboxKind,
+    inboxes: Vec<Inbox>,
+    rings: Vec<Vec<Option<EventRing>>>,
+}
+
 /// One shard coupled to its slice of platform nodes for the duration of
 /// a run — the unit of work a PDES worker thread owns.
 struct ShardRun<'a> {
     shard: &'a mut Shard,
     /// This supernode's nodes, indexed node-locally.
     nodes: &'a mut [Node],
-    inboxes: &'a [Inbox],
+    mail: &'a Mailboxes,
     procs: usize,
     drain: Duration,
     /// Record monitor callbacks for post-run replay.
     record: bool,
+    /// Injected nanosecond clock for stage attribution, `None` on
+    /// unprofiled (hot) runs.
+    clock: Option<fn() -> u64>,
 }
 
 impl ShardRun<'_> {
@@ -339,72 +441,178 @@ impl ShardRun<'_> {
     }
 
     /// Route an `Arrive` to whichever shard owns the receiving node:
-    /// locally into our own queue, or into the peer shard's mailbox
-    /// (applied at the next epoch barrier — sound because the arrival is
-    /// at least one lookahead past the current horizon's base).
+    /// locally into our own queue, or toward the peer shard (applied at
+    /// the next epoch barrier — sound because the arrival is at least
+    /// one lookahead past the current horizon's base). On the ring path
+    /// a cross-shard send is a plain push onto this shard's private
+    /// staging buffer — no lock, no atomic; the whole buffer publishes
+    /// once at the epoch barrier (`publish_outboxes`).
     #[cfg_attr(lint, tcc_no_alloc)]
     fn send_arrive(&mut self, at: SimTime, node: usize, link: LinkId, packet: Packet) {
         let dst = node / self.procs;
         if dst == self.shard.id as usize {
             self.schedule(at, FabricEvent::Arrive { node, link, packet });
-        } else {
-            let key = EventKey {
-                at,
-                src: self.shard.id,
-                seq: self.shard.seq,
-            };
-            self.shard.seq += 1;
-            self.inboxes[dst]
+            return;
+        }
+        let key = EventKey {
+            at,
+            src: self.shard.id,
+            seq: self.shard.seq,
+        };
+        self.shard.seq += 1;
+        let ev = FabricEvent::Arrive { node, link, packet };
+        match self.mail.kind {
+            MailboxKind::Ring => self.shard.outbox[dst].push((key, ev)),
+            MailboxKind::Mutex => self.mail.inboxes[dst]
                 .0
                 .lock()
                 .expect("inbox poisoned")
-                .push((key, FabricEvent::Arrive { node, link, packet }));
+                .push((key, ev)),
         }
     }
 
-    /// Apply every event other shards mailed us since the last barrier.
-    /// Swaps the inbox Vec with a retained scratch buffer, so the steady
-    /// state moves events without allocating.
+    /// Publish every non-empty staging buffer into its pair ring — once
+    /// per epoch, before the B0 barrier (run_worker) or the end of the
+    /// epoch phase (run_inline). The epoch protocol guarantees at most
+    /// one batch in flight per pair, so a full ring is a protocol bug.
     #[cfg_attr(lint, tcc_no_alloc)]
-    fn drain_inbox(&mut self) {
-        let mut scratch = std::mem::take(&mut self.shard.inscratch);
-        {
-            let mut inbox = self.inboxes[self.shard.id as usize]
-                .0
-                .lock()
-                .expect("inbox poisoned");
-            std::mem::swap(&mut *inbox, &mut scratch);
+    fn publish_outboxes(&mut self) {
+        if self.mail.kind != MailboxKind::Ring {
+            return;
         }
-        for (key, ev) in scratch.drain(..) {
-            self.shard.queue.schedule_keyed(key, ev);
+        let src = self.shard.id as usize;
+        for i in 0..self.shard.out_peers.len() {
+            let dst = self.shard.out_peers[i] as usize;
+            let ring = self.mail.rings[src][dst]
+                .as_ref()
+                .expect("out_peers entries have rings");
+            assert!(
+                ring.publish(&mut self.shard.outbox[dst]),
+                "shard {src} -> {dst}: batch ring full (epoch protocol violated)"
+            );
+        }
+    }
+
+    /// Apply every event other shards mailed us since the last barrier:
+    /// take each in-peer's published batch (ring path) or swap out the
+    /// shared inbox (mutex path). Both paths recycle the shard's scratch
+    /// buffer, so the steady state moves events without allocating.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn drain_mail(&mut self) {
+        let mut scratch = std::mem::take(&mut self.shard.inscratch);
+        match self.mail.kind {
+            MailboxKind::Ring => {
+                let me = self.shard.id as usize;
+                for i in 0..self.shard.in_peers.len() {
+                    let src = self.shard.in_peers[i] as usize;
+                    let ring = self.mail.rings[src][me]
+                        .as_ref()
+                        .expect("in_peers entries have rings");
+                    while ring.take(&mut scratch) {
+                        for (key, ev) in scratch.drain(..) {
+                            self.shard.queue.schedule_keyed(key, ev);
+                        }
+                    }
+                }
+            }
+            MailboxKind::Mutex => {
+                {
+                    let mut inbox = self.mail.inboxes[self.shard.id as usize]
+                        .0
+                        .lock()
+                        .expect("inbox poisoned");
+                    std::mem::swap(&mut *inbox, &mut scratch);
+                }
+                for (key, ev) in scratch.drain(..) {
+                    self.shard.queue.schedule_keyed(key, ev);
+                }
+            }
         }
         self.shard.inscratch = scratch;
     }
 
+    /// [`drain_mail`](Self::drain_mail) + [`publish_outboxes`]
+    /// (Self::publish_outboxes), attributed to the mailbox stage when a
+    /// profile clock is injected.
+    fn drain_mail_timed(&mut self) {
+        match self.clock {
+            Some(clk) => {
+                let t0 = clk();
+                self.drain_mail();
+                self.shard.profile.mailbox_ns += clk().saturating_sub(t0);
+            }
+            None => self.drain_mail(),
+        }
+    }
+
+    fn publish_outboxes_timed(&mut self) {
+        match self.clock {
+            Some(clk) => {
+                let t0 = clk();
+                self.publish_outboxes();
+                self.shard.profile.mailbox_ns += clk().saturating_sub(t0);
+            }
+            None => self.publish_outboxes(),
+        }
+    }
+
+    /// Handle one popped event.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn dispatch(&mut self, key: EventKey, ev: FabricEvent) {
+        self.shard.now = key.at;
+        match ev {
+            FabricEvent::Pump { flow } => self.pump_flow(key.at, flow),
+            FabricEvent::Inject { node, link, packet } => {
+                self.on_inject(key.at, node, link, packet);
+            }
+            FabricEvent::Arrive { node, link, packet } => {
+                self.on_arrive(key, node, link, packet);
+            }
+            FabricEvent::Drained {
+                node,
+                link,
+                vc,
+                has_data,
+            } => self.on_drained(key.at, node, link, vc, has_data),
+        }
+    }
+
     /// Handle every queued event strictly below `horizon`, in key order.
-    /// Returns the number handled.
+    /// Returns the number handled. Dispatches to the instrumented twin
+    /// when a profile clock is injected; the hot path has no
+    /// instrumentation at all.
     #[cfg_attr(lint, tcc_no_alloc)]
     fn run_epoch(&mut self, horizon: SimTime) -> u64 {
+        self.shard.profile.epochs += 1;
+        if let Some(clk) = self.clock {
+            return self.run_epoch_profiled(horizon, clk);
+        }
         let mut handled = 0u64;
         while let Some((key, ev)) = self.shard.queue.pop_keyed_before(horizon) {
-            self.shard.now = key.at;
             handled += 1;
-            match ev {
-                FabricEvent::Pump { flow } => self.pump_flow(key.at, flow),
-                FabricEvent::Inject { node, link, packet } => {
-                    self.on_inject(key.at, node, link, packet);
-                }
-                FabricEvent::Arrive { node, link, packet } => {
-                    self.on_arrive(key, node, link, packet);
-                }
-                FabricEvent::Drained {
-                    node,
-                    link,
-                    vc,
-                    has_data,
-                } => self.on_drained(key.at, node, link, vc, has_data),
-            }
+            self.dispatch(key, ev);
         }
+        self.shard.events += handled;
+        handled
+    }
+
+    /// The profiled twin of [`run_epoch`](Self::run_epoch): two clock
+    /// reads per event split the loop into queue time and handler time.
+    /// Attribution runs pay that overhead; headline rates are measured
+    /// with profiling off.
+    fn run_epoch_profiled(&mut self, horizon: SimTime, clk: fn() -> u64) -> u64 {
+        let mut handled = 0u64;
+        loop {
+            let t0 = clk();
+            let popped = self.shard.queue.pop_keyed_before(horizon);
+            let t1 = clk();
+            self.shard.profile.queue_ns += t1.saturating_sub(t0);
+            let Some((key, ev)) = popped else { break };
+            handled += 1;
+            self.dispatch(key, ev);
+            self.shard.profile.exec_ns += clk().saturating_sub(t1);
+        }
+        self.shard.profile.profiled_events += handled;
         self.shard.events += handled;
         handled
     }
@@ -523,10 +731,20 @@ impl ShardRun<'_> {
                     .flows
                     .len();
                 for k in 0..n {
-                    let fi = self.shard.ports[ln][link.0 as usize]
+                    let port = self.shard.ports[ln][link.0 as usize]
                         .as_ref()
-                        .expect("port")
-                        .flows[k];
+                        .expect("port");
+                    // Once the transmit queue is full again the freed
+                    // credits are spoken for: no later flow can enqueue
+                    // (the queue caps at 4) or transmit (pump_flow's own
+                    // pump already drained whatever credits admitted),
+                    // so the remaining wakes would be pure no-ops. On
+                    // congested ports this turns an O(flows) fan-out per
+                    // credit NOP into O(queue slots).
+                    if port.tx.queued(VirtualChannel::Posted) >= 4 {
+                        break;
+                    }
+                    let fi = port.flows[k];
                     self.pump_flow(now, fi);
                 }
             }
@@ -651,7 +869,7 @@ fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
     loop {
         let mut min = u64::MAX;
         for run in runs.iter_mut() {
-            run.drain_inbox();
+            run.drain_mail_timed();
             if let Some(t) = run.shard.queue.peek_time() {
                 min = min.min(t.picos());
             }
@@ -686,9 +904,10 @@ fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
         let mut delta = 0u64;
         for run in runs.iter_mut() {
             delta += run.run_epoch(SimTime(horizon));
+            run.publish_outboxes_timed();
         }
         coord.events.fetch_add(delta, Ordering::Relaxed);
-        coord.barrier.wait(); // B0: epoch done, all sends mailed.
+        coord.barrier.wait(); // B0: epoch done, all sends mailed/published.
     }
 }
 
@@ -700,7 +919,7 @@ fn run_inline(runs: &mut [ShardRun<'_>], lookahead: Duration) -> bool {
     loop {
         let mut gmin = u64::MAX;
         for run in runs.iter_mut() {
-            run.drain_inbox();
+            run.drain_mail_timed();
             if let Some(t) = run.shard.queue.peek_time() {
                 gmin = gmin.min(t.picos());
             }
@@ -714,6 +933,7 @@ fn run_inline(runs: &mut [ShardRun<'_>], lookahead: Duration) -> bool {
         let horizon = SimTime(gmin.saturating_add(lookahead.picos()));
         for run in runs.iter_mut() {
             total += run.run_epoch(horizon);
+            run.publish_outboxes_timed();
         }
     }
 }
@@ -786,7 +1006,7 @@ fn replay_monitors(platform: &mut Platform, shards: &mut [Shard]) {
 #[derive(Debug)]
 pub struct EventEngine {
     shards: Vec<Shard>,
-    inboxes: Vec<Inbox>,
+    mail: Mailboxes,
     /// Global flow index → (shard, shard-local flow index), in
     /// registration order.
     flow_dir: Vec<(u32, u32)>,
@@ -801,6 +1021,9 @@ pub struct EventEngine {
     drain: Duration,
     threads: usize,
     backend: QueueBackend,
+    profile_clock: Option<fn() -> u64>,
+    /// Aggregated per-stage attribution across profiled runs.
+    profile: StageProfile,
     now: SimTime,
     events: u64,
 }
@@ -820,8 +1043,13 @@ impl EventEngine {
         let n = platform.nodes.len();
         let nshards = n / procs;
         let mut lookahead = Duration(u64::MAX);
+        // Which (src, dst) shard pairs have a cut wire — exactly the
+        // pairs that ever exchange cross-shard events (arrivals travel
+        // the wire's direction; credit NOPs travel the reverse wire,
+        // which is its own port and registers its own pair).
+        let mut wired = vec![vec![false; nshards]; nshards];
         let mut shards = Vec::with_capacity(nshards);
-        for sid in 0..nshards {
+        for (sid, wired_row) in wired.iter_mut().enumerate() {
             let base = sid * procs;
             let mut ports: Vec<[Option<PortState>; LINKS_PER_NODE]> =
                 (0..procs).map(|_| std::array::from_fn(|_| None)).collect();
@@ -835,6 +1063,7 @@ impl EventEngine {
                             .expect("trained wire has an active config");
                         if peer / procs != sid {
                             lookahead = lookahead.min(config.hop_latency);
+                            wired_row[peer / procs] = true;
                         }
                         let seed = 0x1000 | ((node as u64) << 4) | l as u64;
                         *slot = Some(PortState {
@@ -863,16 +1092,42 @@ impl EventEngine {
                 dels: Vec::new(),
                 monlog: Vec::new(),
                 inscratch: Vec::new(),
+                outbox: (0..nshards).map(|_| Vec::new()).collect(),
+                out_peers: Vec::new(),
+                in_peers: Vec::new(),
+                profile: StageProfile::default(),
             });
         }
+        for src in 0..nshards {
+            for dst in 0..nshards {
+                if wired[src][dst] {
+                    shards[src].out_peers.push(dst as u32);
+                    shards[dst].in_peers.push(src as u32);
+                }
+            }
+        }
+        let rings = match options.mailbox {
+            MailboxKind::Ring => (0..nshards)
+                .map(|src| {
+                    (0..nshards)
+                        .map(|dst| wired[src][dst].then(BatchRing::new))
+                        .collect()
+                })
+                .collect(),
+            MailboxKind::Mutex => Vec::new(),
+        };
         // A zero lookahead would make the horizon equal the minimum and
         // process nothing; one picosecond still admits the minimum event.
         let lookahead = Duration(lookahead.picos().max(1));
         EventEngine {
             shards,
-            inboxes: (0..nshards)
-                .map(|_| Inbox(Mutex::new(Vec::new())))
-                .collect(),
+            mail: Mailboxes {
+                kind: options.mailbox,
+                inboxes: (0..nshards)
+                    .map(|_| Inbox(Mutex::new(Vec::new())))
+                    .collect(),
+                rings,
+            },
             flow_dir: Vec::new(),
             commits_log: Vec::new(),
             win_next: vec![WIN_BASE; n],
@@ -882,6 +1137,8 @@ impl EventEngine {
             drain,
             threads: options.threads.max(1),
             backend: options.backend,
+            profile_clock: options.profile_clock,
+            profile: StageProfile::default(),
             now: SimTime::ZERO,
             events: 0,
         }
@@ -897,7 +1154,16 @@ impl EventEngine {
         EngineOptions {
             threads: self.threads,
             backend: self.backend,
+            mailbox: self.mail.kind,
+            profile_clock: self.profile_clock,
         }
+    }
+
+    /// Per-stage wall-clock attribution accumulated over profiled runs
+    /// (all zeros unless the engine was built with a
+    /// [`profile_clock`](EngineOptions::profile_clock)).
+    pub fn stage_profile(&self) -> StageProfile {
+        self.profile
     }
 
     /// The conservative synchronization lookahead (minimum hop latency
@@ -1049,7 +1315,8 @@ impl EventEngine {
         let drain = self.drain;
         let lookahead = self.lookahead;
         let threads = self.threads.min(self.shards.len()).max(1);
-        let inboxes = &self.inboxes;
+        let mail = &self.mail;
+        let clock = self.profile_clock;
         let mut runs: Vec<ShardRun<'_>> = self
             .shards
             .iter_mut()
@@ -1057,10 +1324,11 @@ impl EventEngine {
             .map(|(shard, nodes)| ShardRun {
                 shard,
                 nodes,
-                inboxes,
+                mail,
                 procs,
                 drain,
                 record,
+                clock,
             })
             .collect();
         let clean = if threads == 1 {
@@ -1078,6 +1346,8 @@ impl EventEngine {
             now = now.max(shard.now);
             self.events += shard.events;
             shard.events = 0;
+            self.profile.merge(shard.profile);
+            shard.profile = StageProfile::default();
             self.commits_log.append(&mut shard.commits);
         }
         self.now = now;
@@ -1527,13 +1797,20 @@ mod tests {
             )
         };
         let baseline = run(EngineOptions::default());
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
-            for threads in [1, 2, 4] {
-                let got = run(EngineOptions { threads, backend });
-                assert_eq!(
-                    got, baseline,
-                    "{backend:?} x {threads} threads diverged from sequential"
-                );
+        for backend in QueueBackend::ALL {
+            for mailbox in MailboxKind::ALL {
+                for threads in [1, 2, 4] {
+                    let got = run(EngineOptions {
+                        threads,
+                        backend,
+                        mailbox,
+                        ..EngineOptions::default()
+                    });
+                    assert_eq!(
+                        got, baseline,
+                        "{backend:?} x {mailbox:?} x {threads} threads diverged from sequential"
+                    );
+                }
             }
         }
     }

@@ -33,7 +33,8 @@ pub mod sim;
 
 pub use builder::TcclusterBuilder;
 pub use engine::{
-    EngineKind, EngineOptions, EventEngine, FlowReport, TrafficPattern, WorkloadReport,
+    EngineKind, EngineOptions, EventEngine, FlowReport, MailboxKind, StageProfile, TrafficPattern,
+    WorkloadReport,
 };
 pub use shm_cluster::{NodeCtx, ShmCluster};
 pub use sim::SimCluster;

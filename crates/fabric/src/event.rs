@@ -12,21 +12,41 @@
 //! `src = 0` and a queue-local sequence, which reduces to the classic
 //! `(time, seq)` FIFO-within-instant order.
 //!
-//! Two backends implement the same contract:
+//! # Arena-pooled storage
 //!
-//! * [`QueueBackend::Calendar`] (the default) — a Brown-style calendar
-//!   queue: events hash into `width`-picosecond buckets mod the bucket
-//!   count, dequeue scans the bucket of the current "day" for the minimum
-//!   key, and the structure resizes itself as the population grows or
-//!   shrinks. Fabric events cluster in a narrow band (wire
-//!   serialisation plus receiver drain, tens of nanoseconds), which is
-//!   exactly the access pattern calendar queues turn into O(1)
-//!   schedule/pop.
+//! Event payloads never move through the ordering structures. Every
+//! scheduled event is parked in a slab arena owned by the queue and
+//! addressed by a `u32` handle; the backends order bare
+//! `(EventKey, u32)` pairs — 32 bytes, `Copy`, no drop glue — so a heap
+//! sift or a bucket migration shuffles handles, not payloads. Slots are
+//! recycled through a free list, which keeps the steady state of a
+//! schedule/pop loop allocation-free (the `alloc_regression` suite
+//! counts).
+//!
+//! # Backends
+//!
+//! Three backends implement the same contract:
+//!
+//! * [`QueueBackend::Ladder`] (the default) — a two-tier ladder queue:
+//!   a *bottom* tier holds the imminent events sorted ascending behind a
+//!   head cursor (dequeue advances the cursor, O(1)), a *top* tier holds
+//!   everything past the bottom's horizon unsorted with an always-valid
+//!   minimum hint. Inserts into the bottom are a binary search plus a
+//!   short shift — and fabric events are overwhelmingly scheduled *later*
+//!   than everything pending, which appends them for free. When the
+//!   bottom drains, one sweep moves the next window of top events down
+//!   and sorts them, with the window width adapting to the observed
+//!   event density. `pop_keyed_before` is O(1) when it refuses: the
+//!   bottom tail / top hint answer without any scan.
+//! * [`QueueBackend::Calendar`] — a Brown-style calendar queue: events
+//!   hash into `width`-picosecond buckets mod the bucket count, dequeue
+//!   scans the bucket of the current "day" for the minimum key, and the
+//!   structure resizes itself as the population grows or shrinks. Kept
+//!   for differential testing and as the better structure should a
+//!   workload produce very large, uniformly banded populations.
 //! * [`QueueBackend::BinaryHeap`] — the original `BinaryHeap` engine,
-//!   kept behind a constructor for differential testing (the determinism
-//!   suite runs every workload on both backends and asserts bit-identical
-//!   results) and as a fallback should a pathological distribution defeat
-//!   the calendar's bucket adaptation.
+//!   kept as the canonical reference (the determinism suite runs every
+//!   workload on all backends and asserts bit-identical results).
 
 use crate::time::{Duration, SimTime};
 use std::cmp::Reverse;
@@ -48,25 +68,96 @@ pub struct EventKey {
 /// Which implementation backs an [`EventQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueBackend {
-    /// Calendar queue (O(1) amortised for banded event populations).
+    /// Two-tier ladder queue (O(1) pop, near-O(1) insert for the
+    /// schedule-soon pattern fabric engines produce).
     #[default]
+    Ladder,
+    /// Brown calendar queue (O(1) amortised for banded populations).
     Calendar,
     /// Binary heap (O(log n)); the differential-testing reference.
     BinaryHeap,
 }
 
+impl QueueBackend {
+    /// Every backend, for differential tests and benches.
+    pub const ALL: [QueueBackend; 3] = [
+        QueueBackend::Ladder,
+        QueueBackend::Calendar,
+        QueueBackend::BinaryHeap,
+    ];
+
+    /// Short stable name (bench JSON keys, test labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueBackend::Ladder => "ladder",
+            QueueBackend::Calendar => "calendar",
+            QueueBackend::BinaryHeap => "binary_heap",
+        }
+    }
+}
+
+/// Slab arena of parked event payloads: `u32` handles in, payloads out.
+/// Slots are `Option<E>` (taking leaves `None`) and recycle through a
+/// free list, so a steady-state schedule/pop loop touches no allocator.
+#[derive(Debug)]
+struct Arena<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> Arena<E> {
+    fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Park `event`, returning its handle.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn park(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.slots[h as usize].is_none());
+                self.slots[h as usize] = Some(event);
+                h
+            }
+            None => {
+                let h = u32::try_from(self.slots.len()).expect("arena capacity");
+                self.slots.push(Some(event));
+                h
+            }
+        }
+    }
+
+    /// Reclaim the payload behind `handle`; the slot returns to the free
+    /// list.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn take(&mut self, handle: u32) -> E {
+        let ev = self.slots[handle as usize]
+            .take()
+            .expect("arena slot occupied");
+        self.free.push(handle);
+        ev
+    }
+}
+
 /// A time-ordered queue of events of type `E`, generic over backend.
+/// Payloads live in the queue's [`Arena`]; the backend orders
+/// `(EventKey, u32)` handle pairs.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    inner: Inner<E>,
+    arena: Arena<E>,
+    inner: Inner,
     next_seq: u64,
     scheduled_total: u64,
 }
 
 #[derive(Debug)]
-enum Inner<E> {
-    Heap(HeapQueue<E>),
-    Calendar(CalendarQueue<E>),
+enum Inner {
+    Heap(HeapQueue),
+    Calendar(CalendarQueue),
+    Ladder(LadderQueue),
 }
 
 impl<E> Default for EventQueue<E> {
@@ -76,7 +167,7 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// A queue on the default backend (calendar).
+    /// A queue on the default backend (ladder).
     #[must_use]
     pub fn new() -> Self {
         Self::with_backend(QueueBackend::default())
@@ -93,8 +184,10 @@ impl<E> EventQueue<E> {
         let inner = match backend {
             QueueBackend::BinaryHeap => Inner::Heap(HeapQueue::new()),
             QueueBackend::Calendar => Inner::Calendar(CalendarQueue::new()),
+            QueueBackend::Ladder => Inner::Ladder(LadderQueue::new()),
         };
         EventQueue {
+            arena: Arena::new(),
             inner,
             next_seq: 0,
             scheduled_total: 0,
@@ -106,6 +199,7 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Inner::Heap(_) => QueueBackend::BinaryHeap,
             Inner::Calendar(_) => QueueBackend::Calendar,
+            Inner::Ladder(_) => QueueBackend::Ladder,
         }
     }
 
@@ -125,11 +219,14 @@ impl<E> EventQueue<E> {
     /// Schedule `event` under an explicit key. The sharded engine uses
     /// this to stamp events with `(shard, shard-local seq)` so merge
     /// order is deterministic across thread counts. Keys must be unique.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn schedule_keyed(&mut self, key: EventKey, event: E) {
         self.scheduled_total += 1;
+        let h = self.arena.park(event);
         match &mut self.inner {
-            Inner::Heap(q) => q.push(key, event),
-            Inner::Calendar(q) => q.insert(key, event),
+            Inner::Heap(q) => q.push(key, h),
+            Inner::Calendar(q) => q.insert(key, h),
+            Inner::Ladder(q) => q.insert(key, h),
         }
     }
 
@@ -140,35 +237,42 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event together with its full key.
     pub fn pop_keyed(&mut self) -> Option<(EventKey, E)> {
-        match &mut self.inner {
-            Inner::Heap(q) => q.pop(),
-            Inner::Calendar(q) => q.pop(),
-        }
+        let (key, h) = match &mut self.inner {
+            Inner::Heap(q) => q.pop()?,
+            Inner::Calendar(q) => q.pop()?,
+            Inner::Ladder(q) => q.pop()?,
+        };
+        Some((key, self.arena.take(h)))
     }
 
     /// Pop the earliest event only if it fires strictly before `limit` —
-    /// the epoch primitive of the sharded engine (one ordered scan per
-    /// call, nothing popped and re-pushed at the horizon).
+    /// the epoch primitive of the sharded engine. The refusal path is
+    /// O(1) on the ladder and memoised-O(1) on the calendar: when the
+    /// pending minimum already lies at or past the horizon the call
+    /// returns without scanning anything.
+    #[cfg_attr(lint, tcc_no_alloc)]
     pub fn pop_keyed_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
-        match &mut self.inner {
+        let (key, h) = match &mut self.inner {
             Inner::Heap(q) => {
                 if q.peek_key()?.at >= limit {
                     return None;
                 }
-                q.pop()
+                q.pop()?
             }
-            Inner::Calendar(q) => q.pop_before(limit),
-        }
+            Inner::Calendar(q) => q.pop_before(limit)?,
+            Inner::Ladder(q) => q.pop_before(limit)?,
+        };
+        Some((key, self.arena.take(h)))
     }
 
     /// Time of the earliest pending event. Takes `&mut self` so the
-    /// calendar backend can memoise the located minimum: the epoch
-    /// executive peeks every shard to publish its local bound, then pops
-    /// the same event — one bucket scan instead of two.
+    /// calendar backend can memoise the located minimum; the ladder and
+    /// heap answer from an always-valid hint without any scan.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         match &mut self.inner {
             Inner::Heap(q) => q.peek_key().map(|k| k.at),
             Inner::Calendar(q) => q.peek_key().map(|k| k.at),
+            Inner::Ladder(q) => q.peek_key().map(|k| k.at),
         }
     }
 
@@ -176,6 +280,7 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Inner::Heap(q) => q.len(),
             Inner::Calendar(q) => q.len(),
+            Inner::Ladder(q) => q.len(),
         }
     }
 
@@ -192,40 +297,23 @@ impl<E> EventQueue<E> {
 // ───────────────────────── binary-heap backend ─────────────────────────
 
 #[derive(Debug)]
-struct HeapQueue<E> {
-    heap: BinaryHeap<Reverse<(EventKey, usize)>>,
-    slots: Vec<Option<E>>,
-    free: Vec<usize>,
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(EventKey, u32)>>,
 }
 
-impl<E> HeapQueue<E> {
+impl HeapQueue {
     fn new() -> Self {
         HeapQueue {
             heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
         }
     }
 
-    fn push(&mut self, key: EventKey, event: E) {
-        let slot = match self.free.pop() {
-            Some(i) => {
-                self.slots[i] = Some(event);
-                i
-            }
-            None => {
-                self.slots.push(Some(event));
-                self.slots.len() - 1
-            }
-        };
-        self.heap.push(Reverse((key, slot)));
+    fn push(&mut self, key: EventKey, handle: u32) {
+        self.heap.push(Reverse((key, handle)));
     }
 
-    fn pop(&mut self) -> Option<(EventKey, E)> {
-        let Reverse((key, slot)) = self.heap.pop()?;
-        let ev = self.slots[slot].take().expect("event slot occupied");
-        self.free.push(slot);
-        Some((key, ev))
+    fn pop(&mut self) -> Option<(EventKey, u32)> {
+        self.heap.pop().map(|Reverse(kh)| kh)
     }
 
     fn peek_key(&self) -> Option<EventKey> {
@@ -237,10 +325,236 @@ impl<E> HeapQueue<E> {
     }
 }
 
+// ───────────────────────── ladder backend ──────────────────────────────
+
+/// Two-tier ladder queue over `(EventKey, u32)` handle pairs.
+///
+/// * `bottom` — every pending event with `at <= bot_end`, sorted
+///   **ascending** with a head cursor: the live events are
+///   `bottom[bot_head..]`, the minimum is `bottom[bot_head]`, and `pop`
+///   advances the cursor (O(1), no shifting). Inserts binary-search the
+///   live region; an event *later* than everything pending — the
+///   dominant pattern in a fabric hot loop, where each flow schedules
+///   its next hop at `now + Δ` while the rest of the window fires before
+///   it — is a plain `Vec::push`. The dead prefix is compacted away once
+///   it outweighs the live region, so cursor advance stays amortised
+///   O(1) in both time and space.
+/// * `top` — events with `at > bot_end`, unsorted, with `top_min`
+///   tracking the minimum key. `top_min` is maintained on insert (one
+///   compare) and re-derived during the refill sweep, so it is *always
+///   valid* — the lazy min-hint that lets the epoch executive bound a
+///   shard's next event time without touching bucket storage.
+///
+/// When `bottom` runs dry, `refill` advances `bot_end` to
+/// `top_min + width`, sweeps the qualifying events down in one pass and
+/// sorts them (each event is sorted exactly once on its way through the
+/// bottom). `width` adapts by feedback — halved when a sweep moves more
+/// than [`REFILL_HI`] events, doubled when it moves fewer than
+/// [`REFILL_LO`] — which keeps sweep cost and sort depth bounded for
+/// clustered *and* sparse populations without a rung hierarchy.
+#[derive(Debug)]
+struct LadderQueue {
+    /// Imminent events, ascending; live region is `bottom[bot_head..]`.
+    bottom: Vec<(EventKey, u32)>,
+    /// First live index into `bottom`; everything before it was popped.
+    bot_head: usize,
+    /// Far events (`at > bot_end`), unsorted.
+    top: Vec<(EventKey, u32)>,
+    /// Minimum key in `top`; `None` iff `top` is empty. Always valid.
+    top_min: Option<EventKey>,
+    /// Inclusive upper bound (picoseconds) of the bottom tier's window.
+    bot_end: u64,
+    /// Current refill window width in picoseconds.
+    width: u64,
+}
+
+/// Initial window: 2^14 ps ≈ 16 ns — the serialisation+drain band of one
+/// fabric hop, so fresh queues start near the adapted state.
+const INIT_LADDER_WIDTH: u64 = 1 << 14;
+/// Refill sizes outside [`REFILL_LO`], [`REFILL_HI`] retune the width.
+const REFILL_LO: usize = 8;
+const REFILL_HI: usize = 64;
+/// Width bounds: 2^6 ps .. 2^40 ps (the calendar uses the same clamp).
+const MIN_WIDTH: u64 = 1 << 6;
+const MAX_WIDTH: u64 = 1 << 40;
+/// Live-bottom length that triggers a spill back to the top tier.
+const SPILL_LEN: usize = 128;
+
+impl LadderQueue {
+    fn new() -> Self {
+        LadderQueue {
+            bottom: Vec::new(),
+            bot_head: 0,
+            top: Vec::new(),
+            top_min: None,
+            bot_end: 0,
+            width: INIT_LADDER_WIDTH,
+        }
+    }
+
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn insert(&mut self, key: EventKey, handle: u32) {
+        if self.bottom.is_empty() && self.top.is_empty() {
+            // Queue fully drained: re-anchor the window at the new event
+            // so a workload that jumped far ahead (or back) starts clean.
+            self.bot_end = key.at.0.saturating_add(self.width);
+            self.bottom.push((key, handle));
+            return;
+        }
+        if key.at.0 <= self.bot_end {
+            // Ascending order, append fast path first: an event later
+            // than everything live (the hot-loop common case) is a plain
+            // push. Otherwise binary-search the live region; events
+            // before `bottom[bot_head]` cannot exist (time flows
+            // forward), so the dead prefix never needs touching.
+            if self.bottom.last().is_none_or(|e| e.0 < key) {
+                self.bottom.push((key, handle));
+            } else {
+                let live = &self.bottom[self.bot_head..];
+                let idx = self.bot_head + live.partition_point(|e| e.0 < key);
+                self.bottom.insert(idx, (key, handle));
+            }
+            // A window that swallowed the whole population degenerates
+            // into a sorted vec with O(n) mid-inserts: spill the latest
+            // half back to the top and pull the window in (amortised
+            // O(1) — a spill of k events pays for k prior inserts). The
+            // boundary must sit between *distinct* times, else a future
+            // same-instant insert could land below a spilled key that
+            // precedes it in the total order.
+            if self.bottom.len() - self.bot_head > SPILL_LEN {
+                let mut keep = self.bot_head + (self.bottom.len() - self.bot_head) / 2;
+                while keep < self.bottom.len()
+                    && self.bottom[keep].0.at == self.bottom[keep - 1].0.at
+                {
+                    keep += 1;
+                }
+                if keep < self.bottom.len() {
+                    for &(k, h) in &self.bottom[keep..] {
+                        self.top.push((k, h));
+                        if self.top_min.is_none_or(|m| k < m) {
+                            self.top_min = Some(k);
+                        }
+                    }
+                    // The boundary search guarantees a strictly smaller
+                    // time before `keep`, so the spilled minimum is >= 1.
+                    self.bot_end = self.bottom[keep].0.at.0.saturating_sub(1);
+                    self.bottom.truncate(keep);
+                    self.width = (self.width / 2).max(MIN_WIDTH);
+                }
+            }
+        } else {
+            self.top.push((key, handle));
+            if self.top_min.is_none_or(|m| key < m) {
+                self.top_min = Some(key);
+            }
+        }
+    }
+
+    /// Move the next window of top events into the bottom and sort it.
+    /// Called only when the bottom is dry and the top is not.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn refill(&mut self) {
+        debug_assert!(self.bottom.is_empty() && !self.top.is_empty());
+        debug_assert_eq!(self.bot_head, 0);
+        let floor = self.top_min.expect("top_min valid while top nonempty");
+        self.bot_end = floor.at.0.saturating_add(self.width);
+        // One sweep: qualifying events move down (swap_remove keeps the
+        // sweep O(n)), the survivors' minimum is re-derived in place.
+        let mut new_min: Option<EventKey> = None;
+        let mut i = 0;
+        while i < self.top.len() {
+            let (k, h) = self.top[i];
+            if k.at.0 <= self.bot_end {
+                self.bottom.push((k, h));
+                self.top.swap_remove(i);
+            } else {
+                if new_min.is_none_or(|m| k < m) {
+                    new_min = Some(k);
+                }
+                i += 1;
+            }
+        }
+        self.top_min = new_min;
+        // Ascending: pops advance the head cursor in key order.
+        self.bottom.sort_unstable();
+        // Feedback width adaptation for the next sweep.
+        let moved = self.bottom.len();
+        if moved > REFILL_HI {
+            self.width = (self.width / 2).max(MIN_WIDTH);
+        } else if moved < REFILL_LO {
+            self.width = self.width.saturating_mul(2).min(MAX_WIDTH);
+        }
+        debug_assert!(moved > 0, "window starts at the top minimum");
+    }
+
+    /// Take the live minimum and advance the cursor. The dead prefix is
+    /// dropped when the live region empties (free) or when it outweighs
+    /// the live region (one compaction memmove, amortised O(1) per pop).
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn pop_live(&mut self) -> (EventKey, u32) {
+        let e = self.bottom[self.bot_head];
+        self.bot_head += 1;
+        if self.bot_head == self.bottom.len() {
+            self.bottom.clear();
+            self.bot_head = 0;
+        } else if self.bot_head >= 64 && self.bot_head * 2 >= self.bottom.len() {
+            self.bottom.drain(..self.bot_head);
+            self.bot_head = 0;
+        }
+        e
+    }
+
+    fn pop(&mut self) -> Option<(EventKey, u32)> {
+        if self.bottom.is_empty() {
+            if self.top.is_empty() {
+                return None;
+            }
+            self.refill();
+        }
+        Some(self.pop_live())
+    }
+
+    /// Pop the minimum only if it fires strictly before `limit`. The
+    /// refusal path never scans: the live head or the top hint decides
+    /// in one comparison.
+    #[cfg_attr(lint, tcc_no_alloc)]
+    fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, u32)> {
+        if let Some(&(k, _)) = self.bottom.get(self.bot_head) {
+            if k.at >= limit {
+                return None;
+            }
+            return Some(self.pop_live());
+        }
+        // Bottom dry: the top hint bounds the minimum from below, so a
+        // hint at/past the horizon refuses without sweeping.
+        if self.top_min.is_none_or(|m| m.at >= limit) {
+            return None;
+        }
+        self.refill();
+        match self.bottom.get(self.bot_head) {
+            Some(&(k, _)) if k.at < limit => Some(self.pop_live()),
+            _ => None,
+        }
+    }
+
+    fn peek_key(&self) -> Option<EventKey> {
+        match self.bottom.get(self.bot_head) {
+            Some(&(k, _)) => Some(k),
+            // The top minimum IS the queue minimum when the bottom is
+            // dry — no refill needed to answer a peek.
+            None => self.top_min,
+        }
+    }
+
+    fn len(&self) -> usize {
+        (self.bottom.len() - self.bot_head) + self.top.len()
+    }
+}
+
 // ───────────────────────── calendar backend ────────────────────────────
 
-/// A Brown calendar queue. Buckets are unsorted vectors of
-/// `(key, event)`; an event at time `t` lives in bucket
+/// A Brown calendar queue over `(EventKey, u32)` handle pairs. Buckets
+/// are unsorted vectors; an event at time `t` lives in bucket
 /// `(t / width) % nbuckets`. Dequeue walks buckets from the cursor,
 /// taking the minimum-key event whose time falls inside the bucket's
 /// current "day"; after scanning a full year without a hit it falls back
@@ -252,8 +566,8 @@ impl<E> HeapQueue<E> {
 /// bucket occupancy — and therefore schedule/pop cost — O(1) for the
 /// banded distributions discrete-event fabrics produce.
 #[derive(Debug)]
-struct CalendarQueue<E> {
-    buckets: Vec<Vec<(EventKey, E)>>,
+struct CalendarQueue {
+    buckets: Vec<Vec<(EventKey, u32)>>,
     /// Picoseconds per bucket (power of two, so the hash is a shift).
     width_shift: u32,
     /// `buckets.len() - 1`; bucket count is a power of two.
@@ -270,7 +584,7 @@ struct CalendarQueue<E> {
     min_hint: Option<(usize, usize)>,
     /// Spare bucket storage kept across resizes so steady-state churn
     /// allocates nothing.
-    spare: Vec<Vec<(EventKey, E)>>,
+    spare: Vec<Vec<(EventKey, u32)>>,
 }
 
 /// Initial bucket width: 2^12 ps ≈ 4 ns — the low edge of the wire
@@ -279,7 +593,7 @@ struct CalendarQueue<E> {
 const INIT_WIDTH_SHIFT: u32 = 12;
 const INIT_BUCKETS: usize = 16;
 
-impl<E> CalendarQueue<E> {
+impl CalendarQueue {
     fn new() -> Self {
         CalendarQueue {
             buckets: (0..INIT_BUCKETS).map(|_| Vec::new()).collect(),
@@ -302,7 +616,7 @@ impl<E> CalendarQueue<E> {
     /// an append; the occupancy-triggered `resize` is the only non-hot
     /// step and recycles bucket storage.
     #[cfg_attr(lint, tcc_no_alloc)]
-    fn insert(&mut self, key: EventKey, event: E) {
+    fn insert(&mut self, key: EventKey, handle: u32) {
         // An event earlier than the cursor's day (legal: ties with the
         // current instant, or a sharded merge delivering work at the
         // epoch floor) must rewind the cursor so dequeue sees it.
@@ -311,7 +625,7 @@ impl<E> CalendarQueue<E> {
             self.cursor = self.bucket_of(key.at);
         }
         let b = self.bucket_of(key.at);
-        self.buckets[b].push((key, event));
+        self.buckets[b].push((key, handle));
         // Bucket pushes never move existing entries, so a live hint stays
         // valid; it only changes hands if the new key is smaller (keys
         // are unique, so `<` suffices).
@@ -381,7 +695,7 @@ impl<E> CalendarQueue<E> {
         self.min_hint
     }
 
-    fn pop(&mut self) -> Option<(EventKey, E)> {
+    fn pop(&mut self) -> Option<(EventKey, u32)> {
         let (b, i) = self.find_min_cached()?;
         Some(self.commit_take(b, i))
     }
@@ -390,7 +704,7 @@ impl<E> CalendarQueue<E> {
     /// cursor stays put on a refusal and the hint stays live, so the next
     /// call is O(1) (the gap is at most one epoch's lookahead band).
     #[cfg_attr(lint, tcc_no_alloc)]
-    fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
+    fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, u32)> {
         let (b, i) = self.find_min_cached()?;
         if self.buckets[b][i].0.at >= limit {
             return None;
@@ -399,7 +713,7 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Advance the cursor to the popped key's day and remove it.
-    fn commit_take(&mut self, b: usize, i: usize) -> (EventKey, E) {
+    fn commit_take(&mut self, b: usize, i: usize) -> (EventKey, u32) {
         let at = self.buckets[b][i].0.at;
         self.day_start = (at.0 >> self.width_shift) << self.width_shift;
         self.cursor = self.bucket_of(at);
@@ -409,7 +723,7 @@ impl<E> CalendarQueue<E> {
     /// Remove entry `i` of bucket `b` (order inside a bucket is
     /// irrelevant, so `swap_remove`), shrinking the calendar if the
     /// population collapsed.
-    fn take(&mut self, b: usize, i: usize) -> (EventKey, E) {
+    fn take(&mut self, b: usize, i: usize) -> (EventKey, u32) {
         // `swap_remove` relocates the bucket's last entry, and the
         // minimum is gone either way: drop the hint.
         self.min_hint = None;
@@ -468,9 +782,9 @@ impl<E> CalendarQueue<E> {
             }
         }
         for mut bucket in old.drain(..) {
-            for (k, e) in bucket.drain(..) {
+            for (k, h) in bucket.drain(..) {
                 let b = self.bucket_of(k.at);
-                self.buckets[b].push((k, e));
+                self.buckets[b].push((k, h));
             }
             self.spare.push(bucket);
         }
@@ -486,7 +800,7 @@ mod tests {
 
     #[test]
     fn orders_by_time() {
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for backend in QueueBackend::ALL {
             let mut q = EventQueue::with_backend(backend);
             q.schedule_at(SimTime(30), "c");
             q.schedule_at(SimTime(10), "a");
@@ -501,7 +815,7 @@ mod tests {
 
     #[test]
     fn fifo_within_same_instant() {
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for backend in QueueBackend::ALL {
             let mut q = EventQueue::with_backend(backend);
             for i in 0..100 {
                 q.schedule_at(SimTime(5), i);
@@ -521,7 +835,7 @@ mod tests {
 
     #[test]
     fn keyed_order_is_time_src_seq() {
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for backend in QueueBackend::ALL {
             let mut q = EventQueue::with_backend(backend);
             let k = |at, src, seq| EventKey {
                 at: SimTime(at),
@@ -544,10 +858,11 @@ mod tests {
         // The width-adaptation in `CalendarQueue::resize` measures the
         // key spread; with "never"-adjacent keys (SimTime::MAX) in the
         // population the spread spans nearly the whole u64 range and the
-        // old `2 * spread` doubling wrapped. Mixing near-zero and
-        // near-MAX keys through enough inserts to force resizes must
-        // still drain in exact order.
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        // old `2 * spread` doubling wrapped. The ladder's window
+        // arithmetic must saturate the same way. Mixing near-zero and
+        // near-MAX keys through enough inserts to force restructuring
+        // must still drain in exact order.
+        for backend in QueueBackend::ALL {
             let mut q = EventQueue::with_backend(backend);
             for i in 0..64u64 {
                 q.schedule_at(SimTime(i), i);
@@ -568,24 +883,30 @@ mod tests {
     }
 
     #[test]
-    fn slot_reuse_keeps_len_bounded() {
-        let mut q = EventQueue::binary_heap();
-        for round in 0..10u64 {
-            for i in 0..64u64 {
-                q.schedule_at(SimTime(round * 100 + i), i);
+    fn arena_slot_reuse_keeps_storage_bounded() {
+        // Payload slots recycle through the free list: pushing and fully
+        // draining 64 events per round must never grow the arena past the
+        // high-water population, on any backend.
+        for backend in QueueBackend::ALL {
+            let mut q = EventQueue::with_backend(backend);
+            for round in 0..10u64 {
+                for i in 0..64u64 {
+                    q.schedule_at(SimTime(round * 100 + i), i);
+                }
+                while q.pop().is_some() {}
             }
-            while q.pop().is_some() {}
+            assert!(
+                q.arena.slots.len() <= 64,
+                "{backend:?}: arena grew to {}",
+                q.arena.slots.len()
+            );
+            assert_eq!(q.scheduled_total(), 640, "{backend:?}");
         }
-        match &q.inner {
-            Inner::Heap(h) => assert!(h.slots.len() <= 64, "slots grew to {}", h.slots.len()),
-            Inner::Calendar(_) => unreachable!(),
-        }
-        assert_eq!(q.scheduled_total(), 640);
     }
 
     #[test]
     fn interleaved_pop_and_schedule() {
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for backend in QueueBackend::ALL {
             let mut q = EventQueue::with_backend(backend);
             q.schedule_at(SimTime(1), 1u32);
             q.schedule_at(SimTime(3), 3);
@@ -598,45 +919,49 @@ mod tests {
     }
 
     #[test]
-    fn calendar_survives_resize_churn() {
-        let mut q = EventQueue::new();
-        // Push enough to force several doublings, then drain to force
-        // shrinks, with times spanning ns to ms so the width adapts.
-        let mut expect = Vec::new();
-        let mut x = 0x9E3779B97F4A7C15u64;
-        for i in 0..5_000u64 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            let at = x % 1_000_000_000; // 0..1 ms
-            q.schedule_at(SimTime(at), i);
-            expect.push((at, i));
+    fn survives_resize_churn() {
+        for backend in QueueBackend::ALL {
+            let mut q = EventQueue::with_backend(backend);
+            // Push enough to force several restructurings, then drain,
+            // with times spanning ns to ms so widths adapt.
+            let mut expect = Vec::new();
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..5_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let at = x % 1_000_000_000; // 0..1 ms
+                q.schedule_at(SimTime(at), i);
+                expect.push((at, i));
+            }
+            expect.sort();
+            let mut got = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                got.push((t.0, e));
+            }
+            assert_eq!(got, expect, "{backend:?}");
         }
-        expect.sort();
-        let mut got = Vec::new();
-        while let Some((t, e)) = q.pop() {
-            got.push((t.0, e));
-        }
-        assert_eq!(got, expect);
     }
 
     #[test]
-    fn calendar_handles_far_future_and_past_rewind() {
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime(1_000_000_000_000), "far"); // 1 s out
-        q.schedule_at(SimTime(10), "near");
-        assert_eq!(q.pop(), Some((SimTime(10), "near")));
-        // After the cursor advanced, a push behind it must still dequeue
-        // in order.
-        q.schedule_at(SimTime(20), "behind");
-        assert_eq!(q.pop(), Some((SimTime(20), "behind")));
-        assert_eq!(q.pop(), Some((SimTime(1_000_000_000_000), "far")));
-        assert_eq!(q.pop(), None);
+    fn handles_far_future_and_past_rewind() {
+        for backend in QueueBackend::ALL {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule_at(SimTime(1_000_000_000_000), "far"); // 1 s out
+            q.schedule_at(SimTime(10), "near");
+            assert_eq!(q.pop(), Some((SimTime(10), "near")), "{backend:?}");
+            // After the cursor advanced, a push behind it must still
+            // dequeue in order.
+            q.schedule_at(SimTime(20), "behind");
+            assert_eq!(q.pop(), Some((SimTime(20), "behind")));
+            assert_eq!(q.pop(), Some((SimTime(1_000_000_000_000), "far")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn pop_before_respects_the_horizon() {
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
+        for backend in QueueBackend::ALL {
             let mut q = EventQueue::with_backend(backend);
             q.schedule_at(SimTime(10), "a");
             q.schedule_at(SimTime(20), "b");
@@ -652,34 +977,92 @@ mod tests {
     }
 
     #[test]
+    fn pop_before_fast_refusal_leaves_top_untouched() {
+        // The ladder's whole point: a horizon below the pending minimum
+        // refuses via the hint without sweeping events into the bottom.
+        let mut q = EventQueue::with_backend(QueueBackend::Ladder);
+        // "near" seeds the bottom window; "far" lies past it → top tier.
+        q.schedule_at(SimTime(5), "near");
+        q.schedule_at(SimTime(1_000_000), "far");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop_keyed_before(SimTime(100)), None);
+        match &q.inner {
+            Inner::Ladder(l) => {
+                assert!(
+                    l.bottom.is_empty(),
+                    "refusal must not sweep the top down: {l:?}"
+                );
+                assert_eq!(l.top_min.map(|k| k.at), Some(SimTime(1_000_000)));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(q.pop_keyed_before(SimTime::MAX).unwrap().1, "far");
+    }
+
+    #[test]
+    fn dense_window_spills_to_top() {
+        // A population dense enough to sit entirely inside one bottom
+        // window must spill: the live region stays bounded (inserts keep
+        // their short-shift cost) and the drain order is still exact.
+        let mut q = EventQueue::with_backend(QueueBackend::Ladder);
+        for i in 0..512u64 {
+            // All within the initial 2^14 ps window, distinct times.
+            q.schedule_at(SimTime(1 + (i * 7) % 8000), i);
+        }
+        match &q.inner {
+            Inner::Ladder(l) => {
+                assert!(
+                    l.bottom.len() - l.bot_head <= SPILL_LEN + 1,
+                    "live bottom must stay capped: {} entries",
+                    l.bottom.len() - l.bot_head
+                );
+                assert!(!l.top.is_empty(), "the spill feeds the top tier");
+            }
+            _ => unreachable!(),
+        }
+        let mut prev = None;
+        for _ in 0..512 {
+            let (t, _) = q.pop().expect("512 scheduled");
+            if let Some(p) = prev {
+                assert!(t >= p, "spill broke the drain order");
+            }
+            prev = Some(t);
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn backends_agree_on_random_workload() {
         // Differential test: identical operation sequences produce
-        // identical pop sequences on both backends.
-        let mut cal = EventQueue::new();
-        let mut heap = EventQueue::binary_heap();
-        let mut x = 0x2545F4914F6CDD1Du64;
-        let step = |q: &mut EventQueue<u64>, x: &mut u64, ops: &mut Vec<(u64, u64)>| {
+        // identical pop sequences on all backends.
+        let mut queues: Vec<EventQueue<u64>> = QueueBackend::ALL
+            .iter()
+            .map(|&b| EventQueue::with_backend(b))
+            .collect();
+        for q in &mut queues {
+            let mut x = 0x2545F4914F6CDD1Du64;
             for i in 0..400u64 {
-                *x ^= *x << 13;
-                *x ^= *x >> 7;
-                *x ^= *x << 17;
-                let at = *x % 50_000;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let at = x % 50_000;
                 q.schedule_at(SimTime(at), i);
-                ops.push((at, i));
             }
-        };
-        let mut ops_a = Vec::new();
-        let mut ops_b = Vec::new();
-        let mut xa = x;
-        step(&mut cal, &mut xa, &mut ops_a);
-        step(&mut heap, &mut x, &mut ops_b);
-        assert_eq!(ops_a, ops_b, "same op stream");
+        }
         loop {
-            assert_eq!(cal.peek_time(), heap.peek_time());
-            let a = cal.pop_keyed();
-            let b = heap.pop_keyed();
-            assert_eq!(a, b);
+            let (rest, first) = queues.split_at_mut(1);
+            let mut done = false;
+            let t0 = rest[0].peek_time();
+            let a = rest[0].pop_keyed();
+            for q in first {
+                assert_eq!(q.peek_time(), t0, "{:?}", q.backend());
+                let b = q.pop_keyed();
+                assert_eq!(a, b, "{:?}", q.backend());
+            }
             if a.is_none() {
+                done = true;
+            }
+            if done {
                 break;
             }
         }
@@ -687,22 +1070,24 @@ mod tests {
 
     #[test]
     fn peek_memo_survives_inserts() {
-        // Exercises the calendar's min-hint: a peek locates the minimum,
-        // then inserts land both behind it (take the hint over) and ahead
-        // of it (leave it alone) before the pops check the order.
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime(500), "mid");
-        assert_eq!(q.peek_time(), Some(SimTime(500)));
-        q.schedule_at(SimTime(900), "late"); // keeps the hint
-        q.schedule_at(SimTime(100), "early"); // takes the hint over
-        assert_eq!(q.peek_time(), Some(SimTime(100)));
-        q.schedule_at(SimTime(100), "early2"); // same instant, later seq
-        assert_eq!(q.pop(), Some((SimTime(100), "early")));
-        assert_eq!(q.pop(), Some((SimTime(100), "early2")));
-        assert_eq!(q.peek_time(), Some(SimTime(500)));
-        assert_eq!(q.pop(), Some((SimTime(500), "mid")));
-        assert_eq!(q.pop(), Some((SimTime(900), "late")));
-        assert_eq!(q.pop(), None);
-        assert_eq!(q.peek_time(), None);
+        // Exercises the min-hints: a peek locates the minimum, then
+        // inserts land both behind it (take the hint over) and ahead of
+        // it (leave it alone) before the pops check the order.
+        for backend in QueueBackend::ALL {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule_at(SimTime(500), "mid");
+            assert_eq!(q.peek_time(), Some(SimTime(500)), "{backend:?}");
+            q.schedule_at(SimTime(900), "late"); // keeps the hint
+            q.schedule_at(SimTime(100), "early"); // takes the hint over
+            assert_eq!(q.peek_time(), Some(SimTime(100)));
+            q.schedule_at(SimTime(100), "early2"); // same instant, later seq
+            assert_eq!(q.pop(), Some((SimTime(100), "early")));
+            assert_eq!(q.pop(), Some((SimTime(100), "early2")));
+            assert_eq!(q.peek_time(), Some(SimTime(500)));
+            assert_eq!(q.pop(), Some((SimTime(500), "mid")));
+            assert_eq!(q.pop(), Some((SimTime(900), "late")));
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.peek_time(), None);
+        }
     }
 }

@@ -11,6 +11,8 @@
 //!   large messages, with strictly- and weakly-ordered send modes (the two
 //!   mechanisms of paper Fig. 6).
 //! * [`barrier`] — dissemination barriers and flags from remote stores.
+//! * [`handoff`] — epoch-batched SPSC rings used by the sharded event
+//!   engine to move cross-shard events without per-event locking.
 //! * [`shm`] — the threaded execution backend mapping TCCluster semantics
 //!   onto atomics (Release headers, Acquire polls, SeqCst sfence).
 
@@ -18,6 +20,7 @@
 
 pub mod barrier;
 pub mod channel;
+pub mod handoff;
 pub mod ring;
 pub mod shm;
 pub(crate) mod sync;
@@ -27,6 +30,7 @@ pub use barrier::{Barrier, Flag, SYNC_BYTES};
 pub use channel::{
     channel, Receiver, SendError, Sender, CHANNEL_BYTES, CREDIT_BYTES, MAX_MESSAGE, RDVZ_BYTES,
 };
+pub use handoff::{BatchRing, BATCH_RING_SLOTS};
 pub use ring::{
     RingError, RingReceiver, RingSender, SendMode, CELL_PAYLOAD, MAX_EAGER, RING_BYTES,
 };

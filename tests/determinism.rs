@@ -1,17 +1,22 @@
 //! Determinism of the sharded conservative-PDES event engine.
 //!
 //! The engine's contract (docs/engine.md, "Parallel execution") is that
-//! results are **bit-identical** for every worker thread count and for
-//! both event-queue backends: shard state is disjoint, every event is
-//! processed in deterministic `(time, shard, seq)` key order, and the
-//! thread count only changes which OS thread runs which shard's epochs.
-//! These tests enforce that contract, and re-pin the paper's anchors
-//! (227 ns / ~2500 MB/s) on the parallel path.
+//! results are **bit-identical** for every worker thread count, every
+//! event-queue backend and both cross-shard mailbox implementations:
+//! shard state is disjoint, every event is processed in deterministic
+//! `(time, shard, seq)` key order, and the thread count / backend /
+//! mailbox knobs only change wall clock. These tests enforce that
+//! contract as a differential matrix — the same randomized workload runs
+//! through {binary heap, calendar, ladder} × {mutex inbox, batch-ring
+//! inbox} and must produce identical reports — and re-pin the paper's
+//! anchors (227 ns / ~2500 MB/s) on the parallel path.
 
 use proptest::prelude::*;
 use tcc_firmware::topology::ClusterTopology;
 use tcc_ht::link::LinkConfig;
-use tccluster::{EngineKind, QueueBackend, TcclusterBuilder, TrafficPattern, WorkloadReport};
+use tccluster::{
+    EngineKind, MailboxKind, QueueBackend, TcclusterBuilder, TrafficPattern, WorkloadReport,
+};
 
 /// Run one workload on a mesh with explicit executive options.
 fn run(
@@ -21,6 +26,7 @@ fn run(
     bytes: u64,
     threads: usize,
     backend: QueueBackend,
+    mailbox: MailboxKind,
 ) -> WorkloadReport {
     let mut cluster = TcclusterBuilder::new()
         .topology(ClusterTopology::Mesh {
@@ -32,6 +38,7 @@ fn run(
         .engine(EngineKind::EventDriven)
         .event_threads(threads)
         .event_queue(backend)
+        .event_mailbox(mailbox)
         .build_sim();
     cluster.run_workload(pattern, bytes)
 }
@@ -63,59 +70,71 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// The core determinism property: the same workload yields a
-    /// byte-identical [`WorkloadReport`] across thread counts {1, 2, 4}
-    /// and across both queue backends, for randomized link shapes,
-    /// patterns and flow sizes on a 2x2 mesh.
+    /// byte-identical [`WorkloadReport`] across thread counts {1, 2, 4},
+    /// across every queue backend and across both mailbox kinds, for
+    /// randomized link shapes, patterns and flow sizes on a 2x2 mesh.
     #[test]
-    fn workload_reports_are_bit_identical_across_threads_and_backends(
+    fn workload_reports_are_bit_identical_across_executives(
         link in arb_link(),
         pattern in arb_pattern(),
         kb in 2u64..=8,
     ) {
         let bytes = kb << 10;
-        let baseline = run((2, 2), link, pattern, bytes, 1, QueueBackend::Calendar);
+        let baseline = run(
+            (2, 2), link, pattern, bytes, 1, QueueBackend::BinaryHeap, MailboxKind::Mutex,
+        );
         prop_assert!(baseline.delivered_packets > 0, "workload moved no data");
-        for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
-            for threads in [1usize, 2, 4] {
-                let got = run((2, 2), link, pattern, bytes, threads, backend);
-                prop_assert_eq!(
-                    &got,
-                    &baseline,
-                    "{:?} x {} threads diverged on {:?}",
-                    backend,
-                    threads,
-                    pattern
-                );
+        for backend in QueueBackend::ALL {
+            for mailbox in MailboxKind::ALL {
+                for threads in [1usize, 2, 4] {
+                    let got = run((2, 2), link, pattern, bytes, threads, backend, mailbox);
+                    prop_assert_eq!(
+                        &got,
+                        &baseline,
+                        "{:?} x {:?} x {} threads diverged on {:?}",
+                        backend,
+                        mailbox,
+                        threads,
+                        pattern
+                    );
+                }
             }
         }
     }
 }
 
 /// A bigger, deeply contended single case: all-to-all on a 4x4 mesh, all
-/// thread counts, both backends, compared field-for-field.
+/// thread counts, every backend × mailbox, compared field-for-field.
 #[test]
-fn mesh4x4_all_to_all_is_thread_count_invariant() {
+fn mesh4x4_all_to_all_is_executive_invariant() {
     let baseline = run(
         (4, 4),
         LinkConfig::PROTOTYPE,
         TrafficPattern::AllToAll,
         4 << 10,
         1,
-        QueueBackend::Calendar,
+        QueueBackend::BinaryHeap,
+        MailboxKind::Mutex,
     );
     assert_eq!(baseline.flows.len(), 16 * 15);
     assert_eq!(baseline.lost_packets(), 0, "{baseline:?}");
-    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
-        for threads in [2usize, 4, 8] {
-            let got = run(
-                (4, 4),
-                LinkConfig::PROTOTYPE,
-                TrafficPattern::AllToAll,
-                4 << 10,
-                threads,
-                backend,
-            );
-            assert_eq!(got, baseline, "{backend:?} x {threads} threads diverged");
+    for backend in QueueBackend::ALL {
+        for mailbox in MailboxKind::ALL {
+            for threads in [2usize, 4, 8] {
+                let got = run(
+                    (4, 4),
+                    LinkConfig::PROTOTYPE,
+                    TrafficPattern::AllToAll,
+                    4 << 10,
+                    threads,
+                    backend,
+                    mailbox,
+                );
+                assert_eq!(
+                    got, baseline,
+                    "{backend:?} x {mailbox:?} x {threads} threads diverged"
+                );
+            }
         }
     }
 }
@@ -138,31 +157,35 @@ fn parallel_path_reproduces_headline_latency() {
 }
 
 /// The ~2500 MB/s single-stream bandwidth anchor on the parallel path,
-/// and exact agreement with the sequential event engine.
+/// and exact agreement with the sequential event engine across the whole
+/// backend × mailbox matrix.
 #[test]
 fn parallel_path_reproduces_headline_bandwidth() {
     use tcc_msglib::SendMode;
-    let bw = |threads: usize, backend: QueueBackend| {
+    let bw = |threads: usize, backend: QueueBackend, mailbox: MailboxKind| {
         let mut c = TcclusterBuilder::new()
             .engine(EngineKind::EventDriven)
             .event_threads(threads)
             .event_queue(backend)
+            .event_mailbox(mailbox)
             .build_sim();
         c.stream_bandwidth(0, 1, 64, SendMode::WeaklyOrdered, 20)
     };
-    let sequential = bw(1, QueueBackend::Calendar);
+    let sequential = bw(1, QueueBackend::BinaryHeap, MailboxKind::Mutex);
     assert!(
         (sequential - 2500.0).abs() < 400.0,
         "64 B weak bandwidth = {sequential:.0} MB/s (paper: ~2500)"
     );
-    for backend in [QueueBackend::Calendar, QueueBackend::BinaryHeap] {
-        for threads in [2usize, 4] {
-            let got = bw(threads, backend);
-            assert_eq!(
-                got.to_bits(),
-                sequential.to_bits(),
-                "{backend:?} x {threads}: {got} vs {sequential} MB/s"
-            );
+    for backend in QueueBackend::ALL {
+        for mailbox in MailboxKind::ALL {
+            for threads in [2usize, 4] {
+                let got = bw(threads, backend, mailbox);
+                assert_eq!(
+                    got.to_bits(),
+                    sequential.to_bits(),
+                    "{backend:?} x {mailbox:?} x {threads}: {got} vs {sequential} MB/s"
+                );
+            }
         }
     }
 }
