@@ -12,21 +12,20 @@
 //! `String::new/from`, `Rc/Arc::new`, `.collect()`, `.to_vec()`,
 //! `.to_string()`, `.to_owned()`.
 //!
-//! Call edges are resolved by name against every non-test workspace
-//! function — a deliberate over-approximation (may-analysis): when
-//! `x.push(..)` could be any of three workspace `push` methods, all
-//! three are successors. `Type::name` paths resolve against impls of
-//! `Type` only, so the common constructors stay precise.
+//! Call resolution and traversal are the shared engine's
+//! ([`crate::callgraph`]); this pass contributes only the allocation
+//! classifier and the two boundary predicates.
 //!
 //! `#[cfg_attr(lint, tcc_alloc_ok)]` marks a function as a *reviewed*
 //! allocation boundary (amortized growth, cold resize): traversal stops
 //! there and its body is not classified. Every use is counted in the
 //! report so un-reviewed escapes cannot creep in silently.
 
-use crate::parse::{call_sites, CallKind, CallSite};
+use crate::callgraph::CallGraph;
+use crate::parse::{CallKind, CallSite};
 use crate::report::Diagnostic;
 use crate::Workspace;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 /// Method names that allocate regardless of receiver.
 const ALLOC_METHODS: &[&str] = &[
@@ -65,133 +64,80 @@ struct AllocSite {
 }
 
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
-    // Index live (non-test, non-exempt-crate) functions by name.
-    let live: Vec<usize> = (0..ws.fns.len())
-        .filter(|&i| {
-            let f = &ws.fns[i];
-            f.body.is_some() && !ws.exempt(f)
-        })
-        .collect();
-    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-    let mut by_qual_name: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
-    for &i in &live {
-        let f = &ws.fns[i];
-        by_name.entry(f.name.as_str()).or_default().push(i);
-        if let Some(q) = &f.qual {
-            by_qual_name
-                .entry((q.as_str(), f.name.as_str()))
-                .or_default()
-                .push(i);
-        }
-    }
+    run_with(ws, &CallGraph::build(ws))
+}
 
-    // Per-function: direct allocation classification + call edges.
+pub fn run_with(ws: &Workspace, cg: &CallGraph) -> Vec<Diagnostic> {
+    // A function participates if it is outside test/exempt code and is
+    // not a reviewed boundary; boundaries are neither classified nor
+    // traversed through.
+    let participates = |i: usize| !ws.exempt(&ws.fns[i]) && !ws.fns[i].has_marker("tcc_alloc_ok");
+
+    // Per-function direct allocation classification (earliest site wins).
     let mut direct: HashMap<usize, AllocSite> = HashMap::new();
-    let mut edges: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
-    for &i in &live {
-        let f = &ws.fns[i];
-        if f.has_marker("tcc_alloc_ok") {
-            continue; // reviewed boundary: not classified, not traversed
+    for &i in &cg.live {
+        if !participates(i) {
+            continue;
         }
-        let toks = &ws.file(f).toks;
-        let body = f.body.expect("live fns have bodies");
-        let calls = call_sites(toks, body);
-        for c in &calls {
+        for c in &cg.sites[i] {
             if let Some(what) = classify_alloc(c) {
-                // Keep the earliest allocation site for the message.
                 direct.entry(i).or_insert(AllocSite { what, line: c.line });
-                continue;
-            }
-            let crate_name = &ws.file(f).crate_name;
-            for succ in resolve(
-                ws,
-                crate_name,
-                f.qual.as_deref(),
-                c,
-                &by_name,
-                &by_qual_name,
-            ) {
-                if succ != i {
-                    edges.entry(i).or_default().push((succ, c.line));
-                }
+                break;
             }
         }
     }
 
     // BFS from every annotated root; report the first path to an
-    // allocating function (parent pointers give the chain).
+    // allocating function.
     let mut out = Vec::new();
-    for &root in &live {
+    for &root in &cg.live {
         let f = &ws.fns[root];
-        if !f.has_marker("tcc_no_alloc") {
+        if !f.has_marker("tcc_no_alloc") || ws.exempt(f) {
             continue;
         }
-        let mut parent: HashMap<usize, (usize, u32)> = HashMap::new();
-        let mut seen: Vec<usize> = vec![root];
-        let mut q: VecDeque<usize> = VecDeque::from([root]);
-        let mut hit: Option<usize> = None;
-        while let Some(n) = q.pop_front() {
-            if direct.contains_key(&n) {
-                hit = Some(n);
-                break;
-            }
-            for &(succ, line) in edges.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
-                if !seen.contains(&succ) {
-                    seen.push(succ);
-                    parent.insert(succ, (n, line));
-                    q.push_back(succ);
-                }
-            }
+        let Some(chain) = cg.find_path(root, |n| direct.contains_key(&n), participates) else {
+            continue;
+        };
+        let bad = *chain.last().expect("chain holds at least the root");
+        let site = &direct[&bad];
+        let path: Vec<String> = chain.iter().map(|&i| ws.fns[i].display_name()).collect();
+        let bad_fn = &ws.fns[bad];
+        let code = if bad == root {
+            "alloc.direct"
+        } else {
+            "alloc.transitive"
+        };
+        let mut notes = vec![format!(
+            "{} in `{}` at {}:{}",
+            site.what,
+            bad_fn.display_name(),
+            ws.file(bad_fn).path,
+            site.line
+        )];
+        if bad != root {
+            notes.push(format!("call path: {}", path.join(" -> ")));
+            notes.push(
+                "a reviewed cold-path allocation can be exempted with \
+                 #[cfg_attr(lint, tcc_alloc_ok)] — see docs/static-analysis.md"
+                    .to_string(),
+            );
         }
-        if let Some(bad) = hit {
-            let site = &direct[&bad];
-            // Reconstruct root -> ... -> bad.
-            let mut chain = vec![bad];
-            let mut cur = bad;
-            while let Some(&(p, _)) = parent.get(&cur) {
-                chain.push(p);
-                cur = p;
-            }
-            chain.reverse();
-            let path: Vec<String> = chain.iter().map(|&i| ws.fns[i].display_name()).collect();
-            let bad_fn = &ws.fns[bad];
-            let code = if bad == root {
-                "alloc.direct"
+        out.push(Diagnostic {
+            pass: "alloc-reachability",
+            code: code.to_string(),
+            file: ws.file(f).path.clone(),
+            line: f.line,
+            function: f.display_name(),
+            message: if bad == root {
+                format!("hot function allocates ({})", site.what)
             } else {
-                "alloc.transitive"
-            };
-            let mut notes = vec![format!(
-                "{} in `{}` at {}:{}",
-                site.what,
-                bad_fn.display_name(),
-                ws.file(bad_fn).path,
-                site.line
-            )];
-            if bad != root {
-                notes.push(format!("call path: {}", path.join(" -> ")));
-                notes.push(
-                    "a reviewed cold-path allocation can be exempted with \
-                     #[cfg_attr(lint, tcc_alloc_ok)] — see docs/static-analysis.md"
-                        .to_string(),
-                );
-            }
-            out.push(Diagnostic {
-                pass: "alloc-reachability",
-                code: code.to_string(),
-                file: ws.file(f).path.clone(),
-                line: f.line,
-                function: f.display_name(),
-                message: if bad == root {
-                    format!("hot function allocates ({})", site.what)
-                } else {
-                    format!(
-                        "hot function reaches an allocation through `{}`",
-                        bad_fn.display_name()
-                    )
-                },
-                notes,
-            });
-        }
+                format!(
+                    "hot function reaches an allocation through `{}`",
+                    bad_fn.display_name()
+                )
+            },
+            notes,
+        });
     }
     out
 }
@@ -216,67 +162,6 @@ fn classify_alloc(c: &CallSite) -> Option<String> {
                 .map(|(pq, pn)| format!("`{pq}::{pn}`"))
         }
         _ => None,
-    }
-}
-
-/// Resolve a call site to candidate workspace functions (may-analysis:
-/// over-approximate on ambiguity, empty for externals). Candidates in
-/// crates the caller's crate cannot import are discarded — a name match
-/// across an absent dependency edge is a collision, not a call. Shared
-/// with the lock-order pass, which walks the same call graph.
-pub(crate) fn resolve(
-    ws: &Workspace,
-    caller_crate: &str,
-    caller_qual: Option<&str>,
-    c: &CallSite,
-    by_name: &HashMap<&str, Vec<usize>>,
-    by_qual_name: &HashMap<(&str, &str), Vec<usize>>,
-) -> Vec<usize> {
-    let importable = |i: &usize| ws.visible(caller_crate, &ws.files[ws.fns[*i].file].crate_name);
-    match c.kind {
-        CallKind::Macro => Vec::new(),
-        CallKind::Method => by_name
-            .get(c.name.as_str())
-            .map(|v| {
-                v.iter()
-                    .copied()
-                    .filter(|i| ws.fns[*i].qual.is_some() && importable(i))
-                    .collect()
-            })
-            .unwrap_or_default(),
-        CallKind::Path => match c.qual.as_deref() {
-            Some("Self") => caller_qual
-                .and_then(|q| by_qual_name.get(&(q, c.name.as_str())))
-                .map(|v| v.iter().copied().filter(|i| importable(i)).collect())
-                .unwrap_or_default(),
-            Some(q) => {
-                if let Some(v) = by_qual_name.get(&(q, c.name.as_str())) {
-                    v.iter().copied().filter(|i| importable(i)).collect()
-                } else if q.starts_with(char::is_lowercase) {
-                    // Module path (`channel::serialization_ps`): free fns.
-                    by_name
-                        .get(c.name.as_str())
-                        .map(|v| {
-                            v.iter()
-                                .copied()
-                                .filter(|i| ws.fns[*i].qual.is_none() && importable(i))
-                                .collect()
-                        })
-                        .unwrap_or_default()
-                } else {
-                    Vec::new() // external type (Vec, Bytes, ...)
-                }
-            }
-            None => by_name
-                .get(c.name.as_str())
-                .map(|v| {
-                    v.iter()
-                        .copied()
-                        .filter(|i| ws.fns[*i].qual.is_none() && importable(i))
-                        .collect()
-                })
-                .unwrap_or_default(),
-        },
     }
 }
 

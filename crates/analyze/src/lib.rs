@@ -11,8 +11,9 @@
 //!
 //! This crate parses every workspace crate with its own lexer and
 //! item/expression parser (no rustc dependency — in the spirit of the
-//! vendored loom/rayon shims), builds an intra-workspace call graph, and
-//! runs four visitor-based passes:
+//! vendored loom/rayon shims), builds the intra-workspace call graph
+//! **once** ([`callgraph`] — shared name resolution, generic fixpoint
+//! propagation and path-finding BFS), and runs six passes over it:
 //!
 //! | pass | module | checks |
 //! |---|---|---|
@@ -20,21 +21,29 @@
 //! | `lock-order` | [`locks`] | the may-hold-while-acquiring graph over `Mutex::lock` sites is acyclic |
 //! | `time-arith` | [`timearith`] | raw `+`/`-`/`*` on picosecond-valued expressions use `checked_`/`saturating_` forms or a blessed newtype op |
 //! | `determinism` | [`determinism`] | no wallclock, no `HashMap`/`HashSet` iteration, no entropy-seeded randomness in simulation code |
+//! | `panic-freedom` | [`panics`] | `#[cfg_attr(lint, tcc_no_panic)]` functions never *transitively* reach `unwrap`/`expect`/`panic!`-family sites |
+//! | `epoch-phase` | [`phase`] | the engine's epoch machine keeps drain → minima → stage → publish order and never bypasses the mailbox handoff |
 //!
 //! Escape hatches are explicit and auditable: `#[cfg_attr(lint,
 //! tcc_alloc_ok)]` marks an amortized/cold allocation the reachability
-//! pass may stop at, and a `// tcc-analyze: allow(<code>)` comment on
-//! (or immediately above) a flagged line suppresses that one diagnostic.
+//! pass may stop at, `#[cfg_attr(lint, tcc_panic_ok)]` a reviewed
+//! deliberate protocol panic (kept honest by `panic.stale-ok`), and a
+//! `// tcc-analyze: allow(<code>)` comment on (or immediately above) a
+//! flagged line suppresses that one diagnostic.
 //! Every run produces a [`report::Report`], which `cargo xtask lint`
-//! serialises to `LINT_report.json`. See `docs/static-analysis.md`.
+//! serialises to `LINT_report.json` (schema 2: per-pass counts and
+//! baselines, machine-diffable). See `docs/static-analysis.md`.
 
 #![forbid(unsafe_code)]
 
 pub mod alloc;
+pub mod callgraph;
 pub mod determinism;
 pub mod lexer;
 pub mod locks;
+pub mod panics;
 pub mod parse;
+pub mod phase;
 pub mod report;
 pub mod timearith;
 
@@ -267,27 +276,27 @@ fn collect_rs(dir: &Path, sink: &mut dyn FnMut(&Path, String)) -> io::Result<()>
     Ok(())
 }
 
-/// Run all four passes and assemble the report.
+/// Run all six passes over one shared call graph and assemble the report.
 pub fn run_all(ws: &Workspace) -> Report {
+    let marker_count = |m: &str| ws.fns.iter().filter(|f| f.has_marker(m)).count();
     let mut report = Report {
         files_scanned: ws.files.len(),
         functions_indexed: ws.fns.len(),
-        no_alloc_annotations: ws
-            .fns
-            .iter()
-            .filter(|f| f.has_marker("tcc_no_alloc"))
-            .count(),
-        alloc_ok_annotations: ws
-            .fns
-            .iter()
-            .filter(|f| f.has_marker("tcc_alloc_ok"))
-            .count(),
+        no_alloc_annotations: marker_count("tcc_no_alloc"),
+        alloc_ok_annotations: marker_count("tcc_alloc_ok"),
+        no_panic_annotations: marker_count("tcc_no_panic"),
+        panic_ok_annotations: marker_count("tcc_panic_ok"),
         ..Report::default()
     };
-    report.diagnostics.extend(alloc::run(ws));
-    report.diagnostics.extend(locks::run(ws));
+    let cg = callgraph::CallGraph::build(ws);
+    report.diagnostics.extend(alloc::run_with(ws, &cg));
+    report.diagnostics.extend(locks::run_with(ws, &cg));
     report.diagnostics.extend(timearith::run(ws));
     report.diagnostics.extend(determinism::run(ws));
+    report.diagnostics.extend(panics::run_with(ws, &cg));
+    let (phase_diags, phase_ranked) = phase::run_with_stats(ws, &cg);
+    report.diagnostics.extend(phase_diags);
+    report.phase_ranked_functions = phase_ranked;
     // Honour inline allow directives, then order for stable output.
     report
         .diagnostics

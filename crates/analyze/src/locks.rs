@@ -16,7 +16,8 @@
 //!    statement.
 //! 3. Acquisitions inside a hold range add may-hold-while-acquiring
 //!    edges; calls inside a hold range add edges to everything the callee
-//!    may transitively acquire (fixpoint over the workspace call graph).
+//!    may transitively acquire (the shared engine's fixpoint over the
+//!    workspace call graph — [`crate::callgraph::CallGraph::propagate`]).
 //! 4. Any cycle in the resulting graph — including a self-edge, i.e. two
 //!    locks of the same class nested — is reported as `lock.cycle`.
 //!
@@ -28,9 +29,9 @@
 //! src/engine.rs` and `crates/fabric/` — the only places the simulator
 //! takes locks; fixture workspaces are scanned whole.
 
-use crate::alloc::resolve;
+use crate::callgraph::{receiver_chain, CallGraph};
 use crate::lexer::{Tok, TokKind};
-use crate::parse::{call_sites, is_keyword, CallKind};
+use crate::parse::{is_keyword, CallKind};
 use crate::report::Diagnostic;
 use crate::Workspace;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -56,86 +57,47 @@ struct Edge {
 }
 
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
-    let live: Vec<usize> = (0..ws.fns.len())
-        .filter(|&i| ws.fns[i].body.is_some() && !ws.fns[i].is_test)
-        .collect();
-    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-    let mut by_qual_name: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
-    for &i in &live {
-        let f = &ws.fns[i];
-        by_name.entry(f.name.as_str()).or_default().push(i);
-        if let Some(q) = &f.qual {
-            by_qual_name
-                .entry((q.as_str(), f.name.as_str()))
-                .or_default()
-                .push(i);
-        }
-    }
+    run_with(ws, &CallGraph::build(ws))
+}
 
+pub fn run_with(ws: &Workspace, cg: &CallGraph) -> Vec<Diagnostic> {
     // Direct acquisitions + transitive may-acquire summaries (workspace
     // wide: a helper called from the engine still counts).
     let mut acqs: HashMap<usize, Vec<Acq>> = HashMap::new();
-    let mut callees: HashMap<usize, Vec<(usize, u32, String)>> = HashMap::new();
-    let mut may: HashMap<usize, BTreeSet<String>> = HashMap::new();
-    for &i in &live {
+    let mut may: Vec<BTreeSet<String>> = vec![BTreeSet::new(); ws.fns.len()];
+    for &i in &cg.live {
         let f = &ws.fns[i];
         let toks = &ws.file(f).toks;
         let body = f.body.expect("live fns have bodies");
         let mut here = Vec::new();
-        for c in call_sites(toks, body) {
+        for c in &cg.sites[i] {
             if c.kind == CallKind::Method && LOCK_METHODS.contains(&c.name.as_str()) {
-                let id = lock_identity(toks, c.tok);
+                let id = receiver_chain(toks, c.tok);
                 here.push(Acq {
                     id,
                     tok: c.tok,
                     line: c.line,
                     hold_end: hold_end(toks, body, c.tok),
                 });
-            } else {
-                let crate_name = &ws.file(f).crate_name;
-                for succ in resolve(
-                    ws,
-                    crate_name,
-                    f.qual.as_deref(),
-                    &c,
-                    &by_name,
-                    &by_qual_name,
-                ) {
-                    if succ != i {
-                        callees
-                            .entry(i)
-                            .or_default()
-                            .push((succ, c.line, c.name.clone()));
-                    }
-                }
             }
         }
-        may.insert(i, here.iter().map(|a| a.id.clone()).collect());
+        may[i] = here.iter().map(|a| a.id.clone()).collect();
         acqs.insert(i, here);
     }
     // Fixpoint: what may each function transitively acquire?
-    loop {
-        let mut changed = false;
-        for &i in &live {
-            let mut add = BTreeSet::new();
-            for (succ, _, _) in callees.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
-                if let Some(s) = may.get(succ) {
-                    add.extend(s.iter().cloned());
-                }
-            }
-            let mine = may.get_mut(&i).expect("seeded above");
-            let before = mine.len();
-            mine.extend(add);
-            changed |= mine.len() != before;
-        }
-        if !changed {
-            break;
-        }
-    }
+    cg.propagate(
+        &mut may,
+        |_| true,
+        |caller, callee| {
+            let before = caller.len();
+            caller.extend(callee.iter().cloned());
+            caller.len() != before
+        },
+    );
 
     // Build the may-hold-while-acquiring graph from in-scope functions.
     let mut graph: BTreeMap<String, BTreeMap<String, Edge>> = BTreeMap::new();
-    for &i in &live {
+    for &i in &cg.live {
         let f = &ws.fns[i];
         if !in_scope(ws, &ws.file(f).path) {
             continue;
@@ -164,29 +126,26 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
                         });
                 }
             }
-            for (succ, cline, cname) in callees.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
-                // The call must sit inside the hold range; approximate
-                // the call position by its line relative to the hold
-                // range's token lines.
-                let ctok = call_tok_near(&ws.file(f).toks, *cline, cname);
-                let inside = ctok.is_some_and(|t| t > a.tok && t < a.hold_end);
-                if !inside {
+            for e in &cg.edges[i] {
+                // The call must sit inside the hold range (exact: the
+                // shared graph records the call's token index).
+                if e.tok <= a.tok || e.tok >= a.hold_end {
                     continue;
                 }
-                for lk in may.get(succ).map(|s| s.iter()).into_iter().flatten() {
+                for lk in &may[e.callee] {
                     graph
                         .entry(a.id.clone())
                         .or_default()
                         .entry(lk.clone())
                         .or_insert_with(|| Edge {
                             file: file.clone(),
-                            line: *cline,
+                            line: e.line,
                             detail: format!(
                                 "`{}` calls `{}` at {}:{} while holding `{}`; the callee may acquire `{}`",
                                 f.display_name(),
-                                ws.fns[*succ].display_name(),
+                                ws.fns[e.callee].display_name(),
                                 file,
-                                cline,
+                                e.line,
                                 a.id,
                                 lk
                             ),
@@ -276,72 +235,6 @@ fn reach(
         }
     }
     None
-}
-
-/// Normalised receiver chain of a `.lock()` call: walk backwards from the
-/// method name through `expr.field`, `expr[idx]` and `expr(args)` links.
-fn lock_identity(toks: &[Tok], lock_tok: usize) -> String {
-    let mut parts: Vec<String> = Vec::new();
-    // toks[lock_tok] is `lock`; toks[lock_tok - 1] is `.`.
-    let mut k = lock_tok as isize - 2;
-    while k >= 0 {
-        let t = &toks[k as usize];
-        match t.text.as_str() {
-            "]" | ")" => {
-                let (open, close, abs) = if t.text == "]" {
-                    ("[", "]", "[_]")
-                } else {
-                    ("(", ")", "(_)")
-                };
-                let mut depth = 0i32;
-                while k >= 0 {
-                    let s = toks[k as usize].text.as_str();
-                    if s == close {
-                        depth += 1;
-                    } else if s == open {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    k -= 1;
-                }
-                parts.push(abs.to_string());
-                k -= 1;
-            }
-            _ if (t.kind == TokKind::Ident && !is_keyword(&t.text) || t.text == "self")
-                || t.kind == TokKind::Lit =>
-            {
-                parts.push(t.text.clone());
-                if k >= 1 && toks[(k - 1) as usize].is(".") {
-                    k -= 2;
-                } else {
-                    break;
-                }
-            }
-            _ => break,
-        }
-    }
-    parts.reverse();
-    if parts.first().is_some_and(|p| p == "self") {
-        parts.remove(0);
-    }
-    let mut s = String::new();
-    for p in &parts {
-        if p == "[_]" || p == "(_)" {
-            s.push_str(p);
-        } else {
-            if !s.is_empty() {
-                s.push('.');
-            }
-            s.push_str(p);
-        }
-    }
-    if s.is_empty() {
-        "<expr>".to_string()
-    } else {
-        s
-    }
 }
 
 /// How long may the guard produced at `lock_tok` be held?
@@ -460,30 +353,12 @@ fn hold_end(toks: &[Tok], body: (usize, usize), lock_tok: usize) -> usize {
     bend
 }
 
-/// Token index of the call named `name` on `line` (used to anchor call
-/// sites back into hold ranges).
-fn call_tok_near(toks: &[Tok], line: u32, name: &str) -> Option<usize> {
-    toks.iter()
-        .position(|t| t.line == line && t.kind == TokKind::Ident && t.text == name)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn diags(src: &str) -> Vec<Diagnostic> {
         run(&Workspace::from_sources(&[("fix.rs", src)]))
-    }
-
-    #[test]
-    fn identity_normalises_index_and_self() {
-        let f = crate::parse::SourceFile::new(
-            "t.rs".into(),
-            "fixture".into(),
-            "fn f(&self) { self.inboxes[dst].0.lock(); }",
-        );
-        let lock = f.toks.iter().position(|t| t.text == "lock").unwrap();
-        assert_eq!(lock_identity(&f.toks, lock), "inboxes[_].0");
     }
 
     #[test]

@@ -1,18 +1,35 @@
 //! Structured diagnostics and the `LINT_report.json` emitter.
 //!
-//! The JSON schema is stable (`"schema": 1`): tools downstream (CI
-//! artifact consumers, the xtask gate) key off `clean`, `diagnostics[]`
-//! and the annotation counters, so fields are only ever *added*.
+//! The JSON schema is versioned (`"schema": 2`): tools downstream (CI
+//! artifact consumers, the xtask gate) key off `clean`, `diagnostics[]`,
+//! the per-pass counts and the annotation counters. Schema 2 added the
+//! two interprocedural passes (`panic-freedom`, `epoch-phase`), the
+//! `pass_counts`/`annotations`/`baselines` objects and the
+//! `phase_ranked_functions` guard metric; the schema-1 flat counter keys
+//! are retained so old diffs stay readable, and fields are only ever
+//! *added* within a schema version.
 
 use std::fmt::Write as _;
+
+/// Every pass, in report order. `pass_counts` always carries all of
+/// these (zeroes included) so reports from different commits diff
+/// line-by-line.
+pub const PASSES: [&str; 6] = [
+    "alloc-reachability",
+    "lock-order",
+    "time-arith",
+    "determinism",
+    "panic-freedom",
+    "epoch-phase",
+];
 
 /// One finding of one pass, anchored to a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Which pass produced this (`alloc-reachability`, `lock-order`,
-    /// `time-arith`, `determinism`).
+    /// Which pass produced this (one of [`PASSES`]).
     pub pass: &'static str,
-    /// Stable machine code (`alloc.transitive`, `det.wallclock`, ...).
+    /// Stable machine code (`alloc.transitive`, `det.wallclock`,
+    /// `panic.reachable`, `phase.shard-escape`, ...).
     pub code: String,
     /// Workspace-relative file path.
     pub file: String,
@@ -48,8 +65,20 @@ pub struct Report {
     pub no_alloc_annotations: usize,
     /// Count of `tcc_alloc_ok` escape hatches seen.
     pub alloc_ok_annotations: usize,
+    /// Count of `tcc_no_panic` annotations seen (baseline-guarded like
+    /// `tcc_no_alloc`).
+    pub no_panic_annotations: usize,
+    /// Count of `tcc_panic_ok` escape hatches seen (each must cover a
+    /// real panic site — `panic.stale-ok` enforces it).
+    pub panic_ok_annotations: usize,
+    /// In-scope functions the epoch-phase pass assigned a rank to; the
+    /// xtask guard fails if this collapses (the pass went blind).
+    pub phase_ranked_functions: usize,
     pub files_scanned: usize,
     pub functions_indexed: usize,
+    /// Named baseline floors the caller enforces (xtask fills these in
+    /// before serialising so the artifact records what was guarded).
+    pub baselines: Vec<(&'static str, usize)>,
 }
 
 impl Report {
@@ -66,13 +95,19 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
-        s.push_str("  \"schema\": 1,\n");
+        s.push_str("  \"schema\": 2,\n");
         s.push_str("  \"tool\": \"tcc-analyze\",\n");
-        s.push_str(
-            "  \"passes\": [\"alloc-reachability\", \"lock-order\", \"time-arith\", \"determinism\"],\n",
-        );
+        s.push_str("  \"passes\": [");
+        for (i, p) in PASSES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{p}\"");
+        }
+        s.push_str("],\n");
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "  \"functions_indexed\": {},", self.functions_indexed);
+        // Schema-1 flat keys, kept for diffability of old artifacts.
         let _ = writeln!(
             s,
             "  \"no_alloc_annotations\": {},",
@@ -83,6 +118,35 @@ impl Report {
             "  \"alloc_ok_annotations\": {},",
             self.alloc_ok_annotations
         );
+        s.push_str("  \"annotations\": {\n");
+        let _ = writeln!(s, "    \"tcc_no_alloc\": {},", self.no_alloc_annotations);
+        let _ = writeln!(s, "    \"tcc_alloc_ok\": {},", self.alloc_ok_annotations);
+        let _ = writeln!(s, "    \"tcc_no_panic\": {},", self.no_panic_annotations);
+        let _ = writeln!(s, "    \"tcc_panic_ok\": {}", self.panic_ok_annotations);
+        s.push_str("  },\n");
+        s.push_str("  \"pass_counts\": {\n");
+        for (i, p) in PASSES.iter().enumerate() {
+            let n = self.by_pass(p).count();
+            let comma = if i + 1 < PASSES.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{p}\": {n}{comma}");
+        }
+        s.push_str("  },\n");
+        let _ = writeln!(
+            s,
+            "  \"phase_ranked_functions\": {},",
+            self.phase_ranked_functions
+        );
+        s.push_str("  \"baselines\": {");
+        for (i, (name, floor)) in self.baselines.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{name}\": {floor}");
+        }
+        if !self.baselines.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("},\n");
         let _ = writeln!(s, "  \"clean\": {},", self.clean());
         s.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -139,6 +203,8 @@ mod tests {
     fn json_is_schema_stable() {
         let mut r = Report {
             no_alloc_annotations: 21,
+            no_panic_annotations: 7,
+            baselines: vec![("no_alloc", 21), ("no_panic", 7)],
             ..Report::default()
         };
         r.diagnostics.push(Diagnostic {
@@ -151,9 +217,13 @@ mod tests {
             notes: vec!["use saturating_add".into()],
         });
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 1"));
+        assert!(j.contains("\"schema\": 2"));
         assert!(j.contains("\"clean\": false"));
         assert!(j.contains("\"no_alloc_annotations\": 21"));
+        assert!(j.contains("\"tcc_no_panic\": 7"));
+        assert!(j.contains("\"time-arith\": 1"));
+        assert!(j.contains("\"panic-freedom\": 0"));
+        assert!(j.contains("\"no_panic\": 7"));
         assert!(j.contains("raw `+` on \\\"picosecond\\\" value"));
         // Keys the gate depends on must never disappear.
         for key in [
@@ -164,8 +234,20 @@ mod tests {
             "\"function\"",
             "\"message\"",
             "\"notes\"",
+            "\"pass_counts\"",
+            "\"annotations\"",
+            "\"baselines\"",
+            "\"phase_ranked_functions\"",
         ] {
             assert!(j.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn every_pass_is_counted_even_at_zero() {
+        let j = Report::default().to_json();
+        for p in PASSES {
+            assert!(j.contains(&format!("\"{p}\": 0")), "missing zero for {p}");
         }
     }
 

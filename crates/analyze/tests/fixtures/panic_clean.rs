@@ -1,0 +1,35 @@
+//! Fixture: the blessed panic-freedom shapes, mirroring the production
+//! hot path. A `tcc_no_panic` function may call a reviewed
+//! `tcc_panic_ok` funnel (the boundary stops traversal), and the two
+//! deliberate exclusions — `assert!` family and indexing — are not
+//! panic sites (reviewed invariant checks and bounds discipline belong
+//! to the test layer, not this pass).
+
+pub struct Ring {
+    slots: Vec<u64>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    /// Hot path: panic-free because the only panic below it is the
+    /// reviewed protocol funnel.
+    #[cfg_attr(lint, tcc_no_panic)]
+    pub fn hot_push(&mut self, v: u64) {
+        if self.len == self.slots.len() {
+            self.contended();
+        }
+        let h = self.head;
+        debug_assert!(h < self.slots.len(), "head wraps before use");
+        self.slots[h] = v;
+        self.head = (h + 1) % self.slots.len();
+        self.len += 1;
+    }
+
+    /// Deliberate protocol panic: a full ring means the SPSC contract
+    /// was violated by the peer; continuing would corrupt the handoff.
+    #[cfg_attr(lint, tcc_panic_ok)]
+    fn contended(&self) -> ! {
+        panic!("ring full: SPSC protocol violated");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: a hot-path function that reaches a panic through a helper.
+//! The direct body looks innocent — the `.expect()` lives two calls
+//! down — so only the interprocedural pass catches it. One worker
+//! unwinding mid-epoch strands the others at the barrier; this is the
+//! failure mode `tcc_no_panic` exists to keep out of the hot path.
+
+pub struct Decoder {
+    frames: Vec<u64>,
+    cursor: usize,
+}
+
+impl Decoder {
+    /// Annotated hot path: called once per delivered packet.
+    #[cfg_attr(lint, tcc_no_panic)]
+    pub fn hot_decode(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn step(&mut self) -> u64 {
+        let f = self.frame().expect("frame present");
+        self.cursor += 1;
+        f
+    }
+
+    fn frame(&self) -> Option<u64> {
+        self.frames.get(self.cursor).copied()
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a stale `tcc_panic_ok` escape hatch. The annotation asserts
+//! "this function deliberately panics and a reviewer signed off" — but
+//! nothing in or below the body can panic. A stale exemption is a
+//! reviewed hole waiting for unreviewed code to fill it, so the pass
+//! flags it for removal.
+
+pub struct Gate {
+    limit: u64,
+}
+
+impl Gate {
+    /// The panic this once covered was refactored into a saturating
+    /// clamp; the annotation stayed behind.
+    #[cfg_attr(lint, tcc_panic_ok)]
+    pub fn admit(&self, n: u64) -> u64 {
+        n.min(self.limit)
+    }
+}

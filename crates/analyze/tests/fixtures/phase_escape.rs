@@ -1,0 +1,20 @@
+//! Fixture: phase-ranked code mutating a peer shard directly. Inside the
+//! epoch loop every cross-shard write must go through the BatchRing
+//! publish/take pair (or the inbox mutex); poking `shards[dst]` from a
+//! ranked function races the owner's drain and breaks the single-writer
+//! discipline the SPSC handoff is built on.
+
+pub struct Engine {
+    shards: Vec<Shard>,
+    mail_ring: BatchRing,
+    scratch: Vec<u64>,
+}
+
+impl Engine {
+    /// BROKEN: ranked (it drains the mail ring), then writes straight
+    /// into another shard's queue instead of publishing a batch.
+    pub fn epoch(&mut self, dst: usize, ev: u64) {
+        self.mail_ring.take(&mut self.scratch);
+        self.shards[dst].queue.push(ev);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: producer-side work escaping into the post-barrier region.
+//! `flush_mail` is producer-side (it publishes to the batch ring); the
+//! epoch body calls it and *then* drains — so the publish from the
+//! previous phase ordering leaks past B0 into the consumer interval.
+//! The pass must see through the helper: the violation is only visible
+//! interprocedurally.
+
+pub struct Worker {
+    mail_ring: BatchRing,
+    outbox: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl Worker {
+    /// Producer-side helper: rank = {publish}.
+    fn flush_mail(&mut self) {
+        self.mail_ring.publish(&mut self.outbox);
+    }
+
+    /// BROKEN: publishes (via the helper) before draining in the same
+    /// barrier interval. A consumer could observe the batch before its
+    /// own inbound mail is drained — the handoff invariant is gone.
+    pub fn epoch(&mut self) {
+        self.flush_mail();
+        self.mail_ring.take(&mut self.scratch);
+    }
+}

@@ -5,13 +5,20 @@
 //! substring scan it replaced.
 
 use std::path::Path;
-use tcc_analyze::{alloc, determinism, locks, run_all, timearith, Workspace};
+use tcc_analyze::{alloc, determinism, locks, panics, phase, run_all, timearith, Workspace};
 
 const ALLOC_TRANSITIVE: &str = include_str!("fixtures/alloc_transitive.rs");
 const LOCK_CYCLE: &str = include_str!("fixtures/lock_cycle.rs");
 const LOCK_CLEAN: &str = include_str!("fixtures/lock_clean.rs");
 const TIME_OVERFLOW: &str = include_str!("fixtures/time_overflow.rs");
 const NONDETERMINISM: &str = include_str!("fixtures/nondeterminism.rs");
+const PHASE_PRODUCER: &str = include_str!("fixtures/phase_producer.rs");
+const PHASE_MINIMA: &str = include_str!("fixtures/phase_minima.rs");
+const PHASE_ESCAPE: &str = include_str!("fixtures/phase_escape.rs");
+const PHASE_CLEAN: &str = include_str!("fixtures/phase_clean.rs");
+const PANIC_REACHABLE: &str = include_str!("fixtures/panic_reachable.rs");
+const PANIC_STALE_OK: &str = include_str!("fixtures/panic_stale_ok.rs");
+const PANIC_CLEAN: &str = include_str!("fixtures/panic_clean.rs");
 
 fn ws(name: &str, src: &str) -> Workspace {
     Workspace::from_sources(&[(name, src)])
@@ -133,11 +140,83 @@ fn determinism_pass_flags_wallclock_hash_iteration_and_entropy() {
     assert!(codes.contains(&"det.randomness"), "{d:#?}");
 }
 
+#[test]
+fn phase_pass_flags_producer_work_after_the_barrier() {
+    let d = phase::run(&ws("phase_producer.rs", PHASE_PRODUCER));
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "phase.producer-after-barrier");
+    assert_eq!(d[0].function, "Worker::epoch");
+    assert!(
+        d[0].notes.iter().any(|n| n.contains("flush_mail")),
+        "the note must name the producer-side helper: {:#?}",
+        d[0].notes
+    );
+}
+
+#[test]
+fn phase_pass_flags_a_drain_after_horizon_minima() {
+    let d = phase::run(&ws("phase_minima.rs", PHASE_MINIMA));
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "phase.drain-after-minima");
+    assert_eq!(d[0].function, "Worker::epoch");
+}
+
+#[test]
+fn phase_pass_flags_cross_shard_mutation_bypassing_the_mailbox() {
+    let d = phase::run(&ws("phase_escape.rs", PHASE_ESCAPE));
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "phase.shard-escape");
+    assert!(d[0].message.contains("shards[_]"), "{}", d[0].message);
+}
+
+#[test]
+fn phase_pass_accepts_the_blessed_epoch_machine() {
+    let d = phase::run(&ws("phase_clean.rs", PHASE_CLEAN));
+    assert!(
+        d.is_empty(),
+        "correct order, neutral drivers, Option::take and setup wiring \
+         must all stay quiet: {d:#?}"
+    );
+}
+
+#[test]
+fn panic_pass_sees_through_helpers_to_the_expect() {
+    let d = panics::run(&ws("panic_reachable.rs", PANIC_REACHABLE));
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "panic.reachable");
+    assert_eq!(d[0].function, "Decoder::hot_decode");
+    assert!(
+        d[0].notes
+            .iter()
+            .any(|n| n.contains("Decoder::hot_decode -> Decoder::step")),
+        "diagnostic must name the call path: {:#?}",
+        d[0].notes
+    );
+}
+
+#[test]
+fn panic_pass_flags_a_stale_escape_hatch() {
+    let d = panics::run(&ws("panic_stale_ok.rs", PANIC_STALE_OK));
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "panic.stale-ok");
+    assert_eq!(d[0].function, "Gate::admit");
+}
+
+#[test]
+fn panic_pass_accepts_funnels_asserts_and_indexing() {
+    let d = panics::run(&ws("panic_clean.rs", PANIC_CLEAN));
+    assert!(
+        d.is_empty(),
+        "a reviewed funnel behind a no-panic fn, debug_assert! and \
+         indexing are all blessed: {d:#?}"
+    );
+}
+
 /// The real workspace passes every gate. This is the test that makes the
 /// fixtures honest: the passes fire on the fixtures above and stay quiet
 /// on ~90 production files, so they discriminate rather than spam.
 #[test]
-fn workspace_is_clean_under_all_four_passes() {
+fn workspace_is_clean_under_all_six_passes() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -160,6 +239,17 @@ fn workspace_is_clean_under_all_four_passes() {
          mailbox/arena/ladder work) must keep their tcc_no_alloc \
          annotations (found {})",
         report.no_alloc_annotations
+    );
+    assert!(
+        report.no_panic_annotations >= 30,
+        "the hot path keeps its tcc_no_panic coverage (found {})",
+        report.no_panic_annotations
+    );
+    assert!(
+        report.phase_ranked_functions >= 4,
+        "the epoch-phase pass must rank the engine's worker loop and \
+         its helpers — {} ranked functions means the anchors went blind",
+        report.phase_ranked_functions
     );
     assert!(report.files_scanned >= 80, "{}", report.files_scanned);
     // The engine's mailbox discipline specifically: scanned, and clean.

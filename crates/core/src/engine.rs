@@ -69,6 +69,7 @@ use tcc_firmware::machine::{PacketEvent, Platform};
 use tcc_firmware::topology::{ClusterSpec, ClusterTopology, Port};
 use tcc_ht::link::{Delivery, LinkRx, LinkTx};
 use tcc_ht::packet::{Packet, VirtualChannel};
+use tcc_ht::protocol_violation;
 use tcc_msglib::handoff::BatchRing;
 use tcc_opteron::node::{DeliverOutcome, Node};
 use tcc_opteron::regs::{LinkId, LINKS_PER_NODE};
@@ -447,7 +448,7 @@ impl ShardRun<'_> {
     /// a cross-shard send is a plain push onto this shard's private
     /// staging buffer — no lock, no atomic; the whole buffer publishes
     /// once at the epoch barrier (`publish_outboxes`).
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn send_arrive(&mut self, at: SimTime, node: usize, link: LinkId, packet: Packet) {
         let dst = node / self.procs;
         if dst == self.shard.id as usize {
@@ -463,10 +464,14 @@ impl ShardRun<'_> {
         let ev = FabricEvent::Arrive { node, link, packet };
         match self.mail.kind {
             MailboxKind::Ring => self.shard.outbox[dst].push((key, ev)),
+            // A poisoned inbox means a peer worker panicked; its mail is
+            // still intact, and the run is aborting anyway — keep going
+            // so this worker reaches the barrier instead of double-
+            // panicking the process.
             MailboxKind::Mutex => self.mail.inboxes[dst]
                 .0
                 .lock()
-                .expect("inbox poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push((key, ev)),
         }
     }
@@ -475,7 +480,7 @@ impl ShardRun<'_> {
     /// per epoch, before the B0 barrier (run_worker) or the end of the
     /// epoch phase (run_inline). The epoch protocol guarantees at most
     /// one batch in flight per pair, so a full ring is a protocol bug.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn publish_outboxes(&mut self) {
         if self.mail.kind != MailboxKind::Ring {
             return;
@@ -483,9 +488,9 @@ impl ShardRun<'_> {
         let src = self.shard.id as usize;
         for i in 0..self.shard.out_peers.len() {
             let dst = self.shard.out_peers[i] as usize;
-            let ring = self.mail.rings[src][dst]
-                .as_ref()
-                .expect("out_peers entries have rings");
+            let Some(ring) = self.mail.rings[src][dst].as_ref() else {
+                protocol_violation!("shard {src} -> {dst}: out_peer entry without a ring");
+            };
             assert!(
                 ring.publish(&mut self.shard.outbox[dst]),
                 "shard {src} -> {dst}: batch ring full (epoch protocol violated)"
@@ -497,7 +502,7 @@ impl ShardRun<'_> {
     /// take each in-peer's published batch (ring path) or swap out the
     /// shared inbox (mutex path). Both paths recycle the shard's scratch
     /// buffer, so the steady state moves events without allocating.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn drain_mail(&mut self) {
         let mut scratch = std::mem::take(&mut self.shard.inscratch);
         match self.mail.kind {
@@ -505,9 +510,9 @@ impl ShardRun<'_> {
                 let me = self.shard.id as usize;
                 for i in 0..self.shard.in_peers.len() {
                     let src = self.shard.in_peers[i] as usize;
-                    let ring = self.mail.rings[src][me]
-                        .as_ref()
-                        .expect("in_peers entries have rings");
+                    let Some(ring) = self.mail.rings[src][me].as_ref() else {
+                        protocol_violation!("shard {src} -> {me}: in_peer entry without a ring");
+                    };
                     while ring.take(&mut scratch) {
                         for (key, ev) in scratch.drain(..) {
                             self.shard.queue.schedule_keyed(key, ev);
@@ -517,10 +522,12 @@ impl ShardRun<'_> {
             }
             MailboxKind::Mutex => {
                 {
+                    // See send_arrive: survive a peer's poison so the
+                    // abort path reaches the barrier.
                     let mut inbox = self.mail.inboxes[self.shard.id as usize]
                         .0
                         .lock()
-                        .expect("inbox poisoned");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     std::mem::swap(&mut *inbox, &mut scratch);
                 }
                 for (key, ev) in scratch.drain(..) {
@@ -557,7 +564,7 @@ impl ShardRun<'_> {
     }
 
     /// Handle one popped event.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn dispatch(&mut self, key: EventKey, ev: FabricEvent) {
         self.shard.now = key.at;
         match ev {
@@ -581,7 +588,7 @@ impl ShardRun<'_> {
     /// Returns the number handled. Dispatches to the instrumented twin
     /// when a profile clock is injected; the hot path has no
     /// instrumentation at all.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn run_epoch(&mut self, horizon: SimTime) -> u64 {
         self.shard.profile.epochs += 1;
         if let Some(clk) = self.clock {
@@ -626,9 +633,9 @@ impl ShardRun<'_> {
         let base = self.shard.base;
         let Shard { flows, ports, .. } = &mut *self.shard;
         let f = &mut flows[i];
-        let port = ports[f.src - base][f.port.0 as usize]
-            .as_mut()
-            .expect("flow's first hop is wired");
+        let Some(port) = ports[f.src - base][f.port.0 as usize].as_mut() else {
+            protocol_violation!("flow {i}: first hop n{} l{} is not wired", f.src, f.port.0);
+        };
         while f.remaining > 0 && port.tx.queued(VirtualChannel::Posted) < 4 {
             port.tx
                 .enqueue(Packet::posted_write(f.next, Bytes::from_static(&ZERO64)));
@@ -639,9 +646,9 @@ impl ShardRun<'_> {
         }
         let (src, link, remaining) = (f.src, f.port, f.remaining);
         self.pump_port(now, src, link);
-        let port = self.shard.ports[src - base][link.0 as usize]
-            .as_ref()
-            .expect("port");
+        let Some(port) = self.shard.ports[src - base][link.0 as usize].as_ref() else {
+            protocol_violation!("flow {i}: first hop n{src} l{} vanished", link.0);
+        };
         if remaining > 0 && port.tx.queued(VirtualChannel::Posted) == 0 {
             let next = port.tx.next_free().max(now + Duration(1_000));
             self.schedule(next, FabricEvent::Pump { flow: i });
@@ -652,25 +659,28 @@ impl ShardRun<'_> {
     /// arrival per delivery. A delivery whose provenance names an input
     /// link releases that input port's buffer (hold-until-forwarded),
     /// serialised through the node's receive bridge.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn pump_port(&mut self, now: SimTime, node: usize, link: LinkId) {
         let ln = node - self.shard.base;
         let mut out = std::mem::take(&mut self.shard.dels);
         out.clear();
         let (peer, peer_link) = {
-            let port = self.shard.ports[ln][link.0 as usize]
-                .as_mut()
-                .unwrap_or_else(|| panic!("pump on inactive port n{node} l{}", link.0));
+            let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                protocol_violation!("pump on inactive port n{node} l{}", link.0);
+            };
             port.tx.pump_into(now, &mut out);
             (port.peer, port.peer_link)
         };
         for d in out.drain(..) {
-            let from = self.shard.ports[ln][link.0 as usize]
+            let Some(Some(from)) = self.shard.ports[ln][link.0 as usize]
                 .as_mut()
-                .expect("port")
-                .provenance
-                .pop_front()
-                .expect("provenance aligned");
+                .map(|p| p.provenance.pop_front())
+            else {
+                protocol_violation!(
+                    "n{node} l{}: provenance out of step with deliveries",
+                    link.0
+                );
+            };
             if let Some(in_link) = from {
                 self.schedule_drain(now, node, in_link, d.packet.vc(), !d.packet.data.is_empty());
             }
@@ -682,9 +692,9 @@ impl ShardRun<'_> {
     /// A node's own store path handed a packet to the fabric.
     fn on_inject(&mut self, now: SimTime, node: usize, link: LinkId, packet: Packet) {
         let ln = node - self.shard.base;
-        let port = self.shard.ports[ln][link.0 as usize]
-            .as_mut()
-            .unwrap_or_else(|| panic!("inject on inactive port n{node} l{}", link.0));
+        let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+            protocol_violation!("inject on inactive port n{node} l{}", link.0);
+        };
         port.tx.enqueue(packet);
         port.provenance.push_back(None);
         self.pump_port(now, node, link);
@@ -694,14 +704,14 @@ impl ShardRun<'_> {
     /// a buffer, and route it — commit locally, forward out another link,
     /// or (for a NOP) release the credits it carries and wake blocked
     /// transmitters.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn on_arrive(&mut self, key: EventKey, node: usize, link: LinkId, packet: Packet) {
         let now = key.at;
         let ln = node - self.shard.base;
         let (peer, peer_link, coherent) = {
-            let port = self.shard.ports[ln][link.0 as usize]
-                .as_ref()
-                .unwrap_or_else(|| panic!("arrival on inactive port n{node} l{}", link.0));
+            let Some(port) = self.shard.ports[ln][link.0 as usize].as_ref() else {
+                protocol_violation!("arrival on inactive port n{node} l{}", link.0);
+            };
             (port.peer, port.peer_link, port.coherent)
         };
         if self.record {
@@ -714,26 +724,28 @@ impl ShardRun<'_> {
                 packet: packet.clone(),
             });
         }
-        let port = self.shard.ports[ln][link.0 as usize]
-            .as_mut()
-            .expect("port");
-        match port.rx.accept(&packet).expect("sender honoured credits") {
+        let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+            protocol_violation!("arrival port n{node} l{} vanished", link.0);
+        };
+        let accepted = port.rx.accept(&packet).unwrap_or_else(|e| {
+            protocol_violation!("n{node} l{}: sender violated flow control: {e}", link.0)
+        });
+        match accepted {
             Some(ret) => {
                 // A credit NOP: freed credits may unblock the queue and
                 // any flow sourced at this port, immediately.
-                port.tx
-                    .credit_return(ret)
-                    .expect("receiver-harvested credits");
+                if let Err(e) = port.tx.credit_return(ret) {
+                    protocol_violation!("n{node} l{}: bad credit return: {e}", link.0);
+                }
                 self.pump_port(now, node, link);
-                let n = self.shard.ports[ln][link.0 as usize]
-                    .as_ref()
-                    .expect("port")
-                    .flows
-                    .len();
+                let n = match self.shard.ports[ln][link.0 as usize].as_ref() {
+                    Some(p) => p.flows.len(),
+                    None => 0,
+                };
                 for k in 0..n {
-                    let port = self.shard.ports[ln][link.0 as usize]
-                        .as_ref()
-                        .expect("port");
+                    let Some(port) = self.shard.ports[ln][link.0 as usize].as_ref() else {
+                        break;
+                    };
                     // Once the transmit queue is full again the freed
                     // credits are spoken for: no later flow can enqueue
                     // (the queue caps at 4) or transmit (pump_flow's own
@@ -754,7 +766,9 @@ impl ShardRun<'_> {
                 let bytes = packet.data.len() as u64;
                 let outcome = self.nodes[ln]
                     .deliver_routed(now, link, packet, coherent)
-                    .unwrap_or_else(|e| panic!("delivery failed at node {node}: {e:?}"));
+                    .unwrap_or_else(|e| {
+                        protocol_violation!("delivery failed at node {node}: {e:?}")
+                    });
                 match outcome {
                     DeliverOutcome::Committed { offset, visible } => {
                         self.schedule_drain(now, node, link, vc, has_data);
@@ -781,11 +795,9 @@ impl ShardRun<'_> {
                         // deadlock on meshes of 4x4 and up — the 2x2 the
                         // model checker covers is too small to close the
                         // loop).
-                        let out_port = self.shard.ports[ln][out.0 as usize]
-                            .as_mut()
-                            .unwrap_or_else(|| {
-                                panic!("forward out inactive port n{node} l{}", out.0)
-                            });
+                        let Some(out_port) = self.shard.ports[ln][out.0 as usize].as_mut() else {
+                            protocol_violation!("forward out inactive port n{node} l{}", out.0);
+                        };
                         let hold = !out_port.coherent;
                         out_port.tx.enqueue(packet);
                         out_port
@@ -817,18 +829,18 @@ impl ShardRun<'_> {
     ) {
         let ln = node - self.shard.base;
         {
-            let port = self.shard.ports[ln][link.0 as usize]
-                .as_mut()
-                .unwrap_or_else(|| panic!("drain on inactive port n{node} l{}", link.0));
-            port.rx
-                .drain_parts(vc, has_data)
-                .expect("accepted before drain");
+            let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                protocol_violation!("drain on inactive port n{node} l{}", link.0);
+            };
+            if let Err(e) = port.rx.drain_parts(vc, has_data) {
+                protocol_violation!("n{node} l{}: drained a buffer never accepted: {e}", link.0);
+            }
         }
         loop {
             let (d, peer, peer_link) = {
-                let port = self.shard.ports[ln][link.0 as usize]
-                    .as_mut()
-                    .expect("port");
+                let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                    break;
+                };
                 if !port.rx.has_pending_credits() {
                     break;
                 }
@@ -865,6 +877,7 @@ const ABORT: u64 = u64::MAX - 1;
 
 /// One PDES worker: loops epochs over its contiguous group of shards
 /// until the horizon goes to a sentinel. Returns `true` on quiescence.
+#[cfg_attr(lint, tcc_no_panic)]
 fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
     loop {
         let mut min = u64::MAX;
@@ -881,8 +894,7 @@ fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
                 .mins
                 .iter()
                 .map(|m| m.load(Ordering::Acquire))
-                .min()
-                .expect("at least one worker");
+                .fold(u64::MAX, u64::min);
             let total = coord.events.load(Ordering::Relaxed);
             let horizon = if gmin == u64::MAX {
                 DONE
@@ -914,6 +926,7 @@ fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
 /// The sequential executive: the identical epoch algorithm with no
 /// spawn, no barriers and no atomics. This is both the `threads = 1`
 /// fast path and the reference the threaded path must bit-match.
+#[cfg_attr(lint, tcc_no_panic)]
 fn run_inline(runs: &mut [ShardRun<'_>], lookahead: Duration) -> bool {
     let mut total = 0u64;
     loop {

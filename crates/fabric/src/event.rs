@@ -114,7 +114,12 @@ impl<E> Arena<E> {
     }
 
     /// Park `event`, returning its handle.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    ///
+    /// Deliberate panic (reviewed): handles are u32 by layout contract
+    /// with every backend; 2^32 simultaneously-parked events means the
+    /// event budget check has already failed and memory is gone —
+    /// truncating the handle instead would silently alias two events.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
     fn park(&mut self, event: E) -> u32 {
         match self.free.pop() {
             Some(h) => {
@@ -132,7 +137,12 @@ impl<E> Arena<E> {
 
     /// Reclaim the payload behind `handle`; the slot returns to the free
     /// list.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    ///
+    /// Deliberate panic (reviewed): an empty slot here means a backend
+    /// double-popped a handle — continuing would replay or drop an event
+    /// and silently break bit-determinism, the one guarantee the whole
+    /// queue exists to keep.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
     fn take(&mut self, handle: u32) -> E {
         let ev = self.slots[handle as usize]
             .take()
@@ -219,7 +229,7 @@ impl<E> EventQueue<E> {
     /// Schedule `event` under an explicit key. The sharded engine uses
     /// this to stamp events with `(shard, shard-local seq)` so merge
     /// order is deterministic across thread counts. Keys must be unique.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn schedule_keyed(&mut self, key: EventKey, event: E) {
         self.scheduled_total += 1;
         let h = self.arena.park(event);
@@ -250,7 +260,7 @@ impl<E> EventQueue<E> {
     /// O(1) on the ladder and memoised-O(1) on the calendar: when the
     /// pending minimum already lies at or past the horizon the call
     /// returns without scanning anything.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn pop_keyed_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
         let (key, h) = match &mut self.inner {
             Inner::Heap(q) => {
@@ -392,7 +402,7 @@ impl LadderQueue {
         }
     }
 
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn insert(&mut self, key: EventKey, handle: u32) {
         if self.bottom.is_empty() && self.top.is_empty() {
             // Queue fully drained: re-anchor the window at the new event
@@ -452,11 +462,19 @@ impl LadderQueue {
 
     /// Move the next window of top events into the bottom and sort it.
     /// Called only when the bottom is dry and the top is not.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn refill(&mut self) {
         debug_assert!(self.bottom.is_empty() && !self.top.is_empty());
         debug_assert_eq!(self.bot_head, 0);
-        let floor = self.top_min.expect("top_min valid while top nonempty");
+        // The hint is maintained by every push into the top; if it were
+        // ever lost, re-derive it with one cold sweep rather than abort.
+        let floor = match self.top_min {
+            Some(m) => m,
+            None => match self.top.iter().map(|&(k, _)| k).min() {
+                Some(m) => m,
+                None => return,
+            },
+        };
         self.bot_end = floor.at.0.saturating_add(self.width);
         // One sweep: qualifying events move down (swap_remove keeps the
         // sweep O(n)), the survivors' minimum is re-derived in place.
@@ -490,7 +508,7 @@ impl LadderQueue {
     /// Take the live minimum and advance the cursor. The dead prefix is
     /// dropped when the live region empties (free) or when it outweighs
     /// the live region (one compaction memmove, amortised O(1) per pop).
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn pop_live(&mut self) -> (EventKey, u32) {
         let e = self.bottom[self.bot_head];
         self.bot_head += 1;
@@ -517,7 +535,7 @@ impl LadderQueue {
     /// Pop the minimum only if it fires strictly before `limit`. The
     /// refusal path never scans: the live head or the top hint decides
     /// in one comparison.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, u32)> {
         if let Some(&(k, _)) = self.bottom.get(self.bot_head) {
             if k.at >= limit {
@@ -615,7 +633,7 @@ impl CalendarQueue {
     /// Insert under `key`. Amortised O(1): a bucket index computation and
     /// an append; the occupancy-triggered `resize` is the only non-hot
     /// step and recycles bucket storage.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn insert(&mut self, key: EventKey, handle: u32) {
         // An event earlier than the cursor's day (legal: ties with the
         // current instant, or a sharded merge delivering work at the
@@ -644,7 +662,7 @@ impl CalendarQueue {
     /// at most one year (each day's events can only live in its own
     /// bucket, so the first day with an event holds the minimum), falling
     /// back to a direct sweep for sparse far-future populations.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn find_min(&self) -> Option<(usize, usize)> {
         if self.count == 0 {
             return None;
@@ -703,7 +721,7 @@ impl CalendarQueue {
     /// Pop the minimum only if it fires strictly before `limit`; the
     /// cursor stays put on a refusal and the hint stays live, so the next
     /// call is O(1) (the gap is at most one epoch's lookahead band).
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, u32)> {
         let (b, i) = self.find_min_cached()?;
         if self.buckets[b][i].0.at >= limit {

@@ -9,6 +9,7 @@ use tcc_fabric::time::SimTime;
 use tcc_fabric::Trace;
 use tcc_ht::init::{LinkEndpoint, LinkRegs};
 use tcc_ht::link::LinkConfig;
+use tcc_ht::protocol_violation;
 use tcc_ht::Packet;
 use tcc_opteron::node::{Action, ActionSink, Node};
 use tcc_opteron::regs::{LinkId, NodeId};
@@ -323,7 +324,7 @@ impl Platform {
     /// and appends every DRAM commit that resulted to `commits`; both
     /// buffers are caller-owned so the hot path reuses them without
     /// allocating.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn propagate(
         &mut self,
         from_node: usize,
@@ -355,10 +356,13 @@ impl Platform {
                     packet,
                     arrival,
                 } => {
-                    let (peer, peer_link, coherent) = self.route_cache[node][link.0 as usize]
-                        .unwrap_or_else(|| {
-                            panic!("packet out untrained/unwired link n{node} l{}", link.0)
-                        });
+                    let Some((peer, peer_link, coherent)) = self.route_cache[node][link.0 as usize]
+                    else {
+                        protocol_violation!(
+                            "packet out untrained/unwired link n{node} l{}",
+                            link.0
+                        );
+                    };
                     self.monitor_packet(&PacketEvent {
                         src: (node, link),
                         dst: (peer, peer_link),
@@ -370,7 +374,9 @@ impl Platform {
                     followups.clear();
                     self.nodes[peer]
                         .deliver(arrival, peer_link, packet, coherent, &mut followups)
-                        .unwrap_or_else(|e| panic!("delivery failed at node {peer}: {e:?}"));
+                        .unwrap_or_else(|e| {
+                            protocol_violation!("delivery failed at node {peer}: {e:?}")
+                        });
                     work.extend(followups.drain().map(|a| (peer, a)));
                     self.deliver_sink = followups;
                 }

@@ -107,23 +107,6 @@ impl Pool {
             available: initial,
         }
     }
-
-    /// Consume one credit.
-    fn take(&mut self) -> Option<()> {
-        self.available = self.available.checked_sub(1)?;
-        Some(())
-    }
-
-    /// Return `n` credits; fails if that would exceed `initial`.
-    fn put(&mut self, n: u8) -> Result<(), u8> {
-        match self.available.checked_add(n).filter(|&v| v <= self.initial) {
-            Some(v) => {
-                self.available = v;
-                Ok(())
-            }
-            None => Err(self.initial - self.available),
-        }
-    }
 }
 
 /// Transmitter-side credit state for one link direction.
@@ -191,19 +174,22 @@ impl TxCredits {
         true
     }
 
-    /// Consume credits for sending `pkt`.
+    /// Consume credits for sending `pkt`. On failure nothing is
+    /// consumed: both pools are validated before either is touched, so
+    /// the decrements below cannot underflow.
     pub fn consume(&mut self, pkt: &Packet) -> Result<(), CreditError> {
         let vc = pkt.vc();
         let i = vc.index();
+        let needs_data = !pkt.data.is_empty();
         if self.cmd[i].available == 0 {
             return Err(CreditError::NoCmdCredit(vc));
         }
-        if !pkt.data.is_empty() && self.data[i].available == 0 {
+        if needs_data && self.data[i].available == 0 {
             return Err(CreditError::NoDataCredit(vc));
         }
-        self.cmd[i].take().expect("checked above");
-        if !pkt.data.is_empty() {
-            self.data[i].take().expect("checked above");
+        self.cmd[i].available -= 1;
+        if needs_data {
+            self.data[i].available -= 1;
         }
         Ok(())
     }
@@ -234,9 +220,11 @@ impl TxCredits {
                 });
             }
         }
+        // Every return fits below `initial` (validated above), so the
+        // adds cannot overflow the pools.
         for i in 0..3 {
-            self.cmd[i].put(ret.cmd[i]).expect("validated above");
-            self.data[i].put(ret.data[i]).expect("validated above");
+            self.cmd[i].available += ret.cmd[i];
+            self.data[i].available += ret.data[i];
         }
         Ok(())
     }

@@ -15,10 +15,13 @@
 //!   delivery checker.
 //! * [`retry`] — the HT3 link-level retry protocol: per-frame CRC +
 //!   sequence numbers, cumulative acks, nak-triggered Go-Back-N replay.
+//! * [`fatal`] — the reviewed protocol-violation funnel the hot path
+//!   aborts through (see the `panic-freedom` pass in tcc-analyze).
 
 #![forbid(unsafe_code)]
 
 pub mod crc;
+pub mod fatal;
 pub mod flow;
 pub mod init;
 pub mod link;

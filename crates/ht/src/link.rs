@@ -169,10 +169,9 @@ impl LinkTx {
     /// VC queue is empty and credits admit the packet, it goes straight
     /// to the wire without the queue round-trip; the transfer order (and
     /// therefore all timing) is identical to `enqueue` + `pump_into`.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn send_into(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Delivery>) {
-        if self.queues.iter().all(|q| q.is_empty()) && self.credits.can_send(&pkt) {
-            self.credits.consume(&pkt).expect("checked can_send");
+        if self.queues.iter().all(|q| q.is_empty()) && self.credits.consume(&pkt).is_ok() {
             out.push(self.put_on_wire(now, pkt));
             return;
         }
@@ -183,19 +182,19 @@ impl LinkTx {
     /// Like [`pump`](Self::pump), but appends into a caller-provided
     /// scratch vector — the store-issue hot path reuses one per node so
     /// pumping allocates nothing in steady state.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn pump_into(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
         loop {
             let mut sent_any = false;
             for vc in VirtualChannel::ALL {
                 let q = &mut self.queues[vc.index()];
                 let Some(front) = q.front() else { continue };
-                if !self.credits.can_send(front) {
+                if self.credits.consume(front).is_err() {
                     self.stats.stalls_no_credit += 1;
                     continue;
                 }
-                let pkt = q.pop_front().expect("front exists");
-                self.credits.consume(&pkt).expect("checked can_send");
+                // Credits are consumed; the front must leave the queue.
+                let Some(pkt) = q.pop_front() else { break };
                 out.push(self.put_on_wire(now, pkt));
                 sent_any = true;
             }

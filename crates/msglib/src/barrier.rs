@@ -66,7 +66,10 @@ impl<R: RemoteWindow, L: LocalWindow> Barrier<R, L> {
         for k in 0..rounds_for(self.n) {
             let to = (self.rank + (1 << k)) % self.n;
             if to != self.rank {
-                let w = self.peers[to].as_ref().expect("validated in new");
+                // Validated in `new`: every round partner has a window.
+                let Some(w) = self.peers[to].as_ref() else {
+                    crate::protocol_violation!("rank {to} lost its sync window after validation");
+                };
                 w.store_u64((k * 8) as u64, e);
                 w.fence();
             }

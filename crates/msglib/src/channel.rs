@@ -18,6 +18,7 @@
 //! `[0]` ring credit (consumed seq), `[8]` rendezvous credit (consumed
 //! bytes).
 
+use crate::protocol_violation;
 use crate::ring::{RingError, RingReceiver, RingSender, SendMode, MAX_EAGER, RING_BYTES};
 use crate::window::{LocalWindow, RemoteWindow};
 
@@ -220,7 +221,11 @@ impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
             return match self.ring.try_send(&self.frame_scratch) {
                 Ok(()) => Ok(()),
                 Err(RingError::WouldBlock) => Err(SendError::WouldBlock),
-                Err(RingError::TooLarge(_)) => unreachable!("checked size"),
+                // The inline frame is < MAX_EAGER + 1 by the guard above;
+                // a TooLarge here means the ring was built undersized.
+                Err(RingError::TooLarge(n)) => {
+                    protocol_violation!("ring rejected {n} B inline frame under MAX_EAGER")
+                }
             };
         }
         if msg.len() > MAX_MESSAGE {
@@ -262,12 +267,15 @@ impl<R: RemoteWindow + Clone, L: LocalWindow + Clone> Sender<R, L> {
                 Ok(())
             }
             Err(RingError::WouldBlock) => Err(SendError::WouldBlock),
-            Err(RingError::TooLarge(_)) => unreachable!("descriptor is tiny"),
+            // A 17 B descriptor never exceeds a well-formed ring's slot.
+            Err(RingError::TooLarge(n)) => {
+                protocol_violation!("ring rejected {n} B rendezvous descriptor")
+            }
         }
     }
 
     /// Blocking send. Uses exponential backoff while out of credit.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn send(&mut self, msg: &[u8]) -> Result<(), SendError> {
         let mut backoff = crate::window::Backoff::new();
         loop {
@@ -310,8 +318,14 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
             }
             TAG_RDVZ => {
                 assert_eq!(framed, 17, "descriptor frame");
-                let off = u64::from_le_bytes(out[1..9].try_into().expect("8B"));
-                let len = u64::from_le_bytes(out[9..17].try_into().expect("8B"));
+                // copy_from_slice rather than try_into: the length is
+                // pinned by the assert above, and this keeps the decode
+                // free of Result plumbing on the hot receive path.
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&out[1..9]);
+                let off = u64::from_le_bytes(word);
+                word.copy_from_slice(&out[9..17]);
+                let len = u64::from_le_bytes(word);
                 out.clear();
                 out.resize(len as usize, 0);
                 self.rdvz.load(off, out);
@@ -327,7 +341,9 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
                 self.rdvz_credit.fence();
                 Some(out.len())
             }
-            other => panic!("corrupt frame tag {other}"),
+            // A tag outside the protocol means the ring bytes are garbage;
+            // nothing downstream could trust a value decoded from them.
+            other => protocol_violation!("corrupt frame tag {other}"),
         }
     }
 
@@ -340,7 +356,7 @@ impl<L: LocalWindow + Clone, R: RemoteWindow + Clone> Receiver<L, R> {
 
     /// Blocking receive into a caller-provided buffer. Returns the
     /// message length. Uses exponential backoff while idle.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn recv_into(&mut self, out: &mut Vec<u8>) -> usize {
         let mut backoff = crate::window::Backoff::new();
         loop {

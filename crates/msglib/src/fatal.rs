@@ -1,0 +1,28 @@
+//! msglib's protocol-violation funnel — the local twin of
+//! `tcc_ht::fatal` (this crate sits below tcc-ht in the dependency
+//! graph, so it cannot share that one). One reviewed `tcc_panic_ok`
+//! function is the only way hot-path code aborts: a frame that fails to
+//! decode after its ready flag was observed, or a tag outside the
+//! protocol, means the shared-memory window is corrupt and any value
+//! returned from it would be garbage.
+
+use core::fmt;
+
+/// Abort on a broken wire-protocol invariant. Never returns.
+///
+/// Deliberate panic, reviewed — see the module docs. Call through
+/// [`protocol_violation!`](crate::protocol_violation).
+#[cold]
+#[inline(never)]
+#[cfg_attr(lint, tcc_panic_ok)]
+pub fn protocol_violation(args: fmt::Arguments<'_>) -> ! {
+    panic!("protocol violation: {args}");
+}
+
+/// Format-and-abort sugar over [`fatal::protocol_violation`][self::protocol_violation].
+#[macro_export]
+macro_rules! protocol_violation {
+    ($($arg:tt)*) => {
+        $crate::fatal::protocol_violation(core::format_args!($($arg)*))
+    };
+}

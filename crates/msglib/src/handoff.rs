@@ -79,7 +79,10 @@ impl<T> BatchRing<T> {
     /// are skipped for free. Returns `false` (staging untouched) if the
     /// ring is full, which the epoch protocol makes impossible; callers
     /// treat it as a protocol violation.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    /// Deliberate panic, reviewed: a contended `try_lock` means two
+    /// threads hold the producer role at once, and any batch published
+    /// past that point could be lost or duplicated — see the module docs.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
     #[must_use]
     pub fn publish(&self, staging: &mut Vec<T>) -> bool {
         if staging.is_empty() {
@@ -108,7 +111,10 @@ impl<T> BatchRing<T> {
     /// (contents replaced, previous contents handed back to the slot for
     /// recycling — drain `scratch` before calling). Returns `false` and
     /// leaves `scratch` untouched when no batch is pending.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    /// Deliberate panic, reviewed: as with [`publish`](Self::publish), a
+    /// contended slot means the SPSC roles are violated and the batch
+    /// contents cannot be trusted.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
     #[must_use]
     pub fn take(&self, scratch: &mut Vec<T>) -> bool {
         let tail = self.tail.load(Ordering::Relaxed);
@@ -205,6 +211,89 @@ mod tests {
             }
             let _ = cap;
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch ring slot contended")]
+    fn contended_slot_is_a_hard_protocol_bug() {
+        // A second actor holding a slot lock across a publish models two
+        // threads claiming the producer role at once. The ring must abort
+        // rather than spin or silently drop the batch.
+        let ring: BatchRing<u32> = BatchRing::new();
+        let _intruder = ring.slots[0].lock().unwrap();
+        let mut staging = vec![1];
+        let _ = ring.publish(&mut staging);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "slot not drained before reuse")]
+    fn publish_into_an_undrained_slot_trips_the_debug_assert() {
+        let ring: BatchRing<u32> = BatchRing::new();
+        // Corrupt the invariant from outside the protocol: slot 0 holds
+        // leftovers the consumer never drained.
+        ring.slots[0].lock().unwrap().push(99);
+        let mut staging = vec![1];
+        let _ = ring.publish(&mut staging);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scratch not drained before take")]
+    fn take_with_a_dirty_scratch_trips_the_debug_assert() {
+        let ring: BatchRing<u32> = BatchRing::new();
+        let mut staging = vec![1];
+        assert!(ring.publish(&mut staging));
+        let mut scratch = vec![7]; // caller forgot to drain
+        let _ = ring.take(&mut scratch);
+    }
+
+    #[test]
+    fn randomized_schedule_stays_fifo_across_wraps() {
+        // 10k publish/take operations in a pseudo-random order against a
+        // two-slot ring: head and tail wrap the slot index thousands of
+        // times, and every batch must still come out exactly once, in
+        // order, including from a completely full ring.
+        let ring: BatchRing<u64> = BatchRing::with_slots(2);
+        let mut lcg = 0x2545F491_4F6CDD1Du64; // deterministic seed
+        let mut staging = Vec::new();
+        let mut scratch = Vec::new();
+        let (mut published, mut taken) = (0u64, 0u64);
+        let mut full_refusals = 0u64;
+        for _ in 0..10_000 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Decide from the high bits (the low bits of a 2^64-modulus
+            // LCG alternate with a tiny period); bias 3:1 toward publish
+            // so the schedule keeps the two-slot ring at capacity.
+            if lcg >> 62 != 0 {
+                staging.push(published);
+                if ring.publish(&mut staging) {
+                    published += 1;
+                    assert!(staging.is_empty());
+                } else {
+                    // Full at wrap-around: staging must survive intact.
+                    assert_eq!(ring.pending(), 2);
+                    assert_eq!(staging, [published]);
+                    staging.clear();
+                    full_refusals += 1;
+                }
+            } else if ring.take(&mut scratch) {
+                assert_eq!(scratch, [taken], "batches delivered in order");
+                taken += 1;
+                scratch.clear();
+            }
+        }
+        while ring.take(&mut scratch) {
+            assert_eq!(scratch, [taken]);
+            taken += 1;
+            scratch.clear();
+        }
+        assert_eq!(taken, published, "every published batch arrived once");
+        assert!(published > 2_000, "schedule exercised the ring");
+        assert!(full_refusals > 0, "schedule hit the full-ring wrap case");
+        assert_eq!(ring.pending(), 0);
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl<R: RemoteWindow, L: LocalWindow> RingSender<R, L> {
     }
 
     /// Blocking send: exponential backoff while waiting on credit.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn send(&mut self, msg: &[u8]) -> Result<(), RingError> {
         let mut backoff = crate::window::Backoff::new();
         loop {
@@ -222,22 +222,22 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
             let cell = (self.expect_seq % RING_CELLS as u64) as usize;
             let base = (cell * CELL_BYTES) as u64;
             let header = self.ring.load_u64(base + CELL_PAYLOAD as u64);
-            let ready = match decode_header(header) {
-                Some((seq, ..)) if seq == self.expect_seq => true,
+            // Decode once: a cell is ready only when its header validates
+            // and carries the expected sequence number.
+            let (len, first, last) = match decode_header(header) {
+                Some((seq, len, first, last)) if seq == self.expect_seq => (len, first, last),
                 // Invalid or stale cell (previous ring lap): not ready.
-                _ => false,
-            };
-            if !ready {
-                // The ring is idle from our side: push any withheld credit
-                // out now, otherwise a sender blocked on the last few
-                // cells would deadlock against our CREDIT_INTERVAL
+                // The ring is idle from our side, so push any withheld
+                // credit out now, otherwise a sender blocked on the last
+                // few cells would deadlock against our CREDIT_INTERVAL
                 // batching.
-                if self.expect_seq != self.last_credit_sent {
-                    self.flush_credit();
+                _ => {
+                    if self.expect_seq != self.last_credit_sent {
+                        self.flush_credit();
+                    }
+                    return None;
                 }
-                return None;
-            }
-            let (_, len, first, last) = decode_header(header).expect("checked ready");
+            };
             if first {
                 self.partial.clear();
             }
@@ -269,7 +269,7 @@ impl<L: LocalWindow, R: RemoteWindow> RingReceiver<L, R> {
 
     /// Spin until a message arrives, delivering into `out`. Returns the
     /// message length. Uses exponential backoff while idle.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn recv_into(&mut self, out: &mut Vec<u8>) -> usize {
         let mut backoff = crate::window::Backoff::new();
         loop {

@@ -82,10 +82,11 @@ impl ShmMemory {
         let mut chunks = data.chunks_exact(8);
         for c in &mut chunks {
             let w = (off / 8) as usize;
-            self.words[w].store(
-                u64::from_le_bytes(c.try_into().expect("8-byte chunk")),
-                Ordering::Relaxed,
-            );
+            // chunks_exact(8) pins the length, so copy into a fixed word
+            // rather than fallibly converting the slice.
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            self.words[w].store(u64::from_le_bytes(word), Ordering::Relaxed);
             off += 8;
         }
         // Trailing partial word.

@@ -115,15 +115,12 @@ impl Cache {
         let sets = &mut self.sets[set];
         sets.retain(|l| l.state != State::Invalid);
         if sets.len() == self.ways {
-            let victim_idx = sets
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("ways > 0");
-            let victim = sets.swap_remove(victim_idx);
-            if victim.state == State::Modified {
-                writeback = Some(victim.tag << self.set_shift);
+            // The set is full, so a least-recently-used victim exists.
+            if let Some((victim_idx, _)) = sets.iter().enumerate().min_by_key(|&(_, l)| l.lru) {
+                let victim = sets.swap_remove(victim_idx);
+                if victim.state == State::Modified {
+                    writeback = Some(victim.tag << self.set_shift);
+                }
             }
         }
         sets.push(Line {

@@ -57,7 +57,10 @@ impl From<MapError> for NbError {
     fn from(e: MapError) -> Self {
         match e {
             MapError::Unmapped(a) => NbError::Unmapped(a),
-            other => panic!("address map misprogrammed: {other}"),
+            // Overlap/ordering errors belong to programming time
+            // (`validate` rejects them); a resolve that still surfaces
+            // one routes as unroutable rather than aborting mid-run.
+            _ => NbError::Unroutable("address map misprogrammed"),
         }
     }
 }
@@ -126,7 +129,9 @@ impl Northbridge {
                 Err(NbError::Unroutable("link-local command reached router"))
             }
             _ => {
-                let addr = pkt.addr().expect("addressed request");
+                let Some(addr) = pkt.addr() else {
+                    return Err(NbError::Unroutable("addressed command carries no address"));
+                };
                 let target = self.addr_map.resolve(addr)?;
                 let from_noncoherent_link = matches!(
                     source,
@@ -139,7 +144,7 @@ impl Northbridge {
                     Target::Dram { home } if home == self.node_id => {
                         let offset = self
                             .local_dram_offset(addr)
-                            .expect("home node has a local range");
+                            .ok_or(NbError::Unmapped(addr))?;
                         Ok(Disposition::LocalMemory {
                             offset,
                             // ncHT packets cross the IO bridge into the

@@ -24,6 +24,7 @@ use tcc_fabric::channel::Channel;
 use tcc_fabric::time::{Duration, SimTime};
 use tcc_ht::link::{Delivery, LinkConfig, LinkTx};
 use tcc_ht::packet::Packet;
+use tcc_ht::protocol_violation;
 
 /// An externally visible consequence of a node operation.
 #[derive(Debug, Clone)]
@@ -224,7 +225,7 @@ impl Node {
 
     /// Time by which the issue stage may run ahead of the absorption
     /// stage — the store queue's worth of buffering.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn sq_headroom(&mut self) -> Duration {
         let bytes = (self.params.srq_entries * self.params.wc_buffer_bytes) as u64;
         let rate = self.params.absorb_bytes_per_sec;
@@ -245,7 +246,7 @@ impl Node {
     /// store queue) is where a streaming loop chains its next store, while
     /// downstream stages (WC flush → absorption → northbridge → wire)
     /// proceed concurrently, each modelled by a busy-tracking channel.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn store(
         &mut self,
         now: SimTime,
@@ -312,7 +313,7 @@ impl Node {
     /// `sfence`: drain WC buffers, wait for all previously flushed stores
     /// to be accepted downstream, pay the serialisation cost, and return
     /// when the core may proceed.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn sfence(&mut self, now: SimTime, sink: &mut ActionSink) -> StoreOutcome {
         let mut drained = std::mem::take(&mut self.flush_scratch);
         drained.clear();
@@ -342,7 +343,7 @@ impl Node {
     /// A message with `len == 0` still issues one (empty) cell so the
     /// header store happens — a zero-length eager message is a real
     /// message.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     pub fn store_burst(
         &mut self,
         now: SimTime,
@@ -401,7 +402,7 @@ impl Node {
     /// Turn one WC flush into packets/commits. Returns the retire time —
     /// when the absorption stage accepted the data; the packet cuts
     /// through to the northbridge at absorption *start*.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn emit_flush(&mut self, at: SimTime, flush: &Flush, sink: &mut ActionSink) -> SimTime {
         self.emit_runs(
             at,
@@ -414,7 +415,7 @@ impl Node {
 
     /// Absorption-stage accounting shared by WC flushes and UC stores.
     /// `bytes` must equal the total length of `runs`.
-    #[cfg_attr(lint, tcc_no_alloc)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn emit_runs<'a>(
         &mut self,
         at: SimTime,
@@ -428,7 +429,11 @@ impl Node {
         // oldest absorbed line has reached the wire.
         let mut gate = t_wc;
         while self.inflight_bytes + bytes > self.params.absorb_capacity_bytes {
-            let oldest = self.inflight.pop_front().expect("inflight non-empty");
+            // inflight_bytes > 0 implies a tracked arrival; an empty
+            // deque just means nothing is left to wait on.
+            let Some(oldest) = self.inflight.pop_front() else {
+                break;
+            };
             self.inflight_bytes -= self.params.wc_buffer_bytes as u64;
             gate = gate.max(oldest);
         }
@@ -472,7 +477,7 @@ impl Node {
                     done = done.max(self.transmit(link, pkt, t_nb, sink));
                 }
                 Ok(Disposition::Filtered { .. }) => sink.push(Action::BroadcastFiltered),
-                Err(e) => panic!("store to {addr:#x} unroutable: {e:?}"),
+                Err(e) => protocol_violation!("store to {addr:#x} unroutable: {e:?}"),
             }
         }
         done
@@ -499,9 +504,9 @@ impl Node {
         let auto = self.auto_credit;
         let mut dels = std::mem::take(&mut self.dels_scratch);
         dels.clear();
-        let tx = self.links[link.0 as usize]
-            .as_mut()
-            .unwrap_or_else(|| panic!("packet routed to unattached link {link:?}"));
+        let Some(tx) = self.links[link.0 as usize].as_mut() else {
+            protocol_violation!("packet routed to unattached link {link:?}");
+        };
         tx.send_into(t, pkt, &mut dels);
         if auto {
             for d in &dels {
@@ -510,8 +515,9 @@ impl Node {
                 if !d.packet.data.is_empty() {
                     ret.data[d.packet.vc().index()] = 1;
                 }
-                tx.credit_return(ret)
-                    .expect("auto-credit returns exactly what this delivery consumed");
+                if let Err(e) = tx.credit_return(ret) {
+                    protocol_violation!("auto-credit return out of step: {e}");
+                }
             }
         }
         let mut done = t;

@@ -167,17 +167,14 @@ impl WcBuffers {
             Some(i) => i,
             None => {
                 if self.buffers.len() == self.capacity {
-                    // Evict the oldest buffer.
-                    let oldest = self
-                        .buffers
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, b)| b.age)
-                        .map(|(i, _)| i)
-                        .expect("capacity > 0");
-                    let b = self.buffers.swap_remove(oldest);
-                    self.flushes_evict += 1;
-                    out.push(b.flush());
+                    // Evict the oldest buffer (the full set has one).
+                    if let Some((oldest, _)) =
+                        self.buffers.iter().enumerate().min_by_key(|&(_, b)| b.age)
+                    {
+                        let b = self.buffers.swap_remove(oldest);
+                        self.flushes_evict += 1;
+                        out.push(b.flush());
+                    }
                 }
                 self.buffers.push(Buffer {
                     line_addr: line,

@@ -4,12 +4,14 @@
 //! 1. **forbid-unsafe** — every non-bench crate's `lib.rs` must carry
 //!    `#![forbid(unsafe_code)]` (the bench crate is exempt: its counting
 //!    global allocator needs `unsafe impl GlobalAlloc`).
-//! 2. **tcc-analyze** — the four AST-level passes (alloc-reachability,
-//!    lock-order, time-arith, determinism; see `docs/static-analysis.md`).
-//!    This replaced the old HOT_FUNCTIONS substring scan: hot functions
-//!    now carry `#[cfg_attr(lint, tcc_no_alloc)]` in-place, the analyzer
-//!    checks them *transitively*, and a baseline guard fails the gate if
-//!    annotations are ever deleted instead of migrated.
+//! 2. **tcc-analyze** — the six AST-level passes (alloc-reachability,
+//!    lock-order, time-arith, determinism, panic-freedom, epoch-phase;
+//!    see `docs/static-analysis.md`). Hot functions carry
+//!    `#[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]` in-place, the
+//!    analyzer checks them *transitively* over the shared call graph, and
+//!    baseline guards fail the gate if annotations are ever deleted
+//!    instead of migrated — or if the epoch-phase pass stops recognising
+//!    the engine's phase machine (rank count collapse).
 //! 3. **clippy** — `cargo clippy --workspace --all-targets -- -D warnings`,
 //!    which also promotes the `clippy.toml` disallowed-methods (wallclock
 //!    reads outside the bench harness) to hard errors.
@@ -30,6 +32,19 @@ use std::process::{Command, ExitCode};
 /// were annotated). The count may only grow: a drop means someone
 /// deleted an annotation rather than migrating it.
 const NO_ALLOC_BASELINE: usize = 33;
+
+/// The number of `tcc_no_panic` annotations the workspace carries (31
+/// when the panic-freedom pass landed: the 29 no-alloc hot paths that
+/// are also panic-checked, plus the two `run_worker`/`run_inline`
+/// drivers). Guarded like [`NO_ALLOC_BASELINE`]: the count may only
+/// grow.
+const NO_PANIC_BASELINE: usize = 31;
+
+/// The epoch-phase pass must keep ranking at least this many in-scope
+/// engine functions (21 when the pass landed). A collapse below the
+/// floor means the pass went blind (e.g. the anchor patterns no longer
+/// match the engine's rings) and its clean verdict is vacuous.
+const PHASE_RANKED_FLOOR: usize = 8;
 
 /// Crates exempt from `#![forbid(unsafe_code)]`: bench installs a counting
 /// `GlobalAlloc` for the zero-allocation regression tests.
@@ -114,11 +129,19 @@ fn lint(opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Run the four tcc-analyze passes, write `LINT_report.json` at the
-/// workspace root, enforce the annotation baseline. Returns Ok(clean).
+/// Run the six tcc-analyze passes, write `LINT_report.json` at the
+/// workspace root, enforce the annotation baselines and the phase-rank
+/// floor. Returns Ok(clean).
 fn run_analyzer(root: &Path, opts: &Opts) -> Result<bool, String> {
     let ws = tcc_analyze::Workspace::load_root(root).map_err(|e| e.to_string())?;
-    let report = tcc_analyze::run_all(&ws);
+    let mut report = tcc_analyze::run_all(&ws);
+    // Record the enforced floors in the artifact itself, so a report can
+    // be audited without this source file next to it.
+    report.baselines = vec![
+        ("no_alloc", NO_ALLOC_BASELINE),
+        ("no_panic", NO_PANIC_BASELINE),
+        ("phase_ranked", PHASE_RANKED_FLOOR),
+    ];
 
     let json = report.to_json();
     std::fs::write(root.join("LINT_report.json"), &json)
@@ -139,6 +162,24 @@ fn run_analyzer(root: &Path, opts: &Opts) -> Result<bool, String> {
              ({} < {NO_ALLOC_BASELINE}) — hot-path annotations must be migrated, \
              not deleted (docs/static-analysis.md)",
             report.no_alloc_annotations
+        );
+        clean = false;
+    }
+    if report.no_panic_annotations < NO_PANIC_BASELINE {
+        eprintln!(
+            "xtask lint: tcc_no_panic annotation count dropped below baseline \
+             ({} < {NO_PANIC_BASELINE}) — hot-path annotations must be migrated, \
+             not deleted (docs/static-analysis.md)",
+            report.no_panic_annotations
+        );
+        clean = false;
+    }
+    if report.phase_ranked_functions < PHASE_RANKED_FLOOR {
+        eprintln!(
+            "xtask lint: epoch-phase pass ranked only {} in-scope function(s) \
+             (< {PHASE_RANKED_FLOOR}) — the pass no longer recognises the engine's \
+             phase machine, so its clean verdict is vacuous (docs/static-analysis.md)",
+            report.phase_ranked_functions
         );
         clean = false;
     }
@@ -221,6 +262,16 @@ mod tests {
             "annotation count {} fell below the migrated baseline {NO_ALLOC_BASELINE}",
             report.no_alloc_annotations
         );
+        assert!(
+            report.no_panic_annotations >= NO_PANIC_BASELINE,
+            "tcc_no_panic count {} fell below the baseline {NO_PANIC_BASELINE}",
+            report.no_panic_annotations
+        );
+        assert!(
+            report.phase_ranked_functions >= PHASE_RANKED_FLOOR,
+            "epoch-phase pass ranked only {} functions (< {PHASE_RANKED_FLOOR})",
+            report.phase_ranked_functions
+        );
     }
 
     #[test]
@@ -229,9 +280,15 @@ mod tests {
         let ws = tcc_analyze::Workspace::load_root(&root).expect("load workspace");
         let json = tcc_analyze::run_all(&ws).to_json();
         for key in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"clean\"",
             "\"no_alloc_annotations\"",
+            "\"annotations\"",
+            "\"pass_counts\"",
+            "\"panic-freedom\"",
+            "\"epoch-phase\"",
+            "\"phase_ranked_functions\"",
+            "\"baselines\"",
             "\"diagnostics\"",
         ] {
             assert!(json.contains(key), "missing {key}");
