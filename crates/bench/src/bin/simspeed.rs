@@ -107,6 +107,12 @@ const PRE_CHANGE_STORM_MSGS_PER_SEC: f64 = 591_846.0;
 /// fan-out), best backend (BinaryHeap), recorded on this PR's dev host
 /// immediately before the mailbox/arena/ladder work landed.
 const PRE_CHANGE_MESH8_T1_EPS: f64 = 2_530_000.0;
+/// Best 8×8 t1 rate recorded by the previous perf PR (ring mailboxes,
+/// arena events, ladder queue) on its dev host — the floor the flattened
+/// exec path must not regress below. Like every cross-host wallclock
+/// guard, `--check` applies [`MESH8_T1_SPEEDUP_FLOOR`] as margin; the
+/// raw value is recorded in the JSON for same-host comparisons.
+const MESH8_T1_FLOOR_EPS: f64 = 2_754_695.0;
 
 /// 8×8 all-to-all flow size: 4 KB per flow × 4032 flows keeps the run in
 /// the millions-of-events regime without dominating the harness.
@@ -257,9 +263,14 @@ fn bench_shm_channel() -> (f64, f64) {
 /// backend comparison actually resolves. Returns ns per hold
 /// (pop + schedule).
 fn bench_queue_hold(backend: QueueBackend) -> f64 {
+    bench_queue_hold_at(backend, 192)
+}
+
+/// [`bench_queue_hold`] at an explicit steady population, for the
+/// population sweep that guards the ladder against density inversions.
+fn bench_queue_hold_at(backend: QueueBackend, population: u64) -> f64 {
     use tccluster::fabric::event::EventQueue;
     use tccluster::fabric::time::SimTime;
-    const POPULATION: u64 = 192;
     const OPS: u64 = 2_000_000;
     let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
     let mut x = 0x9E3779B97F4A7C15u64;
@@ -269,12 +280,12 @@ fn bench_queue_hold(backend: QueueBackend) -> f64 {
         x ^= x << 17;
         (x % 4096) + 1
     };
-    for i in 0..POPULATION {
+    for i in 0..population {
         let d = step();
         q.schedule_at(SimTime(d), i as u32);
     }
     // Warm the structures through one full population turnover.
-    for _ in 0..POPULATION * 4 {
+    for _ in 0..population * 4 {
         let (t, v) = q.pop().expect("population is steady");
         let d = step();
         q.schedule_at(SimTime(t.0 + d), v);
@@ -313,6 +324,16 @@ fn bench_mesh8(
     backend: QueueBackend,
     mailbox: MailboxKind,
 ) -> (f64, WorkloadReport) {
+    bench_mesh8_lane(threads, backend, mailbox, true)
+}
+
+/// [`bench_mesh8`] with the flat fast lane switchable, for the A/B rows.
+fn bench_mesh8_lane(
+    threads: usize,
+    backend: QueueBackend,
+    mailbox: MailboxKind,
+    flat_lane: bool,
+) -> (f64, WorkloadReport) {
     let mut cluster = TcclusterBuilder::new()
         .topology(ClusterTopology::Mesh { x: 8, y: 8 })
         .processors_per_supernode(2)
@@ -320,6 +341,7 @@ fn bench_mesh8(
         .event_threads(threads)
         .event_queue(backend)
         .event_mailbox(mailbox)
+        .event_flat_lane(flat_lane)
         .build_sim();
     let t0 = Instant::now();
     let report = cluster.run_workload(TrafficPattern::AllToAll, MESH8_FLOW_BYTES);
@@ -434,6 +456,67 @@ fn main() {
         smoke();
         return;
     }
+    // Dev-iteration modes: run only one benchmark family, skip the JSON.
+    if args.iter().any(|a| a == "--hold") {
+        const POPS: [u64; 6] = [24, 48, 96, 192, 384, 768];
+        println!("queue hold model (pop + schedule), ns/hold by steady population:");
+        print!("  {:>11}", "population");
+        for pop in POPS {
+            print!("  {pop:>7}");
+        }
+        println!();
+        for backend in QueueBackend::ALL {
+            print!("  {:>11}", backend.name());
+            for pop in POPS {
+                let ns = best_of(|| bench_queue_hold_at(backend, pop));
+                print!("  {ns:>7.1}");
+            }
+            println!();
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--mesh8-once") {
+        let mut best = 0.0f64;
+        for _ in 0..5 {
+            let (eps, _) = bench_mesh8(1, QueueBackend::Ladder, MailboxKind::Ring);
+            println!("ladder x1  {eps:.0} events/sec");
+            best = best.max(eps);
+        }
+        println!("best       {best:.0} events/sec");
+        return;
+    }
+    if args.iter().any(|a| a == "--attr") {
+        let prof = bench_mesh8_attribution(1);
+        let per_sampled = |ns: u64| ns as f64 / prof.sampled_events.max(1) as f64;
+        let per_epoch_event = |ns: u64| ns as f64 / prof.profiled_events.max(1) as f64;
+        println!("stage attribution, t1 (sampled 1/{}):", tccluster::engine::PROFILE_SAMPLE_EVERY);
+        println!("  events {}  sampled {}  visits {}", prof.profiled_events, prof.sampled_events, prof.epochs);
+        println!("  queue    {:>8.1} ns/event (sampled)", per_sampled(prof.queue_ns));
+        println!("  exec     {:>8.1} ns/event (sampled)", per_sampled(prof.exec_ns));
+        println!("    credit  {:>8.1} ns/event", per_sampled(prof.credit_ns));
+        println!("    route   {:>8.1} ns/event", per_sampled(prof.route_ns));
+        println!("    deliver {:>8.1} ns/event", per_sampled(prof.deliver_ns));
+        println!("  mailbox  {:>8.1} ns/event (all epochs)", per_epoch_event(prof.mailbox_ns));
+        return;
+    }
+    if args.iter().any(|a| a == "--mesh8") {
+        println!("event fabric 8x8 all-to-all ({MESH8_FLOW_BYTES} B x 4032 flows), t1:");
+        for backend in QueueBackend::ALL {
+            for flat in [true, false] {
+                let mut eps = 0.0f64;
+                for _ in 0..REPS {
+                    let (e, _) = bench_mesh8_lane(1, backend, MailboxKind::Ring, flat);
+                    eps = eps.max(e);
+                }
+                println!(
+                    "  {:>11} x1 threads  flat={:<5}  {eps:>12.0} events/sec",
+                    backend.name(),
+                    flat
+                );
+            }
+        }
+        return;
+    }
     let check = args.iter().any(|a| a == "--check");
     let cpus = host_cpus();
     println!("simspeed: wallclock of the reproduction's hot paths (host_cpus={cpus})\n");
@@ -456,12 +539,12 @@ fn main() {
     // Pure queue-op hold model: the backend comparison that end-to-end
     // rates (exec-dominated) cannot resolve above host noise.
     println!("\nqueue hold model (pop + schedule, population 192):");
-    let mut hold = [0.0f64; 3];
+    let mut hold = [0.0f64; 4];
     for (i, backend) in QueueBackend::ALL.into_iter().enumerate() {
         hold[i] = best_of(|| bench_queue_hold(backend));
         println!("  {:>11}  {:>8.1} ns/hold", backend.name(), hold[i]);
     }
-    let (hold_ladder, hold_calendar, hold_heap) = (hold[0], hold[1], hold[2]);
+    let (hold_ladder, hold_calendar, hold_heap, hold_auto) = (hold[0], hold[1], hold[2], hold[3]);
 
     // ── 8×8 full backend × thread matrix (ring mailboxes). Single run
     // per cell except the t1 row (best-of-REPS: the t1 cells anchor the
@@ -503,6 +586,21 @@ fn main() {
         "8x8 mutex mailbox diverged from ring"
     );
     let mesh8_events = baseline.as_ref().map_or(0, |r| r.events);
+    // Flat-lane A/B at t1 (default backend, ring mailboxes): the lane-on
+    // rate is the default-backend t1 row above; lane-off is measured here
+    // so the fast lane's end-to-end worth stays in the record.
+    let mut flat_off_t1 = 0.0f64;
+    for _ in 0..REPS {
+        let (e, report) =
+            bench_mesh8_lane(1, QueueBackend::default(), MailboxKind::Ring, false);
+        flat_off_t1 = flat_off_t1.max(e);
+        assert_eq!(
+            &report,
+            baseline.as_ref().expect("baseline run"),
+            "8x8 flat lane off diverged"
+        );
+    }
+    println!("  flat lane off x1 thread {flat_off_t1:>12.0} events/sec");
 
     // speedup_t8_vs_t1 against the BEST t1 backend, not the slowest.
     let (best_t1_backend, best_t1) = matrix.iter().map(|&(b, row)| (b, row[0])).fold(
@@ -524,21 +622,35 @@ fn main() {
     );
     println!("  t1 vs pre-change engine: {t1_speedup:.2}x ({best_t1:.0} vs {PRE_CHANGE_MESH8_T1_EPS:.0})");
 
-    // ── Per-stage attribution (instrumented run; split, not rate). ────
+    // ── Per-stage attribution (instrumented run; split, not rate).
+    // Queue and exec are timed on sampled events (1 in
+    // PROFILE_SAMPLE_EVERY); the mailbox/outbox handoff is timed on every
+    // shard visit. Normalising each to ns/event first makes the shares
+    // comparable. ─────────────────────────────────────────────────────
     let prof = bench_mesh8_attribution(1);
-    let stage_total = (prof.queue_ns + prof.mailbox_ns + prof.exec_ns).max(1);
-    let pct = |ns: u64| ns as f64 * 100.0 / stage_total as f64;
-    let per_event = |ns: u64| ns as f64 / prof.profiled_events.max(1) as f64;
+    let per_sampled = |ns: u64| ns as f64 / prof.sampled_events.max(1) as f64;
+    let queue_pe = per_sampled(prof.queue_ns);
+    let exec_pe = per_sampled(prof.exec_ns);
+    let mailbox_pe = prof.mailbox_ns as f64 / prof.profiled_events.max(1) as f64;
+    let stage_total_pe = (queue_pe + exec_pe + mailbox_pe).max(f64::MIN_POSITIVE);
+    let pct = |pe: f64| pe * 100.0 / stage_total_pe;
+    let events_per_visit = prof.profiled_events as f64 / prof.epochs.max(1) as f64;
     println!(
-        "\nstage attribution (t1, instrumented): queue {:.1}% ({:.1} ns/ev), \
-         mailbox {:.1}% ({:.1} ns/ev), exec {:.1}% ({:.1} ns/ev), {} epochs",
-        pct(prof.queue_ns),
-        per_event(prof.queue_ns),
-        pct(prof.mailbox_ns),
-        per_event(prof.mailbox_ns),
-        pct(prof.exec_ns),
-        per_event(prof.exec_ns),
+        "\nstage attribution (t1, sampled 1/{}): queue {:.1}% ({:.1} ns/ev), \
+         mailbox {:.1}% ({:.1} ns/ev), exec {:.1}% ({:.1} ns/ev: credit {:.1} / \
+         route {:.1} / deliver {:.1}), {} visits ({:.1} events/visit)",
+        tccluster::engine::PROFILE_SAMPLE_EVERY,
+        pct(queue_pe),
+        queue_pe,
+        pct(mailbox_pe),
+        mailbox_pe,
+        pct(exec_pe),
+        exec_pe,
+        per_sampled(prof.credit_ns),
+        per_sampled(prof.route_ns),
+        per_sampled(prof.deliver_ns),
         prof.epochs,
+        events_per_visit,
     );
 
     let speedup6 = if PRE_CHANGE_FIG6_MS > 0.0 {
@@ -565,10 +677,11 @@ fn main() {
     let lad = row(QueueBackend::Ladder);
     let cal = row(QueueBackend::Calendar);
     let heap = row(QueueBackend::BinaryHeap);
+    let auto = row(QueueBackend::Auto);
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"tcc-simspeed-v4\",\n",
+            "  \"schema\": \"tcc-simspeed-v5\",\n",
             "  \"host_cpus\": {cpus},\n",
             "  \"pre_change\": {{\n",
             "    \"fig6_sweep_ms\": {f6:.1},\n",
@@ -596,7 +709,8 @@ fn main() {
             "    \"population\": 192,\n",
             "    \"ladder\": {hl:.1},\n",
             "    \"calendar\": {hc:.1},\n",
-            "    \"binary_heap\": {hh:.1}\n",
+            "    \"binary_heap\": {hh:.1},\n",
+            "    \"auto\": {ha:.1}\n",
             "  }},\n",
             "  \"event_fabric_8x8\": {{\n",
             "    \"flow_bytes\": {fb},\n",
@@ -605,29 +719,37 @@ fn main() {
             "    \"events_per_sec\": {{\n",
             "      \"ladder\":      {{ \"t1\": {l1:.0}, \"t2\": {l2:.0}, \"t4\": {l4:.0}, \"t8\": {l8:.0} }},\n",
             "      \"calendar\":    {{ \"t1\": {c1:.0}, \"t2\": {c2:.0}, \"t4\": {c4:.0}, \"t8\": {c8:.0} }},\n",
-            "      \"binary_heap\": {{ \"t1\": {h1:.0}, \"t2\": {h2:.0}, \"t4\": {h4:.0}, \"t8\": {h8:.0} }}\n",
+            "      \"binary_heap\": {{ \"t1\": {h1:.0}, \"t2\": {h2:.0}, \"t4\": {h4:.0}, \"t8\": {h8:.0} }},\n",
+            "      \"auto\":        {{ \"t1\": {a1:.0}, \"t2\": {a2:.0}, \"t4\": {a4:.0}, \"t8\": {a8:.0} }}\n",
             "    }},\n",
             "    \"mutex_mailbox_t1_events_per_sec\": {mx1:.0},\n",
+            "    \"flat_lane_t1_events_per_sec\": {{ \"on\": {fl1:.0}, \"off\": {fl0:.0} }},\n",
             "    \"best_t1_backend\": \"{bb}\",\n",
             "    \"t1_speedup_vs_pre_change\": {t1sp:.2},\n",
+            "    \"t1_floor_events_per_sec\": {floor:.0},\n",
             "    \"single_thread_target_events_per_sec\": {target:.0},\n",
             "    \"speedup_t8_vs_t1\": {sp8:.2},\n",
             "    \"deterministic_across_threads_and_backends\": true,\n",
             "    \"stage_attribution_t1\": {{\n",
             "      \"profiled_events\": {pe},\n",
-            "      \"epochs\": {pep},\n",
+            "      \"sampled_events\": {se},\n",
+            "      \"sample_every\": {sev},\n",
+            "      \"shard_visits\": {pep},\n",
+            "      \"events_per_visit\": {epv:.1},\n",
             "      \"queue_pct\": {qp:.1},\n",
             "      \"mailbox_pct\": {mp:.1},\n",
             "      \"exec_pct\": {xp:.1},\n",
             "      \"queue_ns_per_event\": {qn:.1},\n",
             "      \"mailbox_ns_per_event\": {mn:.1},\n",
-            "      \"exec_ns_per_event\": {xn:.1}\n",
+            "      \"exec_ns_per_event\": {xn:.1},\n",
+            "      \"exec_split_ns_per_event\": {{ \"credit\": {cr:.1}, \"route\": {rt:.1}, \"deliver\": {dl:.1} }}\n",
             "    }}\n",
             "  }},\n",
             "  \"notes\": {{\n",
             "    \"shm_storm\": \"2-thread ping-pong; context-switch bound on single-CPU hosts (pre_change was a multi-core host). Guarded only when host_cpus >= 2.\",\n",
-            "    \"event_fabric_8x8\": \"thread scaling requires host cores; the t8/t1 target (>= 3x) is asserted by --check only when host_cpus >= 8. The t1 guard is relative: best t1 must be >= 3x the recorded pre-change rate.\",\n",
-            "    \"stage_attribution\": \"from a separate instrumented run (two clock reads per event); the split is meaningful, the absolute rate is not.\"\n",
+            "    \"event_fabric_8x8\": \"thread scaling requires host cores; the t8/t1 target is asserted by --check only when host_cpus >= 8. The t1 guard is relative: best t1 must clear the recorded floor times the cross-host margin. t1 runs the sequential merged executive (one queue scan per shard visit, direct outbox handoff, no mailboxes); t2+ run the epoch algorithm.\",\n",
+            "    \"queue_hold\": \"auto is the default backend: ladder while the population stays small, migrating to a width-retuned calendar when it sustains above the crossover. The 192-population inversion from v4 is closed by the calendar width retune.\",\n",
+            "    \"stage_attribution\": \"queue/exec (and the credit/route/deliver split of exec) are timed on 1 in sample_every events; mailbox covers every visit. Shares are normalised to ns/event before computing pcts. shard_visits counts productive visits (>= 1 event).\"\n",
             "  }}\n",
             "}}\n"
         ),
@@ -653,24 +775,35 @@ fn main() {
         hl = hold_ladder,
         hc = hold_calendar,
         hh = hold_heap,
+        ha = hold_auto,
         fb = MESH8_FLOW_BYTES,
         evn = mesh8_events,
         l1 = lad[0], l2 = lad[1], l4 = lad[2], l8 = lad[3],
         c1 = cal[0], c2 = cal[1], c4 = cal[2], c8 = cal[3],
         h1 = heap[0], h2 = heap[1], h4 = heap[2], h8 = heap[3],
+        a1 = auto[0], a2 = auto[1], a4 = auto[2], a8 = auto[3],
         mx1 = mutex_t1,
+        fl1 = auto[0],
+        fl0 = flat_off_t1,
         bb = best_t1_backend.name(),
         t1sp = t1_speedup,
+        floor = MESH8_T1_FLOOR_EPS,
         target = MESH8_T1_TARGET_EPS,
         sp8 = speedup8,
         pe = prof.profiled_events,
+        se = prof.sampled_events,
+        sev = tccluster::engine::PROFILE_SAMPLE_EVERY,
         pep = prof.epochs,
-        qp = pct(prof.queue_ns),
-        mp = pct(prof.mailbox_ns),
-        xp = pct(prof.exec_ns),
-        qn = per_event(prof.queue_ns),
-        mn = per_event(prof.mailbox_ns),
-        xn = per_event(prof.exec_ns),
+        epv = events_per_visit,
+        qp = pct(queue_pe),
+        mp = pct(mailbox_pe),
+        xp = pct(exec_pe),
+        qn = queue_pe,
+        mn = mailbox_pe,
+        xn = exec_pe,
+        cr = per_sampled(prof.credit_ns),
+        rt = per_sampled(prof.route_ns),
+        dl = per_sampled(prof.deliver_ns),
     );
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("\nwrote BENCH_simspeed.json");
@@ -701,23 +834,39 @@ fn main() {
             format!("({fig6_ms:.1} ms vs {PRE_CHANGE_FIG6_MS:.1})"),
         );
         // The backend comparison: resolved by the hold model (pure queue
-        // ops), where backend cost isn't drowned by the 66%-exec share.
-        // End-to-end t1 gets a noise-tolerant no-regression band instead
-        // (queue ops are ~1/4 of the run; 5% end-to-end noise is normal).
+        // ops), where backend cost isn't drowned by the exec share. The
+        // guards follow the *default* backend (auto): at the 192 guard
+        // population the pure ladder legitimately loses to the calendar
+        // (its refill sweep is linear in the top tier) — the adaptive
+        // default is what must beat the binary-heap reference. All
+        // same-run ratios, immune to host speed.
         guard(
-            "queue hold: ladder <= binary heap",
-            hold_ladder <= hold_heap,
-            format!("({hold_ladder:.1} vs {hold_heap:.1} ns/hold)"),
+            "queue hold: auto <= binary heap",
+            hold_auto <= hold_heap,
+            format!("({hold_auto:.1} vs {hold_heap:.1} ns/hold)"),
         );
         guard(
-            "8x8 ladder t1 within 5% of binary heap",
-            lad[0] >= heap[0] * 0.95,
-            format!("({:.0} vs {:.0} events/sec)", lad[0], heap[0]),
+            "queue hold: auto tracks best pure backend",
+            hold_auto <= hold_ladder.min(hold_calendar) * 1.3,
+            format!(
+                "({hold_auto:.1} vs best {:.1} ns/hold)",
+                hold_ladder.min(hold_calendar)
+            ),
+        );
+        guard(
+            "8x8 auto t1 within 5% of best backend",
+            auto[0] >= best_t1 * 0.95,
+            format!("({:.0} vs {:.0} events/sec)", auto[0], best_t1),
         );
         guard(
             &format!("8x8 t1 >= {MESH8_T1_SPEEDUP_FLOOR:.1}x pre-change engine"),
             t1_speedup >= MESH8_T1_SPEEDUP_FLOOR,
             format!("({t1_speedup:.2}x, {best_t1:.0} events/sec)"),
+        );
+        guard(
+            &format!("8x8 t1 >= {MESH8_T1_SPEEDUP_FLOOR:.1}x recorded floor"),
+            best_t1 >= MESH8_T1_FLOOR_EPS * MESH8_T1_SPEEDUP_FLOOR,
+            format!("({best_t1:.0} vs floor {MESH8_T1_FLOOR_EPS:.0} events/sec)"),
         );
         if cpus >= 2 {
             guard(

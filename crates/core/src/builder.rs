@@ -108,9 +108,10 @@ impl TcclusterBuilder {
         self
     }
 
-    /// Event-queue backend for the event engine: the ladder queue
-    /// (default), or the calendar queue / `BinaryHeap` kept for
-    /// differential testing.
+    /// Event-queue backend for the event engine: the population-adaptive
+    /// default (ladder while small, calendar when the population
+    /// sustains above the hold-model crossover), or one of the pure
+    /// backends kept for differential testing and A/B timing.
     #[must_use]
     pub fn event_queue(mut self, backend: QueueBackend) -> Self {
         self.options.backend = backend;
@@ -126,10 +127,23 @@ impl TcclusterBuilder {
         self
     }
 
+    /// Toggle the event engine's flat fast lane: fixed-shape 64 B posted
+    /// writes dispatch through a precomputed per-node table instead of
+    /// the general decision tree. On by default; results are
+    /// bit-identical either way, so turning it off only serves A/B
+    /// timing and differential tests.
+    #[must_use]
+    pub fn event_flat_lane(mut self, on: bool) -> Self {
+        self.options.flat_lane = on;
+        self
+    }
+
     /// Inject a monotonic nanosecond clock for the event engine's
     /// per-stage attribution ([`EventEngine::stage_profile`]
     /// (crate::EventEngine::stage_profile)). Off by default; attribution
-    /// runs pay two clock reads per event.
+    /// runs time one sampled event in
+    /// [`PROFILE_SAMPLE_EVERY`](crate::engine::PROFILE_SAMPLE_EVERY), so
+    /// the overhead is a small fraction of a clock read per event.
     #[must_use]
     pub fn event_profile_clock(mut self, clock: fn() -> u64) -> Self {
         self.options.profile_clock = Some(clock);

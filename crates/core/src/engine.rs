@@ -71,7 +71,8 @@ use tcc_ht::link::{Delivery, LinkRx, LinkTx};
 use tcc_ht::packet::{Packet, VirtualChannel};
 use tcc_ht::protocol_violation;
 use tcc_msglib::handoff::BatchRing;
-use tcc_opteron::node::{DeliverOutcome, Node};
+use tcc_opteron::nb::FlatTable;
+use tcc_opteron::node::{DeliverOutcome, FlatOutcome, Node};
 use tcc_opteron::regs::{LinkId, LINKS_PER_NODE};
 use tcc_opteron::{Disposition, Source};
 
@@ -122,8 +123,9 @@ pub struct EngineOptions {
     /// `1` runs the same epoch algorithm inline (no spawn, no barriers)
     /// and is the zero-allocation reference path.
     pub threads: usize,
-    /// Event-queue backend per shard (ladder queue by default; calendar
-    /// and binary heap are kept for differential testing).
+    /// Event-queue backend per shard (population-adaptive by default:
+    /// ladder while small, calendar when large; the pure backends are
+    /// kept for differential testing and A/B timing).
     pub backend: QueueBackend,
     /// Cross-shard mailbox implementation (batched SPSC rings by
     /// default; the mutex mailbox is kept for differential testing).
@@ -135,6 +137,14 @@ pub struct EngineOptions {
     /// of any wall clock by this crate — so the engine itself stays free
     /// of nondeterminism sources.
     pub profile_clock: Option<fn() -> u64>,
+    /// Use the flat-wire fast lane for 64 B posted-write arrivals: route
+    /// and credit class precomputed per address range at engine-build
+    /// time ([`Northbridge::flat_table`](tcc_opteron::nb)), straight-line
+    /// accept → deliver with no command dispatch. `false` forces every
+    /// packet down the general path — the differential-testing reference
+    /// the determinism suite diffs against. Results are bit-identical
+    /// either way.
+    pub flat_lane: bool,
 }
 
 impl Default for EngineOptions {
@@ -144,6 +154,7 @@ impl Default for EngineOptions {
             backend: QueueBackend::default(),
             mailbox: MailboxKind::default(),
             profile_clock: None,
+            flat_lane: true,
         }
     }
 }
@@ -151,18 +162,45 @@ impl Default for EngineOptions {
 /// Wall-clock attribution of a profiled run, split over the three hot
 /// sections of the epoch loop. Only populated when
 /// [`EngineOptions::profile_clock`] is set; all zeros otherwise.
+///
+/// Queue and exec time are **sampled**: one event in
+/// [`PROFILE_SAMPLE_EVERY`] gets clocked (`sampled_events` counts them),
+/// the rest run the uninstrumented hot path — so a profiled run's
+/// absolute rate stays close to the headline rate and the split stays
+/// accurate. Per-event figures divide `queue_ns`/`exec_ns` (and the exec
+/// sub-stages) by `sampled_events`, but `mailbox_ns` — measured per
+/// epoch phase, not per event — by `profiled_events`.
+///
+/// The exec sub-stages cover `Arrive` events (the dominant kind):
+/// `credit_ns` is receive-buffer and credit accounting (including whole
+/// NOP arrivals), `route_ns` is the routing decision plus DRAM timing
+/// (flat classification + table lookup, or the northbridge walk), and
+/// `deliver_ns` is acting on the outcome (drain scheduling, commit
+/// logging, forward enqueue and transmit pump). Their sum is below
+/// `exec_ns`; the remainder is Pump/Inject/Drained handling.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageProfile {
     /// Nanoseconds inside event-queue pops (including refused
-    /// `pop_keyed_before` horizon probes).
+    /// `pop_keyed_before` horizon probes), sampled events only.
     pub queue_ns: u64,
-    /// Nanoseconds draining and publishing cross-shard mailboxes.
+    /// Nanoseconds draining and publishing cross-shard mailboxes
+    /// (measured on every epoch phase, not sampled).
     pub mailbox_ns: u64,
-    /// Nanoseconds executing event handlers (the model itself).
+    /// Nanoseconds executing event handlers (the model itself), sampled
+    /// events only.
     pub exec_ns: u64,
-    /// Events handled under profiling.
+    /// Exec sub-stage: routing decision + DRAM timing of sampled arrivals.
+    pub route_ns: u64,
+    /// Exec sub-stage: credit/buffer accounting of sampled arrivals.
+    pub credit_ns: u64,
+    /// Exec sub-stage: outcome handling of sampled arrivals.
+    pub deliver_ns: u64,
+    /// Events handled under profiling (clocked or not).
     pub profiled_events: u64,
-    /// Shard-epochs run (one per shard per horizon round).
+    /// Events whose queue + exec time was actually clocked.
+    pub sampled_events: u64,
+    /// Productive shard visits (a shard × horizon round with at least
+    /// one due event is visited; shards with nothing due are skipped).
     pub epochs: u64,
 }
 
@@ -171,10 +209,20 @@ impl StageProfile {
         self.queue_ns += other.queue_ns;
         self.mailbox_ns += other.mailbox_ns;
         self.exec_ns += other.exec_ns;
+        self.route_ns += other.route_ns;
+        self.credit_ns += other.credit_ns;
+        self.deliver_ns += other.deliver_ns;
         self.profiled_events += other.profiled_events;
+        self.sampled_events += other.sampled_events;
         self.epochs += other.epochs;
     }
 }
+
+/// Sampling stride of the profiled epoch loop: one event in this many
+/// gets the clock reads. 32 keeps the instrumented run within a few
+/// percent of the uninstrumented rate while still clocking hundreds of
+/// thousands of events on the 8×8 workload.
+pub const PROFILE_SAMPLE_EVERY: u64 = 32;
 
 /// Time the receiving northbridge takes to drain one packet's buffers —
 /// the memory-controller write for a 64 B payload (~6 ns at DDR2 rates
@@ -396,11 +444,23 @@ struct ShardRun<'a> {
     shard: &'a mut Shard,
     /// This supernode's nodes, indexed node-locally.
     nodes: &'a mut [Node],
+    /// Per-node flat dispatch tables (node-local indexing, parallel to
+    /// `nodes`), snapshotted at engine build.
+    flat: &'a [FlatTable],
     mail: &'a Mailboxes,
-    procs: usize,
+    /// Global node index → owning shard id — `node / procs` precomputed,
+    /// so the per-delivery routing in `send_arrive` never divides.
+    shard_of: &'a [u32],
     drain: Duration,
     /// Record monitor callbacks for post-run replay.
     record: bool,
+    /// Use the flat fast lane for 64 B posted-write arrivals. Forced off
+    /// while recording so monitors always observe the general path.
+    flat_lane: bool,
+    /// Sequential-executive mode: cross-shard sends always go to the
+    /// staging buffers (the executive moves them straight into the peer
+    /// queue after each batch), regardless of the mailbox kind.
+    direct: bool,
     /// Injected nanosecond clock for stage attribution, `None` on
     /// unprofiled (hot) runs.
     clock: Option<fn() -> u64>,
@@ -450,7 +510,7 @@ impl ShardRun<'_> {
     /// once at the epoch barrier (`publish_outboxes`).
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn send_arrive(&mut self, at: SimTime, node: usize, link: LinkId, packet: Packet) {
-        let dst = node / self.procs;
+        let dst = self.shard_of[node] as usize;
         if dst == self.shard.id as usize {
             self.schedule(at, FabricEvent::Arrive { node, link, packet });
             return;
@@ -462,6 +522,12 @@ impl ShardRun<'_> {
         };
         self.shard.seq += 1;
         let ev = FabricEvent::Arrive { node, link, packet };
+        if self.direct {
+            // Sequential executive: the driver moves the staging buffer
+            // straight into the peer queue after this batch.
+            self.shard.outbox[dst].push((key, ev));
+            return;
+        }
         match self.mail.kind {
             MailboxKind::Ring => self.shard.outbox[dst].push((key, ev)),
             // A poisoned inbox means a peer worker panicked; its mail is
@@ -478,7 +544,7 @@ impl ShardRun<'_> {
 
     /// Publish every non-empty staging buffer into its pair ring — once
     /// per epoch, before the B0 barrier (run_worker) or the end of the
-    /// epoch phase (run_inline). The epoch protocol guarantees at most
+    /// epoch phase. The epoch protocol guarantees at most
     /// one batch in flight per pair, so a full ring is a protocol bug.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn publish_outboxes(&mut self) {
@@ -603,25 +669,61 @@ impl ShardRun<'_> {
         handled
     }
 
-    /// The profiled twin of [`run_epoch`](Self::run_epoch): two clock
-    /// reads per event split the loop into queue time and handler time.
-    /// Attribution runs pay that overhead; headline rates are measured
-    /// with profiling off.
+    /// The profiled twin of [`run_epoch`](Self::run_epoch): one event in
+    /// [`PROFILE_SAMPLE_EVERY`] gets clock reads around the pop and the
+    /// handler (arrivals sub-attribute into credit/route/deliver); the
+    /// other N-1 run the exact uninstrumented path. Per-event figures
+    /// divide queue/exec by `sampled_events`, so attribution now costs
+    /// ~2/N clock reads per event instead of 2 — the measured run stays
+    /// close to the headline run it is meant to explain.
     fn run_epoch_profiled(&mut self, horizon: SimTime, clk: fn() -> u64) -> u64 {
         let mut handled = 0u64;
         loop {
+            // events + handled is monotone across the whole run, so the
+            // sample pattern is deterministic and phase-independent.
+            if (self.shard.events + handled) % PROFILE_SAMPLE_EVERY != 0 {
+                let Some((key, ev)) = self.shard.queue.pop_keyed_before(horizon) else {
+                    break;
+                };
+                handled += 1;
+                self.dispatch(key, ev);
+                continue;
+            }
             let t0 = clk();
             let popped = self.shard.queue.pop_keyed_before(horizon);
             let t1 = clk();
             self.shard.profile.queue_ns += t1.saturating_sub(t0);
             let Some((key, ev)) = popped else { break };
             handled += 1;
-            self.dispatch(key, ev);
+            self.shard.profile.sampled_events += 1;
+            self.dispatch_profiled(key, ev);
             self.shard.profile.exec_ns += clk().saturating_sub(t1);
         }
         self.shard.profile.profiled_events += handled;
         self.shard.events += handled;
         handled
+    }
+
+    /// [`dispatch`](Self::dispatch) for a sampled event: arrivals take
+    /// the instrumented handler so exec time sub-attributes into
+    /// credit/route/deliver; the other event kinds have no sub-stages.
+    fn dispatch_profiled(&mut self, key: EventKey, ev: FabricEvent) {
+        self.shard.now = key.at;
+        match ev {
+            FabricEvent::Pump { flow } => self.pump_flow(key.at, flow),
+            FabricEvent::Inject { node, link, packet } => {
+                self.on_inject(key.at, node, link, packet);
+            }
+            FabricEvent::Arrive { node, link, packet } => {
+                self.on_arrive_profiled(key, node, link, packet);
+            }
+            FabricEvent::Drained {
+                node,
+                link,
+                vc,
+                has_data,
+            } => self.on_drained(key.at, node, link, vc, has_data),
+        }
     }
 
     /// Keep flow `i`'s transmit queue primed and pump its port. The flow
@@ -662,15 +764,27 @@ impl ShardRun<'_> {
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn pump_port(&mut self, now: SimTime, node: usize, link: LinkId) {
         let ln = node - self.shard.base;
-        let mut out = std::mem::take(&mut self.shard.dels);
-        out.clear();
         let (peer, peer_link) = {
             let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
                 protocol_violation!("pump on inactive port n{node} l{}", link.0);
             };
-            port.tx.pump_into(now, &mut out);
+            // Idle transmitter: nothing to send, nothing to stall-count,
+            // no provenance to release. Redundant pumps (a credit NOP on
+            // a caught-up port, a flow wake that enqueued nothing) are
+            // common enough that the early-out pays.
+            if port.tx.is_idle() {
+                return;
+            }
             (port.peer, port.peer_link)
         };
+        let mut out = std::mem::take(&mut self.shard.dels);
+        out.clear();
+        {
+            let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                protocol_violation!("pump on inactive port n{node} l{}", link.0);
+            };
+            port.tx.pump_into(now, &mut out);
+        }
         for d in out.drain(..) {
             let Some(Some(from)) = self.shard.ports[ln][link.0 as usize]
                 .as_mut()
@@ -700,12 +814,42 @@ impl ShardRun<'_> {
         self.pump_port(now, node, link);
     }
 
+    /// Clock read for the instrumented twin; compiles to nothing on the
+    /// hot (`PROF = false`) instantiation.
+    #[inline(always)]
+    fn tick<const PROF: bool>(&self) -> u64 {
+        if PROF {
+            self.clock.map_or(0, |c| c())
+        } else {
+            0
+        }
+    }
+
     /// A packet lands at (node, link): record it for the monitors, occupy
     /// a buffer, and route it — commit locally, forward out another link,
     /// or (for a NOP) release the credits it carries and wake blocked
     /// transmitters.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
     fn on_arrive(&mut self, key: EventKey, node: usize, link: LinkId, packet: Packet) {
+        self.on_arrive_impl::<false>(key, node, link, packet);
+    }
+
+    /// The instrumented twin of [`on_arrive`](Self::on_arrive): the same
+    /// code path (one monomorphization apart) with exec sub-stage probes
+    /// filling `route_ns`/`credit_ns`/`deliver_ns`.
+    fn on_arrive_profiled(&mut self, key: EventKey, node: usize, link: LinkId, packet: Packet) {
+        self.on_arrive_impl::<true>(key, node, link, packet);
+    }
+
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[inline(always)]
+    fn on_arrive_impl<const PROF: bool>(
+        &mut self,
+        key: EventKey,
+        node: usize,
+        link: LinkId,
+        packet: Packet,
+    ) {
         let now = key.at;
         let ln = node - self.shard.base;
         let (peer, peer_link, coherent) = {
@@ -724,16 +868,92 @@ impl ShardRun<'_> {
                 packet: packet.clone(),
             });
         }
-        let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
-            protocol_violation!("arrival port n{node} l{} vanished", link.0);
+        let t0 = self.tick::<PROF>();
+        // ── Flat fast lane: the fixed-shape 64 B posted write whose
+        // disposition was precomputed per address range at engine build.
+        // Classify, one table scan, straight-line accept → deliver — no
+        // command dispatch, no northbridge walk. Bit-identical effects
+        // to the general path below (the determinism suite forces the
+        // lane off and diffs).
+        if self.flat_lane {
+            if let Some(addr) = packet.flat_addr() {
+                if let Some(plan) = self.flat[ln].lookup(addr) {
+                    let t_route = self.tick::<PROF>();
+                    let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                        protocol_violation!("arrival port n{node} l{} vanished", link.0);
+                    };
+                    if let Err(e) = port.rx.accept_flat() {
+                        protocol_violation!(
+                            "n{node} l{}: sender violated flow control: {e}",
+                            link.0
+                        );
+                    }
+                    let t_credit = self.tick::<PROF>();
+                    let outcome =
+                        self.nodes[ln].deliver_flat(now, plan, addr, &packet.data, !coherent);
+                    let t_deliver = self.tick::<PROF>();
+                    match outcome {
+                        FlatOutcome::Committed { offset, visible } => {
+                            self.schedule_drain(now, node, link, VirtualChannel::Posted, true);
+                            self.shard.commits.push(CommitRec {
+                                node,
+                                offset,
+                                visible,
+                                bytes: 64,
+                            });
+                        }
+                        FlatOutcome::Forward { link: out, at } => {
+                            // Same hold-until-forwarded policy as the
+                            // general path below.
+                            let Some(out_port) = self.shard.ports[ln][out.0 as usize].as_mut()
+                            else {
+                                protocol_violation!(
+                                    "forward out inactive port n{node} l{}",
+                                    out.0
+                                );
+                            };
+                            let hold = !out_port.coherent;
+                            out_port.tx.enqueue(packet);
+                            out_port
+                                .provenance
+                                .push_back(if hold { Some(link) } else { None });
+                            if !hold {
+                                self.schedule_drain(now, node, link, VirtualChannel::Posted, true);
+                            }
+                            self.pump_port(at, node, out);
+                        }
+                    }
+                    if PROF {
+                        let end = self.tick::<PROF>();
+                        let p = &mut self.shard.profile;
+                        p.route_ns += t_route.saturating_sub(t0)
+                            + t_deliver.saturating_sub(t_credit);
+                        p.credit_ns += t_credit.saturating_sub(t_route);
+                        p.deliver_ns += end.saturating_sub(t_deliver);
+                    }
+                    return;
+                }
+            }
+        }
+        let accepted = {
+            let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                protocol_violation!("arrival port n{node} l{} vanished", link.0);
+            };
+            port.rx.accept(&packet).unwrap_or_else(|e| {
+                protocol_violation!("n{node} l{}: sender violated flow control: {e}", link.0)
+            })
         };
-        let accepted = port.rx.accept(&packet).unwrap_or_else(|e| {
-            protocol_violation!("n{node} l{}: sender violated flow control: {e}", link.0)
-        });
+        let t_credit = self.tick::<PROF>();
+        if PROF {
+            self.shard.profile.credit_ns += t_credit.saturating_sub(t0);
+        }
         match accepted {
             Some(ret) => {
                 // A credit NOP: freed credits may unblock the queue and
                 // any flow sourced at this port, immediately.
+                let Some(port) = self.shard.ports[ln][link.0 as usize].as_mut() else {
+                    protocol_violation!("arrival port n{node} l{} vanished", link.0);
+                };
                 if let Err(e) = port.tx.credit_return(ret) {
                     protocol_violation!("n{node} l{}: bad credit return: {e}", link.0);
                 }
@@ -757,7 +977,21 @@ impl ShardRun<'_> {
                         break;
                     }
                     let fi = port.flows[k];
+                    // An exhausted flow has nothing left to enqueue and
+                    // never reschedules, so its wake is a no-op: the
+                    // arm's own pump above already attempted whatever
+                    // the freed credits admit. Skipping it keeps the
+                    // drained tail of a port's flow list (every finished
+                    // flow stays registered) from turning each credit
+                    // NOP into an O(flows) scan of dead flows.
+                    if self.shard.flows[fi].remaining == 0 {
+                        continue;
+                    }
                     self.pump_flow(now, fi);
+                }
+                if PROF {
+                    let end = self.tick::<PROF>();
+                    self.shard.profile.credit_ns += end.saturating_sub(t_credit);
                 }
             }
             None => {
@@ -769,6 +1003,10 @@ impl ShardRun<'_> {
                     .unwrap_or_else(|e| {
                         protocol_violation!("delivery failed at node {node}: {e:?}")
                     });
+                let t_route = self.tick::<PROF>();
+                if PROF {
+                    self.shard.profile.route_ns += t_route.saturating_sub(t_credit);
+                }
                 match outcome {
                     DeliverOutcome::Committed { offset, visible } => {
                         self.schedule_drain(now, node, link, vc, has_data);
@@ -811,6 +1049,10 @@ impl ShardRun<'_> {
                     DeliverOutcome::Filtered => {
                         self.schedule_drain(now, node, link, vc, has_data);
                     }
+                }
+                if PROF {
+                    let end = self.tick::<PROF>();
+                    self.shard.profile.deliver_ns += end.saturating_sub(t_route);
                 }
             }
         }
@@ -915,6 +1157,20 @@ fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
         }
         let mut delta = 0u64;
         for run in runs.iter_mut() {
+            // A shard whose minimum sits at or past the horizon pops
+            // nothing (pops are strictly below), and having dispatched
+            // nothing it has staged no sends, so publishing is a no-op
+            // too: skip the visit outright. The queue is untouched since
+            // the minima pass (only this worker mutates it), so the
+            // re-peek sees the same value the horizon was computed from.
+            if run
+                .shard
+                .queue
+                .peek_time()
+                .is_none_or(|t| t.picos() >= horizon)
+            {
+                continue;
+            }
             delta += run.run_epoch(SimTime(horizon));
             run.publish_outboxes_timed();
         }
@@ -923,31 +1179,97 @@ fn run_worker(runs: &mut [ShardRun<'_>], w: usize, coord: &Coord) -> bool {
     }
 }
 
-/// The sequential executive: the identical epoch algorithm with no
-/// spawn, no barriers and no atomics. This is both the `threads = 1`
-/// fast path and the reference the threaded path must bit-match.
+/// Disjoint mutable borrows of two shard runs (`a != b`).
+fn pair_mut<'r, 'a>(
+    runs: &'r mut [ShardRun<'a>],
+    a: usize,
+    b: usize,
+) -> (&'r mut ShardRun<'a>, &'r mut ShardRun<'a>) {
+    if a < b {
+        let (l, r) = runs.split_at_mut(b);
+        (&mut l[a], &mut r[0])
+    } else {
+        let (l, r) = runs.split_at_mut(a);
+        (&mut r[0], &mut l[b])
+    }
+}
+
+/// The sequential executive: a merged single-driver DES, bit-identical
+/// to the epoch algorithm but with none of its scaffolding. Instead of
+/// sweeping every shard each round, it keeps the per-shard queue minima
+/// in a flat array, picks the globally-earliest shard, and batches that
+/// one shard up to `second_min + lookahead` — the epoch-horizon
+/// argument with the runner-up standing in for the global minimum:
+/// nothing any other shard still has to process can mail the winner an
+/// event below `second_min + lookahead`, so everything strictly below
+/// that is safe to run now. Results are bit-identical to the epoch
+/// executive because both process each shard's events in key order and
+/// cross-shard influence is impossible below the horizon; the
+/// interleaving *across* shards differs, but no event can observe it.
+///
+/// Cross-shard sends skip the mailbox machinery entirely: the runs are
+/// built in `direct` mode, so sends stage in the per-destination
+/// buffers and the executive moves each batch straight into the peer's
+/// queue — no rings, no locks, no publish/take handshake.
 #[cfg_attr(lint, tcc_no_panic)]
-fn run_inline(runs: &mut [ShardRun<'_>], lookahead: Duration) -> bool {
+fn run_sequential(runs: &mut [ShardRun<'_>], lookahead: Duration) -> bool {
+    let n = runs.len();
+    let mut mins = vec![u64::MAX; n];
+    for (i, run) in runs.iter_mut().enumerate() {
+        // Boot-time mail only: with `direct` sends nothing touches a
+        // mailbox after this point.
+        run.drain_mail_timed();
+        mins[i] = run.shard.queue.peek_time().map_or(u64::MAX, |t| t.picos());
+    }
+    let la = lookahead.picos();
     let mut total = 0u64;
     loop {
-        let mut gmin = u64::MAX;
-        for run in runs.iter_mut() {
-            run.drain_mail_timed();
-            if let Some(t) = run.shard.queue.peek_time() {
-                gmin = gmin.min(t.picos());
+        // One pass for the two smallest minima: the winner runs, the
+        // runner-up bounds how far it may run.
+        let (mut best, mut bi) = (u64::MAX, 0usize);
+        let mut second = u64::MAX;
+        for (i, &m) in mins.iter().enumerate() {
+            if m < best {
+                second = best;
+                best = m;
+                bi = i;
+            } else if m < second {
+                second = m;
             }
         }
-        if gmin == u64::MAX {
+        if best == u64::MAX {
             return true;
         }
         if total > EVENT_BUDGET {
             return false;
         }
-        let horizon = SimTime(gmin.saturating_add(lookahead.picos()));
-        for run in runs.iter_mut() {
-            total += run.run_epoch(horizon);
-            run.publish_outboxes_timed();
+        // When the winner is the only shard with work, fall back to the
+        // epoch horizon so the event budget keeps its old granularity.
+        let base = if second == u64::MAX { best } else { second };
+        total += runs[bi].run_epoch(SimTime(base.saturating_add(la)));
+        // Hand staged cross-shard sends straight to their destination
+        // queues, then refresh the touched minima (peeks are O(1)).
+        let clk = runs[bi].clock;
+        let t0 = clk.map_or(0, |c| c());
+        for k in 0..runs[bi].shard.out_peers.len() {
+            let dst = runs[bi].shard.out_peers[k] as usize;
+            if runs[bi].shard.outbox[dst].is_empty() {
+                continue;
+            }
+            let (src, peer) = pair_mut(runs, bi, dst);
+            for (key, ev) in src.shard.outbox[dst].drain(..) {
+                peer.shard.queue.schedule_keyed(key, ev);
+            }
+            mins[dst] = peer.shard.queue.peek_time().map_or(u64::MAX, |t| t.picos());
         }
+        if let Some(c) = clk {
+            runs[bi].shard.profile.mailbox_ns += c().saturating_sub(t0);
+        }
+        mins[bi] = runs[bi]
+            .shard
+            .queue
+            .peek_time()
+            .map_or(u64::MAX, |t| t.picos());
     }
 }
 
@@ -1034,6 +1356,12 @@ pub struct EventEngine {
     drain: Duration,
     threads: usize,
     backend: QueueBackend,
+    /// Per-node flat dispatch tables, rebuilt at engine construction
+    /// (i.e. once per train), indexed like `platform.nodes`.
+    flat: Vec<FlatTable>,
+    flat_lane: bool,
+    /// Global node index → owning shard id.
+    shard_of: Vec<u32>,
     profile_clock: Option<fn() -> u64>,
     /// Aggregated per-stage attribution across profiled runs.
     profile: StageProfile,
@@ -1150,6 +1478,9 @@ impl EventEngine {
             drain,
             threads: options.threads.max(1),
             backend: options.backend,
+            flat: platform.nodes.iter().map(|n| n.nb.flat_table()).collect(),
+            flat_lane: options.flat_lane,
+            shard_of: (0..n).map(|node| (node / procs) as u32).collect(),
             profile_clock: options.profile_clock,
             profile: StageProfile::default(),
             now: SimTime::ZERO,
@@ -1168,6 +1499,7 @@ impl EventEngine {
             threads: self.threads,
             backend: self.backend,
             mailbox: self.mail.kind,
+            flat_lane: self.flat_lane,
             profile_clock: self.profile_clock,
         }
     }
@@ -1330,22 +1662,32 @@ impl EventEngine {
         let threads = self.threads.min(self.shards.len()).max(1);
         let mail = &self.mail;
         let clock = self.profile_clock;
+        // Monitor runs take the general path for every packet so the
+        // recorded stream is exactly what `deliver_routed` handled;
+        // correctness never depends on this (the lanes are bit-identical)
+        // but it keeps the monitors' view trivially canonical.
+        let flat_lane = self.flat_lane && !record;
+        let shard_of = &self.shard_of;
         let mut runs: Vec<ShardRun<'_>> = self
             .shards
             .iter_mut()
             .zip(platform.nodes.chunks_mut(procs))
-            .map(|(shard, nodes)| ShardRun {
+            .zip(self.flat.chunks(procs))
+            .map(|((shard, nodes), flat)| ShardRun {
                 shard,
                 nodes,
                 mail,
-                procs,
+                shard_of,
                 drain,
                 record,
+                flat,
+                flat_lane,
+                direct: threads == 1,
                 clock,
             })
             .collect();
         let clean = if threads == 1 {
-            run_inline(&mut runs, lookahead)
+            run_sequential(&mut runs, lookahead)
         } else {
             run_threaded(&mut runs, lookahead, threads)
         };

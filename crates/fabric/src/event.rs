@@ -25,9 +25,17 @@
 //!
 //! # Backends
 //!
-//! Three backends implement the same contract:
+//! Four backends implement the same contract. Because pop order is a
+//! pure function of the keys, every backend yields the bit-identical
+//! event sequence — the choice is purely a constant-factor decision.
 //!
-//! * [`QueueBackend::Ladder`] (the default) — a two-tier ladder queue:
+//! * [`QueueBackend::Auto`] (the default) — population-adaptive: runs
+//!   the ladder while the queue is small and migrates to the calendar
+//!   when the population sustains above the hold-model crossover
+//!   (~64 pending events), and back when it collapses. Fabric shards
+//!   under the sharded engine stay in the ladder band; coarse
+//!   single-queue users with large populations get the calendar.
+//! * [`QueueBackend::Ladder`] — a two-tier ladder queue:
 //!   a *bottom* tier holds the imminent events sorted ascending behind a
 //!   head cursor (dequeue advances the cursor, O(1)), a *top* tier holds
 //!   everything past the bottom's horizon unsorted with an always-valid
@@ -68,9 +76,16 @@ pub struct EventKey {
 /// Which implementation backs an [`EventQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueBackend {
+    /// Population-adaptive default: runs the ladder while the queue is
+    /// small and migrates to the calendar when the population sustains
+    /// above the band where the ladder's refill sweep stops paying (the
+    /// hold-model crossover), and back on collapse. Pop order is a pure
+    /// function of the keys on every backend, so the migrations are
+    /// invisible to results.
+    #[default]
+    Auto,
     /// Two-tier ladder queue (O(1) pop, near-O(1) insert for the
     /// schedule-soon pattern fabric engines produce).
-    #[default]
     Ladder,
     /// Brown calendar queue (O(1) amortised for banded populations).
     Calendar,
@@ -80,15 +95,17 @@ pub enum QueueBackend {
 
 impl QueueBackend {
     /// Every backend, for differential tests and benches.
-    pub const ALL: [QueueBackend; 3] = [
+    pub const ALL: [QueueBackend; 4] = [
         QueueBackend::Ladder,
         QueueBackend::Calendar,
         QueueBackend::BinaryHeap,
+        QueueBackend::Auto,
     ];
 
     /// Short stable name (bench JSON keys, test labels).
     pub fn name(self) -> &'static str {
         match self {
+            QueueBackend::Auto => "auto",
             QueueBackend::Ladder => "ladder",
             QueueBackend::Calendar => "calendar",
             QueueBackend::BinaryHeap => "binary_heap",
@@ -168,6 +185,7 @@ enum Inner {
     Heap(HeapQueue),
     Calendar(CalendarQueue),
     Ladder(LadderQueue),
+    Auto(AutoQueue),
 }
 
 impl<E> Default for EventQueue<E> {
@@ -177,7 +195,7 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// A queue on the default backend (ladder).
+    /// A queue on the default backend (population-adaptive).
     #[must_use]
     pub fn new() -> Self {
         Self::with_backend(QueueBackend::default())
@@ -195,6 +213,7 @@ impl<E> EventQueue<E> {
             QueueBackend::BinaryHeap => Inner::Heap(HeapQueue::new()),
             QueueBackend::Calendar => Inner::Calendar(CalendarQueue::new()),
             QueueBackend::Ladder => Inner::Ladder(LadderQueue::new()),
+            QueueBackend::Auto => Inner::Auto(AutoQueue::new()),
         };
         EventQueue {
             arena: Arena::new(),
@@ -210,6 +229,7 @@ impl<E> EventQueue<E> {
             Inner::Heap(_) => QueueBackend::BinaryHeap,
             Inner::Calendar(_) => QueueBackend::Calendar,
             Inner::Ladder(_) => QueueBackend::Ladder,
+            Inner::Auto(_) => QueueBackend::Auto,
         }
     }
 
@@ -237,6 +257,7 @@ impl<E> EventQueue<E> {
             Inner::Heap(q) => q.push(key, h),
             Inner::Calendar(q) => q.insert(key, h),
             Inner::Ladder(q) => q.insert(key, h),
+            Inner::Auto(q) => q.insert(key, h),
         }
     }
 
@@ -251,6 +272,7 @@ impl<E> EventQueue<E> {
             Inner::Heap(q) => q.pop()?,
             Inner::Calendar(q) => q.pop()?,
             Inner::Ladder(q) => q.pop()?,
+            Inner::Auto(q) => q.pop()?,
         };
         Some((key, self.arena.take(h)))
     }
@@ -271,6 +293,7 @@ impl<E> EventQueue<E> {
             }
             Inner::Calendar(q) => q.pop_before(limit)?,
             Inner::Ladder(q) => q.pop_before(limit)?,
+            Inner::Auto(q) => q.pop_before(limit)?,
         };
         Some((key, self.arena.take(h)))
     }
@@ -283,6 +306,7 @@ impl<E> EventQueue<E> {
             Inner::Heap(q) => q.peek_key().map(|k| k.at),
             Inner::Calendar(q) => q.peek_key().map(|k| k.at),
             Inner::Ladder(q) => q.peek_key().map(|k| k.at),
+            Inner::Auto(q) => q.peek_key().map(|k| k.at),
         }
     }
 
@@ -291,6 +315,7 @@ impl<E> EventQueue<E> {
             Inner::Heap(q) => q.len(),
             Inner::Calendar(q) => q.len(),
             Inner::Ladder(q) => q.len(),
+            Inner::Auto(q) => q.len(),
         }
     }
 
@@ -567,6 +592,17 @@ impl LadderQueue {
     fn len(&self) -> usize {
         (self.bottom.len() - self.bot_head) + self.top.len()
     }
+
+    /// Move every pending pair out (order unspecified), leaving the
+    /// queue empty and ready to re-anchor on the next insert. Backend
+    /// migration support.
+    fn drain_entries(&mut self, out: &mut Vec<(EventKey, u32)>) {
+        out.extend(self.bottom.drain(self.bot_head..));
+        self.bottom.clear();
+        self.bot_head = 0;
+        out.append(&mut self.top);
+        self.top_min = None;
+    }
 }
 
 // ───────────────────────── calendar backend ────────────────────────────
@@ -600,6 +636,13 @@ struct CalendarQueue {
     /// event reuses it; inserts keep it live (a smaller key simply takes
     /// it over), so a peek/pop pair costs one bucket scan, not two.
     min_hint: Option<(usize, usize)>,
+    /// Excess `find_min` scan work accumulated since the last width
+    /// (re-)derivation. Resizes re-derive the width from the observed
+    /// event spread, but a steady population never resizes — so a stale
+    /// width (all events aliased into a day or two) would persist
+    /// forever. Once the excess outweighs a few calendar years, the
+    /// width is re-derived in place.
+    waste: usize,
     /// Spare bucket storage kept across resizes so steady-state churn
     /// allocates nothing.
     spare: Vec<Vec<(EventKey, u32)>>,
@@ -621,6 +664,7 @@ impl CalendarQueue {
             day_start: 0,
             count: 0,
             min_hint: None,
+            waste: 0,
             spare: Vec::new(),
         }
     }
@@ -662,19 +706,25 @@ impl CalendarQueue {
     /// at most one year (each day's events can only live in its own
     /// bucket, so the first day with an event holds the minimum), falling
     /// back to a direct sweep for sparse far-future populations.
+    /// Returns the location plus the scan work spent finding it: dry
+    /// day-buckets walked and entries examined. A well-tuned calendar
+    /// answers in O(1) work; sustained excess is the staleness signal
+    /// `find_min_cached` feeds the width retune.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
-    fn find_min(&self) -> Option<(usize, usize)> {
+    fn find_min(&self) -> (Option<(usize, usize)>, usize) {
         if self.count == 0 {
-            return None;
+            return (None, 0);
         }
         let width = 1u64 << self.width_shift;
         let nb = self.buckets.len();
+        let mut work = 0usize;
         for step in 0..nb {
             let b = (self.cursor + step) & self.mask;
             let day_end = self
                 .day_start
                 .saturating_add((step as u64 + 1).saturating_mul(width));
             let bucket = &self.buckets[b];
+            work += bucket.len().max(1);
             let mut best: Option<usize> = None;
             for (i, (k, _)) in bucket.iter().enumerate() {
                 if k.at.0 < day_end {
@@ -685,7 +735,7 @@ impl CalendarQueue {
                 }
             }
             if let Some(i) = best {
-                return Some((b, i));
+                return (Some((b, i)), work);
             }
         }
         let mut out: Option<(usize, usize)> = None;
@@ -701,14 +751,26 @@ impl CalendarQueue {
             }
         }
         debug_assert!(out.is_some(), "count > 0 but no event found");
-        out
+        (out, nb + self.count)
     }
 
     /// [`find_min`](Self::find_min) through the memo: reuse a live hint,
-    /// otherwise scan and remember the answer.
+    /// otherwise scan and remember the answer. When the accumulated dry
+    /// walking says the bucket width no longer matches the population's
+    /// spread, re-derive it in place (a same-size `resize`) and rescan —
+    /// rare by construction, since the retune resets the waste meter.
     fn find_min_cached(&mut self) -> Option<(usize, usize)> {
         if self.min_hint.is_none() {
-            self.min_hint = self.find_min();
+            let (hit, work) = self.find_min();
+            // Up to a few touches per scan is the healthy steady state;
+            // only the excess counts toward staleness, so a well-tuned
+            // calendar never accumulates any.
+            self.waste += work.saturating_sub(3);
+            self.min_hint = hit;
+            if self.waste > 8 * self.buckets.len() && self.count >= 2 {
+                self.resize(self.buckets.len());
+                self.min_hint = self.find_min().0;
+            }
         }
         self.min_hint
     }
@@ -761,6 +823,20 @@ impl CalendarQueue {
         self.count
     }
 
+    /// Move every pending pair out (order unspecified), leaving the
+    /// calendar empty and re-anchored at time zero. Backend migration
+    /// support.
+    fn drain_entries(&mut self, out: &mut Vec<(EventKey, u32)>) {
+        for bucket in &mut self.buckets {
+            out.append(bucket);
+        }
+        self.count = 0;
+        self.min_hint = None;
+        self.waste = 0;
+        self.cursor = 0;
+        self.day_start = 0;
+    }
+
     /// Rebuild with `nb` buckets (power of two) and a bucket width
     /// re-derived from the observed event spread, re-hashing every
     /// pending event. Amortised against the pushes/pops that triggered
@@ -769,6 +845,7 @@ impl CalendarQueue {
     fn resize(&mut self, nb: usize) {
         debug_assert!(nb.is_power_of_two());
         self.min_hint = None; // every entry is about to be re-hashed
+        self.waste = 0; // the width below is fresh for this population
 
         // Width adaptation: aim for the day span (nb * width) to cover
         // the pending population's time spread, so events spread across
@@ -809,6 +886,141 @@ impl CalendarQueue {
         let floor = min_at.unwrap_or(self.day_start);
         self.day_start = (floor >> self.width_shift) << self.width_shift;
         self.cursor = ((floor >> self.width_shift) as usize) & self.mask;
+    }
+}
+
+// ─────────────────────────── auto backend ──────────────────────────────
+
+/// Migrate ladder → calendar once the population has sat above this for
+/// a full streak. Set just below the band where the ladder's
+/// O(population) refill sweep starts losing to the calendar in the hold
+/// model (see `simspeed --hold`).
+const AUTO_UP_LEN: usize = 64;
+/// Migrate calendar → ladder once the population collapses below this
+/// for a full streak — the band where the ladder's sorted bottom wins.
+const AUTO_DOWN_LEN: usize = 24;
+/// Consecutive inserts the population must hold beyond a threshold
+/// before migrating: migration re-inserts every pending event, so the
+/// streak keeps that O(n) cost amortised and bursts from thrashing.
+const AUTO_STREAK: u32 = 256;
+
+/// The population-adaptive backend: a ladder while small, a calendar
+/// while large. Every backend pops in identical (total) key order, so
+/// which structure holds the events at any instant is unobservable in
+/// results — migration is purely a constant-factor decision, driven by
+/// the measured hold-model crossover.
+#[derive(Debug)]
+struct AutoQueue {
+    inner: AutoInner,
+    /// Consecutive inserts spent beyond the active migration threshold.
+    streak: u32,
+    /// Reusable migration buffer, so steady-state churn (even with
+    /// occasional migrations) stops allocating once warm.
+    scratch: Vec<(EventKey, u32)>,
+}
+
+#[derive(Debug)]
+enum AutoInner {
+    Ladder(LadderQueue),
+    Calendar(CalendarQueue),
+}
+
+impl AutoQueue {
+    fn new() -> Self {
+        AutoQueue {
+            inner: AutoInner::Ladder(LadderQueue::new()),
+            streak: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    #[cfg_attr(lint, tcc_no_panic)]
+    fn insert(&mut self, key: EventKey, handle: u32) {
+        match &mut self.inner {
+            AutoInner::Ladder(q) => {
+                q.insert(key, handle);
+                if q.len() > AUTO_UP_LEN {
+                    self.streak += 1;
+                    if self.streak >= AUTO_STREAK {
+                        self.migrate();
+                    }
+                } else {
+                    self.streak = 0;
+                }
+            }
+            AutoInner::Calendar(q) => {
+                q.insert(key, handle);
+                if q.len() < AUTO_DOWN_LEN {
+                    self.streak += 1;
+                    if self.streak >= AUTO_STREAK {
+                        self.migrate();
+                    }
+                } else {
+                    self.streak = 0;
+                }
+            }
+        }
+    }
+
+    /// Rebuild the other structure from the pending population. The
+    /// calendar bulk-build passes through its occupancy resizes, so it
+    /// arrives with a width already derived from the real spread.
+    ///
+    /// Reviewed cold-path allocation: a migration happens at most once
+    /// per [`AUTO_STREAK`] inserts and recycles `scratch`, so its cost
+    /// (and its allocations) amortise to nothing over the inserts that
+    /// earned it.
+    #[cfg_attr(lint, tcc_alloc_ok)]
+    fn migrate(&mut self) {
+        self.streak = 0;
+        match &mut self.inner {
+            AutoInner::Ladder(q) => {
+                q.drain_entries(&mut self.scratch);
+                let mut c = CalendarQueue::new();
+                for &(k, h) in &self.scratch {
+                    c.insert(k, h);
+                }
+                self.inner = AutoInner::Calendar(c);
+            }
+            AutoInner::Calendar(q) => {
+                q.drain_entries(&mut self.scratch);
+                let mut l = LadderQueue::new();
+                for &(k, h) in &self.scratch {
+                    l.insert(k, h);
+                }
+                self.inner = AutoInner::Ladder(l);
+            }
+        }
+        self.scratch.clear();
+    }
+
+    fn pop(&mut self) -> Option<(EventKey, u32)> {
+        match &mut self.inner {
+            AutoInner::Ladder(q) => q.pop(),
+            AutoInner::Calendar(q) => q.pop(),
+        }
+    }
+
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    fn pop_before(&mut self, limit: SimTime) -> Option<(EventKey, u32)> {
+        match &mut self.inner {
+            AutoInner::Ladder(q) => q.pop_before(limit),
+            AutoInner::Calendar(q) => q.pop_before(limit),
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<EventKey> {
+        match &mut self.inner {
+            AutoInner::Ladder(q) => q.peek_key(),
+            AutoInner::Calendar(q) => q.peek_key(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.inner {
+            AutoInner::Ladder(q) => q.len(),
+            AutoInner::Calendar(q) => q.len(),
+        }
     }
 }
 
@@ -1047,6 +1259,71 @@ mod tests {
             prev = Some(t);
         }
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn auto_backend_migrates_both_ways_and_keeps_order() {
+        // Drive the population through both migration thresholds with a
+        // hold-model loop and check the structure actually switched each
+        // time, with pop order staying exact throughout (the reference
+        // heap runs the identical sequence alongside).
+        let mut q: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Auto);
+        let mut r: EventQueue<u64> = EventQueue::binary_heap();
+        assert_eq!(q.backend(), QueueBackend::Auto);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 4096) + 1
+        };
+        for i in 0..200u64 {
+            let d = step();
+            q.schedule_at(SimTime(d), i);
+            r.schedule_at(SimTime(d), i);
+        }
+        // Population 200 > AUTO_UP_LEN: a streak of holds migrates up.
+        for _ in 0..2 * AUTO_STREAK {
+            let (t, v) = q.pop().expect("steady population");
+            assert_eq!(r.pop(), Some((t, v)));
+            let d = step();
+            q.schedule_at(SimTime(t.0 + d), v);
+            r.schedule_at(SimTime(t.0 + d), v);
+        }
+        match &q.inner {
+            Inner::Auto(a) => {
+                assert!(
+                    matches!(a.inner, AutoInner::Calendar(_)),
+                    "sustained population 200 must migrate to the calendar"
+                );
+            }
+            _ => unreachable!(),
+        }
+        // Drain below AUTO_DOWN_LEN, then hold there: migrates back.
+        while q.len() > 8 {
+            let (t, v) = q.pop().expect("still populated");
+            assert_eq!(r.pop(), Some((t, v)));
+        }
+        for _ in 0..2 * AUTO_STREAK {
+            let (t, v) = q.pop().expect("steady population");
+            assert_eq!(r.pop(), Some((t, v)));
+            let d = step();
+            q.schedule_at(SimTime(t.0 + d), v);
+            r.schedule_at(SimTime(t.0 + d), v);
+        }
+        match &q.inner {
+            Inner::Auto(a) => {
+                assert!(
+                    matches!(a.inner, AutoInner::Ladder(_)),
+                    "collapsed population must migrate back to the ladder"
+                );
+            }
+            _ => unreachable!(),
+        }
+        while let Some((t, v)) = q.pop() {
+            assert_eq!(r.pop(), Some((t, v)));
+        }
+        assert_eq!(r.pop(), None);
     }
 
     #[test]

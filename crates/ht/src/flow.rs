@@ -307,6 +307,29 @@ impl RxBuffers {
         Ok(())
     }
 
+    /// Fast-lane variant of [`accept`](Self::accept) for the flat wire
+    /// shape — a posted packet known to carry data. Identical accounting,
+    /// no command inspection or VC dispatch.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    pub fn accept_posted_data(&mut self) -> Result<(), CreditError> {
+        const P: usize = 0; // VirtualChannel::Posted.index()
+        if self.held_cmd[P] + self.pending_cmd[P] >= self.initial {
+            return Err(CreditError::BufferOverrun {
+                vc: VirtualChannel::Posted,
+                class: CreditClass::Cmd,
+            });
+        }
+        if self.held_data[P] + self.pending_data[P] >= self.initial {
+            return Err(CreditError::BufferOverrun {
+                vc: VirtualChannel::Posted,
+                class: CreditClass::Data,
+            });
+        }
+        self.held_cmd[P] += 1;
+        self.held_data[P] += 1;
+        Ok(())
+    }
+
     /// The receiver finished processing a packet: its buffers become
     /// returnable credits. Fails with [`CreditError::DrainUnderflow`] on
     /// a drain without a matching accept.

@@ -276,6 +276,72 @@ impl Packet {
 pub const ADDR_BITS: u32 = 40;
 pub const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
 
+/// The dominant TCCluster packet in fixed shape: a full-cacheline posted
+/// write from the host bridge, payload inline. Every field a general
+/// [`Packet`] would carry for this shape is a constant here — command
+/// class, UnitID, dword count, PassPW, SeqID — so the fast lane never
+/// pattern-matches a [`Command`] or chases a [`Bytes`] refcount. The two
+/// forms convert losslessly at the boundaries; retry/CRC/ordering and the
+/// monitors keep operating on the general form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatWire {
+    pub addr: u64,
+    pub data: [u8; FlatWire::DATA_BYTES],
+}
+
+impl FlatWire {
+    /// Full cacheline payload — the only size the fast lane carries.
+    pub const DATA_BYTES: usize = 64;
+    /// Addressed request header (same as the general form's 8 bytes).
+    pub const HEADER_BYTES: u64 = 8;
+    /// Total wire footprint: header + data.
+    pub const WIRE_BYTES: u64 = Self::HEADER_BYTES + Self::DATA_BYTES as u64;
+    /// Dword count field (16 dwords - 1).
+    pub const COUNT: u8 = 15;
+    /// A posted write travels in the posted channel, always.
+    pub const VC: VirtualChannel = VirtualChannel::Posted;
+
+    pub fn new(addr: u64, data: [u8; Self::DATA_BYTES]) -> Self {
+        FlatWire { addr, data }
+    }
+
+    /// Lossless narrowing: `Some` exactly when the packet is the flat
+    /// shape ([`Packet::flat_addr`] on the same packet returns `Some`).
+    pub fn from_packet(pkt: &Packet) -> Option<FlatWire> {
+        let addr = pkt.flat_addr()?;
+        let mut data = [0u8; Self::DATA_BYTES];
+        data.copy_from_slice(&pkt.data);
+        Some(FlatWire { addr, data })
+    }
+
+    /// Lossless widening back to the general form. Allocates a fresh
+    /// payload; boundary crossings that own a [`PayloadPool`] should
+    /// prefer its recycled variant.
+    pub fn to_packet(&self) -> Packet {
+        Packet::posted_write(self.addr, Bytes::copy_from_slice(&self.data))
+    }
+}
+
+impl Packet {
+    /// Cheap fast-lane classifier: `Some(addr)` iff this packet is
+    /// exactly the [`FlatWire`] shape — a 64 B host-bridge posted write
+    /// with default ordering fields. One comparison chain, no clone.
+    pub fn flat_addr(&self) -> Option<u64> {
+        match self.cmd {
+            Command::WrSized {
+                posted: true,
+                unit: UnitId::HOST,
+                addr,
+                count: FlatWire::COUNT,
+                pass_pw: false,
+                seq_id: 0,
+                tag: None,
+            } if self.data.len() == FlatWire::DATA_BYTES => Some(addr),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +423,78 @@ mod tests {
     #[should_panic(expected = "SrcTag out of range")]
     fn srctag_range_enforced() {
         SrcTag::new(32);
+    }
+
+    #[test]
+    fn flatwire_roundtrip_is_lossless() {
+        let mut payload = [0u8; 64];
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let pkt = Packet::posted_write(0x1_2345_67C0, Bytes::copy_from_slice(&payload));
+        let flat = FlatWire::from_packet(&pkt).expect("64B posted write is flat");
+        assert_eq!(flat.addr, 0x1_2345_67C0);
+        assert_eq!(flat.data, payload);
+        let back = flat.to_packet();
+        assert_eq!(back, pkt, "widening must reproduce the packet exactly");
+        assert_eq!(back.wire_bytes(), FlatWire::WIRE_BYTES);
+        assert_eq!(back.vc(), FlatWire::VC);
+    }
+
+    #[test]
+    fn flat_classifier_rejects_every_non_flat_shape() {
+        // Short posted write: right command, wrong size.
+        let short = Packet::posted_write(0x1000, Bytes::from_static(&[0u8; 8]));
+        assert_eq!(short.flat_addr(), None);
+        // Non-posted 64B write.
+        let nonposted = Packet::new(
+            Command::WrSized {
+                posted: false,
+                unit: UnitId::HOST,
+                addr: 0x1000,
+                count: 15,
+                pass_pw: false,
+                seq_id: 0,
+                tag: Some(SrcTag::new(1)),
+            },
+            Bytes::from_static(&[0u8; 64]),
+        );
+        assert_eq!(nonposted.flat_addr(), None);
+        // PassPW set: ordering semantics differ, must take the slow path.
+        let pass_pw = Packet::new(
+            Command::WrSized {
+                posted: true,
+                unit: UnitId::HOST,
+                addr: 0x1000,
+                count: 15,
+                pass_pw: true,
+                seq_id: 0,
+                tag: None,
+            },
+            Bytes::from_static(&[0u8; 64]),
+        );
+        assert_eq!(pass_pw.flat_addr(), None);
+        // Non-host UnitID.
+        let devwrite = Packet::new(
+            Command::WrSized {
+                posted: true,
+                unit: UnitId(3),
+                addr: 0x1000,
+                count: 15,
+                pass_pw: false,
+                seq_id: 0,
+                tag: None,
+            },
+            Bytes::from_static(&[0u8; 64]),
+        );
+        assert_eq!(devwrite.flat_addr(), None);
+        // Control packets carry no address at all.
+        let fence = Packet::control(Command::Fence { unit: UnitId::HOST });
+        assert_eq!(fence.flat_addr(), None);
+        // The canonical storm packet IS flat.
+        let flat = Packet::posted_write(0x2000, Bytes::from_static(&[0u8; 64]));
+        assert_eq!(flat.flat_addr(), Some(0x2000));
+        assert!(FlatWire::from_packet(&flat).is_some());
     }
 
     #[test]

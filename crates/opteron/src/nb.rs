@@ -65,6 +65,60 @@ impl From<MapError> for NbError {
     }
 }
 
+/// Precomputed disposition of flat (full-cacheline posted-write) traffic
+/// for one address range: what [`Northbridge::dispose`] would decide for
+/// any address inside the range, resolved once at train time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatPlan {
+    /// Deliver to local DRAM at `local_base + (addr - base)`.
+    Local { base: u64, local_base: u64 },
+    /// Forward out of `link`.
+    Forward { link: LinkId },
+}
+
+/// The flat-lane dispatch table: every address range of one node's map,
+/// sorted by base, each carrying its precomputed [`FlatPlan`]. For a flat
+/// packet this collapses `dispose`'s resolve → routing-table → second
+/// local-offset walk into a single scan of at most
+/// [`crate::addrmap::MAX_DRAM_RANGES`] + [`crate::addrmap::MAX_MMIO_RANGES`]
+/// entries.
+///
+/// Staleness contract: the table is a snapshot of `addr_map` + `routes` at
+/// [`Northbridge::flat_table`] time. Callers must rebuild it whenever
+/// firmware reprograms the map — the event engine does so at construction,
+/// which happens on every retrain.
+#[derive(Debug, Clone, Default)]
+pub struct FlatTable {
+    entries: Vec<(u64, u64, FlatPlan)>,
+}
+
+impl FlatTable {
+    /// Plan for `addr`, or `None` when the address falls outside every
+    /// planned range (unmapped, or a range whose route could not be
+    /// precomputed) — the caller falls back to the general path, which
+    /// reproduces `dispose`'s exact behavior including its errors.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    pub fn lookup(&self, addr: u64) -> Option<FlatPlan> {
+        for &(base, limit, plan) in &self.entries {
+            if addr < base {
+                return None; // sorted: nothing further can contain addr
+            }
+            if addr < limit {
+                return Some(plan);
+            }
+        }
+        None
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The northbridge of one node.
 #[derive(Debug)]
 pub struct Northbridge {
@@ -108,6 +162,51 @@ impl Northbridge {
             }
         }
         None
+    }
+
+    /// Build the flat-lane dispatch table from the current address map and
+    /// routing table. Ranges whose disposition cannot be precomputed (no
+    /// route to the home node, remote MMIO routed to self) are omitted, so
+    /// lookups there miss and the caller's general-path fallback surfaces
+    /// the same error `dispose` would.
+    pub fn flat_table(&self) -> FlatTable {
+        let mut entries: Vec<(u64, u64, FlatPlan)> = Vec::new();
+        for (base, limit, home) in self.addr_map.dram_ranges() {
+            let plan = if home == self.node_id {
+                self.local_dram_offset(base)
+                    .map(|local_base| FlatPlan::Local { base, local_base })
+            } else {
+                match self.routes.request_route(home) {
+                    Some(Route::SelfRoute) => self
+                        .local_dram_offset(base)
+                        .map(|local_base| FlatPlan::Local { base, local_base }),
+                    Some(Route::Link(l)) => Some(FlatPlan::Forward { link: l }),
+                    None => None,
+                }
+            };
+            if let Some(plan) = plan {
+                entries.push((base, limit, plan));
+            }
+        }
+        for (base, limit, owner, link) in self.addr_map.mmio_ranges() {
+            let plan = if owner == self.node_id {
+                // Local MMIO forwards straight out the register's link —
+                // the TCCluster fast path, no routing-table hop.
+                Some(FlatPlan::Forward { link })
+            } else {
+                match self.routes.request_route(owner) {
+                    Some(Route::Link(l)) => Some(FlatPlan::Forward { link: l }),
+                    // Remote MMIO routed to self is a dispose-time error;
+                    // leave it to the general path.
+                    Some(Route::SelfRoute) | None => None,
+                }
+            };
+            if let Some(plan) = plan {
+                entries.push((base, limit, plan));
+            }
+        }
+        entries.sort_unstable_by_key(|&(base, _, _)| base);
+        FlatTable { entries }
     }
 
     /// Route an addressed request packet entering from `source`.
@@ -388,6 +487,73 @@ mod tests {
         nb.addr_map.add_dram(0x0000, 0x1000, NodeId(3)).unwrap();
         assert_eq!(
             nb.dispose(&pw(0x0), Source::Core),
+            Err(NbError::NoRoute(NodeId(3)))
+        );
+    }
+
+    /// What the flat table says for `addr` must be exactly what `dispose`
+    /// says for a flat packet at `addr` (modulo the `bridged` flag, which
+    /// is per-source and supplied by the caller).
+    fn assert_flat_agrees(nb: &mut Northbridge, table: &FlatTable, addr: u64) {
+        let planned = table.lookup(addr);
+        let disposed = nb.dispose(&pw(addr), Source::Core);
+        match (planned, disposed) {
+            (Some(FlatPlan::Local { base, local_base }), Ok(Disposition::LocalMemory { offset, .. })) => {
+                assert_eq!(local_base + (addr - base), offset, "offset at {addr:#x}");
+            }
+            (Some(FlatPlan::Forward { link }), Ok(Disposition::Forward { link: l })) => {
+                assert_eq!(link, l, "forward link at {addr:#x}");
+            }
+            (None, Err(_)) => {}
+            (p, d) => panic!("flat table disagrees with dispose at {addr:#x}: {p:?} vs {d:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_table_matches_dispose_on_tcc_node() {
+        let mut nb = tcc_node0();
+        let table = nb.flat_table();
+        assert_eq!(table.len(), 2);
+        for addr in [0x1000, 0x1800, 0x1FFF, 0x2000, 0x2800, 0x6FFF, 0x0100, 0x7000, 0xFFFF] {
+            assert_flat_agrees(&mut nb, &table, addr);
+        }
+    }
+
+    #[test]
+    fn flat_table_matches_dispose_on_smp_node() {
+        let mut nb = Northbridge::new(NodeId(0));
+        nb.addr_map.add_dram(0x0000, 0x1000, NodeId(0)).unwrap();
+        nb.addr_map.add_dram(0x1000, 0x2000, NodeId(1)).unwrap();
+        nb.addr_map.add_dram(0x2000, 0x2800, NodeId(0)).unwrap();
+        nb.routes
+            .set(NodeId(0), crate::route::symmetric(Route::SelfRoute));
+        nb.routes
+            .set(NodeId(1), crate::route::symmetric(Route::Link(LinkId(0))));
+        let table = nb.flat_table();
+        // The second local range's offsets continue after the first.
+        for addr in [0x0000, 0x0FFF, 0x1000, 0x1800, 0x2000, 0x27FF, 0x3000] {
+            assert_flat_agrees(&mut nb, &table, addr);
+        }
+        assert_eq!(
+            table.lookup(0x2400),
+            Some(FlatPlan::Local {
+                base: 0x2000,
+                local_base: 0x1000
+            })
+        );
+    }
+
+    #[test]
+    fn flat_table_omits_unroutable_ranges() {
+        // DRAM homed on a node with no route: dispose errors, the table
+        // misses, the caller falls back and gets the same error.
+        let mut nb = Northbridge::new(NodeId(0));
+        nb.addr_map.add_dram(0x0000, 0x1000, NodeId(3)).unwrap();
+        let table = nb.flat_table();
+        assert!(table.is_empty());
+        assert_eq!(table.lookup(0x800), None);
+        assert_eq!(
+            nb.dispose(&pw(0x800), Source::Core),
             Err(NbError::NoRoute(NodeId(3)))
         );
     }

@@ -14,7 +14,7 @@
 
 use crate::mem::MemoryController;
 use crate::mtrr::{MemType, Mtrrs};
-use crate::nb::{Disposition, NbError, Northbridge, Source};
+use crate::nb::{Disposition, FlatPlan, NbError, Northbridge, Source};
 use crate::params::UarchParams;
 use crate::pool::PayloadPool;
 use crate::regs::{LinkId, NodeId, NodeRegs, LINKS_PER_NODE};
@@ -57,6 +57,18 @@ pub enum DeliverOutcome {
     },
     /// A broadcast was filtered (kept inside the node).
     Filtered,
+}
+
+/// Outcome of the flat fast lane ([`Node::deliver_flat`]). Unlike
+/// [`DeliverOutcome`] it carries no packet: the caller classified the
+/// packet, keeps ownership, and only needed the routing decision and
+/// timing. Flat traffic is posted writes only, so `Filtered` cannot occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatOutcome {
+    /// The line landed in local DRAM.
+    Committed { offset: u64, visible: SimTime },
+    /// The line must leave again on `link` no earlier than `at`.
+    Forward { link: LinkId, at: SimTime },
 }
 
 /// Caller-provided scratch buffer collecting the [`Action`]s of one or
@@ -591,6 +603,44 @@ impl Node {
         }
     }
 
+    /// The flat fast lane of [`deliver_routed`](Self::deliver_routed):
+    /// the routing decision was precomputed into `plan` (one
+    /// [`FlatTable`](crate::nb::FlatTable) lookup at the caller), so only
+    /// the timed effects remain — a straight line with no command match,
+    /// no address-map walk, no routing-table hop. Statistics advance
+    /// exactly as `dispose` would advance them, so counters stay identical
+    /// whichever lane a packet took.
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    pub fn deliver_flat(
+        &mut self,
+        now: SimTime,
+        plan: FlatPlan,
+        addr: u64,
+        data: &[u8],
+        bridged: bool,
+    ) -> FlatOutcome {
+        self.nb.requests_routed += 1;
+        match plan {
+            FlatPlan::Local { base, local_base } => {
+                let lat = if bridged {
+                    self.params.nb_rx
+                } else {
+                    self.params.xbar_forward
+                };
+                let offset = local_base + (addr - base);
+                let visible = self.mem.write(now + lat, offset, data);
+                FlatOutcome::Committed { offset, visible }
+            }
+            FlatPlan::Forward { link } => {
+                self.nb.packets_forwarded += 1;
+                FlatOutcome::Forward {
+                    link,
+                    at: now + self.params.xbar_forward,
+                }
+            }
+        }
+    }
+
     /// An uncached poll: read `len` bytes at local DRAM `offset`. Returns
     /// the bytes and the completion time (`now + uc_read`).
     pub fn uc_poll(&mut self, now: SimTime, offset: u64, len: usize) -> (Vec<u8>, SimTime) {
@@ -767,6 +817,48 @@ mod tests {
                 assert_eq!(n.mem.peek(0x100, 64), &[0x5A; 64]);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deliver_flat_matches_deliver_routed() {
+        // Local commit and forward, each on a fresh node per lane: times,
+        // memory contents and northbridge counters must agree exactly.
+        for addr in [0x1_0100u64, 0x2_0040] {
+            let mut general = tcc_node();
+            let mut flat = tcc_node();
+            let table = flat.nb.flat_table();
+            let pkt = Packet::posted_write(addr, Bytes::from(vec![0xC3; 64]));
+            let plan = table
+                .lookup(addr)
+                .expect("mapped address has a flat plan");
+            let got = flat.deliver_flat(SimTime::ZERO, plan, addr, &pkt.data, true);
+            let want = general
+                .deliver_routed(SimTime::ZERO, TCC, pkt, false)
+                .unwrap();
+            match (got, want) {
+                (
+                    FlatOutcome::Committed { offset, visible },
+                    DeliverOutcome::Committed {
+                        offset: o,
+                        visible: v,
+                    },
+                ) => {
+                    assert_eq!(offset, o);
+                    assert_eq!(visible, v);
+                    assert_eq!(flat.mem.peek(offset, 64), general.mem.peek(o, 64));
+                }
+                (
+                    FlatOutcome::Forward { link, at },
+                    DeliverOutcome::Forward { link: l, at: t, .. },
+                ) => {
+                    assert_eq!(link, l);
+                    assert_eq!(at, t);
+                }
+                (g, w) => panic!("lanes disagree at {addr:#x}: {g:?} vs {w:?}"),
+            }
+            assert_eq!(flat.nb.requests_routed, general.nb.requests_routed);
+            assert_eq!(flat.nb.packets_forwarded, general.nb.packets_forwarded);
         }
     }
 

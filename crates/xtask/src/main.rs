@@ -29,16 +29,18 @@ use std::process::{Command, ExitCode};
 /// The number of `#[cfg_attr(lint, tcc_no_alloc)]` annotations the
 /// workspace carries (21 when the old HOT_FUNCTIONS table was migrated
 /// to in-place attributes; 33 after the mailbox/arena/ladder hot paths
-/// were annotated). The count may only grow: a drop means someone
+/// were annotated; 40 after the flat fast lane and the auto queue
+/// backend landed). The count may only grow: a drop means someone
 /// deleted an annotation rather than migrating it.
-const NO_ALLOC_BASELINE: usize = 33;
+const NO_ALLOC_BASELINE: usize = 40;
 
 /// The number of `tcc_no_panic` annotations the workspace carries (31
-/// when the panic-freedom pass landed: the 29 no-alloc hot paths that
-/// are also panic-checked, plus the two `run_worker`/`run_inline`
-/// drivers). Guarded like [`NO_ALLOC_BASELINE`]: the count may only
-/// grow.
-const NO_PANIC_BASELINE: usize = 31;
+/// when the panic-freedom pass landed: the no-alloc hot paths that are
+/// also panic-checked plus the executive drivers; 39 after the
+/// flat-lane dispatch, the sequential executive and the auto backend
+/// were annotated). Guarded like [`NO_ALLOC_BASELINE`]: the count may
+/// only grow.
+const NO_PANIC_BASELINE: usize = 39;
 
 /// The epoch-phase pass must keep ranking at least this many in-scope
 /// engine functions (21 when the pass landed). A collapse below the

@@ -66,6 +66,39 @@ fn arb_pattern() -> impl Strategy<Value = TrafficPattern> {
     ]
 }
 
+/// Run one workload with the flat fast lane explicitly on or off,
+/// optionally with the invariant monitors mounted. Returns the report
+/// plus the monitors' view (packets seen, clean verdict) when mounted.
+fn run_lane(
+    mesh: (usize, usize),
+    link: LinkConfig,
+    pattern: TrafficPattern,
+    bytes: u64,
+    threads: usize,
+    flat_lane: bool,
+    monitored: bool,
+) -> (WorkloadReport, Option<(u64, bool)>) {
+    let mut cluster = TcclusterBuilder::new()
+        .topology(ClusterTopology::Mesh {
+            x: mesh.0,
+            y: mesh.1,
+        })
+        .processors_per_supernode(2)
+        .tcc_link(link)
+        .engine(EngineKind::EventDriven)
+        .event_threads(threads)
+        .event_flat_lane(flat_lane)
+        .build_sim();
+    let handle = monitored.then(|| {
+        let (monitor, handle) = tcc_verify::InvariantMonitor::new();
+        cluster.platform.with_monitors(monitor);
+        handle
+    });
+    let report = cluster.run_workload(pattern, bytes);
+    let verdict = handle.map(|h| (h.packets_seen(), h.is_clean()));
+    (report, verdict)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -100,6 +133,37 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The flat fast lane is an optimisation, never a semantic: delivery
+    /// is byte-identical with the lane on and off, at one thread and
+    /// several, and the mounted invariant monitors see the exact same
+    /// packet stream (same count, same clean verdict) either way — the
+    /// lane flag must be invisible to everything but wall clock.
+    #[test]
+    fn flat_lane_is_bit_identical_and_monitor_invisible(
+        link in arb_link(),
+        pattern in arb_pattern(),
+        kb in 2u64..=8,
+    ) {
+        let bytes = kb << 10;
+        let (on, _) = run_lane((2, 2), link, pattern, bytes, 1, true, false);
+        prop_assert!(on.delivered_packets > 0, "workload moved no data");
+        let (off, _) = run_lane((2, 2), link, pattern, bytes, 1, false, false);
+        prop_assert_eq!(&off, &on, "flat lane off diverged on {:?}", pattern);
+        for threads in [2usize, 4] {
+            let (got, _) = run_lane((2, 2), link, pattern, bytes, threads, true, false);
+            prop_assert_eq!(&got, &on, "flat lane x {} threads diverged", threads);
+        }
+        let (mon_on, saw_on) = run_lane((2, 2), link, pattern, bytes, 1, true, true);
+        let (mon_off, saw_off) = run_lane((2, 2), link, pattern, bytes, 1, false, true);
+        prop_assert_eq!(&mon_on, &on, "mounting a monitor changed the results");
+        prop_assert_eq!(&mon_off, &on, "monitor + lane off changed the results");
+        let (seen_on, clean_on) = saw_on.unwrap();
+        let (seen_off, clean_off) = saw_off.unwrap();
+        prop_assert_eq!(seen_on, seen_off, "monitors saw different packet streams");
+        prop_assert!(seen_on > on.delivered_packets, "monitor missed forwarded hops");
+        prop_assert!(clean_on && clean_off, "invariant violations");
     }
 }
 
