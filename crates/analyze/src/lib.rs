@@ -13,7 +13,9 @@
 //! item/expression parser (no rustc dependency — in the spirit of the
 //! vendored loom/rayon shims), builds the intra-workspace call graph
 //! **once** ([`callgraph`] — shared name resolution, generic fixpoint
-//! propagation and path-finding BFS), and runs six passes over it:
+//! propagation and path-finding BFS), builds intraprocedural CFGs on
+//! demand ([`cfg`] + the [`dataflow`] worklist solver), and runs seven
+//! passes:
 //!
 //! | pass | module | checks |
 //! |---|---|---|
@@ -23,21 +25,29 @@
 //! | `determinism` | [`determinism`] | no wallclock, no `HashMap`/`HashSet` iteration, no entropy-seeded randomness in simulation code |
 //! | `panic-freedom` | [`panics`] | `#[cfg_attr(lint, tcc_no_panic)]` functions never *transitively* reach `unwrap`/`expect`/`panic!`-family sites |
 //! | `epoch-phase` | [`phase`] | the engine's epoch machine keeps drain → minima → stage → publish order and never bypasses the mailbox handoff |
+//! | `linear-resource` | [`resource`] | `#[cfg_attr(lint, tcc_linear(kind))]` functions balance acquire/release anchors (credits, SrcTags, arena handles, batches) on *every* CFG path |
 //!
 //! Escape hatches are explicit and auditable: `#[cfg_attr(lint,
 //! tcc_alloc_ok)]` marks an amortized/cold allocation the reachability
 //! pass may stop at, `#[cfg_attr(lint, tcc_panic_ok)]` a reviewed
-//! deliberate protocol panic (kept honest by `panic.stale-ok`), and a
-//! `// tcc-analyze: allow(<code>)` comment on (or immediately above) a
-//! flagged line suppresses that one diagnostic.
+//! deliberate protocol panic (kept honest by `panic.stale-ok`),
+//! `#[cfg_attr(lint, tcc_transfer_ok)]` a reviewed ownership handoff
+//! the resource pass may exit holding (kept honest by
+//! `resource.stale-ok`), and a `// tcc-analyze: allow(<code>)` comment
+//! on (or immediately above) a flagged line suppresses that one
+//! diagnostic.
 //! Every run produces a [`report::Report`], which `cargo xtask lint`
-//! serialises to `LINT_report.json` (schema 2: per-pass counts and
-//! baselines, machine-diffable). See `docs/static-analysis.md`.
+//! serialises to `LINT_report.json` (schema 3: per-pass counts,
+//! baselines and optional per-pass timings, machine-diffable; the
+//! diagnostics list is sorted and deduplicated, so serialisation is
+//! byte-stable across runs). See `docs/static-analysis.md`.
 
 #![forbid(unsafe_code)]
 
 pub mod alloc;
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod determinism;
 pub mod lexer;
 pub mod locks;
@@ -45,6 +55,7 @@ pub mod panics;
 pub mod parse;
 pub mod phase;
 pub mod report;
+pub mod resource;
 pub mod timearith;
 
 use parse::{parse_file, FnDef, Parsed, SourceFile};
@@ -276,8 +287,23 @@ fn collect_rs(dir: &Path, sink: &mut dyn FnMut(&Path, String)) -> io::Result<()>
     Ok(())
 }
 
-/// Run all six passes over one shared call graph and assemble the report.
+/// Run all seven passes over one shared call graph and assemble the
+/// report. Equivalent to [`run_all_timed`] without a clock: the report's
+/// `timings_ms` stays `null`, which keeps the committed
+/// `LINT_report.json` byte-stable across runs.
 pub fn run_all(ws: &Workspace) -> Report {
+    run_all_timed(ws, None)
+}
+
+/// A monotonic nanosecond clock, injected by the caller. The analyzer
+/// itself must not read wallclock (its own determinism pass — and the
+/// workspace-wide clippy disallowed-methods list — ban it), so timing
+/// lives behind a fn pointer xtask supplies from the one exempt crate.
+pub type PassClock = fn() -> u64;
+
+/// Run all seven passes; with a clock, record per-pass wall time (plus
+/// the shared call-graph build) into the report's `pass_nanos`.
+pub fn run_all_timed(ws: &Workspace, clock: Option<PassClock>) -> Report {
     let marker_count = |m: &str| ws.fns.iter().filter(|f| f.has_marker(m)).count();
     let mut report = Report {
         files_scanned: ws.files.len(),
@@ -286,24 +312,55 @@ pub fn run_all(ws: &Workspace) -> Report {
         alloc_ok_annotations: marker_count("tcc_alloc_ok"),
         no_panic_annotations: marker_count("tcc_no_panic"),
         panic_ok_annotations: marker_count("tcc_panic_ok"),
+        linear_annotations: marker_count("tcc_linear"),
+        transfer_ok_annotations: marker_count("tcc_transfer_ok"),
+        acquire_annotations: marker_count("tcc_acquires"),
+        release_annotations: marker_count("tcc_releases"),
         ..Report::default()
     };
+    let mut last = clock.map(|c| c());
+    let mut lap = |report: &mut Report, name: &'static str| {
+        if let (Some(c), Some(prev)) = (clock, last) {
+            let t = c();
+            report.pass_nanos.push((name, t.saturating_sub(prev)));
+            last = Some(t);
+        }
+    };
     let cg = callgraph::CallGraph::build(ws);
+    lap(&mut report, "callgraph");
     report.diagnostics.extend(alloc::run_with(ws, &cg));
+    lap(&mut report, "alloc-reachability");
     report.diagnostics.extend(locks::run_with(ws, &cg));
+    lap(&mut report, "lock-order");
     report.diagnostics.extend(timearith::run(ws));
+    lap(&mut report, "time-arith");
     report.diagnostics.extend(determinism::run(ws));
+    lap(&mut report, "determinism");
     report.diagnostics.extend(panics::run_with(ws, &cg));
+    lap(&mut report, "panic-freedom");
     let (phase_diags, phase_ranked) = phase::run_with_stats(ws, &cg);
     report.diagnostics.extend(phase_diags);
     report.phase_ranked_functions = phase_ranked;
-    // Honour inline allow directives, then order for stable output.
+    lap(&mut report, "epoch-phase");
+    let (res_diags, linear_checked, linear_crates) = resource::run_with_stats(ws, &cg);
+    report.diagnostics.extend(res_diags);
+    report.linear_checked_functions = linear_checked;
+    report.linear_crates = linear_crates.into_iter().collect();
+    lap(&mut report, "linear-resource");
+    // Honour inline allow directives, then order for stable output, then
+    // collapse exact duplicates (same file, line and code — e.g. two
+    // resource kinds leaking at one exit): baseline counts must not
+    // double-count shared anchors, and the serialised report must be
+    // byte-identical across runs.
     report
         .diagnostics
         .retain(|d| !allowed(ws, &d.file, d.line, &d.code));
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, &a.code).cmp(&(&b.file, b.line, &b.code)));
+    report
+        .diagnostics
+        .dedup_by(|a, b| a.file == b.file && a.line == b.line && a.code == b.code);
     report
 }
 

@@ -1,11 +1,17 @@
 //! Structured diagnostics and the `LINT_report.json` emitter.
 //!
-//! The JSON schema is versioned (`"schema": 2`): tools downstream (CI
+//! The JSON schema is versioned (`"schema": 3`): tools downstream (CI
 //! artifact consumers, the xtask gate) key off `clean`, `diagnostics[]`,
 //! the per-pass counts and the annotation counters. Schema 2 added the
 //! two interprocedural passes (`panic-freedom`, `epoch-phase`), the
 //! `pass_counts`/`annotations`/`baselines` objects and the
-//! `phase_ranked_functions` guard metric; the schema-1 flat counter keys
+//! `phase_ranked_functions` guard metric. Schema 3 adds the
+//! `linear-resource` pass: its four annotation counters
+//! (`tcc_linear`, `tcc_transfer_ok`, `tcc_acquires`, `tcc_releases`),
+//! the `linear_checked_functions` / `linear_crates` guard metrics, and
+//! `timings_ms` — per-pass wall time when the caller injects a clock
+//! (`cargo xtask lint --timings`), JSON `null` otherwise so the
+//! committed artifact stays byte-stable. The schema-1 flat counter keys
 //! are retained so old diffs stay readable, and fields are only ever
 //! *added* within a schema version.
 
@@ -14,13 +20,14 @@ use std::fmt::Write as _;
 /// Every pass, in report order. `pass_counts` always carries all of
 /// these (zeroes included) so reports from different commits diff
 /// line-by-line.
-pub const PASSES: [&str; 6] = [
+pub const PASSES: [&str; 7] = [
     "alloc-reachability",
     "lock-order",
     "time-arith",
     "determinism",
     "panic-freedom",
     "epoch-phase",
+    "linear-resource",
 ];
 
 /// One finding of one pass, anchored to a source span.
@@ -74,6 +81,27 @@ pub struct Report {
     /// In-scope functions the epoch-phase pass assigned a rank to; the
     /// xtask guard fails if this collapses (the pass went blind).
     pub phase_ranked_functions: usize,
+    /// Count of `tcc_linear(..)` annotations seen (baseline-guarded:
+    /// xtask fails if this drops below `RESOURCE_BASELINE`).
+    pub linear_annotations: usize,
+    /// Count of `tcc_transfer_ok` escape hatches seen (each must cover
+    /// a real held-at-exit path — `resource.stale-ok` enforces it).
+    pub transfer_ok_annotations: usize,
+    /// Count of `tcc_acquires(..)` anchor annotations seen.
+    pub acquire_annotations: usize,
+    /// Count of `tcc_releases(..)` anchor annotations seen.
+    pub release_annotations: usize,
+    /// Functions the linear-resource pass actually walked (annotated,
+    /// live, with a body); the xtask guard fails if this collapses.
+    pub linear_checked_functions: usize,
+    /// Crates containing at least one linear-checked function, sorted;
+    /// the xtask guard asserts the required span (ht, fabric, msglib,
+    /// core) stays covered.
+    pub linear_crates: Vec<String>,
+    /// Per-pass wall time in nanoseconds, in run order, when the caller
+    /// injected a clock (`--timings`); empty otherwise, which serialises
+    /// `timings_ms` as `null` so the committed report stays byte-stable.
+    pub pass_nanos: Vec<(&'static str, u64)>,
     pub files_scanned: usize,
     pub functions_indexed: usize,
     /// Named baseline floors the caller enforces (xtask fills these in
@@ -95,7 +123,7 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n");
-        s.push_str("  \"schema\": 2,\n");
+        s.push_str("  \"schema\": 3,\n");
         s.push_str("  \"tool\": \"tcc-analyze\",\n");
         s.push_str("  \"passes\": [");
         for (i, p) in PASSES.iter().enumerate() {
@@ -122,7 +150,15 @@ impl Report {
         let _ = writeln!(s, "    \"tcc_no_alloc\": {},", self.no_alloc_annotations);
         let _ = writeln!(s, "    \"tcc_alloc_ok\": {},", self.alloc_ok_annotations);
         let _ = writeln!(s, "    \"tcc_no_panic\": {},", self.no_panic_annotations);
-        let _ = writeln!(s, "    \"tcc_panic_ok\": {}", self.panic_ok_annotations);
+        let _ = writeln!(s, "    \"tcc_panic_ok\": {},", self.panic_ok_annotations);
+        let _ = writeln!(s, "    \"tcc_linear\": {},", self.linear_annotations);
+        let _ = writeln!(
+            s,
+            "    \"tcc_transfer_ok\": {},",
+            self.transfer_ok_annotations
+        );
+        let _ = writeln!(s, "    \"tcc_acquires\": {},", self.acquire_annotations);
+        let _ = writeln!(s, "    \"tcc_releases\": {}", self.release_annotations);
         s.push_str("  },\n");
         s.push_str("  \"pass_counts\": {\n");
         for (i, p) in PASSES.iter().enumerate() {
@@ -136,6 +172,31 @@ impl Report {
             "  \"phase_ranked_functions\": {},",
             self.phase_ranked_functions
         );
+        let _ = writeln!(
+            s,
+            "  \"linear_checked_functions\": {},",
+            self.linear_checked_functions
+        );
+        s.push_str("  \"linear_crates\": [");
+        for (i, c) in self.linear_crates.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", esc(c));
+        }
+        s.push_str("],\n");
+        if self.pass_nanos.is_empty() {
+            s.push_str("  \"timings_ms\": null,\n");
+        } else {
+            s.push_str("  \"timings_ms\": {");
+            for (i, (name, ns)) in self.pass_nanos.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\n    \"{name}\": {:.3}", *ns as f64 / 1.0e6);
+            }
+            s.push_str("\n  },\n");
+        }
         s.push_str("  \"baselines\": {");
         for (i, (name, floor)) in self.baselines.iter().enumerate() {
             if i > 0 {
@@ -204,7 +265,10 @@ mod tests {
         let mut r = Report {
             no_alloc_annotations: 21,
             no_panic_annotations: 7,
-            baselines: vec![("no_alloc", 21), ("no_panic", 7)],
+            linear_annotations: 12,
+            linear_checked_functions: 12,
+            linear_crates: vec!["ht".into(), "msglib".into()],
+            baselines: vec![("no_alloc", 21), ("no_panic", 7), ("linear_checked", 12)],
             ..Report::default()
         };
         r.diagnostics.push(Diagnostic {
@@ -217,13 +281,21 @@ mod tests {
             notes: vec!["use saturating_add".into()],
         });
         let j = r.to_json();
-        assert!(j.contains("\"schema\": 2"));
+        assert!(j.contains("\"schema\": 3"));
         assert!(j.contains("\"clean\": false"));
         assert!(j.contains("\"no_alloc_annotations\": 21"));
         assert!(j.contains("\"tcc_no_panic\": 7"));
+        assert!(j.contains("\"tcc_linear\": 12"));
+        assert!(j.contains("\"tcc_transfer_ok\": 0"));
         assert!(j.contains("\"time-arith\": 1"));
         assert!(j.contains("\"panic-freedom\": 0"));
+        assert!(j.contains("\"linear-resource\": 0"));
         assert!(j.contains("\"no_panic\": 7"));
+        assert!(j.contains("\"linear_checked\": 12"));
+        assert!(j.contains("\"linear_crates\": [\"ht\", \"msglib\"]"));
+        // No clock injected: timings stay null so the artifact is
+        // byte-stable across runs.
+        assert!(j.contains("\"timings_ms\": null"));
         assert!(j.contains("raw `+` on \\\"picosecond\\\" value"));
         // Keys the gate depends on must never disappear.
         for key in [
@@ -238,9 +310,22 @@ mod tests {
             "\"annotations\"",
             "\"baselines\"",
             "\"phase_ranked_functions\"",
+            "\"linear_checked_functions\"",
         ] {
             assert!(j.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn timings_serialise_in_milliseconds_when_a_clock_ran() {
+        let r = Report {
+            pass_nanos: vec![("callgraph", 1_500_000), ("linear-resource", 250_000)],
+            ..Report::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"callgraph\": 1.500"));
+        assert!(j.contains("\"linear-resource\": 0.250"));
+        assert!(!j.contains("\"timings_ms\": null"));
     }
 
     #[test]

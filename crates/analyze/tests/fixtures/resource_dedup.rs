@@ -1,0 +1,28 @@
+//! Fixture: diagnostic deduplication. One function is linear in two
+//! kinds and leaks both at the same fall-through exit: the pass emits
+//! one `resource.leak` per kind at the identical (file, line, code)
+//! span, and `run_all` must collapse them to a single diagnostic.
+
+pub struct Node {
+    credits: u32,
+    batches: u32,
+}
+
+impl Node {
+    #[cfg_attr(lint, tcc_acquires(credit))]
+    pub fn consume(&mut self) {
+        self.credits -= 1;
+    }
+
+    #[cfg_attr(lint, tcc_acquires(batch))]
+    pub fn publish(&mut self) {
+        self.batches += 1;
+    }
+}
+
+/// Leaks a credit and a batch on the same exit line.
+#[cfg_attr(lint, tcc_linear(credit, batch))]
+pub fn leak_both(node: &mut Node) {
+    node.consume();
+    node.publish();
+}

@@ -1,0 +1,30 @@
+//! Fixture: `resource.double-release`. A tag handle is completed twice —
+//! the second `complete` runs after every path already released the
+//! handle, which on the real `TagTable` would steal whatever request
+//! re-allocated the slot in between.
+
+pub struct TagTable {
+    in_flight: u32,
+}
+
+impl TagTable {
+    #[cfg_attr(lint, tcc_acquires(srctag))]
+    pub fn allocate(&mut self) -> u8 {
+        self.in_flight += 1;
+        0
+    }
+
+    #[cfg_attr(lint, tcc_releases(srctag))]
+    pub fn complete(&mut self, tag: u8) -> u8 {
+        self.in_flight -= 1;
+        tag
+    }
+}
+
+/// The retry path re-completes the tag it already completed.
+#[cfg_attr(lint, tcc_linear(srctag))]
+pub fn respond_twice(tags: &mut TagTable) {
+    let tag = tags.allocate();
+    tags.complete(tag);
+    tags.complete(tag);
+}

@@ -1,0 +1,40 @@
+//! Fixture: `resource.leak`. The credit is consumed, then an early
+//! return on the congestion branch exits without releasing it — exactly
+//! the path shape fault-injection suites rarely drive. The tail path is
+//! balanced, so the diagnostic must anchor to the early exit only.
+
+pub struct CreditPool {
+    available: u32,
+}
+
+pub enum SendError {
+    Congested,
+}
+
+impl CreditPool {
+    #[cfg_attr(lint, tcc_acquires(credit))]
+    pub fn consume(&mut self) -> Result<(), SendError> {
+        if self.available == 0 {
+            return Err(SendError::Congested);
+        }
+        self.available -= 1;
+        Ok(())
+    }
+
+    #[cfg_attr(lint, tcc_releases(credit))]
+    pub fn release(&mut self) {
+        self.available += 1;
+    }
+}
+
+/// Consumes a credit, then bails on the congested branch still holding
+/// it: the release lives only on the fall-through path.
+#[cfg_attr(lint, tcc_linear(credit))]
+pub fn transmit(pool: &mut CreditPool, congested: bool) -> Result<(), SendError> {
+    pool.consume()?;
+    if congested {
+        return Err(SendError::Congested);
+    }
+    pool.release();
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Fixture: `resource.stale-ok` — the dual check that keeps the escape
+//! hatch honest. `publish` once handed its batch to a peer shard and
+//! earned `tcc_transfer_ok`; a later refactor made it balanced (the take
+//! moved inline), so the excuse now covers nothing and must be flagged
+//! before it silently excuses a *real* leak introduced later.
+
+pub struct Ring {
+    pending: u32,
+}
+
+impl Ring {
+    #[cfg_attr(lint, tcc_acquires(batch))]
+    pub fn publish_batch(&mut self) {
+        self.pending += 1;
+    }
+
+    #[cfg_attr(lint, tcc_releases(batch))]
+    pub fn take_batch(&mut self) {
+        self.pending -= 1;
+    }
+}
+
+/// Every path is balanced: the `tcc_transfer_ok` is stale.
+#[cfg_attr(lint, tcc_linear(batch), tcc_transfer_ok)]
+pub fn roundtrip(ring: &mut Ring) {
+    ring.publish_batch();
+    ring.take_batch();
+}

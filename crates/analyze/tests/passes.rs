@@ -5,7 +5,10 @@
 //! substring scan it replaced.
 
 use std::path::Path;
-use tcc_analyze::{alloc, determinism, locks, panics, phase, run_all, timearith, Workspace};
+use tcc_analyze::callgraph::CallGraph;
+use tcc_analyze::{
+    alloc, determinism, locks, panics, phase, resource, run_all, timearith, Workspace,
+};
 
 const ALLOC_TRANSITIVE: &str = include_str!("fixtures/alloc_transitive.rs");
 const LOCK_CYCLE: &str = include_str!("fixtures/lock_cycle.rs");
@@ -19,9 +22,23 @@ const PHASE_CLEAN: &str = include_str!("fixtures/phase_clean.rs");
 const PANIC_REACHABLE: &str = include_str!("fixtures/panic_reachable.rs");
 const PANIC_STALE_OK: &str = include_str!("fixtures/panic_stale_ok.rs");
 const PANIC_CLEAN: &str = include_str!("fixtures/panic_clean.rs");
+const RESOURCE_LEAK: &str = include_str!("fixtures/resource_leak.rs");
+const RESOURCE_DOUBLE_RELEASE: &str = include_str!("fixtures/resource_double_release.rs");
+const RESOURCE_USE_AFTER_RELEASE: &str = include_str!("fixtures/resource_use_after_release.rs");
+const RESOURCE_STALE_OK: &str = include_str!("fixtures/resource_stale_ok.rs");
+const RESOURCE_CLEAN: &str = include_str!("fixtures/resource_clean.rs");
+const RESOURCE_DEDUP: &str = include_str!("fixtures/resource_dedup.rs");
 
 fn ws(name: &str, src: &str) -> Workspace {
     Workspace::from_sources(&[(name, src)])
+}
+
+/// The linear-resource pass needs the shared call graph for anchor
+/// resolution; fixture entry point.
+fn resource_run(name: &str, src: &str) -> Vec<tcc_analyze::report::Diagnostic> {
+    let ws = ws(name, src);
+    let cg = CallGraph::build(&ws);
+    resource::run_with(&ws, &cg)
 }
 
 #[test]
@@ -212,11 +229,92 @@ fn panic_pass_accepts_funnels_asserts_and_indexing() {
     );
 }
 
+#[test]
+fn resource_pass_flags_the_early_return_leak() {
+    let d = resource_run("resource_leak.rs", RESOURCE_LEAK);
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "resource.leak");
+    assert_eq!(d[0].function, "transmit");
+    assert!(
+        d[0].message.contains("credit"),
+        "the leaked kind must be named: {}",
+        d[0].message
+    );
+}
+
+#[test]
+fn resource_pass_flags_double_release() {
+    let d = resource_run("resource_double_release.rs", RESOURCE_DOUBLE_RELEASE);
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "resource.double-release");
+    assert_eq!(d[0].function, "respond_twice");
+    assert!(d[0].message.contains("tag"), "{}", d[0].message);
+}
+
+#[test]
+fn resource_pass_flags_use_after_release() {
+    let d = resource_run("resource_use_after_release.rs", RESOURCE_USE_AFTER_RELEASE);
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "resource.use-after-release");
+    assert_eq!(d[0].function, "replay");
+    assert!(d[0].message.contains("handle"), "{}", d[0].message);
+}
+
+#[test]
+fn resource_pass_flags_a_stale_transfer_ok() {
+    let d = resource_run("resource_stale_ok.rs", RESOURCE_STALE_OK);
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].code, "resource.stale-ok");
+    assert_eq!(d[0].function, "roundtrip");
+}
+
+#[test]
+fn resource_pass_accepts_the_paired_lifecycles() {
+    let d = resource_run("resource_clean.rs", RESOURCE_CLEAN);
+    assert!(
+        d.is_empty(),
+        "?-shifted acquires, a justified handoff, a net-releasing drain \
+         loop and a properly paired handle are all blessed: {d:#?}"
+    );
+}
+
+/// Satellite: diagnostics with identical (file, line, code) collapse to
+/// one in `run_all`, while the raw pass still sees one per kind.
+#[test]
+fn identical_span_diagnostics_dedup_in_run_all() {
+    let raw = resource_run("resource_dedup.rs", RESOURCE_DEDUP);
+    let leaks = raw.iter().filter(|d| d.code == "resource.leak").count();
+    assert_eq!(leaks, 2, "one leak per kind before dedup: {raw:#?}");
+
+    let report = run_all(&ws("resource_dedup.rs", RESOURCE_DEDUP));
+    let deduped = report.by_pass("linear-resource").count();
+    assert_eq!(deduped, 1, "{:#?}", report.diagnostics);
+}
+
+/// Satellite: `LINT_report.json` is byte-stable — two runs over the same
+/// sources serialize to identical bytes, both on the clean workspace and
+/// on a fixture that produces diagnostics.
+#[test]
+fn report_json_is_byte_identical_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("analyze lives two levels below the workspace root");
+    let w = Workspace::load_root(root).expect("load workspace sources");
+    assert_eq!(run_all(&w).to_json(), run_all(&w).to_json());
+
+    let dirty = ws("resource_dedup.rs", RESOURCE_DEDUP);
+    let a = run_all(&dirty).to_json();
+    let b = run_all(&dirty).to_json();
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
 /// The real workspace passes every gate. This is the test that makes the
 /// fixtures honest: the passes fire on the fixtures above and stay quiet
 /// on ~90 production files, so they discriminate rather than spam.
 #[test]
-fn workspace_is_clean_under_all_six_passes() {
+fn workspace_is_clean_under_all_seven_passes() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -251,6 +349,19 @@ fn workspace_is_clean_under_all_six_passes() {
          its helpers — {} ranked functions means the anchors went blind",
         report.phase_ranked_functions
     );
+    assert!(
+        report.linear_checked_functions >= 10,
+        "the linear-resource pass must keep walking the annotated \
+         lifecycles (found {})",
+        report.linear_checked_functions
+    );
+    for required in ["core", "fabric", "ht", "msglib"] {
+        assert!(
+            report.linear_crates.iter().any(|c| c == required),
+            "linear-resource coverage must span crate `{required}` (have {:?})",
+            report.linear_crates
+        );
+    }
     assert!(report.files_scanned >= 80, "{}", report.files_scanned);
     // The engine's mailbox discipline specifically: scanned, and clean.
     assert!(

@@ -489,14 +489,29 @@ fn main() {
         let prof = bench_mesh8_attribution(1);
         let per_sampled = |ns: u64| ns as f64 / prof.sampled_events.max(1) as f64;
         let per_epoch_event = |ns: u64| ns as f64 / prof.profiled_events.max(1) as f64;
-        println!("stage attribution, t1 (sampled 1/{}):", tccluster::engine::PROFILE_SAMPLE_EVERY);
-        println!("  events {}  sampled {}  visits {}", prof.profiled_events, prof.sampled_events, prof.epochs);
-        println!("  queue    {:>8.1} ns/event (sampled)", per_sampled(prof.queue_ns));
-        println!("  exec     {:>8.1} ns/event (sampled)", per_sampled(prof.exec_ns));
+        println!(
+            "stage attribution, t1 (sampled 1/{}):",
+            tccluster::engine::PROFILE_SAMPLE_EVERY
+        );
+        println!(
+            "  events {}  sampled {}  visits {}",
+            prof.profiled_events, prof.sampled_events, prof.epochs
+        );
+        println!(
+            "  queue    {:>8.1} ns/event (sampled)",
+            per_sampled(prof.queue_ns)
+        );
+        println!(
+            "  exec     {:>8.1} ns/event (sampled)",
+            per_sampled(prof.exec_ns)
+        );
         println!("    credit  {:>8.1} ns/event", per_sampled(prof.credit_ns));
         println!("    route   {:>8.1} ns/event", per_sampled(prof.route_ns));
         println!("    deliver {:>8.1} ns/event", per_sampled(prof.deliver_ns));
-        println!("  mailbox  {:>8.1} ns/event (all epochs)", per_epoch_event(prof.mailbox_ns));
+        println!(
+            "  mailbox  {:>8.1} ns/event (all epochs)",
+            per_epoch_event(prof.mailbox_ns)
+        );
         return;
     }
     if args.iter().any(|a| a == "--mesh8") {
@@ -591,8 +606,7 @@ fn main() {
     // so the fast lane's end-to-end worth stays in the record.
     let mut flat_off_t1 = 0.0f64;
     for _ in 0..REPS {
-        let (e, report) =
-            bench_mesh8_lane(1, QueueBackend::default(), MailboxKind::Ring, false);
+        let (e, report) = bench_mesh8_lane(1, QueueBackend::default(), MailboxKind::Ring, false);
         flat_off_t1 = flat_off_t1.max(e);
         assert_eq!(
             &report,

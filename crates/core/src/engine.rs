@@ -546,7 +546,10 @@ impl ShardRun<'_> {
     /// per epoch, before the B0 barrier (run_worker) or the end of the
     /// epoch phase. The epoch protocol guarantees at most
     /// one batch in flight per pair, so a full ring is a protocol bug.
+    // tcc_transfer_ok: published batches stay in flight in the pair
+    // rings until the receiver shard's drain_mail takes them next epoch.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(batch), tcc_transfer_ok)]
     fn publish_outboxes(&mut self) {
         if self.mail.kind != MailboxKind::Ring {
             return;
@@ -569,6 +572,7 @@ impl ShardRun<'_> {
     /// shared inbox (mutex path). Both paths recycle the shard's scratch
     /// buffer, so the steady state moves events without allocating.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(batch))]
     fn drain_mail(&mut self) {
         let mut scratch = std::mem::take(&mut self.shard.inscratch);
         match self.mail.kind {
@@ -681,7 +685,7 @@ impl ShardRun<'_> {
         loop {
             // events + handled is monotone across the whole run, so the
             // sample pattern is deterministic and phase-independent.
-            if (self.shard.events + handled) % PROFILE_SAMPLE_EVERY != 0 {
+            if !(self.shard.events + handled).is_multiple_of(PROFILE_SAMPLE_EVERY) {
                 let Some((key, ev)) = self.shard.queue.pop_keyed_before(horizon) else {
                     break;
                 };
@@ -841,7 +845,10 @@ impl ShardRun<'_> {
         self.on_arrive_impl::<true>(key, node, link, packet);
     }
 
+    // tcc_transfer_ok: an accepted packet's buffer stays occupied until
+    // the Drain event scheduled here fires and on_drained releases it.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(credit, rxbuf), tcc_transfer_ok)]
     #[inline(always)]
     fn on_arrive_impl<const PROF: bool>(
         &mut self,
@@ -907,10 +914,7 @@ impl ShardRun<'_> {
                             // general path below.
                             let Some(out_port) = self.shard.ports[ln][out.0 as usize].as_mut()
                             else {
-                                protocol_violation!(
-                                    "forward out inactive port n{node} l{}",
-                                    out.0
-                                );
+                                protocol_violation!("forward out inactive port n{node} l{}", out.0);
                             };
                             let hold = !out_port.coherent;
                             out_port.tx.enqueue(packet);
@@ -926,8 +930,8 @@ impl ShardRun<'_> {
                     if PROF {
                         let end = self.tick::<PROF>();
                         let p = &mut self.shard.profile;
-                        p.route_ns += t_route.saturating_sub(t0)
-                            + t_deliver.saturating_sub(t_credit);
+                        p.route_ns +=
+                            t_route.saturating_sub(t0) + t_deliver.saturating_sub(t_credit);
                         p.credit_ns += t_credit.saturating_sub(t_route);
                         p.deliver_ns += end.saturating_sub(t_deliver);
                     }
@@ -1061,6 +1065,7 @@ impl ShardRun<'_> {
     /// Buffers freed: harvest the pending credits into NOPs on the
     /// reverse direction (NOPs bypass credit checks, so returns can never
     /// deadlock).
+    #[cfg_attr(lint, tcc_linear(rxbuf))]
     fn on_drained(
         &mut self,
         now: SimTime,

@@ -136,7 +136,7 @@ impl<E> Arena<E> {
     /// with every backend; 2^32 simultaneously-parked events means the
     /// event budget check has already failed and memory is gone —
     /// truncating the handle instead would silently alias two events.
-    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok, tcc_acquires(arena_handle))]
     fn park(&mut self, event: E) -> u32 {
         match self.free.pop() {
             Some(h) => {
@@ -159,7 +159,7 @@ impl<E> Arena<E> {
     /// double-popped a handle — continuing would replay or drop an event
     /// and silently break bit-determinism, the one guarantee the whole
     /// queue exists to keep.
-    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok, tcc_releases(arena_handle))]
     fn take(&mut self, handle: u32) -> E {
         let ev = self.slots[handle as usize]
             .take()
@@ -249,7 +249,10 @@ impl<E> EventQueue<E> {
     /// Schedule `event` under an explicit key. The sharded engine uses
     /// this to stamp events with `(shard, shard-local seq)` so merge
     /// order is deterministic across thread counts. Keys must be unique.
+    // tcc_transfer_ok: the parked handle is owned by the backend until a
+    // pop reclaims it through `Arena::take` — held-at-exit is the point.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(arena_handle), tcc_transfer_ok)]
     pub fn schedule_keyed(&mut self, key: EventKey, event: E) {
         self.scheduled_total += 1;
         let h = self.arena.park(event);
@@ -267,6 +270,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the earliest event together with its full key.
+    #[cfg_attr(lint, tcc_linear(arena_handle))]
     pub fn pop_keyed(&mut self) -> Option<(EventKey, E)> {
         let (key, h) = match &mut self.inner {
             Inner::Heap(q) => q.pop()?,
@@ -283,6 +287,7 @@ impl<E> EventQueue<E> {
     /// pending minimum already lies at or past the horizon the call
     /// returns without scanning anything.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(arena_handle))]
     pub fn pop_keyed_before(&mut self, limit: SimTime) -> Option<(EventKey, E)> {
         let (key, h) = match &mut self.inner {
             Inner::Heap(q) => {

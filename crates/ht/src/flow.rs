@@ -177,6 +177,7 @@ impl TxCredits {
     /// Consume credits for sending `pkt`. On failure nothing is
     /// consumed: both pools are validated before either is touched, so
     /// the decrements below cannot underflow.
+    #[cfg_attr(lint, tcc_acquires(credit))]
     pub fn consume(&mut self, pkt: &Packet) -> Result<(), CreditError> {
         let vc = pkt.vc();
         let i = vc.index();
@@ -198,6 +199,7 @@ impl TxCredits {
     /// [`CreditError::OverReturn`] when the far side returns credits that
     /// were never consumed; the transmitter state is left untouched in
     /// that case (the return is rejected whole).
+    #[cfg_attr(lint, tcc_releases(credit))]
     pub fn release(&mut self, ret: CreditReturn) -> Result<(), CreditError> {
         // Validate before mutating so a rejected return has no effect.
         for (i, &vc) in VirtualChannel::ALL.iter().enumerate() {
@@ -285,6 +287,7 @@ impl RxBuffers {
     /// [`CreditError::BufferOverrun`] when the packet arrives with every
     /// buffer of its pool occupied or pending return — i.e. the far-side
     /// transmitter sent without holding a credit.
+    #[cfg_attr(lint, tcc_acquires(rxbuf))]
     pub fn accept(&mut self, pkt: &Packet) -> Result<(), CreditError> {
         let vc = pkt.vc();
         let i = vc.index();
@@ -310,7 +313,7 @@ impl RxBuffers {
     /// Fast-lane variant of [`accept`](Self::accept) for the flat wire
     /// shape — a posted packet known to carry data. Identical accounting,
     /// no command inspection or VC dispatch.
-    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic, tcc_acquires(rxbuf))]
     pub fn accept_posted_data(&mut self) -> Result<(), CreditError> {
         const P: usize = 0; // VirtualChannel::Posted.index()
         if self.held_cmd[P] + self.pending_cmd[P] >= self.initial {
@@ -333,6 +336,7 @@ impl RxBuffers {
     /// The receiver finished processing a packet: its buffers become
     /// returnable credits. Fails with [`CreditError::DrainUnderflow`] on
     /// a drain without a matching accept.
+    #[cfg_attr(lint, tcc_releases(rxbuf))]
     pub fn drain(&mut self, pkt: &Packet) -> Result<(), CreditError> {
         self.drain_parts(pkt.vc(), !pkt.data.is_empty())
     }
@@ -341,6 +345,7 @@ impl RxBuffers {
     /// data) shape instead of the packet itself. Event-driven receivers
     /// hand the packet on to the northbridge *before* its buffers free up,
     /// so at drain time only the shape is still around.
+    #[cfg_attr(lint, tcc_releases(rxbuf))]
     pub fn drain_parts(&mut self, vc: VirtualChannel, has_data: bool) -> Result<(), CreditError> {
         let i = vc.index();
         self.held_cmd[i] = self.held_cmd[i]

@@ -156,6 +156,7 @@ impl LinkTx {
     /// Apply a credit return received from the far side. Fails when the
     /// far side returns credits that were never consumed — a protocol
     /// violation by the receiver.
+    #[cfg_attr(lint, tcc_linear(credit), tcc_releases(credit))]
     pub fn credit_return(&mut self, ret: CreditReturn) -> Result<(), CreditError> {
         self.credits.release(ret)
     }
@@ -176,7 +177,10 @@ impl LinkTx {
     /// VC queue is empty and credits admit the packet, it goes straight
     /// to the wire without the queue round-trip; the transfer order (and
     /// therefore all timing) is identical to `enqueue` + `pump_into`.
+    // tcc_transfer_ok: a consumed credit stays held while the packet is
+    // on the wire; the far side hands it back through `credit_return`.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(credit), tcc_transfer_ok)]
     pub fn send_into(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Delivery>) {
         if self.queues.iter().all(|q| q.is_empty()) && self.credits.consume(&pkt).is_ok() {
             out.push(self.put_on_wire(now, pkt));
@@ -189,7 +193,10 @@ impl LinkTx {
     /// Like [`pump`](Self::pump), but appends into a caller-provided
     /// scratch vector — the store-issue hot path reuses one per node so
     /// pumping allocates nothing in steady state.
+    // tcc_transfer_ok: every credit consumed here rides out with a
+    // transmitted packet and returns via the far side's NOPs.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(credit), tcc_transfer_ok)]
     pub fn pump_into(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
         loop {
             let mut sent_any = false;
@@ -273,6 +280,9 @@ impl LinkRx {
     /// is extracted and handed back for the *transmit* side of this node to
     /// apply; NOPs occupy no buffers. A non-NOP arriving with every buffer
     /// of its pool occupied means the far side sent without a credit.
+    // tcc_transfer_ok: an accepted packet occupies its buffer until the
+    // consumer drains it — the hold outlives this call by design.
+    #[cfg_attr(lint, tcc_linear(rxbuf), tcc_transfer_ok, tcc_acquires(rxbuf))]
     pub fn accept(&mut self, pkt: &Packet) -> Result<Option<CreditReturn>, CreditError> {
         if let Some(ret) = return_from_nop(&pkt.cmd) {
             return Ok(Some(ret));
@@ -287,7 +297,10 @@ impl LinkRx {
     /// already classified via [`Packet::flat_addr`]: skips the NOP probe
     /// and the command/VC dispatch. Accounting is byte-identical to
     /// [`accept`](Self::accept) on the same packet.
+    // tcc_transfer_ok: same hold discipline as `accept` — the buffer is
+    // released later by `drain_parts` once the packet is consumed.
     #[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]
+    #[cfg_attr(lint, tcc_linear(rxbuf), tcc_transfer_ok, tcc_acquires(rxbuf))]
     pub fn accept_flat(&mut self) -> Result<(), CreditError> {
         self.buffers.accept_posted_data()?;
         self.packets_received += 1;
@@ -296,6 +309,7 @@ impl LinkRx {
     }
 
     /// Mark a packet processed; its buffers become returnable credits.
+    #[cfg_attr(lint, tcc_linear(rxbuf), tcc_releases(rxbuf))]
     pub fn drain(&mut self, pkt: &Packet) -> Result<(), CreditError> {
         self.buffers.drain(pkt)
     }
@@ -303,6 +317,7 @@ impl LinkRx {
     /// Like [`drain`](Self::drain), keyed on the packet's (VC, carries
     /// data) shape — for receivers that consumed the packet before its
     /// buffers were released.
+    #[cfg_attr(lint, tcc_linear(rxbuf), tcc_releases(rxbuf))]
     pub fn drain_parts(&mut self, vc: VirtualChannel, has_data: bool) -> Result<(), CreditError> {
         self.buffers.drain_parts(vc, has_data)
     }

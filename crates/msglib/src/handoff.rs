@@ -82,7 +82,7 @@ impl<T> BatchRing<T> {
     /// Deliberate panic, reviewed: a contended `try_lock` means two
     /// threads hold the producer role at once, and any batch published
     /// past that point could be lost or duplicated — see the module docs.
-    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok, tcc_acquires(batch))]
     #[must_use]
     pub fn publish(&self, staging: &mut Vec<T>) -> bool {
         if staging.is_empty() {
@@ -114,7 +114,7 @@ impl<T> BatchRing<T> {
     /// Deliberate panic, reviewed: as with [`publish`](Self::publish), a
     /// contended slot means the SPSC roles are violated and the batch
     /// contents cannot be trusted.
-    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok)]
+    #[cfg_attr(lint, tcc_no_alloc, tcc_panic_ok, tcc_releases(batch))]
     #[must_use]
     pub fn take(&self, scratch: &mut Vec<T>) -> bool {
         let tail = self.tail.load(Ordering::Relaxed);
@@ -134,6 +134,23 @@ impl<T> BatchRing<T> {
         // is free to reuse.
         self.tail.store(tail + 1, Ordering::Release);
         true
+    }
+
+    /// Consumer side: drain *every* pending batch, feeding each event to
+    /// `sink` in publish order, recycling `scratch` between batches (its
+    /// capacity is preserved, so steady state allocates nothing). Returns
+    /// the number of batches consumed. This is the top-of-epoch loop every
+    /// receiver shard otherwise writes by hand around [`take`](Self::take).
+    #[cfg_attr(lint, tcc_linear(batch))]
+    pub fn take_each(&self, scratch: &mut Vec<T>, mut sink: impl FnMut(T)) -> u64 {
+        let mut batches = 0;
+        while self.take(scratch) {
+            batches += 1;
+            for ev in scratch.drain(..) {
+                sink(ev);
+            }
+        }
+        batches
     }
 
     /// Batches currently published but not yet taken.
@@ -246,6 +263,23 @@ mod tests {
         assert!(ring.publish(&mut staging));
         let mut scratch = vec![7]; // caller forgot to drain
         let _ = ring.take(&mut scratch);
+    }
+
+    #[test]
+    fn take_each_drains_every_pending_batch_in_order() {
+        let ring: BatchRing<u32> = BatchRing::with_slots(4);
+        let mut staging = vec![1, 2];
+        assert!(ring.publish(&mut staging));
+        staging.extend([3, 4, 5]);
+        assert!(ring.publish(&mut staging));
+        let mut scratch = Vec::new();
+        let mut seen = Vec::new();
+        let batches = ring.take_each(&mut scratch, |v| seen.push(v));
+        assert_eq!(batches, 2);
+        assert_eq!(seen, [1, 2, 3, 4, 5]);
+        assert!(scratch.is_empty(), "scratch handed back drained");
+        assert_eq!(ring.pending(), 0);
+        assert_eq!(ring.take_each(&mut scratch, |_| unreachable!()), 0);
     }
 
     #[test]

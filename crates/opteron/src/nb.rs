@@ -210,6 +210,7 @@ impl Northbridge {
     }
 
     /// Route an addressed request packet entering from `source`.
+    #[cfg_attr(lint, tcc_linear(srctag))]
     pub fn dispose(&mut self, pkt: &Packet, source: Source) -> Result<Disposition, NbError> {
         self.requests_routed += 1;
         match &pkt.cmd {
@@ -498,7 +499,10 @@ mod tests {
         let planned = table.lookup(addr);
         let disposed = nb.dispose(&pw(addr), Source::Core);
         match (planned, disposed) {
-            (Some(FlatPlan::Local { base, local_base }), Ok(Disposition::LocalMemory { offset, .. })) => {
+            (
+                Some(FlatPlan::Local { base, local_base }),
+                Ok(Disposition::LocalMemory { offset, .. }),
+            ) => {
                 assert_eq!(local_base + (addr - base), offset, "offset at {addr:#x}");
             }
             (Some(FlatPlan::Forward { link }), Ok(Disposition::Forward { link: l })) => {
@@ -514,7 +518,9 @@ mod tests {
         let mut nb = tcc_node0();
         let table = nb.flat_table();
         assert_eq!(table.len(), 2);
-        for addr in [0x1000, 0x1800, 0x1FFF, 0x2000, 0x2800, 0x6FFF, 0x0100, 0x7000, 0xFFFF] {
+        for addr in [
+            0x1000, 0x1800, 0x1FFF, 0x2000, 0x2800, 0x6FFF, 0x0100, 0x7000, 0xFFFF,
+        ] {
             assert_flat_agrees(&mut nb, &table, addr);
         }
     }

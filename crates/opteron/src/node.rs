@@ -829,9 +829,7 @@ mod tests {
             let mut flat = tcc_node();
             let table = flat.nb.flat_table();
             let pkt = Packet::posted_write(addr, Bytes::from(vec![0xC3; 64]));
-            let plan = table
-                .lookup(addr)
-                .expect("mapped address has a flat plan");
+            let plan = table.lookup(addr).expect("mapped address has a flat plan");
             let got = flat.deliver_flat(SimTime::ZERO, plan, addr, &pkt.data, true);
             let want = general
                 .deliver_routed(SimTime::ZERO, TCC, pkt, false)

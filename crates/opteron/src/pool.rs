@@ -169,9 +169,9 @@ mod tests {
     fn packet_from_flat_is_lossless() {
         use tcc_ht::packet::{FlatWire, Packet};
         let mut p = PayloadPool::new();
-        let wire = FlatWire::new(0xBEEF_C0, [0x5A; 64]);
+        let wire = FlatWire::new(0xBEEFC0, [0x5A; 64]);
         let pkt = p.packet_from_flat(&wire);
-        let direct = Packet::posted_write(0xBEEF_C0, p.alloc(&[0x5A; 64]));
+        let direct = Packet::posted_write(0xBEEFC0, p.alloc(&[0x5A; 64]));
         assert_eq!(pkt, direct);
         assert_eq!(FlatWire::from_packet(&pkt), Some(wire));
     }

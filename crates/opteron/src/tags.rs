@@ -61,6 +61,7 @@ impl TagTable {
     }
 
     /// Allocate a tag for a non-posted request.
+    #[cfg_attr(lint, tcc_acquires(srctag))]
     pub fn allocate(&mut self, pending: Pending) -> Result<SrcTag, TagError> {
         let slot = self
             .entries
@@ -78,6 +79,7 @@ impl TagTable {
     /// TCCluster link, where both ends are NodeID 0, a response from the
     /// far node aliases into this node's table — `complete` detects the
     /// mismatch when the tag is not actually outstanding.
+    #[cfg_attr(lint, tcc_releases(srctag))]
     pub fn complete(&mut self, tag: SrcTag) -> Result<Pending, TagError> {
         let slot = tag.0 as usize;
         let entry = self.entries[slot].take().ok_or(TagError::Unmatched(tag))?;

@@ -4,14 +4,17 @@
 //! 1. **forbid-unsafe** — every non-bench crate's `lib.rs` must carry
 //!    `#![forbid(unsafe_code)]` (the bench crate is exempt: its counting
 //!    global allocator needs `unsafe impl GlobalAlloc`).
-//! 2. **tcc-analyze** — the six AST-level passes (alloc-reachability,
-//!    lock-order, time-arith, determinism, panic-freedom, epoch-phase;
-//!    see `docs/static-analysis.md`). Hot functions carry
-//!    `#[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]` in-place, the
-//!    analyzer checks them *transitively* over the shared call graph, and
-//!    baseline guards fail the gate if annotations are ever deleted
-//!    instead of migrated — or if the epoch-phase pass stops recognising
-//!    the engine's phase machine (rank count collapse).
+//! 2. **tcc-analyze** — the seven AST-level passes (alloc-reachability,
+//!    lock-order, time-arith, determinism, panic-freedom, epoch-phase,
+//!    linear-resource; see `docs/static-analysis.md`). Hot functions
+//!    carry `#[cfg_attr(lint, tcc_no_alloc, tcc_no_panic)]` in-place,
+//!    resource-shaped functions carry `tcc_linear(kind)` over the
+//!    `tcc_acquires`/`tcc_releases` anchors, the analyzer checks them
+//!    *transitively* over the shared call graph (flow-sensitively over
+//!    per-function CFGs for the linear pass), and baseline guards fail
+//!    the gate if annotations are ever deleted instead of migrated — or
+//!    if a pass goes blind (phase-rank or linear-checked count collapse,
+//!    required-crate coverage loss).
 //! 3. **clippy** — `cargo clippy --workspace --all-targets -- -D warnings`,
 //!    which also promotes the `clippy.toml` disallowed-methods (wallclock
 //!    reads outside the bench harness) to hard errors.
@@ -19,7 +22,11 @@
 //! Every run writes `LINT_report.json` (schema-stable, uploaded as a CI
 //! artifact). `--no-clippy` skips step 3 (fast, no compilation); `--json`
 //! prints the report to stdout instead of human-readable diagnostics;
-//! `--quiet` suppresses per-diagnostic output and prints only the verdict.
+//! `--quiet` suppresses per-diagnostic output and prints only the verdict;
+//! `--timings` injects a wall clock into the analyzer so the report's
+//! `timings_ms` carries per-pass durations and the run enforces
+//! [`ANALYZE_BUDGET_MS`] (without the flag timings stay `null`, keeping
+//! the committed report byte-stable).
 
 #![forbid(unsafe_code)]
 
@@ -48,6 +55,25 @@ const NO_PANIC_BASELINE: usize = 39;
 /// match the engine's rings) and its clean verdict is vacuous.
 const PHASE_RANKED_FLOOR: usize = 8;
 
+/// The linear-resource pass must keep walking at least this many
+/// `tcc_linear`-annotated functions (16 when the pass landed: the
+/// credit, rxbuf, srctag, arena-handle and batch lifecycles). Guarded
+/// like [`PHASE_RANKED_FLOOR`]: a collapse means the annotations were
+/// deleted or the pass stopped seeing them, making its verdict vacuous.
+const RESOURCE_BASELINE: usize = 16;
+
+/// Crates the linear-resource pass must keep covering (at least one
+/// checked function each): the paper's resource lifecycles span the
+/// wire protocol (ht), the event kernel (fabric), the shm transport
+/// (msglib) and the executive (core).
+const RESOURCE_CRATES: &[&str] = &["core", "fabric", "ht", "msglib"];
+
+/// Wall-time budget for one full analyzer run (all passes plus the
+/// shared call-graph build), enforced only under `--timings`. The run
+/// takes well under a second on a laptop; the budget is a regression
+/// tripwire, not a tight bound.
+const ANALYZE_BUDGET_MS: u64 = 5_000;
+
 /// Crates exempt from `#![forbid(unsafe_code)]`: bench installs a counting
 /// `GlobalAlloc` for the zero-allocation regression tests.
 const UNSAFE_EXEMPT: &[&str] = &["bench"];
@@ -61,11 +87,12 @@ fn main() -> ExitCode {
                 clippy: !args.iter().any(|a| a == "--no-clippy"),
                 json: args.iter().any(|a| a == "--json"),
                 quiet: args.iter().any(|a| a == "--quiet"),
+                timings: args.iter().any(|a| a == "--timings"),
             };
             lint(&opts)
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--no-clippy] [--json] [--quiet]");
+            eprintln!("usage: cargo xtask lint [--no-clippy] [--json] [--quiet] [--timings]");
             ExitCode::FAILURE
         }
     }
@@ -75,6 +102,21 @@ struct Opts {
     clippy: bool,
     json: bool,
     quiet: bool,
+    timings: bool,
+}
+
+/// Monotonic nanoseconds since the first call, injected into the
+/// analyzer as its [`tcc_analyze::PassClock`]. The analyzer crate cannot
+/// read wall time itself (its own determinism pass and the workspace
+/// clippy.toml ban `Instant::now`), so timing lives here, behind the
+/// `--timings` flag, where the clippy exception is explicit.
+#[allow(clippy::disallowed_methods)]
+fn clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(Instant::now().duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn lint(opts: &Opts) -> ExitCode {
@@ -131,18 +173,21 @@ fn lint(opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Run the six tcc-analyze passes, write `LINT_report.json` at the
-/// workspace root, enforce the annotation baselines and the phase-rank
-/// floor. Returns Ok(clean).
+/// Run the seven tcc-analyze passes, write `LINT_report.json` at the
+/// workspace root, enforce the annotation baselines, the phase-rank and
+/// linear-checked floors, and (under `--timings`) the wall-time budget.
+/// Returns Ok(clean).
 fn run_analyzer(root: &Path, opts: &Opts) -> Result<bool, String> {
     let ws = tcc_analyze::Workspace::load_root(root).map_err(|e| e.to_string())?;
-    let mut report = tcc_analyze::run_all(&ws);
+    let clock: Option<tcc_analyze::PassClock> = opts.timings.then_some(clock_ns);
+    let mut report = tcc_analyze::run_all_timed(&ws, clock);
     // Record the enforced floors in the artifact itself, so a report can
     // be audited without this source file next to it.
     report.baselines = vec![
         ("no_alloc", NO_ALLOC_BASELINE),
         ("no_panic", NO_PANIC_BASELINE),
         ("phase_ranked", PHASE_RANKED_FLOOR),
+        ("linear_checked", RESOURCE_BASELINE),
     ];
 
     let json = report.to_json();
@@ -184,6 +229,42 @@ fn run_analyzer(root: &Path, opts: &Opts) -> Result<bool, String> {
             report.phase_ranked_functions
         );
         clean = false;
+    }
+    if report.linear_checked_functions < RESOURCE_BASELINE {
+        eprintln!(
+            "xtask lint: linear-resource pass checked only {} function(s) \
+             (< {RESOURCE_BASELINE}) — `tcc_linear` annotations must be migrated, \
+             not deleted (docs/static-analysis.md)",
+            report.linear_checked_functions
+        );
+        clean = false;
+    }
+    for required in RESOURCE_CRATES {
+        if !report.linear_crates.iter().any(|c| c == required) {
+            eprintln!(
+                "xtask lint: linear-resource pass no longer covers crate `{required}` — \
+                 the paper's resource lifecycles span {RESOURCE_CRATES:?} and each must \
+                 keep at least one checked function (docs/static-analysis.md)"
+            );
+            clean = false;
+        }
+    }
+    if opts.timings {
+        let total_ns: u64 = report.pass_nanos.iter().map(|&(_, ns)| ns).sum();
+        let total_ms = total_ns / 1_000_000;
+        if !opts.json && !opts.quiet {
+            for (name, ns) in &report.pass_nanos {
+                println!("xtask lint: timing {name}: {:.3} ms", *ns as f64 / 1.0e6);
+            }
+            println!("xtask lint: timing total: {total_ms} ms (budget {ANALYZE_BUDGET_MS} ms)");
+        }
+        if total_ms > ANALYZE_BUDGET_MS {
+            eprintln!(
+                "xtask lint: analyzer wall time {total_ms} ms exceeds the \
+                 {ANALYZE_BUDGET_MS} ms budget — a pass regressed"
+            );
+            clean = false;
+        }
     }
     if !clean && !opts.json {
         eprintln!(
@@ -274,6 +355,18 @@ mod tests {
             "epoch-phase pass ranked only {} functions (< {PHASE_RANKED_FLOOR})",
             report.phase_ranked_functions
         );
+        assert!(
+            report.linear_checked_functions >= RESOURCE_BASELINE,
+            "linear-resource pass checked only {} functions (< {RESOURCE_BASELINE})",
+            report.linear_checked_functions
+        );
+        for required in RESOURCE_CRATES {
+            assert!(
+                report.linear_crates.iter().any(|c| c == required),
+                "linear-resource coverage lost crate `{required}` (have {:?})",
+                report.linear_crates
+            );
+        }
     }
 
     #[test]
@@ -282,18 +375,38 @@ mod tests {
         let ws = tcc_analyze::Workspace::load_root(&root).expect("load workspace");
         let json = tcc_analyze::run_all(&ws).to_json();
         for key in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "\"clean\"",
             "\"no_alloc_annotations\"",
             "\"annotations\"",
             "\"pass_counts\"",
             "\"panic-freedom\"",
             "\"epoch-phase\"",
+            "\"linear-resource\"",
             "\"phase_ranked_functions\"",
+            "\"linear_checked_functions\"",
+            "\"linear_crates\"",
+            "\"timings_ms\": null",
             "\"baselines\"",
             "\"diagnostics\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn injected_clock_fills_per_pass_timings() {
+        let root = workspace_root();
+        let ws = tcc_analyze::Workspace::load_root(&root).expect("load workspace");
+        let report = tcc_analyze::run_all_timed(&ws, Some(clock_ns));
+        // One lap per pass plus the shared call-graph build.
+        assert_eq!(
+            report.pass_nanos.len(),
+            tcc_analyze::report::PASSES.len() + 1
+        );
+        assert_eq!(report.pass_nanos[0].0, "callgraph");
+        let json = report.to_json();
+        assert!(!json.contains("\"timings_ms\": null"));
+        assert!(json.contains("\"timings_ms\": {"));
     }
 }
